@@ -1,0 +1,52 @@
+//! Branch direction predictor microbenchmarks: predict+update throughput
+//! for the three predictors on a recorded conditional-branch stream.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fe_branch::{Bimodal, DirectionPredictor, Gshare, HashedPerceptron};
+use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
+use std::hint::black_box;
+
+fn branch_pred(c: &mut Criterion) {
+    let trace = WorkloadSpec::new(WorkloadCategory::ShortServer, 5)
+        .instructions(200_000)
+        .generate();
+    let conds: Vec<(u64, bool)> = trace
+        .records
+        .iter()
+        .filter(|r| r.kind.is_conditional())
+        .map(|r| (r.pc, r.taken))
+        .collect();
+    let mut group = c.benchmark_group("direction_predictors");
+    group.throughput(Throughput::Elements(conds.len() as u64));
+    group.bench_function("bimodal", |b| {
+        let mut p = Bimodal::default();
+        b.iter(|| {
+            for &(pc, taken) in &conds {
+                black_box(p.predict(pc));
+                p.update(pc, taken);
+            }
+        })
+    });
+    group.bench_function("gshare", |b| {
+        let mut p = Gshare::default();
+        b.iter(|| {
+            for &(pc, taken) in &conds {
+                black_box(p.predict(pc));
+                p.update(pc, taken);
+            }
+        })
+    });
+    group.bench_function("hashed_perceptron", |b| {
+        let mut p = HashedPerceptron::default();
+        b.iter(|| {
+            for &(pc, taken) in &conds {
+                black_box(p.predict(pc));
+                p.update(pc, taken);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, branch_pred);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Simulator throughput per replacement policy: full front-end replay of
+//! a fixed server trace (accesses per second is the figure of interest).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fe_frontend::{policy::PolicyKind, simulator::SimConfig, Simulator};
+use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
+
+fn policy_throughput(c: &mut Criterion) {
+    let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, 31).instructions(300_000);
+    let trace = spec.generate();
+    let mut group = c.benchmark_group("frontend_replay");
+    group.throughput(Throughput::Elements(trace.instructions));
+    group.sample_size(10);
+    for &p in PolicyKind::PAPER_SET {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let sim = Simulator::new(SimConfig::paper_default().with_policy(p));
+            b.iter(|| sim.run(&trace.records, trace.instructions));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, policy_throughput);
+criterion_main!(benches);

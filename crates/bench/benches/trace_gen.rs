@@ -1,0 +1,39 @@
+//! Workload generation and fetch-reconstruction throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fe_trace::fetch::FetchStream;
+use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
+use std::hint::black_box;
+
+fn trace_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.sample_size(10);
+    for cat in WorkloadCategory::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(cat), &cat, |b, &cat| {
+            let spec = WorkloadSpec::new(cat, 13).instructions(200_000);
+            b.iter(|| black_box(spec.generate().records.len()));
+        });
+    }
+    group.finish();
+
+    let trace = WorkloadSpec::new(WorkloadCategory::LongServer, 13)
+        .instructions(500_000)
+        .generate();
+    let mut group = c.benchmark_group("fetch_reconstruction");
+    group.throughput(Throughput::Elements(trace.instructions));
+    group.bench_function("fetch_stream", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for chunk in FetchStream::new(trace.records.iter().copied(), 64) {
+                if chunk.starts_group {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, trace_gen);
+criterion_main!(benches);

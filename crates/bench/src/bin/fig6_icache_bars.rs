@@ -1,0 +1,27 @@
+//! Figure 6: per-benchmark I-cache MPKI bars (a representative subset)
+//! plus the subset average, 64 KB 8-way.
+
+use fe_bench::Args;
+use fe_frontend::{experiment, policy::PolicyKind};
+
+fn main() {
+    let mut args = Args::parse();
+    args.traces = args.traces.min(16); // the paper's figure shows a subset
+    let specs = args.suite();
+    let result = experiment::run_suite(&specs, &args.sim(), PolicyKind::PAPER_SET, args.threads);
+    println!("== Figure 6: per-benchmark I-cache MPKI (64KB 8-way) ==");
+    print!("{}", result.render());
+    let mut csv = String::from("trace,category");
+    for p in &result.policies {
+        csv.push_str(&format!(",{p}"));
+    }
+    csv.push('\n');
+    for r in &result.rows {
+        csv.push_str(&format!("{},{}", r.name, r.category));
+        for v in &r.icache_mpki {
+            csv.push_str(&format!(",{v:.4}"));
+        }
+        csv.push('\n');
+    }
+    args.write_artifact("fig6_icache_bars.csv", &csv);
+}

@@ -1,0 +1,32 @@
+//! Figure 7: average I-cache MPKI for {8,16,32,64} KB x {4,8}-way
+//! configurations with 64 B blocks, five policies.
+
+use fe_bench::Args;
+use fe_frontend::{policy::PolicyKind, sweep};
+
+fn main() {
+    let args = Args::parse();
+    let specs = args.suite();
+    let result = sweep::run_sweep(
+        &specs,
+        &args.sim(),
+        PolicyKind::PAPER_SET,
+        &sweep::paper_geometries(),
+        args.threads,
+    );
+    println!("== Figure 7: average I-cache MPKI per configuration ==");
+    print!("{}", result.render());
+    let mut csv = String::from("capacity_kb,ways");
+    for p in &result.policies {
+        csv.push_str(&format!(",{p}"));
+    }
+    csv.push('\n');
+    for pt in &result.points {
+        csv.push_str(&format!("{},{}", pt.capacity_bytes / 1024, pt.ways));
+        for m in &pt.icache_means {
+            csv.push_str(&format!(",{m:.4}"));
+        }
+        csv.push('\n');
+    }
+    args.write_artifact("fig7_config_sweep.csv", &csv);
+}

@@ -1,0 +1,29 @@
+//! Table I: GHRP storage requirements.
+//!
+//! Prints the paper's nominal hardware design point (3 x 4096 x 2-bit
+//! tables on a 64 KB 8-way I-cache — about 5 KB) and this reproduction's
+//! scaled default (see `GhrpConfig` docs for why the tables are larger
+//! at reduced trace scale).
+
+use fe_cache::CacheConfig;
+use ghrp_core::{GhrpConfig, StorageReport};
+
+fn main() {
+    let cache = CacheConfig::with_capacity(64 * 1024, 8, 64).expect("paper geometry");
+
+    let mut paper = GhrpConfig::default();
+    paper.table_entries = 4096;
+    paper.counter_bits = 2;
+    println!("== Table I: GHRP storage, paper-nominal (64KB 8-way I-cache, 4K-entry BTB) ==");
+    let r = StorageReport::new(&paper, cache, 4096);
+    print!("{}", r.to_table());
+    println!(
+        "overhead vs I-cache data: {:.1}%  (paper reports 5.13 KB / ~8% for the Exynos M1)",
+        r.overhead_fraction(64 * 1024) * 100.0
+    );
+
+    println!("\n== This reproduction's default predictor geometry ==");
+    let r2 = StorageReport::new(&GhrpConfig::default(), cache, 4096);
+    print!("{}", r2.to_table());
+    println!("overhead vs I-cache data: {:.1}%", r2.overhead_fraction(64 * 1024) * 100.0);
+}

@@ -1,0 +1,64 @@
+//! Tuning sweep for GHRP knobs on server traces.
+
+use fe_frontend::{policy::PolicyKind, simulator::SimConfig, Simulator};
+use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
+
+fn main() {
+    let specs: Vec<_> = (0..6)
+        .map(|i| {
+            WorkloadSpec::new(
+                if i % 2 == 0 {
+                    WorkloadCategory::ShortServer
+                } else {
+                    WorkloadCategory::LongServer
+                },
+                1235 + i * 2,
+            )
+            .instructions(6_000_000)
+        })
+        .collect();
+    let traces: Vec<_> = specs.iter().map(|s| s.generate()).collect();
+    let lru: Vec<(f64, f64)> = traces
+        .iter()
+        .map(|t| {
+            let r = Simulator::new(SimConfig::paper_default()).run(&t.records, t.instructions);
+            (r.icache_mpki(), r.btb_mpki())
+        })
+        .collect();
+    let n = traces.len() as f64;
+    let ilru: f64 = lru.iter().map(|x| x.0).sum::<f64>() / n;
+    let blru: f64 = lru.iter().map(|x| x.1).sum::<f64>() / n;
+    println!("LRU mean: icache {ilru:.3} btb {blru:.3}");
+
+    let combos: &[(bool, bool, u8, bool)] = &[
+        (true, true, 1, true),
+        (true, false, 1, true),
+        (false, true, 1, true),
+        (true, true, 2, true),
+        (true, true, 1, false),
+    ];
+    for &(protect_mru, btb_byp, btb_thr, shadow) in combos {
+        let mut cfg = SimConfig::paper_default().with_policy(PolicyKind::Ghrp);
+        cfg.ghrp.table_entries = 16384;
+        cfg.ghrp.counter_bits = 4;
+        cfg.ghrp.dead_threshold = 1;
+        cfg.ghrp.bypass_threshold = 15;
+        cfg.ghrp.btb_dead_threshold = btb_thr;
+        cfg.ghrp.protect_mru = protect_mru;
+        cfg.ghrp.btb_enable_bypass = btb_byp;
+        cfg.ghrp.shadow_training = shadow;
+        let (mut isum, mut bsum) = (0.0, 0.0);
+        for t in traces.iter() {
+            let r = Simulator::new(cfg).run(&t.records, t.instructions);
+            isum += r.icache_mpki();
+            bsum += r.btb_mpki();
+        }
+        println!(
+            "mru={protect_mru} btbbyp={btb_byp} btbthr={btb_thr} shadow={shadow}: icache {:.3} ({:+.1}%)  btb {:.3} ({:+.1}%)",
+            isum / n,
+            (isum / n - ilru) / ilru * 100.0,
+            bsum / n,
+            (bsum / n - blru) / blru * 100.0
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Bimodal (Smith) predictor: a table of 2-bit saturating counters.
+
+use crate::DirectionPredictor;
+
+/// PC-indexed 2-bit counter predictor — the simplest useful baseline.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    counters: Vec<u8>,
+    mask: usize,
+}
+
+impl Bimodal {
+    /// Create a bimodal predictor with `entries` counters (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a nonzero power of two.
+    pub fn new(entries: usize) -> Bimodal {
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "entries must be a power of two, got {entries}"
+        );
+        Bimodal {
+            // Weakly not-taken initial state.
+            counters: vec![1; entries],
+            mask: entries - 1,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & self.mask
+    }
+}
+
+impl Default for Bimodal {
+    /// 16K-entry table (4 KB of 2-bit counters).
+    fn default() -> Bimodal {
+        Bimodal::new(16 * 1024)
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&self, pc: u64) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        let c = &mut self.counters[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    fn name(&self) -> String {
+        "bimodal".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_hysteresis() {
+        let mut b = Bimodal::new(64);
+        let pc = 0x100;
+        b.update(pc, true);
+        assert!(b.predict(pc)); // 1 -> 2: weakly taken
+        b.update(pc, true);
+        b.update(pc, false);
+        assert!(b.predict(pc), "one not-taken does not flip strong state");
+        b.update(pc, false);
+        b.update(pc, false);
+        assert!(!b.predict(pc));
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_counters() {
+        let mut b = Bimodal::new(64);
+        for _ in 0..4 {
+            b.update(0x100, true);
+            b.update(0x104, false);
+        }
+        assert!(b.predict(0x100));
+        assert!(!b.predict(0x104));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_size_panics() {
+        let _ = Bimodal::new(100);
+    }
+}

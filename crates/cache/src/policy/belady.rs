@@ -1,0 +1,175 @@
+//! Belady's OPT (offline optimal) replacement, for bound studies.
+//!
+//! Not part of the paper's comparison set; provided as an oracle upper
+//! bound so the benchmark harness can report how much of the LRU→OPT gap
+//! each policy closes.
+
+use super::{AccessContext, ReplacementPolicy};
+use crate::CacheConfig;
+use std::collections::HashMap;
+
+/// Sentinel meaning "never used again".
+const NEVER: u64 = u64::MAX;
+
+/// Belady's OPT: evict the block whose next use is farthest in the future.
+///
+/// Requires the exact block-address access sequence up front
+/// ([`BeladyOpt::from_trace`]); each subsequent [`crate::Cache::access`]
+/// must replay that sequence in order. Violations panic in debug builds.
+#[derive(Debug, Clone)]
+pub struct BeladyOpt {
+    ways: usize,
+    /// For access `i`, the index of the next access to the same block.
+    next_use: Vec<u64>,
+    /// Per frame: next-use index of the resident block (as of its last
+    /// access).
+    frame_next: Vec<u64>,
+    /// Expected block per access position (debug validation).
+    sequence: Vec<u64>,
+    cursor: usize,
+}
+
+impl BeladyOpt {
+    /// Precompute next-use chains for `blocks`, the full block-address
+    /// sequence the cache will observe.
+    pub fn from_trace(cfg: CacheConfig, blocks: &[u64]) -> BeladyOpt {
+        let mut next_use = vec![NEVER; blocks.len()];
+        let mut last_seen: HashMap<u64, usize> = HashMap::new();
+        for (i, &b) in blocks.iter().enumerate().rev() {
+            if let Some(&later) = last_seen.get(&b) {
+                next_use[i] = later as u64;
+            }
+            last_seen.insert(b, i);
+        }
+        BeladyOpt {
+            ways: cfg.ways() as usize,
+            next_use,
+            frame_next: vec![NEVER; cfg.frames()],
+            sequence: blocks.to_vec(),
+            cursor: 0,
+        }
+    }
+
+    fn current_next_use(&self) -> u64 {
+        self.next_use.get(self.cursor).copied().unwrap_or(NEVER)
+    }
+}
+
+impl ReplacementPolicy for BeladyOpt {
+    fn on_access(&mut self, ctx: &AccessContext) {
+        debug_assert!(
+            self.cursor < self.sequence.len() && self.sequence[self.cursor] == ctx.block_addr,
+            "OPT replay diverged at access {}: expected {:#x}, got {:#x}",
+            self.cursor,
+            self.sequence.get(self.cursor).copied().unwrap_or(0),
+            ctx.block_addr
+        );
+    }
+
+    fn on_hit(&mut self, way: usize, ctx: &AccessContext) {
+        self.frame_next[ctx.set * self.ways + way] = self.current_next_use();
+        self.cursor += 1;
+    }
+
+    fn should_bypass(&mut self, _ctx: &AccessContext) -> bool {
+        false
+    }
+
+    fn choose_victim(&mut self, ctx: &AccessContext) -> usize {
+        let base = ctx.set * self.ways;
+        (0..self.ways)
+            .max_by_key(|&w| self.frame_next[base + w])
+            .expect("at least one way")
+    }
+
+    fn on_evict(&mut self, _way: usize, _victim_block: u64, _ctx: &AccessContext) {}
+
+    fn on_fill(&mut self, way: usize, ctx: &AccessContext) {
+        self.frame_next[ctx.set * self.ways + way] = self.current_next_use();
+        self.cursor += 1;
+    }
+
+    fn name(&self) -> String {
+        "OPT".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cache, CacheStats};
+
+    fn run_opt(blocks: &[u64], sets: u32, ways: u32) -> CacheStats {
+        let cfg = CacheConfig::with_sets(sets, ways, 64).unwrap();
+        let mut c = Cache::new(cfg, BeladyOpt::from_trace(cfg, blocks));
+        for &b in blocks {
+            c.access(b, 0);
+        }
+        c.stats()
+    }
+
+    fn run_lru(blocks: &[u64], sets: u32, ways: u32) -> CacheStats {
+        let cfg = CacheConfig::with_sets(sets, ways, 64).unwrap();
+        let mut c = Cache::new(cfg, crate::policy::Lru::new(cfg));
+        for &b in blocks {
+            c.access(b, 0);
+        }
+        c.stats()
+    }
+
+    #[test]
+    fn opt_beats_lru_on_cyclic_pattern() {
+        // Cyclic access over ways+1 blocks: LRU misses everything, OPT
+        // keeps most of the set.
+        let blocks: Vec<u64> = (0..30).map(|i| (i % 3) * 64).collect();
+        let opt = run_opt(&blocks, 1, 2);
+        let lru = run_lru(&blocks, 1, 2);
+        assert!(lru.misses == 30, "LRU thrashes the cycle");
+        // OPT on a cyclic scan of W+1 blocks misses roughly every other
+        // access instead of every access.
+        assert!(
+            opt.misses <= lru.misses / 2 + 2,
+            "OPT {} vs LRU {}",
+            opt.misses,
+            lru.misses
+        );
+    }
+
+    #[test]
+    fn opt_never_worse_than_lru_on_random_traces() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let blocks: Vec<u64> = (0..400).map(|_| rng.gen_range(0..12u64) * 64).collect();
+            let opt = run_opt(&blocks, 2, 2);
+            let lru = run_lru(&blocks, 2, 2);
+            assert!(
+                opt.misses <= lru.misses,
+                "OPT {} > LRU {}",
+                opt.misses,
+                lru.misses
+            );
+        }
+    }
+
+    #[test]
+    fn next_use_chains_are_correct() {
+        let cfg = CacheConfig::with_sets(1, 2, 64).unwrap();
+        let blocks = [0x0, 0x40, 0x0, 0x80, 0x40];
+        let opt = BeladyOpt::from_trace(cfg, &blocks);
+        assert_eq!(opt.next_use[0], 2);
+        assert_eq!(opt.next_use[1], 4);
+        assert_eq!(opt.next_use[2], NEVER);
+        assert_eq!(opt.next_use[3], NEVER);
+        assert_eq!(opt.next_use[4], NEVER);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn replay_divergence_panics_in_debug() {
+        let cfg = CacheConfig::with_sets(1, 2, 64).unwrap();
+        let mut c = Cache::new(cfg, BeladyOpt::from_trace(cfg, &[0x0, 0x40]));
+        c.access(0x0, 0);
+        c.access(0x999 & !63, 0); // not the promised sequence
+    }
+}

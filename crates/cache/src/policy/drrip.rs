@@ -1,0 +1,181 @@
+//! Dynamic Re-reference Interval Prediction (DRRIP, Jaleel et al.).
+//!
+//! DRRIP set-duels SRRIP against BRRIP (bimodal RRIP, which inserts at
+//! the distant RRPV most of the time, resisting thrash): a few *leader*
+//! sets are pinned to each policy, a saturating `PSEL` counter tallies
+//! which leader group misses less, and all *follower* sets adopt the
+//! winner. Not part of the paper's comparison set, but the natural
+//! upgrade of its SRRIP baseline and a useful extra point for the
+//! benchmark harness.
+
+use super::{AccessContext, ReplacementPolicy};
+use crate::CacheConfig;
+
+/// Which insertion policy a set is pinned to (or follows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SetRole {
+    LeaderSrrip,
+    LeaderBrrip,
+    Follower,
+}
+
+/// DRRIP with 2-bit RRPVs, 32 leader sets per policy (or fewer for small
+/// caches), and a 10-bit PSEL.
+#[derive(Debug, Clone)]
+pub struct Drrip {
+    ways: usize,
+    max_rrpv: u8,
+    rrpv: Vec<u8>,
+    roles: Vec<SetRole>,
+    /// PSEL > midpoint ⇒ BRRIP is winning (its leaders miss less).
+    psel: i32,
+    psel_max: i32,
+    /// BRRIP inserts distant except one access in `brripsilon`.
+    brrip_counter: u32,
+}
+
+impl Drrip {
+    /// Create DRRIP state for the given geometry.
+    pub fn new(cfg: CacheConfig) -> Drrip {
+        let sets = cfg.sets() as usize;
+        // Interleave leader sets through the index space, up to 32 each.
+        let leaders_per_policy = (sets / 4).clamp(1, 32);
+        let stride = sets / (leaders_per_policy * 2).max(1);
+        let mut roles = vec![SetRole::Follower; sets];
+        for i in 0..leaders_per_policy {
+            let a = (i * 2) * stride.max(1);
+            let b = (i * 2 + 1) * stride.max(1);
+            if a < sets {
+                roles[a] = SetRole::LeaderSrrip;
+            }
+            if b < sets {
+                roles[b] = SetRole::LeaderBrrip;
+            }
+        }
+        Drrip {
+            ways: cfg.ways() as usize,
+            max_rrpv: 3,
+            rrpv: vec![3; cfg.frames()],
+            roles,
+            psel: 512,
+            psel_max: 1023,
+            brrip_counter: 0,
+        }
+    }
+
+    fn use_brrip(&self, set: usize) -> bool {
+        match self.roles[set] {
+            SetRole::LeaderSrrip => false,
+            SetRole::LeaderBrrip => true,
+            SetRole::Follower => self.psel > self.psel_max / 2,
+        }
+    }
+}
+
+impl ReplacementPolicy for Drrip {
+    fn on_hit(&mut self, way: usize, ctx: &AccessContext) {
+        self.rrpv[ctx.set * self.ways + way] = 0;
+    }
+
+    fn choose_victim(&mut self, ctx: &AccessContext) -> usize {
+        let base = ctx.set * self.ways;
+        loop {
+            if let Some(w) = (0..self.ways).find(|&w| self.rrpv[base + w] == self.max_rrpv) {
+                return w;
+            }
+            for w in 0..self.ways {
+                self.rrpv[base + w] += 1;
+            }
+        }
+    }
+
+    fn on_evict(&mut self, _way: usize, _victim_block: u64, _ctx: &AccessContext) {}
+
+    fn on_fill(&mut self, way: usize, ctx: &AccessContext) {
+        // A miss in a leader set trains PSEL toward the *other* policy.
+        match self.roles[ctx.set] {
+            SetRole::LeaderSrrip => self.psel = (self.psel + 1).min(self.psel_max),
+            SetRole::LeaderBrrip => self.psel = (self.psel - 1).max(0),
+            SetRole::Follower => {}
+        }
+        let brrip = self.use_brrip(ctx.set);
+        let rrpv = if brrip {
+            // Bimodal: distant except one in 32 fills.
+            self.brrip_counter = self.brrip_counter.wrapping_add(1);
+            if self.brrip_counter.is_multiple_of(32) {
+                self.max_rrpv - 1
+            } else {
+                self.max_rrpv
+            }
+        } else {
+            self.max_rrpv - 1
+        };
+        self.rrpv[ctx.set * self.ways + way] = rrpv;
+    }
+
+    fn name(&self) -> String {
+        "DRRIP".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cache;
+
+    #[test]
+    fn leader_sets_are_assigned_both_policies() {
+        let cfg = CacheConfig::with_sets(128, 8, 64).unwrap();
+        let d = Drrip::new(cfg);
+        let srrip = d.roles.iter().filter(|r| **r == SetRole::LeaderSrrip).count();
+        let brrip = d.roles.iter().filter(|r| **r == SetRole::LeaderBrrip).count();
+        assert!(srrip >= 1 && brrip >= 1);
+        assert_eq!(srrip, brrip);
+        assert!(srrip <= 32);
+    }
+
+    #[test]
+    fn thrash_pattern_flips_psel_toward_brrip() {
+        // Cyclic pattern over 2x the associativity: SRRIP leader sets keep
+        // missing; BRRIP leaders preserve part of the working set. PSEL
+        // must move toward BRRIP (up).
+        let cfg = CacheConfig::with_sets(16, 4, 64).unwrap();
+        let mut c = Cache::new(cfg, Drrip::new(cfg));
+        let start = c.policy().psel;
+        for round in 0..200 {
+            for i in 0..8u64 {
+                // 8 blocks per set > 4 ways: pure thrash.
+                c.access(i * 16 * 64, round);
+            }
+        }
+        assert!(
+            c.policy().psel > start,
+            "PSEL {} did not move toward BRRIP",
+            c.policy().psel
+        );
+    }
+
+    #[test]
+    fn behaves_sanely_on_hits() {
+        let cfg = CacheConfig::with_sets(4, 4, 64).unwrap();
+        let mut c = Cache::new(cfg, Drrip::new(cfg));
+        c.access(0x0, 0);
+        assert!(c.access(0x0, 0).is_hit());
+        assert!(c.contains(0x0));
+    }
+
+    #[test]
+    fn psel_saturates() {
+        let cfg = CacheConfig::with_sets(16, 2, 64).unwrap();
+        let mut d = Drrip::new(cfg);
+        let leader = d
+            .roles
+            .iter()
+            .position(|r| *r == SetRole::LeaderSrrip)
+            .unwrap();
+        for _ in 0..5000 {
+            d.on_fill(0, &AccessContext { addr: 0, block_addr: 0, set: leader });
+        }
+        assert!(d.psel <= d.psel_max);
+    }
+}

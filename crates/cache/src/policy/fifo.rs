@@ -1,0 +1,84 @@
+//! First-in-first-out replacement (Smith & Goodman's early I-cache study).
+
+use super::{AccessContext, ReplacementPolicy};
+use crate::CacheConfig;
+
+/// FIFO: evict the block that was *filled* earliest, ignoring hits.
+#[derive(Debug, Clone)]
+pub struct Fifo {
+    ways: usize,
+    fill_time: Vec<u64>,
+    clock: u64,
+}
+
+impl Fifo {
+    /// Create FIFO state for the given geometry.
+    pub fn new(cfg: CacheConfig) -> Fifo {
+        Fifo {
+            ways: cfg.ways() as usize,
+            fill_time: vec![0; cfg.frames()],
+            clock: 0,
+        }
+    }
+}
+
+impl ReplacementPolicy for Fifo {
+    fn on_hit(&mut self, _way: usize, _ctx: &AccessContext) {}
+
+    fn choose_victim(&mut self, ctx: &AccessContext) -> usize {
+        let base = ctx.set * self.ways;
+        (0..self.ways)
+            .min_by_key(|&w| self.fill_time[base + w])
+            .expect("at least one way")
+    }
+
+    fn on_evict(&mut self, _way: usize, _victim_block: u64, _ctx: &AccessContext) {}
+
+    fn on_fill(&mut self, way: usize, ctx: &AccessContext) {
+        self.clock += 1;
+        self.fill_time[ctx.set * self.ways + way] = self.clock;
+    }
+
+    fn name(&self) -> String {
+        "FIFO".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessResult, Cache};
+
+    #[test]
+    fn hits_do_not_protect_blocks() {
+        let cfg = CacheConfig::with_sets(1, 2, 64).unwrap();
+        let mut c = Cache::new(cfg, Fifo::new(cfg));
+        c.access(0x000, 0);
+        c.access(0x040, 0);
+        // Hit 0x000 repeatedly; FIFO must still evict it first.
+        for _ in 0..5 {
+            assert!(c.access(0x000, 0).is_hit());
+        }
+        assert_eq!(
+            c.access(0x080, 0),
+            AccessResult::Miss { evicted: Some(0x000) }
+        );
+    }
+
+    #[test]
+    fn eviction_order_is_fill_order() {
+        let cfg = CacheConfig::with_sets(1, 4, 64).unwrap();
+        let mut c = Cache::new(cfg, Fifo::new(cfg));
+        for b in [0x000u64, 0x040, 0x080, 0x0c0] {
+            c.access(b, 0);
+        }
+        assert_eq!(
+            c.access(0x100, 0),
+            AccessResult::Miss { evicted: Some(0x000) }
+        );
+        assert_eq!(
+            c.access(0x140, 0),
+            AccessResult::Miss { evicted: Some(0x040) }
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Global path history with speculative/retired duals.
+//!
+//! Algorithm 2 of the paper: on every access the history shifts left by
+//! four and the three lowest-order bits of the PC are inserted, followed by
+//! one zero bit. The 16-bit register therefore records four prior accesses,
+//! and the trailing zeros let PC bits pass through the signature XOR
+//! unmodified.
+//!
+//! §III.F: to survive branch mispredictions, GHRP keeps **two** histories —
+//! a speculative one advanced with the fetch stream and a non-speculative
+//! one advanced at retirement. On a misprediction the speculative history
+//! is restored from the retired one, exactly as branch predictors manage
+//! speculative global history.
+
+use crate::GhrpConfig;
+
+/// Dual (speculative + retired) path history register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpeculativeHistory {
+    spec: u64,
+    retired: u64,
+    mask: u64,
+    pc_bits: u32,
+    pad_bits: u32,
+}
+
+impl SpeculativeHistory {
+    /// Create an empty history pair configured per `cfg`.
+    pub fn new(cfg: &GhrpConfig) -> SpeculativeHistory {
+        SpeculativeHistory {
+            spec: 0,
+            retired: 0,
+            mask: if cfg.history_bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << cfg.history_bits) - 1
+            },
+            pc_bits: cfg.pc_bits_per_access,
+            pad_bits: cfg.pad_bits_per_access,
+        }
+    }
+
+    fn mix(&self, history: u64, pc: u64) -> u64 {
+        let pc_mask = (1u64 << self.pc_bits) - 1;
+        let shifted = history << (self.pc_bits + self.pad_bits);
+        (shifted | ((pc & pc_mask) << self.pad_bits)) & self.mask
+    }
+
+    /// Advance the speculative history with an access at `pc` (already
+    /// shifted to instruction/block granularity by the caller).
+    pub fn update_speculative(&mut self, pc: u64) {
+        self.spec = self.mix(self.spec, pc);
+    }
+
+    /// Advance the retired history with a committed access at `pc`.
+    pub fn retire(&mut self, pc: u64) {
+        self.retired = self.mix(self.retired, pc);
+    }
+
+    /// Misprediction recovery: restore the speculative history from the
+    /// retired one.
+    pub fn recover(&mut self) {
+        self.spec = self.retired;
+    }
+
+    /// Current speculative history value (used for all predictions).
+    pub fn speculative(&self) -> u64 {
+        self.spec
+    }
+
+    /// Current retired history value.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h() -> SpeculativeHistory {
+        SpeculativeHistory::new(&GhrpConfig::default())
+    }
+
+    #[test]
+    fn update_shifts_three_pc_bits_and_a_zero() {
+        let mut hist = h();
+        hist.update_speculative(0b101);
+        // 101 followed by one zero bit.
+        assert_eq!(hist.speculative(), 0b1010);
+        hist.update_speculative(0b111);
+        assert_eq!(hist.speculative(), 0b1010_1110);
+    }
+
+    #[test]
+    fn history_is_sixteen_bits() {
+        let mut hist = h();
+        for _ in 0..10 {
+            hist.update_speculative(0b111);
+        }
+        assert!(hist.speculative() <= 0xFFFF);
+        assert_eq!(hist.speculative(), 0xEEEE);
+    }
+
+    #[test]
+    fn four_accesses_fill_the_register() {
+        let mut hist = h();
+        for pc in [0b001u64, 0b010, 0b011, 0b100] {
+            hist.update_speculative(pc);
+        }
+        assert_eq!(hist.speculative(), 0b0010_0100_0110_1000);
+        // A fifth access pushes the first out.
+        hist.update_speculative(0b111);
+        assert_eq!(hist.speculative(), 0b0100_0110_1000_1110);
+    }
+
+    #[test]
+    fn only_low_pc_bits_enter() {
+        let mut a = h();
+        let mut b = h();
+        a.update_speculative(0xABCD_E005);
+        b.update_speculative(0x5);
+        assert_eq!(a.speculative(), b.speculative());
+    }
+
+    #[test]
+    fn recovery_restores_retired_state() {
+        let mut hist = h();
+        // Retire two accesses; speculate two more beyond them.
+        for pc in [1u64, 2] {
+            hist.update_speculative(pc);
+            hist.retire(pc);
+        }
+        let retired_point = hist.speculative();
+        hist.update_speculative(3); // wrong path
+        hist.update_speculative(4); // wrong path
+        assert_ne!(hist.speculative(), retired_point);
+        hist.recover();
+        assert_eq!(hist.speculative(), retired_point);
+        assert_eq!(hist.speculative(), hist.retired());
+    }
+
+    #[test]
+    fn spec_and_retired_advance_independently() {
+        let mut hist = h();
+        hist.update_speculative(7);
+        assert_eq!(hist.retired(), 0);
+        hist.retire(7);
+        assert_eq!(hist.retired(), hist.speculative());
+    }
+
+    #[test]
+    fn custom_widths_respected() {
+        let mut cfg = GhrpConfig::default();
+        cfg.history_bits = 8;
+        cfg.pc_bits_per_access = 2;
+        cfg.pad_bits_per_access = 0;
+        let mut hist = SpeculativeHistory::new(&cfg);
+        for _ in 0..10 {
+            hist.update_speculative(0b11);
+        }
+        assert_eq!(hist.speculative(), 0xFF);
+    }
+}

@@ -1,0 +1,272 @@
+//! Shared GHRP predictor state.
+//!
+//! One GHRP instance serves both the I-cache and the BTB (§III.E: "All of
+//! the other structures for the GHRP algorithm are already present for use
+//! by the I-cache dead block prediction, so BTB replacement comes with
+//! almost no additional overhead"). [`SharedGhrp`] is a cheaply clonable
+//! handle (`Rc<RefCell<…>>` — the simulator is single-threaded) that the
+//! I-cache policy ([`crate::GhrpPolicy`]) and the BTB policy (in `fe-btb`)
+//! both hold.
+//!
+//! Besides the tables and the dual path history, the shared state keeps a
+//! view of the I-cache per-block metadata keyed by block address, which is
+//! exactly what the BTB needs: "the signature recorded for that I-cache
+//! block is used to index the I-cache GHRP prediction tables to generate
+//! … a dead-entry prediction for that BTB entry".
+
+use crate::config::GhrpConfig;
+use crate::history::SpeculativeHistory;
+use crate::signature::signature;
+use crate::tables::PredictionTables;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Per-I-cache-block GHRP metadata (16-bit signature + prediction bit;
+/// the valid and LRU bits live in the policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Signature recorded at fill or last reuse.
+    pub signature: u16,
+    /// Dead-block prediction bit, refreshed on each access to the block.
+    pub predicted_dead: bool,
+}
+
+#[derive(Debug)]
+struct GhrpState {
+    cfg: GhrpConfig,
+    tables: PredictionTables,
+    history: SpeculativeHistory,
+    /// I-cache block metadata, keyed by block address.
+    meta: HashMap<u64, BlockMeta>,
+    /// Right-shift applied to I-cache block addresses before they enter
+    /// the history/signature (the block offset width).
+    icache_shift: u32,
+}
+
+/// Clonable handle to the shared GHRP predictor.
+#[derive(Debug, Clone)]
+pub struct SharedGhrp {
+    state: Rc<RefCell<GhrpState>>,
+}
+
+impl SharedGhrp {
+    /// Create a fresh predictor.
+    ///
+    /// `icache_offset_bits` is the I-cache block-offset width: I-cache
+    /// accesses enter the history at fetch-block granularity, so the low
+    /// (always-zero) offset bits are shifted away first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`GhrpConfig::validate`].
+    pub fn new(cfg: GhrpConfig, icache_offset_bits: u32) -> SharedGhrp {
+        let tables = PredictionTables::new(&cfg);
+        let history = SpeculativeHistory::new(&cfg);
+        SharedGhrp {
+            state: Rc::new(RefCell::new(GhrpState {
+                cfg,
+                tables,
+                history,
+                meta: HashMap::new(),
+                icache_shift: icache_offset_bits,
+            })),
+        }
+    }
+
+    /// The configuration this predictor was built with.
+    pub fn config(&self) -> GhrpConfig {
+        self.state.borrow().cfg
+    }
+
+    /// Compute the signature for an I-cache access to `block_addr` under
+    /// the *current* speculative history (before the access updates it).
+    pub fn icache_signature(&self, block_addr: u64) -> u16 {
+        let s = self.state.borrow();
+        signature(
+            s.history.speculative(),
+            block_addr >> s.icache_shift,
+            s.cfg.history_bits.min(16),
+        )
+    }
+
+    /// Compute a signature for an arbitrary (pre-shifted) PC — the BTB
+    /// fallback when the branch's I-cache block has no metadata.
+    pub fn pc_signature(&self, shifted_pc: u64) -> u16 {
+        let s = self.state.borrow();
+        signature(
+            s.history.speculative(),
+            shifted_pc,
+            s.cfg.history_bits.min(16),
+        )
+    }
+
+    /// Advance the speculative history with an I-cache access.
+    pub fn update_history(&self, block_addr: u64) {
+        let mut s = self.state.borrow_mut();
+        let pc = block_addr >> s.icache_shift;
+        s.history.update_speculative(pc);
+    }
+
+    /// Advance the retired (non-speculative) history with a committed
+    /// access.
+    pub fn retire(&self, block_addr: u64) {
+        let mut s = self.state.borrow_mut();
+        let pc = block_addr >> s.icache_shift;
+        s.history.retire(pc);
+    }
+
+    /// Branch-misprediction recovery: restore the speculative history
+    /// from the retired one (§III.F).
+    pub fn recover(&self) {
+        self.state.borrow_mut().history.recover();
+    }
+
+    /// Current speculative history value (diagnostics/tests).
+    pub fn speculative_history(&self) -> u64 {
+        self.state.borrow().history.speculative()
+    }
+
+    /// Dead-block prediction for replacement (I-cache threshold).
+    pub fn predict_dead(&self, sig: u16) -> bool {
+        let s = self.state.borrow();
+        s.tables.predict(sig, s.cfg.dead_threshold)
+    }
+
+    /// Dead-block prediction for bypass (higher threshold).
+    pub fn predict_bypass(&self, sig: u16) -> bool {
+        let s = self.state.borrow();
+        s.tables.predict(sig, s.cfg.bypass_threshold)
+    }
+
+    /// Dead-entry prediction for the BTB (independently tuned threshold,
+    /// §III.E point 4).
+    pub fn predict_btb_dead(&self, sig: u16) -> bool {
+        let s = self.state.borrow();
+        s.tables.predict(sig, s.cfg.btb_dead_threshold)
+    }
+
+    /// Train the tables: the block carrying `sig` proved dead (eviction
+    /// without reuse) or live (reuse).
+    pub fn train(&self, sig: u16, is_dead: bool) {
+        self.state.borrow_mut().tables.update(sig, is_dead);
+    }
+
+    /// Look up the I-cache metadata for `block_addr`.
+    pub fn meta(&self, block_addr: u64) -> Option<BlockMeta> {
+        self.state.borrow().meta.get(&block_addr).copied()
+    }
+
+    /// Install/update metadata for a resident I-cache block.
+    pub fn set_meta(&self, block_addr: u64, meta: BlockMeta) {
+        self.state.borrow_mut().meta.insert(block_addr, meta);
+    }
+
+    /// Remove and return metadata for an evicted I-cache block.
+    pub fn take_meta(&self, block_addr: u64) -> Option<BlockMeta> {
+        self.state.borrow_mut().meta.remove(&block_addr)
+    }
+
+    /// Number of blocks currently carrying metadata.
+    pub fn meta_len(&self) -> usize {
+        self.state.borrow().meta.len()
+    }
+
+    /// Fraction of saturated counters (diagnostics).
+    pub fn table_saturation(&self) -> f64 {
+        self.state.borrow().tables.saturation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared() -> SharedGhrp {
+        SharedGhrp::new(GhrpConfig::default(), 6)
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = shared();
+        let b = a.clone();
+        a.update_history(0x40);
+        assert_eq!(a.speculative_history(), b.speculative_history());
+        a.set_meta(
+            0x40,
+            BlockMeta {
+                signature: 7,
+                predicted_dead: false,
+            },
+        );
+        assert_eq!(b.meta(0x40).unwrap().signature, 7);
+    }
+
+    #[test]
+    fn signature_uses_block_granularity() {
+        let s = shared();
+        // Same block, different offsets → same signature.
+        assert_eq!(s.icache_signature(0x1000), s.icache_signature(0x103f));
+        assert_ne!(s.icache_signature(0x1000), s.icache_signature(0x1040));
+    }
+
+    #[test]
+    fn signature_changes_with_history() {
+        let s = shared();
+        let before = s.icache_signature(0x1000);
+        s.update_history(0x2040);
+        let after = s.icache_signature(0x1000);
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn train_and_predict_roundtrip() {
+        let s = shared();
+        let cfg = s.config();
+        let sig = s.icache_signature(0x8000);
+        assert!(!s.predict_dead(sig));
+        for _ in 0..cfg.dead_threshold {
+            s.train(sig, true);
+        }
+        assert!(s.predict_dead(sig));
+        // The bypass threshold is strictly higher than the dead threshold.
+        assert!(!s.predict_bypass(sig));
+        for _ in cfg.dead_threshold..cfg.bypass_threshold {
+            s.train(sig, true);
+        }
+        assert!(s.predict_bypass(sig));
+    }
+
+    #[test]
+    fn meta_lifecycle() {
+        let s = shared();
+        assert_eq!(s.meta(0x40), None);
+        s.set_meta(
+            0x40,
+            BlockMeta {
+                signature: 0xAB,
+                predicted_dead: true,
+            },
+        );
+        assert_eq!(s.meta_len(), 1);
+        let taken = s.take_meta(0x40).unwrap();
+        assert!(taken.predicted_dead);
+        assert_eq!(s.meta_len(), 0);
+        assert_eq!(s.take_meta(0x40), None);
+    }
+
+    #[test]
+    fn recovery_matches_retired_stream() {
+        let s = shared();
+        s.update_history(0x40);
+        s.retire(0x40);
+        s.update_history(0x80); // speculative-only (wrong path)
+        s.recover();
+        let expected = {
+            let t = shared();
+            t.update_history(0x40);
+            t.speculative_history()
+        };
+        assert_eq!(s.speculative_history(), expected);
+    }
+}

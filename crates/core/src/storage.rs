@@ -1,0 +1,165 @@
+//! Storage accounting (the paper's Table I).
+//!
+//! Table I of the paper reports the storage GHRP adds to a 64 KB 8-way
+//! I-cache: per-block metadata (16-bit signature, prediction bit, 3 LRU
+//! bits, valid bit) plus three 4,096-entry tables of 2-bit counters, about
+//! 5 KB total — roughly 8% of the I-cache data capacity.
+
+use crate::GhrpConfig;
+use fe_cache::CacheConfig;
+use serde::{Deserialize, Serialize};
+
+/// Itemized GHRP storage for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageReport {
+    /// Signature bits per block.
+    pub signature_bits_per_block: u32,
+    /// Prediction bits per block.
+    pub prediction_bits_per_block: u32,
+    /// LRU-stack bits per block.
+    pub lru_bits_per_block: u32,
+    /// Valid bits per block.
+    pub valid_bits_per_block: u32,
+    /// Number of block frames carrying metadata.
+    pub blocks: u64,
+    /// Total metadata bits across all blocks.
+    pub metadata_bits: u64,
+    /// Total prediction-table bits.
+    pub table_bits: u64,
+    /// History register bits (speculative + retired).
+    pub history_bits: u64,
+    /// Extra BTB bits (one prediction bit per BTB entry), if a BTB is
+    /// attached.
+    pub btb_bits: u64,
+}
+
+impl StorageReport {
+    /// Storage for GHRP attached to an I-cache of geometry `cache`, and
+    /// optionally driving a BTB with `btb_entries` entries.
+    pub fn new(ghrp: &GhrpConfig, cache: CacheConfig, btb_entries: u64) -> StorageReport {
+        let lru_bits = 32 - (cache.ways() - 1).leading_zeros().min(31);
+        let lru_bits = if cache.ways() == 1 { 0 } else { lru_bits };
+        let sig = ghrp.history_bits.min(16);
+        let per_block = sig + 1 + lru_bits + 1;
+        let blocks = cache.frames() as u64;
+        StorageReport {
+            signature_bits_per_block: sig,
+            prediction_bits_per_block: 1,
+            lru_bits_per_block: lru_bits,
+            valid_bits_per_block: 1,
+            blocks,
+            metadata_bits: blocks * u64::from(per_block),
+            table_bits: (ghrp.num_tables * ghrp.table_entries) as u64
+                * u64::from(ghrp.counter_bits),
+            history_bits: u64::from(ghrp.history_bits) * 2,
+            btb_bits: btb_entries,
+        }
+    }
+
+    /// Total additional bits.
+    pub fn total_bits(&self) -> u64 {
+        self.metadata_bits + self.table_bits + self.history_bits + self.btb_bits
+    }
+
+    /// Total additional storage in kibibytes.
+    pub fn total_kib(&self) -> f64 {
+        self.total_bits() as f64 / 8.0 / 1024.0
+    }
+
+    /// Overhead relative to a cache of `capacity_bytes` of data.
+    pub fn overhead_fraction(&self, capacity_bytes: u64) -> f64 {
+        (self.total_bits() as f64 / 8.0) / capacity_bytes as f64
+    }
+
+    /// Render the Table I rows.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str("component                          bits\n");
+        s.push_str(&format!(
+            "per-block signature ({} b x {})   {}\n",
+            self.signature_bits_per_block,
+            self.blocks,
+            u64::from(self.signature_bits_per_block) * self.blocks
+        ));
+        s.push_str(&format!(
+            "per-block prediction (1 b x {})   {}\n",
+            self.blocks, self.blocks
+        ));
+        s.push_str(&format!(
+            "per-block LRU ({} b x {})          {}\n",
+            self.lru_bits_per_block,
+            self.blocks,
+            u64::from(self.lru_bits_per_block) * self.blocks
+        ));
+        s.push_str(&format!(
+            "per-block valid (1 b x {})        {}\n",
+            self.blocks, self.blocks
+        ));
+        s.push_str(&format!("prediction tables                  {}\n", self.table_bits));
+        s.push_str(&format!("history registers                  {}\n", self.history_bits));
+        if self.btb_bits > 0 {
+            s.push_str(&format!("BTB prediction bits                {}\n", self.btb_bits));
+        }
+        s.push_str(&format!(
+            "TOTAL                              {} ({:.2} KiB)\n",
+            self.total_bits(),
+            self.total_kib()
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_cfg() -> GhrpConfig {
+        let mut c = GhrpConfig::default();
+        c.table_entries = 4096;
+        c.counter_bits = 2;
+        c
+    }
+
+    #[test]
+    fn paper_configuration_is_about_five_kib() {
+        // 64KB, 8-way, 64B blocks: 1024 blocks × 21 bits + 3×4096×2 bits.
+        let cache = CacheConfig::with_capacity(64 * 1024, 8, 64).unwrap();
+        let r = StorageReport::new(&paper_cfg(), cache, 0);
+        assert_eq!(r.blocks, 1024);
+        assert_eq!(r.lru_bits_per_block, 3);
+        assert_eq!(r.metadata_bits, 1024 * 21);
+        assert_eq!(r.table_bits, 3 * 4096 * 2);
+        let kib = r.total_kib();
+        assert!(
+            (5.0..6.0).contains(&kib),
+            "expected ~5 KiB (paper: 5.13), got {kib:.2}"
+        );
+        // ~8% of the I-cache capacity, as the paper states for the M1.
+        let frac = r.overhead_fraction(64 * 1024);
+        assert!(frac < 0.10, "overhead {frac:.3}");
+    }
+
+    #[test]
+    fn btb_adds_one_bit_per_entry() {
+        let cache = CacheConfig::with_capacity(64 * 1024, 8, 64).unwrap();
+        let without = StorageReport::new(&paper_cfg(), cache, 0);
+        let with = StorageReport::new(&paper_cfg(), cache, 4096);
+        assert_eq!(with.total_bits() - without.total_bits(), 4096);
+    }
+
+    #[test]
+    fn direct_mapped_has_no_lru_bits() {
+        let cache = CacheConfig::with_capacity(8 * 1024, 1, 64).unwrap();
+        let r = StorageReport::new(&paper_cfg(), cache, 0);
+        assert_eq!(r.lru_bits_per_block, 0);
+    }
+
+    #[test]
+    fn table_rendering_mentions_total() {
+        let cache = CacheConfig::with_capacity(64 * 1024, 8, 64).unwrap();
+        let r = StorageReport::new(&paper_cfg(), cache, 4096);
+        let t = r.to_table();
+        assert!(t.contains("TOTAL"));
+        assert!(t.contains("BTB"));
+    }
+}

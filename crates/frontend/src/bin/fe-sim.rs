@@ -1,0 +1,250 @@
+//! `fe-sim` — command-line front-end simulator.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! fe-sim generate --category short_server --seed 7 --instr 2000000 --out trace.bin
+//! fe-sim stats    --trace trace.bin
+//! fe-sim run      --trace trace.bin --policy ghrp [--icache-kb 64 --ways 8 ...]
+//! fe-sim run      --category long_mobile --seed 3 --policy lru   # synthetic, no file
+//! fe-sim compare  --category short_server --seed 7               # all policies
+//! ```
+//!
+//! Traces use the `fe-trace` binary format, so externally produced traces
+//! in the same format can be simulated too.
+
+use fe_cache::CacheConfig;
+use fe_frontend::{policy::PolicyKind, simulator::SimConfig, Simulator};
+use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
+use fe_trace::{io as trace_io, BranchRecord, TraceStats};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fe-sim <generate|stats|run|compare> [options]
+  common trace source options:
+    --trace FILE          read a binary trace file
+    --category C          synthesize (short_mobile|long_mobile|short_server|long_server)
+    --seed N              workload seed (default 1)
+    --instr N             instruction budget (default: category default)
+  generate:
+    --out FILE            where to write the binary trace (required)
+  run:
+    --policy P            lru|fifo|random|srrip|drrip|ship|sdbp|ghrp|opt (default ghrp)
+    --icache-kb N         I-cache capacity in KB (default 64)
+    --ways N              I-cache associativity (default 8)
+    --block N             I-cache block bytes (default 64)
+    --btb-entries N       BTB entries (default 4096)
+    --btb-ways N          BTB associativity (default 4)
+    --prefetch N          next-line prefetch degree (default 0)
+    --json                machine-readable output"
+    );
+    exit(2)
+}
+
+#[derive(Debug, Default)]
+struct Opts {
+    trace: Option<String>,
+    category: Option<String>,
+    seed: u64,
+    instr: Option<u64>,
+    out: Option<String>,
+    policy: Option<String>,
+    icache_kb: u64,
+    ways: u32,
+    block: u64,
+    btb_entries: u32,
+    btb_ways: u32,
+    prefetch: u32,
+    json: bool,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        seed: 1,
+        icache_kb: 64,
+        ways: 8,
+        block: 64,
+        btb_entries: 4096,
+        btb_ways: 4,
+        ..Opts::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {a}");
+                    usage()
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--trace" => o.trace = Some(val()),
+            "--category" => o.category = Some(val()),
+            "--seed" => o.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--instr" => o.instr = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--out" => o.out = Some(val()),
+            "--policy" => o.policy = Some(val()),
+            "--icache-kb" => o.icache_kb = val().parse().unwrap_or_else(|_| usage()),
+            "--ways" => o.ways = val().parse().unwrap_or_else(|_| usage()),
+            "--block" => o.block = val().parse().unwrap_or_else(|_| usage()),
+            "--btb-entries" => o.btb_entries = val().parse().unwrap_or_else(|_| usage()),
+            "--btb-ways" => o.btb_ways = val().parse().unwrap_or_else(|_| usage()),
+            "--prefetch" => o.prefetch = val().parse().unwrap_or_else(|_| usage()),
+            "--json" => o.json = true,
+            _ => {
+                eprintln!("unknown option {a}");
+                usage()
+            }
+        }
+    }
+    o
+}
+
+fn parse_category(s: &str) -> WorkloadCategory {
+    match s.to_ascii_lowercase().as_str() {
+        "short_mobile" | "sm" => WorkloadCategory::ShortMobile,
+        "long_mobile" | "lm" => WorkloadCategory::LongMobile,
+        "short_server" | "ss" => WorkloadCategory::ShortServer,
+        "long_server" | "ls" => WorkloadCategory::LongServer,
+        other => {
+            eprintln!("unknown category {other}");
+            usage()
+        }
+    }
+}
+
+/// Load or synthesize the trace per the options.
+fn load_trace(o: &Opts) -> (Vec<BranchRecord>, u64, String) {
+    if let Some(path) = &o.trace {
+        let file = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            exit(1)
+        });
+        let records = trace_io::read_binary(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1)
+        });
+        let stats = TraceStats::compute(&records);
+        (records, stats.instructions, path.clone())
+    } else if let Some(cat) = &o.category {
+        let mut spec = WorkloadSpec::new(parse_category(cat), o.seed);
+        if let Some(n) = o.instr {
+            spec = spec.instructions(n);
+        }
+        let t = spec.generate();
+        (t.records, t.instructions, t.spec.name)
+    } else {
+        eprintln!("need --trace or --category");
+        usage()
+    }
+}
+
+fn sim_config(o: &Opts, policy: PolicyKind) -> SimConfig {
+    let mut cfg = SimConfig::paper_default().with_policy(policy);
+    cfg.icache = CacheConfig::with_capacity(o.icache_kb * 1024, o.ways, o.block)
+        .unwrap_or_else(|e| {
+            eprintln!("bad I-cache geometry: {e}");
+            exit(1)
+        });
+    cfg.btb_entries = o.btb_entries;
+    cfg.btb_ways = o.btb_ways;
+    cfg.prefetch_degree = o.prefetch;
+    cfg
+}
+
+fn print_run(name: &str, cfg: &SimConfig, r: &fe_frontend::RunResult, json: bool) {
+    if json {
+        println!(
+            "{}",
+            serde_json::json!({
+                "trace": name,
+                "policy": r.policy.to_string(),
+                "instructions": r.instructions,
+                "icache_mpki": r.icache_mpki(),
+                "btb_mpki": r.btb_mpki(),
+                "branch_mpki": r.branch_mpki(),
+                "indirect_mpki": r.indirect_mpki(),
+                "icache": r.icache,
+                "prefetch_fills": r.prefetch_fills,
+            })
+        );
+    } else {
+        println!(
+            "{name} | {} | {} | icache {:.3} MPKI, btb {:.3} MPKI, cond {:.2} MPKI, indirect {:.2} MPKI",
+            cfg.icache,
+            r.policy,
+            r.icache_mpki(),
+            r.btb_mpki(),
+            r.branch_mpki(),
+            r.indirect_mpki(),
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage()
+    };
+    let o = parse_opts(rest);
+    match cmd.as_str() {
+        "generate" => {
+            let (records, instructions, name) = load_trace(&o);
+            let Some(out) = &o.out else {
+                eprintln!("generate requires --out");
+                usage()
+            };
+            let file = std::fs::File::create(out).unwrap_or_else(|e| {
+                eprintln!("cannot create {out}: {e}");
+                exit(1)
+            });
+            trace_io::write_binary(std::io::BufWriter::new(file), &records)
+                .unwrap_or_else(|e| {
+                    eprintln!("write failed: {e}");
+                    exit(1)
+                });
+            println!("{name}: wrote {} records ({instructions} instructions) to {out}", records.len());
+        }
+        "stats" => {
+            let (records, _, name) = load_trace(&o);
+            let s = TraceStats::compute(&records);
+            if o.json {
+                println!("{}", serde_json::to_string_pretty(&s).expect("serialize"));
+            } else {
+                println!("{name}:");
+                println!("  branches              {}", s.branches);
+                println!("  instructions          {}", s.instructions);
+                println!("  cond taken rate       {:.1}%", s.cond_taken_rate * 100.0);
+                println!("  distinct branch sites {}", s.distinct_branch_pcs);
+                println!("  dynamic footprint     {} KB", s.footprint_bytes() / 1024);
+            }
+        }
+        "run" => {
+            let (records, instructions, name) = load_trace(&o);
+            let policy = o
+                .policy
+                .as_deref()
+                .map(|p| {
+                    PolicyKind::parse(p).unwrap_or_else(|| {
+                        eprintln!("unknown policy {p}");
+                        usage()
+                    })
+                })
+                .unwrap_or(PolicyKind::Ghrp);
+            let cfg = sim_config(&o, policy);
+            let r = Simulator::new(cfg).run(&records, instructions);
+            print_run(&name, &cfg, &r, o.json);
+        }
+        "compare" => {
+            let (records, instructions, name) = load_trace(&o);
+            for &p in PolicyKind::ALL_ONLINE {
+                let cfg = sim_config(&o, p);
+                let r = Simulator::new(cfg).run(&records, instructions);
+                print_run(&name, &cfg, &r, o.json);
+            }
+        }
+        _ => usage(),
+    }
+}

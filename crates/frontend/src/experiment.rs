@@ -1,0 +1,281 @@
+//! Suite experiments: run many workloads across many policies.
+
+use crate::policy::PolicyKind;
+use crate::simulator::{SimConfig, Simulator};
+use crate::stats;
+use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Per-trace results across the policy set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRow {
+    /// Workload name.
+    pub name: String,
+    /// Workload category.
+    pub category: WorkloadCategory,
+    /// Post-warm-up instructions (identical across policies).
+    pub instructions: u64,
+    /// I-cache MPKI per policy (parallel to `SuiteResult::policies`).
+    pub icache_mpki: Vec<f64>,
+    /// BTB MPKI per policy.
+    pub btb_mpki: Vec<f64>,
+    /// Conditional-branch predictor MPKI (policy independent).
+    pub branch_mpki: f64,
+}
+
+/// Results of a suite run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteResult {
+    /// Policies, in column order.
+    pub policies: Vec<PolicyKind>,
+    /// One row per workload.
+    pub rows: Vec<TraceRow>,
+}
+
+impl SuiteResult {
+    /// Column of I-cache MPKIs for `policy`, one entry per trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy` was not part of the run.
+    pub fn icache_column(&self, policy: PolicyKind) -> Vec<f64> {
+        let i = self.policy_index(policy);
+        self.rows.iter().map(|r| r.icache_mpki[i]).collect()
+    }
+
+    /// Column of BTB MPKIs for `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy` was not part of the run.
+    pub fn btb_column(&self, policy: PolicyKind) -> Vec<f64> {
+        let i = self.policy_index(policy);
+        self.rows.iter().map(|r| r.btb_mpki[i]).collect()
+    }
+
+    fn policy_index(&self, policy: PolicyKind) -> usize {
+        self.policies
+            .iter()
+            .position(|&p| p == policy)
+            .unwrap_or_else(|| panic!("policy {policy} not in this suite"))
+    }
+
+    /// Arithmetic-mean I-cache MPKI per policy.
+    pub fn icache_means(&self) -> Vec<f64> {
+        self.policies
+            .iter()
+            .map(|&p| stats::mean(&self.icache_column(p)))
+            .collect()
+    }
+
+    /// Arithmetic-mean BTB MPKI per policy.
+    pub fn btb_means(&self) -> Vec<f64> {
+        self.policies
+            .iter()
+            .map(|&p| stats::mean(&self.btb_column(p)))
+            .collect()
+    }
+
+    /// The subset of traces with at least `min` I-cache MPKI under
+    /// `reference` (the paper's "≥ 1 MPKI under LRU" subset).
+    pub fn filter_min_icache_mpki(&self, reference: PolicyKind, min: f64) -> SuiteResult {
+        let i = self.policy_index(reference);
+        SuiteResult {
+            policies: self.policies.clone(),
+            rows: self
+                .rows
+                .iter()
+                .filter(|r| r.icache_mpki[i] >= min)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Render a per-trace table plus the mean row, in the style of the
+    /// paper's figures.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<22}", "trace"));
+        for p in &self.policies {
+            out.push_str(&format!("{:>9}", p.to_string()));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!("{:<22}", r.name));
+            for v in &r.icache_mpki {
+                out.push_str(&format!("{v:>9.3}"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<22}", "MEAN"));
+        for m in self.icache_means() {
+            out.push_str(&format!("{m:>9.3}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Run every policy on one workload, generating its trace once.
+pub fn run_trace(spec: &WorkloadSpec, base: &SimConfig, policies: &[PolicyKind]) -> TraceRow {
+    let trace = spec.generate();
+    let mut icache_mpki = Vec::with_capacity(policies.len());
+    let mut btb_mpki = Vec::with_capacity(policies.len());
+    let mut branch_mpki = 0.0;
+    let mut instructions = 0;
+    for &p in policies {
+        let sim = Simulator::new(base.with_policy(p));
+        let r = sim.run(&trace.records, trace.instructions);
+        icache_mpki.push(r.icache_mpki());
+        btb_mpki.push(r.btb_mpki());
+        branch_mpki = r.branch_mpki();
+        instructions = r.instructions;
+    }
+    TraceRow {
+        name: spec.name.clone(),
+        category: spec.category,
+        instructions,
+        icache_mpki,
+        btb_mpki,
+        branch_mpki,
+    }
+}
+
+/// Run a whole suite, distributing workloads over `threads` OS threads.
+///
+/// Rows come back in suite order regardless of scheduling.
+pub fn run_suite(
+    specs: &[WorkloadSpec],
+    base: &SimConfig,
+    policies: &[PolicyKind],
+    threads: usize,
+) -> SuiteResult {
+    let threads = threads.max(1).min(specs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let rows: Mutex<Vec<Option<TraceRow>>> = Mutex::new(vec![None; specs.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let row = run_trace(&specs[i], base, policies);
+                rows.lock().expect("row mutex poisoned")[i] = Some(row);
+            });
+        }
+    });
+    let rows = rows
+        .into_inner()
+        .expect("row mutex poisoned")
+        .into_iter()
+        .map(|r| r.expect("every index was produced"))
+        .collect();
+    SuiteResult {
+        policies: policies.to_vec(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fe_trace::synth::suite;
+
+    fn tiny_suite() -> Vec<WorkloadSpec> {
+        suite(4, 77)
+            .into_iter()
+            .map(|s| s.instructions(80_000))
+            .collect()
+    }
+
+    #[test]
+    fn suite_runs_all_rows_in_order() {
+        let specs = tiny_suite();
+        let result = run_suite(
+            &specs,
+            &SimConfig::paper_default(),
+            &[PolicyKind::Lru, PolicyKind::Ghrp],
+            3,
+        );
+        assert_eq!(result.rows.len(), 4);
+        for (row, spec) in result.rows.iter().zip(&specs) {
+            assert_eq!(row.name, spec.name);
+            assert_eq!(row.icache_mpki.len(), 2);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let specs = tiny_suite();
+        let cfg = SimConfig::paper_default();
+        let pols = [PolicyKind::Lru, PolicyKind::Srrip];
+        let serial = run_suite(&specs, &cfg, &pols, 1);
+        let parallel = run_suite(&specs, &cfg, &pols, 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn columns_and_means_consistent() {
+        let specs = tiny_suite();
+        let result = run_suite(
+            &specs,
+            &SimConfig::paper_default(),
+            &[PolicyKind::Lru],
+            2,
+        );
+        let col = result.icache_column(PolicyKind::Lru);
+        assert_eq!(col.len(), 4);
+        let means = result.icache_means();
+        assert!((means[0] - crate::stats::mean(&col)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_keeps_high_mpki_traces() {
+        let result = SuiteResult {
+            policies: vec![PolicyKind::Lru],
+            rows: vec![
+                TraceRow {
+                    name: "low".into(),
+                    category: fe_trace::synth::WorkloadCategory::ShortMobile,
+                    instructions: 1,
+                    icache_mpki: vec![0.2],
+                    btb_mpki: vec![0.0],
+                    branch_mpki: 0.0,
+                },
+                TraceRow {
+                    name: "high".into(),
+                    category: fe_trace::synth::WorkloadCategory::ShortServer,
+                    instructions: 1,
+                    icache_mpki: vec![4.0],
+                    btb_mpki: vec![0.0],
+                    branch_mpki: 0.0,
+                },
+            ],
+        };
+        let f = result.filter_min_icache_mpki(PolicyKind::Lru, 1.0);
+        assert_eq!(f.rows.len(), 1);
+        assert_eq!(f.rows[0].name, "high");
+    }
+
+    #[test]
+    fn render_contains_header_and_mean() {
+        let specs = tiny_suite();
+        let result = run_suite(&specs, &SimConfig::paper_default(), &[PolicyKind::Lru], 2);
+        let s = result.render();
+        assert!(s.contains("LRU"));
+        assert!(s.contains("MEAN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in this suite")]
+    fn missing_policy_column_panics() {
+        let result = SuiteResult {
+            policies: vec![PolicyKind::Lru],
+            rows: vec![],
+        };
+        let _ = result.icache_column(PolicyKind::Ghrp);
+    }
+}

@@ -1,0 +1,39 @@
+//! Trace-driven decoupled front-end simulator and experiment harness.
+//!
+//! This crate glues the substrates together the way the paper's augmented
+//! CBP-5 simulator does (§IV):
+//!
+//! * [`simulator`] — replays a branch trace through an I-cache, BTB and
+//!   branch direction predictor, with the paper's warm-up discipline
+//!   (first half of the trace, capped) and commit-time GHRP training. It
+//!   is *not* cycle accurate; MPKI is the figure of merit.
+//! * [`policy`] — [`PolicyKind`]: runtime selection of the replacement
+//!   policy pair (I-cache + BTB) under study.
+//! * [`experiment`] — run a workload suite across policies, in parallel,
+//!   producing per-trace MPKI tables.
+//! * [`sweep`] — cache-geometry sweeps (the paper's Figure 7).
+//! * [`stats`] — means, 95% confidence intervals on relative differences
+//!   (Figure 8), win/loss counts vs LRU (Figure 9), and S-curve ordering
+//!   (Figures 3 and 11).
+//!
+//! ```no_run
+//! use fe_frontend::{experiment, policy::PolicyKind, simulator::SimConfig};
+//! use fe_trace::synth::suite;
+//!
+//! let specs = suite(8, 42);
+//! let table = experiment::run_suite(&specs, &SimConfig::paper_default(), PolicyKind::PAPER_SET, 4);
+//! println!("{}", table.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod policy;
+pub mod simulator;
+pub mod stats;
+pub mod sweep;
+
+pub use experiment::{SuiteResult, TraceRow};
+pub use policy::PolicyKind;
+pub use simulator::{RunResult, SimConfig, Simulator};

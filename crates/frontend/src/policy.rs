@@ -1,0 +1,278 @@
+//! Runtime policy selection: building matched I-cache/BTB policy pairs.
+
+use fe_btb::{btb_config, Btb, GhrpBtbPolicy};
+use fe_cache::policy::{BeladyOpt, Drrip, Fifo, Lru, RandomPolicy, Srrip};
+use fe_cache::{Cache, CacheConfig, ReplacementPolicy};
+use fe_sdbp::{CounterDbpPolicy, SdbpConfig, SdbpPolicy, ShipConfig, ShipPolicy};
+use ghrp_core::{GhrpConfig, GhrpPolicy, SharedGhrp};
+use serde::{Deserialize, Serialize};
+
+/// The replacement policies under study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Least-recently-used (the paper's baseline).
+    Lru,
+    /// First-in-first-out.
+    Fifo,
+    /// Uniform random victims.
+    Random,
+    /// Static re-reference interval prediction (SRRIP-HP).
+    Srrip,
+    /// Dynamic RRIP (set-dueling SRRIP vs BRRIP) — extension baseline.
+    Drrip,
+    /// Signature-based hit predictor (SHiP-PC) — extension baseline.
+    Ship,
+    /// Counter-based (AIP-style) dead block prediction — extension
+    /// baseline (§II.B).
+    CounterDbp,
+    /// Modified sampling dead block prediction.
+    Sdbp,
+    /// Global history reuse prediction — the paper's contribution.
+    Ghrp,
+    /// Belady's OPT (offline oracle; bound studies only, not in the paper).
+    Opt,
+}
+
+impl PolicyKind {
+    /// The five policies the paper's figures compare.
+    pub const PAPER_SET: &'static [PolicyKind] = &[
+        PolicyKind::Lru,
+        PolicyKind::Random,
+        PolicyKind::Srrip,
+        PolicyKind::Sdbp,
+        PolicyKind::Ghrp,
+    ];
+
+    /// Every online policy (excludes the offline oracle).
+    pub const ALL_ONLINE: &'static [PolicyKind] = &[
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Random,
+        PolicyKind::Srrip,
+        PolicyKind::Drrip,
+        PolicyKind::Ship,
+        PolicyKind::CounterDbp,
+        PolicyKind::Sdbp,
+        PolicyKind::Ghrp,
+    ];
+
+    /// Parse from the names used on experiment command lines.
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "lru" => Some(PolicyKind::Lru),
+            "fifo" => Some(PolicyKind::Fifo),
+            "random" | "rand" => Some(PolicyKind::Random),
+            "srrip" => Some(PolicyKind::Srrip),
+            "drrip" => Some(PolicyKind::Drrip),
+            "ship" => Some(PolicyKind::Ship),
+            "counterdbp" | "aip" => Some(PolicyKind::CounterDbp),
+            "sdbp" => Some(PolicyKind::Sdbp),
+            "ghrp" => Some(PolicyKind::Ghrp),
+            "opt" | "belady" => Some(PolicyKind::Opt),
+            _ => None,
+        }
+    }
+
+    /// Whether this policy needs the full block sequence ahead of time.
+    pub fn is_offline(self) -> bool {
+        self == PolicyKind::Opt
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Fifo => "FIFO",
+            PolicyKind::Random => "Random",
+            PolicyKind::Srrip => "SRRIP",
+            PolicyKind::Drrip => "DRRIP",
+            PolicyKind::Ship => "SHiP",
+            PolicyKind::CounterDbp => "CounterDBP",
+            PolicyKind::Sdbp => "SDBP",
+            PolicyKind::Ghrp => "GHRP",
+            PolicyKind::Opt => "OPT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A matched I-cache + BTB pair built for one policy, plus the shared GHRP
+/// handle when the policy is GHRP (the simulator uses it for commit-time
+/// history retirement and misprediction recovery).
+pub struct FrontendPair {
+    /// The instruction cache.
+    pub icache: Cache<Box<dyn ReplacementPolicy>>,
+    /// The branch target buffer.
+    pub btb: Btb<Box<dyn ReplacementPolicy>>,
+    /// Present only for GHRP.
+    pub ghrp: Option<SharedGhrp>,
+}
+
+impl std::fmt::Debug for FrontendPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrontendPair")
+            .field("icache", &self.icache.config())
+            .field("btb", &self.btb.entries().config())
+            .field("ghrp", &self.ghrp.is_some())
+            .finish()
+    }
+}
+
+/// Build the I-cache/BTB pair for `kind`.
+///
+/// `icache_opt_blocks` / `btb_opt_pcs` supply the offline access sequences
+/// and are required only for [`PolicyKind::Opt`].
+///
+/// # Panics
+///
+/// Panics if `kind` is `Opt` and the offline sequences are missing, or if
+/// the BTB geometry is invalid.
+#[allow(clippy::too_many_arguments)] // a constructor-style fan-in; callers use named locals
+pub fn build_pair(
+    kind: PolicyKind,
+    icache_cfg: CacheConfig,
+    btb_entries: u32,
+    btb_ways: u32,
+    ghrp_cfg: GhrpConfig,
+    sdbp_cfg: SdbpConfig,
+    seed: u64,
+    icache_opt_blocks: Option<&[u64]>,
+    btb_opt_pcs: Option<&[u64]>,
+) -> FrontendPair {
+    let btb_cfg = btb_config(btb_entries, btb_ways).expect("valid BTB geometry");
+    let (ipol, bpol, ghrp): (
+        Box<dyn ReplacementPolicy>,
+        Box<dyn ReplacementPolicy>,
+        Option<SharedGhrp>,
+    ) = match kind {
+        PolicyKind::Lru => (
+            Box::new(Lru::new(icache_cfg)),
+            Box::new(Lru::new(btb_cfg)),
+            None,
+        ),
+        PolicyKind::Fifo => (
+            Box::new(Fifo::new(icache_cfg)),
+            Box::new(Fifo::new(btb_cfg)),
+            None,
+        ),
+        PolicyKind::Random => (
+            Box::new(RandomPolicy::new(icache_cfg, seed)),
+            Box::new(RandomPolicy::new(btb_cfg, seed ^ 0xB7B_5EED)),
+            None,
+        ),
+        PolicyKind::Srrip => (
+            Box::new(Srrip::new(icache_cfg)),
+            Box::new(Srrip::new(btb_cfg)),
+            None,
+        ),
+        PolicyKind::Drrip => (
+            Box::new(Drrip::new(icache_cfg)),
+            Box::new(Drrip::new(btb_cfg)),
+            None,
+        ),
+        PolicyKind::Ship => (
+            Box::new(ShipPolicy::new(icache_cfg, ShipConfig::default())),
+            Box::new(ShipPolicy::new(btb_cfg, ShipConfig::default())),
+            None,
+        ),
+        PolicyKind::CounterDbp => (
+            Box::new(CounterDbpPolicy::new(icache_cfg, 16 * 1024)),
+            Box::new(CounterDbpPolicy::new(btb_cfg, 16 * 1024)),
+            None,
+        ),
+        PolicyKind::Sdbp => (
+            Box::new(SdbpPolicy::new(icache_cfg, sdbp_cfg)),
+            Box::new(SdbpPolicy::new(btb_cfg, sdbp_cfg)),
+            None,
+        ),
+        PolicyKind::Ghrp => {
+            let shared = SharedGhrp::new(ghrp_cfg, icache_cfg.offset_bits());
+            (
+                Box::new(GhrpPolicy::new(icache_cfg, shared.clone())),
+                Box::new(GhrpBtbPolicy::new(
+                    btb_cfg,
+                    shared.clone(),
+                    icache_cfg.block_bytes(),
+                )),
+                Some(shared),
+            )
+        }
+        PolicyKind::Opt => {
+            let blocks = icache_opt_blocks.expect("OPT requires the I-cache block sequence");
+            let pcs = btb_opt_pcs.expect("OPT requires the BTB access sequence");
+            (
+                Box::new(BeladyOpt::from_trace(icache_cfg, blocks)),
+                Box::new(BeladyOpt::from_trace(btb_cfg, pcs)),
+                None,
+            )
+        }
+    };
+    FrontendPair {
+        icache: Cache::new(icache_cfg, ipol),
+        btb: Btb::new(btb_cfg, bpol),
+        ghrp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig::with_capacity(16 * 1024, 8, 64).unwrap()
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for k in PolicyKind::ALL_ONLINE {
+            assert_eq!(PolicyKind::parse(&k.to_string()), Some(*k));
+        }
+        assert_eq!(PolicyKind::parse("belady"), Some(PolicyKind::Opt));
+        assert_eq!(PolicyKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn paper_set_is_the_papers_five() {
+        let names: Vec<String> = PolicyKind::PAPER_SET.iter().map(|p| p.to_string()).collect();
+        assert_eq!(names, ["LRU", "Random", "SRRIP", "SDBP", "GHRP"]);
+    }
+
+    #[test]
+    fn build_all_online_pairs() {
+        for k in PolicyKind::ALL_ONLINE {
+            let mut pair = build_pair(
+                *k,
+                cfg(),
+                1024,
+                4,
+                GhrpConfig::default(),
+                SdbpConfig::default(),
+                7,
+                None,
+                None,
+            );
+            assert!(pair.icache.access(0x1000, 0x1000).is_miss());
+            assert!(pair.icache.access(0x1000, 0x1000).is_hit());
+            assert!(!pair.btb.lookup_and_update(0x1004, 0x2000));
+            assert!(pair.btb.lookup_and_update(0x1004, 0x2000));
+            assert_eq!(pair.ghrp.is_some(), *k == PolicyKind::Ghrp);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "OPT requires")]
+    fn opt_without_sequences_panics() {
+        let _ = build_pair(
+            PolicyKind::Opt,
+            cfg(),
+            1024,
+            4,
+            GhrpConfig::default(),
+            SdbpConfig::default(),
+            0,
+            None,
+            None,
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Statistics over per-trace results: means, confidence intervals,
+//! win/loss counts and S-curves (the paper's §V.A.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n−1); 0 for fewer than two samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// A mean with a 95% confidence interval (normal approximation, as
+/// appropriate for the paper's 662-trace samples).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanCi {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95% interval.
+    pub half_width: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl MeanCi {
+    /// Compute mean ± 1.96·SE over `xs`.
+    pub fn compute(xs: &[f64]) -> MeanCi {
+        let m = mean(xs);
+        let hw = if xs.len() < 2 {
+            0.0
+        } else {
+            1.96 * stddev(xs) / (xs.len() as f64).sqrt()
+        };
+        MeanCi {
+            mean: m,
+            half_width: hw,
+            n: xs.len(),
+        }
+    }
+
+    /// Lower bound of the interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+}
+
+impl std::fmt::Display for MeanCi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:+.1}% ± {:.1}%", self.mean * 100.0, self.half_width * 100.0)
+    }
+}
+
+/// Per-trace relative difference of `policy` vs `baseline`
+/// (`(p−b)/b`), skipping traces where the baseline is ~zero (relative
+/// change is meaningless there — the paper's Figure 8 does the same by
+/// construction, since a 0-MPKI trace cannot be "improved").
+pub fn relative_differences(policy: &[f64], baseline: &[f64]) -> Vec<f64> {
+    assert_eq!(policy.len(), baseline.len(), "mismatched result vectors");
+    policy
+        .iter()
+        .zip(baseline)
+        .filter(|(_, &b)| b > 1e-9)
+        .map(|(&p, &b)| (p - b) / b)
+        .collect()
+}
+
+/// Win/loss/similar counts vs a baseline (the paper's Figure 9).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WinLoss {
+    /// Traces where the policy beats the baseline by more than the margin.
+    pub better: usize,
+    /// Traces where the policy loses by more than the margin.
+    pub worse: usize,
+    /// Traces within the margin.
+    pub similar: usize,
+}
+
+impl WinLoss {
+    /// Classify each trace with a relative `margin` (the paper treats
+    /// near-ties as "similar"; we use 1% by default at call sites).
+    /// Zero-baseline traces count as similar when the policy is also ~0,
+    /// worse otherwise.
+    pub fn compute(policy: &[f64], baseline: &[f64], margin: f64) -> WinLoss {
+        assert_eq!(policy.len(), baseline.len(), "mismatched result vectors");
+        let mut wl = WinLoss::default();
+        for (&p, &b) in policy.iter().zip(baseline) {
+            if b <= 1e-9 {
+                if p <= 1e-9 {
+                    wl.similar += 1;
+                } else {
+                    wl.worse += 1;
+                }
+                continue;
+            }
+            let rel = (p - b) / b;
+            if rel < -margin {
+                wl.better += 1;
+            } else if rel > margin {
+                wl.worse += 1;
+            } else {
+                wl.similar += 1;
+            }
+        }
+        wl
+    }
+}
+
+/// Order trace indices by a baseline metric — the x-axis of the paper's
+/// S-curve figures (3 and 11).
+pub fn s_curve_order(baseline: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..baseline.len()).collect();
+    idx.sort_by(|&a, &b| baseline[a].total_cmp(&baseline[b]));
+    idx
+}
+
+/// Geometric mean of (1 + x) − 1; useful for aggregating relative changes.
+pub fn geomean_relative(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|x| (1.0 + x).max(1e-12).ln()).sum();
+    (log_sum / xs.len() as f64).exp() - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_narrows_with_samples() {
+        let few = MeanCi::compute(&[1.0, 2.0, 3.0, 4.0]);
+        let many: Vec<f64> = (0..400).map(|i| 1.0 + (i % 4) as f64).collect();
+        let many = MeanCi::compute(&many);
+        assert!((few.mean - 2.5).abs() < 1e-12);
+        assert!((many.mean - 2.5).abs() < 1e-12);
+        assert!(many.half_width < few.half_width);
+        assert!(many.lo() < many.mean && many.mean < many.hi());
+    }
+
+    #[test]
+    fn relative_differences_skip_zero_baselines() {
+        let d = relative_differences(&[0.9, 1.0, 5.0], &[1.0, 0.0, 4.0]);
+        assert_eq!(d.len(), 2);
+        assert!((d[0] + 0.1).abs() < 1e-12);
+        assert!((d[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn winloss_classification() {
+        let wl = WinLoss::compute(
+            &[0.5, 1.5, 1.005, 0.0, 0.3],
+            &[1.0, 1.0, 1.0, 0.0, 0.0],
+            0.01,
+        );
+        assert_eq!(wl.better, 1);
+        assert_eq!(wl.worse, 2); // 1.5 vs 1.0, and 0.3 vs 0.0
+        assert_eq!(wl.similar, 2); // 1.005 within 1%, and 0 vs 0
+    }
+
+    #[test]
+    fn s_curve_sorts_ascending() {
+        let order = s_curve_order(&[3.0, 1.0, 2.0]);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn geomean_matches_arithmetic_for_constant() {
+        let g = geomean_relative(&[-0.2, -0.2, -0.2]);
+        assert!((g + 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn mismatched_lengths_panic() {
+        let _ = relative_differences(&[1.0], &[1.0, 2.0]);
+    }
+}

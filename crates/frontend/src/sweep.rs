@@ -1,0 +1,145 @@
+//! Cache-geometry sweeps (the paper's Figure 7).
+
+use crate::experiment::{run_suite, SuiteResult};
+use crate::policy::PolicyKind;
+use crate::simulator::SimConfig;
+use fe_cache::CacheConfig;
+use fe_trace::synth::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// One point of the sweep: a geometry plus per-policy mean MPKIs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// I-cache capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Mean I-cache MPKI per policy (parallel to `SweepResult::policies`).
+    pub icache_means: Vec<f64>,
+}
+
+/// Result of a full geometry sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Policies, in column order.
+    pub policies: Vec<PolicyKind>,
+    /// One point per geometry, in the order supplied.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// Render the Figure 7 table: one row per configuration.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<18}", "config"));
+        for p in &self.policies {
+            out.push_str(&format!("{:>9}", p.to_string()));
+        }
+        out.push('\n');
+        for pt in &self.points {
+            out.push_str(&format!(
+                "{:<18}",
+                format!("{}KB {}-way", pt.capacity_bytes / 1024, pt.ways)
+            ));
+            for m in &pt.icache_means {
+                out.push_str(&format!("{m:>9.3}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The paper's Figure 7 geometries: {8, 16, 32, 64} KB × {4, 8} ways,
+/// 64-byte blocks.
+pub fn paper_geometries() -> Vec<(u64, u32)> {
+    let mut v = Vec::new();
+    for cap_kb in [8u64, 16, 32, 64] {
+        for ways in [4u32, 8] {
+            v.push((cap_kb * 1024, ways));
+        }
+    }
+    v
+}
+
+/// Sweep the suite over `geometries` (capacity, ways) pairs.
+///
+/// # Panics
+///
+/// Panics if a geometry is invalid (non-power-of-two sets).
+pub fn run_sweep(
+    specs: &[WorkloadSpec],
+    base: &SimConfig,
+    policies: &[PolicyKind],
+    geometries: &[(u64, u32)],
+    threads: usize,
+) -> SweepResult {
+    let mut points = Vec::with_capacity(geometries.len());
+    for &(capacity, ways) in geometries {
+        let icache = CacheConfig::with_capacity(capacity, ways, base.icache.block_bytes())
+            .expect("valid sweep geometry");
+        let cfg = base.with_icache(icache);
+        let suite: SuiteResult = run_suite(specs, &cfg, policies, threads);
+        points.push(SweepPoint {
+            capacity_bytes: capacity,
+            ways,
+            icache_means: suite.icache_means(),
+        });
+    }
+    SweepResult {
+        policies: policies.to_vec(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fe_trace::synth::{suite, WorkloadCategory};
+
+    #[test]
+    fn paper_geometries_are_eight() {
+        let g = paper_geometries();
+        assert_eq!(g.len(), 8);
+        assert!(g.contains(&(64 * 1024, 8)));
+        assert!(g.contains(&(8 * 1024, 4)));
+    }
+
+    #[test]
+    fn smaller_caches_miss_more() {
+        let specs: Vec<_> = suite(2, 5)
+            .into_iter()
+            .filter(|s| s.category == WorkloadCategory::ShortServer)
+            .map(|s| s.instructions(120_000))
+            .collect();
+        let result = run_sweep(
+            &specs,
+            &SimConfig::paper_default(),
+            &[PolicyKind::Lru],
+            &[(8 * 1024, 4), (64 * 1024, 8)],
+            2,
+        );
+        assert_eq!(result.points.len(), 2);
+        let small = result.points[0].icache_means[0];
+        let large = result.points[1].icache_means[0];
+        assert!(
+            small > large,
+            "8KB MPKI {small} should exceed 64KB MPKI {large}"
+        );
+    }
+
+    #[test]
+    fn render_lists_configs() {
+        let r = SweepResult {
+            policies: vec![PolicyKind::Lru],
+            points: vec![SweepPoint {
+                capacity_bytes: 8 * 1024,
+                ways: 4,
+                icache_means: vec![3.25],
+            }],
+        };
+        let s = r.render();
+        assert!(s.contains("8KB 4-way"));
+        assert!(s.contains("3.250"));
+    }
+}

@@ -1,0 +1,427 @@
+//! Modified Sampling Dead Block Prediction (SDBP) for instruction streams.
+//!
+//! SDBP (Khan, Tian & Jiménez, MICRO 2010) predicts dead blocks from the PC
+//! of the most recent access, learning access/eviction patterns in a small
+//! set of *sampler* sets. The GHRP paper shows (§II.A) that set-sampling
+//! cannot work for the I-cache or BTB — the PC itself forms the index, so a
+//! given PC only ever touches one set and sampled sets cannot generalize.
+//! The paper therefore evaluates a **modified SDBP** (§IV.A), reproduced
+//! here:
+//!
+//! * the sampler is as large as the cache (same sets, same associativity);
+//! * 8-bit counters instead of 2-bit;
+//! * three skewed prediction tables;
+//! * sampler entries hold a valid bit, a prediction bit, 3 LRU bits, a
+//!   12-bit partial-PC signature and a 16-bit partial tag;
+//! * dead and bypass thresholds tuned for instruction streams;
+//! * votes aggregate by **summation** (original SDBP), not majority.
+//!
+//! For instruction fetch the "PC of the most recent access" to a block *is*
+//! the block's own address, so SDBP degenerates to an address-indexed
+//! predictor without path information — which is exactly why it struggles
+//! on I-streams with multiple reuses per generation, per the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter_dbp;
+pub mod ship;
+
+pub use counter_dbp::CounterDbpPolicy;
+pub use ship::{ShipConfig, ShipPolicy};
+
+use fe_cache::{AccessContext, CacheConfig, ReplacementPolicy};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the modified SDBP predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SdbpConfig {
+    /// Entries per prediction table (power of two).
+    pub table_entries: usize,
+    /// Number of skewed tables.
+    pub num_tables: usize,
+    /// Counter saturation maximum (255 for the paper's 8-bit counters).
+    pub counter_max: u8,
+    /// Sum of the three counters at or above which a block predicts dead.
+    pub dead_threshold: u32,
+    /// Sum threshold for bypassing a fill (higher = more conservative).
+    pub bypass_threshold: u32,
+    /// Bits of partial PC kept as the signature.
+    pub signature_bits: u32,
+    /// Whether bypass is enabled.
+    pub enable_bypass: bool,
+    /// Train from every `sampler_every`-th set only. `1` (the paper's
+    /// §IV.A modification) trains on every set — a full-size sampler.
+    /// Larger values reproduce the original LLC-style set-sampling, which
+    /// §II.A shows cannot generalize for instruction streams because a PC
+    /// only ever touches one set.
+    pub sampler_every: u32,
+}
+
+impl Default for SdbpConfig {
+    fn default() -> SdbpConfig {
+        SdbpConfig {
+            table_entries: 4096,
+            num_tables: 3,
+            counter_max: 255,
+            dead_threshold: 12,
+            bypass_threshold: 96,
+            signature_bits: 12,
+            enable_bypass: true,
+            sampler_every: 1,
+        }
+    }
+}
+
+impl SdbpConfig {
+    fn validate(&self) {
+        assert!(
+            self.table_entries.is_power_of_two() && self.table_entries > 0,
+            "table_entries must be a power of two"
+        );
+        assert!(
+            (1..=8).contains(&self.num_tables),
+            "num_tables must be 1..=8"
+        );
+        assert!(
+            (1..=16).contains(&self.signature_bits),
+            "signature_bits must be 1..=16"
+        );
+        assert!(self.sampler_every >= 1, "sampler_every must be >= 1");
+    }
+}
+
+/// One sampler entry (§IV.A: 1 valid + 1 prediction + 3 LRU-position bits
+/// + 12-bit partial PC + 16-bit tag).
+#[derive(Debug, Clone, Copy, Default)]
+struct SamplerEntry {
+    valid: bool,
+    partial_tag: u16,
+    signature: u16,
+    lru_stamp: u64,
+}
+
+/// Diagnostic counters for SDBP.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SdbpStats {
+    /// Victims chosen by dead prediction.
+    pub dead_victims: u64,
+    /// Victims chosen by LRU fallback.
+    pub lru_victims: u64,
+    /// Bypassed fills.
+    pub bypasses: u64,
+    /// Sampler hits.
+    pub sampler_hits: u64,
+    /// Sampler misses.
+    pub sampler_misses: u64,
+}
+
+/// The modified-SDBP replacement policy.
+#[derive(Debug, Clone)]
+pub struct SdbpPolicy {
+    cfg: SdbpConfig,
+    ways: usize,
+    /// Skewed counter tables.
+    tables: Vec<Vec<u8>>,
+    /// Full-size sampler: same geometry as the cache.
+    sampler: Vec<SamplerEntry>,
+    /// Main-cache per-frame prediction bits.
+    predicted_dead: Vec<bool>,
+    /// Main-cache LRU stamps.
+    stamps: Vec<u64>,
+    clock: u64,
+    /// Shift turning an address into the "PC" the signature derives from
+    /// (block-offset bits for an I-cache).
+    pc_shift: u32,
+    /// Signature of the in-flight access.
+    current_sig: u16,
+    stats: SdbpStats,
+}
+
+impl SdbpPolicy {
+    /// Create an SDBP policy for a cache of geometry `cache_cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`SdbpConfig`].
+    pub fn new(cache_cfg: CacheConfig, cfg: SdbpConfig) -> SdbpPolicy {
+        cfg.validate();
+        SdbpPolicy {
+            cfg,
+            ways: cache_cfg.ways() as usize,
+            tables: vec![vec![0u8; cfg.table_entries]; cfg.num_tables],
+            sampler: vec![SamplerEntry::default(); cache_cfg.frames()],
+            predicted_dead: vec![false; cache_cfg.frames()],
+            stamps: vec![0; cache_cfg.frames()],
+            clock: 0,
+            pc_shift: cache_cfg.offset_bits(),
+            current_sig: 0,
+            stats: SdbpStats::default(),
+        }
+    }
+
+    /// Diagnostic counters.
+    pub fn stats(&self) -> SdbpStats {
+        self.stats
+    }
+
+    /// The partial-PC signature for an access to `block_addr`.
+    pub fn signature_of(&self, block_addr: u64) -> u16 {
+        let pc = block_addr >> self.pc_shift;
+        (pc & ((1 << self.cfg.signature_bits) - 1)) as u16
+    }
+
+    fn partial_tag(&self, block_addr: u64) -> u16 {
+        ((block_addr >> self.pc_shift) & 0xFFFF) as u16
+    }
+
+    fn table_index(&self, sig: u16, table: usize) -> usize {
+        // Skewed indices via per-table multiplicative hashing.
+        const MULT: [u32; 8] = [
+            0x9E37_79B9,
+            0x85EB_CA6B,
+            0xC2B2_AE35,
+            0x27D4_EB2F,
+            0x1656_67B1,
+            0xB529_7A4D,
+            0x68E3_1DA5,
+            0x71D6_7FFF,
+        ];
+        let x = u32::from(sig).wrapping_mul(MULT[table]);
+        let x = x ^ (x >> 16);
+        (x as usize) & (self.cfg.table_entries - 1)
+    }
+
+    /// Sum of the counters selected by `sig` (SDBP aggregates by
+    /// summation).
+    pub fn counter_sum(&self, sig: u16) -> u32 {
+        (0..self.cfg.num_tables)
+            .map(|t| u32::from(self.tables[t][self.table_index(sig, t)]))
+            .sum()
+    }
+
+    fn train(&mut self, sig: u16, is_dead: bool) {
+        for t in 0..self.cfg.num_tables {
+            let i = self.table_index(sig, t);
+            let c = &mut self.tables[t][i];
+            if is_dead {
+                *c = c.saturating_add(1).min(self.cfg.counter_max);
+            } else {
+                *c = c.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Current dead prediction for a signature.
+    pub fn predict_dead(&self, sig: u16) -> bool {
+        self.counter_sum(sig) >= self.cfg.dead_threshold
+    }
+
+    fn predict_bypass(&self, sig: u16) -> bool {
+        self.counter_sum(sig) >= self.cfg.bypass_threshold
+    }
+
+    /// Run the sampler for this access (the training side of SDBP).
+    fn sample(&mut self, ctx: &AccessContext) {
+        let tag = self.partial_tag(ctx.block_addr);
+        let base = ctx.set * self.ways;
+        self.clock += 1;
+        // Sampler hit: the entry's previous signature proved live.
+        for w in 0..self.ways {
+            let e = self.sampler[base + w];
+            if e.valid && e.partial_tag == tag {
+                self.stats.sampler_hits += 1;
+                self.train(e.signature, false);
+                let sig = self.current_sig;
+                let clock = self.clock;
+                let e = &mut self.sampler[base + w];
+                e.signature = sig;
+                e.lru_stamp = clock;
+                return;
+            }
+        }
+        self.stats.sampler_misses += 1;
+        // Sampler miss: evict the LRU sampler entry, training its
+        // signature dead if it was valid.
+        let victim = (0..self.ways)
+            .min_by_key(|&w| {
+                let e = self.sampler[base + w];
+                (e.valid, e.lru_stamp)
+            })
+            .expect("at least one sampler way");
+        let old = self.sampler[base + victim];
+        if old.valid {
+            self.train(old.signature, true);
+        }
+        self.sampler[base + victim] = SamplerEntry {
+            valid: true,
+            partial_tag: tag,
+            signature: self.current_sig,
+            lru_stamp: self.clock,
+        };
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        self.clock += 1;
+        self.stamps[set * self.ways + way] = self.clock;
+    }
+}
+
+impl ReplacementPolicy for SdbpPolicy {
+    fn on_access(&mut self, ctx: &AccessContext) {
+        self.current_sig = self.signature_of(ctx.block_addr);
+        if (ctx.set as u32).is_multiple_of(self.cfg.sampler_every) {
+            self.sample(ctx);
+        }
+    }
+
+    fn on_hit(&mut self, way: usize, ctx: &AccessContext) {
+        // Refresh this frame's prediction under the current access.
+        self.predicted_dead[ctx.set * self.ways + way] = self.predict_dead(self.current_sig);
+        self.touch(ctx.set, way);
+    }
+
+    fn should_bypass(&mut self, _ctx: &AccessContext) -> bool {
+        if !self.cfg.enable_bypass {
+            return false;
+        }
+        let b = self.predict_bypass(self.current_sig);
+        if b {
+            self.stats.bypasses += 1;
+        }
+        b
+    }
+
+    fn choose_victim(&mut self, ctx: &AccessContext) -> usize {
+        let base = ctx.set * self.ways;
+        if let Some(w) = (0..self.ways).find(|&w| self.predicted_dead[base + w]) {
+            self.stats.dead_victims += 1;
+            return w;
+        }
+        self.stats.lru_victims += 1;
+        (0..self.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("at least one way")
+    }
+
+    fn on_evict(&mut self, way: usize, _victim_block: u64, ctx: &AccessContext) {
+        self.predicted_dead[ctx.set * self.ways + way] = false;
+    }
+
+    fn on_fill(&mut self, way: usize, ctx: &AccessContext) {
+        self.predicted_dead[ctx.set * self.ways + way] = self.predict_dead(self.current_sig);
+        self.touch(ctx.set, way);
+    }
+
+    fn name(&self) -> String {
+        "SDBP".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fe_cache::Cache;
+
+    fn mk(enable_bypass: bool) -> Cache<SdbpPolicy> {
+        let cache_cfg = CacheConfig::with_sets(4, 2, 64).unwrap();
+        let mut cfg = SdbpConfig::default();
+        cfg.enable_bypass = enable_bypass;
+        Cache::new(cache_cfg, SdbpPolicy::new(cache_cfg, cfg))
+    }
+
+    #[test]
+    fn acts_like_lru_untrained() {
+        let mut c = mk(false);
+        c.access(0x000, 0);
+        c.access(0x100, 0);
+        c.access(0x000, 0);
+        let r = c.access(0x200, 0);
+        assert_eq!(r, fe_cache::AccessResult::Miss { evicted: Some(0x100) });
+    }
+
+    #[test]
+    fn sampler_tracks_hits_and_misses() {
+        let mut c = mk(false);
+        c.access(0x000, 0);
+        c.access(0x000, 0);
+        let st = c.policy().stats();
+        assert_eq!(st.sampler_hits, 1);
+        assert_eq!(st.sampler_misses, 1);
+    }
+
+    #[test]
+    fn dead_training_accumulates_on_thrash() {
+        let mut c = mk(false);
+        // Three blocks cycling through a 2-way set: every generation dies.
+        for _ in 0..100 {
+            for b in [0x000u64, 0x100, 0x200] {
+                c.access(b, 0);
+            }
+        }
+        let p = c.policy();
+        let sig = p.signature_of(0x000);
+        assert!(
+            p.counter_sum(sig) >= SdbpConfig::default().dead_threshold,
+            "sum {}",
+            p.counter_sum(sig)
+        );
+    }
+
+    #[test]
+    fn reused_blocks_stay_live() {
+        let mut c = mk(false);
+        for _ in 0..200 {
+            c.access(0x000, 0);
+        }
+        let p = c.policy();
+        assert!(!p.predict_dead(p.signature_of(0x000)));
+        assert_eq!(p.stats().sampler_hits, 199);
+    }
+
+    #[test]
+    fn bypass_fires_only_when_enabled() {
+        let run = |bypass: bool| {
+            let mut c = mk(bypass);
+            for _ in 0..400 {
+                for b in [0x000u64, 0x100, 0x200, 0x300, 0x400] {
+                    c.access(b, 0);
+                }
+            }
+            c.policy().stats().bypasses
+        };
+        assert_eq!(run(false), 0);
+        assert!(run(true) > 0, "thrashing blocks should eventually bypass");
+    }
+
+    #[test]
+    fn signature_is_partial_pc() {
+        let cache_cfg = CacheConfig::with_sets(4, 2, 64).unwrap();
+        let p = SdbpPolicy::new(cache_cfg, SdbpConfig::default());
+        // Same low 12 bits of block-granular address → same signature.
+        let a = p.signature_of(0x0004_0000);
+        let b = p.signature_of(0x1004_0000);
+        assert_eq!(a, b, "bits above the signature width are ignored");
+        assert_ne!(p.signature_of(0x40), p.signature_of(0x80));
+    }
+
+    #[test]
+    fn dead_victim_selection_engages_after_training() {
+        let mut c = mk(false);
+        for _ in 0..200 {
+            for b in [0x000u64, 0x100, 0x200] {
+                c.access(b, 0);
+            }
+        }
+        assert!(c.policy().stats().dead_victims > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_config_panics() {
+        let cache_cfg = CacheConfig::with_sets(4, 2, 64).unwrap();
+        let mut cfg = SdbpConfig::default();
+        cfg.table_entries = 1000;
+        let _ = SdbpPolicy::new(cache_cfg, cfg);
+    }
+}

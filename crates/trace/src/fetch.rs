@@ -1,0 +1,294 @@
+//! Fetch-stream reconstruction.
+//!
+//! CBP-5-style traces record only branches. The paper (§IV.A) reconstructs
+//! "the block address of every instruction fetch group by inferring the
+//! missing instructions between branch targets": after a branch resolves to
+//! its successor address, instructions execute sequentially until the next
+//! branch record's PC.
+//!
+//! [`FetchStream`] turns a branch-record iterator into a stream of
+//! [`FetchChunk`]s. A chunk is a maximal run of sequential instructions that
+//! (a) stays within one cache block and (b) ends at a branch if the branch is
+//! in that block. The front-end simulator performs one I-cache access per
+//! chunk and one BTB/direction-predictor access per chunk that carries a
+//! branch.
+
+use crate::record::{BranchRecord, INSTRUCTION_BYTES};
+
+/// A maximal sequential fetch group within a single cache block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchChunk {
+    /// Block-aligned address of the I-cache block this chunk occupies.
+    pub block_addr: u64,
+    /// Address of the first instruction in the chunk.
+    pub first_pc: u64,
+    /// Number of instructions in the chunk (always ≥ 1).
+    pub n_instr: u32,
+    /// The branch that terminates this chunk, if the next branch in the
+    /// trace falls inside this block. Its `pc` is the chunk's last
+    /// instruction.
+    pub branch: Option<BranchRecord>,
+    /// Whether this chunk begins a new *fetch group* — i.e. whether a real
+    /// front-end would perform a fresh I-cache access for it. A chunk
+    /// continues the previous group (no new access) when it stays in the
+    /// same block and the previous chunk ended with a not-taken branch:
+    /// fetch proceeds sequentially within the block. Taken branches and
+    /// block changes start a new group (§IV.A: "the block address of every
+    /// instruction fetch group").
+    pub starts_group: bool,
+}
+
+impl FetchChunk {
+    /// Address of the last instruction in the chunk.
+    pub fn last_pc(&self) -> u64 {
+        self.first_pc + (u64::from(self.n_instr) - 1) * INSTRUCTION_BYTES
+    }
+}
+
+/// Iterator reconstructing [`FetchChunk`]s from a branch trace.
+///
+/// ```
+/// use fe_trace::{BranchKind, BranchRecord};
+/// use fe_trace::fetch::FetchStream;
+///
+/// // A branch at 0x104 jumping to 0x400, then a branch at 0x408.
+/// let records = vec![
+///     BranchRecord::new(0x104, BranchKind::UncondDirect, true, 0x400),
+///     BranchRecord::new(0x408, BranchKind::UncondDirect, true, 0x100),
+/// ];
+/// let chunks: Vec<_> = FetchStream::new(records.into_iter(), 64).collect();
+/// assert_eq!(chunks.len(), 2);
+/// assert_eq!(chunks[0].block_addr, 0x100);
+/// assert_eq!(chunks[0].n_instr, 1); // the trace begins at the first branch
+/// assert_eq!(chunks[1].block_addr, 0x400);
+/// assert_eq!(chunks[1].n_instr, 3); // 0x400, 0x404, 0x408
+/// ```
+#[derive(Debug)]
+pub struct FetchStream<I> {
+    records: I,
+    block_bytes: u64,
+    /// Next instruction address to fetch; `None` before the first record.
+    pc: Option<u64>,
+    /// Branch we are currently walking toward.
+    pending: Option<BranchRecord>,
+    total_instructions: u64,
+    /// Block of the previously yielded chunk, and whether it ended with a
+    /// taken branch (fetch-group boundary tracking).
+    prev_block: Option<u64>,
+    prev_ended_taken: bool,
+}
+
+impl<I: Iterator<Item = BranchRecord>> FetchStream<I> {
+    /// Create a fetch stream over `records` with the given cache block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is not a power of two at least
+    /// [`INSTRUCTION_BYTES`].
+    pub fn new(records: I, block_bytes: u64) -> FetchStream<I> {
+        assert!(
+            block_bytes.is_power_of_two() && block_bytes >= INSTRUCTION_BYTES,
+            "block size must be a power of two >= {INSTRUCTION_BYTES}, got {block_bytes}"
+        );
+        FetchStream {
+            records,
+            block_bytes,
+            pc: None,
+            pending: None,
+            total_instructions: 0,
+            prev_block: None,
+            prev_ended_taken: true,
+        }
+    }
+
+    /// Instructions emitted so far (sum of `n_instr` over yielded chunks).
+    pub fn instructions(&self) -> u64 {
+        self.total_instructions
+    }
+
+    fn block_of(&self, addr: u64) -> u64 {
+        addr & !(self.block_bytes - 1)
+    }
+}
+
+impl<I: Iterator<Item = BranchRecord>> Iterator for FetchStream<I> {
+    type Item = FetchChunk;
+
+    fn next(&mut self) -> Option<FetchChunk> {
+        // Acquire the next branch to walk toward, if we don't have one.
+        if self.pending.is_none() {
+            let rec = self.records.next()?;
+            // First record of the trace, or a discontinuity (the recorded
+            // branch PC is behind the current sequential PC — e.g. a trap or
+            // trace gap): restart sequential fetch at the branch's block.
+            let pc = match self.pc {
+                Some(pc) if pc <= rec.pc => pc,
+                _ => rec.pc,
+            };
+            self.pc = Some(pc);
+            self.pending = Some(rec);
+        }
+        let rec = self.pending.expect("pending branch set above");
+        let pc = self.pc.expect("pc set alongside pending");
+        debug_assert!(pc <= rec.pc);
+
+        let block = self.block_of(pc);
+        let block_end = block + self.block_bytes; // exclusive
+        let starts_group = self.prev_block != Some(block) || self.prev_ended_taken;
+        let chunk = if rec.pc < block_end {
+            // The branch lies in this block: chunk ends at the branch.
+            let n = (rec.pc - pc) / INSTRUCTION_BYTES + 1;
+            self.pending = None;
+            self.pc = Some(rec.successor());
+            FetchChunk {
+                block_addr: block,
+                first_pc: pc,
+                n_instr: n as u32,
+                branch: Some(rec),
+                starts_group,
+            }
+        } else {
+            // Sequential run to the end of the block; keep walking.
+            let n = (block_end - pc) / INSTRUCTION_BYTES;
+            self.pc = Some(block_end);
+            FetchChunk {
+                block_addr: block,
+                first_pc: pc,
+                n_instr: n as u32,
+                branch: None,
+                starts_group,
+            }
+        };
+        self.prev_block = Some(block);
+        self.prev_ended_taken = chunk.branch.is_none_or(|b| b.taken);
+        self.total_instructions += u64::from(chunk.n_instr);
+        Some(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::BranchKind;
+
+    fn cond(pc: u64, taken: bool, target: u64) -> BranchRecord {
+        BranchRecord::new(pc, BranchKind::CondDirect, taken, target)
+    }
+
+    #[test]
+    fn single_branch_single_block() {
+        let recs = vec![cond(0x10, true, 0x80)];
+        let chunks: Vec<_> = FetchStream::new(recs.into_iter(), 64).collect();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].block_addr, 0x0);
+        assert_eq!(chunks[0].first_pc, 0x10);
+        assert_eq!(chunks[0].n_instr, 1);
+        assert!(chunks[0].branch.is_some());
+    }
+
+    #[test]
+    fn sequential_run_spans_blocks() {
+        // Branch at 0x0 taken to 0x100; next branch at 0x1BC.
+        // Sequential range 0x100..=0x1BC covers blocks 0x100, 0x140, 0x180.
+        let recs = vec![cond(0x0, true, 0x100), cond(0x1bc, true, 0x0)];
+        let chunks: Vec<_> = FetchStream::new(recs.into_iter(), 64).collect();
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[0].block_addr, 0x0);
+        let (b1, b2, b3) = (&chunks[1], &chunks[2], &chunks[3]);
+        assert_eq!(
+            (b1.block_addr, b1.n_instr, b1.branch.is_none()),
+            (0x100, 16, true)
+        );
+        assert_eq!(
+            (b2.block_addr, b2.n_instr, b2.branch.is_none()),
+            (0x140, 16, true)
+        );
+        assert_eq!(
+            (b3.block_addr, b3.n_instr, b3.branch.is_some()),
+            (0x180, 16, true)
+        );
+        // 0x180..=0x1BC inclusive is 16 instructions.
+        assert_eq!(b3.last_pc(), 0x1bc);
+    }
+
+    #[test]
+    fn not_taken_continues_in_same_block() {
+        let recs = vec![cond(0x10, false, 0x80), cond(0x18, true, 0x200)];
+        let chunks: Vec<_> = FetchStream::new(recs.into_iter(), 64).collect();
+        assert_eq!(chunks.len(), 2);
+        // Fall-through from 0x10 is 0x14; next chunk starts there.
+        assert_eq!(chunks[1].first_pc, 0x14);
+        assert_eq!(chunks[1].n_instr, 2); // 0x14, 0x18
+        assert_eq!(chunks[1].block_addr, 0x0);
+    }
+
+    #[test]
+    fn branch_on_block_boundary() {
+        // Branch target is the last slot of a block; branch sits exactly there.
+        let recs = vec![cond(0x0, true, 0x7c), cond(0x7c, true, 0x0)];
+        let chunks: Vec<_> = FetchStream::new(recs.into_iter(), 64).collect();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[1].block_addr, 0x40);
+        assert_eq!(chunks[1].first_pc, 0x7c);
+        assert_eq!(chunks[1].n_instr, 1);
+    }
+
+    #[test]
+    fn discontinuity_restarts_at_branch_pc() {
+        // Second record's PC is *behind* the fall-through of the first:
+        // treated as a redirect, not an underflow.
+        let recs = vec![cond(0x1000, false, 0x2000), cond(0x500, true, 0x1000)];
+        let chunks: Vec<_> = FetchStream::new(recs.into_iter(), 64).collect();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[1].first_pc, 0x500);
+        assert_eq!(chunks[1].n_instr, 1);
+    }
+
+    #[test]
+    fn instruction_count_accumulates() {
+        let recs = vec![cond(0x0, true, 0x100), cond(0x1bc, true, 0x0)];
+        let mut fs = FetchStream::new(recs.into_iter(), 64);
+        while fs.next().is_some() {}
+        // 1 (branch at 0) + 48 (0x100..=0x1BC).
+        assert_eq!(fs.instructions(), 49);
+    }
+
+    #[test]
+    fn tight_loop_reaccesses_same_block() {
+        // Loop body entirely within one block, 10 iterations.
+        let mut recs = Vec::new();
+        for _ in 0..9 {
+            recs.push(cond(0x120, true, 0x100));
+        }
+        recs.push(cond(0x120, false, 0x100));
+        let chunks: Vec<_> = FetchStream::new(recs.into_iter(), 64).collect();
+        assert_eq!(chunks.len(), 10);
+        assert!(chunks.iter().all(|c| c.block_addr == 0x100));
+        // First chunk starts at the branch PC (trace start), later ones at
+        // the loop head.
+        assert_eq!(chunks[0].n_instr, 1);
+        assert!(chunks[1..].iter().all(|c| c.n_instr == 9)); // 0x100..=0x120
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_block_size_panics() {
+        let _ = FetchStream::new(std::iter::empty::<BranchRecord>(), 48);
+    }
+
+    #[test]
+    fn empty_trace_yields_nothing() {
+        let mut fs = FetchStream::new(std::iter::empty::<BranchRecord>(), 64);
+        assert!(fs.next().is_none());
+        assert_eq!(fs.instructions(), 0);
+    }
+
+    #[test]
+    fn min_block_size_is_one_instruction() {
+        let recs = vec![cond(0x0, true, 0x10), cond(0x14, true, 0x0)];
+        let chunks: Vec<_> = FetchStream::new(recs.into_iter(), 4).collect();
+        // 0x0 (branch), 0x10, 0x14 (branch) — one chunk per instruction.
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks.iter().all(|c| c.n_instr == 1));
+    }
+}

@@ -1,0 +1,355 @@
+//! On-disk trace formats.
+//!
+//! Two formats are provided:
+//!
+//! * A compact little-endian binary format (`FETR` magic) with a streaming
+//!   [`TraceReader`] / [`TraceWriter`] pair. Each record is 18 bytes:
+//!   `pc: u64`, `target: u64`, `kind: u8`, `taken: u8`.
+//! * JSON via serde ([`write_json`] / [`read_json`]) for interchange and
+//!   debugging.
+
+use crate::record::{BranchKind, BranchRecord};
+use crate::TraceError;
+use std::io::{BufReader, BufWriter, Read, Write};
+
+/// Magic bytes that begin every binary trace stream.
+pub const MAGIC: [u8; 4] = *b"FETR";
+/// Current binary format version.
+pub const VERSION: u32 = 1;
+/// Size in bytes of one encoded record.
+pub const RECORD_BYTES: usize = 18;
+
+/// Streaming writer for the binary trace format.
+///
+/// ```
+/// # use fe_trace::io::{TraceWriter, TraceReader};
+/// # use fe_trace::{BranchKind, BranchRecord};
+/// # fn main() -> Result<(), fe_trace::TraceError> {
+/// let mut buf = Vec::new();
+/// {
+///     let mut w = TraceWriter::new(&mut buf)?;
+///     w.write(&BranchRecord::new(0x100, BranchKind::Call, true, 0x4000))?;
+///     w.finish()?;
+/// }
+/// let records: Vec<_> = TraceReader::new(buf.as_slice())?
+///     .collect::<Result<_, _>>()?;
+/// assert_eq!(records.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    inner: BufWriter<W>,
+    written: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Create a writer and emit the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if writing the header fails.
+    pub fn new(w: W) -> Result<TraceWriter<W>, TraceError> {
+        let mut inner = BufWriter::new(w);
+        inner.write_all(&MAGIC)?;
+        inner.write_all(&VERSION.to_le_bytes())?;
+        Ok(TraceWriter { inner, written: 0 })
+    }
+
+    /// Append one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure.
+    pub fn write(&mut self, r: &BranchRecord) -> Result<(), TraceError> {
+        let mut buf = [0u8; RECORD_BYTES];
+        buf[0..8].copy_from_slice(&r.pc.to_le_bytes());
+        buf[8..16].copy_from_slice(&r.target.to_le_bytes());
+        buf[16] = r.kind as u8;
+        buf[17] = r.taken as u8;
+        self.inner.write_all(&buf)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush buffers and return the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the final flush fails.
+    pub fn finish(self) -> Result<W, TraceError> {
+        self.inner
+            .into_inner()
+            .map_err(|e| TraceError::Io(e.into_error()))
+    }
+}
+
+/// Streaming reader for the binary trace format.
+///
+/// Implements [`Iterator`] over `Result<BranchRecord, TraceError>` so corrupt
+/// tails are reported rather than silently truncated.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    inner: BufReader<R>,
+    index: u64,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Create a reader, validating the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadMagic`] or [`TraceError::UnsupportedVersion`]
+    /// when the header is not a supported binary trace header.
+    pub fn new(r: R) -> Result<TraceReader<R>, TraceError> {
+        let mut inner = BufReader::new(r);
+        let mut magic = [0u8; 4];
+        inner.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic(magic));
+        }
+        let mut ver = [0u8; 4];
+        inner.read_exact(&mut ver)?;
+        let version = u32::from_le_bytes(ver);
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        Ok(TraceReader {
+            inner,
+            index: 0,
+            done: false,
+        })
+    }
+
+    fn read_record(&mut self) -> Result<Option<BranchRecord>, TraceError> {
+        let mut buf = [0u8; RECORD_BYTES];
+        // Detect clean EOF on the first byte; anything shorter afterwards is
+        // a corrupt (truncated) record.
+        let mut got = 0usize;
+        while got < RECORD_BYTES {
+            let n = self.inner.read(&mut buf[got..])?;
+            if n == 0 {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(TraceError::CorruptRecord {
+                    index: self.index,
+                    reason: format!("truncated record ({got} of {RECORD_BYTES} bytes)"),
+                });
+            }
+            got += n;
+        }
+        let pc = u64::from_le_bytes(buf[0..8].try_into().expect("slice is 8 bytes"));
+        let target = u64::from_le_bytes(buf[8..16].try_into().expect("slice is 8 bytes"));
+        let kind = BranchKind::from_u8(buf[16]).ok_or_else(|| TraceError::CorruptRecord {
+            index: self.index,
+            reason: format!("invalid branch kind {}", buf[16]),
+        })?;
+        let taken = match buf[17] {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(TraceError::CorruptRecord {
+                    index: self.index,
+                    reason: format!("invalid taken flag {other}"),
+                })
+            }
+        };
+        self.index += 1;
+        Ok(Some(BranchRecord {
+            pc,
+            kind,
+            taken,
+            target,
+        }))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<BranchRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.read_record() {
+            Ok(Some(r)) => Some(Ok(r)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Serialize records as a JSON array.
+///
+/// # Errors
+///
+/// Returns an error on I/O or serialization failure.
+pub fn write_json<W: Write>(w: W, records: &[BranchRecord]) -> Result<(), TraceError> {
+    serde_json::to_writer(w, records)?;
+    Ok(())
+}
+
+/// Deserialize records from a JSON array.
+///
+/// # Errors
+///
+/// Returns an error on I/O or deserialization failure.
+pub fn read_json<R: Read>(r: R) -> Result<Vec<BranchRecord>, TraceError> {
+    Ok(serde_json::from_reader(r)?)
+}
+
+/// Write a whole trace to the binary format in one call.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure.
+pub fn write_binary<W: Write>(w: W, records: &[BranchRecord]) -> Result<(), TraceError> {
+    let mut tw = TraceWriter::new(w)?;
+    for r in records {
+        tw.write(r)?;
+    }
+    tw.finish()?;
+    Ok(())
+}
+
+/// Read a whole binary trace in one call.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure or a malformed stream.
+pub fn read_binary<R: Read>(r: R) -> Result<Vec<BranchRecord>, TraceError> {
+    TraceReader::new(r)?.collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<BranchRecord> {
+        vec![
+            BranchRecord::new(0x1000, BranchKind::CondDirect, true, 0x1040),
+            BranchRecord::new(0x1044, BranchKind::CondDirect, false, 0x1000),
+            BranchRecord::new(0x1048, BranchKind::Call, true, 0x8000),
+            BranchRecord::new(0x8010, BranchKind::Return, true, 0x104c),
+            BranchRecord::new(0x1050, BranchKind::Indirect, true, 0x9000),
+        ]
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let records = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &records).unwrap();
+        assert_eq!(buf.len(), 8 + records.len() * RECORD_BYTES);
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let records = sample();
+        let mut buf = Vec::new();
+        write_json(&mut buf, &records).unwrap();
+        let back = read_json(buf.as_slice()).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &[]).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\x01\x00\x00\x00".to_vec();
+        match TraceReader::new(buf.as_slice()) {
+            Err(TraceError::BadMagic(m)) => assert_eq!(&m, b"NOPE"),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        match TraceReader::new(buf.as_slice()) {
+            Err(TraceError::UnsupportedVersion(7)) => {}
+            other => panic!("expected UnsupportedVersion(7), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_record_reported() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 5);
+        let result: Result<Vec<_>, _> = read_binary(buf.as_slice());
+        match result {
+            Err(TraceError::CorruptRecord { index, .. }) => assert_eq!(index, 4),
+            other => panic!("expected CorruptRecord, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_kind_reported() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()[..1]).unwrap();
+        buf[8 + 16] = 200; // kind byte of record 0
+        match read_binary(buf.as_slice()) {
+            Err(TraceError::CorruptRecord { index, reason }) => {
+                assert_eq!(index, 0);
+                assert!(reason.contains("kind"));
+            }
+            other => panic!("expected CorruptRecord, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_taken_flag_reported() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()[..1]).unwrap();
+        buf[8 + 17] = 3;
+        match read_binary(buf.as_slice()) {
+            Err(TraceError::CorruptRecord { reason, .. }) => assert!(reason.contains("taken")),
+            other => panic!("expected CorruptRecord, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writer_counts_records() {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        assert_eq!(w.written(), 0);
+        for r in sample() {
+            w.write(&r).unwrap();
+        }
+        assert_eq!(w.written(), 5);
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_stops_after_error() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()[..2]).unwrap();
+        buf[8 + 16] = 99;
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        assert!(matches!(reader.next(), Some(Err(_))));
+        assert!(reader.next().is_none(), "iterator fuses after an error");
+    }
+}

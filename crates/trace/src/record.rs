@@ -1,0 +1,222 @@
+//! The branch trace record model.
+//!
+//! A trace is a sequence of [`BranchRecord`]s, one per executed branch
+//! instruction, in program order. Non-branch instructions are implicit: the
+//! instructions between the previous record's successor address and the
+//! current record's PC executed sequentially (see [`crate::fetch`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Architectural instruction size assumed by the synthetic ISA.
+///
+/// CBP-5 traces come from a fixed-width 4-byte ISA; the fetch reconstruction
+/// and the synthetic program generator both use this constant.
+pub const INSTRUCTION_BYTES: u64 = 4;
+
+/// The class of a branch instruction.
+///
+/// Mirrors the CBP-5 `OpType` taxonomy at the granularity the simulator
+/// cares about: direction prediction applies to conditional branches, the
+/// BTB applies to everything taken, and the return-address stack applies to
+/// calls/returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// Conditional direct branch (the only kind the direction predictor sees).
+    CondDirect = 0,
+    /// Unconditional direct jump.
+    UncondDirect = 1,
+    /// Unconditional indirect jump (target varies).
+    Indirect = 2,
+    /// Direct call; pushes a return address.
+    Call = 3,
+    /// Indirect call; pushes a return address, target varies.
+    IndirectCall = 4,
+    /// Return; pops a return address.
+    Return = 5,
+}
+
+impl BranchKind {
+    /// All kinds, in discriminant order. Useful for exhaustive tables.
+    pub const ALL: [BranchKind; 6] = [
+        BranchKind::CondDirect,
+        BranchKind::UncondDirect,
+        BranchKind::Indirect,
+        BranchKind::Call,
+        BranchKind::IndirectCall,
+        BranchKind::Return,
+    ];
+
+    /// Whether the direction of this branch is predicted (conditional).
+    ///
+    /// ```
+    /// use fe_trace::BranchKind;
+    /// assert!(BranchKind::CondDirect.is_conditional());
+    /// assert!(!BranchKind::Call.is_conditional());
+    /// ```
+    pub fn is_conditional(self) -> bool {
+        self == BranchKind::CondDirect
+    }
+
+    /// Whether this branch kind is always taken when executed.
+    pub fn is_unconditional(self) -> bool {
+        !self.is_conditional()
+    }
+
+    /// Whether the target cannot be computed from the instruction encoding
+    /// alone (indirect jumps, indirect calls, returns).
+    pub fn is_indirect(self) -> bool {
+        matches!(
+            self,
+            BranchKind::Indirect | BranchKind::IndirectCall | BranchKind::Return
+        )
+    }
+
+    /// Whether this kind pushes onto the return-address stack.
+    pub fn is_call(self) -> bool {
+        matches!(self, BranchKind::Call | BranchKind::IndirectCall)
+    }
+
+    /// Whether this kind pops the return-address stack.
+    pub fn is_return(self) -> bool {
+        self == BranchKind::Return
+    }
+
+    /// Decode from the on-disk discriminant.
+    pub fn from_u8(v: u8) -> Option<BranchKind> {
+        BranchKind::ALL.get(v as usize).copied()
+    }
+}
+
+impl std::fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BranchKind::CondDirect => "cond",
+            BranchKind::UncondDirect => "jump",
+            BranchKind::Indirect => "ijump",
+            BranchKind::Call => "call",
+            BranchKind::IndirectCall => "icall",
+            BranchKind::Return => "ret",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One executed branch, in program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchRecord {
+    /// Address of the branch instruction itself.
+    pub pc: u64,
+    /// Branch class.
+    pub kind: BranchKind,
+    /// Whether the branch was taken. Always `true` for unconditional kinds.
+    pub taken: bool,
+    /// Target address if taken; the fall-through address is implied
+    /// (`pc + INSTRUCTION_BYTES`) when not taken.
+    pub target: u64,
+}
+
+impl BranchRecord {
+    /// Construct a record, normalizing `taken` for unconditional kinds.
+    ///
+    /// ```
+    /// use fe_trace::{BranchKind, BranchRecord};
+    /// let r = BranchRecord::new(0x1000, BranchKind::Call, false, 0x4000);
+    /// assert!(r.taken, "calls are always taken");
+    /// ```
+    pub fn new(pc: u64, kind: BranchKind, taken: bool, target: u64) -> BranchRecord {
+        BranchRecord {
+            pc,
+            kind,
+            taken: taken || kind.is_unconditional(),
+            target,
+        }
+    }
+
+    /// The address of the instruction executed immediately after this branch.
+    pub fn successor(&self) -> u64 {
+        if self.taken {
+            self.target
+        } else {
+            self.pc + INSTRUCTION_BYTES
+        }
+    }
+
+    /// The fall-through address (next sequential instruction).
+    pub fn fall_through(&self) -> u64 {
+        self.pc + INSTRUCTION_BYTES
+    }
+
+    /// Whether a BTB would allocate an entry for this execution: the paper's
+    /// model allocates only for taken branches ("a branch that is never
+    /// taken will not get a BTB entry").
+    pub fn allocates_btb(&self) -> bool {
+        self.taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip_through_u8() {
+        for k in BranchKind::ALL {
+            assert_eq!(BranchKind::from_u8(k as u8), Some(k));
+        }
+        assert_eq!(BranchKind::from_u8(6), None);
+        assert_eq!(BranchKind::from_u8(255), None);
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(BranchKind::CondDirect.is_conditional());
+        for k in BranchKind::ALL {
+            if k != BranchKind::CondDirect {
+                assert!(k.is_unconditional(), "{k} should be unconditional");
+            }
+        }
+        assert!(BranchKind::Indirect.is_indirect());
+        assert!(BranchKind::IndirectCall.is_indirect());
+        assert!(BranchKind::Return.is_indirect());
+        assert!(!BranchKind::Call.is_indirect());
+        assert!(BranchKind::Call.is_call());
+        assert!(BranchKind::IndirectCall.is_call());
+        assert!(!BranchKind::Return.is_call());
+        assert!(BranchKind::Return.is_return());
+    }
+
+    #[test]
+    fn unconditional_kinds_are_forced_taken() {
+        for k in BranchKind::ALL {
+            let r = BranchRecord::new(0x100, k, false, 0x200);
+            if k.is_conditional() {
+                assert!(!r.taken);
+            } else {
+                assert!(r.taken);
+            }
+        }
+    }
+
+    #[test]
+    fn successor_taken_and_not() {
+        let t = BranchRecord::new(0x100, BranchKind::CondDirect, true, 0x40);
+        assert_eq!(t.successor(), 0x40);
+        let nt = BranchRecord::new(0x100, BranchKind::CondDirect, false, 0x40);
+        assert_eq!(nt.successor(), 0x104);
+        assert_eq!(nt.fall_through(), 0x104);
+    }
+
+    #[test]
+    fn btb_allocation_follows_taken() {
+        let t = BranchRecord::new(0x100, BranchKind::CondDirect, true, 0x40);
+        assert!(t.allocates_btb());
+        let nt = BranchRecord::new(0x100, BranchKind::CondDirect, false, 0x40);
+        assert!(!nt.allocates_btb());
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        let names: Vec<String> = BranchKind::ALL.iter().map(|k| k.to_string()).collect();
+        assert_eq!(names, ["cond", "jump", "ijump", "call", "icall", "ret"]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Descriptive statistics over a branch trace.
+
+use crate::fetch::FetchStream;
+use crate::record::{BranchKind, BranchRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Summary statistics for a trace, as reported by [`TraceStats::compute`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total branch records.
+    pub branches: u64,
+    /// Total instructions (branches + implied sequential instructions).
+    pub instructions: u64,
+    /// Branch count per [`BranchKind`], indexed by discriminant.
+    pub by_kind: [u64; 6],
+    /// Fraction of conditional branches that were taken.
+    pub cond_taken_rate: f64,
+    /// Number of distinct branch-site PCs.
+    pub distinct_branch_pcs: u64,
+    /// Number of distinct 64-byte instruction blocks touched (dynamic code
+    /// footprint in blocks).
+    pub distinct_blocks_64b: u64,
+}
+
+impl TraceStats {
+    /// Compute statistics over `records`.
+    ///
+    /// ```
+    /// use fe_trace::{BranchKind, BranchRecord, TraceStats};
+    /// let recs = [BranchRecord::new(0x104, BranchKind::CondDirect, true, 0x100)];
+    /// let s = TraceStats::compute(&recs);
+    /// assert_eq!(s.branches, 1);
+    /// assert_eq!(s.cond_taken_rate, 1.0);
+    /// ```
+    pub fn compute(records: &[BranchRecord]) -> TraceStats {
+        let mut by_kind = [0u64; 6];
+        let mut cond_taken = 0u64;
+        let mut pcs: HashSet<u64> = HashSet::new();
+        for r in records {
+            by_kind[r.kind as usize] += 1;
+            if r.kind == BranchKind::CondDirect && r.taken {
+                cond_taken += 1;
+            }
+            pcs.insert(r.pc);
+        }
+        let mut blocks: HashSet<u64> = HashSet::new();
+        let mut fs = FetchStream::new(records.iter().copied(), 64);
+        for chunk in fs.by_ref() {
+            blocks.insert(chunk.block_addr);
+        }
+        let conds = by_kind[BranchKind::CondDirect as usize];
+        TraceStats {
+            branches: records.len() as u64,
+            instructions: fs.instructions(),
+            by_kind,
+            cond_taken_rate: if conds == 0 {
+                0.0
+            } else {
+                cond_taken as f64 / conds as f64
+            },
+            distinct_branch_pcs: pcs.len() as u64,
+            distinct_blocks_64b: blocks.len() as u64,
+        }
+    }
+
+    /// Dynamic code footprint in bytes (distinct 64-byte blocks × 64).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.distinct_blocks_64b * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{WorkloadCategory, WorkloadSpec};
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let s = TraceStats::compute(&[]);
+        assert_eq!(s.branches, 0);
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.cond_taken_rate, 0.0);
+        assert_eq!(s.footprint_bytes(), 0);
+    }
+
+    #[test]
+    fn kind_histogram_counts() {
+        let recs = [
+            BranchRecord::new(0x100, BranchKind::CondDirect, true, 0x80),
+            BranchRecord::new(0x84, BranchKind::CondDirect, false, 0x200),
+            BranchRecord::new(0x88, BranchKind::Call, true, 0x400),
+            BranchRecord::new(0x404, BranchKind::Return, true, 0x8c),
+        ];
+        let s = TraceStats::compute(&recs);
+        assert_eq!(s.by_kind[BranchKind::CondDirect as usize], 2);
+        assert_eq!(s.by_kind[BranchKind::Call as usize], 1);
+        assert_eq!(s.by_kind[BranchKind::Return as usize], 1);
+        assert_eq!(s.cond_taken_rate, 0.5);
+        assert_eq!(s.distinct_branch_pcs, 4);
+    }
+
+    #[test]
+    fn server_footprint_larger_than_mobile() {
+        let m = WorkloadSpec::new(WorkloadCategory::ShortMobile, 1)
+            .instructions(150_000)
+            .generate();
+        let sv = WorkloadSpec::new(WorkloadCategory::ShortServer, 1)
+            .instructions(150_000)
+            .generate();
+        let sm = TraceStats::compute(&m.records);
+        let ss = TraceStats::compute(&sv.records);
+        assert!(
+            ss.footprint_bytes() > sm.footprint_bytes(),
+            "server {} <= mobile {}",
+            ss.footprint_bytes(),
+            sm.footprint_bytes()
+        );
+    }
+
+    #[test]
+    fn instructions_match_generator_accounting() {
+        let t = WorkloadSpec::new(WorkloadCategory::ShortMobile, 9)
+            .instructions(50_000)
+            .generate();
+        let s = TraceStats::compute(&t.records);
+        // The FetchStream's count can differ from the walker's only by the
+        // instructions before the first branch of the trace (the walker
+        // counts the whole first block, the fetch stream starts at its
+        // branch).
+        let diff = t.instructions.abs_diff(s.instructions);
+        assert!(diff <= 16, "walker={} fetch={}", t.instructions, s.instructions);
+    }
+}

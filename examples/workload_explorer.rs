@@ -1,0 +1,77 @@
+//! Exploring the synthetic CBP-5-style workload suite.
+//!
+//! Generates one workload per category, prints its descriptive statistics
+//! (branch mix, footprint, taken rate), measures branch-predictor
+//! difficulty, and demonstrates the binary trace format round-trip.
+//!
+//! ```sh
+//! cargo run --release --example workload_explorer
+//! ```
+
+use ghrp_repro::branch::{Bimodal, DirectionPredictor, Gshare, HashedPerceptron, PredictorStats};
+use ghrp_repro::trace::io;
+use ghrp_repro::trace::synth::{WorkloadCategory, WorkloadSpec};
+use ghrp_repro::trace::{BranchKind, TraceStats};
+
+fn main() {
+    for (i, category) in WorkloadCategory::ALL.into_iter().enumerate() {
+        let spec = WorkloadSpec::new(category, 11 + i as u64).instructions(1_000_000);
+        let trace = spec.generate();
+        let stats = TraceStats::compute(&trace.records);
+        println!("== {} ==", trace.name());
+        println!(
+            "  {} branches over {} instructions ({:.1} instructions/branch)",
+            stats.branches,
+            stats.instructions,
+            stats.instructions as f64 / stats.branches as f64
+        );
+        println!(
+            "  static code {} KB, dynamic footprint {} KB, {} branch sites",
+            trace.code_bytes / 1024,
+            stats.footprint_bytes() / 1024,
+            stats.distinct_branch_pcs
+        );
+        print!("  branch mix:");
+        for k in BranchKind::ALL {
+            let n = stats.by_kind[k as usize];
+            if n > 0 {
+                print!(" {k}={:.1}%", n as f64 / stats.branches as f64 * 100.0);
+            }
+        }
+        println!();
+        println!("  conditional taken rate {:.1}%", stats.cond_taken_rate * 100.0);
+
+        // How hard is this workload for direction predictors?
+        let mut bimodal = Bimodal::default();
+        let mut gshare = Gshare::default();
+        let mut perceptron = HashedPerceptron::default();
+        let mut s_b = PredictorStats::default();
+        let mut s_g = PredictorStats::default();
+        let mut s_p = PredictorStats::default();
+        for r in trace.records.iter().filter(|r| r.kind.is_conditional()) {
+            s_b.record(bimodal.predict(r.pc) == r.taken);
+            bimodal.update(r.pc, r.taken);
+            s_g.record(gshare.predict(r.pc) == r.taken);
+            gshare.update(r.pc, r.taken);
+            s_p.record(perceptron.predict(r.pc) == r.taken);
+            perceptron.update(r.pc, r.taken);
+        }
+        println!(
+            "  direction accuracy: bimodal {:.2}%  gshare {:.2}%  hashed-perceptron {:.2}%",
+            s_b.accuracy() * 100.0,
+            s_g.accuracy() * 100.0,
+            s_p.accuracy() * 100.0
+        );
+
+        // Round-trip through the binary trace format.
+        let mut buf = Vec::new();
+        io::write_binary(&mut buf, &trace.records).expect("serialize");
+        let back = io::read_binary(buf.as_slice()).expect("deserialize");
+        assert_eq!(back, trace.records);
+        println!(
+            "  binary trace: {} bytes ({:.1} bytes/record), round-trips exactly\n",
+            buf.len(),
+            buf.len() as f64 / trace.records.len() as f64
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Facade crate for the GHRP reproduction workspace.
+//!
+//! Re-exports the public APIs of every workspace crate so examples and
+//! integration tests can depend on a single crate. See the individual
+//! crates for detailed documentation:
+//!
+//! * [`trace`] — branch trace format, synthetic workloads, fetch streams.
+//! * [`cache`] — set-associative cache framework and baseline policies.
+//! * [`ghrp`] — Global History Reuse Prediction (the paper's contribution).
+//! * [`sdbp`] — modified Sampling Dead Block Prediction.
+//! * [`btb`] — branch target buffer models.
+//! * [`branch`] — branch direction predictors (hashed perceptron et al.).
+//! * [`frontend`] — the trace-driven front-end simulator and experiment
+//!   harness.
+
+#![forbid(unsafe_code)]
+
+pub use fe_btb as btb;
+pub use fe_cache as cache;
+pub use fe_branch as branch;
+pub use fe_frontend as frontend;
+pub use fe_sdbp as sdbp;
+pub use fe_trace as trace;
+pub use ghrp_core as ghrp;

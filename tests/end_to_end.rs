@@ -1,0 +1,153 @@
+//! End-to-end integration tests spanning all workspace crates: trace
+//! generation → fetch reconstruction → front-end simulation → experiment
+//! aggregation.
+
+use ghrp_repro::frontend::{experiment, policy::PolicyKind, simulator::SimConfig, Simulator};
+use ghrp_repro::trace::synth::{suite, WorkloadCategory, WorkloadSpec};
+
+fn small_suite(n: usize) -> Vec<WorkloadSpec> {
+    suite(n, 4242)
+        .into_iter()
+        .map(|s| s.instructions(400_000))
+        .collect()
+}
+
+#[test]
+fn full_pipeline_runs_every_policy() {
+    let spec = &small_suite(1)[0];
+    let trace = spec.generate();
+    for &p in PolicyKind::ALL_ONLINE {
+        let sim = Simulator::new(SimConfig::paper_default().with_policy(p));
+        let r = sim.run(&trace.records, trace.instructions);
+        assert!(r.instructions > 0, "{p}: empty measurement window");
+        assert!(r.icache.accesses > 0, "{p}: no I-cache accesses");
+        assert!(r.btb_lookups > 0, "{p}: no BTB lookups");
+    }
+}
+
+#[test]
+fn suite_results_are_deterministic_across_thread_counts() {
+    let specs = small_suite(4);
+    let cfg = SimConfig::paper_default();
+    let pols = [PolicyKind::Lru, PolicyKind::Ghrp];
+    let one = experiment::run_suite(&specs, &cfg, &pols, 1);
+    let many = experiment::run_suite(&specs, &cfg, &pols, 8);
+    assert_eq!(one, many);
+}
+
+#[test]
+fn policy_ordering_on_server_workloads() {
+    // On capacity-pressured server traces, the paper's ordering must hold
+    // in aggregate: GHRP beats LRU, and Random is clearly worst. Per-trace
+    // outcomes vary (the paper's Figure 9 shows the same), so this runs
+    // the server members of the standard suite — the population the
+    // reproduction's headline claim is made over.
+    let specs: Vec<WorkloadSpec> = suite(16, 1234)
+        .into_iter()
+        .filter(|s| s.category.is_server())
+        .map(|s| s.instructions(2_000_000))
+        .collect();
+    let result = experiment::run_suite(
+        &specs,
+        &SimConfig::paper_default(),
+        &[PolicyKind::Lru, PolicyKind::Random, PolicyKind::Ghrp],
+        4,
+    );
+    let means = result.icache_means();
+    let (lru, random, ghrp) = (means[0], means[1], means[2]);
+    assert!(
+        ghrp < lru,
+        "GHRP ({ghrp:.3}) must beat LRU ({lru:.3}) on average"
+    );
+    assert!(
+        random > lru,
+        "Random ({random:.3}) must lose to LRU ({lru:.3}) on average"
+    );
+    // BTB ordering too.
+    let bt = result.btb_means();
+    assert!(bt[2] < bt[0], "GHRP BTB {:.3} vs LRU {:.3}", bt[2], bt[0]);
+    assert!(bt[1] > bt[0], "Random BTB {:.3} vs LRU {:.3}", bt[1], bt[0]);
+}
+
+#[test]
+fn mobile_workloads_have_low_mpki() {
+    let specs: Vec<WorkloadSpec> = (0..3)
+        .map(|i| {
+            WorkloadSpec::new(WorkloadCategory::ShortMobile, 500 + i).instructions(800_000)
+        })
+        .collect();
+    let result = experiment::run_suite(
+        &specs,
+        &SimConfig::paper_default(),
+        &[PolicyKind::Lru],
+        3,
+    );
+    let lru = result.icache_means()[0];
+    assert!(
+        lru < 1.0,
+        "mobile traces should be mostly cache-resident, got {lru:.3} MPKI"
+    );
+}
+
+#[test]
+fn opt_lower_bounds_all_online_policies() {
+    let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, 77).instructions(600_000);
+    let trace = spec.generate();
+    let opt = Simulator::new(SimConfig::paper_default().with_policy(PolicyKind::Opt))
+        .run(&trace.records, trace.instructions);
+    for &p in PolicyKind::ALL_ONLINE {
+        let r = Simulator::new(SimConfig::paper_default().with_policy(p))
+            .run(&trace.records, trace.instructions);
+        assert!(
+            opt.icache_mpki() <= r.icache_mpki() + 1e-9,
+            "OPT ({:.4}) must lower-bound {p} ({:.4})",
+            opt.icache_mpki(),
+            r.icache_mpki()
+        );
+    }
+}
+
+#[test]
+fn warmup_reduces_measured_window() {
+    let spec = WorkloadSpec::new(WorkloadCategory::ShortMobile, 3).instructions(500_000);
+    let trace = spec.generate();
+    let sim = Simulator::new(SimConfig::paper_default());
+    let r = sim.run(&trace.records, trace.instructions);
+    // Paper warm-up: half the trace.
+    assert!(r.instructions <= trace.instructions / 2 + 1000);
+    assert!(r.instructions >= trace.instructions / 3);
+}
+
+#[test]
+fn bigger_caches_never_hurt_lru_much() {
+    // Sanity across the Figure 7 sweep: monotone capacity behaviour for
+    // LRU on a server trace.
+    use ghrp_repro::cache::CacheConfig;
+    let spec = WorkloadSpec::new(WorkloadCategory::LongServer, 21).instructions(1_500_000);
+    let trace = spec.generate();
+    let mut prev = f64::INFINITY;
+    for kb in [8u64, 16, 32, 64] {
+        let cfg = SimConfig::paper_default()
+            .with_icache(CacheConfig::with_capacity(kb * 1024, 8, 64).unwrap());
+        let r = Simulator::new(cfg).run(&trace.records, trace.instructions);
+        assert!(
+            r.icache_mpki() <= prev * 1.05 + 0.01,
+            "{kb}KB LRU MPKI {:.3} worse than smaller cache {prev:.3}",
+            r.icache_mpki()
+        );
+        prev = r.icache_mpki();
+    }
+}
+
+#[test]
+fn ghrp_shared_state_serves_both_structures() {
+    // The GHRP BTB must read I-cache metadata: run a sim and verify the
+    // policy pair interoperates without panics and produces plausible
+    // coupling (BTB misses bounded by lookups).
+    let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, 15).instructions(400_000);
+    let trace = spec.generate();
+    let r = Simulator::new(SimConfig::paper_default().with_policy(PolicyKind::Ghrp))
+        .run(&trace.records, trace.instructions);
+    assert!(r.btb_misses <= r.btb_lookups);
+    assert!(r.icache.bypasses <= r.icache.misses);
+}

@@ -1,0 +1,188 @@
+//! Property-based tests over the core data structures and invariants.
+
+use ghrp_repro::cache::policy::{BeladyOpt, Fifo, Lru, RandomPolicy, Srrip};
+use ghrp_repro::cache::{Cache, CacheConfig, ReplacementPolicy};
+use ghrp_repro::ghrp::{GhrpConfig, GhrpPolicy, SharedGhrp};
+use ghrp_repro::trace::fetch::FetchStream;
+use ghrp_repro::trace::io;
+use ghrp_repro::trace::record::INSTRUCTION_BYTES;
+use ghrp_repro::trace::{BranchKind, BranchRecord};
+use proptest::prelude::*;
+
+/// Strategy: a plausible branch record.
+fn arb_record() -> impl Strategy<Value = BranchRecord> {
+    (
+        0u64..1_000_000,
+        0usize..6,
+        any::<bool>(),
+        0u64..1_000_000,
+    )
+        .prop_map(|(pc4, kind, taken, tgt4)| {
+            BranchRecord::new(
+                pc4 * INSTRUCTION_BYTES,
+                BranchKind::ALL[kind],
+                taken,
+                tgt4 * INSTRUCTION_BYTES,
+            )
+        })
+}
+
+/// Strategy: a short block-address access sequence over a small region.
+fn arb_accesses() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..64, 1..400).prop_map(|v| v.into_iter().map(|b| b * 64).collect())
+}
+
+fn drive<P: ReplacementPolicy>(cache: &mut Cache<P>, blocks: &[u64]) {
+    for &b in blocks {
+        cache.access(b, b);
+    }
+}
+
+proptest! {
+    /// Binary trace serialization round-trips exactly.
+    #[test]
+    fn trace_binary_roundtrip(records in prop::collection::vec(arb_record(), 0..200)) {
+        let mut buf = Vec::new();
+        io::write_binary(&mut buf, &records).unwrap();
+        let back = io::read_binary(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    /// JSON trace serialization round-trips exactly.
+    #[test]
+    fn trace_json_roundtrip(records in prop::collection::vec(arb_record(), 0..50)) {
+        let mut buf = Vec::new();
+        io::write_json(&mut buf, &records).unwrap();
+        let back = io::read_json(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    /// Fetch reconstruction: chunk instruction counts are positive, blocks
+    /// are aligned, branches appear exactly once each, and the branch of a
+    /// chunk lies inside its block.
+    #[test]
+    fn fetch_stream_invariants(records in prop::collection::vec(arb_record(), 1..200)) {
+        let mut branch_count = 0usize;
+        for chunk in FetchStream::new(records.iter().copied(), 64) {
+            prop_assert!(chunk.n_instr >= 1);
+            prop_assert_eq!(chunk.block_addr % 64, 0);
+            prop_assert_eq!(chunk.first_pc & !(64 - 1), chunk.block_addr);
+            prop_assert!(chunk.last_pc() < chunk.block_addr + 64);
+            if let Some(b) = chunk.branch {
+                branch_count += 1;
+                prop_assert_eq!(b.pc, chunk.last_pc());
+            }
+        }
+        prop_assert_eq!(branch_count, records.len());
+    }
+
+    /// Every policy keeps the accessed block resident right after a
+    /// non-bypassed access, and never reports more hits than accesses.
+    #[test]
+    fn cache_residency_invariant(blocks in arb_accesses(), ways in 1u32..=8) {
+        let ways = ways.next_power_of_two();
+        let cfg = CacheConfig::with_sets(8, ways, 64).unwrap();
+        let policies: Vec<Box<dyn ReplacementPolicy>> = vec![
+            Box::new(Lru::new(cfg)),
+            Box::new(Fifo::new(cfg)),
+            Box::new(RandomPolicy::new(cfg, 1)),
+            Box::new(Srrip::new(cfg)),
+        ];
+        for p in policies {
+            let mut c = Cache::new(cfg, p);
+            for &b in &blocks {
+                let r = c.access(b, b);
+                if !matches!(r, ghrp_repro::cache::AccessResult::Bypassed) {
+                    prop_assert!(c.contains(b), "block {b:#x} absent after fill");
+                }
+            }
+            let s = c.stats();
+            prop_assert_eq!(s.hits + s.misses, s.accesses);
+            prop_assert!(c.valid_frames() <= cfg.frames());
+        }
+    }
+
+    /// LRU stack/inclusion property: with the same set count, a cache with
+    /// more ways never misses more under LRU.
+    #[test]
+    fn lru_inclusion(blocks in arb_accesses()) {
+        let mut prev_misses = u64::MAX;
+        for ways in [1u32, 2, 4, 8] {
+            let cfg = CacheConfig::with_sets(4, ways, 64).unwrap();
+            let mut c = Cache::new(cfg, Lru::new(cfg));
+            drive(&mut c, &blocks);
+            let m = c.stats().misses;
+            prop_assert!(m <= prev_misses, "{ways}-way missed {m} > {prev_misses}");
+            prev_misses = m;
+        }
+    }
+
+    /// Belady's OPT never misses more than LRU on any sequence.
+    #[test]
+    fn opt_is_optimal_vs_lru(blocks in arb_accesses()) {
+        let cfg = CacheConfig::with_sets(4, 2, 64).unwrap();
+        let mut lru = Cache::new(cfg, Lru::new(cfg));
+        drive(&mut lru, &blocks);
+        let mut opt = Cache::new(cfg, BeladyOpt::from_trace(cfg, &blocks));
+        drive(&mut opt, &blocks);
+        prop_assert!(opt.stats().misses <= lru.stats().misses);
+    }
+
+    /// GHRP's metadata store tracks exactly the resident blocks (plus
+    /// nothing else), for any access pattern.
+    #[test]
+    fn ghrp_metadata_matches_residency(blocks in arb_accesses()) {
+        let cfg = CacheConfig::with_sets(4, 2, 64).unwrap();
+        let mut gcfg = GhrpConfig::default();
+        gcfg.enable_bypass = false;
+        let shared = SharedGhrp::new(gcfg, cfg.offset_bits());
+        let mut c = Cache::new(cfg, GhrpPolicy::new(cfg, shared.clone()));
+        for &b in &blocks {
+            c.access(b, b);
+            prop_assert!(shared.meta(b).is_some(), "no metadata for resident {b:#x}");
+        }
+        prop_assert_eq!(shared.meta_len(), c.valid_frames());
+    }
+
+    /// The GHRP signature depends only on the history and the shifted PC,
+    /// and fits 16 bits.
+    #[test]
+    fn signature_fits_and_is_deterministic(h in any::<u64>(), pc in any::<u64>()) {
+        let a = ghrp_repro::ghrp::signature::signature(h, pc, 16);
+        let b = ghrp_repro::ghrp::signature::signature(h, pc, 16);
+        prop_assert_eq!(a, b);
+        // Table indices are in range for every table.
+        for t in 0..3 {
+            prop_assert!(ghrp_repro::ghrp::signature::table_index(a, t, 12) < 4096);
+        }
+    }
+
+    /// Saturating counters never leave their range under arbitrary
+    /// training sequences.
+    #[test]
+    fn table_counters_stay_in_range(updates in prop::collection::vec((any::<u16>(), any::<bool>()), 0..500)) {
+        let mut cfg = GhrpConfig::default();
+        cfg.table_entries = 256;
+        let mut t = ghrp_repro::ghrp::PredictionTables::new(&cfg);
+        for (sig, dead) in updates {
+            t.update(sig, dead);
+            for c in t.counters(sig) {
+                prop_assert!(c <= cfg.counter_max());
+            }
+        }
+    }
+
+    /// The synthetic walker always respects its instruction budget within
+    /// one block's slack and is deterministic.
+    #[test]
+    fn walker_budget_and_determinism(seed in 0u64..64, budget in 1000u64..40_000) {
+        use ghrp_repro::trace::synth::{WorkloadCategory, WorkloadSpec};
+        let cat = WorkloadCategory::ALL[(seed % 4) as usize];
+        let spec = WorkloadSpec::new(cat, seed).instructions(budget);
+        let a = spec.generate();
+        let b = spec.generate();
+        prop_assert_eq!(&a.records, &b.records);
+        prop_assert!(a.instructions >= budget);
+        prop_assert!(a.instructions < budget + 64);
+    }
+}
