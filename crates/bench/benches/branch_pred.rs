@@ -25,7 +25,7 @@ fn branch_pred(c: &mut Criterion) {
                 black_box(p.predict(pc));
                 p.update(pc, taken);
             }
-        })
+        });
     });
     group.bench_function("gshare", |b| {
         let mut p = Gshare::default();
@@ -34,7 +34,7 @@ fn branch_pred(c: &mut Criterion) {
                 black_box(p.predict(pc));
                 p.update(pc, taken);
             }
-        })
+        });
     });
     group.bench_function("hashed_perceptron", |b| {
         let mut p = HashedPerceptron::default();
@@ -43,7 +43,7 @@ fn branch_pred(c: &mut Criterion) {
                 black_box(p.predict(pc));
                 p.update(pc, taken);
             }
-        })
+        });
     });
     group.finish();
 }

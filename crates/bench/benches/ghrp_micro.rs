@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 fn micro(c: &mut Criterion) {
     c.bench_function("signature", |b| {
-        b.iter(|| signature(black_box(0xBEEF), black_box(0x1_0040), 16))
+        b.iter(|| signature(black_box(0xBEEF), black_box(0x1_0040), 16));
     });
     c.bench_function("table_index_x3", |b| {
         b.iter(|| {
@@ -18,23 +18,23 @@ fn micro(c: &mut Criterion) {
                 table_index(black_box(0x1234), 1, 12),
                 table_index(black_box(0x1234), 2, 12),
             )
-        })
+        });
     });
     c.bench_function("compute_indices", |b| {
-        b.iter(|| compute_indices(black_box(0x4321), 3, 12))
+        b.iter(|| compute_indices(black_box(0x4321), 3, 12));
     });
 
     let cfg = GhrpConfig::default();
     let mut tables = PredictionTables::new(&cfg);
     c.bench_function("tables_predict", |b| {
-        b.iter(|| tables.predict(black_box(0x77), 1))
+        b.iter(|| tables.predict(black_box(0x77), 1));
     });
     c.bench_function("tables_update", |b| {
         let mut s = 0u16;
         b.iter(|| {
             s = s.wrapping_add(1);
-            tables.update(black_box(s), s % 3 == 0);
-        })
+            tables.update(black_box(s), s.is_multiple_of(3));
+        });
     });
 
     // Steady-state cache access loop (hit-dominated, like real fetch).
@@ -52,7 +52,7 @@ fn micro(c: &mut Criterion) {
             for &blk in &blocks {
                 black_box(cache.access(blk, blk));
             }
-        })
+        });
     });
     group.finish();
 }

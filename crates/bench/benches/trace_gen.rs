@@ -30,7 +30,7 @@ fn trace_gen(c: &mut Criterion) {
                 }
             }
             black_box(n)
-        })
+        });
     });
     group.finish();
 }

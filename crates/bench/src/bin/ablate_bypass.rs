@@ -1,5 +1,7 @@
 //! Ablation: bypass on/off for the I-cache and BTB under GHRP.
 
+#![forbid(unsafe_code)]
+
 use fe_bench::Args;
 use fe_frontend::{experiment, policy::PolicyKind};
 
@@ -13,7 +15,10 @@ fn main() {
         "bypass (icache, btb)", "icache MPKI", "vs LRU", "btb MPKI", "vs LRU"
     );
     let (il, bl) = (lru.icache_means()[0], lru.btb_means()[0]);
-    println!("{:<26} {:>12.3} {:>10} {:>12.3} {:>10}", "(LRU baseline)", il, "-", bl, "-");
+    println!(
+        "{:<26} {:>12.3} {:>10} {:>12.3} {:>10}",
+        "(LRU baseline)", il, "-", bl, "-"
+    );
     for (ib, bb) in [(true, true), (true, false), (false, true), (false, false)] {
         let mut cfg = args.sim().with_policy(PolicyKind::Ghrp);
         cfg.ghrp.enable_bypass = ib;

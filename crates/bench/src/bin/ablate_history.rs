@@ -3,13 +3,18 @@
 //! Sweeps the number of PC bits shifted in per access and the history
 //! width — depth 0 reduces GHRP to a PC-indexed (SDBP-like) predictor.
 
+#![forbid(unsafe_code)]
+
 use fe_bench::Args;
 use fe_frontend::{experiment, policy::PolicyKind};
 
 fn main() {
     let args = Args::parse();
     let specs = args.suite();
-    println!("== Ablation: GHRP history geometry ({} traces) ==", specs.len());
+    println!(
+        "== Ablation: GHRP history geometry ({} traces) ==",
+        specs.len()
+    );
     let lru = experiment::run_suite(&specs, &args.sim(), &[PolicyKind::Lru], args.threads);
     let lru_mean = lru.icache_means()[0];
     println!("{:<34} {:>12} {:>10}", "history", "icache MPKI", "vs LRU");
@@ -28,6 +33,11 @@ fn main() {
         cfg.ghrp.pad_bits_per_access = pad;
         let r = experiment::run_suite(&specs, &cfg, &[PolicyKind::Ghrp], args.threads);
         let m = r.icache_means()[0];
-        println!("{:<34} {:>12.3} {:>9.1}%", label, m, (m - lru_mean) / lru_mean * 100.0);
+        println!(
+            "{:<34} {:>12.3} {:>9.1}%",
+            label,
+            m,
+            (m - lru_mean) / lru_mean * 100.0
+        );
     }
 }

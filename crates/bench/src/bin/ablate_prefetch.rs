@@ -3,14 +3,22 @@
 //! this measures whether a simple prefetcher subsumes the replacement
 //! gains, and whether the two compose).
 
+#![forbid(unsafe_code)]
+
 use fe_bench::Args;
 use fe_frontend::{experiment, policy::PolicyKind};
 
 fn main() {
     let args = Args::parse();
     let specs = args.suite();
-    println!("== Ablation: next-line prefetch x replacement policy ({} traces) ==", specs.len());
-    println!("{:<26} {:>12} {:>12}", "configuration", "LRU MPKI", "GHRP MPKI");
+    println!(
+        "== Ablation: next-line prefetch x replacement policy ({} traces) ==",
+        specs.len()
+    );
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "configuration", "LRU MPKI", "GHRP MPKI"
+    );
     for degree in [0u32, 1, 2] {
         let mut cfg = args.sim();
         cfg.prefetch_degree = degree;

@@ -5,13 +5,18 @@
 //! sparse sampler never observes most PCs and cannot generalize — the
 //! sparse variants should collapse toward (or below) LRU.
 
+#![forbid(unsafe_code)]
+
 use fe_bench::Args;
 use fe_frontend::{experiment, policy::PolicyKind};
 
 fn main() {
     let args = Args::parse();
     let specs = args.suite();
-    println!("== Ablation: SDBP sampler density ({} traces) ==", specs.len());
+    println!(
+        "== Ablation: SDBP sampler density ({} traces) ==",
+        specs.len()
+    );
     let lru = experiment::run_suite(&specs, &args.sim(), &[PolicyKind::Lru], args.threads);
     let lru_mean = lru.icache_means()[0];
     println!("{:<30} {:>12} {:>10}", "sampler", "icache MPKI", "vs LRU");
@@ -26,6 +31,11 @@ fn main() {
         cfg.sdbp.sampler_every = every;
         let r = experiment::run_suite(&specs, &cfg, &[PolicyKind::Sdbp], args.threads);
         let m = r.icache_means()[0];
-        println!("{:<30} {:>12.3} {:>9.1}%", label, m, (m - lru_mean) / lru_mean * 100.0);
+        println!(
+            "{:<30} {:>12.3} {:>9.1}%",
+            label,
+            m,
+            (m - lru_mean) / lru_mean * 100.0
+        );
     }
 }

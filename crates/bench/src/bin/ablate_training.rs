@@ -4,20 +4,28 @@
 //! literal train-on-own-evictions, and (b) fresh victim predictions vs
 //! the stored per-block prediction bit.
 
+#![forbid(unsafe_code)]
+
 use fe_bench::Args;
 use fe_frontend::{experiment, policy::PolicyKind};
 
 fn main() {
     let args = Args::parse();
     let specs = args.suite();
-    println!("== Ablation: GHRP training/freshness variants ({} traces) ==", specs.len());
+    println!(
+        "== Ablation: GHRP training/freshness variants ({} traces) ==",
+        specs.len()
+    );
     let lru = experiment::run_suite(&specs, &args.sim(), &[PolicyKind::Lru], args.threads);
     let (il, bl) = (lru.icache_means()[0], lru.btb_means()[0]);
     println!(
         "{:<38} {:>12} {:>10} {:>12} {:>10}",
         "variant", "icache MPKI", "vs LRU", "btb MPKI", "vs LRU"
     );
-    println!("{:<38} {:>12.3} {:>10} {:>12.3} {:>10}", "(LRU baseline)", il, "-", bl, "-");
+    println!(
+        "{:<38} {:>12.3} {:>10} {:>12.3} {:>10}",
+        "(LRU baseline)", il, "-", bl, "-"
+    );
     for (shadow, fresh, label) in [
         (true, true, "shadow training + fresh victims"),
         (true, false, "shadow training + stored bits"),
@@ -31,7 +39,11 @@ fn main() {
         let (im, bm) = (r.icache_means()[0], r.btb_means()[0]);
         println!(
             "{:<38} {:>12.3} {:>9.1}% {:>12.3} {:>9.1}%",
-            label, im, (im - il) / il * 100.0, bm, (bm - bl) / bl * 100.0
+            label,
+            im,
+            (im - il) / il * 100.0,
+            bm,
+            (bm - bl) / bl * 100.0
         );
     }
 }

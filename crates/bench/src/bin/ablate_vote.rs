@@ -4,6 +4,8 @@
 //! a coverage-killing threshold, and is therefore superior to SDBP-style
 //! summation for instruction streams.
 
+#![forbid(unsafe_code)]
+
 use fe_bench::Args;
 use fe_frontend::{experiment, policy::PolicyKind};
 use ghrp_core::Aggregation;
@@ -11,16 +13,30 @@ use ghrp_core::Aggregation;
 fn main() {
     let args = Args::parse();
     let specs = args.suite();
-    println!("== Ablation: GHRP vote aggregation ({} traces) ==", specs.len());
+    println!(
+        "== Ablation: GHRP vote aggregation ({} traces) ==",
+        specs.len()
+    );
     let lru = experiment::run_suite(&specs, &args.sim(), &[PolicyKind::Lru], args.threads);
     let lru_mean = lru.icache_means()[0];
-    println!("{:<18} {:>12} {:>10}", "aggregation", "icache MPKI", "vs LRU");
+    println!(
+        "{:<18} {:>12} {:>10}",
+        "aggregation", "icache MPKI", "vs LRU"
+    );
     println!("{:<18} {:>12.3} {:>10}", "(LRU baseline)", lru_mean, "-");
-    for (name, agg) in [("majority-vote", Aggregation::MajorityVote), ("sum", Aggregation::Sum)] {
+    for (name, agg) in [
+        ("majority-vote", Aggregation::MajorityVote),
+        ("sum", Aggregation::Sum),
+    ] {
         let mut cfg = args.sim().with_policy(PolicyKind::Ghrp);
         cfg.ghrp.aggregation = agg;
         let r = experiment::run_suite(&specs, &cfg, &[PolicyKind::Ghrp], args.threads);
         let m = r.icache_means()[0];
-        println!("{:<18} {:>12.3} {:>9.1}%", name, m, (m - lru_mean) / lru_mean * 100.0);
+        println!(
+            "{:<18} {:>12.3} {:>9.1}%",
+            name,
+            m,
+            (m - lru_mean) / lru_mean * 100.0
+        );
     }
 }

@@ -7,16 +7,29 @@
 //! vote: the global label, the block address (what a PC-indexed predictor
 //! like SDBP sees), and the GHRP path signature.
 
+#![forbid(unsafe_code)]
+
 use fe_cache::CacheConfig;
 use fe_trace::fetch::FetchStream;
 use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
 use std::collections::HashMap;
 
+// A linear diagnostic report; each section prints one table.
+#[allow(clippy::too_many_lines)]
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1237);
-    let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, seed).instructions(std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2_000_000));
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1237);
+    let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, seed).instructions(
+        std::env::args()
+            .nth(2)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2_000_000),
+    );
     let t = spec.generate();
-    let cfg = CacheConfig::with_capacity(64 * 1024, 8, 64).unwrap();
+    let cfg =
+        CacheConfig::with_capacity(64 * 1024, 8, 64).expect("64KB/8-way/64B is a valid geometry");
 
     // Collect the block-access sequence.
     let blocks: Vec<u64> = FetchStream::new(t.records.iter().copied(), 64)
@@ -93,7 +106,7 @@ fn main() {
                 e.1 += 1;
             }
         }
-        let correct: u64 = counts.values().map(|&(d, l)| d.max(l) as u64).sum();
+        let correct: u64 = counts.values().map(|&(d, l)| u64::from(d.max(l))).sum();
         correct as f64 / n as f64
     };
     // Dead-class precision/recall for an oracle per-key majority predictor.
@@ -120,8 +133,16 @@ fn main() {
                 _ => {}
             }
         }
-        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-        let recall = if tp + fnn == 0 { 0.0 } else { tp as f64 / (tp + fnn) as f64 };
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fnn == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fnn) as f64
+        };
         (precision, recall)
     };
     let (bp, br) = dead_class(&blocks);
@@ -135,13 +156,23 @@ fn main() {
     // much of the oracle per-signature ceiling online counters capture.
     {
         use ghrp_core::signature::table_index;
-        for (ibits, bits, thr) in [(12u32, 2u32, 1u8), (12, 2, 2), (13, 2, 1), (14, 2, 1), (14, 2, 2), (15, 2, 1), (14, 3, 2)] {
+        for (ibits, bits, thr) in [
+            (12u32, 2u32, 1u8),
+            (12, 2, 2),
+            (13, 2, 1),
+            (14, 2, 1),
+            (14, 2, 2),
+            (15, 2, 1),
+            (14, 3, 2),
+        ] {
             let maxc = (1u16 << bits) - 1;
             let mut tables = vec![vec![0u16; 1usize << ibits]; 3];
             let (mut tp, mut fp, mut fnn) = (0u64, 0u64, 0u64);
             for (i, &sig) in sigs.iter().enumerate() {
                 let idx: Vec<usize> = (0..3).map(|t| table_index(sig, t, ibits)).collect();
-                let votes = (0..3).filter(|&t| tables[t][idx[t]] >= u16::from(thr)).count();
+                let votes = (0..3)
+                    .filter(|&t| tables[t][idx[t]] >= u16::from(thr))
+                    .count();
                 let pred_dead = votes >= 2;
                 let d = labels[i];
                 match (pred_dead, d) {
@@ -152,11 +183,23 @@ fn main() {
                 }
                 for t in 0..3 {
                     let c = &mut tables[t][idx[t]];
-                    if d { *c = (*c + 1).min(maxc) } else { *c = c.saturating_sub(1) }
+                    if d {
+                        *c = (*c + 1).min(maxc);
+                    } else {
+                        *c = c.saturating_sub(1);
+                    }
                 }
             }
-            let prec = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-            let rec = if tp + fnn == 0 { 0.0 } else { tp as f64 / (tp + fnn) as f64 };
+            let prec = if tp + fp == 0 {
+                0.0
+            } else {
+                tp as f64 / (tp + fp) as f64
+            };
+            let rec = if tp + fnn == 0 {
+                0.0
+            } else {
+                tp as f64 / (tp + fnn) as f64
+            };
             println!("online counters ibits={ibits} bits={bits} thr={thr}: dead precision {prec:.3} recall {rec:.3}");
         }
     }
@@ -169,9 +212,15 @@ fn main() {
         .zip(&sigs)
         .map(|(&b, &s)| (b << 16) | u64::from(s))
         .collect();
-    println!("oracle accuracy: global-majority {:.3}", global_acc);
-    println!("oracle accuracy: per-block (PC)  {:.3}", feature_accuracy(&block_keys));
-    println!("oracle accuracy: per-signature   {:.3}", feature_accuracy(&sig_keys));
+    println!("oracle accuracy: global-majority {global_acc:.3}");
+    println!(
+        "oracle accuracy: per-block (PC)  {:.3}",
+        feature_accuracy(&block_keys)
+    );
+    println!(
+        "oracle accuracy: per-signature   {:.3}",
+        feature_accuracy(&sig_keys)
+    );
     println!(
         "oracle accuracy: block+signature  {:.3}",
         feature_accuracy(&blocksig_keys)

@@ -1,12 +1,22 @@
 //! Diagnostic: per-trace footprints and MPKI under LRU/Random/GHRP.
+
+#![forbid(unsafe_code)]
 use fe_frontend::{experiment, policy::PolicyKind, simulator::SimConfig};
 use fe_trace::synth::suite;
 use fe_trace::TraceStats;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
     let specs = suite(n, 1234);
-    let pols = [PolicyKind::Lru, PolicyKind::Random, PolicyKind::Srrip, PolicyKind::Ghrp];
+    let pols = [
+        PolicyKind::Lru,
+        PolicyKind::Random,
+        PolicyKind::Srrip,
+        PolicyKind::Ghrp,
+    ];
     for spec in &specs {
         let t = spec.generate();
         let st = TraceStats::compute(&t.records);

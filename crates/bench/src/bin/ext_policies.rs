@@ -1,5 +1,7 @@
-//! Extension: the full policy zoo (paper set + FIFO, DRRIP, SHiP) on the
+//! Extension: the full policy zoo (paper set + FIFO, DRRIP, `SHiP`) on the
 //! standard suite, including indirect-target predictor statistics.
+
+#![forbid(unsafe_code)]
 
 use fe_bench::Args;
 use fe_frontend::{experiment, policy::PolicyKind};
@@ -7,10 +9,12 @@ use fe_frontend::{experiment, policy::PolicyKind};
 fn main() {
     let args = Args::parse();
     let specs = args.suite();
-    let result =
-        experiment::run_suite(&specs, &args.sim(), PolicyKind::ALL_ONLINE, args.threads);
+    let result = experiment::run_suite(&specs, &args.sim(), PolicyKind::ALL_ONLINE, args.threads);
     println!("== Extended policy comparison ({} traces) ==", specs.len());
-    println!("{:<10} {:>12} {:>10} {:>12} {:>10}", "policy", "icache MPKI", "vs LRU", "btb MPKI", "vs LRU");
+    println!(
+        "{:<10} {:>12} {:>10} {:>12} {:>10}",
+        "policy", "icache MPKI", "vs LRU", "btb MPKI", "vs LRU"
+    );
     let (il, bl) = (result.icache_means()[0], result.btb_means()[0]);
     for (i, p) in result.policies.iter().enumerate() {
         let im = result.icache_means()[i];

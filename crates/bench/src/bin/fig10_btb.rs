@@ -4,22 +4,37 @@
 //! Paper reference: LRU 4.58, Random 4.81, SRRIP 4.17, SDBP 4.57,
 //! GHRP 3.21 (-30.0% vs LRU, -23.1% vs SRRIP, -29.1% vs SDBP).
 
+#![forbid(unsafe_code)]
+
 use fe_bench::Args;
 use fe_frontend::{experiment, policy::PolicyKind, stats};
+use std::fmt::Write as _;
 
 fn main() {
     let args = Args::parse();
     let specs = args.suite();
     let result = experiment::run_suite(&specs, &args.sim(), PolicyKind::PAPER_SET, args.threads);
-    println!("== Figure 10: BTB MPKI over {} traces (4K-entry 4-way) ==", specs.len());
+    println!(
+        "== Figure 10: BTB MPKI over {} traces (4K-entry 4-way) ==",
+        specs.len()
+    );
     let lru_mean = result.btb_means()[0];
     println!("{:<10} {:>12} {:>18}", "policy", "mean MPKI", "vs LRU");
     for (i, p) in result.policies.iter().enumerate() {
         let m = result.btb_means()[i];
-        println!("{:<10} {:>12.3} {:>17.1}%", p.to_string(), m, (m - lru_mean) / lru_mean * 100.0);
+        println!(
+            "{:<10} {:>12.3} {:>17.1}%",
+            p.to_string(),
+            m,
+            (m - lru_mean) / lru_mean * 100.0
+        );
     }
     println!("\n-- per-benchmark subset --");
-    println!("{:<22}{}", "trace", result.policies.iter().map(|p| format!("{:>9}", p.to_string())).collect::<String>());
+    let mut header = String::new();
+    for p in &result.policies {
+        let _ = write!(header, "{:>9}", p.to_string());
+    }
+    println!("{:<22}{header}", "trace");
     for r in result.rows.iter().take(12) {
         print!("{:<22}", r.name);
         for v in &r.btb_mpki {
@@ -32,14 +47,14 @@ fn main() {
     let order = stats::s_curve_order(&lru);
     let mut csv = String::from("rank,trace,category");
     for p in &result.policies {
-        csv.push_str(&format!(",{p}"));
+        let _ = write!(csv, ",{p}");
     }
     csv.push('\n');
     for (rank, &i) in order.iter().enumerate() {
         let r = &result.rows[i];
-        csv.push_str(&format!("{rank},{},{}", r.name, r.category));
+        let _ = write!(csv, "{rank},{},{}", r.name, r.category);
         for v in &r.btb_mpki {
-            csv.push_str(&format!(",{v:.4}"));
+            let _ = write!(csv, ",{v:.4}");
         }
         csv.push('\n');
     }

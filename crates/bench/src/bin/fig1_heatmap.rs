@@ -1,6 +1,8 @@
 //! Figure 1: cache-efficiency heat map of a 16 KB 8-way I-cache under the
 //! five policies, for a single trace. Lighter cells = longer live time.
 
+#![forbid(unsafe_code)]
+
 use fe_bench::Args;
 use fe_cache::CacheConfig;
 use fe_frontend::policy::{build_pair, PolicyKind};
@@ -8,15 +10,18 @@ use fe_sdbp::SdbpConfig;
 use fe_trace::fetch::FetchStream;
 use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
 use ghrp_core::GhrpConfig;
+use std::fmt::Write as _;
 
 fn main() {
     let args = Args::parse();
-    let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, args.seed + 1).instructions(
-        args.instr.unwrap_or(2_000_000),
-    );
+    let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, args.seed + 1)
+        .instructions(args.instr.unwrap_or(2_000_000));
     let trace = spec.generate();
     let icache = CacheConfig::with_capacity(16 * 1024, 8, 64).expect("valid geometry");
-    println!("== Figure 1: 16KB 8-way I-cache efficiency heat maps, trace {} ==", spec.name);
+    println!(
+        "== Figure 1: 16KB 8-way I-cache efficiency heat maps, trace {} ==",
+        spec.name
+    );
     let mut csv = String::from("policy,set,way,efficiency\n");
     for &p in PolicyKind::PAPER_SET {
         let mut pair = build_pair(
@@ -39,20 +44,12 @@ fn main() {
         let map = pair.icache.finish_efficiency().expect("tracking enabled");
         println!("\n--- {p} (mean efficiency {:.3}) ---", map.mean());
         // Print a 32-set slice of the heat map; full data goes to CSV.
+        for (set, line) in map.to_ascii().lines().take(32).enumerate() {
+            println!("set {set:>3} |{line}|");
+        }
         for (set, row) in map.cells.iter().enumerate() {
-            if set < 32 {
-                let line: String = row
-                    .iter()
-                    .map(|&v| {
-                        const RAMP: &[u8] = b" .:-=+*#%@";
-                        let i = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
-                        RAMP[i] as char
-                    })
-                    .collect();
-                println!("set {set:>3} |{line}|");
-            }
             for (way, &v) in row.iter().enumerate() {
-                csv.push_str(&format!("{p},{set},{way},{v:.4}\n"));
+                let _ = writeln!(csv, "{p},{set},{way},{v:.4}");
             }
         }
     }

@@ -1,6 +1,8 @@
 //! Figure 5: efficiency heat map of a 256-entry 8-way BTB under the five
 //! policies, for a single trace.
 
+#![forbid(unsafe_code)]
+
 use fe_bench::Args;
 use fe_btb::btb_config;
 use fe_cache::CacheConfig;
@@ -9,16 +11,19 @@ use fe_sdbp::SdbpConfig;
 use fe_trace::fetch::FetchStream;
 use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
 use ghrp_core::GhrpConfig;
+use std::fmt::Write as _;
 
 fn main() {
     let args = Args::parse();
-    let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, args.seed + 1).instructions(
-        args.instr.unwrap_or(2_000_000),
-    );
+    let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, args.seed + 1)
+        .instructions(args.instr.unwrap_or(2_000_000));
     let trace = spec.generate();
     let icache = CacheConfig::with_capacity(64 * 1024, 8, 64).expect("valid geometry");
     let _ = btb_config(256, 8).expect("valid BTB geometry");
-    println!("== Figure 5: 256-entry 8-way BTB efficiency heat maps, trace {} ==", spec.name);
+    println!(
+        "== Figure 5: 256-entry 8-way BTB efficiency heat maps, trace {} ==",
+        spec.name
+    );
     let mut csv = String::from("policy,set,way,efficiency\n");
     for &p in PolicyKind::PAPER_SET {
         // Build a full front-end pair so GHRP's BTB coupling sees real
@@ -50,12 +55,15 @@ fn main() {
             .entries_mut()
             .finish_efficiency()
             .expect("tracking enabled");
-        println!("\n--- {p} (mean efficiency {:.3}, BTB MPKI-proxy misses {}) ---",
-            map.mean(), pair.btb.stats().misses);
+        println!(
+            "\n--- {p} (mean efficiency {:.3}, BTB MPKI-proxy misses {}) ---",
+            map.mean(),
+            pair.btb.stats().misses
+        );
         print!("{}", map.to_ascii());
         for (set, row) in map.cells.iter().enumerate() {
             for (way, &v) in row.iter().enumerate() {
-                csv.push_str(&format!("{p},{set},{way},{v:.4}\n"));
+                let _ = writeln!(csv, "{p},{set},{way},{v:.4}");
             }
         }
     }

@@ -1,8 +1,11 @@
 //! Figure 6: per-benchmark I-cache MPKI bars (a representative subset)
 //! plus the subset average, 64 KB 8-way.
 
+#![forbid(unsafe_code)]
+
 use fe_bench::Args;
 use fe_frontend::{experiment, policy::PolicyKind};
+use std::fmt::Write as _;
 
 fn main() {
     let mut args = Args::parse();
@@ -13,13 +16,13 @@ fn main() {
     print!("{}", result.render());
     let mut csv = String::from("trace,category");
     for p in &result.policies {
-        csv.push_str(&format!(",{p}"));
+        let _ = write!(csv, ",{p}");
     }
     csv.push('\n');
     for r in &result.rows {
-        csv.push_str(&format!("{},{}", r.name, r.category));
+        let _ = write!(csv, "{},{}", r.name, r.category);
         for v in &r.icache_mpki {
-            csv.push_str(&format!(",{v:.4}"));
+            let _ = write!(csv, ",{v:.4}");
         }
         csv.push('\n');
     }

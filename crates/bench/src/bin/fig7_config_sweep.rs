@@ -1,8 +1,11 @@
 //! Figure 7: average I-cache MPKI for {8,16,32,64} KB x {4,8}-way
 //! configurations with 64 B blocks, five policies.
 
+#![forbid(unsafe_code)]
+
 use fe_bench::Args;
 use fe_frontend::{policy::PolicyKind, sweep};
+use std::fmt::Write as _;
 
 fn main() {
     let args = Args::parse();
@@ -18,13 +21,13 @@ fn main() {
     print!("{}", result.render());
     let mut csv = String::from("capacity_kb,ways");
     for p in &result.policies {
-        csv.push_str(&format!(",{p}"));
+        let _ = write!(csv, ",{p}");
     }
     csv.push('\n');
     for pt in &result.points {
-        csv.push_str(&format!("{},{}", pt.capacity_bytes / 1024, pt.ways));
+        let _ = write!(csv, "{},{}", pt.capacity_bytes / 1024, pt.ways);
         for m in &pt.icache_means {
-            csv.push_str(&format!(",{m:.4}"));
+            let _ = write!(csv, ",{m:.4}");
         }
         csv.push('\n');
     }

@@ -4,8 +4,11 @@
 //! Paper reference: GHRP averages a 33% reduction, with the 95% interval
 //! entirely below -31%.
 
+#![forbid(unsafe_code)]
+
 use fe_bench::Args;
 use fe_frontend::{experiment, policy::PolicyKind, stats};
+use std::fmt::Write as _;
 
 fn main() {
     let args = Args::parse();
@@ -19,7 +22,7 @@ fn main() {
         let rel = stats::relative_differences(&result.icache_column(*p), &lru);
         let ci = stats::MeanCi::compute(&rel);
         println!("{:<10} {}", p.to_string(), ci);
-        csv.push_str(&format!("{p},{},{},{}\n", ci.mean, ci.half_width, ci.n));
+        let _ = writeln!(csv, "{p},{},{},{}", ci.mean, ci.half_width, ci.n);
     }
     args.write_artifact("fig8_relative_ci.csv", &csv);
 }

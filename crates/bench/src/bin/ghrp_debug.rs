@@ -1,4 +1,6 @@
 //! Debug: GHRP internal counters on one server trace.
+
+#![forbid(unsafe_code)]
 use fe_cache::{Cache, CacheConfig};
 use fe_trace::fetch::FetchStream;
 use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
@@ -7,7 +9,8 @@ use ghrp_core::{GhrpConfig, GhrpPolicy, SharedGhrp};
 fn main() {
     let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, 1237).instructions(2_000_000);
     let t = spec.generate();
-    let cfg = CacheConfig::with_capacity(64 * 1024, 8, 64).unwrap();
+    let cfg =
+        CacheConfig::with_capacity(64 * 1024, 8, 64).expect("64KB/8-way/64B is a valid geometry");
     let shared = SharedGhrp::new(GhrpConfig::default(), cfg.offset_bits());
     let mut c = Cache::new(cfg, GhrpPolicy::new(cfg, shared.clone()));
     for chunk in FetchStream::new(t.records.iter().copied(), 64) {

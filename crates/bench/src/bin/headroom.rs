@@ -1,4 +1,6 @@
 //! Headroom check: LRU vs OPT (and policy coverage) per server trace.
+
+#![forbid(unsafe_code)]
 use fe_frontend::{policy::PolicyKind, simulator::SimConfig, Simulator};
 use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
 
@@ -7,7 +9,8 @@ fn main() {
         let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, seed).instructions(2_000_000);
         let t = spec.generate();
         let run = |p: PolicyKind| {
-            Simulator::new(SimConfig::paper_default().with_policy(p)).run(&t.records, t.instructions)
+            Simulator::new(SimConfig::paper_default().with_policy(p))
+                .run(&t.records, t.instructions)
         };
         let lru = run(PolicyKind::Lru);
         let opt = run(PolicyKind::Opt);

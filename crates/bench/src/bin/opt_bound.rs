@@ -2,6 +2,8 @@
 //! gap each policy closes (not a paper figure; an upper-bound sanity
 //! check for the reproduction).
 
+#![forbid(unsafe_code)]
+
 use fe_bench::Args;
 use fe_frontend::{experiment, policy::PolicyKind};
 
@@ -9,15 +11,31 @@ fn main() {
     let mut args = Args::parse();
     args.traces = args.traces.min(24); // OPT preprocessing is heavier
     let specs = args.suite();
-    let pols = [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Sdbp, PolicyKind::Ghrp, PolicyKind::Opt];
+    let pols = [
+        PolicyKind::Lru,
+        PolicyKind::Srrip,
+        PolicyKind::Sdbp,
+        PolicyKind::Ghrp,
+        PolicyKind::Opt,
+    ];
     let result = experiment::run_suite(&specs, &args.sim(), &pols, args.threads);
     let lru = result.icache_means()[0];
-    let opt = *result.icache_means().last().unwrap();
+    let opt = *result
+        .icache_means()
+        .last()
+        .expect("sweep produced no results — no policies configured?");
     println!("== OPT bound study ({} traces) ==", specs.len());
-    println!("{:<10} {:>12} {:>22}", "policy", "icache MPKI", "% of LRU->OPT gap closed");
+    println!(
+        "{:<10} {:>12} {:>22}",
+        "policy", "icache MPKI", "% of LRU->OPT gap closed"
+    );
     for (i, p) in result.policies.iter().enumerate() {
         let m = result.icache_means()[i];
-        let closed = if lru > opt { (lru - m) / (lru - opt) * 100.0 } else { 0.0 };
+        let closed = if lru > opt {
+            (lru - m) / (lru - opt) * 100.0
+        } else {
+            0.0
+        };
         println!("{:<10} {:>12.3} {:>21.1}%", p.to_string(), m, closed);
     }
 }

@@ -3,6 +3,8 @@
 //! beat LRU on a trace, the workload has no dead-block-replacement
 //! headroom; if they can, the gap to online GHRP is predictor quality.
 
+#![forbid(unsafe_code)]
+
 use fe_cache::{AccessContext, Cache, CacheConfig, ReplacementPolicy};
 use fe_frontend::{policy::PolicyKind, simulator::SimConfig, Simulator};
 use fe_trace::fetch::FetchStream;
@@ -33,7 +35,9 @@ impl ReplacementPolicy for OracleDead {
         if let Some(w) = (0..self.ways).find(|&w| self.dead_bit[base + w]) {
             return w;
         }
-        (0..self.ways).min_by_key(|&w| self.stamps[base + w]).unwrap()
+        (0..self.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .unwrap_or(0)
     }
     fn on_evict(&mut self, way: usize, _victim: u64, ctx: &AccessContext) {
         self.dead_bit[ctx.set * self.ways + way] = false;
@@ -86,10 +90,11 @@ fn main() {
     for seed in [1235u64, 1237, 1239, 1241, 1243, 1245] {
         let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, seed).instructions(2_000_000);
         let t = spec.generate();
-        let cfg = CacheConfig::with_capacity(64 * 1024, 8, 64).unwrap();
+        let cfg = CacheConfig::with_capacity(64 * 1024, 8, 64)
+            .expect("64KB/8-way/64B is a valid geometry");
         let blocks: Vec<u64> = FetchStream::new(t.records.iter().copied(), 64)
             .filter(|c| c.starts_group)
-        .map(|c| c.block_addr)
+            .map(|c| c.block_addr)
             .collect();
         let labels = labels_for(&blocks, cfg);
         // Per-signature-majority labels: the feature ceiling an online
@@ -104,12 +109,19 @@ fn main() {
         let mut counts: HashMap<u16, (u32, u32)> = HashMap::new();
         for (s, &d) in sigs.iter().zip(&labels) {
             let e = counts.entry(*s).or_default();
-            if d { e.0 += 1 } else { e.1 += 1 }
+            if d {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
         }
-        let sig_labels: Vec<bool> = sigs.iter().map(|s| {
-            let (d, l) = counts[s];
-            d > l
-        }).collect();
+        let sig_labels: Vec<bool> = sigs
+            .iter()
+            .map(|s| {
+                let (d, l) = counts[s];
+                d > l
+            })
+            .collect();
         let oracle = OracleDead {
             labels,
             cursor: 0,
@@ -143,7 +155,8 @@ fn main() {
         }
         let lru_misses = lru_cache.stats().misses;
         let run = |p: PolicyKind| {
-            Simulator::new(SimConfig::paper_default().with_policy(p)).run(&t.records, t.instructions)
+            Simulator::new(SimConfig::paper_default().with_policy(p))
+                .run(&t.records, t.instructions)
         };
         let ghrp = run(PolicyKind::Ghrp);
         let lru_sim = run(PolicyKind::Lru);

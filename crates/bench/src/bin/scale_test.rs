@@ -1,4 +1,6 @@
 //! How the GHRP-vs-LRU gap scales with trace length.
+
+#![forbid(unsafe_code)]
 use fe_frontend::{policy::PolicyKind, simulator::SimConfig, Simulator};
 use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
 
@@ -14,7 +16,8 @@ fn main() {
             cfg.ghrp.bypass_threshold = 7;
             cfg.ghrp.btb_dead_threshold = 1;
             let lru = Simulator::new(cfg).run(&t.records, t.instructions);
-            let ghrp = Simulator::new(cfg.with_policy(PolicyKind::Ghrp)).run(&t.records, t.instructions);
+            let ghrp =
+                Simulator::new(cfg.with_policy(PolicyKind::Ghrp)).run(&t.records, t.instructions);
             lsum += lru.icache_mpki();
             gsum += ghrp.icache_mpki();
             lb += lru.btb_mpki();

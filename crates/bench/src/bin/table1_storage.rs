@@ -5,15 +5,19 @@
 //! scaled default (see `GhrpConfig` docs for why the tables are larger
 //! at reduced trace scale).
 
+#![forbid(unsafe_code)]
+
 use fe_cache::CacheConfig;
 use ghrp_core::{GhrpConfig, StorageReport};
 
 fn main() {
     let cache = CacheConfig::with_capacity(64 * 1024, 8, 64).expect("paper geometry");
 
-    let mut paper = GhrpConfig::default();
-    paper.table_entries = 4096;
-    paper.counter_bits = 2;
+    let paper = GhrpConfig {
+        table_entries: 4096,
+        counter_bits: 2,
+        ..GhrpConfig::default()
+    };
     println!("== Table I: GHRP storage, paper-nominal (64KB 8-way I-cache, 4K-entry BTB) ==");
     let r = StorageReport::new(&paper, cache, 4096);
     print!("{}", r.to_table());
@@ -25,5 +29,8 @@ fn main() {
     println!("\n== This reproduction's default predictor geometry ==");
     let r2 = StorageReport::new(&GhrpConfig::default(), cache, 4096);
     print!("{}", r2.to_table());
-    println!("overhead vs I-cache data: {:.1}%", r2.overhead_fraction(64 * 1024) * 100.0);
+    println!(
+        "overhead vs I-cache data: {:.1}%",
+        r2.overhead_fraction(64 * 1024) * 100.0
+    );
 }

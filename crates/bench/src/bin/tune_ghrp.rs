@@ -1,5 +1,7 @@
 //! Tuning sweep for GHRP knobs on server traces.
 
+#![forbid(unsafe_code)]
+
 use fe_frontend::{policy::PolicyKind, simulator::SimConfig, Simulator};
 use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
 
@@ -17,7 +19,7 @@ fn main() {
             .instructions(6_000_000)
         })
         .collect();
-    let traces: Vec<_> = specs.iter().map(|s| s.generate()).collect();
+    let traces: Vec<_> = specs.iter().map(fe_trace::WorkloadSpec::generate).collect();
     let lru: Vec<(f64, f64)> = traces
         .iter()
         .map(|t| {
@@ -26,9 +28,9 @@ fn main() {
         })
         .collect();
     let n = traces.len() as f64;
-    let ilru: f64 = lru.iter().map(|x| x.0).sum::<f64>() / n;
-    let blru: f64 = lru.iter().map(|x| x.1).sum::<f64>() / n;
-    println!("LRU mean: icache {ilru:.3} btb {blru:.3}");
+    let lru_icache_mean: f64 = lru.iter().map(|x| x.0).sum::<f64>() / n;
+    let lru_btb_mean: f64 = lru.iter().map(|x| x.1).sum::<f64>() / n;
+    println!("LRU mean: icache {lru_icache_mean:.3} btb {lru_btb_mean:.3}");
 
     let combos: &[(bool, bool, u8, bool)] = &[
         (true, true, 1, true),
@@ -48,7 +50,7 @@ fn main() {
         cfg.ghrp.btb_enable_bypass = btb_byp;
         cfg.ghrp.shadow_training = shadow;
         let (mut isum, mut bsum) = (0.0, 0.0);
-        for t in traces.iter() {
+        for t in &traces {
             let r = Simulator::new(cfg).run(&t.records, t.instructions);
             isum += r.icache_mpki();
             bsum += r.btb_mpki();
@@ -56,9 +58,9 @@ fn main() {
         println!(
             "mru={protect_mru} btbbyp={btb_byp} btbthr={btb_thr} shadow={shadow}: icache {:.3} ({:+.1}%)  btb {:.3} ({:+.1}%)",
             isum / n,
-            (isum / n - ilru) / ilru * 100.0,
+            (isum / n - lru_icache_mean) / lru_icache_mean * 100.0,
             bsum / n,
-            (bsum / n - blru) / blru * 100.0
+            (bsum / n - lru_btb_mean) / lru_btb_mean * 100.0
         );
     }
 }

@@ -45,9 +45,7 @@ impl Default for Args {
         Args {
             traces: 96,
             seed: 1234,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            threads: std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
             instr: None,
             out: PathBuf::from("results"),
         }
@@ -57,6 +55,11 @@ impl Default for Args {
 impl Args {
     /// Parse from `std::env::args`, panicking with a usage message on
     /// malformed input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown flag, a flag missing its value, or an
+    /// unparsable value.
     pub fn parse() -> Args {
         let mut args = Args::default();
         let mut it = std::env::args().skip(1);
@@ -125,9 +128,11 @@ mod tests {
 
     #[test]
     fn suite_respects_instr_override() {
-        let mut a = Args::default();
-        a.traces = 4;
-        a.instr = Some(12345);
+        let a = Args {
+            traces: 4,
+            instr: Some(12345),
+            ..Args::default()
+        };
         let specs = a.suite();
         assert_eq!(specs.len(), 4);
         assert!(specs.iter().all(|s| s.instructions == 12345));

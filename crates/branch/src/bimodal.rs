@@ -1,5 +1,7 @@
 //! Bimodal (Smith) predictor: a table of 2-bit saturating counters.
 
+#![forbid(unsafe_code)]
+
 use crate::DirectionPredictor;
 
 /// PC-indexed 2-bit counter predictor — the simplest useful baseline.

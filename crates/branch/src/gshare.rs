@@ -1,4 +1,6 @@
-//! Gshare (McFarling): global history XORed with the PC.
+//! `Gshare` (McFarling): global history `XORed` with the PC.
+
+#![forbid(unsafe_code)]
 
 use crate::DirectionPredictor;
 
@@ -6,7 +8,6 @@ use crate::DirectionPredictor;
 #[derive(Debug, Clone)]
 pub struct Gshare {
     counters: Vec<u8>,
-    mask: u64,
     history: u64,
     history_bits: u32,
 }
@@ -31,14 +32,13 @@ impl Gshare {
         );
         Gshare {
             counters: vec![1; entries],
-            mask: entries as u64 - 1,
             history: 0,
             history_bits,
         }
     }
 
     fn index(&self, pc: u64) -> usize {
-        (((pc >> 2) ^ self.history) & self.mask) as usize
+        fe_cache::index::mask((pc >> 2) ^ self.history, self.counters.len())
     }
 
     /// Current global history register (low `history_bits` bits).
@@ -115,9 +115,9 @@ mod tests {
             outcomes.push(taken);
         }
         assert!(
-            correct as f64 / total as f64 > 0.9,
+            f64::from(correct) / f64::from(total) > 0.9,
             "accuracy {}",
-            correct as f64 / total as f64
+            f64::from(correct) / f64::from(total)
         );
     }
 

@@ -145,7 +145,10 @@ mod tests {
         let a_hp = drive_single_pc(&mut hp, 1000).accuracy();
         assert!(a_bi < 0.7, "bimodal should struggle, got {a_bi}");
         assert!(a_gs > 0.95, "gshare should learn alternation, got {a_gs}");
-        assert!(a_hp > 0.95, "perceptron should learn alternation, got {a_hp}");
+        assert!(
+            a_hp > 0.95,
+            "perceptron should learn alternation, got {a_hp}"
+        );
     }
 
     #[test]

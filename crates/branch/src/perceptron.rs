@@ -8,6 +8,8 @@
 //! is below an adaptively trained threshold, every selected weight moves
 //! toward the outcome.
 
+#![forbid(unsafe_code)]
+
 use crate::DirectionPredictor;
 
 /// Configuration for [`HashedPerceptron`].
@@ -85,7 +87,11 @@ impl HashedPerceptron {
         if bits == 0 {
             return 0;
         }
-        let mask = if bits >= 64 { u64::MAX } else { (1 << bits) - 1 };
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1 << bits) - 1
+        };
         x &= mask;
         let mut folded = 0u64;
         while x != 0 {
@@ -188,7 +194,7 @@ mod tests {
             }
             p.update(0x1234, taken);
         }
-        let acc = correct as f64 / total as f64;
+        let acc = f64::from(correct) / total as f64;
         assert!(acc > 0.95, "accuracy {acc}");
     }
 
@@ -210,23 +216,21 @@ mod tests {
             p.update(0x200, b);
             a_prev = a;
         }
-        let acc = correct as f64 / total as f64;
+        let acc = f64::from(correct) / f64::from(total);
         assert!(acc > 0.9, "accuracy {acc}");
     }
 
     #[test]
     fn weights_saturate() {
-        let mut cfg = PerceptronConfig::default();
-        cfg.weight_max = 7;
+        let cfg = PerceptronConfig {
+            weight_max: 7,
+            ..PerceptronConfig::default()
+        };
         let mut p = HashedPerceptron::new(cfg);
         for _ in 0..1000 {
             p.update(0x40, true);
         }
-        assert!(p
-            .weights
-            .iter()
-            .flatten()
-            .all(|&w| (-7..=7).contains(&w)));
+        assert!(p.weights.iter().flatten().all(|&w| (-7..=7).contains(&w)));
     }
 
     #[test]
@@ -234,9 +238,11 @@ mod tests {
         let mut p = HashedPerceptron::default();
         let before = p.theta();
         // Random-ish (incompressible) outcomes force mispredictions.
-        let mut x = 0x12345678u64;
+        let mut x = 0x1234_5678_u64;
         for i in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
             let taken = (x >> 62) & 1 == 1;
             let _ = p.predict(0x1000 + (i % 16) * 4);
             p.update(0x1000 + (i % 16) * 4, taken);
@@ -255,8 +261,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "num_tables")]
     fn zero_tables_panics() {
-        let mut cfg = PerceptronConfig::default();
-        cfg.num_tables = 0;
+        let cfg = PerceptronConfig {
+            num_tables: 0,
+            ..PerceptronConfig::default()
+        };
         let _ = HashedPerceptron::new(cfg);
     }
 }

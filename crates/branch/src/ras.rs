@@ -1,5 +1,7 @@
 //! Return-address stack.
 
+#![forbid(unsafe_code)]
+
 /// A bounded return-address stack with wrap-around overwrite, as used by
 /// real front-ends to predict return targets.
 #[derive(Debug, Clone)]
@@ -29,6 +31,7 @@ impl ReturnAddressStack {
     /// Push a return address (on a call). Overflow silently overwrites the
     /// oldest entry, as in hardware.
     pub fn push(&mut self, ret_addr: u64) {
+        // lint:allow(pow2-mask): ring-buffer wrap; any RAS capacity is legal
         self.top = (self.top + 1) % self.capacity;
         self.entries[self.top] = ret_addr;
         self.depth = (self.depth + 1).min(self.capacity);
@@ -41,6 +44,7 @@ impl ReturnAddressStack {
             return None;
         }
         let v = self.entries[self.top];
+        // lint:allow(pow2-mask): ring-buffer wrap; any RAS capacity is legal
         self.top = (self.top + self.capacity - 1) % self.capacity;
         self.depth -= 1;
         Some(v)

@@ -7,6 +7,8 @@
 //! ITTAGE-style predictors). Indirect jumps and indirect calls predict
 //! through it; returns use the return-address stack instead.
 
+#![forbid(unsafe_code)]
+
 /// A two-level target predictor: a PC-indexed *base* table captures
 /// monomorphic indirect branches; a tagged, (PC ⊕ history)-indexed table
 /// disambiguates polymorphic ones. Predictions prefer a tag-matching
@@ -130,7 +132,7 @@ mod tests {
             }
             tc.update(pc, target);
         }
-        let acc = correct as f64 / total as f64;
+        let acc = f64::from(correct) / f64::from(total);
         assert!(acc > 0.9, "alternating-target accuracy {acc}");
     }
 

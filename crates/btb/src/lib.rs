@@ -195,6 +195,10 @@ impl GhrpBtbPolicy {
     /// Create the policy for a BTB of geometry `btb_cfg`, coupled to the
     /// I-cache GHRP `shared` state. `icache_block_bytes` must match the
     /// I-cache the shared predictor serves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `icache_block_bytes` is not a power of two.
     pub fn new(btb_cfg: CacheConfig, shared: SharedGhrp, icache_block_bytes: u64) -> GhrpBtbPolicy {
         assert!(
             icache_block_bytes.is_power_of_two(),
@@ -223,12 +227,11 @@ impl GhrpBtbPolicy {
 impl ReplacementPolicy for GhrpBtbPolicy {
     fn on_access(&mut self, ctx: &AccessContext) {
         let block = ctx.addr & self.icache_block_mask;
-        let sig = match self.shared.meta(block) {
-            Some(meta) => meta.signature,
-            None => {
-                self.fallback_predictions += 1;
-                self.shared.pc_signature(ctx.addr >> 2)
-            }
+        let sig = if let Some(meta) = self.shared.meta(block) {
+            meta.signature
+        } else {
+            self.fallback_predictions += 1;
+            self.shared.pc_signature(ctx.addr >> 2)
         };
         self.current_pred = self.shared.predict_btb_dead(sig);
     }
@@ -275,6 +278,18 @@ impl ReplacementPolicy for GhrpBtbPolicy {
 
     fn name(&self) -> String {
         "GHRP".to_owned()
+    }
+}
+
+impl fe_cache::policy::PolicyInvariants for GhrpBtbPolicy {
+    fn check_invariants(&self) -> Result<(), String> {
+        fe_cache::policy::check_lru_stack(&self.stamps, self.ways, self.clock)?;
+        if self.predicted_dead.len() != self.stamps.len()
+            || self.frame_pc.len() != self.stamps.len()
+        {
+            return Err("per-frame arrays disagree on the frame count".into());
+        }
+        self.shared.check_invariants()
     }
 }
 
@@ -349,8 +364,10 @@ mod tests {
 
     #[test]
     fn ghrp_btb_uses_icache_metadata_signature() {
-        let mut cfg = GhrpConfig::default();
-        cfg.btb_enable_bypass = true; // this test exercises the bypass path
+        let cfg = GhrpConfig {
+            btb_enable_bypass: true, // this test exercises the bypass path
+            ..GhrpConfig::default()
+        };
         let shared = SharedGhrp::new(cfg, 6);
         // Train a signature to saturation and attach it to block 0x1000.
         let sig = 0x123;
@@ -377,8 +394,10 @@ mod tests {
 
     #[test]
     fn ghrp_btb_evicts_predicted_dead_first() {
-        let mut cfg = GhrpConfig::default();
-        cfg.btb_enable_bypass = false;
+        let cfg = GhrpConfig {
+            btb_enable_bypass: false,
+            ..GhrpConfig::default()
+        };
         let shared = SharedGhrp::new(cfg, 6);
         let mut btb = ghrp_btb(&shared);
         // Two branches in one BTB set (8 sets × 2 ways; pc step = 8*4

@@ -1,5 +1,7 @@
 //! The tag-array cache simulator.
 
+#![forbid(unsafe_code)]
+
 use crate::config::CacheConfig;
 use crate::efficiency::EfficiencyTracker;
 use crate::policy::{AccessContext, ReplacementPolicy};
@@ -83,6 +85,13 @@ pub struct Cache<P> {
 impl<P: ReplacementPolicy> Cache<P> {
     /// Create an empty cache.
     pub fn new(cfg: CacheConfig, policy: P) -> Cache<P> {
+        // `CacheConfig` constructors enforce this, but a config can also
+        // arrive through deserialization; set indexing relies on it.
+        debug_assert!(
+            cfg.sets().is_power_of_two(),
+            "set count {} is not a power of two",
+            cfg.sets()
+        );
         Cache {
             cfg,
             tags: vec![None; cfg.frames()],
@@ -163,6 +172,11 @@ impl<P: ReplacementPolicy> Cache<P> {
     /// demand fill, but `on_access` does not (a prefetch is not part of
     /// the demand stream, so history-based policies do not advance their
     /// histories).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy chooses a victim way `>= ways` — a policy
+    /// bug, not a caller error.
     pub fn prefetch(&mut self, addr: u64) -> bool {
         let block = self.cfg.block_of(addr);
         let set = self.cfg.set_of(block);
@@ -176,19 +190,24 @@ impl<P: ReplacementPolicy> Cache<P> {
         };
         let base = set * self.cfg.ways() as usize;
         let ways = self.cfg.ways() as usize;
-        let way = match (0..ways).find(|&w| self.tags[base + w].is_none()) {
-            Some(w) => w,
-            None => {
-                let w = self.policy.choose_victim(&ctx);
-                assert!(w < ways, "policy chose way {w} of {ways}");
-                let victim = self.tags[base + w].expect("full set has valid victim");
+        let way = if let Some(w) = (0..ways).find(|&w| self.tags[base + w].is_none()) {
+            w
+        } else {
+            let w = self.policy.choose_victim(&ctx);
+            assert!(w < ways, "policy chose way {w} of {ways}");
+            // The set is full here (no invalid frame was found above), so
+            // every way holds a tag; the `if let` keeps the hot path free
+            // of panicking calls.
+            let victim = self.tags[base + w];
+            debug_assert!(victim.is_some(), "full set has a valid tag in every way");
+            if let Some(victim) = victim {
                 self.policy.on_evict(w, victim, &ctx);
                 if let Some(e) = &mut self.efficiency {
                     e.on_evict(set, w);
                 }
                 self.stats.evictions += 1;
-                w
             }
+            w
         };
         self.tags[base + way] = Some(block);
         self.policy.on_fill(way, &ctx);
@@ -203,6 +222,11 @@ impl<P: ReplacementPolicy> Cache<P> {
     /// is unused by the baseline policies but kept in the signature for
     /// symmetry with the BTB; predictive policies receive the *block*
     /// address through [`AccessContext`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy chooses a victim way `>= ways` — a policy
+    /// bug, not a caller error.
     pub fn access(&mut self, addr: u64, pc: u64) -> AccessResult {
         let _ = pc;
         let block = self.cfg.block_of(addr);
@@ -237,19 +261,24 @@ impl<P: ReplacementPolicy> Cache<P> {
         }
 
         // Prefer an invalid frame; otherwise ask the policy for a victim.
-        let (way, evicted) = match (0..ways).find(|&w| self.tags[base + w].is_none()) {
-            Some(w) => (w, None),
-            None => {
-                let w = self.policy.choose_victim(&ctx);
-                assert!(w < ways, "policy chose way {w} of {ways}");
-                let victim = self.tags[base + w].expect("full set has valid victim");
+        let (way, evicted) = if let Some(w) = (0..ways).find(|&w| self.tags[base + w].is_none()) {
+            (w, None)
+        } else {
+            let w = self.policy.choose_victim(&ctx);
+            assert!(w < ways, "policy chose way {w} of {ways}");
+            // The set is full here (no invalid frame was found above), so
+            // every way holds a tag; the `if let` keeps the hot path free
+            // of panicking calls.
+            let victim = self.tags[base + w];
+            debug_assert!(victim.is_some(), "full set has a valid tag in every way");
+            if let Some(victim) = victim {
                 self.policy.on_evict(w, victim, &ctx);
                 if let Some(e) = &mut self.efficiency {
                     e.on_evict(set, w);
                 }
                 self.stats.evictions += 1;
-                (w, Some(victim))
             }
+            (w, victim)
         };
         self.tags[base + way] = Some(block);
         self.policy.on_fill(way, &ctx);
@@ -290,7 +319,12 @@ mod tests {
         assert_eq!(c.stats().evictions, 0);
         // Third distinct block in set 0 must evict.
         let r = c.access(0x200, 0);
-        assert_eq!(r, AccessResult::Miss { evicted: Some(0x000) });
+        assert_eq!(
+            r,
+            AccessResult::Miss {
+                evicted: Some(0x000)
+            }
+        );
         assert_eq!(c.stats().evictions, 1);
     }
 
@@ -317,7 +351,7 @@ mod tests {
     #[test]
     fn miss_ratio() {
         let mut s = CacheStats::default();
-        assert_eq!(s.miss_ratio(), 0.0);
+        assert!(s.miss_ratio().abs() < f64::EPSILON);
         s.accesses = 4;
         s.misses = 1;
         assert!((s.miss_ratio() - 0.25).abs() < 1e-12);

@@ -1,5 +1,7 @@
 //! Cache geometry and address slicing.
 
+#![forbid(unsafe_code)]
+
 use serde::{Deserialize, Serialize};
 
 /// Error constructing a [`CacheConfig`].
@@ -145,7 +147,10 @@ impl CacheConfig {
 
     /// Set index for `addr`.
     pub fn set_of(&self, addr: u64) -> usize {
-        ((addr / self.block_bytes) % u64::from(self.sets)) as usize
+        // Power-of-two geometry is enforced at construction, so masking
+        // is exact — and unlike `%`, it cannot silently "work" for a
+        // non-power-of-two set count that skews the index distribution.
+        crate::index::mask(addr >> self.offset_bits(), self.sets as usize)
     }
 
     /// Number of bits in the set index.
@@ -210,7 +215,7 @@ mod tests {
     fn address_slicing() {
         let cfg = CacheConfig::with_sets(128, 8, 64).unwrap();
         assert_eq!(cfg.block_of(0x1234), 0x1200);
-        assert_eq!(cfg.set_of(0x1240), ((0x1240u64 / 64) % 128) as usize);
+        assert_eq!(cfg.set_of(0x1240), (0x1240u64 / 64) as usize);
         assert_eq!(cfg.set_bits(), 7);
         assert_eq!(cfg.offset_bits(), 6);
     }

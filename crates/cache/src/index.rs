@@ -1,0 +1,113 @@
+//! Checked index arithmetic shared by every set-indexed structure.
+//!
+//! The GHRP reproduction is full of bit-level index computation — set
+//! selection, skewed-table hashing, signature masking — exactly the kind
+//! of code where a truncating `as` cast silently corrupts results. This
+//! module centralizes the two primitives every structure needs:
+//!
+//! * [`mask`] — power-of-two bucket selection (the only sanctioned way
+//!   to turn an address into a set/table index), and
+//! * [`idx`] — bounds-checked `u64 → usize` narrowing for array
+//!   indexing.
+//!
+//! The custom lint engine (`cargo xtask lint`) forbids raw `%`
+//! set-indexing and unchecked `as`-narrowing in index computation
+//! outside this module, so every conversion funnels through these two
+//! functions. `ghrp-core::shared` re-exports both for predictor-side
+//! code.
+
+#![forbid(unsafe_code)]
+
+/// Select a bucket in `0..buckets` from `value` by power-of-two masking.
+///
+/// This is the canonical set-index operation: equivalent to
+/// `value % buckets` when `buckets` is a power of two, but explicit
+/// about the requirement instead of silently "working" for any modulus.
+///
+/// ```
+/// use fe_cache::index::mask;
+/// assert_eq!(mask(0x1240 / 64, 128), (0x1240u64 / 64 % 128) as usize);
+/// assert_eq!(mask(u64::MAX, 16), 15);
+/// ```
+///
+/// # Panics
+///
+/// In debug builds, panics unless `buckets` is a nonzero power of two.
+#[inline]
+#[must_use]
+pub fn mask(value: u64, buckets: usize) -> usize {
+    debug_assert!(
+        buckets.is_power_of_two(),
+        "mask: bucket count {buckets} is not a power of two"
+    );
+    // Truncation-safe: the result is < buckets, which fits usize.
+    #[allow(clippy::cast_possible_truncation)]
+    let bucket = (value & (buckets as u64 - 1)) as usize;
+    bucket
+}
+
+/// Narrow `value` to a `usize` index, checked against `bound`.
+///
+/// The canonical way to turn a computed (hashed, shifted, masked) `u64`
+/// into an array index: the narrowing is explicit and the out-of-range
+/// case panics in debug builds instead of wrapping.
+///
+/// ```
+/// use fe_cache::index::idx;
+/// let table = vec![0u8; 4096];
+/// assert_eq!(table[idx(4095, table.len())], 0);
+/// ```
+///
+/// # Panics
+///
+/// In debug builds, panics when `value >= bound`.
+#[inline]
+#[must_use]
+pub fn idx(value: u64, bound: usize) -> usize {
+    debug_assert!(
+        value < bound as u64,
+        "idx: index {value} out of bounds for length {bound}"
+    );
+    // Truncation-safe: checked against `bound` (a usize) above; release
+    // builds that somehow exceed it fault on the array access instead.
+    #[allow(clippy::cast_possible_truncation)]
+    let index = value as usize;
+    index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_matches_modulo_for_powers_of_two() {
+        for buckets in [1usize, 2, 64, 128, 4096] {
+            for v in [0u64, 1, 63, 64, 0x1234_5678, u64::MAX] {
+                // Truncation-safe: the remainder is < buckets.
+                #[allow(clippy::cast_possible_truncation)]
+                let expected = (v % buckets as u64) as usize;
+                assert_eq!(mask(v, buckets), expected);
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not a power of two")]
+    fn mask_rejects_non_power_of_two() {
+        let _ = mask(5, 3);
+    }
+
+    #[test]
+    fn idx_passes_in_bounds() {
+        assert_eq!(idx(0, 1), 0);
+        assert_eq!(idx(4095, 4096), 4095);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of bounds")]
+    fn idx_catches_out_of_bounds() {
+        let _ = idx(4096, 4096);
+    }
+}

@@ -37,9 +37,11 @@
 mod cache;
 mod config;
 mod efficiency;
+pub mod index;
 pub mod policy;
 
 pub use crate::cache::{AccessResult, Cache, CacheStats};
 pub use config::{CacheConfig, ConfigError};
 pub use efficiency::{EfficiencyMap, EfficiencyTracker};
+pub use index::{idx, mask};
 pub use policy::{AccessContext, ReplacementPolicy};

@@ -4,6 +4,8 @@
 //! bound so the benchmark harness can report how much of the LRU→OPT gap
 //! each policy closes.
 
+#![forbid(unsafe_code)]
+
 use super::{AccessContext, ReplacementPolicy};
 use crate::CacheConfig;
 use std::collections::HashMap;
@@ -79,7 +81,7 @@ impl ReplacementPolicy for BeladyOpt {
         let base = ctx.set * self.ways;
         (0..self.ways)
             .max_by_key(|&w| self.frame_next[base + w])
-            .expect("at least one way")
+            .unwrap_or(0) // ways >= 1 by construction; hot path stays panic-free
     }
 
     fn on_evict(&mut self, _way: usize, _victim_block: u64, _ctx: &AccessContext) {}
@@ -93,6 +95,11 @@ impl ReplacementPolicy for BeladyOpt {
         "OPT".to_owned()
     }
 }
+
+// Belady's OPT carries only the precomputed next-use schedule; the
+// default (always-Ok) invariant check makes it wrappable alongside the
+// real policies in the property suites.
+impl super::PolicyInvariants for BeladyOpt {}
 
 #[cfg(test)]
 mod tests {

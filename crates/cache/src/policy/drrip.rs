@@ -8,6 +8,8 @@
 //! upgrade of its SRRIP baseline and a useful extra point for the
 //! benchmark harness.
 
+#![forbid(unsafe_code)]
+
 use super::{AccessContext, ReplacementPolicy};
 use crate::CacheConfig;
 
@@ -118,6 +120,34 @@ impl ReplacementPolicy for Drrip {
     }
 }
 
+impl super::PolicyInvariants for Drrip {
+    fn check_invariants(&self) -> Result<(), String> {
+        if let Some(i) = self.rrpv.iter().position(|&r| r > self.max_rrpv) {
+            return Err(format!(
+                "frame {i}: RRPV {} exceeds the configured max {}",
+                self.rrpv[i], self.max_rrpv
+            ));
+        }
+        if self.psel < 0 || self.psel > self.psel_max {
+            return Err(format!("PSEL {} outside [0, {}]", self.psel, self.psel_max));
+        }
+        let srrip = self
+            .roles
+            .iter()
+            .filter(|r| **r == SetRole::LeaderSrrip)
+            .count();
+        let brrip = self
+            .roles
+            .iter()
+            .filter(|r| **r == SetRole::LeaderBrrip)
+            .count();
+        if srrip == 0 || brrip == 0 {
+            return Err("set dueling needs at least one leader per policy".into());
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,8 +157,16 @@ mod tests {
     fn leader_sets_are_assigned_both_policies() {
         let cfg = CacheConfig::with_sets(128, 8, 64).unwrap();
         let d = Drrip::new(cfg);
-        let srrip = d.roles.iter().filter(|r| **r == SetRole::LeaderSrrip).count();
-        let brrip = d.roles.iter().filter(|r| **r == SetRole::LeaderBrrip).count();
+        let srrip = d
+            .roles
+            .iter()
+            .filter(|r| **r == SetRole::LeaderSrrip)
+            .count();
+        let brrip = d
+            .roles
+            .iter()
+            .filter(|r| **r == SetRole::LeaderBrrip)
+            .count();
         assert!(srrip >= 1 && brrip >= 1);
         assert_eq!(srrip, brrip);
         assert!(srrip <= 32);
@@ -174,7 +212,14 @@ mod tests {
             .position(|r| *r == SetRole::LeaderSrrip)
             .unwrap();
         for _ in 0..5000 {
-            d.on_fill(0, &AccessContext { addr: 0, block_addr: 0, set: leader });
+            d.on_fill(
+                0,
+                &AccessContext {
+                    addr: 0,
+                    block_addr: 0,
+                    set: leader,
+                },
+            );
         }
         assert!(d.psel <= d.psel_max);
     }

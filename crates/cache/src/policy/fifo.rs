@@ -1,5 +1,7 @@
 //! First-in-first-out replacement (Smith & Goodman's early I-cache study).
 
+#![forbid(unsafe_code)]
+
 use super::{AccessContext, ReplacementPolicy};
 use crate::CacheConfig;
 
@@ -29,7 +31,7 @@ impl ReplacementPolicy for Fifo {
         let base = ctx.set * self.ways;
         (0..self.ways)
             .min_by_key(|&w| self.fill_time[base + w])
-            .expect("at least one way")
+            .unwrap_or(0) // ways >= 1 by construction; hot path stays panic-free
     }
 
     fn on_evict(&mut self, _way: usize, _victim_block: u64, _ctx: &AccessContext) {}
@@ -41,6 +43,14 @@ impl ReplacementPolicy for Fifo {
 
     fn name(&self) -> String {
         "FIFO".to_owned()
+    }
+}
+
+impl super::PolicyInvariants for Fifo {
+    fn check_invariants(&self) -> Result<(), String> {
+        // Fill times are issued from a monotone clock, so the same stack
+        // property as LRU applies: per-set fill order is a permutation.
+        super::check_lru_stack(&self.fill_time, self.ways, self.clock)
     }
 }
 
@@ -61,7 +71,9 @@ mod tests {
         }
         assert_eq!(
             c.access(0x080, 0),
-            AccessResult::Miss { evicted: Some(0x000) }
+            AccessResult::Miss {
+                evicted: Some(0x000)
+            }
         );
     }
 
@@ -74,11 +86,15 @@ mod tests {
         }
         assert_eq!(
             c.access(0x100, 0),
-            AccessResult::Miss { evicted: Some(0x000) }
+            AccessResult::Miss {
+                evicted: Some(0x000)
+            }
         );
         assert_eq!(
             c.access(0x140, 0),
-            AccessResult::Miss { evicted: Some(0x040) }
+            AccessResult::Miss {
+                evicted: Some(0x040)
+            }
         );
     }
 }

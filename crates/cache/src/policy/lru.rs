@@ -1,5 +1,7 @@
 //! Least-recently-used replacement — the paper's baseline.
 
+#![forbid(unsafe_code)]
+
 use super::{AccessContext, ReplacementPolicy};
 use crate::CacheConfig;
 
@@ -41,7 +43,7 @@ impl ReplacementPolicy for Lru {
         let base = ctx.set * self.ways;
         (0..self.ways)
             .min_by_key(|&w| self.stamps[base + w])
-            .expect("at least one way")
+            .unwrap_or(0) // ways >= 1 by construction; hot path stays panic-free
     }
 
     fn on_evict(&mut self, _way: usize, _victim_block: u64, _ctx: &AccessContext) {}
@@ -52,6 +54,14 @@ impl ReplacementPolicy for Lru {
 
     fn name(&self) -> String {
         "LRU".to_owned()
+    }
+}
+
+impl super::PolicyInvariants for Lru {
+    fn check_invariants(&self) -> Result<(), String> {
+        // The stamp ordering within each set must be a permutation of the
+        // ways (the LRU stack property).
+        super::check_lru_stack(&self.stamps, self.ways, self.clock)
     }
 }
 
@@ -70,7 +80,12 @@ mod tests {
         // Touch 0x000 so 0x040 becomes LRU.
         c.access(0x000, 0);
         let r = c.access(0x100, 0);
-        assert_eq!(r, AccessResult::Miss { evicted: Some(0x040) });
+        assert_eq!(
+            r,
+            AccessResult::Miss {
+                evicted: Some(0x040)
+            }
+        );
     }
 
     #[test]
@@ -82,7 +97,9 @@ mod tests {
         c.access(0x000, 0); // MRU = 0x000
         assert_eq!(
             c.access(0x080, 0),
-            AccessResult::Miss { evicted: Some(0x040) }
+            AccessResult::Miss {
+                evicted: Some(0x040)
+            }
         );
         assert!(c.contains(0x000));
     }

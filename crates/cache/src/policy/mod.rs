@@ -5,12 +5,15 @@
 //! choice — belongs to the policy. Predictive policies (GHRP, SDBP) live in
 //! sibling crates and implement the same [`ReplacementPolicy`] trait.
 
+#![forbid(unsafe_code)]
+
 mod belady;
 mod drrip;
 mod fifo;
 mod lru;
 mod random;
 mod srrip;
+mod validate;
 
 pub use belady::BeladyOpt;
 pub use drrip::Drrip;
@@ -18,6 +21,7 @@ pub use fifo::Fifo;
 pub use lru::Lru;
 pub use random::RandomPolicy;
 pub use srrip::Srrip;
+pub use validate::{check_lru_stack, PolicyInvariants, ValidatingPolicy};
 
 /// Per-access information handed to the policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,5 +1,7 @@
 //! Random replacement.
 
+#![forbid(unsafe_code)]
+
 use super::{AccessContext, ReplacementPolicy};
 use crate::CacheConfig;
 use rand::rngs::SmallRng;
@@ -35,6 +37,16 @@ impl ReplacementPolicy for RandomPolicy {
 
     fn name(&self) -> String {
         "Random".to_owned()
+    }
+}
+
+impl super::PolicyInvariants for RandomPolicy {
+    fn check_invariants(&self) -> Result<(), String> {
+        if self.ways == 0 {
+            Err("random policy configured with zero ways".into())
+        } else {
+            Ok(())
+        }
     }
 }
 

@@ -1,5 +1,7 @@
 //! Static Re-reference Interval Prediction (Jaleel et al., ISCA 2010).
 
+#![forbid(unsafe_code)]
+
 use super::{AccessContext, ReplacementPolicy};
 use crate::CacheConfig;
 
@@ -74,6 +76,21 @@ impl ReplacementPolicy for Srrip {
     }
 }
 
+impl super::PolicyInvariants for Srrip {
+    fn check_invariants(&self) -> Result<(), String> {
+        if self.ways == 0 {
+            return Err("SRRIP configured with zero ways".into());
+        }
+        match self.rrpv.iter().position(|&r| r > self.max_rrpv) {
+            Some(i) => Err(format!(
+                "frame {i}: RRPV {} exceeds the configured max {}",
+                self.rrpv[i], self.max_rrpv
+            )),
+            None => Ok(()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,7 +105,7 @@ mod tests {
         let mut c = Cache::new(cfg, Srrip::new(cfg));
         c.access(0x000, 0);
         c.access(0x000, 0); // hot block at RRPV 0
-        // Scan: 6 never-reused blocks through the same set.
+                            // Scan: 6 never-reused blocks through the same set.
         for i in 1..=6u64 {
             c.access(i * 64, 0);
         }
@@ -105,10 +122,12 @@ mod tests {
         c.access(0x000, 0);
         c.access(0x000, 0); // rrpv 0
         c.access(0x040, 0); // rrpv 2
-        // Next miss ages set until 0x040 reaches 3 first.
+                            // Next miss ages set until 0x040 reaches 3 first.
         assert_eq!(
             c.access(0x080, 0),
-            AccessResult::Miss { evicted: Some(0x040) }
+            AccessResult::Miss {
+                evicted: Some(0x040)
+            }
         );
     }
 

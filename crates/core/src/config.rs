@@ -1,5 +1,7 @@
 //! GHRP configuration.
 
+#![forbid(unsafe_code)]
+
 use serde::{Deserialize, Serialize};
 
 /// How the three per-table votes combine into one prediction.
@@ -21,6 +23,9 @@ pub enum Aggregation {
 /// dead/bypass thresholds (the BTB threshold is tuned independently,
 /// §III.E point 4).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// Each bool is an independent ablation switch; a state machine would
+// obscure that they compose freely.
+#[allow(clippy::struct_excessive_bools)]
 pub struct GhrpConfig {
     /// Entries per prediction table (power of two).
     pub table_entries: usize,
@@ -135,7 +140,11 @@ impl Default for GhrpConfig {
 impl GhrpConfig {
     /// Maximum counter value for the configured width.
     pub fn counter_max(&self) -> u8 {
-        ((1u16 << self.counter_bits) - 1) as u8
+        // Truncation-safe: validate() caps counter_bits at 8, so the
+        // all-ones value fits in u8.
+        #[allow(clippy::cast_possible_truncation)]
+        let max = ((1u16 << self.counter_bits) - 1) as u8;
+        max
     }
 
     /// Total history shift per access (PC bits + padding).
@@ -219,15 +228,17 @@ mod tests {
     /// (used by the Table I storage report and the ablation harness).
     #[test]
     fn paper_nominal_configuration_is_valid() {
-        let mut c = GhrpConfig::default();
-        c.table_entries = 4096;
-        c.counter_bits = 2;
-        c.dead_threshold = 2;
-        c.bypass_threshold = 3;
-        c.btb_dead_threshold = 3;
-        c.shadow_training = false;
-        c.fresh_victim_prediction = false;
-        c.btb_absent_block_is_dead = false;
+        let c = GhrpConfig {
+            table_entries: 4096,
+            counter_bits: 2,
+            dead_threshold: 2,
+            bypass_threshold: 3,
+            btb_dead_threshold: 3,
+            shadow_training: false,
+            fresh_victim_prediction: false,
+            btb_absent_block_is_dead: false,
+            ..GhrpConfig::default()
+        };
         assert_eq!(c.index_bits(), 12);
         assert_eq!(c.counter_max(), 3);
         assert_eq!(c.validate(), Ok(()));
@@ -235,39 +246,51 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_tables() {
-        let mut c = GhrpConfig::default();
-        c.table_entries = 1000;
+        let c = GhrpConfig {
+            table_entries: 1000,
+            ..GhrpConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = GhrpConfig::default();
-        c.num_tables = 0;
+        let c = GhrpConfig {
+            num_tables: 0,
+            ..GhrpConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn validate_rejects_threshold_overflow() {
-        let mut c = GhrpConfig::default();
-        c.counter_bits = 2;
-        c.dead_threshold = 4; // > 2-bit max of 3
-        c.bypass_threshold = 3;
-        c.btb_dead_threshold = 3;
+        let c = GhrpConfig {
+            counter_bits: 2,
+            dead_threshold: 4, // > 2-bit max of 3
+            bypass_threshold: 3,
+            btb_dead_threshold: 3,
+            ..GhrpConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn validate_rejects_bad_history() {
-        let mut c = GhrpConfig::default();
-        c.history_bits = 0;
+        let c = GhrpConfig {
+            history_bits: 0,
+            ..GhrpConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = GhrpConfig::default();
-        c.pc_bits_per_access = 0;
-        c.pad_bits_per_access = 0;
+        let c = GhrpConfig {
+            pc_bits_per_access: 0,
+            pad_bits_per_access: 0,
+            ..GhrpConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn wider_counters_raise_max() {
-        let mut c = GhrpConfig::default();
-        c.counter_bits = 8;
+        let c = GhrpConfig {
+            counter_bits: 8,
+            ..GhrpConfig::default()
+        };
         assert_eq!(c.counter_max(), 255);
     }
 }

@@ -12,6 +12,8 @@
 //! is restored from the retired one, exactly as branch predictors manage
 //! speculative global history.
 
+#![forbid(unsafe_code)]
+
 use crate::GhrpConfig;
 
 /// Dual (speculative + retired) path history register.
@@ -71,6 +73,41 @@ impl SpeculativeHistory {
     /// Current retired history value.
     pub fn retired(&self) -> u64 {
         self.retired
+    }
+
+    /// Validate the dual-history invariants: both registers fit the
+    /// configured width, and misprediction recovery restores *exactly* the
+    /// retired state (§III.F) — checked on a copy so the live histories
+    /// are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.spec & !self.mask != 0 {
+            return Err(format!(
+                "speculative history {:#x} overflows the configured mask {:#x}",
+                self.spec, self.mask
+            ));
+        }
+        if self.retired & !self.mask != 0 {
+            return Err(format!(
+                "retired history {:#x} overflows the configured mask {:#x}",
+                self.retired, self.mask
+            ));
+        }
+        let mut copy = *self;
+        copy.recover();
+        if copy.speculative() != self.retired() || copy.retired() != self.retired() {
+            return Err(format!(
+                "recovery does not restore the retired state exactly: \
+                 spec {:#x}, retired {:#x} after recovery (retired was {:#x})",
+                copy.speculative(),
+                copy.retired(),
+                self.retired()
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -151,10 +188,12 @@ mod tests {
 
     #[test]
     fn custom_widths_respected() {
-        let mut cfg = GhrpConfig::default();
-        cfg.history_bits = 8;
-        cfg.pc_bits_per_access = 2;
-        cfg.pad_bits_per_access = 0;
+        let cfg = GhrpConfig {
+            history_bits: 8,
+            pc_bits_per_access: 2,
+            pad_bits_per_access: 0,
+            ..GhrpConfig::default()
+        };
         let mut hist = SpeculativeHistory::new(&cfg);
         for _ in 0..10 {
             hist.update_speculative(0b11);

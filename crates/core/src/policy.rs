@@ -1,5 +1,7 @@
 //! GHRP as an I-cache replacement policy (Algorithm 1 of the paper).
 
+#![forbid(unsafe_code)]
+
 use crate::shared::{BlockMeta, SharedGhrp};
 use fe_cache::{AccessContext, CacheConfig, ReplacementPolicy};
 use serde::{Deserialize, Serialize};
@@ -111,8 +113,13 @@ impl GhrpPolicy {
         }
         // Shadow miss: evict shadow-LRU, training its signature dead.
         let victim = (0..self.ways)
-            .min_by_key(|&w| (self.shadow_block[base + w].is_some(), self.shadow_stamps[base + w]))
-            .expect("at least one way");
+            .min_by_key(|&w| {
+                (
+                    self.shadow_block[base + w].is_some(),
+                    self.shadow_stamps[base + w],
+                )
+            })
+            .unwrap_or(0); // ways >= 1 by construction; hot path stays panic-free
         if self.shadow_block[base + victim].is_some() {
             self.shared.train(self.shadow_sig[base + victim], true);
         }
@@ -174,7 +181,7 @@ impl ReplacementPolicy for GhrpPolicy {
         // exempt the MRU way (see `GhrpConfig::protect_mru`).
         let mru = (0..self.ways)
             .max_by_key(|&w| self.stamps[base + w])
-            .expect("at least one way");
+            .unwrap_or(0); // ways >= 1 by construction; hot path stays panic-free
         let cfg = self.shared.config();
         let mut best: Option<(u64, usize)> = None;
         for w in 0..self.ways {
@@ -206,7 +213,7 @@ impl ReplacementPolicy for GhrpPolicy {
         self.stats.lru_victims += 1;
         (0..self.ways)
             .min_by_key(|&w| self.stamps[base + w])
-            .expect("at least one way")
+            .unwrap_or(0) // ways >= 1 by construction; hot path stays panic-free
     }
 
     fn on_evict(&mut self, way: usize, victim_block: u64, ctx: &AccessContext) {
@@ -242,6 +249,31 @@ impl ReplacementPolicy for GhrpPolicy {
     }
 }
 
+impl fe_cache::policy::PolicyInvariants for GhrpPolicy {
+    fn check_invariants(&self) -> Result<(), String> {
+        // Recency stamps (and the shadow array's, when enabled) must form
+        // an LRU stack per set.
+        fe_cache::policy::check_lru_stack(&self.stamps, self.ways, self.clock)?;
+        if self.shadow_training {
+            fe_cache::policy::check_lru_stack(&self.shadow_stamps, self.ways, self.clock)?;
+        }
+        // Every resident block must carry metadata in the shared store —
+        // the BTB side reads predictions through it.
+        for (frame, block) in self.frame_block.iter().enumerate() {
+            if let Some(b) = block {
+                if self.shared.meta(*b).is_none() {
+                    return Err(format!(
+                        "frame {frame}: resident block {b:#x} has no shared metadata"
+                    ));
+                }
+            }
+        }
+        // Counter ranges, skewed-index bounds and exact misprediction
+        // recovery (paper §III.F) live in the shared predictor.
+        self.shared.check_invariants()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,7 +297,12 @@ mod tests {
         c.access(0x100, 0);
         c.access(0x000, 0); // MRU
         let r = c.access(0x200, 0);
-        assert_eq!(r, fe_cache::AccessResult::Miss { evicted: Some(0x100) });
+        assert_eq!(
+            r,
+            fe_cache::AccessResult::Miss {
+                evicted: Some(0x100)
+            }
+        );
     }
 
     #[test]
@@ -334,7 +371,12 @@ mod tests {
         );
         // Miss: GHRP should evict predicted-dead 0x100, not LRU 0x000.
         let r = c.access(0x200, 0);
-        assert_eq!(r, fe_cache::AccessResult::Miss { evicted: Some(0x100) });
+        assert_eq!(
+            r,
+            fe_cache::AccessResult::Miss {
+                evicted: Some(0x100)
+            }
+        );
         assert_eq!(c.policy().stats().dead_victims, 1);
     }
 
@@ -346,8 +388,8 @@ mod tests {
         });
         c.access(0x000, 0);
         c.access(0x100, 0); // 0x100 is MRU
-        // Mark MRU 0x100 dead; with protection the victim must be LRU
-        // 0x000 instead.
+                            // Mark MRU 0x100 dead; with protection the victim must be LRU
+                            // 0x000 instead.
         let meta = s.meta(0x100).unwrap();
         s.set_meta(
             0x100,
@@ -357,7 +399,12 @@ mod tests {
             },
         );
         let r = c.access(0x200, 0);
-        assert_eq!(r, fe_cache::AccessResult::Miss { evicted: Some(0x000) });
+        assert_eq!(
+            r,
+            fe_cache::AccessResult::Miss {
+                evicted: Some(0x000)
+            }
+        );
     }
 
     #[test]

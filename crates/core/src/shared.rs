@@ -14,6 +14,8 @@
 //! block is used to index the I-cache GHRP prediction tables to generate
 //! … a dead-entry prediction for that BTB entry".
 
+#![forbid(unsafe_code)]
+
 use crate::config::GhrpConfig;
 use crate::history::SpeculativeHistory;
 use crate::signature::signature;
@@ -21,6 +23,13 @@ use crate::tables::PredictionTables;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+
+// The checked index primitives every predictor-side index computation
+// must go through (enforced by `cargo xtask lint`): `mask` for
+// power-of-two bucket selection, `idx` for bounds-checked `u64 → usize`
+// narrowing. Canonical implementations live in `fe_cache::index`; this
+// re-export is the predictor-facing path.
+pub use fe_cache::index::{idx, mask};
 
 /// Per-I-cache-block GHRP metadata (16-bit signature + prediction bit;
 /// the valid and LRU bits live in the policy).
@@ -175,6 +184,21 @@ impl SharedGhrp {
     /// Fraction of saturated counters (diagnostics).
     pub fn table_saturation(&self) -> f64 {
         self.state.borrow().tables.saturation()
+    }
+
+    /// Validate the shared predictor state: table counters within
+    /// `[0, counter_max]` and in-bounds skewed indices
+    /// ([`PredictionTables::check_invariants`]), plus the dual-history
+    /// width and exact misprediction recovery
+    /// ([`SpeculativeHistory::check_invariants`], §III.F).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let s = self.state.borrow();
+        s.tables.check_invariants()?;
+        s.history.check_invariants()
     }
 }
 

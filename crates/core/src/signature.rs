@@ -9,6 +9,8 @@
 //! the signature (Algorithm 2, line 7; the skewing mirrors SDBP's three
 //! tables and fights aliasing).
 
+#![forbid(unsafe_code)]
+
 /// Compute the GHRP signature for an access.
 ///
 /// `history` is the current (speculative) path history; `pc` must already
@@ -20,12 +22,15 @@
 /// assert_eq!(sig, (0b1010 ^ 0x1234) & 0xFFFF);
 /// ```
 pub fn signature(history: u64, pc: u64, signature_bits: u32) -> u16 {
-    let mask = if signature_bits >= 16 {
+    let keep = if signature_bits >= 16 {
         0xFFFF
     } else {
         (1u64 << signature_bits) - 1
     };
-    ((history ^ pc) & mask) as u16
+    // Truncation-safe: masked to at most 16 bits on the previous line.
+    #[allow(clippy::cast_possible_truncation)]
+    let sig = ((history ^ pc) & keep) as u16;
+    sig
 }
 
 /// Multiplicative-xorshift hashing constants, one per table. Odd constants
@@ -58,9 +63,10 @@ pub fn table_index(signature: u16, table: usize, index_bits: u32) -> usize {
     );
     let x = u32::from(signature).wrapping_mul(HASH_MULT[table]);
     let x = x ^ (x >> 15);
+    // lint:allow(pow2-mask): multiplier pick from a small constant table, not a cache index
     let x = x.wrapping_mul(HASH_MULT[(table + 3) % HASH_MULT.len()]);
     let x = x ^ (x >> (32 - index_bits));
-    (x as usize) & ((1 << index_bits) - 1)
+    fe_cache::index::mask(u64::from(x), 1usize << index_bits)
 }
 
 /// Compute all `num_tables` indices for a signature (Algorithm 4's
@@ -104,9 +110,9 @@ mod tests {
         // For a spread of signatures, the three tables should rarely agree
         // on the same index.
         let mut collisions = 0;
-        let n = 4096;
+        let n = 4096u16;
         for s in 0..n {
-            let i = compute_indices(s as u16, 3, 12);
+            let i = compute_indices(s, 3, 12);
             if i[0] == i[1] || i[1] == i[2] || i[0] == i[2] {
                 collisions += 1;
             }

@@ -5,6 +5,8 @@
 //! bits, valid bit) plus three 4,096-entry tables of 2-bit counters, about
 //! 5 KB total — roughly 8% of the I-cache data capacity.
 
+#![forbid(unsafe_code)]
+
 use crate::GhrpConfig;
 use fe_cache::CacheConfig;
 use serde::{Deserialize, Serialize};
@@ -73,38 +75,49 @@ impl StorageReport {
 
     /// Render the Table I rows.
     pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
         let mut s = String::new();
+        // Writing to a String cannot fail, so the Results are discarded.
         s.push_str("component                          bits\n");
-        s.push_str(&format!(
-            "per-block signature ({} b x {})   {}\n",
+        let _ = writeln!(
+            s,
+            "per-block signature ({} b x {})   {}",
             self.signature_bits_per_block,
             self.blocks,
             u64::from(self.signature_bits_per_block) * self.blocks
-        ));
-        s.push_str(&format!(
-            "per-block prediction (1 b x {})   {}\n",
+        );
+        let _ = writeln!(
+            s,
+            "per-block prediction (1 b x {})   {}",
             self.blocks, self.blocks
-        ));
-        s.push_str(&format!(
-            "per-block LRU ({} b x {})          {}\n",
+        );
+        let _ = writeln!(
+            s,
+            "per-block LRU ({} b x {})          {}",
             self.lru_bits_per_block,
             self.blocks,
             u64::from(self.lru_bits_per_block) * self.blocks
-        ));
-        s.push_str(&format!(
-            "per-block valid (1 b x {})        {}\n",
+        );
+        let _ = writeln!(
+            s,
+            "per-block valid (1 b x {})        {}",
             self.blocks, self.blocks
-        ));
-        s.push_str(&format!("prediction tables                  {}\n", self.table_bits));
-        s.push_str(&format!("history registers                  {}\n", self.history_bits));
+        );
+        let _ = writeln!(s, "prediction tables                  {}", self.table_bits);
+        let _ = writeln!(
+            s,
+            "history registers                  {}",
+            self.history_bits
+        );
         if self.btb_bits > 0 {
-            s.push_str(&format!("BTB prediction bits                {}\n", self.btb_bits));
+            let _ = writeln!(s, "BTB prediction bits                {}", self.btb_bits);
         }
-        s.push_str(&format!(
-            "TOTAL                              {} ({:.2} KiB)\n",
+        let _ = writeln!(
+            s,
+            "TOTAL                              {} ({:.2} KiB)",
             self.total_bits(),
             self.total_kib()
-        ));
+        );
         s
     }
 }
@@ -114,10 +127,11 @@ mod tests {
     use super::*;
 
     fn paper_cfg() -> GhrpConfig {
-        let mut c = GhrpConfig::default();
-        c.table_entries = 4096;
-        c.counter_bits = 2;
-        c
+        GhrpConfig {
+            table_entries: 4096,
+            counter_bits: 2,
+            ..GhrpConfig::default()
+        }
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! instruction streams because it tolerates single-table aliasing without
 //! demanding a high (coverage-killing) threshold.
 
+#![forbid(unsafe_code)]
+
 use crate::config::{Aggregation, GhrpConfig};
 use crate::signature::table_index;
 
@@ -78,7 +80,11 @@ impl PredictionTables {
             }
             Aggregation::Sum => {
                 let sum: u32 = votes.iter().map(|&c| u32::from(c)).sum();
-                sum >= u32::from(threshold) * self.num_tables as u32
+                // Truncation-safe: GhrpConfig::validate caps num_tables
+                // at 8.
+                #[allow(clippy::cast_possible_truncation)]
+                let tables = self.num_tables as u32;
+                sum >= u32::from(threshold) * tables
             }
         }
     }
@@ -96,6 +102,47 @@ impl PredictionTables {
         sat as f64 / total as f64
     }
 
+    /// Validate the table invariants: every table has exactly
+    /// `2^index_bits` entries, every counter is within `[0, counter_max]`,
+    /// and the skewed index hashes stay in bounds for representative
+    /// signatures.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let entries = 1usize << self.index_bits;
+        for (t, table) in self.counters.iter().enumerate() {
+            if table.len() != entries {
+                return Err(format!(
+                    "table {t}: {} entries, expected 2^{} = {entries}",
+                    table.len(),
+                    self.index_bits
+                ));
+            }
+            if let Some(i) = table.iter().position(|&c| c > self.counter_max) {
+                return Err(format!(
+                    "table {t} counter {i}: value {} exceeds max {}",
+                    table[i], self.counter_max
+                ));
+            }
+        }
+        // The skewed hashes must land inside the tables for any signature;
+        // probe the corners and a couple of mixed patterns.
+        for sig in [0u16, 1, 0x5555, 0xAAAA, u16::MAX] {
+            for t in 0..self.num_tables {
+                let i = table_index(sig, t, self.index_bits);
+                if i >= entries {
+                    return Err(format!(
+                        "table {t}: index {i} for signature {sig:#06x} outside \
+                         the {entries}-entry bound"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Reset all counters to zero.
     pub fn clear(&mut self) {
         for t in &mut self.counters {
@@ -111,13 +158,14 @@ mod tests {
     /// The paper's nominal geometry (3 x 4096 x 2-bit), which these unit
     /// tests are written against.
     fn paper_cfg() -> GhrpConfig {
-        let mut c = GhrpConfig::default();
-        c.table_entries = 4096;
-        c.counter_bits = 2;
-        c.dead_threshold = 2;
-        c.bypass_threshold = 3;
-        c.btb_dead_threshold = 3;
-        c
+        GhrpConfig {
+            table_entries: 4096,
+            counter_bits: 2,
+            dead_threshold: 2,
+            bypass_threshold: 3,
+            btb_dead_threshold: 3,
+            ..GhrpConfig::default()
+        }
     }
 
     fn tables() -> PredictionTables {
@@ -228,15 +276,17 @@ mod tests {
         }
         assert!(t.saturation() > 0.0);
         t.clear();
-        assert_eq!(t.saturation(), 0.0);
+        assert!(t.saturation().abs() < f64::EPSILON);
         assert!(!t.predict(0x1, 2));
     }
 
     #[test]
     #[should_panic(expected = "invalid GhrpConfig")]
     fn invalid_config_panics() {
-        let mut cfg = GhrpConfig::default();
-        cfg.table_entries = 1000;
+        let cfg = GhrpConfig {
+            table_entries: 1000,
+            ..GhrpConfig::default()
+        };
         let _ = PredictionTables::new(&cfg);
     }
 }

@@ -13,6 +13,8 @@
 //! Traces use the `fe-trace` binary format, so externally produced traces
 //! in the same format can be simulated too.
 
+#![forbid(unsafe_code)]
+
 use fe_cache::CacheConfig;
 use fe_frontend::{policy::PolicyKind, simulator::SimConfig, Simulator};
 use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
@@ -143,8 +145,8 @@ fn load_trace(o: &Opts) -> (Vec<BranchRecord>, u64, String) {
 
 fn sim_config(o: &Opts, policy: PolicyKind) -> SimConfig {
     let mut cfg = SimConfig::paper_default().with_policy(policy);
-    cfg.icache = CacheConfig::with_capacity(o.icache_kb * 1024, o.ways, o.block)
-        .unwrap_or_else(|e| {
+    cfg.icache =
+        CacheConfig::with_capacity(o.icache_kb * 1024, o.ways, o.block).unwrap_or_else(|e| {
             eprintln!("bad I-cache geometry: {e}");
             exit(1)
         });
@@ -200,12 +202,14 @@ fn main() {
                 eprintln!("cannot create {out}: {e}");
                 exit(1)
             });
-            trace_io::write_binary(std::io::BufWriter::new(file), &records)
-                .unwrap_or_else(|e| {
-                    eprintln!("write failed: {e}");
-                    exit(1)
-                });
-            println!("{name}: wrote {} records ({instructions} instructions) to {out}", records.len());
+            trace_io::write_binary(std::io::BufWriter::new(file), &records).unwrap_or_else(|e| {
+                eprintln!("write failed: {e}");
+                exit(1)
+            });
+            println!(
+                "{name}: wrote {} records ({instructions} instructions) to {out}",
+                records.len()
+            );
         }
         "stats" => {
             let (records, _, name) = load_trace(&o);
@@ -223,16 +227,12 @@ fn main() {
         }
         "run" => {
             let (records, instructions, name) = load_trace(&o);
-            let policy = o
-                .policy
-                .as_deref()
-                .map(|p| {
-                    PolicyKind::parse(p).unwrap_or_else(|| {
-                        eprintln!("unknown policy {p}");
-                        usage()
-                    })
+            let policy = o.policy.as_deref().map_or(PolicyKind::Ghrp, |p| {
+                PolicyKind::parse(p).unwrap_or_else(|| {
+                    eprintln!("unknown policy {p}");
+                    usage()
                 })
-                .unwrap_or(PolicyKind::Ghrp);
+            });
             let cfg = sim_config(&o, policy);
             let r = Simulator::new(cfg).run(&records, instructions);
             print_run(&name, &cfg, &r, o.json);

@@ -1,10 +1,13 @@
 //! Suite experiments: run many workloads across many policies.
 
+#![forbid(unsafe_code)]
+
 use crate::policy::PolicyKind;
 use crate::simulator::{SimConfig, Simulator};
 use crate::stats;
 use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -80,6 +83,7 @@ impl SuiteResult {
 
     /// The subset of traces with at least `min` I-cache MPKI under
     /// `reference` (the paper's "≥ 1 MPKI under LRU" subset).
+    #[must_use]
     pub fn filter_min_icache_mpki(&self, reference: PolicyKind, min: f64) -> SuiteResult {
         let i = self.policy_index(reference);
         SuiteResult {
@@ -97,21 +101,21 @@ impl SuiteResult {
     /// paper's figures.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("{:<22}", "trace"));
+        let _ = write!(out, "{:<22}", "trace");
         for p in &self.policies {
-            out.push_str(&format!("{:>9}", p.to_string()));
+            let _ = write!(out, "{:>9}", p.to_string());
         }
         out.push('\n');
         for r in &self.rows {
-            out.push_str(&format!("{:<22}", r.name));
+            let _ = write!(out, "{:<22}", r.name);
             for v in &r.icache_mpki {
-                out.push_str(&format!("{v:>9.3}"));
+                let _ = write!(out, "{v:>9.3}");
             }
             out.push('\n');
         }
-        out.push_str(&format!("{:<22}", "MEAN"));
+        let _ = write!(out, "{:<22}", "MEAN");
         for m in self.icache_means() {
-            out.push_str(&format!("{m:>9.3}"));
+            let _ = write!(out, "{m:>9.3}");
         }
         out.push('\n');
         out
@@ -146,6 +150,10 @@ pub fn run_trace(spec: &WorkloadSpec, base: &SimConfig, policies: &[PolicyKind])
 /// Run a whole suite, distributing workloads over `threads` OS threads.
 ///
 /// Rows come back in suite order regardless of scheduling.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the shared row mutex is poisoned).
 pub fn run_suite(
     specs: &[WorkloadSpec],
     base: &SimConfig,
@@ -220,12 +228,7 @@ mod tests {
     #[test]
     fn columns_and_means_consistent() {
         let specs = tiny_suite();
-        let result = run_suite(
-            &specs,
-            &SimConfig::paper_default(),
-            &[PolicyKind::Lru],
-            2,
-        );
+        let result = run_suite(&specs, &SimConfig::paper_default(), &[PolicyKind::Lru], 2);
         let col = result.icache_column(PolicyKind::Lru);
         assert_eq!(col.len(), 4);
         let means = result.icache_means();

@@ -1,5 +1,7 @@
 //! Runtime policy selection: building matched I-cache/BTB policy pairs.
 
+#![forbid(unsafe_code)]
+
 use fe_btb::{btb_config, Btb, GhrpBtbPolicy};
 use fe_cache::policy::{BeladyOpt, Drrip, Fifo, Lru, RandomPolicy, Srrip};
 use fe_cache::{Cache, CacheConfig, ReplacementPolicy};
@@ -234,7 +236,10 @@ mod tests {
 
     #[test]
     fn paper_set_is_the_papers_five() {
-        let names: Vec<String> = PolicyKind::PAPER_SET.iter().map(|p| p.to_string()).collect();
+        let names: Vec<String> = PolicyKind::PAPER_SET
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         assert_eq!(names, ["LRU", "Random", "SRRIP", "SDBP", "GHRP"]);
     }
 

@@ -1,6 +1,8 @@
 //! Statistics over per-trace results: means, confidence intervals,
 //! win/loss counts and S-curves (the paper's §V.A.1).
 
+#![forbid(unsafe_code)]
+
 use serde::{Deserialize, Serialize};
 
 /// Arithmetic mean; 0 for an empty slice.
@@ -63,7 +65,12 @@ impl MeanCi {
 
 impl std::fmt::Display for MeanCi {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:+.1}% ± {:.1}%", self.mean * 100.0, self.half_width * 100.0)
+        write!(
+            f,
+            "{:+.1}% ± {:.1}%",
+            self.mean * 100.0,
+            self.half_width * 100.0
+        )
     }
 }
 
@@ -71,6 +78,10 @@ impl std::fmt::Display for MeanCi {
 /// (`(p−b)/b`), skipping traces where the baseline is ~zero (relative
 /// change is meaningless there — the paper's Figure 8 does the same by
 /// construction, since a 0-MPKI trace cannot be "improved").
+///
+/// # Panics
+///
+/// Panics if `policy` and `baseline` differ in length.
 pub fn relative_differences(policy: &[f64], baseline: &[f64]) -> Vec<f64> {
     assert_eq!(policy.len(), baseline.len(), "mismatched result vectors");
     policy
@@ -97,6 +108,10 @@ impl WinLoss {
     /// near-ties as "similar"; we use 1% by default at call sites).
     /// Zero-baseline traces count as similar when the policy is also ~0,
     /// worse otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy` and `baseline` differ in length.
     pub fn compute(policy: &[f64], baseline: &[f64], margin: f64) -> WinLoss {
         assert_eq!(policy.len(), baseline.len(), "mismatched result vectors");
         let mut wl = WinLoss::default();
@@ -145,16 +160,16 @@ mod tests {
 
     #[test]
     fn mean_and_stddev_basics() {
-        assert_eq!(mean(&[]), 0.0);
-        assert_eq!(mean(&[2.0, 4.0]), 3.0);
-        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!(mean(&[]).abs() < f64::EPSILON);
+        assert!((mean(&[2.0, 4.0]) - 3.0).abs() < f64::EPSILON);
+        assert!(stddev(&[5.0]).abs() < f64::EPSILON);
         assert!((stddev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
     }
 
     #[test]
     fn ci_narrows_with_samples() {
         let few = MeanCi::compute(&[1.0, 2.0, 3.0, 4.0]);
-        let many: Vec<f64> = (0..400).map(|i| 1.0 + (i % 4) as f64).collect();
+        let many: Vec<f64> = (0..400).map(|i| 1.0 + f64::from(i % 4)).collect();
         let many = MeanCi::compute(&many);
         assert!((few.mean - 2.5).abs() < 1e-12);
         assert!((many.mean - 2.5).abs() < 1e-12);

@@ -1,11 +1,14 @@
 //! Cache-geometry sweeps (the paper's Figure 7).
 
+#![forbid(unsafe_code)]
+
 use crate::experiment::{run_suite, SuiteResult};
 use crate::policy::PolicyKind;
 use crate::simulator::SimConfig;
 use fe_cache::CacheConfig;
 use fe_trace::synth::WorkloadSpec;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// One point of the sweep: a geometry plus per-policy mean MPKIs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -31,18 +34,19 @@ impl SweepResult {
     /// Render the Figure 7 table: one row per configuration.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("{:<18}", "config"));
+        let _ = write!(out, "{:<18}", "config");
         for p in &self.policies {
-            out.push_str(&format!("{:>9}", p.to_string()));
+            let _ = write!(out, "{:>9}", p.to_string());
         }
         out.push('\n');
         for pt in &self.points {
-            out.push_str(&format!(
+            let _ = write!(
+                out,
                 "{:<18}",
                 format!("{}KB {}-way", pt.capacity_bytes / 1024, pt.ways)
-            ));
+            );
             for m in &pt.icache_means {
-                out.push_str(&format!("{m:>9.3}"));
+                let _ = write!(out, "{m:>9.3}");
             }
             out.push('\n');
         }

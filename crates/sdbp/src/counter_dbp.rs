@@ -8,6 +8,8 @@
 //! itself (the PC forms the index, §II.A), making this another PC-class
 //! baseline to contrast with GHRP's path-based signatures.
 
+#![forbid(unsafe_code)]
+
 use fe_cache::{AccessContext, CacheConfig, ReplacementPolicy};
 
 /// One learning-table entry: the maximum access count seen in the
@@ -174,7 +176,9 @@ mod tests {
         let r = c.access(0xA200, 0);
         assert_eq!(
             r,
-            fe_cache::AccessResult::Miss { evicted: Some(0x000) },
+            fe_cache::AccessResult::Miss {
+                evicted: Some(0x000)
+            },
             "dead-predicted block chosen over LRU"
         );
     }

@@ -168,7 +168,10 @@ impl SdbpPolicy {
     /// The partial-PC signature for an access to `block_addr`.
     pub fn signature_of(&self, block_addr: u64) -> u16 {
         let pc = block_addr >> self.pc_shift;
-        (pc & ((1 << self.cfg.signature_bits) - 1)) as u16
+        // Truncation-safe: masked to signature_bits ≤ 16 bits.
+        #[allow(clippy::cast_possible_truncation)]
+        let sig = (pc & ((1 << self.cfg.signature_bits) - 1)) as u16;
+        sig
     }
 
     fn partial_tag(&self, block_addr: u64) -> u16 {
@@ -270,7 +273,7 @@ impl SdbpPolicy {
 impl ReplacementPolicy for SdbpPolicy {
     fn on_access(&mut self, ctx: &AccessContext) {
         self.current_sig = self.signature_of(ctx.block_addr);
-        if (ctx.set as u32).is_multiple_of(self.cfg.sampler_every) {
+        if (ctx.set as u64).is_multiple_of(u64::from(self.cfg.sampler_every)) {
             self.sample(ctx);
         }
     }
@@ -325,8 +328,10 @@ mod tests {
 
     fn mk(enable_bypass: bool) -> Cache<SdbpPolicy> {
         let cache_cfg = CacheConfig::with_sets(4, 2, 64).unwrap();
-        let mut cfg = SdbpConfig::default();
-        cfg.enable_bypass = enable_bypass;
+        let cfg = SdbpConfig {
+            enable_bypass,
+            ..SdbpConfig::default()
+        };
         Cache::new(cache_cfg, SdbpPolicy::new(cache_cfg, cfg))
     }
 
@@ -337,7 +342,12 @@ mod tests {
         c.access(0x100, 0);
         c.access(0x000, 0);
         let r = c.access(0x200, 0);
-        assert_eq!(r, fe_cache::AccessResult::Miss { evicted: Some(0x100) });
+        assert_eq!(
+            r,
+            fe_cache::AccessResult::Miss {
+                evicted: Some(0x100)
+            }
+        );
     }
 
     #[test]
@@ -420,8 +430,10 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn invalid_config_panics() {
         let cache_cfg = CacheConfig::with_sets(4, 2, 64).unwrap();
-        let mut cfg = SdbpConfig::default();
-        cfg.table_entries = 1000;
+        let cfg = SdbpConfig {
+            table_entries: 1000,
+            ..SdbpConfig::default()
+        };
         let _ = SdbpPolicy::new(cache_cfg, cfg);
     }
 }

@@ -1,15 +1,17 @@
-//! SHiP: Signature-based Hit Predictor (Wu et al., MICRO 2011).
+//! `SHiP`: Signature-based Hit Predictor (Wu et al., MICRO 2011).
 //!
-//! SHiP predicts *re-reference* instead of deadness: each block carries a
+//! `SHiP` predicts *re-reference* instead of deadness: each block carries a
 //! signature and an outcome bit; a Signature History Counter Table (SHCT)
 //! learns whether blocks inserted under a signature tend to be re-used.
 //! Insertion uses an RRIP backbone — signatures with a zero counter
 //! insert at the distant RRPV (effectively predicted dead on arrival).
 //!
-//! The GHRP paper groups SHiP with SDBP as PC-indexed predictors that
+//! The GHRP paper groups `SHiP` with SDBP as PC-indexed predictors that
 //! cannot exploit set-sampling for instruction streams (§II.A); like our
 //! modified SDBP, this implementation trains on every set and uses the
 //! block address as the "PC" (the fetch PC *is* the index).
+
+#![forbid(unsafe_code)]
 
 use fe_cache::{AccessContext, CacheConfig, ReplacementPolicy};
 
@@ -34,7 +36,7 @@ impl Default for ShipConfig {
     }
 }
 
-/// The SHiP replacement policy (SHiP-PC adapted to instruction streams).
+/// The `SHiP` replacement policy (SHiP-PC adapted to instruction streams).
 #[derive(Debug, Clone)]
 pub struct ShipPolicy {
     cfg: ShipConfig,
@@ -52,7 +54,7 @@ pub struct ShipPolicy {
 }
 
 impl ShipPolicy {
-    /// Create SHiP state for a cache of geometry `cache_cfg`.
+    /// Create `SHiP` state for a cache of geometry `cache_cfg`.
     ///
     /// # Panics
     ///
@@ -81,7 +83,10 @@ impl ShipPolicy {
         let pc = block_addr >> self.pc_shift;
         // Fold the address into the signature width.
         let folded = pc ^ (pc >> self.cfg.signature_bits);
-        (folded & ((1 << self.cfg.signature_bits) - 1)) as u16
+        // Truncation-safe: masked to signature_bits ≤ 16 bits.
+        #[allow(clippy::cast_possible_truncation)]
+        let sig = (folded & ((1 << self.cfg.signature_bits) - 1)) as u16;
+        sig
     }
 
     fn shct_index(&self, sig: u16) -> usize {
@@ -221,8 +226,10 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_shct_size_panics() {
         let cfg = CacheConfig::with_sets(4, 2, 64).unwrap();
-        let mut scfg = ShipConfig::default();
-        scfg.shct_entries = 1000;
+        let scfg = ShipConfig {
+            shct_entries: 1000,
+            ..ShipConfig::default()
+        };
         let _ = ShipPolicy::new(cfg, scfg);
     }
 }

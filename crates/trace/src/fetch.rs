@@ -13,6 +13,8 @@
 //! chunk and one BTB/direction-predictor access per chunk that carries a
 //! branch.
 
+#![forbid(unsafe_code)]
+
 use crate::record::{BranchRecord, INSTRUCTION_BYTES};
 
 /// A maximal sequential fetch group within a single cache block.
@@ -138,23 +140,31 @@ impl<I: Iterator<Item = BranchRecord>> Iterator for FetchStream<I> {
         let chunk = if rec.pc < block_end {
             // The branch lies in this block: chunk ends at the branch.
             let n = (rec.pc - pc) / INSTRUCTION_BYTES + 1;
+            // Truncation-safe: n ≤ block_bytes / INSTRUCTION_BYTES, far
+            // below u32::MAX.
+            #[allow(clippy::cast_possible_truncation)]
+            let n_instr = n as u32;
             self.pending = None;
             self.pc = Some(rec.successor());
             FetchChunk {
                 block_addr: block,
                 first_pc: pc,
-                n_instr: n as u32,
+                n_instr,
                 branch: Some(rec),
                 starts_group,
             }
         } else {
             // Sequential run to the end of the block; keep walking.
             let n = (block_end - pc) / INSTRUCTION_BYTES;
+            // Truncation-safe: n ≤ block_bytes / INSTRUCTION_BYTES, far
+            // below u32::MAX.
+            #[allow(clippy::cast_possible_truncation)]
+            let n_instr = n as u32;
             self.pc = Some(block_end);
             FetchChunk {
                 block_addr: block,
                 first_pc: pc,
-                n_instr: n as u32,
+                n_instr,
                 branch: None,
                 starts_group,
             }

@@ -8,6 +8,8 @@
 //! * JSON via serde ([`write_json`] / [`read_json`]) for interchange and
 //!   debugging.
 
+#![forbid(unsafe_code)]
+
 use crate::record::{BranchKind, BranchRecord};
 use crate::TraceError;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -66,7 +68,7 @@ impl<W: Write> TraceWriter<W> {
         buf[0..8].copy_from_slice(&r.pc.to_le_bytes());
         buf[8..16].copy_from_slice(&r.target.to_le_bytes());
         buf[16] = r.kind as u8;
-        buf[17] = r.taken as u8;
+        buf[17] = u8::from(r.taken);
         self.inner.write_all(&buf)?;
         self.written += 1;
         Ok(())

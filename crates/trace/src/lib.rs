@@ -115,7 +115,7 @@ mod tests {
     #[test]
     fn error_display_is_nonempty() {
         let errs: Vec<TraceError> = vec![
-            TraceError::Io(std::io::Error::new(std::io::ErrorKind::Other, "x")),
+            TraceError::Io(std::io::Error::other("x")),
             TraceError::BadMagic(*b"nope"),
             TraceError::UnsupportedVersion(99),
             TraceError::CorruptRecord {
@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn error_source_chains() {
         use std::error::Error;
-        let e = TraceError::Io(std::io::Error::new(std::io::ErrorKind::Other, "inner"));
+        let e = TraceError::Io(std::io::Error::other("inner"));
         assert!(e.source().is_some());
         let e = TraceError::BadMagic(*b"nope");
         assert!(e.source().is_none());

@@ -5,6 +5,8 @@
 //! instructions between the previous record's successor address and the
 //! current record's PC executed sequentially (see [`crate::fetch`]).
 
+#![forbid(unsafe_code)]
+
 use serde::{Deserialize, Serialize};
 
 /// Architectural instruction size assumed by the synthetic ISA.
@@ -45,6 +47,15 @@ impl BranchKind {
         BranchKind::IndirectCall,
         BranchKind::Return,
     ];
+
+    /// Discriminant as a table index (always `< BranchKind::ALL.len()`).
+    ///
+    /// Callers index per-kind tables through this instead of a bare
+    /// `as usize` cast so the narrowing lives in one audited place.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 
     /// Whether the direction of this branch is predicted (conditional).
     ///
@@ -216,7 +227,10 @@ mod tests {
 
     #[test]
     fn display_names_are_stable() {
-        let names: Vec<String> = BranchKind::ALL.iter().map(|k| k.to_string()).collect();
+        let names: Vec<String> = BranchKind::ALL
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         assert_eq!(names, ["cond", "jump", "ijump", "call", "icall", "ret"]);
     }
 }

@@ -1,5 +1,7 @@
 //! Descriptive statistics over a branch trace.
 
+#![forbid(unsafe_code)]
+
 use crate::fetch::FetchStream;
 use crate::record::{BranchKind, BranchRecord};
 use serde::{Deserialize, Serialize};
@@ -38,7 +40,7 @@ impl TraceStats {
         let mut cond_taken = 0u64;
         let mut pcs: HashSet<u64> = HashSet::new();
         for r in records {
-            by_kind[r.kind as usize] += 1;
+            by_kind[r.kind.index()] += 1;
             if r.kind == BranchKind::CondDirect && r.taken {
                 cond_taken += 1;
             }
@@ -49,7 +51,7 @@ impl TraceStats {
         for chunk in fs.by_ref() {
             blocks.insert(chunk.block_addr);
         }
-        let conds = by_kind[BranchKind::CondDirect as usize];
+        let conds = by_kind[BranchKind::CondDirect.index()];
         TraceStats {
             branches: records.len() as u64,
             instructions: fs.instructions(),
@@ -80,7 +82,7 @@ mod tests {
         let s = TraceStats::compute(&[]);
         assert_eq!(s.branches, 0);
         assert_eq!(s.instructions, 0);
-        assert_eq!(s.cond_taken_rate, 0.0);
+        assert!(s.cond_taken_rate.abs() < f64::EPSILON);
         assert_eq!(s.footprint_bytes(), 0);
     }
 
@@ -93,10 +95,10 @@ mod tests {
             BranchRecord::new(0x404, BranchKind::Return, true, 0x8c),
         ];
         let s = TraceStats::compute(&recs);
-        assert_eq!(s.by_kind[BranchKind::CondDirect as usize], 2);
-        assert_eq!(s.by_kind[BranchKind::Call as usize], 1);
-        assert_eq!(s.by_kind[BranchKind::Return as usize], 1);
-        assert_eq!(s.cond_taken_rate, 0.5);
+        assert_eq!(s.by_kind[BranchKind::CondDirect.index()], 2);
+        assert_eq!(s.by_kind[BranchKind::Call.index()], 1);
+        assert_eq!(s.by_kind[BranchKind::Return.index()], 1);
+        assert!((s.cond_taken_rate - 0.5).abs() < f64::EPSILON);
         assert_eq!(s.distinct_branch_pcs, 4);
     }
 
@@ -129,6 +131,11 @@ mod tests {
         // counts the whole first block, the fetch stream starts at its
         // branch).
         let diff = t.instructions.abs_diff(s.instructions);
-        assert!(diff <= 16, "walker={} fetch={}", t.instructions, s.instructions);
+        assert!(
+            diff <= 16,
+            "walker={} fetch={}",
+            t.instructions,
+            s.instructions
+        );
     }
 }

@@ -11,6 +11,8 @@
 //! instruction addresses correlate with reuse*. Unstructured random branching
 //! would erase exactly the signal the paper measures.
 
+#![forbid(unsafe_code)]
+
 use crate::record::INSTRUCTION_BYTES;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -193,6 +195,11 @@ impl Program {
     /// Checks that every block target exists, every callee exists, blocks
     /// are non-empty, addresses are strictly increasing, and conditional
     /// fall-throughs stay in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
     pub fn validate(&self) -> Result<(), String> {
         if self.entry >= self.functions.len() {
             return Err(format!("entry function {} out of range", self.entry));
@@ -300,7 +307,11 @@ pub(crate) fn select_index(
         Select::LogUniform => {
             let u: f64 = rng.gen_range(0.0..1.0);
             let v = (len as f64 + 1.0).powf(u) - 1.0;
-            (v as usize).min(len - 1)
+            // Truncation/sign-safe: v ∈ [0, len] by construction and is
+            // clamped to [0, len-1] before the cast.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let i = v.clamp(0.0, (len - 1) as f64) as usize;
+            i
         }
     }
 }

@@ -1,5 +1,7 @@
 //! Program walker: executes a [`Program`] and emits the branch trace.
 
+#![forbid(unsafe_code)]
+
 use super::program::{select_index, Bias, BlockId, FuncId, Program, Terminator};
 use crate::record::{BranchKind, BranchRecord, INSTRUCTION_BYTES};
 use rand::rngs::SmallRng;
@@ -117,7 +119,7 @@ impl<'p> Walker<'p> {
     }
 }
 
-impl<'p> Iterator for Walker<'p> {
+impl Iterator for Walker<'_> {
     type Item = BranchRecord;
 
     fn next(&mut self) -> Option<BranchRecord> {
@@ -200,25 +202,22 @@ impl<'p> Iterator for Walker<'p> {
             }
             Terminator::Return => {
                 let frame = self.stack.pop().expect("walker stack never empty");
-                match frame.resume {
-                    Some((ret_addr, caller_func, caller_block)) => {
-                        let top = self.stack.last_mut().expect("caller frame present");
-                        debug_assert_eq!(top.func, caller_func);
-                        top.block = caller_block;
-                        BranchRecord::new(pc, BranchKind::Return, true, ret_addr)
-                    }
-                    None => {
-                        // The entry function returned (generated programs
-                        // avoid this, but be robust): restart the program.
-                        self.stack.push(Frame {
-                            func: self.program.entry,
-                            block: 0,
-                            resume: None,
-                            loop_state: HashMap::new(),
-                        });
-                        let entry_addr = self.program.functions[self.program.entry].base;
-                        BranchRecord::new(pc, BranchKind::Return, true, entry_addr)
-                    }
+                if let Some((ret_addr, caller_func, caller_block)) = frame.resume {
+                    let top = self.stack.last_mut().expect("caller frame present");
+                    debug_assert_eq!(top.func, caller_func);
+                    top.block = caller_block;
+                    BranchRecord::new(pc, BranchKind::Return, true, ret_addr)
+                } else {
+                    // The entry function returned (generated programs
+                    // avoid this, but be robust): restart the program.
+                    self.stack.push(Frame {
+                        func: self.program.entry,
+                        block: 0,
+                        resume: None,
+                        loop_state: HashMap::new(),
+                    });
+                    let entry_addr = self.program.functions[self.program.entry].base;
+                    BranchRecord::new(pc, BranchKind::Return, true, entry_addr)
                 }
             }
         };
@@ -340,7 +339,7 @@ mod tests {
         while w.next().is_some() {}
         let n = w.instructions();
         // May overshoot by at most one block.
-        assert!(n >= 1000 && n < 1000 + 16, "instructions = {n}");
+        assert!((1000..1000 + 16).contains(&n), "instructions = {n}");
     }
 
     #[test]
@@ -432,6 +431,9 @@ mod tests {
             .map(|r| r.taken)
             .collect();
         assert!(outcomes.len() >= 8);
-        assert_eq!(&outcomes[..8], &[true, true, false, false, true, true, false, false]);
+        assert_eq!(
+            &outcomes[..8],
+            &[true, true, false, false, true, true, false, false]
+        );
     }
 }

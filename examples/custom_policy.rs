@@ -38,7 +38,7 @@ impl TreePlru {
         let mut lo = 0usize;
         let mut hi = self.ways;
         while hi - lo > 1 {
-            let mid = (lo + hi) / 2;
+            let mid = usize::midpoint(lo, hi);
             let right = way >= mid;
             // Point away from the touched side.
             self.bits[base + node] = !right;
@@ -63,7 +63,7 @@ impl ReplacementPolicy for TreePlru {
         let mut lo = 0usize;
         let mut hi = self.ways;
         while hi - lo > 1 {
-            let mid = (lo + hi) / 2;
+            let mid = usize::midpoint(lo, hi);
             let right = self.bits[base + node];
             node = 2 * node + if right { 2 } else { 1 };
             if right {
@@ -86,7 +86,10 @@ impl ReplacementPolicy for TreePlru {
     }
 }
 
-fn run<P: ReplacementPolicy>(mut cache: Cache<P>, trace: &[ghrp_repro::trace::BranchRecord]) -> f64 {
+fn run<P: ReplacementPolicy>(
+    mut cache: Cache<P>,
+    trace: &[ghrp_repro::trace::BranchRecord],
+) -> f64 {
     // Warm over the first half (predictive policies need training time),
     // measure over the second, like the paper's methodology.
     let half = trace.len() / 2;
@@ -125,7 +128,11 @@ fn main() {
         &trace.records,
     );
 
-    println!("64KB 8-way I-cache on {} ({} instructions):", trace.name(), trace.instructions);
+    println!(
+        "64KB 8-way I-cache on {} ({} instructions):",
+        trace.name(),
+        trace.instructions
+    );
     println!("  true LRU   {lru:.3} MPKI");
     println!("  tree-PLRU  {plru:.3} MPKI  (the cheap hardware approximation)");
     println!("  GHRP       {ghrp:.3} MPKI  (predictive replacement)");

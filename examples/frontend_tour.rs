@@ -82,5 +82,8 @@ fn main() {
     print!("{}", map.to_ascii());
 
     let report = StorageReport::new(&shared.config(), icache_cfg, 1024);
-    println!("GHRP storage for this configuration: {:.2} KiB", report.total_kib());
+    println!(
+        "GHRP storage for this configuration: {:.2} KiB",
+        report.total_kib()
+    );
 }

@@ -39,7 +39,10 @@ fn main() {
             }
         }
         println!();
-        println!("  conditional taken rate {:.1}%", stats.cond_taken_rate * 100.0);
+        println!(
+            "  conditional taken rate {:.1}%",
+            stats.cond_taken_rate * 100.0
+        );
 
         // How hard is this workload for direction predictors?
         let mut bimodal = Bimodal::default();

@@ -15,9 +15,9 @@
 
 #![forbid(unsafe_code)]
 
+pub use fe_branch as branch;
 pub use fe_btb as btb;
 pub use fe_cache as cache;
-pub use fe_branch as branch;
 pub use fe_frontend as frontend;
 pub use fe_sdbp as sdbp;
 pub use fe_trace as trace;

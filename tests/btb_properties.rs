@@ -1,7 +1,7 @@
 //! Property-based tests for the BTB and the GHRP BTB coupling.
 
 use ghrp_repro::btb::{btb_config, Btb, GhrpBtbPolicy};
-use ghrp_repro::cache::policy::Lru;
+use ghrp_repro::cache::policy::{Lru, ValidatingPolicy};
 use ghrp_repro::ghrp::{GhrpConfig, SharedGhrp};
 use proptest::prelude::*;
 
@@ -21,7 +21,7 @@ proptest! {
     #[test]
     fn btb_bookkeeping(branches in arb_branches()) {
         let cfg = btb_config(64, 4).unwrap();
-        let mut btb = Btb::new(cfg, Lru::new(cfg));
+        let mut btb = Btb::new(cfg, ValidatingPolicy::new(Lru::new(cfg)));
         let mut last_target = std::collections::HashMap::new();
         for &(pc, target) in &branches {
             if let Some(pred) = btb.predict(pc) {
@@ -46,8 +46,10 @@ proptest! {
         sigs in prop::collection::vec(any::<u16>(), 1..50),
     ) {
         let cfg = btb_config(64, 4).unwrap();
-        let mut gcfg = GhrpConfig::default();
-        gcfg.btb_enable_bypass = false;
+        let gcfg = GhrpConfig {
+            btb_enable_bypass: false,
+            ..GhrpConfig::default()
+        };
         let shared = SharedGhrp::new(gcfg, 6);
         // Install arbitrary block metadata / training, as the I-cache side
         // would.
@@ -58,7 +60,7 @@ proptest! {
             );
             shared.train(sig, i % 3 == 0);
         }
-        let mut btb = Btb::new(cfg, GhrpBtbPolicy::new(cfg, shared, 64));
+        let mut btb = Btb::new(cfg, ValidatingPolicy::new(GhrpBtbPolicy::new(cfg, shared, 64)));
         for &(pc, target) in &branches {
             btb.lookup_and_update(pc, target);
             prop_assert_eq!(btb.predict(pc), Some(target));
@@ -72,9 +74,11 @@ proptest! {
     #[test]
     fn ghrp_btb_bypass_counts_misses(pcs in prop::collection::vec(0u64..64, 1..100)) {
         let cfg = btb_config(32, 2).unwrap();
-        let mut gcfg = GhrpConfig::default();
-        gcfg.btb_enable_bypass = true;
-        gcfg.btb_dead_threshold = 1;
+        let gcfg = GhrpConfig {
+            btb_enable_bypass: true,
+            btb_dead_threshold: 1,
+            ..GhrpConfig::default()
+        };
         let shared = SharedGhrp::new(gcfg, 6);
         // Saturate every signature dead so the PC fallback predicts dead
         // and everything bypasses.
@@ -84,7 +88,7 @@ proptest! {
                 break; // enough coverage for the hashed indices
             }
         }
-        let mut btb = Btb::new(cfg, GhrpBtbPolicy::new(cfg, shared, 64));
+        let mut btb = Btb::new(cfg, ValidatingPolicy::new(GhrpBtbPolicy::new(cfg, shared, 64)));
         for &pc4 in &pcs {
             btb.lookup_and_update(0x4_0000 + pc4 * 4, 0x9000);
         }

@@ -72,16 +72,9 @@ fn policy_ordering_on_server_workloads() {
 #[test]
 fn mobile_workloads_have_low_mpki() {
     let specs: Vec<WorkloadSpec> = (0..3)
-        .map(|i| {
-            WorkloadSpec::new(WorkloadCategory::ShortMobile, 500 + i).instructions(800_000)
-        })
+        .map(|i| WorkloadSpec::new(WorkloadCategory::ShortMobile, 500 + i).instructions(800_000))
         .collect();
-    let result = experiment::run_suite(
-        &specs,
-        &SimConfig::paper_default(),
-        &[PolicyKind::Lru],
-        3,
-    );
+    let result = experiment::run_suite(&specs, &SimConfig::paper_default(), &[PolicyKind::Lru], 3);
     let lru = result.icache_means()[0];
     assert!(
         lru < 1.0,

@@ -1,6 +1,8 @@
 //! Property-based tests over the core data structures and invariants.
 
-use ghrp_repro::cache::policy::{BeladyOpt, Fifo, Lru, RandomPolicy, Srrip};
+use ghrp_repro::cache::policy::{
+    BeladyOpt, Drrip, Fifo, Lru, PolicyInvariants, RandomPolicy, Srrip, ValidatingPolicy,
+};
 use ghrp_repro::cache::{Cache, CacheConfig, ReplacementPolicy};
 use ghrp_repro::ghrp::{GhrpConfig, GhrpPolicy, SharedGhrp};
 use ghrp_repro::trace::fetch::FetchStream;
@@ -11,20 +13,16 @@ use proptest::prelude::*;
 
 /// Strategy: a plausible branch record.
 fn arb_record() -> impl Strategy<Value = BranchRecord> {
-    (
-        0u64..1_000_000,
-        0usize..6,
-        any::<bool>(),
-        0u64..1_000_000,
-    )
-        .prop_map(|(pc4, kind, taken, tgt4)| {
+    (0u64..1_000_000, 0usize..6, any::<bool>(), 0u64..1_000_000).prop_map(
+        |(pc4, kind, taken, tgt4)| {
             BranchRecord::new(
                 pc4 * INSTRUCTION_BYTES,
                 BranchKind::ALL[kind],
                 taken,
                 tgt4 * INSTRUCTION_BYTES,
             )
-        })
+        },
+    )
 }
 
 /// Strategy: a short block-address access sequence over a small region.
@@ -82,11 +80,15 @@ proptest! {
     fn cache_residency_invariant(blocks in arb_accesses(), ways in 1u32..=8) {
         let ways = ways.next_power_of_two();
         let cfg = CacheConfig::with_sets(8, ways, 64).unwrap();
+        // Every policy runs under ValidatingPolicy, so its internal
+        // invariants (LRU stack permutation, RRPV bounds, PSEL range) are
+        // re-checked after each access of each generated sequence.
         let policies: Vec<Box<dyn ReplacementPolicy>> = vec![
-            Box::new(Lru::new(cfg)),
-            Box::new(Fifo::new(cfg)),
-            Box::new(RandomPolicy::new(cfg, 1)),
-            Box::new(Srrip::new(cfg)),
+            Box::new(ValidatingPolicy::new(Lru::new(cfg))),
+            Box::new(ValidatingPolicy::new(Fifo::new(cfg))),
+            Box::new(ValidatingPolicy::new(RandomPolicy::new(cfg, 1))),
+            Box::new(ValidatingPolicy::new(Srrip::new(cfg))),
+            Box::new(ValidatingPolicy::new(Drrip::new(cfg))),
         ];
         for p in policies {
             let mut c = Cache::new(cfg, p);
@@ -109,7 +111,7 @@ proptest! {
         let mut prev_misses = u64::MAX;
         for ways in [1u32, 2, 4, 8] {
             let cfg = CacheConfig::with_sets(4, ways, 64).unwrap();
-            let mut c = Cache::new(cfg, Lru::new(cfg));
+            let mut c = Cache::new(cfg, ValidatingPolicy::new(Lru::new(cfg)));
             drive(&mut c, &blocks);
             let m = c.stats().misses;
             prop_assert!(m <= prev_misses, "{ways}-way missed {m} > {prev_misses}");
@@ -121,9 +123,9 @@ proptest! {
     #[test]
     fn opt_is_optimal_vs_lru(blocks in arb_accesses()) {
         let cfg = CacheConfig::with_sets(4, 2, 64).unwrap();
-        let mut lru = Cache::new(cfg, Lru::new(cfg));
+        let mut lru = Cache::new(cfg, ValidatingPolicy::new(Lru::new(cfg)));
         drive(&mut lru, &blocks);
-        let mut opt = Cache::new(cfg, BeladyOpt::from_trace(cfg, &blocks));
+        let mut opt = Cache::new(cfg, ValidatingPolicy::new(BeladyOpt::from_trace(cfg, &blocks)));
         drive(&mut opt, &blocks);
         prop_assert!(opt.stats().misses <= lru.stats().misses);
     }
@@ -133,10 +135,12 @@ proptest! {
     #[test]
     fn ghrp_metadata_matches_residency(blocks in arb_accesses()) {
         let cfg = CacheConfig::with_sets(4, 2, 64).unwrap();
-        let mut gcfg = GhrpConfig::default();
-        gcfg.enable_bypass = false;
+        let gcfg = GhrpConfig {
+            enable_bypass: false,
+            ..GhrpConfig::default()
+        };
         let shared = SharedGhrp::new(gcfg, cfg.offset_bits());
-        let mut c = Cache::new(cfg, GhrpPolicy::new(cfg, shared.clone()));
+        let mut c = Cache::new(cfg, ValidatingPolicy::new(GhrpPolicy::new(cfg, shared.clone())));
         for &b in &blocks {
             c.access(b, b);
             prop_assert!(shared.meta(b).is_some(), "no metadata for resident {b:#x}");
@@ -161,8 +165,10 @@ proptest! {
     /// training sequences.
     #[test]
     fn table_counters_stay_in_range(updates in prop::collection::vec((any::<u16>(), any::<bool>()), 0..500)) {
-        let mut cfg = GhrpConfig::default();
-        cfg.table_entries = 256;
+        let cfg = GhrpConfig {
+            table_entries: 256,
+            ..GhrpConfig::default()
+        };
         let mut t = ghrp_repro::ghrp::PredictionTables::new(&cfg);
         for (sig, dead) in updates {
             t.update(sig, dead);
@@ -184,5 +190,89 @@ proptest! {
         prop_assert_eq!(&a.records, &b.records);
         prop_assert!(a.instructions >= budget);
         prop_assert!(a.instructions < budget + 64);
+    }
+
+    /// GHRP skewed-table indices stay inside the table for *any* history,
+    /// PC and supported geometry, and the signature hash is deterministic.
+    #[test]
+    fn signature_indices_in_bounds_any_geometry(
+        h in any::<u64>(),
+        pc in any::<u64>(),
+        index_bits in 6u32..=14,
+    ) {
+        let sig = ghrp_repro::ghrp::signature::signature(h, pc, 16);
+        prop_assert_eq!(sig, ghrp_repro::ghrp::signature::signature(h, pc, 16));
+        for t in 0..8 {
+            let i = ghrp_repro::ghrp::signature::table_index(sig, t, index_bits);
+            prop_assert!(i < (1usize << index_bits),
+                "table {t}: index {i} out of 2^{index_bits} bound");
+        }
+    }
+
+    /// Counters saturate at the configured max (and at zero) rather than
+    /// wrapping, no matter how one-sided the training is.
+    #[test]
+    fn counters_saturate_not_wrap(sig in any::<u16>(), extra in 0usize..64) {
+        let cfg = GhrpConfig { table_entries: 256, ..GhrpConfig::default() };
+        let max = cfg.counter_max();
+        let mut t = ghrp_repro::ghrp::PredictionTables::new(&cfg);
+        // Far more dead-trainings than the counter can hold: must pin at
+        // max, not wrap past it.
+        for _ in 0..(usize::from(max) + 1 + extra) {
+            t.update(sig, true);
+        }
+        prop_assert!(t.counters(sig).into_iter().all(|c| c == max));
+        // And the same number of live-trainings plus slack: pin at zero.
+        for _ in 0..(usize::from(max) + 1 + extra) {
+            t.update(sig, false);
+        }
+        prop_assert!(t.counters(sig).into_iter().all(|c| c == 0));
+        prop_assert!(t.check_invariants().is_ok());
+    }
+
+    /// §III.F: for any interleaving of speculative updates, retirements
+    /// and recoveries, recovery restores exactly the retired history, and
+    /// the dual-history invariants hold throughout.
+    #[test]
+    fn history_recovery_restores_retired(ops in prop::collection::vec((0u8..3, any::<u64>()), 1..200)) {
+        let mut h = ghrp_repro::ghrp::SpeculativeHistory::new(&GhrpConfig::default());
+        let mut retired_shadow = ghrp_repro::ghrp::SpeculativeHistory::new(&GhrpConfig::default());
+        for (op, pc) in ops {
+            match op {
+                0 => h.update_speculative(pc),
+                1 => {
+                    h.retire(pc);
+                    retired_shadow.update_speculative(pc);
+                }
+                _ => h.recover(),
+            }
+            prop_assert!(h.check_invariants().is_ok());
+            // The retired history must follow the committed stream alone.
+            prop_assert_eq!(h.retired(), retired_shadow.speculative());
+        }
+        h.recover();
+        prop_assert_eq!(h.speculative(), h.retired());
+    }
+
+    /// The validated GHRP policy holds all its invariants (stack
+    /// permutation, counter ranges, in-bounds indices, exact recovery)
+    /// across arbitrary access streams interleaved with mispredictions.
+    #[test]
+    fn ghrp_invariants_under_mispredictions(
+        blocks in arb_accesses(),
+        recover_every in 1usize..16,
+    ) {
+        let cfg = CacheConfig::with_sets(4, 4, 64).unwrap();
+        let shared = SharedGhrp::new(GhrpConfig::default(), cfg.offset_bits());
+        let mut c = Cache::new(cfg, ValidatingPolicy::new(GhrpPolicy::new(cfg, shared.clone())));
+        for (i, &b) in blocks.iter().enumerate() {
+            c.access(b, b);
+            if i % recover_every == 0 {
+                shared.recover(); // simulated branch misprediction
+            } else {
+                shared.retire(b);
+            }
+        }
+        prop_assert!(c.policy().check_invariants().is_ok());
     }
 }

@@ -1,0 +1,282 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! wall-clock engine: warm up briefly, time a fixed batch of
+//! iterations, and print mean time per iteration (plus derived
+//! throughput when configured). No statistics, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Minimum measured batch duration before reporting.
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            target_time: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Work-per-iteration label used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark name.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Parameter-only id (group name supplies the rest).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// The display label.
+    fn label(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn label(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn label(self) -> String {
+        self.label
+    }
+}
+
+/// Passed to the closure under test; call [`Bencher::iter`].
+pub struct Bencher<'a> {
+    target_time: Duration,
+    result: &'a mut Option<Measurement>,
+}
+
+struct Measurement {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine` until the batch exceeds the target time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: double until the batch
+        // takes at least ~1/10 of the target time.
+        let mut batch: u64 = 1;
+        let calibrated = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= self.target_time / 10 || batch >= 1 << 30 {
+                break took.max(Duration::from_nanos(1));
+            }
+            batch *= 2;
+        };
+        // Scale to roughly the target time, then take the real batch.
+        let per_iter = calibrated.as_secs_f64() / batch as f64;
+        let want = (self.target_time.as_secs_f64() / per_iter).ceil() as u64;
+        let iterations = want.clamp(batch, 1 << 32);
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        *self.result = Some(Measurement {
+            iterations,
+            elapsed: start.elapsed(),
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work label for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.target_time = time.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(&label, self.criterion.target_time, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(&label, self.criterion.target_time, self.throughput, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// End the group (prints nothing extra in the stub).
+    pub fn finish(&mut self) {}
+}
+
+impl Criterion {
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(name, self.target_time, None, f);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+}
+
+fn run_one<F>(label: &str, target_time: Duration, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher<'_>),
+{
+    let mut result = None;
+    let mut bencher = Bencher {
+        target_time,
+        result: &mut result,
+    };
+    f(&mut bencher);
+    match result {
+        Some(m) => {
+            let per_iter = m.elapsed.as_secs_f64() / m.iterations as f64;
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  ({:.1} Melem/s)", n as f64 / per_iter / 1e6)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  ({:.1} MiB/s)", n as f64 / per_iter / (1024.0 * 1024.0))
+                }
+                None => String::new(),
+            };
+            println!(
+                "{label:<40} {:>12.3} ns/iter  [{} iters]{rate}",
+                per_iter * 1e9,
+                m.iterations
+            );
+        }
+        None => println!("{label:<40} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Bundle benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(5),
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+}

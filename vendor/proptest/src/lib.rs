@@ -1,0 +1,413 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Same test-authoring surface as the subset of real proptest this
+//! workspace uses — `proptest! { fn t(x in strategy) { .. } }`,
+//! `prop_assert!`/`prop_assert_eq!`, `any::<T>()`, integer/float range
+//! strategies, tuple strategies, `Strategy::prop_map`, and
+//! `prop::collection::vec` — but with a simpler engine: each test runs a
+//! fixed number of deterministic random cases (seeded from the test
+//! name, overridable via `PROPTEST_CASES`) and reports the first failing
+//! input without shrinking.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Deterministic per-test random source.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    fn for_case(test_name: &str, case: u64) -> TestRng {
+        // FNV-1a over the test name keeps seeds stable across runs and
+        // platforms, so failures reproduce.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.inner.gen_range(0..n)
+    }
+
+    fn bits(&mut self) -> u64 {
+        self.inner.gen_range(0..=u64::MAX)
+    }
+}
+
+/// A failed property: carries the assertion message.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Build a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated input type.
+    type Value: fmt::Debug;
+
+    /// Draw one input.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated inputs.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range strategy ([`any`]).
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Draw a fully random value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.bits() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bits() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.bits() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+// Unsigned only: every range strategy in this workspace has non-negative
+// bounds, and unsigned-only keeps the span arithmetic overflow-free.
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($t:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($t,)+) = self;
+                ($($t.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Bounds on a generated collection's length.
+    pub trait SizeRange {
+        /// Draw a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            Strategy::sample(self, rng)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            Strategy::sample(self, rng)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `Vec` strategy: each element from `element`, length from `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Number of cases each property runs (env `PROPTEST_CASES`, default 64).
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Drive one property across its random cases. Called by the
+/// [`proptest!`] expansion; panics (failing the surrounding `#[test]`)
+/// on the first case whose body returns an error.
+pub fn run_cases<F>(test_name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let n = case_count();
+    for i in 0..n {
+        let mut rng = TestRng::for_case(test_name, i);
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "proptest `{test_name}` failed at case {i}/{n}: {e}\n\
+                 (cases are deterministic: the same test name and case \
+                 index regenerate the same input)"
+            );
+        }
+    }
+}
+
+/// Define property tests: `proptest! { #[test] fn t(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(::std::stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __proptest_rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    __l
+                );
+            }
+        }
+    };
+}
+
+/// The names tests import: `use proptest::prelude::*;`.
+pub mod prelude {
+    /// Alias so `prop::collection::vec(..)` resolves, as with real
+    /// proptest's prelude.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..10, y in 2u32..=5, z in any::<u16>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((2..=5).contains(&y));
+            let _ = z;
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in prop::collection::vec(any::<bool>(), 1..40)) {
+            prop_assert!(!v.is_empty() && v.len() < 40);
+        }
+
+        #[test]
+        fn map_applies(v in (0u64..8).prop_map(|x| x * 64)) {
+            prop_assert_eq!(v % 64, 0);
+            prop_assert!(v < 512);
+        }
+    }
+
+    #[test]
+    fn failure_reports_case() {
+        let r = std::panic::catch_unwind(|| {
+            crate::run_cases("always_fails", |_| Err(TestCaseError::fail("nope")));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first = Vec::new();
+        crate::run_cases("det", |rng| {
+            first.push(crate::Strategy::sample(&(0u64..1000), rng));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::run_cases("det", |rng| {
+            second.push(crate::Strategy::sample(&(0u64..1000), rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,322 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! two shapes this workspace actually derives:
+//!
+//! * structs with named fields, and
+//! * enums whose variants are all unit variants (optionally with explicit
+//!   discriminants).
+//!
+//! The generated code targets the vendored `serde` stub's value-model
+//! traits (`to_value`/`from_value`). Anything fancier — generics, tuple
+//! structs, payload variants, `#[serde(...)]` attributes — is rejected
+//! with a compile error naming the limitation, so a future use shows up
+//! as a loud build failure rather than silent misbehavior.
+//!
+//! Parsing walks the raw [`proc_macro::TokenTree`] stream (the build
+//! environment has no network, so `syn`/`quote` are unavailable).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the item under derive.
+enum Item {
+    /// Named-field struct: name + field identifiers.
+    Struct { name: String, fields: Vec<String> },
+    /// Unit-variant enum: name + variant identifiers.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_item(input) {
+        Ok(Item::Struct { name, fields }) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Ok(Item::Enum { name, variants }) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match *self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Err(msg) => return compile_error(&msg),
+    };
+    generated
+        .parse()
+        .expect("derive(Serialize): generated code must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_item(input) {
+        Ok(Item::Struct { name, fields }) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             v.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                             .map_err(|e| ::serde::DeError::new(::std::format!(\
+                                 \"{name}.{f}: {{e}}\")))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if !::std::matches!(v, ::serde::Value::Object(_)) {{\n\
+                             return ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"object ({name})\", v));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Ok(Item::Enum { name, variants }) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"string ({name})\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Err(msg) => return compile_error(&msg),
+    };
+    generated
+        .parse()
+        .expect("derive(Deserialize): generated code must parse")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::std::compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error tokens must parse")
+}
+
+/// Parse the derive input into an [`Item`], or a user-facing error.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including expanded doc comments)
+    // and the visibility qualifier.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => return Err("malformed attribute on derive input".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                // `pub(crate)` / `pub(in ...)` restriction group.
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub derive: generic type `{name}` is not supported"
+            ));
+        }
+    }
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+            return Err(format!(
+                "serde stub derive: unit struct `{name}` is not supported"
+            ))
+        }
+        Some(TokenTree::Group(_)) => {
+            return Err(format!(
+                "serde stub derive: tuple struct `{name}` is not supported"
+            ))
+        }
+        other => return Err(format!("expected item body for `{name}`, found {other:?}")),
+    };
+
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct {
+            fields: parse_named_fields(body, &name)?,
+            name,
+        }),
+        "enum" => Ok(Item::Enum {
+            variants: parse_unit_variants(body, &name)?,
+            name,
+        }),
+        other => Err(format!("cannot derive serde traits for `{other} {name}`")),
+    }
+}
+
+/// Field identifiers of a named-field struct body.
+fn parse_named_fields(body: TokenStream, item: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next(); // the bracket group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let field = match tok {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("{item}: expected field name, found {other:?}")),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "serde stub derive: `{item}` must use named fields (at `{field}`)"
+                ))
+            }
+        }
+        fields.push(field);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // `->` inside `Fn(..) -> T` must not close a `<`.
+        let mut depth = 0i32;
+        let mut prev_dash = false;
+        for t in toks.by_ref() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' if !prev_dash => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+                prev_dash = p.as_char() == '-';
+            } else {
+                prev_dash = false;
+            }
+        }
+    }
+    if fields.is_empty() {
+        return Err(format!("serde stub derive: `{item}` has no named fields"));
+    }
+    Ok(fields)
+}
+
+/// Variant identifiers of an all-unit-variant enum body.
+fn parse_unit_variants(body: TokenStream, item: &str) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip per-variant attributes.
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let variant = match tok {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("{item}: expected variant name, found {other:?}")),
+        };
+        // Only unit variants (optionally `= discriminant`) are supported.
+        match toks.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Consume the discriminant expression up to the comma.
+                for t in toks.by_ref() {
+                    if let TokenTree::Punct(p) = &t {
+                        if p.as_char() == ',' {
+                            break;
+                        }
+                    }
+                }
+                variants.push(variant);
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde stub derive: `{item}::{variant}` carries data; \
+                     only unit variants are supported"
+                ))
+            }
+            other => return Err(format!("{item}::{variant}: unexpected token {other:?}")),
+        }
+    }
+    if variants.is_empty() {
+        return Err(format!("serde stub derive: `{item}` has no variants"));
+    }
+    Ok(variants)
+}
