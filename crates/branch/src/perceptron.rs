@@ -122,26 +122,29 @@ impl HashedPerceptron {
     pub fn theta(&self) -> i32 {
         self.theta
     }
-}
 
-impl Default for HashedPerceptron {
-    fn default() -> HashedPerceptron {
-        HashedPerceptron::new(PerceptronConfig::default())
-    }
-}
-
-impl DirectionPredictor for HashedPerceptron {
-    fn predict(&self, pc: u64) -> bool {
-        self.sum(pc) >= 0
-    }
-
-    fn update(&mut self, pc: u64, taken: bool) {
-        let sum = self.sum(pc);
+    /// Predict `pc` and train on the actual `taken` outcome in one step,
+    /// returning the prediction.
+    ///
+    /// Identical to [`DirectionPredictor::predict`] followed by
+    /// [`DirectionPredictor::update`], but the table indices — two history
+    /// folds each — are computed once instead of up to three times. The
+    /// simulator observes every conditional branch through this call.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let mut idxs = [0usize; 8];
+        let n = self.cfg.num_tables;
+        for (t, slot) in idxs.iter_mut().enumerate().take(n) {
+            *slot = self.index(t, pc);
+        }
+        let sum: i32 = idxs[..n]
+            .iter()
+            .enumerate()
+            .map(|(t, &i)| i32::from(self.weights[t][i]))
+            .sum();
         let predicted = sum >= 0;
         let mispredicted = predicted != taken;
         if mispredicted || sum.abs() <= self.theta {
-            for t in 0..self.cfg.num_tables {
-                let i = self.index(t, pc);
+            for (t, &i) in idxs[..n].iter().enumerate() {
                 let w = &mut self.weights[t][i];
                 if taken {
                     *w = (*w + 1).min(self.cfg.weight_max);
@@ -169,6 +172,23 @@ impl DirectionPredictor for HashedPerceptron {
         // Advance histories.
         self.ghist = (self.ghist << 1) | u64::from(taken);
         self.phist = (self.phist << 3) | ((pc >> 2) & 0x7);
+        predicted
+    }
+}
+
+impl Default for HashedPerceptron {
+    fn default() -> HashedPerceptron {
+        HashedPerceptron::new(PerceptronConfig::default())
+    }
+}
+
+impl DirectionPredictor for HashedPerceptron {
+    fn predict(&self, pc: u64) -> bool {
+        self.sum(pc) >= 0
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let _ = self.predict_and_update(pc, taken);
     }
 
     fn name(&self) -> String {

@@ -25,7 +25,6 @@
 use fe_cache::{AccessContext, Cache, CacheConfig, ConfigError, ReplacementPolicy};
 use fe_trace::record::INSTRUCTION_BYTES;
 use ghrp_core::SharedGhrp;
-use std::collections::HashMap;
 
 /// Statistics for a BTB instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,7 +54,12 @@ pub struct BtbStats {
 #[derive(Debug)]
 pub struct Btb<P> {
     entries: Cache<P>,
-    targets: HashMap<u64, u64>,
+    /// Stored target per frame, parallel to the tag array. A taken branch
+    /// writes its entry's slot on every hit/fill (the hot path — one per
+    /// taken branch per policy lane), so this is a flat array indexed by
+    /// the frame the tag store reports rather than a map keyed by PC; the
+    /// tag array already says which entry a PC owns.
+    targets: Vec<u64>,
     stats: BtbStats,
 }
 
@@ -75,7 +79,7 @@ impl<P: ReplacementPolicy> Btb<P> {
     pub fn new(cfg: CacheConfig, policy: P) -> Btb<P> {
         Btb {
             entries: Cache::new(cfg, policy),
-            targets: HashMap::new(),
+            targets: vec![0; cfg.frames()],
             stats: BtbStats::default(),
         }
     }
@@ -83,11 +87,7 @@ impl<P: ReplacementPolicy> Btb<P> {
     /// Side-effect-free probe: the predicted target for the branch at
     /// `pc`, if an entry exists.
     pub fn predict(&self, pc: u64) -> Option<u64> {
-        if self.entries.contains(pc) {
-            self.targets.get(&pc).copied()
-        } else {
-            None
-        }
+        self.entries.locate(pc).map(|frame| self.targets[frame])
     }
 
     /// Process a **taken** branch at `pc` with actual target `target`:
@@ -95,22 +95,25 @@ impl<P: ReplacementPolicy> Btb<P> {
     /// decision) and record hit/miss. Returns `true` on a hit.
     pub fn lookup_and_update(&mut self, pc: u64, target: u64) -> bool {
         self.stats.lookups += 1;
-        let result = self.entries.access(pc, pc);
+        let (result, frame) = self.entries.access_locate(pc, pc);
         match result {
             fe_cache::AccessResult::Hit => {
                 self.stats.hits += 1;
-                let old = self.targets.insert(pc, target);
-                if old.is_some_and(|t| t != target) {
-                    self.stats.target_mismatches += 1;
+                if let Some(frame) = frame {
+                    if self.targets[frame] != target {
+                        self.stats.target_mismatches += 1;
+                    }
+                    self.targets[frame] = target;
                 }
                 true
             }
-            fe_cache::AccessResult::Miss { evicted } => {
+            fe_cache::AccessResult::Miss { evicted: _ } => {
                 self.stats.misses += 1;
-                if let Some(v) = evicted {
-                    self.targets.remove(&v);
+                // The fill overwrote the victim's frame, so its stale
+                // target needs no separate removal.
+                if let Some(frame) = frame {
+                    self.targets[frame] = target;
                 }
-                self.targets.insert(pc, target);
                 false
             }
             fe_cache::AccessResult::Bypassed => {
@@ -153,6 +156,8 @@ impl<P: ReplacementPolicy> Btb<P> {
 /// performs no table training of its own — that is what makes the BTB
 /// adaptation nearly free (one bit per entry).
 #[derive(Debug, Clone)]
+// The bools are hot-path caches of independent GhrpConfig flags, not state.
+#[allow(clippy::struct_excessive_bools)]
 pub struct GhrpBtbPolicy {
     shared: SharedGhrp,
     ways: usize,
@@ -165,6 +170,11 @@ pub struct GhrpBtbPolicy {
     /// recompute fresh predictions during victim selection).
     frame_pc: Vec<Option<u64>>,
     current_pred: bool,
+    // Immutable-after-construction config flags, cached out of the shared
+    // state so the hot path skips a borrow + config copy per query.
+    btb_enable_bypass: bool,
+    fresh_victim_prediction: bool,
+    absent_block_is_dead: bool,
     /// How many predictions fell back to the PC signature because the
     /// branch's block was absent from the I-cache.
     pub fallback_predictions: u64,
@@ -173,23 +183,13 @@ pub struct GhrpBtbPolicy {
 }
 
 impl GhrpBtbPolicy {
-    /// Fresh dead prediction for the branch at `pc`. `for_victim` selects
-    /// the victim-scan behaviour when the branch's I-cache block has no
-    /// metadata (block not resident): see
-    /// [`ghrp_core::GhrpConfig::btb_absent_block_is_dead`].
-    fn predict_for_pc(&self, pc: u64, for_victim: bool) -> bool {
+    /// Fresh victim-scan dead prediction for the branch at `pc` (see
+    /// [`ghrp_core::GhrpConfig::btb_absent_block_is_dead`] for the
+    /// absent-block behaviour).
+    fn predict_for_victim(&self, pc: u64) -> bool {
         let block = pc & self.icache_block_mask;
-        match self.shared.meta(block) {
-            Some(meta) => self.shared.predict_btb_dead(meta.signature),
-            None => {
-                if for_victim && self.shared.config().btb_absent_block_is_dead {
-                    true
-                } else {
-                    self.shared
-                        .predict_btb_dead(self.shared.pc_signature(pc >> 2))
-                }
-            }
-        }
+        self.shared
+            .btb_victim_is_dead(block, pc >> 2, self.absent_block_is_dead)
     }
 
     /// Create the policy for a BTB of geometry `btb_cfg`, coupled to the
@@ -204,6 +204,7 @@ impl GhrpBtbPolicy {
             icache_block_bytes.is_power_of_two(),
             "icache_block_bytes must be a power of two"
         );
+        let gcfg = shared.config();
         GhrpBtbPolicy {
             shared,
             ways: btb_cfg.ways() as usize,
@@ -213,6 +214,9 @@ impl GhrpBtbPolicy {
             predicted_dead: vec![false; btb_cfg.frames()],
             frame_pc: vec![None; btb_cfg.frames()],
             current_pred: false,
+            btb_enable_bypass: gcfg.btb_enable_bypass,
+            fresh_victim_prediction: gcfg.fresh_victim_prediction,
+            absent_block_is_dead: gcfg.btb_absent_block_is_dead,
             fallback_predictions: 0,
             dead_victims: 0,
         }
@@ -227,13 +231,11 @@ impl GhrpBtbPolicy {
 impl ReplacementPolicy for GhrpBtbPolicy {
     fn on_access(&mut self, ctx: &AccessContext) {
         let block = ctx.addr & self.icache_block_mask;
-        let sig = if let Some(meta) = self.shared.meta(block) {
-            meta.signature
-        } else {
+        let (fallback, pred) = self.shared.btb_access_prediction(block, ctx.addr >> 2);
+        if fallback {
             self.fallback_predictions += 1;
-            self.shared.pc_signature(ctx.addr >> 2)
-        };
-        self.current_pred = self.shared.predict_btb_dead(sig);
+        }
+        self.current_pred = pred;
     }
 
     fn on_hit(&mut self, way: usize, ctx: &AccessContext) {
@@ -243,15 +245,15 @@ impl ReplacementPolicy for GhrpBtbPolicy {
     }
 
     fn should_bypass(&mut self, _ctx: &AccessContext) -> bool {
-        self.shared.config().btb_enable_bypass && self.current_pred
+        self.btb_enable_bypass && self.current_pred
     }
 
     fn choose_victim(&mut self, ctx: &AccessContext) -> usize {
         let base = ctx.set * self.ways;
-        let fresh = self.shared.config().fresh_victim_prediction;
+        let fresh = self.fresh_victim_prediction;
         for w in 0..self.ways {
             let dead = if fresh {
-                self.frame_pc[base + w].is_some_and(|pc| self.predict_for_pc(pc, true))
+                self.frame_pc[base + w].is_some_and(|pc| self.predict_for_victim(pc))
             } else {
                 self.predicted_dead[base + w]
             };

@@ -228,6 +228,28 @@ impl<P: ReplacementPolicy> Cache<P> {
     /// Panics if the policy chooses a victim way `>= ways` — a policy
     /// bug, not a caller error.
     pub fn access(&mut self, addr: u64, pc: u64) -> AccessResult {
+        self.access_locate(addr, pc).0
+    }
+
+    /// The frame (global `set * ways + way` index) currently holding
+    /// `addr`'s block, if resident. Side-effect-free, like
+    /// [`Cache::contains`]. Lets callers keep per-entry payloads in a
+    /// flat side array indexed by frame instead of a keyed map.
+    pub fn locate(&self, addr: u64) -> Option<usize> {
+        let block = self.cfg.block_of(addr);
+        let set = self.cfg.set_of(block);
+        self.find(block).map(|w| set * self.cfg.ways() as usize + w)
+    }
+
+    /// Like [`Cache::access`], additionally reporting the frame (global
+    /// `set * ways + way` index) the access hit in or filled — `None`
+    /// when the policy bypassed the fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy chooses a victim way `>= ways` — a policy
+    /// bug, not a caller error.
+    pub fn access_locate(&mut self, addr: u64, pc: u64) -> (AccessResult, Option<usize>) {
         let _ = pc;
         let block = self.cfg.block_of(addr);
         let set = self.cfg.set_of(block);
@@ -251,13 +273,13 @@ impl<P: ReplacementPolicy> Cache<P> {
             if let Some(e) = &mut self.efficiency {
                 e.on_hit(set, way);
             }
-            return AccessResult::Hit;
+            return (AccessResult::Hit, Some(base + way));
         }
 
         self.stats.misses += 1;
         if self.policy.should_bypass(&ctx) {
             self.stats.bypasses += 1;
-            return AccessResult::Bypassed;
+            return (AccessResult::Bypassed, None);
         }
 
         // Prefer an invalid frame; otherwise ask the policy for a victim.
@@ -285,7 +307,7 @@ impl<P: ReplacementPolicy> Cache<P> {
         if let Some(e) = &mut self.efficiency {
             e.on_fill(set, way);
         }
-        AccessResult::Miss { evicted }
+        (AccessResult::Miss { evicted }, Some(base + way))
     }
 }
 

@@ -37,11 +37,13 @@
 mod cache;
 mod config;
 mod efficiency;
+pub mod fastmap;
 pub mod index;
 pub mod policy;
 
 pub use crate::cache::{AccessResult, Cache, CacheStats};
 pub use config::{CacheConfig, ConfigError};
 pub use efficiency::{EfficiencyMap, EfficiencyTracker};
+pub use fastmap::{FastHasher, FastMap};
 pub use index::{idx, mask};
 pub use policy::{AccessContext, ReplacementPolicy};

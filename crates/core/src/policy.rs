@@ -2,7 +2,7 @@
 
 #![forbid(unsafe_code)]
 
-use crate::shared::{BlockMeta, SharedGhrp};
+use crate::shared::SharedGhrp;
 use fe_cache::{AccessContext, CacheConfig, ReplacementPolicy};
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +42,8 @@ pub struct GhrpPolicyStats {
 /// keeps the learned label a stable "dead under LRU" (see the config
 /// field's documentation for the rationale).
 #[derive(Debug, Clone)]
+// The bools are hot-path caches of independent GhrpConfig flags, not state.
+#[allow(clippy::struct_excessive_bools)]
 pub struct GhrpPolicy {
     shared: SharedGhrp,
     ways: usize,
@@ -59,6 +61,12 @@ pub struct GhrpPolicy {
     shadow_sig: Vec<u16>,
     shadow_stamps: Vec<u64>,
     shadow_training: bool,
+    // Immutable-after-construction config flags, cached out of the shared
+    // state so the hot path skips a borrow + config copy per query.
+    enable_bypass: bool,
+    protect_mru: bool,
+    prefer_young_dead: bool,
+    fresh_victim_prediction: bool,
     stats: GhrpPolicyStats,
 }
 
@@ -66,7 +74,8 @@ impl GhrpPolicy {
     /// Create a GHRP policy for a cache with geometry `cfg`, backed by the
     /// `shared` predictor (which the BTB may also hold).
     pub fn new(cfg: CacheConfig, shared: SharedGhrp) -> GhrpPolicy {
-        let shadow_training = shared.config().shadow_training;
+        let gcfg = shared.config();
+        let shadow_training = gcfg.shadow_training;
         GhrpPolicy {
             shared,
             ways: cfg.ways() as usize,
@@ -78,6 +87,10 @@ impl GhrpPolicy {
             shadow_sig: vec![0; if shadow_training { cfg.frames() } else { 0 }],
             shadow_stamps: vec![0; if shadow_training { cfg.frames() } else { 0 }],
             shadow_training,
+            enable_bypass: gcfg.enable_bypass,
+            protect_mru: gcfg.protect_mru,
+            prefer_young_dead: gcfg.prefer_young_dead,
+            fresh_victim_prediction: gcfg.fresh_victim_prediction,
             stats: GhrpPolicyStats::default(),
         }
     }
@@ -132,9 +145,9 @@ impl GhrpPolicy {
 impl ReplacementPolicy for GhrpPolicy {
     fn on_access(&mut self, ctx: &AccessContext) {
         // Signature first (from the history *excluding* this access), then
-        // advance the speculative history with this access.
-        self.current_sig = self.shared.icache_signature(ctx.block_addr);
-        self.shared.update_history(ctx.block_addr);
+        // advance the speculative history with this access — one shared
+        // borrow via the combined hot-path entry.
+        self.current_sig = self.shared.access_signature(ctx.block_addr);
         if self.shadow_training {
             self.shadow_access(ctx);
         }
@@ -143,29 +156,20 @@ impl ReplacementPolicy for GhrpPolicy {
     fn on_hit(&mut self, way: usize, ctx: &AccessContext) {
         // The block proved live under the conditions of its previous
         // access (Algorithm 1 lines 21–25). With shadow training the
-        // equivalent event was already recorded by the shadow array.
-        if let Some(old) = self.shared.meta(ctx.block_addr) {
-            if old.predicted_dead {
-                self.stats.false_dead_hits += 1;
-            }
-            if !self.shadow_training {
-                self.shared.train(old.signature, false);
-            }
+        // equivalent event was already recorded by the shadow array, so
+        // the old signature trains live only in direct-training mode.
+        // Re-tag with the current signature and a fresh prediction bit.
+        let old = self
+            .shared
+            .rehit_meta(ctx.block_addr, self.current_sig, !self.shadow_training);
+        if old.is_some_and(|o| o.predicted_dead) {
+            self.stats.false_dead_hits += 1;
         }
-        // Re-tag with the current signature and refresh the prediction bit.
-        let predicted_dead = self.shared.predict_dead(self.current_sig);
-        self.shared.set_meta(
-            ctx.block_addr,
-            BlockMeta {
-                signature: self.current_sig,
-                predicted_dead,
-            },
-        );
         self.touch(ctx.set, way);
     }
 
     fn should_bypass(&mut self, _ctx: &AccessContext) -> bool {
-        if !self.shared.config().enable_bypass {
+        if !self.enable_bypass {
             return false;
         }
         let bypass = self.shared.predict_bypass(self.current_sig);
@@ -182,20 +186,17 @@ impl ReplacementPolicy for GhrpPolicy {
         let mru = (0..self.ways)
             .max_by_key(|&w| self.stamps[base + w])
             .unwrap_or(0); // ways >= 1 by construction; hot path stays panic-free
-        let cfg = self.shared.config();
         let mut best: Option<(u64, usize)> = None;
         for w in 0..self.ways {
-            if cfg.protect_mru && w == mru {
+            if self.protect_mru && w == mru {
                 continue;
             }
             if let Some(block) = self.frame_block[base + w] {
-                let dead = match (cfg.fresh_victim_prediction, self.shared.meta(block)) {
-                    (true, Some(m)) => self.shared.predict_dead(m.signature),
-                    (false, Some(m)) => m.predicted_dead,
-                    (_, None) => false,
-                };
+                let dead = self
+                    .shared
+                    .victim_is_dead(block, self.fresh_victim_prediction);
                 if dead {
-                    if !cfg.prefer_young_dead {
+                    if !self.prefer_young_dead {
                         self.stats.dead_victims += 1;
                         return w;
                     }
@@ -219,27 +220,17 @@ impl ReplacementPolicy for GhrpPolicy {
     fn on_evict(&mut self, way: usize, victim_block: u64, ctx: &AccessContext) {
         // The victim just proved dead (Algorithm 1 lines 15–17, Algorithm
         // 6). With shadow training the dead label instead comes from the
-        // shadow array's own eviction of this block.
-        if let Some(meta) = self.shared.take_meta(victim_block) {
-            if !meta.predicted_dead {
-                self.stats.unpredicted_deaths += 1;
-            }
-            if !self.shadow_training {
-                self.shared.train(meta.signature, true);
-            }
+        // shadow array's own eviction of this block, so the signature
+        // trains dead only in direct-training mode.
+        let meta = self.shared.evict_meta(victim_block, !self.shadow_training);
+        if meta.is_some_and(|m| !m.predicted_dead) {
+            self.stats.unpredicted_deaths += 1;
         }
         self.frame_block[ctx.set * self.ways + way] = None;
     }
 
     fn on_fill(&mut self, way: usize, ctx: &AccessContext) {
-        let predicted_dead = self.shared.predict_dead(self.current_sig);
-        self.shared.set_meta(
-            ctx.block_addr,
-            BlockMeta {
-                signature: self.current_sig,
-                predicted_dead,
-            },
-        );
+        self.shared.fill_meta(ctx.block_addr, self.current_sig);
         self.frame_block[ctx.set * self.ways + way] = Some(ctx.block_addr);
         self.touch(ctx.set, way);
     }
@@ -277,6 +268,7 @@ impl fe_cache::policy::PolicyInvariants for GhrpPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shared::BlockMeta;
     use crate::GhrpConfig;
     use fe_cache::Cache;
 

@@ -20,8 +20,8 @@ use crate::config::GhrpConfig;
 use crate::history::SpeculativeHistory;
 use crate::signature::signature;
 use crate::tables::PredictionTables;
+use fe_cache::FastMap;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 // The checked index primitives every predictor-side index computation
@@ -46,8 +46,11 @@ struct GhrpState {
     cfg: GhrpConfig,
     tables: PredictionTables,
     history: SpeculativeHistory,
-    /// I-cache block metadata, keyed by block address.
-    meta: HashMap<u64, BlockMeta>,
+    /// I-cache block metadata, keyed by block address. Probed several
+    /// times per I-cache access (hit re-tag, victim scan, BTB coupling),
+    /// so it uses the deterministic [`FastMap`] hasher; keyed access
+    /// only, never iterated.
+    meta: FastMap<u64, BlockMeta>,
     /// Right-shift applied to I-cache block addresses before they enter
     /// the history/signature (the block offset width).
     icache_shift: u32,
@@ -77,7 +80,7 @@ impl SharedGhrp {
                 cfg,
                 tables,
                 history,
-                meta: HashMap::new(),
+                meta: FastMap::default(),
                 icache_shift: icache_offset_bits,
             })),
         }
@@ -115,6 +118,129 @@ impl SharedGhrp {
         let mut s = self.state.borrow_mut();
         let pc = block_addr >> s.icache_shift;
         s.history.update_speculative(pc);
+    }
+
+    /// Hot-path combination of [`SharedGhrp::icache_signature`] followed
+    /// by [`SharedGhrp::update_history`]: compute the signature for an
+    /// I-cache access under the history *excluding* this access, then
+    /// advance the speculative history — in one borrow.
+    pub fn access_signature(&self, block_addr: u64) -> u16 {
+        let mut s = self.state.borrow_mut();
+        let pc = block_addr >> s.icache_shift;
+        let sig = signature(s.history.speculative(), pc, s.cfg.history_bits.min(16));
+        s.history.update_speculative(pc);
+        sig
+    }
+
+    /// Hot-path re-tag on an I-cache hit (Algorithm 1 lines 21–25): read
+    /// the block's previous metadata, optionally train its old signature
+    /// live (`train_live`, i.e. direct-training mode), then store fresh
+    /// metadata under `sig` with a fresh dead prediction. Returns the
+    /// previous metadata. One borrow, one map probe beyond the insert.
+    pub fn rehit_meta(&self, block_addr: u64, sig: u16, train_live: bool) -> Option<BlockMeta> {
+        let mut s = self.state.borrow_mut();
+        let old = s.meta.get(&block_addr).copied();
+        if train_live {
+            if let Some(o) = old {
+                s.tables.update(o.signature, false);
+            }
+        }
+        let predicted_dead = s.tables.predict(sig, s.cfg.dead_threshold);
+        s.meta.insert(
+            block_addr,
+            BlockMeta {
+                signature: sig,
+                predicted_dead,
+            },
+        );
+        old
+    }
+
+    /// Hot-path fill: store metadata for a newly filled I-cache block
+    /// under `sig` with a fresh dead prediction, in one borrow.
+    pub fn fill_meta(&self, block_addr: u64, sig: u16) {
+        let mut s = self.state.borrow_mut();
+        let predicted_dead = s.tables.predict(sig, s.cfg.dead_threshold);
+        s.meta.insert(
+            block_addr,
+            BlockMeta {
+                signature: sig,
+                predicted_dead,
+            },
+        );
+    }
+
+    /// Hot-path eviction (Algorithm 1 lines 15–17): remove the victim's
+    /// metadata, optionally training its signature dead (`train_dead`,
+    /// i.e. direct-training mode). Returns the removed metadata. One
+    /// borrow, one map operation.
+    pub fn evict_meta(&self, block_addr: u64, train_dead: bool) -> Option<BlockMeta> {
+        let mut s = self.state.borrow_mut();
+        let old = s.meta.remove(&block_addr);
+        if train_dead {
+            if let Some(o) = old {
+                s.tables.update(o.signature, true);
+            }
+        }
+        old
+    }
+
+    /// Hot-path victim scan: whether the resident block at `block_addr`
+    /// is considered dead — by a fresh table vote on its stored signature
+    /// (`fresh`) or by its stored prediction bit. Blocks without metadata
+    /// are live. One borrow per candidate way.
+    pub fn victim_is_dead(&self, block_addr: u64, fresh: bool) -> bool {
+        let s = self.state.borrow();
+        match s.meta.get(&block_addr) {
+            Some(m) if fresh => s.tables.predict(m.signature, s.cfg.dead_threshold),
+            Some(m) => m.predicted_dead,
+            None => false,
+        }
+    }
+
+    /// Hot-path BTB access prediction (§III.E): look up the I-cache
+    /// metadata for the branch's block; fall back to a PC signature when
+    /// the block is absent. Returns `(used_fallback, predicted_dead)`
+    /// under the BTB's own threshold — in one borrow.
+    pub fn btb_access_prediction(&self, block_addr: u64, shifted_pc: u64) -> (bool, bool) {
+        let s = self.state.borrow();
+        let (fallback, sig) = match s.meta.get(&block_addr) {
+            Some(m) => (false, m.signature),
+            None => (
+                true,
+                signature(
+                    s.history.speculative(),
+                    shifted_pc,
+                    s.cfg.history_bits.min(16),
+                ),
+            ),
+        };
+        (fallback, s.tables.predict(sig, s.cfg.btb_dead_threshold))
+    }
+
+    /// Hot-path BTB victim scan: dead prediction for the BTB entry whose
+    /// branch lives at `shifted_pc` in I-cache block `block_addr`. When
+    /// the block has no metadata, `absent_is_dead` short-circuits the
+    /// vote (see [`GhrpConfig::btb_absent_block_is_dead`]). One borrow.
+    pub fn btb_victim_is_dead(
+        &self,
+        block_addr: u64,
+        shifted_pc: u64,
+        absent_is_dead: bool,
+    ) -> bool {
+        let s = self.state.borrow();
+        match s.meta.get(&block_addr) {
+            Some(m) => s.tables.predict(m.signature, s.cfg.btb_dead_threshold),
+            None if absent_is_dead => true,
+            None => {
+                let sig = signature(
+                    s.history.speculative(),
+                    shifted_pc,
+                    s.cfg.history_bits.min(16),
+                );
+                s.tables.predict(sig, s.cfg.btb_dead_threshold)
+            }
+        }
     }
 
     /// Advance the retired (non-speculative) history with a committed

@@ -71,15 +71,27 @@ impl PredictionTables {
 
     /// Predict whether a block accessed under `signature` is dead, using
     /// the given per-counter threshold (Algorithm 3).
+    ///
+    /// Allocation-free: this runs several times per I-cache access in the
+    /// simulator hot path (hit re-tag, fill, victim scan, BTB coupling),
+    /// so the votes are folded inline rather than collected via
+    /// [`PredictionTables::counters`].
     pub fn predict(&self, signature: u16, threshold: u8) -> bool {
-        let votes = self.counters(signature);
         match self.aggregation {
             Aggregation::MajorityVote => {
-                let dead = votes.iter().filter(|&&c| c >= threshold).count();
+                let dead = (0..self.num_tables)
+                    .filter(|&t| {
+                        self.counters[t][table_index(signature, t, self.index_bits)] >= threshold
+                    })
+                    .count();
                 dead * 2 > self.num_tables
             }
             Aggregation::Sum => {
-                let sum: u32 = votes.iter().map(|&c| u32::from(c)).sum();
+                let sum: u32 = (0..self.num_tables)
+                    .map(|t| {
+                        u32::from(self.counters[t][table_index(signature, t, self.index_bits)])
+                    })
+                    .sum();
                 // Truncation-safe: GhrpConfig::validate caps num_tables
                 // at 8.
                 #[allow(clippy::cast_possible_truncation)]

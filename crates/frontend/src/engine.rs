@@ -1,0 +1,482 @@
+//! The single-pass multi-policy simulation engine.
+//!
+//! The paper's methodology (§IV) evaluates every replacement policy on the
+//! same trace stream. The policy-independent work — fetch-group decode,
+//! the hashed-perceptron direction predictor, the return-address stack and
+//! the indirect target cache — dominates a run, yet the legacy path
+//! ([`crate::simulator::Simulator::run`]) repeats all of it once per
+//! policy. This engine replays a trace **once**, decoding the fetch stream
+//! and driving the shared predictors a single time, and broadcasts every
+//! fetch group and branch event to N independent **policy lanes**.
+//!
+//! Each lane owns exactly the per-policy state of a standalone run: its
+//! I-cache, its BTB, and (for GHRP/SDBP) its predictor tables including
+//! the §III.F dual history. The branch-predictor outcome stream that
+//! triggers wrong-path injection is policy-independent — the shared
+//! predictors never read cache state — so each lane observes the same
+//! event sequence, in the same order, as a standalone simulation, and its
+//! counters stay **bit-identical** to the legacy per-policy path (proved
+//! by the `engine_equivalence` property suite).
+//!
+//! Traces enter through [`ReplaySource`], which abstracts over a
+//! materialized record slice ([`SliceReplay`]) and a streaming replay of a
+//! synthetic workload ([`fe_trace::synth::StreamedTrace`]). The streaming
+//! path never materializes a `Vec<BranchRecord>`, so paper-scale traces
+//! (100 M+ instructions, §IV.C) cost walker state instead of gigabytes.
+
+#![forbid(unsafe_code)]
+
+use crate::policy::{build_pair, FrontendPair, PolicyKind};
+use crate::simulator::{offline_sequences, RunResult, SimConfig};
+use fe_branch::{HashedPerceptron, PredictorStats, ReturnAddressStack, TargetCache};
+use fe_trace::fetch::{FetchChunk, FetchStream};
+use fe_trace::record::{BranchKind, BranchRecord};
+use fe_trace::synth::{StreamedTrace, SyntheticTrace, Walker};
+
+/// A trace that can be replayed from the start any number of times.
+///
+/// The engine makes one pass for the simulation itself plus, when the
+/// policy set contains an offline (OPT) policy, one precompute pass. Both
+/// passes must observe identical record streams.
+pub trait ReplaySource {
+    /// The record iterator for one replay pass.
+    type Iter<'a>: Iterator<Item = BranchRecord>
+    where
+        Self: 'a;
+
+    /// Start a fresh pass over the branch records, in program order.
+    fn replay(&self) -> Self::Iter<'_>;
+
+    /// Exact instruction total of the trace (sizes the warm-up window,
+    /// §IV.C: first half of the trace, capped).
+    fn total_instructions(&self) -> u64;
+}
+
+/// Replay of a materialized record slice (the legacy representation).
+#[derive(Debug, Clone, Copy)]
+pub struct SliceReplay<'r> {
+    records: &'r [BranchRecord],
+    instructions: u64,
+}
+
+impl<'r> SliceReplay<'r> {
+    /// Wrap `records` whose walk implies `instructions` instructions.
+    pub fn new(records: &'r [BranchRecord], instructions: u64) -> SliceReplay<'r> {
+        SliceReplay {
+            records,
+            instructions,
+        }
+    }
+
+    /// Replay a fully materialized synthetic trace.
+    pub fn from_trace(trace: &'r SyntheticTrace) -> SliceReplay<'r> {
+        SliceReplay {
+            records: &trace.records,
+            instructions: trace.instructions,
+        }
+    }
+}
+
+impl ReplaySource for SliceReplay<'_> {
+    type Iter<'a>
+        = std::iter::Copied<std::slice::Iter<'a, BranchRecord>>
+    where
+        Self: 'a;
+
+    fn replay(&self) -> Self::Iter<'_> {
+        self.records.iter().copied()
+    }
+
+    fn total_instructions(&self) -> u64 {
+        self.instructions
+    }
+}
+
+impl ReplaySource for StreamedTrace {
+    type Iter<'a> = Walker<'a>;
+
+    fn replay(&self) -> Walker<'_> {
+        StreamedTrace::replay(self)
+    }
+
+    fn total_instructions(&self) -> u64 {
+        self.instructions()
+    }
+}
+
+/// The policy-independent front end, driven exactly once per trace: the
+/// conditional-direction predictor, the return-address stack and the
+/// indirect target cache. None of these read cache or BTB state, so their
+/// outcome stream is identical for every lane.
+#[derive(Debug, Default)]
+struct SharedFrontEnd {
+    bp: HashedPerceptron,
+    ras: ReturnAddressStack,
+    itp: TargetCache,
+    bp_stats: PredictorStats,
+    ras_mispredictions: u64,
+    /// (predicted, mispredicted) indirect jumps/calls.
+    indirect: (u64, u64),
+}
+
+impl SharedFrontEnd {
+    /// Predict and train on one branch record; returns whether the front
+    /// end mispredicted it (the trigger for wrong-path injection).
+    fn observe(&mut self, branch: &BranchRecord) -> bool {
+        let mut mispredicted = false;
+        match branch.kind {
+            BranchKind::CondDirect => {
+                let pred = self.bp.predict_and_update(branch.pc, branch.taken);
+                let correct = pred == branch.taken;
+                self.bp_stats.record(correct);
+                mispredicted = !correct;
+            }
+            BranchKind::Call => {
+                self.ras.push(branch.fall_through());
+            }
+            BranchKind::IndirectCall => {
+                self.ras.push(branch.fall_through());
+                self.indirect.0 += 1;
+                if self.itp.predict(branch.pc) != Some(branch.target) {
+                    self.indirect.1 += 1;
+                    mispredicted = true;
+                }
+                self.itp.update(branch.pc, branch.target);
+            }
+            BranchKind::Indirect => {
+                self.indirect.0 += 1;
+                if self.itp.predict(branch.pc) != Some(branch.target) {
+                    self.indirect.1 += 1;
+                    mispredicted = true;
+                }
+                self.itp.update(branch.pc, branch.target);
+            }
+            BranchKind::Return => {
+                let predicted = self.ras.pop();
+                if predicted != Some(branch.target) {
+                    self.ras_mispredictions += 1;
+                    mispredicted = true;
+                }
+            }
+            BranchKind::UncondDirect => {}
+        }
+        mispredicted
+    }
+
+    /// End-of-warm-up counter reset (predictor state itself stays warm).
+    fn reset_stats(&mut self) {
+        self.bp_stats = PredictorStats::default();
+        self.ras_mispredictions = 0;
+        self.indirect = (0, 0);
+    }
+}
+
+/// One policy lane: the complete per-policy state of a standalone run.
+struct Lane {
+    policy: PolicyKind,
+    pair: FrontendPair,
+    /// Wrong-path pollution, excluded from the figure of merit (wrong-path
+    /// fetches do not retire, so they cannot be MPKI events).
+    wrong_path_misses: u64,
+    wrong_path_accesses: u64,
+    /// Fetch groups this lane processed (cross-lane lockstep check).
+    groups: u64,
+}
+
+impl Lane {
+    /// One I-cache access per fetch group (§IV.A), plus prefetch and
+    /// commit-time GHRP history retirement — the per-lane half of what
+    /// the legacy loop does per `starts_group` chunk.
+    fn access_group(&mut self, chunk: &FetchChunk, cfg: &SimConfig) {
+        self.groups += 1;
+        let result = self.pair.icache.access(chunk.block_addr, chunk.first_pc);
+        // Miss-triggered next-line prefetching.
+        if result.is_miss() && cfg.prefetch_degree > 0 {
+            for i in 1..=u64::from(cfg.prefetch_degree) {
+                self.pair
+                    .icache
+                    .prefetch(chunk.block_addr + i * cfg.icache.block_bytes());
+            }
+        }
+        // Commit-time (right-path) history retirement for GHRP: in this
+        // trace-driven model every fetched group retires.
+        if let (Some(shared), Some(_wp)) = (&self.pair.ghrp, cfg.wrong_path.as_ref()) {
+            shared.retire(chunk.block_addr);
+        }
+    }
+
+    /// The per-lane half of a branch event: BTB refresh/allocate on taken
+    /// branches, then wrong-path injection if the (shared) front end
+    /// mispredicted.
+    fn observe_branch(&mut self, branch: &BranchRecord, mispredicted: bool, cfg: &SimConfig) {
+        if branch.taken {
+            self.pair.btb.lookup_and_update(branch.pc, branch.target);
+        }
+        if mispredicted {
+            if let Some(wp) = cfg.wrong_path {
+                let block_bytes = cfg.icache.block_bytes();
+                // The wrong path is the direction not taken.
+                let wrong_start = if branch.taken {
+                    branch.fall_through()
+                } else {
+                    branch.target
+                };
+                let mut block = wrong_start & !(block_bytes - 1);
+                for _ in 0..wp.blocks_per_misprediction {
+                    let r = self.pair.icache.access(block, block);
+                    self.wrong_path_accesses += 1;
+                    if r.is_miss() {
+                        self.wrong_path_misses += 1;
+                    }
+                    block += block_bytes;
+                }
+                if wp.recover_history {
+                    if let Some(shared) = &self.pair.ghrp {
+                        shared.recover();
+                    }
+                }
+            }
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.pair.icache.reset_stats();
+        self.pair.btb.reset_stats();
+        self.wrong_path_misses = 0;
+        self.wrong_path_accesses = 0;
+    }
+
+    fn finish(self, measured_instructions: u64, fe: &SharedFrontEnd) -> RunResult {
+        let mut icache_stats = self.pair.icache.stats();
+        // Subtract wrong-path pollution from the figure of merit.
+        icache_stats.misses -= self.wrong_path_misses.min(icache_stats.misses);
+        icache_stats.accesses -= self.wrong_path_accesses.min(icache_stats.accesses);
+        let btb_stats = self.pair.btb.stats();
+        RunResult {
+            policy: self.policy,
+            instructions: measured_instructions,
+            icache: icache_stats,
+            btb_lookups: btb_stats.lookups,
+            btb_misses: btb_stats.misses,
+            cond_branches: fe.bp_stats.predictions,
+            cond_mispredictions: fe.bp_stats.mispredictions,
+            ras_mispredictions: fe.ras_mispredictions,
+            indirect_branches: fe.indirect.0,
+            indirect_mispredictions: fe.indirect.1,
+            prefetch_fills: icache_stats.prefetch_fills,
+        }
+    }
+}
+
+/// Simulate every policy in `policies` over one replay of `source`,
+/// returning one [`RunResult`] per policy (in input order).
+///
+/// The shared pass decodes the fetch stream and drives the direction
+/// predictor, RAS and indirect target cache exactly once; per-policy work
+/// is limited to each lane's I-cache/BTB accesses. `base.policy` is
+/// ignored — each lane is built for its own policy. Results are
+/// bit-identical to running [`crate::simulator::Simulator::run`] once per
+/// policy on the same trace.
+///
+/// # Panics
+///
+/// Panics if the BTB geometry in `base` is invalid.
+pub fn run_lanes<S: ReplaySource>(
+    base: &SimConfig,
+    policies: &[PolicyKind],
+    source: &S,
+) -> Vec<RunResult> {
+    if policies.is_empty() {
+        return Vec::new();
+    }
+    let block_bytes = base.icache.block_bytes();
+
+    // Offline (OPT) lanes need the full access sequences ahead of time:
+    // precompute them once per trace and share across all offline lanes.
+    let offline = if policies.iter().any(|p| p.is_offline()) {
+        Some(offline_sequences(source.replay(), block_bytes))
+    } else {
+        None
+    };
+
+    let mut lanes: Vec<Lane> = policies
+        .iter()
+        .map(|&p| {
+            let seq = if p.is_offline() {
+                offline.as_ref()
+            } else {
+                None
+            };
+            Lane {
+                policy: p,
+                pair: build_pair(
+                    p,
+                    base.icache,
+                    base.btb_entries,
+                    base.btb_ways,
+                    base.ghrp,
+                    base.sdbp,
+                    base.seed,
+                    seq.map(|(blocks, _)| blocks.as_slice()),
+                    seq.map(|(_, pcs)| pcs.as_slice()),
+                ),
+                wrong_path_misses: 0,
+                wrong_path_accesses: 0,
+                groups: 0,
+            }
+        })
+        .collect();
+
+    let mut fe = SharedFrontEnd::default();
+    let warmup = (source.total_instructions() / 2).min(base.warmup_cap);
+    let mut warmed = warmup == 0;
+    let mut instructions = 0u64;
+    let mut measured_instructions = 0u64;
+
+    for chunk in FetchStream::new(source.replay(), block_bytes) {
+        instructions += u64::from(chunk.n_instr);
+        if warmed {
+            measured_instructions += u64::from(chunk.n_instr);
+        }
+        if chunk.starts_group {
+            for lane in &mut lanes {
+                lane.access_group(&chunk, base);
+            }
+        }
+        if let Some(branch) = chunk.branch {
+            let mispredicted = fe.observe(&branch);
+            for lane in &mut lanes {
+                lane.observe_branch(&branch, mispredicted, base);
+            }
+        }
+        if !warmed && instructions >= warmup {
+            warmed = true;
+            fe.reset_stats();
+            for lane in &mut lanes {
+                lane.reset_stats();
+            }
+        }
+    }
+
+    // Every lane consumed the identical event stream.
+    debug_assert!(
+        lanes.windows(2).all(|w| w[0].groups == w[1].groups),
+        "policy lanes diverged: fetch-group counts {:?}",
+        lanes.iter().map(|l| l.groups).collect::<Vec<_>>()
+    );
+
+    lanes
+        .into_iter()
+        .map(|lane| lane.finish(measured_instructions, &fe))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{Simulator, WrongPathConfig};
+    use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
+
+    fn spec(seed: u64, n: u64) -> WorkloadSpec {
+        WorkloadSpec::new(WorkloadCategory::ShortServer, seed).instructions(n)
+    }
+
+    const SEVEN: &[PolicyKind] = &[
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Random,
+        PolicyKind::Srrip,
+        PolicyKind::Drrip,
+        PolicyKind::Sdbp,
+        PolicyKind::Ghrp,
+    ];
+
+    #[test]
+    fn lanes_match_legacy_per_policy_runs() {
+        let trace = spec(3, 200_000).generate();
+        let base = SimConfig::paper_default();
+        let results = run_lanes(&base, SEVEN, &SliceReplay::from_trace(&trace));
+        assert_eq!(results.len(), SEVEN.len());
+        for (r, &p) in results.iter().zip(SEVEN) {
+            let legacy =
+                Simulator::new(base.with_policy(p)).run(&trace.records, trace.instructions);
+            assert_eq!(*r, legacy, "lane {p} diverged from legacy");
+        }
+    }
+
+    #[test]
+    fn lanes_match_legacy_with_wrong_path() {
+        let trace = spec(5, 150_000).generate();
+        let mut base = SimConfig::paper_default();
+        base.wrong_path = Some(WrongPathConfig::default());
+        let pols = [PolicyKind::Lru, PolicyKind::Ghrp, PolicyKind::Sdbp];
+        let results = run_lanes(&base, &pols, &SliceReplay::from_trace(&trace));
+        for (r, &p) in results.iter().zip(&pols) {
+            let legacy =
+                Simulator::new(base.with_policy(p)).run(&trace.records, trace.instructions);
+            assert_eq!(*r, legacy, "lane {p} diverged from legacy (wrong-path)");
+        }
+    }
+
+    #[test]
+    fn streaming_source_matches_slice_source() {
+        let s = spec(7, 120_000);
+        let base = SimConfig::paper_default();
+        let trace = s.generate();
+        let from_slice = run_lanes(&base, SEVEN, &SliceReplay::from_trace(&trace));
+        let from_stream = run_lanes(&base, SEVEN, &s.streamed());
+        assert_eq!(from_slice, from_stream);
+    }
+
+    #[test]
+    fn offline_lane_shares_precompute_with_online_lanes() {
+        let trace = spec(11, 100_000).generate();
+        let base = SimConfig::paper_default();
+        let pols = [PolicyKind::Opt, PolicyKind::Lru];
+        let results = run_lanes(&base, &pols, &SliceReplay::from_trace(&trace));
+        for (r, &p) in results.iter().zip(&pols) {
+            let legacy =
+                Simulator::new(base.with_policy(p)).run(&trace.records, trace.instructions);
+            assert_eq!(*r, legacy, "lane {p} diverged from legacy (OPT)");
+        }
+    }
+
+    #[test]
+    fn prefetch_lanes_match_legacy() {
+        let trace = spec(13, 150_000).generate();
+        let mut base = SimConfig::paper_default();
+        base.prefetch_degree = 2;
+        let pols = [PolicyKind::Lru, PolicyKind::Srrip];
+        let results = run_lanes(&base, &pols, &SliceReplay::from_trace(&trace));
+        for (r, &p) in results.iter().zip(&pols) {
+            let legacy =
+                Simulator::new(base.with_policy(p)).run(&trace.records, trace.instructions);
+            assert_eq!(*r, legacy, "lane {p} diverged from legacy (prefetch)");
+        }
+    }
+
+    #[test]
+    fn empty_policy_set_yields_nothing() {
+        let trace = spec(17, 50_000).generate();
+        let results = run_lanes(
+            &SimConfig::paper_default(),
+            &[],
+            &SliceReplay::from_trace(&trace),
+        );
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_runs_all_lanes() {
+        let results = run_lanes(
+            &SimConfig::paper_default(),
+            &[PolicyKind::Lru, PolicyKind::Ghrp],
+            &SliceReplay::new(&[], 0),
+        );
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.instructions, 0);
+            assert_eq!(r.icache.accesses, 0);
+        }
+    }
+}

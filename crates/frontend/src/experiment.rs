@@ -1,15 +1,22 @@
 //! Suite experiments: run many workloads across many policies.
+//!
+//! Since the single-pass engine landed, [`run_trace`] replays each
+//! workload **once** for the whole policy set (see [`crate::engine`]) and
+//! streams the trace straight out of the workload walker, never
+//! materializing a record vector. The legacy one-simulation-per-policy
+//! path survives as [`run_trace_legacy`], the reference implementation
+//! that the equivalence test suite and the `suite_throughput` benchmark
+//! compare against.
 
 #![forbid(unsafe_code)]
 
+use crate::engine::run_lanes;
 use crate::policy::PolicyKind;
-use crate::simulator::{SimConfig, Simulator};
+use crate::simulator::{RunResult, SimConfig, Simulator};
 use crate::stats;
 use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Per-trace results across the policy set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -122,38 +129,72 @@ impl SuiteResult {
     }
 }
 
-/// Run every policy on one workload, generating its trace once.
-pub fn run_trace(spec: &WorkloadSpec, base: &SimConfig, policies: &[PolicyKind]) -> TraceRow {
-    let trace = spec.generate();
-    let mut icache_mpki = Vec::with_capacity(policies.len());
-    let mut btb_mpki = Vec::with_capacity(policies.len());
-    let mut branch_mpki = 0.0;
-    let mut instructions = 0;
-    for &p in policies {
-        let sim = Simulator::new(base.with_policy(p));
-        let r = sim.run(&trace.records, trace.instructions);
-        icache_mpki.push(r.icache_mpki());
-        btb_mpki.push(r.btb_mpki());
-        branch_mpki = r.branch_mpki();
-        instructions = r.instructions;
-    }
+/// Assemble a [`TraceRow`] from one engine pass, computing the shared
+/// (policy-independent) columns exactly once.
+fn row_from_results(spec: &WorkloadSpec, results: &[RunResult]) -> TraceRow {
+    // Every lane consumed the identical shared pass, so the
+    // policy-independent numbers must agree exactly.
+    debug_assert!(
+        results.windows(2).all(|w| {
+            w[0].instructions == w[1].instructions
+                && w[0].cond_branches == w[1].cond_branches
+                && w[0].cond_mispredictions == w[1].cond_mispredictions
+        }),
+        "policy lanes disagree on the shared instruction/branch counts"
+    );
     TraceRow {
         name: spec.name.clone(),
         category: spec.category,
-        instructions,
-        icache_mpki,
-        btb_mpki,
-        branch_mpki,
+        instructions: results.first().map_or(0, |r| r.instructions),
+        icache_mpki: results.iter().map(RunResult::icache_mpki).collect(),
+        btb_mpki: results.iter().map(RunResult::btb_mpki).collect(),
+        branch_mpki: results.first().map_or(0.0, RunResult::branch_mpki),
     }
+}
+
+/// Run every policy on one workload in a single trace replay.
+///
+/// The workload streams straight out of its walker (no materialized
+/// record vector), the fetch stream is decoded once, the branch
+/// predictors run once, and each policy gets its own lane — per-lane MPKI
+/// is bit-identical to [`run_trace_legacy`].
+pub fn run_trace(spec: &WorkloadSpec, base: &SimConfig, policies: &[PolicyKind]) -> TraceRow {
+    let streamed = spec.streamed();
+    let results = run_lanes(base, policies, &streamed);
+    row_from_results(spec, &results)
+}
+
+/// The pre-engine reference path: generate the trace, then run one full
+/// [`Simulator`] per policy.
+///
+/// Kept **only** so the equivalence tests and the `suite_throughput`
+/// benchmark can compare the single-pass engine against the original
+/// semantics; experiment code should call [`run_trace`].
+#[doc(hidden)]
+pub fn run_trace_legacy(
+    spec: &WorkloadSpec,
+    base: &SimConfig,
+    policies: &[PolicyKind],
+) -> TraceRow {
+    let trace = spec.generate();
+    let results: Vec<RunResult> = policies
+        .iter()
+        .map(|&p| Simulator::new(base.with_policy(p)).run(&trace.records, trace.instructions))
+        .collect();
+    row_from_results(spec, &results)
 }
 
 /// Run a whole suite, distributing workloads over `threads` OS threads.
 ///
-/// Rows come back in suite order regardless of scheduling.
+/// Rows come back in suite order regardless of scheduling. Row slots are
+/// striped across workers up front with `split_at_mut` — each worker owns
+/// disjoint `&mut` slots, so results are written in place with no shared
+/// lock. Long and short workloads interleave in suite order, which keeps
+/// the stripes balanced.
 ///
 /// # Panics
 ///
-/// Panics if a worker thread panics (the shared row mutex is poisoned).
+/// Panics if a worker thread panics (propagated by the thread scope).
 pub fn run_suite(
     specs: &[WorkloadSpec],
     base: &SimConfig,
@@ -161,25 +202,33 @@ pub fn run_suite(
     threads: usize,
 ) -> SuiteResult {
     let threads = threads.max(1).min(specs.len().max(1));
-    let next = AtomicUsize::new(0);
-    let rows: Mutex<Vec<Option<TraceRow>>> = Mutex::new(vec![None; specs.len()]);
+    let mut rows: Vec<Option<TraceRow>> = Vec::new();
+    rows.resize_with(specs.len(), || None);
+    // Peel the row buffer into per-slot `&mut` handles and deal them
+    // round-robin: worker w owns slots w, w + threads, w + 2·threads, …
+    let mut stripes: Vec<Vec<(usize, &mut Option<TraceRow>)>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    let mut rest: &mut [Option<TraceRow>] = &mut rows;
+    let mut index = 0usize;
+    while !rest.is_empty() {
+        let (head, tail) = rest.split_at_mut(1);
+        // lint:allow(pow2-mask): round-robin deal over a worker list, not a hardware structure
+        stripes[index % threads].push((index, &mut head[0]));
+        rest = tail;
+        index += 1;
+    }
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
+        for stripe in stripes {
+            scope.spawn(move || {
+                for (i, slot) in stripe {
+                    *slot = Some(run_trace(&specs[i], base, policies));
                 }
-                let row = run_trace(&specs[i], base, policies);
-                rows.lock().expect("row mutex poisoned")[i] = Some(row);
             });
         }
     });
     let rows = rows
-        .into_inner()
-        .expect("row mutex poisoned")
         .into_iter()
-        .map(|r| r.expect("every index was produced"))
+        .map(|r| r.expect("every slot was dealt to exactly one worker"))
         .collect();
     SuiteResult {
         policies: policies.to_vec(),
@@ -212,6 +261,24 @@ mod tests {
         for (row, spec) in result.rows.iter().zip(&specs) {
             assert_eq!(row.name, spec.name);
             assert_eq!(row.icache_mpki.len(), 2);
+        }
+    }
+
+    #[test]
+    fn single_pass_rows_match_legacy_rows() {
+        let specs = tiny_suite();
+        let cfg = SimConfig::paper_default();
+        let pols = [
+            PolicyKind::Lru,
+            PolicyKind::Random,
+            PolicyKind::Srrip,
+            PolicyKind::Sdbp,
+            PolicyKind::Ghrp,
+        ];
+        for spec in &specs {
+            let engine = run_trace(spec, &cfg, &pols);
+            let legacy = run_trace_legacy(spec, &cfg, &pols);
+            assert_eq!(engine, legacy, "{}", spec.name);
         }
     }
 

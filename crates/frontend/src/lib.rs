@@ -7,10 +7,16 @@
 //!   branch direction predictor, with the paper's warm-up discipline
 //!   (first half of the trace, capped) and commit-time GHRP training. It
 //!   is *not* cycle accurate; MPKI is the figure of merit.
+//! * [`engine`] — the single-pass multi-policy engine: one trace replay
+//!   decodes the fetch stream and drives the shared predictors exactly
+//!   once, broadcasting each event to N per-policy lanes whose counters
+//!   stay bit-identical to standalone [`Simulator`] runs.
 //! * [`policy`] — [`PolicyKind`]: runtime selection of the replacement
 //!   policy pair (I-cache + BTB) under study.
 //! * [`experiment`] — run a workload suite across policies, in parallel,
-//!   producing per-trace MPKI tables.
+//!   producing per-trace MPKI tables (built on [`engine`], with streaming
+//!   trace replay so paper-scale suites never materialize record
+//!   vectors).
 //! * [`sweep`] — cache-geometry sweeps (the paper's Figure 7).
 //! * [`stats`] — means, 95% confidence intervals on relative differences
 //!   (Figure 8), win/loss counts vs LRU (Figure 9), and S-curve ordering
@@ -28,12 +34,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod experiment;
 pub mod policy;
 pub mod simulator;
 pub mod stats;
 pub mod sweep;
 
+pub use engine::{run_lanes, ReplaySource, SliceReplay};
 pub use experiment::{SuiteResult, TraceRow};
 pub use policy::PolicyKind;
 pub use simulator::{RunResult, SimConfig, Simulator};

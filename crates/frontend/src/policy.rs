@@ -4,7 +4,7 @@
 
 use fe_btb::{btb_config, Btb, GhrpBtbPolicy};
 use fe_cache::policy::{BeladyOpt, Drrip, Fifo, Lru, RandomPolicy, Srrip};
-use fe_cache::{Cache, CacheConfig, ReplacementPolicy};
+use fe_cache::{AccessContext, Cache, CacheConfig, ReplacementPolicy};
 use fe_sdbp::{CounterDbpPolicy, SdbpConfig, SdbpPolicy, ShipConfig, ShipPolicy};
 use ghrp_core::{GhrpConfig, GhrpPolicy, SharedGhrp};
 use serde::{Deserialize, Serialize};
@@ -99,14 +99,78 @@ impl std::fmt::Display for PolicyKind {
     }
 }
 
+/// Closed sum of every concrete replacement policy the experiments use.
+///
+/// The simulator drives the policy callbacks on every cache access, so the
+/// per-lane structures dispatch through this enum (a `match` on a fixed
+/// discriminant that the optimizer can inline through) instead of
+/// `Box<dyn ReplacementPolicy>`, whose indirect calls defeat cross-crate
+/// inlining on the hottest loop in the workspace.
+#[allow(missing_docs, clippy::large_enum_variant)] // variants mirror PolicyKind; lanes are few
+pub enum AnyPolicy {
+    Lru(Lru),
+    Fifo(Fifo),
+    Random(RandomPolicy),
+    Srrip(Srrip),
+    Drrip(Drrip),
+    Ship(ShipPolicy),
+    CounterDbp(CounterDbpPolicy),
+    Sdbp(SdbpPolicy),
+    Ghrp(GhrpPolicy),
+    GhrpBtb(GhrpBtbPolicy),
+    Opt(BeladyOpt),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $p:ident => $body:expr) => {
+        match $self {
+            AnyPolicy::Lru($p) => $body,
+            AnyPolicy::Fifo($p) => $body,
+            AnyPolicy::Random($p) => $body,
+            AnyPolicy::Srrip($p) => $body,
+            AnyPolicy::Drrip($p) => $body,
+            AnyPolicy::Ship($p) => $body,
+            AnyPolicy::CounterDbp($p) => $body,
+            AnyPolicy::Sdbp($p) => $body,
+            AnyPolicy::Ghrp($p) => $body,
+            AnyPolicy::GhrpBtb($p) => $body,
+            AnyPolicy::Opt($p) => $body,
+        }
+    };
+}
+
+impl ReplacementPolicy for AnyPolicy {
+    fn on_access(&mut self, ctx: &AccessContext) {
+        dispatch!(self, p => p.on_access(ctx));
+    }
+    fn on_hit(&mut self, way: usize, ctx: &AccessContext) {
+        dispatch!(self, p => p.on_hit(way, ctx));
+    }
+    fn should_bypass(&mut self, ctx: &AccessContext) -> bool {
+        dispatch!(self, p => p.should_bypass(ctx))
+    }
+    fn choose_victim(&mut self, ctx: &AccessContext) -> usize {
+        dispatch!(self, p => p.choose_victim(ctx))
+    }
+    fn on_evict(&mut self, way: usize, victim_block: u64, ctx: &AccessContext) {
+        dispatch!(self, p => p.on_evict(way, victim_block, ctx));
+    }
+    fn on_fill(&mut self, way: usize, ctx: &AccessContext) {
+        dispatch!(self, p => p.on_fill(way, ctx));
+    }
+    fn name(&self) -> String {
+        dispatch!(self, p => p.name())
+    }
+}
+
 /// A matched I-cache + BTB pair built for one policy, plus the shared GHRP
 /// handle when the policy is GHRP (the simulator uses it for commit-time
 /// history retirement and misprediction recovery).
 pub struct FrontendPair {
     /// The instruction cache.
-    pub icache: Cache<Box<dyn ReplacementPolicy>>,
+    pub icache: Cache<AnyPolicy>,
     /// The branch target buffer.
-    pub btb: Btb<Box<dyn ReplacementPolicy>>,
+    pub btb: Btb<AnyPolicy>,
     /// Present only for GHRP.
     pub ghrp: Option<SharedGhrp>,
 }
@@ -143,56 +207,52 @@ pub fn build_pair(
     btb_opt_pcs: Option<&[u64]>,
 ) -> FrontendPair {
     let btb_cfg = btb_config(btb_entries, btb_ways).expect("valid BTB geometry");
-    let (ipol, bpol, ghrp): (
-        Box<dyn ReplacementPolicy>,
-        Box<dyn ReplacementPolicy>,
-        Option<SharedGhrp>,
-    ) = match kind {
+    let (ipol, bpol, ghrp): (AnyPolicy, AnyPolicy, Option<SharedGhrp>) = match kind {
         PolicyKind::Lru => (
-            Box::new(Lru::new(icache_cfg)),
-            Box::new(Lru::new(btb_cfg)),
+            AnyPolicy::Lru(Lru::new(icache_cfg)),
+            AnyPolicy::Lru(Lru::new(btb_cfg)),
             None,
         ),
         PolicyKind::Fifo => (
-            Box::new(Fifo::new(icache_cfg)),
-            Box::new(Fifo::new(btb_cfg)),
+            AnyPolicy::Fifo(Fifo::new(icache_cfg)),
+            AnyPolicy::Fifo(Fifo::new(btb_cfg)),
             None,
         ),
         PolicyKind::Random => (
-            Box::new(RandomPolicy::new(icache_cfg, seed)),
-            Box::new(RandomPolicy::new(btb_cfg, seed ^ 0xB7B_5EED)),
+            AnyPolicy::Random(RandomPolicy::new(icache_cfg, seed)),
+            AnyPolicy::Random(RandomPolicy::new(btb_cfg, seed ^ 0xB7B_5EED)),
             None,
         ),
         PolicyKind::Srrip => (
-            Box::new(Srrip::new(icache_cfg)),
-            Box::new(Srrip::new(btb_cfg)),
+            AnyPolicy::Srrip(Srrip::new(icache_cfg)),
+            AnyPolicy::Srrip(Srrip::new(btb_cfg)),
             None,
         ),
         PolicyKind::Drrip => (
-            Box::new(Drrip::new(icache_cfg)),
-            Box::new(Drrip::new(btb_cfg)),
+            AnyPolicy::Drrip(Drrip::new(icache_cfg)),
+            AnyPolicy::Drrip(Drrip::new(btb_cfg)),
             None,
         ),
         PolicyKind::Ship => (
-            Box::new(ShipPolicy::new(icache_cfg, ShipConfig::default())),
-            Box::new(ShipPolicy::new(btb_cfg, ShipConfig::default())),
+            AnyPolicy::Ship(ShipPolicy::new(icache_cfg, ShipConfig::default())),
+            AnyPolicy::Ship(ShipPolicy::new(btb_cfg, ShipConfig::default())),
             None,
         ),
         PolicyKind::CounterDbp => (
-            Box::new(CounterDbpPolicy::new(icache_cfg, 16 * 1024)),
-            Box::new(CounterDbpPolicy::new(btb_cfg, 16 * 1024)),
+            AnyPolicy::CounterDbp(CounterDbpPolicy::new(icache_cfg, 16 * 1024)),
+            AnyPolicy::CounterDbp(CounterDbpPolicy::new(btb_cfg, 16 * 1024)),
             None,
         ),
         PolicyKind::Sdbp => (
-            Box::new(SdbpPolicy::new(icache_cfg, sdbp_cfg)),
-            Box::new(SdbpPolicy::new(btb_cfg, sdbp_cfg)),
+            AnyPolicy::Sdbp(SdbpPolicy::new(icache_cfg, sdbp_cfg)),
+            AnyPolicy::Sdbp(SdbpPolicy::new(btb_cfg, sdbp_cfg)),
             None,
         ),
         PolicyKind::Ghrp => {
             let shared = SharedGhrp::new(ghrp_cfg, icache_cfg.offset_bits());
             (
-                Box::new(GhrpPolicy::new(icache_cfg, shared.clone())),
-                Box::new(GhrpBtbPolicy::new(
+                AnyPolicy::Ghrp(GhrpPolicy::new(icache_cfg, shared.clone())),
+                AnyPolicy::GhrpBtb(GhrpBtbPolicy::new(
                     btb_cfg,
                     shared.clone(),
                     icache_cfg.block_bytes(),
@@ -204,8 +264,8 @@ pub fn build_pair(
             let blocks = icache_opt_blocks.expect("OPT requires the I-cache block sequence");
             let pcs = btb_opt_pcs.expect("OPT requires the BTB access sequence");
             (
-                Box::new(BeladyOpt::from_trace(icache_cfg, blocks)),
-                Box::new(BeladyOpt::from_trace(btb_cfg, pcs)),
+                AnyPolicy::Opt(BeladyOpt::from_trace(icache_cfg, blocks)),
+                AnyPolicy::Opt(BeladyOpt::from_trace(btb_cfg, pcs)),
                 None,
             )
         }

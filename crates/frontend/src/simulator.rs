@@ -171,6 +171,34 @@ fn mpki(misses: u64, instructions: u64) -> f64 {
     }
 }
 
+/// Offline (OPT) access sequences for a trace, in one decode pass: the
+/// I-cache fetch-group block sequence and the BTB taken-branch PC
+/// sequence (instruction-aligned), exactly the orders in which the
+/// simulator later touches those structures.
+///
+/// Both the legacy single-policy path and the multi-policy engine build
+/// their [`fe_cache::policy::BeladyOpt`] lanes from this; the engine
+/// computes it at most **once per trace** and shares it across every
+/// offline lane.
+pub fn offline_sequences<I>(records: I, block_bytes: u64) -> (Vec<u64>, Vec<u64>)
+where
+    I: Iterator<Item = BranchRecord>,
+{
+    let mut blocks = Vec::new();
+    let mut pcs = Vec::new();
+    for chunk in FetchStream::new(records, block_bytes) {
+        if chunk.starts_group {
+            blocks.push(chunk.block_addr);
+        }
+        if let Some(b) = chunk.branch {
+            if b.taken {
+                pcs.push(b.pc & !(INSTRUCTION_BYTES - 1));
+            }
+        }
+    }
+    (blocks, pcs)
+}
+
 /// The simulator itself. Construct with [`Simulator::new`], then call
 /// [`Simulator::run`] with the trace records.
 #[derive(Debug)]
@@ -199,17 +227,8 @@ impl Simulator {
         let cfg = &self.cfg;
         // Offline (OPT) policies need the exact access sequences up front.
         let (opt_blocks, opt_pcs) = if cfg.policy.is_offline() {
-            let mut blocks = Vec::new();
-            for chunk in FetchStream::new(records.iter().copied(), cfg.icache.block_bytes()) {
-                if chunk.starts_group {
-                    blocks.push(chunk.block_addr);
-                }
-            }
-            let pcs: Vec<u64> = records
-                .iter()
-                .filter(|r| r.taken)
-                .map(|r| r.pc & !(INSTRUCTION_BYTES - 1))
-                .collect();
+            let (blocks, pcs) =
+                offline_sequences(records.iter().copied(), cfg.icache.block_bytes());
             (Some(blocks), Some(pcs))
         } else {
             (None, None)
@@ -522,6 +541,26 @@ mod tests {
             on.icache_mpki(),
             off.icache_mpki()
         );
+    }
+
+    #[test]
+    fn offline_sequences_match_direct_scans() {
+        let (records, _) = trace(23, 100_000);
+        let (blocks, pcs) = offline_sequences(records.iter().copied(), 64);
+        // The taken-PC sequence equals a direct scan of the records.
+        let direct_pcs: Vec<u64> = records
+            .iter()
+            .filter(|r| r.taken)
+            .map(|r| r.pc & !(INSTRUCTION_BYTES - 1))
+            .collect();
+        assert_eq!(pcs, direct_pcs);
+        // The block sequence equals a dedicated fetch-stream scan.
+        let direct_blocks: Vec<u64> = FetchStream::new(records.iter().copied(), 64)
+            .filter(|c| c.starts_group)
+            .map(|c| c.block_addr)
+            .collect();
+        assert_eq!(blocks, direct_blocks);
+        assert!(!blocks.is_empty() && !pcs.is_empty());
     }
 
     #[test]

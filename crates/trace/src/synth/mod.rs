@@ -149,6 +149,27 @@ impl WorkloadSpec {
             records,
         }
     }
+
+    /// Prepare the workload for repeated *streaming* replay.
+    ///
+    /// Builds the program and performs one counting walk to learn the
+    /// exact instruction total (the simulator sizes its warm-up window
+    /// from it), but never materializes the record vector: a 100 M+
+    /// instruction trace costs the program's footprint plus walker state
+    /// instead of gigabytes of `Vec<BranchRecord>`. Each
+    /// [`StreamedTrace::replay`] call restarts the deterministic walk, so
+    /// the record stream is bit-identical to [`WorkloadSpec::generate`].
+    pub fn streamed(&self) -> StreamedTrace {
+        let program = self.build_program();
+        let mut walker = self.walk(&program);
+        for _ in walker.by_ref() {}
+        StreamedTrace {
+            spec: self.clone(),
+            code_bytes: program.code_bytes(),
+            instructions: walker.instructions(),
+            program,
+        }
+    }
 }
 
 /// A fully materialized synthetic trace.
@@ -165,6 +186,48 @@ pub struct SyntheticTrace {
 }
 
 impl SyntheticTrace {
+    /// Workload name shorthand.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+}
+
+/// A workload prepared for streaming replay: the static program plus the
+/// exact instruction count, with **no** materialized record vector.
+///
+/// Produced by [`WorkloadSpec::streamed`]. Every [`StreamedTrace::replay`]
+/// restarts the deterministic walk from the beginning, so multiple
+/// passes (e.g. an offline-policy precompute pass followed by the
+/// simulation pass) observe identical record streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedTrace {
+    spec: WorkloadSpec,
+    program: Program,
+    code_bytes: u64,
+    instructions: u64,
+}
+
+impl StreamedTrace {
+    /// Start a fresh walk over the records, in program order.
+    pub fn replay(&self) -> Walker<'_> {
+        self.spec.walk(&self.program)
+    }
+
+    /// Exact instruction total of the walk (branches + sequential).
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Static code footprint of the underlying program, in bytes.
+    pub fn code_bytes(&self) -> u64 {
+        self.code_bytes
+    }
+
+    /// The spec this workload was prepared from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
     /// Workload name shorthand.
     pub fn name(&self) -> &str {
         &self.spec.name
@@ -740,6 +803,20 @@ mod tests {
         let streamed: Vec<_> = spec.walk(&program).collect();
         let collected = spec.generate();
         assert_eq!(streamed, collected.records);
+    }
+
+    #[test]
+    fn streamed_matches_generate_and_replays_identically() {
+        let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, 9).instructions(30_000);
+        let streamed = spec.streamed();
+        let collected = spec.generate();
+        assert_eq!(streamed.instructions(), collected.instructions);
+        assert_eq!(streamed.code_bytes(), collected.code_bytes);
+        let first: Vec<_> = streamed.replay().collect();
+        assert_eq!(first, collected.records);
+        // Replays restart from the beginning, bit-identically.
+        let second: Vec<_> = streamed.replay().collect();
+        assert_eq!(first, second);
     }
 
     #[test]

@@ -4,9 +4,9 @@
 
 use super::program::{select_index, Bias, BlockId, FuncId, Program, Terminator};
 use crate::record::{BranchKind, BranchRecord, INSTRUCTION_BYTES};
+use fe_cache::FastMap;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// One activation record on the walker's call stack.
 #[derive(Debug)]
@@ -18,7 +18,9 @@ struct Frame {
     /// the caller. `None` for the entry frame.
     resume: Option<(u64, FuncId, BlockId)>,
     /// Remaining trip counts for counted loops, keyed by the latch block.
-    loop_state: HashMap<BlockId, u32>,
+    /// Keyed access only (never iterated), so the deterministic
+    /// [`FastMap`] hasher is safe and keeps the per-branch walk cheap.
+    loop_state: FastMap<BlockId, u32>,
 }
 
 /// Maximum call depth; deeper calls are skipped (treated as executed but
@@ -42,10 +44,11 @@ pub struct Walker<'p> {
     program: &'p Program,
     rng: SmallRng,
     stack: Vec<Frame>,
-    /// Periodic-branch state, keyed by branch PC.
-    alternation: HashMap<u64, u32>,
-    /// Round-robin state for indirect selectors, keyed by branch PC.
-    rotation: HashMap<u64, u32>,
+    /// Periodic-branch state, keyed by branch PC (keyed access only).
+    alternation: FastMap<u64, u32>,
+    /// Round-robin state for indirect selectors, keyed by branch PC
+    /// (keyed access only).
+    rotation: FastMap<u64, u32>,
     instructions: u64,
     budget: u64,
     finished: bool,
@@ -66,10 +69,10 @@ impl<'p> Walker<'p> {
                 func: program.entry,
                 block: 0,
                 resume: None,
-                loop_state: HashMap::new(),
+                loop_state: FastMap::default(),
             }],
-            alternation: HashMap::new(),
-            rotation: HashMap::new(),
+            alternation: FastMap::default(),
+            rotation: FastMap::default(),
             instructions: 0,
             budget,
             finished: false,
@@ -171,7 +174,7 @@ impl Iterator for Walker<'_> {
                         func: callee,
                         block: 0,
                         resume: Some((ret_addr, func_id, block_id + 1)),
-                        loop_state: HashMap::new(),
+                        loop_state: FastMap::default(),
                     });
                 } else {
                     // Depth guard: skip the body, resume immediately.
@@ -193,7 +196,7 @@ impl Iterator for Walker<'_> {
                         func: callee,
                         block: 0,
                         resume: Some((ret_addr, func_id, block_id + 1)),
-                        loop_state: HashMap::new(),
+                        loop_state: FastMap::default(),
                     });
                 } else {
                     self.stack[frame_idx].block = block_id + 1;
@@ -214,7 +217,7 @@ impl Iterator for Walker<'_> {
                         func: self.program.entry,
                         block: 0,
                         resume: None,
-                        loop_state: HashMap::new(),
+                        loop_state: FastMap::default(),
                     });
                     let entry_addr = self.program.functions[self.program.entry].base;
                     BranchRecord::new(pc, BranchKind::Return, true, entry_addr)

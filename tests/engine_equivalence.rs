@@ -1,0 +1,134 @@
+//! Property-based equivalence: the single-pass multi-policy engine must be
+//! bit-identical to the legacy one-`Simulator`-per-policy path on random
+//! workloads, random policy subsets, and both replay sources.
+//!
+//! The engine shares one decoded fetch stream and one set of branch
+//! predictors across all lanes, so the property these tests pin down is
+//! that the sharing is *observationally invisible*: every per-lane
+//! statistic — I-cache, BTB, branch predictor, wrong-path — matches the
+//! standalone simulator exactly, not merely within tolerance.
+
+use ghrp_repro::frontend::engine::{run_lanes, SliceReplay};
+use ghrp_repro::frontend::experiment::{run_trace, run_trace_legacy};
+use ghrp_repro::frontend::simulator::WrongPathConfig;
+use ghrp_repro::frontend::{PolicyKind, SimConfig, Simulator};
+use ghrp_repro::trace::synth::{WorkloadCategory, WorkloadSpec};
+use proptest::prelude::*;
+
+/// The online policies the engine races in one pass. OPT joins via its own
+/// test below (it needs the offline precompute path exercised too).
+const ONLINE: [PolicyKind; 7] = [
+    PolicyKind::Lru,
+    PolicyKind::Fifo,
+    PolicyKind::Random,
+    PolicyKind::Srrip,
+    PolicyKind::Drrip,
+    PolicyKind::Sdbp,
+    PolicyKind::Ghrp,
+];
+
+fn arb_category() -> impl Strategy<Value = WorkloadCategory> {
+    (0usize..4).prop_map(|i| {
+        [
+            WorkloadCategory::ShortMobile,
+            WorkloadCategory::ShortServer,
+            WorkloadCategory::LongMobile,
+            WorkloadCategory::LongServer,
+        ][i]
+    })
+}
+
+/// A non-empty subset of the online policies, in declaration order: bit
+/// `i` of the mask selects `ONLINE[i]`.
+fn arb_policies() -> impl Strategy<Value = Vec<PolicyKind>> {
+    (1u8..128).prop_map(|mask| {
+        ONLINE
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &p)| p)
+            .collect()
+    })
+}
+
+/// A small but non-trivial workload: long enough to fill the caches and
+/// cross the warm-up boundary, short enough that running both engine and
+/// legacy paths per case keeps the suite fast.
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (arb_category(), any::<u64>(), 8_000u64..24_000)
+        .prop_map(|(cat, seed, n)| WorkloadSpec::new(cat, seed).instructions(n))
+}
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (any::<bool>(), 0u32..=2).prop_map(|(wrong_path, prefetch)| {
+        let mut cfg = SimConfig::paper_default();
+        if wrong_path {
+            cfg.wrong_path = Some(WrongPathConfig::default());
+        }
+        cfg.prefetch_degree = prefetch;
+        cfg
+    })
+}
+
+proptest! {
+    /// Each engine lane reproduces the standalone simulator exactly —
+    /// every statistic, not just MPKI — for a random workload, a random
+    /// policy subset, and random wrong-path/prefetch settings.
+    #[test]
+    fn lanes_are_bit_identical_to_standalone_runs(
+        spec in arb_spec(),
+        policies in arb_policies(),
+        base in arb_config(),
+    ) {
+        let trace = spec.generate();
+        let lanes = run_lanes(&base, &policies, &SliceReplay::from_trace(&trace));
+        prop_assert_eq!(lanes.len(), policies.len());
+        for (lane, &p) in lanes.iter().zip(&policies) {
+            let standalone =
+                Simulator::new(base.with_policy(p)).run(&trace.records, trace.instructions);
+            prop_assert_eq!(lane, &standalone);
+        }
+    }
+
+    /// The streaming replay source (no materialized record vector) yields
+    /// the same lanes as replaying a pre-generated slice.
+    #[test]
+    fn streaming_matches_slice_replay(
+        spec in arb_spec(),
+        policies in arb_policies(),
+        base in arb_config(),
+    ) {
+        let trace = spec.generate();
+        let from_slice = run_lanes(&base, &policies, &SliceReplay::from_trace(&trace));
+        let from_stream = run_lanes(&base, &policies, &spec.streamed());
+        prop_assert_eq!(from_slice, from_stream);
+    }
+
+    /// The public experiment row built from the engine matches the legacy
+    /// multi-pass row for the full seven-policy set.
+    #[test]
+    fn run_trace_matches_legacy_row(
+        spec in arb_spec(),
+        base in arb_config(),
+    ) {
+        let engine = run_trace(&spec, &base, &ONLINE);
+        let legacy = run_trace_legacy(&spec, &base, &ONLINE);
+        prop_assert_eq!(engine, legacy);
+    }
+
+    /// The offline oracle lane (whose access sequences are precomputed
+    /// once and shared) also matches its standalone run alongside online
+    /// company.
+    #[test]
+    fn offline_opt_lane_matches_standalone(spec in arb_spec()) {
+        let base = SimConfig::paper_default();
+        let policies = [PolicyKind::Opt, PolicyKind::Lru, PolicyKind::Ghrp];
+        let trace = spec.generate();
+        let lanes = run_lanes(&base, &policies, &SliceReplay::from_trace(&trace));
+        for (lane, &p) in lanes.iter().zip(&policies) {
+            let standalone =
+                Simulator::new(base.with_policy(p)).run(&trace.records, trace.instructions);
+            prop_assert_eq!(lane, &standalone);
+        }
+    }
+}
