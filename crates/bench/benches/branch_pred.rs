@@ -1,6 +1,8 @@
 //! Branch direction predictor microbenchmarks: predict+update throughput
 //! for the three predictors on a recorded conditional-branch stream.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use fe_branch::{Bimodal, DirectionPredictor, Gshare, HashedPerceptron};
 use fe_trace::synth::{WorkloadCategory, WorkloadSpec};

@@ -1,6 +1,8 @@
 //! GHRP hot-path microbenchmarks: signature hashing, table lookup/vote,
 //! training, and a raw cache access loop under the GHRP policy.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use fe_cache::{Cache, CacheConfig};
 use ghrp_core::signature::{compute_indices, signature, table_index};

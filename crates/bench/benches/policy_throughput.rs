@@ -1,6 +1,8 @@
 //! Simulator throughput per replacement policy: full front-end replay of
 //! a fixed server trace (accesses per second is the figure of interest).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fe_frontend::{policy::PolicyKind, simulator::SimConfig, Simulator};
 use fe_trace::synth::{WorkloadCategory, WorkloadSpec};

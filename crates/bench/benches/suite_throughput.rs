@@ -7,6 +7,8 @@
 //! cache — runs once instead of once per policy. Numbers are recorded in
 //! `results/suite_throughput.txt`.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fe_frontend::engine::{run_lanes, SliceReplay};
 use fe_frontend::{experiment, policy::PolicyKind, simulator::SimConfig};

@@ -1,5 +1,7 @@
 //! Workload generation and fetch-reconstruction throughput.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fe_trace::fetch::FetchStream;
 use fe_trace::synth::{WorkloadCategory, WorkloadSpec};

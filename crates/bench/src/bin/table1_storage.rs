@@ -7,23 +7,19 @@
 
 #![forbid(unsafe_code)]
 
-use fe_cache::CacheConfig;
+use ghrp_core::paper::{paper_cache_config, PAPER_ICACHE_CAPACITY_BYTES};
 use ghrp_core::{GhrpConfig, StorageReport};
 
 fn main() {
-    let cache = CacheConfig::with_capacity(64 * 1024, 8, 64).expect("paper geometry");
+    let cache = paper_cache_config().expect("paper geometry");
 
-    let paper = GhrpConfig {
-        table_entries: 4096,
-        counter_bits: 2,
-        ..GhrpConfig::default()
-    };
+    let paper = GhrpConfig::paper_nominal();
     println!("== Table I: GHRP storage, paper-nominal (64KB 8-way I-cache, 4K-entry BTB) ==");
     let r = StorageReport::new(&paper, cache, 4096);
     print!("{}", r.to_table());
     println!(
         "overhead vs I-cache data: {:.1}%  (paper reports 5.13 KB / ~8% for the Exynos M1)",
-        r.overhead_fraction(64 * 1024) * 100.0
+        r.overhead_fraction(PAPER_ICACHE_CAPACITY_BYTES) * 100.0
     );
 
     println!("\n== This reproduction's default predictor geometry ==");
@@ -31,6 +27,6 @@ fn main() {
     print!("{}", r2.to_table());
     println!(
         "overhead vs I-cache data: {:.1}%",
-        r2.overhead_fraction(64 * 1024) * 100.0
+        r2.overhead_fraction(PAPER_ICACHE_CAPACITY_BYTES) * 100.0
     );
 }

@@ -26,6 +26,34 @@ use fe_cache::{AccessContext, Cache, CacheConfig, ConfigError, ReplacementPolicy
 use fe_trace::record::INSTRUCTION_BYTES;
 use ghrp_core::SharedGhrp;
 
+// Canonical BTB design-point constants (§IV.A; Mongoose-like geometry).
+// The `budget-key:` markers are consumed by `cargo xtask audit`.
+
+/// Nominal BTB capacity in entries.
+///
+/// budget-key: `btb.entries`
+pub const PAPER_BTB_ENTRIES: u32 = 1 << 12;
+
+/// Nominal BTB associativity.
+///
+/// budget-key: `btb.ways`
+pub const PAPER_BTB_WAYS: u32 = 4;
+
+/// GHRP adds one dead-prediction bit per BTB entry (§III.E).
+///
+/// budget-key: `btb.prediction_bits`
+pub const PAPER_BTB_PREDICTION_BITS: u32 = 1;
+
+/// The nominal BTB geometry (4,096 entries, 4-way).
+///
+/// # Errors
+///
+/// Never fails for the pinned constants; the `Result` is
+/// [`btb_config`]'s contract.
+pub fn paper_btb_config() -> Result<CacheConfig, ConfigError> {
+    btb_config(PAPER_BTB_ENTRIES, PAPER_BTB_WAYS)
+}
+
 /// Statistics for a BTB instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BtbStats {
@@ -427,5 +455,15 @@ mod tests {
         btb.lookup_and_update(c, 3);
         assert_eq!(btb.predict(a), None, "dead-predicted entry evicted");
         assert_eq!(btb.predict(b), Some(2), "LRU entry survived");
+    }
+
+    /// The nominal geometry the storage audit budgets against: 4,096
+    /// entries in 1,024 sets of 4 ways.
+    #[test]
+    fn paper_geometry_is_valid() {
+        let cfg = paper_btb_config().unwrap();
+        assert_eq!(cfg.sets(), 1024);
+        assert_eq!(cfg.ways(), 4);
+        assert_eq!(cfg.frames(), 4096);
     }
 }

@@ -228,17 +228,9 @@ mod tests {
     /// (used by the Table I storage report and the ablation harness).
     #[test]
     fn paper_nominal_configuration_is_valid() {
-        let c = GhrpConfig {
-            table_entries: 4096,
-            counter_bits: 2,
-            dead_threshold: 2,
-            bypass_threshold: 3,
-            btb_dead_threshold: 3,
-            shadow_training: false,
-            fresh_victim_prediction: false,
-            btb_absent_block_is_dead: false,
-            ..GhrpConfig::default()
-        };
+        let c = GhrpConfig::paper_nominal();
+        assert_eq!(c.table_entries, 4096);
+        assert_eq!(c.counter_bits, 2);
         assert_eq!(c.index_bits(), 12);
         assert_eq!(c.counter_max(), 3);
         assert_eq!(c.validate(), Ok(()));

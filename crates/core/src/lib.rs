@@ -49,6 +49,7 @@
 
 mod config;
 pub mod history;
+pub mod paper;
 pub mod policy;
 pub mod shared;
 pub mod signature;

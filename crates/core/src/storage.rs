@@ -127,17 +127,13 @@ mod tests {
     use super::*;
 
     fn paper_cfg() -> GhrpConfig {
-        GhrpConfig {
-            table_entries: 4096,
-            counter_bits: 2,
-            ..GhrpConfig::default()
-        }
+        GhrpConfig::paper_nominal()
     }
 
     #[test]
     fn paper_configuration_is_about_five_kib() {
         // 64KB, 8-way, 64B blocks: 1024 blocks × 21 bits + 3×4096×2 bits.
-        let cache = CacheConfig::with_capacity(64 * 1024, 8, 64).unwrap();
+        let cache = crate::paper::paper_cache_config().unwrap();
         let r = StorageReport::new(&paper_cfg(), cache, 0);
         assert_eq!(r.blocks, 1024);
         assert_eq!(r.lru_bits_per_block, 3);

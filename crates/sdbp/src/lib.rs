@@ -33,6 +33,51 @@ pub use ship::{ShipConfig, ShipPolicy};
 use fe_cache::{AccessContext, CacheConfig, ReplacementPolicy};
 use serde::{Deserialize, Serialize};
 
+// Canonical §IV.A design-point constants. The `budget-key:` markers are
+// consumed by `cargo xtask audit`, which re-derives the comparison
+// predictor's storage (3×4096×8-bit tables, 33-bit sampler entries) and
+// diffs it against `budgets.toml`.
+
+/// Entries per skewed SDBP prediction table.
+///
+/// budget-key: `sdbp.table_entries`
+pub const PAPER_SDBP_TABLE_ENTRIES: usize = 1 << 12;
+
+/// Number of skewed SDBP prediction tables.
+///
+/// budget-key: `sdbp.num_tables`
+pub const PAPER_SDBP_NUM_TABLES: usize = 3;
+
+/// SDBP counter width: 8 bits (§IV.A widens the original 2-bit design).
+///
+/// budget-key: `sdbp.counter_bits`
+pub const PAPER_SDBP_COUNTER_BITS: u32 = 8;
+
+/// Valid bits per sampler entry.
+///
+/// budget-key: `sdbp.sampler_valid_bits`
+pub const PAPER_SDBP_SAMPLER_VALID_BITS: u32 = 1;
+
+/// Prediction bits per sampler entry.
+///
+/// budget-key: `sdbp.sampler_prediction_bits`
+pub const PAPER_SDBP_SAMPLER_PREDICTION_BITS: u32 = 1;
+
+/// LRU-position bits per sampler entry.
+///
+/// budget-key: `sdbp.sampler_lru_bits`
+pub const PAPER_SDBP_SAMPLER_LRU_BITS: u32 = 3;
+
+/// Partial-PC signature bits per sampler entry.
+///
+/// budget-key: `sdbp.sampler_signature_bits`
+pub const PAPER_SDBP_SAMPLER_SIGNATURE_BITS: u32 = 12;
+
+/// Partial-tag bits per sampler entry.
+///
+/// budget-key: `sdbp.sampler_tag_bits`
+pub const PAPER_SDBP_SAMPLER_TAG_BITS: u32 = 16;
+
 /// Configuration of the modified SDBP predictor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SdbpConfig {
@@ -61,12 +106,12 @@ pub struct SdbpConfig {
 impl Default for SdbpConfig {
     fn default() -> SdbpConfig {
         SdbpConfig {
-            table_entries: 4096,
-            num_tables: 3,
+            table_entries: PAPER_SDBP_TABLE_ENTRIES,
+            num_tables: PAPER_SDBP_NUM_TABLES,
             counter_max: 255,
             dead_threshold: 12,
             bypass_threshold: 96,
-            signature_bits: 12,
+            signature_bits: PAPER_SDBP_SAMPLER_SIGNATURE_BITS,
             enable_bypass: true,
             sampler_every: 1,
         }
@@ -435,5 +480,31 @@ mod tests {
             ..SdbpConfig::default()
         };
         let _ = SdbpPolicy::new(cache_cfg, cfg);
+    }
+
+    /// The runtime default must realize the §IV.A design point the
+    /// storage audit budgets against.
+    #[test]
+    fn default_matches_paper_constants() {
+        let cfg = SdbpConfig::default();
+        assert_eq!(cfg.table_entries, PAPER_SDBP_TABLE_ENTRIES);
+        assert_eq!(cfg.num_tables, PAPER_SDBP_NUM_TABLES);
+        assert_eq!(
+            u32::from(cfg.counter_max),
+            (1 << PAPER_SDBP_COUNTER_BITS) - 1,
+            "counter_max must saturate exactly at the audited width"
+        );
+        assert_eq!(cfg.signature_bits, PAPER_SDBP_SAMPLER_SIGNATURE_BITS);
+    }
+
+    /// §IV.A sampler entry layout: 1 + 1 + 3 + 12 + 16 = 33 bits.
+    #[test]
+    fn sampler_entry_is_thirty_three_bits() {
+        let bits = PAPER_SDBP_SAMPLER_VALID_BITS
+            + PAPER_SDBP_SAMPLER_PREDICTION_BITS
+            + PAPER_SDBP_SAMPLER_LRU_BITS
+            + PAPER_SDBP_SAMPLER_SIGNATURE_BITS
+            + PAPER_SDBP_SAMPLER_TAG_BITS;
+        assert_eq!(bits, 33);
     }
 }

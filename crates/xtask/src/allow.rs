@@ -1,0 +1,134 @@
+//! Suppression annotations: a comment marker spelled as the `lint:`
+//! prefix immediately followed by `allow(rule): justification`. (The
+//! marker is never written out contiguously in this crate's own source
+//! or docs, so the scanner does not trip over itself.)
+//!
+//! These live in comments, which the lexer strips, so they are scanned
+//! from the raw file text. An annotation suppresses findings for the
+//! named rule on its own line and the following line — and only when it
+//! carries a non-empty justification after the closing parenthesis:
+//!
+//! ```text
+//! // <marker>(pow2-mask): ring-buffer wrap; any capacity is legal here
+//! ```
+//!
+//! An annotation without a justification, or naming an unknown rule,
+//! never suppresses anything and is itself reported as a finding.
+
+#![forbid(unsafe_code)]
+
+use crate::rules::RULES;
+
+/// One parsed `allow` annotation.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// 1-based line the annotation sits on.
+    pub line: usize,
+    /// The rule name between the parentheses (may be unknown).
+    pub rule: String,
+    /// Whether `rule` is one of [`RULES`].
+    pub known: bool,
+    /// Whether a non-empty justification follows the closing paren.
+    pub justified: bool,
+}
+
+impl Annotation {
+    /// Whether this annotation is in force (known rule + justified).
+    pub fn active(&self) -> bool {
+        self.known && self.justified
+    }
+}
+
+/// All annotations of one file.
+#[derive(Debug, Default)]
+pub struct Allows {
+    /// Parsed annotations in line order.
+    pub annotations: Vec<Annotation>,
+}
+
+impl Allows {
+    /// Whether a finding for `rule` at `line` is suppressed by an active
+    /// annotation on the same or the preceding line.
+    pub fn suppresses(&self, rule: &str, line: usize) -> bool {
+        self.annotations
+            .iter()
+            .any(|a| a.active() && a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+
+    /// Number of annotations in force.
+    pub fn justified_count(&self) -> usize {
+        self.annotations.iter().filter(|a| a.active()).count()
+    }
+}
+
+/// The annotation marker, assembled at runtime so the engine's own
+/// source never contains the contiguous token it searches for.
+fn marker() -> String {
+    ["lint:", "allow("].concat()
+}
+
+/// Scan raw file text for annotations (at most one per line, matching
+/// the annotation grammar: one rule per marker).
+pub fn scan(text: &str) -> Allows {
+    let marker = marker();
+    let mut annotations = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let Some(pos) = raw.find(&marker) else {
+            continue;
+        };
+        let rest = &raw[pos + marker.len()..];
+        let (rule, justified) = match rest.find(')') {
+            Some(close) => {
+                let justified = rest[close + 1..]
+                    .trim_start()
+                    .strip_prefix(':')
+                    .is_some_and(|j| !j.trim().is_empty());
+                (rest[..close].trim().to_string(), justified)
+            }
+            None => (rest.trim().to_string(), false),
+        };
+        let known = RULES.contains(&rule.as_str());
+        annotations.push(Annotation {
+            line: i + 1,
+            rule,
+            known,
+            justified,
+        });
+    }
+    Allows { annotations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ann(line: &str) -> String {
+        // Assembled so this test file never contains the marker either.
+        line.replace("@@", &marker())
+    }
+
+    #[test]
+    fn justified_allow_suppresses_same_and_next_line() {
+        let a = scan(&ann("x\n// @@pow2-mask): ring-buffer wrap\ny % capacity\n"));
+        assert_eq!(a.justified_count(), 1);
+        assert!(a.suppresses("pow2-mask", 2));
+        assert!(a.suppresses("pow2-mask", 3));
+        assert!(!a.suppresses("pow2-mask", 4));
+        assert!(!a.suppresses("no-panic", 3));
+    }
+
+    #[test]
+    fn unjustified_or_unknown_never_suppress() {
+        let a = scan(&ann(
+            "// @@pow2-mask)\n// @@pow2-mask):   \n// @@made-up): because\n",
+        ));
+        assert_eq!(a.justified_count(), 0);
+        assert!(!a.suppresses("pow2-mask", 1));
+        assert!(!a.suppresses("pow2-mask", 2));
+        assert!(!a.suppresses("made-up", 3));
+        assert_eq!(a.annotations.len(), 3);
+        assert!(!a.annotations[0].justified);
+        assert!(!a.annotations[1].justified);
+        assert!(a.annotations[2].justified && !a.annotations[2].known);
+    }
+}

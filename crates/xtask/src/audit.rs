@@ -1,0 +1,501 @@
+//! Paper storage-budget auditor (`cargo xtask audit`).
+//!
+//! The GHRP paper's headline claim is that the predictor costs 5.13 KB
+//! over the baseline I-cache: 1024 blocks × (16-bit signature + 1
+//! prediction bit) + 3 × 4096 × 2-bit prediction tables = 41 984 bits
+//! (Table I, §III.D). That arithmetic lives in code as a handful of
+//! canonical parameter constants; this pass re-derives the totals from
+//! the *source AST* on every CI run and diffs them against the
+//! checked-in `budgets.toml`, so a drive-by edit to a table size or an
+//! entry layout cannot silently change the hardware story the repo
+//! reproduces.
+//!
+//! Mechanics: every canonical constant carries a doc marker —
+//!
+//! ```text
+//! /// budget-key: `ghrp.table_entries`
+//! pub const PAPER_TABLE_ENTRIES: usize = 1 << 12;
+//! ```
+//!
+//! The auditor finds the markers, const-evaluates the initializers
+//! ([`crate::consteval`]), recomputes every derived quantity, and then
+//! requires each key in `budgets.toml` to match the computed value
+//! (integers exactly, floats to ±0.01 — the paper rounds 5.125 KiB to
+//! 5.13).
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use syn::{Item, TokenTree};
+
+use crate::consteval::Env;
+use crate::engine::{FileClass, Workspace};
+use crate::minitoml::{self, Value};
+
+/// The parameter keys the canonical constants must provide.
+pub const REQUIRED_PARAMS: [&str; 20] = [
+    "icache.capacity_bytes",
+    "icache.block_bytes",
+    "icache.ways",
+    "ghrp.table_entries",
+    "ghrp.num_tables",
+    "ghrp.counter_bits",
+    "ghrp.history_bits",
+    "ghrp.signature_bits",
+    "ghrp.prediction_bits",
+    "sdbp.table_entries",
+    "sdbp.num_tables",
+    "sdbp.counter_bits",
+    "sdbp.sampler_valid_bits",
+    "sdbp.sampler_prediction_bits",
+    "sdbp.sampler_lru_bits",
+    "sdbp.sampler_signature_bits",
+    "sdbp.sampler_tag_bits",
+    "btb.entries",
+    "btb.ways",
+    "btb.prediction_bits",
+];
+
+/// One comparison row of the audit report.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Dotted budget key.
+    pub key: String,
+    /// Value derived from the source AST (`None`: nothing computes it).
+    pub computed: Option<Value>,
+    /// Value pinned in `budgets.toml`.
+    pub expected: Value,
+    /// Whether they agree.
+    pub ok: bool,
+}
+
+/// Full audit outcome.
+#[derive(Debug)]
+pub struct Report {
+    /// Extracted parameter values, by budget key.
+    pub params: BTreeMap<String, i128>,
+    /// Every derived quantity.
+    pub computed: BTreeMap<String, Value>,
+    /// Comparison rows, one per `budgets.toml` key.
+    pub rows: Vec<Row>,
+    /// Hard failures (missing keys, mismatches, extraction problems).
+    pub errors: Vec<String>,
+}
+
+impl Report {
+    /// Whether the audit passed.
+    pub fn ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Run the audit: extract → compute → compare.
+///
+/// # Errors
+///
+/// Only on environmental failure (unreadable `budgets.toml`); analysis
+/// problems are reported inside the [`Report`].
+pub fn run(root: &Path, budgets_path: &Path) -> Result<Report, String> {
+    let ws = Workspace::load(root);
+    let budgets_text = std::fs::read_to_string(budgets_path)
+        .map_err(|e| format!("cannot read {}: {e}", budgets_path.display()))?;
+    let budgets =
+        minitoml::parse(&budgets_text).map_err(|e| format!("{}: {e}", budgets_path.display()))?;
+    let mut errors = Vec::new();
+    let params = extract_params(&ws, &mut errors);
+    let computed = compute(&params, &mut errors);
+    let rows = compare(&computed, &budgets, &mut errors);
+    Ok(Report {
+        params,
+        computed,
+        rows,
+        errors,
+    })
+}
+
+/// Locate `budget-key:` constants in library code and evaluate them.
+pub fn extract_params(ws: &Workspace, errors: &mut Vec<String>) -> BTreeMap<String, i128> {
+    let mut env = Env::default();
+    let mut ambiguous = BTreeSet::new();
+    // (key, const name, expr tokens, file) for every marked constant.
+    let mut marked: Vec<(String, String, Vec<TokenTree>, String)> = Vec::new();
+    for pf in &ws.files {
+        if pf.source.class != FileClass::Library {
+            continue;
+        }
+        let file = pf.source.rel.display().to_string();
+        collect_consts(&pf.ast.items, &file, &mut env, &mut ambiguous, &mut marked);
+    }
+    let mut params = BTreeMap::new();
+    for (key, name, expr, file) in marked {
+        if let Some(amb) = referenced_ambiguous(&expr, &ambiguous) {
+            errors.push(format!(
+                "{file}: budget-key `{key}` ({name}) references `{amb}`, which is \
+                 defined differently in multiple files"
+            ));
+            continue;
+        }
+        match crate::consteval::eval(&expr, &env) {
+            Ok(v) => {
+                if params.insert(key.clone(), v).is_some() {
+                    errors.push(format!(
+                        "{file}: budget-key `{key}` is declared by more than one constant"
+                    ));
+                }
+            }
+            Err(e) => errors.push(format!(
+                "{file}: cannot evaluate budget-key `{key}` ({name}): {e}"
+            )),
+        }
+    }
+    for key in REQUIRED_PARAMS {
+        if !params.contains_key(key) {
+            errors.push(format!(
+                "no constant carries the `budget-key: {key}` doc marker"
+            ));
+        }
+    }
+    params
+}
+
+fn collect_consts(
+    items: &[Item],
+    file: &str,
+    env: &mut Env,
+    ambiguous: &mut BTreeSet<String>,
+    marked: &mut Vec<(String, String, Vec<TokenTree>, String)>,
+) {
+    for item in items {
+        if item
+            .attrs()
+            .iter()
+            .any(|a| a.is("cfg") && a.arg_mentions("test"))
+        {
+            continue;
+        }
+        match item {
+            Item::Const(c) => {
+                if !env.define(&c.ident.text, &c.expr) {
+                    ambiguous.insert(c.ident.text.clone());
+                }
+                // Keys may be written backticked (`` `ghrp.x` ``) to
+                // satisfy clippy's doc-markdown lint.
+                let key = c.attrs.iter().find_map(|a| {
+                    a.doc_text()
+                        .and_then(|d| d.split_once("budget-key:"))
+                        .map(|(_, k)| k.trim().trim_matches('`').to_string())
+                });
+                if let Some(key) = key {
+                    marked.push((key, c.ident.text.clone(), c.expr.clone(), file.to_string()));
+                }
+            }
+            Item::Impl(i) => collect_consts(&i.items, file, env, ambiguous, marked),
+            Item::Trait(t) => collect_consts(&t.items, file, env, ambiguous, marked),
+            Item::Mod(m) => {
+                if let Some(content) = &m.content {
+                    collect_consts(content, file, env, ambiguous, marked);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn referenced_ambiguous<'a>(
+    expr: &[TokenTree],
+    ambiguous: &'a BTreeSet<String>,
+) -> Option<&'a str> {
+    for t in expr {
+        match t {
+            TokenTree::Ident(id) => {
+                if let Some(a) = ambiguous.get(&id.text) {
+                    return Some(a);
+                }
+            }
+            TokenTree::Group(g) => {
+                if let Some(a) = referenced_ambiguous(&g.stream, ambiguous) {
+                    return Some(a);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Derive every audited quantity from the raw parameters. Echoes the
+/// parameters themselves, so `budgets.toml` can pin the geometry too.
+#[allow(clippy::too_many_lines)] // one straight-line transcription of Table I's arithmetic
+pub fn compute(
+    params: &BTreeMap<String, i128>,
+    errors: &mut Vec<String>,
+) -> BTreeMap<String, Value> {
+    let mut out: BTreeMap<String, Value> = params
+        .iter()
+        .map(|(k, &v)| (k.clone(), Value::Int(v)))
+        .collect();
+    // Missing parameters were already reported; derive from what exists.
+    let get = |k: &str| params.get(k).copied();
+    let Some((capacity, block, ways)) = (|| {
+        Some((
+            get("icache.capacity_bytes")?,
+            get("icache.block_bytes")?,
+            get("icache.ways")?,
+        ))
+    })() else {
+        return out;
+    };
+    let Some((entries, tables, counter, history, sig, pred)) = (|| {
+        Some((
+            get("ghrp.table_entries")?,
+            get("ghrp.num_tables")?,
+            get("ghrp.counter_bits")?,
+            get("ghrp.history_bits")?,
+            get("ghrp.signature_bits")?,
+            get("ghrp.prediction_bits")?,
+        ))
+    })() else {
+        return out;
+    };
+
+    if block <= 0 || capacity % block != 0 {
+        errors.push(format!(
+            "icache geometry is inconsistent: capacity {capacity} not a multiple of block {block}"
+        ));
+        return out;
+    }
+    let blocks = capacity / block;
+    let Some(lru_bits) = log2_exact(ways) else {
+        errors.push(format!("icache.ways = {ways} is not a power of two"));
+        return out;
+    };
+    if sig > history || sig > 16 {
+        errors.push(format!(
+            "ghrp.signature_bits = {sig} exceeds history ({history}) or the 16-bit paper signature"
+        ));
+    }
+    out.insert("icache.blocks".into(), Value::Int(blocks));
+    out.insert("icache.lru_bits_per_block".into(), Value::Int(lru_bits));
+    out.insert("icache.valid_bits".into(), Value::Int(blocks));
+
+    let table_bits = tables * entries * counter;
+    let per_block_added = sig + pred;
+    let added_bits = blocks * per_block_added + table_bits;
+    let per_block_full = sig + pred + lru_bits + 1;
+    out.insert(
+        "ghrp.geometry".into(),
+        Value::Str(format!("{tables}x{entries}x{counter}")),
+    );
+    out.insert("ghrp.table_bits".into(), Value::Int(table_bits));
+    out.insert(
+        "ghrp.per_block_added_bits".into(),
+        Value::Int(per_block_added),
+    );
+    out.insert("ghrp.added_bits".into(), Value::Int(added_bits));
+    out.insert("ghrp.added_kib".into(), Value::Float(to_kib(added_bits)));
+    out.insert(
+        "ghrp.per_block_bits_full".into(),
+        Value::Int(per_block_full),
+    );
+    out.insert(
+        "ghrp.metadata_bits_full".into(),
+        Value::Int(blocks * per_block_full),
+    );
+
+    if let Some((s_entries, s_tables, s_counter)) = (|| {
+        Some((
+            get("sdbp.table_entries")?,
+            get("sdbp.num_tables")?,
+            get("sdbp.counter_bits")?,
+        ))
+    })() {
+        out.insert(
+            "sdbp.table_bits".into(),
+            Value::Int(s_tables * s_entries * s_counter),
+        );
+    }
+    if let Some(entry_bits) = (|| {
+        Some(
+            get("sdbp.sampler_valid_bits")?
+                + get("sdbp.sampler_prediction_bits")?
+                + get("sdbp.sampler_lru_bits")?
+                + get("sdbp.sampler_signature_bits")?
+                + get("sdbp.sampler_tag_bits")?,
+        )
+    })() {
+        // The §IV.A modification uses a full-size sampler: one sampler
+        // entry per I-cache block.
+        out.insert("sdbp.sampler_entry_bits".into(), Value::Int(entry_bits));
+        out.insert("sdbp.sampler_entries".into(), Value::Int(blocks));
+        out.insert("sdbp.sampler_bits".into(), Value::Int(entry_bits * blocks));
+    }
+    if let Some((b_entries, b_assoc, b_pred)) = (|| {
+        Some((
+            get("btb.entries")?,
+            get("btb.ways")?,
+            get("btb.prediction_bits")?,
+        ))
+    })() {
+        if b_assoc > 0 && b_entries % b_assoc == 0 {
+            out.insert("btb.sets".into(), Value::Int(b_entries / b_assoc));
+        } else {
+            errors.push(format!(
+                "btb geometry is inconsistent: {b_entries} entries / {b_assoc} ways"
+            ));
+        }
+        out.insert(
+            "btb.prediction_bits_total".into(),
+            Value::Int(b_entries * b_pred),
+        );
+    }
+    out
+}
+
+fn log2_exact(v: i128) -> Option<i128> {
+    if v <= 0 || (v & (v - 1)) != 0 {
+        return None;
+    }
+    let mut bits = 0i128;
+    let mut x = v;
+    while x > 1 {
+        x >>= 1;
+        bits += 1;
+    }
+    Some(bits)
+}
+
+#[allow(clippy::cast_precision_loss)] // bit totals are far below 2^52
+fn to_kib(bits: i128) -> f64 {
+    bits as f64 / 8192.0
+}
+
+/// Compare computed quantities against the pinned budget, producing one
+/// row per budget key and an error per disagreement.
+pub fn compare(
+    computed: &BTreeMap<String, Value>,
+    budgets: &BTreeMap<String, Value>,
+    errors: &mut Vec<String>,
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (key, expected) in budgets {
+        let found = computed.get(key);
+        let ok = found.is_some_and(|c| values_agree(c, expected));
+        match (found, ok) {
+            (None, _) => errors.push(format!(
+                "budgets.toml pins `{key}` but nothing in the source computes it"
+            )),
+            (Some(c), false) => errors.push(format!(
+                "`{key}` drifted: source computes {c}, budgets.toml pins {expected}"
+            )),
+            _ => {}
+        }
+        rows.push(Row {
+            key: key.clone(),
+            computed: found.cloned(),
+            expected: expected.clone(),
+            ok,
+        });
+    }
+    rows
+}
+
+/// Float comparisons tolerate the paper's two-decimal rounding.
+const FLOAT_TOLERANCE: f64 = 0.01;
+
+#[allow(clippy::cast_precision_loss)] // bit totals are far below 2^52
+fn values_agree(computed: &Value, expected: &Value) -> bool {
+    match (computed, expected) {
+        (Value::Int(a), Value::Int(b)) => a == b,
+        (Value::Float(a), Value::Float(b)) => (a - b).abs() <= FLOAT_TOLERANCE,
+        (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+            (*a as f64 - b).abs() <= FLOAT_TOLERANCE
+        }
+        (Value::Str(a), Value::Str(b)) => a == b,
+        (Value::Bool(a), Value::Bool(b)) => a == b,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_params() -> BTreeMap<String, i128> {
+        let pairs = [
+            ("icache.capacity_bytes", 64 * 1024),
+            ("icache.block_bytes", 64),
+            ("icache.ways", 8),
+            ("ghrp.table_entries", 4096),
+            ("ghrp.num_tables", 3),
+            ("ghrp.counter_bits", 2),
+            ("ghrp.history_bits", 16),
+            ("ghrp.signature_bits", 16),
+            ("ghrp.prediction_bits", 1),
+            ("sdbp.table_entries", 4096),
+            ("sdbp.num_tables", 3),
+            ("sdbp.counter_bits", 8),
+            ("sdbp.sampler_valid_bits", 1),
+            ("sdbp.sampler_prediction_bits", 1),
+            ("sdbp.sampler_lru_bits", 3),
+            ("sdbp.sampler_signature_bits", 12),
+            ("sdbp.sampler_tag_bits", 16),
+            ("btb.entries", 4096),
+            ("btb.ways", 4),
+            ("btb.prediction_bits", 1),
+        ];
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn paper_arithmetic() {
+        let mut errors = Vec::new();
+        let c = compute(&paper_params(), &mut errors);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(c["icache.blocks"], Value::Int(1024));
+        assert_eq!(c["icache.lru_bits_per_block"], Value::Int(3));
+        assert_eq!(c["ghrp.table_bits"], Value::Int(24576));
+        assert_eq!(c["ghrp.added_bits"], Value::Int(41984));
+        assert_eq!(c["ghrp.geometry"], Value::Str("3x4096x2".into()));
+        let Value::Float(kib) = c["ghrp.added_kib"] else {
+            panic!("kib not a float");
+        };
+        assert!((kib - 5.125).abs() < 1e-9);
+        assert_eq!(c["ghrp.per_block_bits_full"], Value::Int(21));
+        assert_eq!(c["ghrp.metadata_bits_full"], Value::Int(21504));
+        assert_eq!(c["sdbp.table_bits"], Value::Int(98304));
+        assert_eq!(c["sdbp.sampler_entry_bits"], Value::Int(33));
+        assert_eq!(c["sdbp.sampler_bits"], Value::Int(33 * 1024));
+        assert_eq!(c["btb.sets"], Value::Int(1024));
+        assert_eq!(c["btb.prediction_bits_total"], Value::Int(4096));
+    }
+
+    #[test]
+    fn every_parameter_perturbation_is_caught() {
+        let base = paper_params();
+        let mut errors = Vec::new();
+        let budget = compute(&base, &mut errors);
+        assert!(errors.is_empty());
+        for key in REQUIRED_PARAMS {
+            let mut p = base.clone();
+            // Doubling keeps powers of two (and thus geometry checks)
+            // valid while guaranteeing every derived total moves.
+            *p.get_mut(key).expect("param exists") *= 2;
+            let mut errs = Vec::new();
+            let c = compute(&p, &mut errs);
+            let rows = compare(&c, &budget, &mut errs);
+            assert!(
+                !errs.is_empty(),
+                "doubling `{key}` escaped the audit: {rows:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn float_tolerance_covers_paper_rounding() {
+        assert!(values_agree(&Value::Float(5.125), &Value::Float(5.13)));
+        assert!(!values_agree(&Value::Float(5.125), &Value::Float(5.25)));
+        assert!(values_agree(&Value::Int(5), &Value::Float(5.0)));
+    }
+}

@@ -1,0 +1,295 @@
+//! Const evaluation of integer expressions from token streams.
+//!
+//! The budget auditor reads canonical parameter constants out of the
+//! AST (`pub const PAPER_TABLE_ENTRIES: usize = 1 << 12;`) and needs
+//! their values, so this is a small precedence-climbing evaluator over
+//! the token trees the parser leaves in `ItemConst::expr`. It supports
+//! exactly what those initializers use: integer literals in any radix
+//! (with `_` separators and type suffixes), parentheses, unary `-`, the
+//! arithmetic/bit operators, widening `as` casts (ignored — values are
+//! `i128` throughout), and references to other constants, resolved
+//! through an [`Env`] with cycle detection.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+use syn::{LitKind, TokenTree};
+
+/// Symbol table: constant name → initializer tokens.
+#[derive(Debug, Default)]
+pub struct Env {
+    consts: BTreeMap<String, Vec<TokenTree>>,
+}
+
+impl Env {
+    /// Register a constant's initializer under `name`. Returns `false`
+    /// (and keeps the first definition) when the name is already bound
+    /// to a *different* token spelling — ambiguous names cannot be
+    /// referenced safely.
+    pub fn define(&mut self, name: &str, expr: &[TokenTree]) -> bool {
+        match self.consts.get(name) {
+            None => {
+                self.consts.insert(name.to_string(), expr.to_vec());
+                true
+            }
+            Some(existing) => syn::stream_to_string(existing) == syn::stream_to_string(expr),
+        }
+    }
+
+    /// Evaluate the constant bound to `name`.
+    ///
+    /// # Errors
+    ///
+    /// When the name is unbound, the expression is unsupported, or the
+    /// definition is (transitively) self-referential.
+    pub fn value_of(&self, name: &str) -> Result<i128, String> {
+        let mut visiting = Vec::new();
+        self.resolve(name, &mut visiting)
+    }
+
+    fn resolve(&self, name: &str, visiting: &mut Vec<String>) -> Result<i128, String> {
+        if visiting.iter().any(|v| v == name) {
+            return Err(format!("constant `{name}` is defined in terms of itself"));
+        }
+        let expr = self
+            .consts
+            .get(name)
+            .ok_or_else(|| format!("unknown constant `{name}`"))?;
+        visiting.push(name.to_string());
+        let v = eval_in(expr, self, visiting);
+        visiting.pop();
+        v
+    }
+}
+
+/// Evaluate a standalone expression against an environment.
+///
+/// # Errors
+///
+/// When the expression uses an unsupported form or an unknown name.
+pub fn eval(expr: &[TokenTree], env: &Env) -> Result<i128, String> {
+    let mut visiting = Vec::new();
+    eval_in(expr, env, &mut visiting)
+}
+
+fn eval_in(expr: &[TokenTree], env: &Env, visiting: &mut Vec<String>) -> Result<i128, String> {
+    let mut p = Eval {
+        toks: expr,
+        i: 0,
+        env,
+        visiting,
+    };
+    let v = p.expr(0)?;
+    if p.i != p.toks.len() {
+        return Err(format!(
+            "trailing tokens in const expression `{}`",
+            syn::stream_to_string(expr)
+        ));
+    }
+    Ok(v)
+}
+
+struct Eval<'a> {
+    toks: &'a [TokenTree],
+    i: usize,
+    env: &'a Env,
+    visiting: &'a mut Vec<String>,
+}
+
+/// Binding powers, loosest to tightest (a subset of Rust's table; `==`
+/// and friends are not constants we evaluate).
+fn binding_power(op: &str) -> Option<u8> {
+    Some(match op {
+        "|" => 1,
+        "^" => 2,
+        "&" => 3,
+        "<<" | ">>" => 4,
+        "+" | "-" => 5,
+        "*" | "/" | "%" => 6,
+        _ => return None,
+    })
+}
+
+impl Eval<'_> {
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn expr(&mut self, min_bp: u8) -> Result<i128, String> {
+        let mut lhs = self.atom()?;
+        loop {
+            // `as <type>` postfix: a no-op at i128 precision.
+            if self.peek().is_some_and(|t| t.is_ident("as")) {
+                self.i += 1;
+                match self.peek() {
+                    Some(TokenTree::Ident(_)) => self.i += 1,
+                    _ => return Err("`as` without a type name".into()),
+                }
+                continue;
+            }
+            let Some(TokenTree::Punct(op)) = self.peek() else {
+                break;
+            };
+            let Some(bp) = binding_power(&op.text) else {
+                break;
+            };
+            if bp < min_bp {
+                break;
+            }
+            let op = op.text.clone();
+            self.i += 1;
+            let rhs = self.expr(bp + 1)?;
+            lhs = apply(&op, lhs, rhs)?;
+        }
+        Ok(lhs)
+    }
+
+    fn atom(&mut self) -> Result<i128, String> {
+        match self.peek() {
+            Some(t) if t.is_punct("-") => {
+                self.i += 1;
+                Ok(-self.atom()?)
+            }
+            Some(TokenTree::Literal(l)) if l.kind == LitKind::Number => {
+                let v = parse_int(&l.text)
+                    .ok_or_else(|| format!("unsupported numeric literal `{}`", l.text))?;
+                self.i += 1;
+                Ok(v)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter == syn::Delimiter::Parenthesis => {
+                let inner = g.stream.clone();
+                self.i += 1;
+                eval_in(&inner, self.env, self.visiting)
+            }
+            Some(TokenTree::Ident(id)) => {
+                let name = id.text.clone();
+                self.i += 1;
+                // Qualified paths (`Self::X`, `u64::BITS`) are not
+                // resolvable here; plain names look up the environment.
+                if self.peek().is_some_and(|t| t.is_punct("::")) {
+                    return Err(format!("unsupported qualified path starting at `{name}`"));
+                }
+                self.env.resolve(&name, self.visiting)
+            }
+            other => Err(format!(
+                "unsupported const-expression token `{}`",
+                other.map_or_else(
+                    || "<end>".to_string(),
+                    |t| syn::stream_to_string(std::slice::from_ref(t))
+                )
+            )),
+        }
+    }
+}
+
+fn apply(op: &str, a: i128, b: i128) -> Result<i128, String> {
+    let err = || format!("const expression overflow/underflow in `{a} {op} {b}`");
+    match op {
+        "|" => Ok(a | b),
+        "^" => Ok(a ^ b),
+        "&" => Ok(a & b),
+        "<<" => u32::try_from(b)
+            .ok()
+            .and_then(|s| a.checked_shl(s))
+            .ok_or_else(err),
+        ">>" => u32::try_from(b)
+            .ok()
+            .and_then(|s| a.checked_shr(s))
+            .ok_or_else(err),
+        "+" => a.checked_add(b).ok_or_else(err),
+        "-" => a.checked_sub(b).ok_or_else(err),
+        "*" => a.checked_mul(b).ok_or_else(err),
+        "/" => a.checked_div(b).ok_or_else(err),
+        "%" => a.checked_rem(b).ok_or_else(err),
+        _ => Err(format!("unsupported operator `{op}`")),
+    }
+}
+
+/// Parse an integer literal: optional radix prefix, `_` separators, and
+/// a trailing type suffix (`u32`, `usize`, …).
+fn parse_int(text: &str) -> Option<i128> {
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = if let Some(d) = cleaned
+        .strip_prefix("0x")
+        .or_else(|| cleaned.strip_prefix("0X"))
+    {
+        (16, d)
+    } else if let Some(d) = cleaned
+        .strip_prefix("0o")
+        .or_else(|| cleaned.strip_prefix("0O"))
+    {
+        (8, d)
+    } else if let Some(d) = cleaned
+        .strip_prefix("0b")
+        .or_else(|| cleaned.strip_prefix("0B"))
+    {
+        (2, d)
+    } else {
+        (10, cleaned.as_str())
+    };
+    // Strip a type suffix: the longest trailing run that is not a valid
+    // digit in this radix.
+    let end = digits
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map_or(digits.len(), |(i, _)| i);
+    if end == 0 {
+        return None;
+    }
+    i128::from_str_radix(&digits[..end], radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_of(src: &str) -> Env {
+        let f = syn::parse_file(src).expect("parses");
+        let mut env = Env::default();
+        for item in &f.items {
+            if let syn::Item::Const(c) = item {
+                assert!(env.define(&c.ident.text, &c.expr));
+            }
+        }
+        env
+    }
+
+    #[test]
+    fn arithmetic_and_radix() {
+        let env = env_of(
+            "const A: usize = 1 << 12;\n\
+             const B: usize = 3 * A * 2;\n\
+             const C: u64 = 0x10 + 0b101 + 0o7 + 4_096u64;\n\
+             const D: i64 = (A as i64) - 1;\n\
+             const E: usize = 2 + 3 * 4;\n",
+        );
+        assert_eq!(env.value_of("A"), Ok(4096));
+        assert_eq!(env.value_of("B"), Ok(24576));
+        assert_eq!(env.value_of("C"), Ok(16 + 5 + 7 + 4096));
+        assert_eq!(env.value_of("D"), Ok(4095));
+        assert_eq!(env.value_of("E"), Ok(14));
+    }
+
+    #[test]
+    fn cycles_and_unknowns_error() {
+        let env = env_of("const A: usize = B + 1;\nconst B: usize = A + 1;\n");
+        assert!(env.value_of("A").is_err());
+        assert!(env.value_of("MISSING").is_err());
+    }
+
+    #[test]
+    fn ambiguous_redefinition_is_rejected() {
+        let mut env = env_of("const A: usize = 1;\n");
+        let f = syn::parse_file("const A: usize = 2;\n").expect("parses");
+        let syn::Item::Const(c) = &f.items[0] else {
+            panic!()
+        };
+        assert!(!env.define("A", &c.expr));
+        let same = syn::parse_file("const A: usize = 1;\n").expect("parses");
+        let syn::Item::Const(c1) = &same.items[0] else {
+            panic!()
+        };
+        assert!(env.define("A", &c1.expr));
+    }
+}

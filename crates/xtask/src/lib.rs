@@ -1,0 +1,93 @@
+//! Semantic analysis engine for the workspace (`cargo xtask …`).
+//!
+//! Everything here operates on the typed AST produced by the vendored
+//! [`syn`] stand-in — one parse per file, shared by every pass — instead
+//! of the line/regex heuristics the original scanner used. Three
+//! subsystems (see `DESIGN.md` §"Correctness & static analysis"):
+//!
+//! * [`rules`] — the four project lint rules (`no-panic`, `pow2-mask`,
+//!   `forbid-unsafe`, `checked-index`), now matched on token trees so
+//!   strings, comments, chars and lifetimes can never confuse them.
+//! * [`dispatch`] — drift detection for the `AnyPolicy` closed sum:
+//!   every `impl ReplacementPolicy` must have an enum variant, every
+//!   variant an impl and a `build_pair` construction site, and every
+//!   `PolicyKind` a config-string spelling.
+//! * [`audit`] — the paper storage-budget auditor: locates the canonical
+//!   parameter constants by their `budget-key:` doc markers,
+//!   const-evaluates them, recomputes the paper's Table I storage
+//!   arithmetic and diffs it against the checked-in `budgets.toml`.
+
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod audit;
+pub mod consteval;
+pub mod dispatch;
+pub mod engine;
+pub mod minitoml;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+/// One finding from any pass, addressed by workspace-relative path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the scanned root.
+    pub file: PathBuf,
+    /// 1-based source line (0 when the file could not be read).
+    pub line: usize,
+    /// Rule identifier (`no-panic`, …, `dispatch-drift`, `parse-error`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// Render as the stable `path:line:rule` key used by the golden
+    /// tests and for sorting.
+    pub fn key(&self) -> String {
+        format!("{}:{}:{}", self.file.display(), self.line, self.rule)
+    }
+}
+
+/// Outcome of a full `lint` run over one root.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+    /// Number of justified `allow` annotations in force.
+    pub active_allows: usize,
+}
+
+/// Run every lint pass (rules + allow hygiene + dispatch drift) over the
+/// workspace rooted at `root`.
+pub fn run_lint(root: &Path) -> LintReport {
+    let ws = engine::Workspace::load(root);
+    let mut findings = ws.errors.clone();
+    let mut active_allows = 0;
+    for pf in &ws.files {
+        let allows = allow::scan(&pf.text);
+        rules::lint_file(pf, &allows, &mut findings);
+        active_allows += allows.justified_count();
+    }
+    findings.extend(dispatch::check(&ws));
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings.dedup();
+    LintReport {
+        findings,
+        files_scanned: ws.files.len() + ws.errors.len(),
+        active_allows,
+    }
+}
+
+/// Workspace root, derived from this crate's manifest directory
+/// (`crates/xtask` → two levels up).
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or(manifest.clone(), Path::to_path_buf)
+}

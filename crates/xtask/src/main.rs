@@ -1,54 +1,25 @@
 //! Repository automation (`cargo xtask <command>`).
 //!
-//! The only command today is `lint`: a dependency-free line/token scanner
-//! enforcing project rules that `clippy` cannot express (see `DESIGN.md`
-//! §"Correctness & static analysis"):
+//! * `lint` — run the semantic rule passes (four project rules, allow
+//!   hygiene, dispatch-drift) over every owned source file. See
+//!   [`xtask::rules`] and `DESIGN.md` §"Correctness & static analysis".
+//! * `audit` — recompute the paper's storage budgets from the source
+//!   AST and diff them against `budgets.toml`. See [`xtask::audit`].
 //!
-//! 1. **no-panic** — no `.unwrap()` / `.expect(` in simulator hot paths
-//!    (`cache.rs`, anything under `policy/`, anything under
-//!    `crates/core/src/`). Hot-path invariant failures must be
-//!    `debug_assert!`s or structured fallbacks, not aborts.
-//! 2. **pow2-mask** — no raw `%` indexing against set/way/entry counts;
-//!    power-of-two structures index through `fe_cache::index::{mask, idx}`.
-//! 3. **forbid-unsafe** — every file under `crates/*/src` carries a
-//!    `#![forbid(unsafe_code)]` header, so the guarantee survives file
-//!    moves between crates.
-//! 4. **checked-index** — no `as`-narrowing casts inside an index
-//!    expression; narrowing for table lookups goes through the checked
-//!    `idx()` / `mask()` helpers.
-//!
-//! A finding can be suppressed with a justified annotation on the same or
-//! the preceding line:
-//!
-//! ```text
-//! // lint:allow(pow2-mask): ring-buffer wrap; any capacity is legal here
-//! ```
-//!
-//! The justification (text after the colon) is mandatory — an annotation
-//! without one is itself a finding. Rules 1, 2 and 4 skip `#[cfg(test)]`
-//! modules; rule 3 applies to whole files.
+//! Both exit non-zero on findings, so CI can gate on them.
 
 #![forbid(unsafe_code)]
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// The rule identifiers accepted by the allow-annotation.
-const RULES: [&str; 4] = ["no-panic", "pow2-mask", "forbid-unsafe", "checked-index"];
-
-/// One lint violation.
-#[derive(Debug)]
-struct Finding {
-    file: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
+use xtask::{audit, rules, run_lint, workspace_root};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => lint(&args[1..]),
+        Some("audit") => run_audit(&args[1..]),
         Some("--help" | "-h") => {
             usage();
             ExitCode::SUCCESS
@@ -69,423 +40,98 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!("usage: cargo xtask <command>\n");
     eprintln!("commands:");
-    eprintln!("  lint    run the project's custom static checks over crates/*/src");
-    eprintln!("\nrules: {}", RULES.join(", "));
+    eprintln!("  lint   [--root DIR]                  run the custom static checks");
+    eprintln!("  audit  [--root DIR] [--budgets FILE] verify the paper storage budgets");
+    eprintln!("\nrules: {}, dispatch-drift", rules::RULES.join(", "));
 }
 
-/// Workspace root, derived from this crate's manifest directory
-/// (`crates/xtask` → two levels up).
-fn workspace_root() -> PathBuf {
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest
-        .parent()
-        .and_then(Path::parent)
-        .map_or(manifest.clone(), Path::to_path_buf)
+/// Parse `--flag VALUE` out of a trailing argument list.
+fn flag_value(args: &[String], flag: &str) -> Option<PathBuf> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
 }
 
-fn lint() -> ExitCode {
-    let root = workspace_root();
-    let files = collect_sources(&root.join("crates"));
-    if files.is_empty() {
+fn lint(args: &[String]) -> ExitCode {
+    let root = flag_value(args, "--root").unwrap_or_else(workspace_root);
+    let report = run_lint(&root);
+    if report.files_scanned == 0 {
         eprintln!("xtask lint: no sources found under {}", root.display());
         return ExitCode::FAILURE;
     }
-    let mut findings = Vec::new();
-    for file in &files {
-        match std::fs::read_to_string(file) {
-            Ok(text) => scan_file(file, &text, &mut findings),
-            Err(e) => findings.push(Finding {
-                file: file.clone(),
-                line: 0,
-                rule: "forbid-unsafe",
-                message: format!("unreadable source file: {e}"),
-            }),
-        }
-    }
-    if findings.is_empty() {
-        println!("xtask lint: {} files scanned, clean", files.len());
+    if report.findings.is_empty() {
+        println!(
+            "xtask lint: {} files scanned, clean ({} active allow annotation{})",
+            report.files_scanned,
+            report.active_allows,
+            if report.active_allows == 1 { "" } else { "s" }
+        );
         return ExitCode::SUCCESS;
     }
-    for f in &findings {
-        let rel = f.file.strip_prefix(&root).unwrap_or(&f.file);
-        eprintln!("{}:{}: [{}] {}", rel.display(), f.line, f.rule, f.message);
+    for f in &report.findings {
+        eprintln!(
+            "{}:{}: [{}] {}",
+            f.file.display(),
+            f.line,
+            f.rule,
+            f.message
+        );
     }
     eprintln!(
-        "xtask lint: {} finding(s) in {} files scanned",
-        findings.len(),
-        files.len()
+        "xtask lint: {} finding(s) in {} files scanned ({} active allow annotations)",
+        report.findings.len(),
+        report.files_scanned,
+        report.active_allows
     );
     ExitCode::FAILURE
 }
 
-/// All `.rs` files under `crates/*/src`, sorted for deterministic output.
-fn collect_sources(crates_dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let Ok(crates) = std::fs::read_dir(crates_dir) else {
-        return out;
+fn run_audit(args: &[String]) -> ExitCode {
+    let root = flag_value(args, "--root").unwrap_or_else(workspace_root);
+    let budgets = flag_value(args, "--budgets").unwrap_or_else(|| root.join("budgets.toml"));
+    let report = match audit::run(&root, &budgets) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask audit: {e}");
+            return ExitCode::FAILURE;
+        }
     };
-    for entry in crates.flatten() {
-        let src = entry.path().join("src");
-        if src.is_dir() {
-            walk(&src, &mut out);
-        }
+    let width = report
+        .rows
+        .iter()
+        .map(|r| r.key.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    println!(
+        "{:<width$}  {:>14}  {:>14}  status",
+        "key", "computed", "expected"
+    );
+    for row in &report.rows {
+        let computed = row
+            .computed
+            .as_ref()
+            .map_or_else(|| "—".to_string(), ToString::to_string);
+        println!(
+            "{:<width$}  {:>14}  {:>14}  {}",
+            row.key,
+            computed,
+            row.expected.to_string(),
+            if row.ok { "ok" } else { "DRIFT" }
+        );
     }
-    out.sort();
-    out
-}
-
-fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let p = entry.path();
-        if p.is_dir() {
-            walk(&p, out);
-        } else if p.extension().is_some_and(|e| e == "rs") {
-            out.push(p);
-        }
-    }
-}
-
-/// Whether rule 1 (`no-panic`) applies to this file: the simulator hot
-/// paths named in the project conventions.
-fn is_hot_path(file: &Path) -> bool {
-    let s = file.to_string_lossy().replace('\\', "/");
-    s.ends_with("/cache.rs") || s.contains("/policy/") || s.contains("/core/src/")
-}
-
-/// Whether the file hosts the canonical mask/idx helpers (exempt from
-/// rules 2 and 4 — the audited casts live there by design).
-fn is_index_helper(file: &Path) -> bool {
-    let s = file.to_string_lossy().replace('\\', "/");
-    s.ends_with("/cache/src/index.rs")
-}
-
-fn scan_file(file: &Path, text: &str, findings: &mut Vec<Finding>) {
-    let lines: Vec<&str> = text.lines().collect();
-
-    // Rule 3: forbid(unsafe_code) header in every file (some crate roots
-    // carry long module preambles, so the whole file is searched).
-    if !lines.iter().any(|l| l.trim() == "#![forbid(unsafe_code)]") {
-        findings.push(Finding {
-            file: file.to_path_buf(),
-            line: 1,
-            rule: "forbid-unsafe",
-            message: "missing `#![forbid(unsafe_code)]` header".into(),
-        });
-    }
-
-    let hot = is_hot_path(file);
-    let helper = is_index_helper(file);
-    let mut in_tests = false;
-    let mut in_block_comment = false;
-    for (i, raw) in lines.iter().enumerate() {
-        let lineno = i + 1;
-        if raw.trim_start().starts_with("#[cfg(test)]") {
-            // Test modules sit at the bottom of each file in this
-            // codebase; panicking asserts are idiomatic there.
-            in_tests = true;
-        }
-        let code = code_only(raw, &mut in_block_comment);
-        if in_tests {
-            continue;
-        }
-        let allowed = |rule: &str| has_allow(raw, rule) || (i > 0 && has_allow(lines[i - 1], rule));
-
-        // Rule 1: no unwrap/expect in hot paths.
-        if hot {
-            for needle in [concat!(".unw", "rap()"), concat!(".exp", "ect(")] {
-                if code.contains(needle) && !allowed("no-panic") {
-                    findings.push(Finding {
-                        file: file.to_path_buf(),
-                        line: lineno,
-                        rule: "no-panic",
-                        message: format!(
-                            "`{needle}…` in a simulator hot path; use a checked \
-                             fallback or debug_assert!"
-                        ),
-                    });
-                }
-            }
-        }
-
-        // Rule 2: raw `%` against a set/way/entry count.
-        if !helper {
-            if let Some(word) = modulo_count_operand(&code) {
-                if !allowed("pow2-mask") {
-                    findings.push(Finding {
-                        file: file.to_path_buf(),
-                        line: lineno,
-                        rule: "pow2-mask",
-                        message: format!(
-                            "raw `% {word}` indexing; use fe_cache::index::mask \
-                             (power-of-two bucket counts)"
-                        ),
-                    });
-                }
-            }
-        }
-
-        // Rule 4: `as`-narrowing inside an index expression.
-        if !helper && cast_inside_brackets(&code) && !allowed("checked-index") {
-            findings.push(Finding {
-                file: file.to_path_buf(),
-                line: lineno,
-                rule: "checked-index",
-                message: "narrowing `as` cast inside an index expression; \
-                          route it through fe_cache::index::{idx, mask}"
-                    .into(),
-            });
-        }
-
-        // A bare allow-annotation without a justification is itself a
-        // finding.
-        if let Some(pos) = raw.find(&allow_marker()) {
-            let rest = &raw[pos..];
-            let justified = rest
-                .find(')')
-                .and_then(|p| rest[p + 1..].trim_start().strip_prefix(':'))
-                .is_some_and(|j| !j.trim().is_empty());
-            if !justified {
-                // Report under the rule the annotation names, so the
-                // finding points at the right rule's documentation.
-                let named = &rest[allow_marker().len()..];
-                let rule = RULES
-                    .iter()
-                    .find(|r| named.strip_prefix(**r).is_some_and(|t| t.starts_with(')')))
-                    .copied()
-                    .unwrap_or("unknown-rule");
-                findings.push(Finding {
-                    file: file.to_path_buf(),
-                    line: lineno,
-                    rule,
-                    message: "allow-annotation without a `: justification`".into(),
-                });
-            }
-        }
-    }
-}
-
-/// The allow-annotation marker, assembled at runtime so the scanner's own
-/// source never contains the contiguous token it searches for.
-fn allow_marker() -> String {
-    ["lint:", "allow("].concat()
-}
-
-/// Whether `line` carries a justified allow-annotation for `rule`.
-fn has_allow(line: &str, rule: &str) -> bool {
-    let marker = allow_marker();
-    line.find(&marker).is_some_and(|pos| {
-        let rest = &line[pos + marker.len()..];
-        rest.strip_prefix(rule)
-            .and_then(|r| r.strip_prefix(')'))
-            .is_some()
-    })
-}
-
-/// Strip comments, string literals and char literals from one line so the
-/// rule matchers only see executable tokens. Tracks `/* … */` block
-/// comments across lines via `in_block_comment`.
-fn code_only(line: &str, in_block_comment: &mut bool) -> String {
-    let mut out = String::with_capacity(line.len());
-    let chars: Vec<char> = line.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        if *in_block_comment {
-            if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                *in_block_comment = false;
-                i += 2;
-            } else {
-                i += 1;
-            }
-            continue;
-        }
-        match chars[i] {
-            '/' if chars.get(i + 1) == Some(&'/') => break, // line comment
-            '/' if chars.get(i + 1) == Some(&'*') => {
-                *in_block_comment = true;
-                i += 2;
-            }
-            '"' => {
-                // String literal: skip to the closing quote, honoring escapes.
-                i += 1;
-                while i < chars.len() {
-                    match chars[i] {
-                        '\\' => i += 2,
-                        '"' => {
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-                out.push_str("\"\"");
-            }
-            '\'' => {
-                // Char literal ('x', '\n', '\u{..}') vs lifetime ('a in
-                // generics). A lifetime is not closed by a quote nearby.
-                if let Some(end) = char_literal_end(&chars, i) {
-                    out.push_str("''");
-                    i = end;
-                } else {
-                    out.push('\'');
-                    i += 1;
-                }
-            }
-            c => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    out
-}
-
-/// If `chars[start]` opens a char literal, the index one past its closing
-/// quote; `None` for lifetimes.
-fn char_literal_end(chars: &[char], start: usize) -> Option<usize> {
-    let mut j = start + 1;
-    if chars.get(j) == Some(&'\\') {
-        // Escape: skip the backslash and the escape body up to the quote.
-        j += 2;
-        while j < chars.len() && chars[j] != '\'' {
-            j += 1;
-        }
-        (chars.get(j) == Some(&'\'')).then_some(j + 1)
+    if report.ok() {
+        println!(
+            "xtask audit: {} budget keys verified against the source AST",
+            report.rows.len()
+        );
+        ExitCode::SUCCESS
     } else {
-        // Unescaped: exactly one char then a quote, else it's a lifetime.
-        (chars.get(j).is_some() && chars.get(j + 1) == Some(&'\'')).then_some(j + 2)
-    }
-}
-
-/// Identifiers that mark a `%` operand as a bucket count. `len()` catches
-/// `% table.len()`-style indexing.
-const COUNT_WORDS: [&str; 6] = ["sets", "ways", "entries", "buckets", "capacity", "len()"];
-
-/// If the line computes `… % <bucket count>`, the offending operand text.
-fn modulo_count_operand(code: &str) -> Option<String> {
-    let bytes = code.as_bytes();
-    for (pos, &b) in bytes.iter().enumerate() {
-        if b != b'%' {
-            continue;
+        for e in &report.errors {
+            eprintln!("xtask audit: {e}");
         }
-        // Skip `%=` (none in tree, but cheap) and format-ish `%%`.
-        if bytes.get(pos + 1) == Some(&b'=') || bytes.get(pos + 1) == Some(&b'%') {
-            continue;
-        }
-        // Look at the right-hand operand: the next ~48 chars up to a
-        // comparison/terminator, enough to cover `self.num_sets as u64)`.
-        let rhs: String = code[pos + 1..]
-            .chars()
-            .take(48)
-            .take_while(|&c| !matches!(c, ';' | ',' | '=' | '<' | '>' | '{'))
-            .collect();
-        if let Some(w) = COUNT_WORDS.iter().find(|w| rhs.contains(**w)) {
-            let shown = rhs.split_whitespace().next().unwrap_or(w).to_string();
-            return Some(shown);
-        }
-    }
-    None
-}
-
-/// Whether a narrowing `as` cast (`as usize`, `as u32`, `as u16`) occurs
-/// while inside `[ … ]` — i.e. directly in an index expression.
-fn cast_inside_brackets(code: &str) -> bool {
-    let mut depth: u32 = 0;
-    let chars: Vec<char> = code.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        match chars[i] {
-            '[' => depth += 1,
-            ']' => depth = depth.saturating_sub(1),
-            'a' if depth > 0 => {
-                let rest: String = chars[i..].iter().take(9).collect();
-                let prev_ok = i == 0 || !(chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
-                if prev_ok
-                    && ["as usize", "as u32", "as u16", "as u8"]
-                        .iter()
-                        .any(|n| rest.starts_with(n))
-                {
-                    return true;
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    false
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn strip(line: &str) -> String {
-        let mut in_block = false;
-        code_only(line, &mut in_block)
-    }
-
-    #[test]
-    fn strips_line_comments_and_strings() {
-        assert_eq!(strip("let x = 1; // % sets"), "let x = 1; ");
-        assert_eq!(strip("let s = \"a % sets b\";"), "let s = \"\";");
-        assert_eq!(strip("let c = '%'; x % 2"), "let c = ''; x % 2");
-    }
-
-    #[test]
-    fn block_comments_span_lines() {
-        let mut in_block = false;
-        assert_eq!(code_only("a /* start", &mut in_block), "a ");
-        assert!(in_block);
-        assert_eq!(code_only("still % sets inside", &mut in_block), "");
-        assert_eq!(code_only("end */ b", &mut in_block), " b");
-        assert!(!in_block);
-    }
-
-    #[test]
-    fn lifetimes_are_not_char_literals() {
-        assert_eq!(strip("fn f<'a>(x: &'a str) {}"), "fn f<'a>(x: &'a str) {}");
-    }
-
-    #[test]
-    fn modulo_detection() {
-        assert!(modulo_count_operand("let s = block % self.num_sets;").is_some());
-        assert!(modulo_count_operand("let s = i % table.len();").is_some());
-        assert!(modulo_count_operand("let s = (x + 1) % capacity;").is_some());
-        assert!(modulo_count_operand("let even = i % 2 == 0;").is_none());
-        assert!(modulo_count_operand("write!(f, \"100%\")").is_none());
-    }
-
-    #[test]
-    fn cast_in_brackets_detection() {
-        assert!(cast_inside_brackets("tags[(addr >> 6) as usize]"));
-        assert!(cast_inside_brackets("by_kind[r.kind as usize] += 1"));
-        assert!(!cast_inside_brackets("let i = x as usize; tags[i]"));
-        assert!(!cast_inside_brackets("let t: [u64; 6] = make();"));
-        // `alias` must not match the `as` token matcher.
-        assert!(!cast_inside_brackets("m[alias_of(x)]"));
-    }
-
-    #[test]
-    fn allow_annotations() {
-        assert!(has_allow(
-            "x % capacity // lint:allow(pow2-mask): ring",
-            "pow2-mask"
-        ));
-        assert!(!has_allow(
-            "x % capacity // lint:allow(pow2-mask): ring",
-            "no-panic"
-        ));
-        assert!(!has_allow("x % capacity", "pow2-mask"));
-    }
-
-    #[test]
-    fn hot_path_scoping() {
-        assert!(is_hot_path(Path::new("crates/cache/src/cache.rs")));
-        assert!(is_hot_path(Path::new("crates/cache/src/policy/lru.rs")));
-        assert!(is_hot_path(Path::new("crates/core/src/tables.rs")));
-        assert!(!is_hot_path(Path::new("crates/bench/src/lib.rs")));
-        assert!(is_index_helper(Path::new("crates/cache/src/index.rs")));
+        eprintln!("xtask audit: {} problem(s)", report.errors.len());
+        ExitCode::FAILURE
     }
 }

@@ -1,0 +1,144 @@
+//! A TOML subset reader for `budgets.toml`.
+//!
+//! Supports exactly what the budget file uses: `#` comments, `[a.b]`
+//! section headers, and `key = value` pairs where the value is an
+//! integer, a float, a double-quoted string, or a boolean. Keys are
+//! flattened to dotted paths (`[ghrp]` + `table_bits = …` →
+//! `ghrp.table_bits`). Anything outside that subset is a hard error —
+//! a budget file that silently half-parses would defeat the audit.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One budget value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer (any sign).
+    Int(i128),
+    /// Floating-point.
+    Float(f64),
+    /// Double-quoted string (no escapes).
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "\"{v}\""),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Parse a budget file into dotted-key → value pairs.
+///
+/// # Errors
+///
+/// On any line that is not a comment, a section header, or a supported
+/// `key = value` pair; and on duplicate keys.
+pub fn parse(text: &str) -> Result<BTreeMap<String, Value>, String> {
+    let mut out = BTreeMap::new();
+    let mut section = String::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(format!("line {lineno}: unterminated section header"));
+            };
+            section = name.trim().to_string();
+            if section.is_empty() {
+                return Err(format!("line {lineno}: empty section name"));
+            }
+            continue;
+        }
+        let Some((key, rest)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = value`"));
+        };
+        let key = key.trim();
+        if key.is_empty() {
+            return Err(format!("line {lineno}: empty key"));
+        }
+        let full = if section.is_empty() {
+            key.to_string()
+        } else {
+            format!("{section}.{key}")
+        };
+        let value = parse_value(rest.trim(), lineno)?;
+        if out.insert(full.clone(), value).is_some() {
+            return Err(format!("line {lineno}: duplicate key `{full}`"));
+        }
+    }
+    Ok(out)
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, String> {
+    if let Some(rest) = text.strip_prefix('"') {
+        let Some(end) = rest.find('"') else {
+            return Err(format!("line {lineno}: unterminated string"));
+        };
+        let tail = rest[end + 1..].trim();
+        if !(tail.is_empty() || tail.starts_with('#')) {
+            return Err(format!("line {lineno}: trailing tokens after string"));
+        }
+        return Ok(Value::Str(rest[..end].to_string()));
+    }
+    // Strip an inline comment, then classify the scalar.
+    let scalar = text.split('#').next().unwrap_or_default().trim();
+    match scalar {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        "" => return Err(format!("line {lineno}: missing value")),
+        _ => {}
+    }
+    let cleaned: String = scalar.chars().filter(|&c| c != '_').collect();
+    if let Ok(v) = cleaned.parse::<i128>() {
+        return Ok(Value::Int(v));
+    }
+    cleaned
+        .parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| format!("line {lineno}: unsupported value `{scalar}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_scalars_and_comments() {
+        let m = parse(
+            "# header\n\
+             top = 1\n\
+             [ghrp]\n\
+             table_bits = 24_576  # 3x4096x2\n\
+             added_kib = 5.13\n\
+             geometry = \"3x4096x2\"\n\
+             [ghrp.full]\n\
+             audited = true\n",
+        )
+        .expect("parses");
+        assert_eq!(m["top"], Value::Int(1));
+        assert_eq!(m["ghrp.table_bits"], Value::Int(24576));
+        assert_eq!(m["ghrp.added_kib"], Value::Float(5.13));
+        assert_eq!(m["ghrp.geometry"], Value::Str("3x4096x2".into()));
+        assert_eq!(m["ghrp.full.audited"], Value::Bool(true));
+    }
+
+    #[test]
+    fn rejects_garbage_and_duplicates() {
+        assert!(parse("not a pair\n").is_err());
+        assert!(parse("[unterminated\n").is_err());
+        assert!(parse("a = 1\na = 2\n").is_err());
+        assert!(parse("a = what\n").is_err());
+    }
+}

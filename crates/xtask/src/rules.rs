@@ -1,0 +1,416 @@
+//! The four project lint rules, matched on token trees.
+//!
+//! 1. **no-panic** — no `.unwrap()` / `.expect(…)` calls in simulator
+//!    hot paths (`cache.rs`, anything under `policy/`, anything under
+//!    `crates/core/src/`). Hot-path invariant failures must be
+//!    `debug_assert!`s or structured fallbacks, not aborts.
+//! 2. **pow2-mask** — no raw `%` whose right-hand operand is a
+//!    set/way/entry count; power-of-two structures index through
+//!    `fe_cache::index::{mask, idx}`.
+//! 3. **forbid-unsafe** — every owned source file carries a
+//!    `#![forbid(unsafe_code)]` header, so the guarantee survives file
+//!    moves between crates.
+//! 4. **checked-index** — no `as`-narrowing cast inside an index
+//!    expression; narrowing for table lookups goes through the checked
+//!    `idx()` / `mask()` helpers.
+//!
+//! Because the matchers walk the lexed token tree, text inside string
+//! literals, comments, char literals and lifetimes is invisible to them
+//! by construction. `#[cfg(test)]` subtrees are skipped precisely
+//! (not "from here to end of file" as the old line scanner did), and
+//! rule scope follows the file's [`FileClass`]: integration tests are
+//! only held to `forbid-unsafe`; benches and examples additionally to
+//! the two indexing rules; hot-path panics only matter in library code.
+
+#![forbid(unsafe_code)]
+
+use syn::{Attribute, Delimiter, Item, TokenTree};
+
+use crate::allow::Allows;
+use crate::engine::{is_hot_path, is_index_helper, FileClass, ParsedFile};
+use crate::Finding;
+
+/// The rule identifiers accepted by the allow-annotation.
+pub const RULES: [&str; 4] = ["no-panic", "pow2-mask", "forbid-unsafe", "checked-index"];
+
+/// Identifiers that mark a `%` right-hand operand as a bucket count.
+/// Matched by substring (`num_sets` contains `sets`); `table.len()` is
+/// matched structurally as `len` + empty parens.
+const COUNT_WORDS: [&str; 5] = ["sets", "ways", "entries", "buckets", "capacity"];
+
+/// A raw rule hit before allow-filtering.
+struct Hit {
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+/// Run all rules over one parsed file, appending surviving findings.
+pub fn lint_file(pf: &ParsedFile, allows: &Allows, out: &mut Vec<Finding>) {
+    let rel = &pf.source.rel;
+    let mut hits: Vec<Hit> = Vec::new();
+
+    // Annotation hygiene: unjustified or unknown-rule annotations are
+    // findings themselves and never suppress anything.
+    for ann in &allows.annotations {
+        if ann.active() {
+            continue;
+        }
+        let (rule, message) = if ann.known {
+            (
+                RULES
+                    .iter()
+                    .find(|r| **r == ann.rule)
+                    .copied()
+                    .unwrap_or("unknown-rule"),
+                "allow-annotation without a `: justification`".to_string(),
+            )
+        } else {
+            (
+                "unknown-rule",
+                format!("allow-annotation names unknown rule `{}`", ann.rule),
+            )
+        };
+        hits.push(Hit {
+            line: ann.line,
+            rule,
+            message,
+        });
+    }
+
+    // Rule 3: forbid(unsafe_code) inner attribute, every file class.
+    let has_forbid = pf
+        .ast
+        .attrs
+        .iter()
+        .any(|a| a.is("forbid") && a.arg_mentions("unsafe_code"));
+    if !has_forbid {
+        hits.push(Hit {
+            line: 1,
+            rule: "forbid-unsafe",
+            message: "missing `#![forbid(unsafe_code)]` header".into(),
+        });
+    }
+
+    // Expression rules, scoped by class; a `#![cfg(test)]` file is all
+    // test code.
+    let file_is_test = pf.ast.attrs.iter().any(is_test_attr);
+    if pf.source.class != FileClass::IntegrationTest && !file_is_test {
+        let hot = pf.source.class == FileClass::Library && is_hot_path(rel);
+        let helper = is_index_helper(rel);
+        visit_streams(&pf.ast.items, &mut |stream| {
+            if hot {
+                scan_no_panic(stream, &mut hits);
+            }
+            if !helper {
+                scan_pow2_mask(stream, &mut hits);
+                scan_checked_index(stream, &mut hits);
+            }
+        });
+    }
+
+    // At most one finding per (rule, line), as the line scanner reported.
+    hits.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    hits.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    for hit in hits {
+        if allows.suppresses(hit.rule, hit.line) {
+            continue;
+        }
+        out.push(Finding {
+            file: rel.clone(),
+            line: hit.line,
+            rule: hit.rule,
+            message: hit.message,
+        });
+    }
+}
+
+fn is_test_attr(a: &Attribute) -> bool {
+    a.is("cfg") && a.arg_mentions("test")
+}
+
+/// Visit every expression-bearing token stream of an item tree, skipping
+/// `#[cfg(test)]` subtrees exactly.
+fn visit_streams(items: &[Item], f: &mut dyn FnMut(&[TokenTree])) {
+    for item in items {
+        if item.attrs().iter().any(is_test_attr) {
+            continue;
+        }
+        match item {
+            Item::Fn(i) => {
+                f(&i.sig);
+                if let Some(body) = &i.body {
+                    f(&body.stream);
+                }
+            }
+            Item::Const(i) => {
+                f(&i.ty);
+                f(&i.expr);
+            }
+            Item::Struct(i) => {
+                for field in &i.fields {
+                    f(&field.ty);
+                }
+            }
+            Item::Enum(i) => {
+                for v in &i.variants {
+                    f(&v.fields);
+                }
+            }
+            Item::Impl(i) => visit_streams(&i.items, f),
+            Item::Trait(i) => visit_streams(&i.items, f),
+            Item::Mod(i) => {
+                if let Some(content) = &i.content {
+                    visit_streams(content, f);
+                }
+            }
+            Item::Other(i) => f(&i.tokens),
+        }
+    }
+}
+
+/// Rule 1: `.unwrap()` / `.expect(…)` method calls, at any nesting depth.
+fn scan_no_panic(stream: &[TokenTree], hits: &mut Vec<Hit>) {
+    for (i, t) in stream.iter().enumerate() {
+        if let TokenTree::Group(g) = t {
+            scan_no_panic(&g.stream, hits);
+        }
+        if !t.is_punct(".") {
+            continue;
+        }
+        let Some(name) = stream.get(i + 1).and_then(TokenTree::ident) else {
+            continue;
+        };
+        if (name == "unwrap" || name == "expect")
+            && stream
+                .get(i + 2)
+                .is_some_and(|n| n.group(Delimiter::Parenthesis).is_some())
+        {
+            hits.push(Hit {
+                line: stream[i + 1].span().line,
+                rule: "no-panic",
+                message: format!(
+                    "`.{name}(…)` in a simulator hot path; use a checked \
+                     fallback or debug_assert!"
+                ),
+            });
+        }
+    }
+}
+
+/// Rule 2: `%` whose right-hand operand mentions a bucket count. The
+/// right-hand side extends to the next comparison/assignment/statement
+/// boundary at the same nesting depth.
+fn scan_pow2_mask(stream: &[TokenTree], hits: &mut Vec<Hit>) {
+    for (i, t) in stream.iter().enumerate() {
+        if let TokenTree::Group(g) = t {
+            scan_pow2_mask(&g.stream, hits);
+        }
+        if !t.is_punct("%") {
+            continue;
+        }
+        let mut j = i + 1;
+        while let Some(rhs) = stream.get(j) {
+            if ends_rhs(rhs) {
+                break;
+            }
+            if let Some(word) = count_word_at(stream, j) {
+                hits.push(Hit {
+                    line: t.span().line,
+                    rule: "pow2-mask",
+                    message: format!(
+                        "raw `% {word}` indexing; use fe_cache::index::mask \
+                         (power-of-two bucket counts)"
+                    ),
+                });
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Tokens that terminate a `%` right-hand operand: statement/item
+/// boundaries, assignments and comparisons (incl. shifts, which share
+/// the `<`/`>` spellings).
+fn ends_rhs(t: &TokenTree) -> bool {
+    match t {
+        TokenTree::Punct(p) => p
+            .text
+            .chars()
+            .any(|c| matches!(c, ';' | ',' | '=' | '<' | '>')),
+        TokenTree::Group(g) => g.delimiter == Delimiter::Brace,
+        _ => false,
+    }
+}
+
+/// If the token at `j` mentions a bucket count — a count-word
+/// identifier, a `len()` call, or a group containing either — the
+/// offending spelling.
+fn count_word_at(stream: &[TokenTree], j: usize) -> Option<String> {
+    match &stream[j] {
+        TokenTree::Ident(id) => {
+            if COUNT_WORDS.iter().any(|w| id.text.contains(w)) {
+                Some(id.text.clone())
+            } else if id.text == "len"
+                && stream
+                    .get(j + 1)
+                    .and_then(|n| n.group(Delimiter::Parenthesis))
+                    .is_some_and(|g| g.stream.is_empty())
+            {
+                Some("len()".into())
+            } else {
+                None
+            }
+        }
+        TokenTree::Group(g) => count_word_in(&g.stream),
+        _ => None,
+    }
+}
+
+/// First bucket-count mention anywhere inside a stream.
+fn count_word_in(stream: &[TokenTree]) -> Option<String> {
+    (0..stream.len()).find_map(|j| count_word_at(stream, j))
+}
+
+/// Rule 4: `as usize`/`as u32`/`as u16`/`as u8` casts anywhere inside an
+/// index expression (`expr[…]`). Brackets in type or array-literal
+/// position are not index expressions and are ignored.
+fn scan_checked_index(stream: &[TokenTree], hits: &mut Vec<Hit>) {
+    for (i, t) in stream.iter().enumerate() {
+        let TokenTree::Group(g) = t else {
+            continue;
+        };
+        if g.delimiter == Delimiter::Bracket && i > 0 && is_indexable_tail(&stream[i - 1]) {
+            scan_narrowing_cast(&g.stream, hits);
+        }
+        scan_checked_index(&g.stream, hits);
+    }
+}
+
+/// Whether a token can end an expression that a following `[…]` would
+/// index — an identifier (not a keyword that introduces a type or
+/// pattern position), a literal, or any closed group.
+fn is_indexable_tail(t: &TokenTree) -> bool {
+    const NON_EXPR_KEYWORDS: [&str; 24] = [
+        "mut", "ref", "dyn", "as", "in", "if", "else", "match", "return", "break", "continue",
+        "move", "loop", "while", "for", "impl", "fn", "where", "let", "pub", "use", "static",
+        "const", "unsafe",
+    ];
+    match t {
+        TokenTree::Ident(id) => !NON_EXPR_KEYWORDS.contains(&id.text.as_str()),
+        TokenTree::Literal(_) | TokenTree::Group(_) => true,
+        TokenTree::Punct(_) | TokenTree::Lifetime(_) => false,
+    }
+}
+
+/// Narrowing `as` casts at any depth inside an index group.
+fn scan_narrowing_cast(stream: &[TokenTree], hits: &mut Vec<Hit>) {
+    const NARROW: [&str; 4] = ["usize", "u32", "u16", "u8"];
+    for (i, t) in stream.iter().enumerate() {
+        if let TokenTree::Group(g) = t {
+            scan_narrowing_cast(&g.stream, hits);
+        }
+        if t.is_ident("as")
+            && stream
+                .get(i + 1)
+                .and_then(TokenTree::ident)
+                .is_some_and(|n| NARROW.contains(&n))
+        {
+            hits.push(Hit {
+                line: t.span().line,
+                rule: "checked-index",
+                message: "narrowing `as` cast inside an index expression; \
+                          route it through fe_cache::index::{idx, mask}"
+                    .into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits_for(src: &str, scan: fn(&[TokenTree], &mut Vec<Hit>)) -> Vec<(usize, &'static str)> {
+        let ast = syn::parse_file(src).expect("fixture parses");
+        let mut hits = Vec::new();
+        visit_streams(&ast.items, &mut |stream| scan(stream, &mut hits));
+        let mut keys: Vec<_> = hits.iter().map(|h| (h.line, h.rule)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    #[test]
+    fn no_panic_matches_calls_not_text() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   let s = \".unwrap()\";\n\
+                   let v = x.unwrap();\n\
+                   let w = x.expect(\"reason\");\n\
+                   let n = x.unwrap_or(0);\n\
+                   v + w + n\n}\n";
+        assert_eq!(
+            hits_for(src, scan_no_panic),
+            [(3, "no-panic"), (4, "no-panic")]
+        );
+    }
+
+    #[test]
+    fn pow2_mask_matches_count_operands() {
+        let src = "fn f(block: u64, i: usize, t: Vec<u8>, num_sets: u64) {\n\
+                   let a = block % num_sets;\n\
+                   let b = i % t.len();\n\
+                   let c = (i + 1) % (self_capacity());\n\
+                   let even = i % 2 == 0;\n\
+                   let d = i % compute(num_entries, 3);\n\
+                   }\n";
+        assert_eq!(
+            hits_for(src, scan_pow2_mask),
+            [
+                (2, "pow2-mask"),
+                (3, "pow2-mask"),
+                (4, "pow2-mask"),
+                (6, "pow2-mask")
+            ]
+        );
+    }
+
+    #[test]
+    fn pow2_mask_rhs_stops_at_boundaries() {
+        // The count word is left of the `%` or beyond a comparison: clean.
+        let src = "fn f(num_sets: u64, x: u64) {\n\
+                   let a = num_sets % x;\n\
+                   let b = x % 7 < num_sets;\n\
+                   }\n";
+        assert!(hits_for(src, scan_pow2_mask).is_empty());
+    }
+
+    #[test]
+    fn checked_index_requires_index_position() {
+        let src = "fn f(tags: &[u64], addr: u64, k: u8) {\n\
+                   let a = tags[(addr >> 6) as usize];\n\
+                   let t: [u64; 4] = [0; 4];\n\
+                   let i = addr as usize;\n\
+                   let b = tags[i];\n\
+                   let c = t[usize::from(k)];\n\
+                   let d = nested[outer[k as usize]];\n\
+                   }\n";
+        assert_eq!(
+            hits_for(src, scan_checked_index),
+            [(2, "checked-index"), (7, "checked-index")]
+        );
+    }
+
+    #[test]
+    fn cfg_test_subtrees_are_exact() {
+        let src = "fn hot(x: Option<u8>) { let _ = x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn t(x: Option<u8>) { x.unwrap(); } }\n\
+                   fn also_hot(x: Option<u8>) { let _ = x.expect(\"y\"); }\n";
+        assert_eq!(
+            hits_for(src, scan_no_panic),
+            [(1, "no-panic"), (4, "no-panic")]
+        );
+    }
+}

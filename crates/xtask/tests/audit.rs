@@ -1,0 +1,52 @@
+//! End-to-end storage-budget audit against the real workspace.
+//!
+//! These tests exercise the full extract → compute → compare path on the
+//! actual source tree and the checked-in `budgets.toml` — the same run
+//! CI performs — and then prove the comparison has teeth by perturbing
+//! every extracted parameter.
+
+#![forbid(unsafe_code)]
+
+use xtask::audit::{self, REQUIRED_PARAMS};
+use xtask::engine::Workspace;
+use xtask::minitoml;
+
+#[test]
+fn real_tree_matches_checked_in_budgets() {
+    let root = xtask::workspace_root();
+    let report = audit::run(&root, &root.join("budgets.toml")).expect("budgets.toml readable");
+    assert!(report.ok(), "audit errors: {:#?}", report.errors);
+    assert_eq!(
+        report.params.len(),
+        REQUIRED_PARAMS.len(),
+        "every canonical parameter extracted exactly once"
+    );
+    assert!(report.rows.iter().all(|r| r.ok));
+    // The headline figures must be pinned, not merely computable.
+    for key in ["ghrp.added_bits", "ghrp.added_kib", "sdbp.sampler_bits"] {
+        assert!(
+            report.rows.iter().any(|r| r.key == key),
+            "budgets.toml must pin `{key}`"
+        );
+    }
+}
+
+#[test]
+fn doubling_any_real_parameter_breaks_the_real_budget() {
+    let root = xtask::workspace_root();
+    let budgets_text =
+        std::fs::read_to_string(root.join("budgets.toml")).expect("budgets.toml readable");
+    let budgets = minitoml::parse(&budgets_text).expect("budgets.toml parses");
+    let ws = Workspace::load(&root);
+    let mut errors = Vec::new();
+    let params = audit::extract_params(&ws, &mut errors);
+    assert!(errors.is_empty(), "{errors:?}");
+    for key in REQUIRED_PARAMS {
+        let mut p = params.clone();
+        *p.get_mut(key).expect("param extracted") *= 2;
+        let mut errs = Vec::new();
+        let computed = audit::compute(&p, &mut errs);
+        audit::compare(&computed, &budgets, &mut errs);
+        assert!(!errs.is_empty(), "doubling `{key}` escaped the audit");
+    }
+}

@@ -1,0 +1,48 @@
+//! Dispatch-drift pass: negative and positive fixtures.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+
+use xtask::Finding;
+
+fn drift_findings(fixture: &str) -> Vec<Finding> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    xtask::run_lint(&root)
+        .findings
+        .into_iter()
+        .filter(|f| f.rule == "dispatch-drift")
+        .collect()
+}
+
+#[test]
+fn consistent_dispatch_is_clean() {
+    let findings = drift_findings("dispatch_ok");
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+#[test]
+fn every_drift_kind_is_reported() {
+    let findings = drift_findings("dispatch_bad");
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    let expect_one = |needle: &str| {
+        assert_eq!(
+            messages.iter().filter(|m| m.contains(needle)).count(),
+            1,
+            "expected exactly one finding mentioning `{needle}`, got {messages:?}"
+        );
+    };
+    expect_one("impl ReplacementPolicy for Extra");
+    expect_one("`AnyPolicy::Ghost` wraps `Ghost`");
+    expect_one("`AnyPolicy::Ghost` is never constructed");
+    expect_one("`PolicyKind::Ghost` is not producible");
+    assert_eq!(findings.len(), 4, "unexpected extra findings: {messages:?}");
+}
+
+#[test]
+fn corpus_without_the_trait_disables_the_pass() {
+    let findings = drift_findings("corpus");
+    assert!(findings.is_empty(), "{findings:?}");
+}

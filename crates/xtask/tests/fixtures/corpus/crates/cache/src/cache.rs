@@ -1,0 +1,69 @@
+//! Fixture: hot-path file (name ends in `cache.rs`), exercising every
+//! rule plus the comment/string/char traps the scanner must ignore.
+//! A doc comment mentioning `x % sets` must not fire pow2-mask.
+
+#![forbid(unsafe_code)]
+
+/* block comment spanning lines,
+   with `block % entries` inside —
+   invisible to the scanner */
+
+pub struct C {
+    pub num_sets: usize,
+    pub data: Vec<u64>,
+}
+
+impl C {
+    pub fn set_of(&self, block: u64) -> u64 {
+        block % self.num_sets as u64
+    }
+
+    pub fn first(&self) -> u64 {
+        *self.data.first().unwrap()
+    }
+
+    pub fn tagged(&self, addr: u64) -> u64 {
+        self.data[(addr >> 6) as usize]
+    }
+
+    pub fn allowed_wrap(&self, x: u64) -> u64 {
+        // lint:allow(pow2-mask): fixture — ring-buffer wrap, any capacity legal
+        x % self.capacity()
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    pub fn display(&self) -> String {
+        format!("{}% of sets", self.num_sets)
+    }
+
+    pub fn percent(&self) -> char {
+        '%'
+    }
+
+    pub fn expected(&self) -> u64 {
+        self.data.last().copied().expect("nonempty")
+    }
+
+    pub fn lifetimes<'a>(&self, s: &'a str) -> &'a str {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panicking_asserts_are_idiomatic_here() {
+        let c = C {
+            num_sets: 4,
+            data: vec![1],
+        };
+        assert_eq!(*c.data.first().unwrap(), 1);
+        let _ = 5u64 % (c.num_sets as u64);
+        let _ = c.data[c.num_sets as usize - 4];
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: the canonical index helper — exempt from pow2-mask and
+//! checked-index (the audited casts live here by design).
+
+#![forbid(unsafe_code)]
+
+pub fn mask(x: u64, buckets: usize) -> usize {
+    ((x % buckets as u64) & 0xffff) as usize
+}
+
+pub fn idx(table: &[u16], i: u64) -> u16 {
+    table[(i & 0xfff) as usize]
+}

@@ -1,0 +1,21 @@
+//! Fixture: crate root that is missing the forbid-unsafe header and is
+//! not a hot path (panics allowed, indexing rules still apply).
+
+pub mod cache;
+
+pub mod policy {
+    pub mod lru;
+}
+
+pub mod index;
+
+pub fn lookup(table: &[u64], i: usize) -> u64 {
+    table[i % table.len()]
+}
+
+pub fn not_hot_so_unwrap_is_legal(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+// lint:allow(no-panic)
+pub fn annotation_above_lacks_justification() {}

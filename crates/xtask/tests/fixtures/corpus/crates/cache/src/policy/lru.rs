@@ -1,0 +1,34 @@
+//! Fixture: hot-path file (under `policy/`).
+
+#![forbid(unsafe_code)]
+
+pub struct Lru {
+    stamps: Vec<u64>,
+    ways: usize,
+}
+
+impl Lru {
+    pub fn victim(&self, set: usize) -> usize {
+        let base = set * self.ways;
+        let slice = &self.stamps[base..base + self.ways];
+        let mut best = 0;
+        for (w, &s) in slice.iter().enumerate() {
+            if s < slice[best] {
+                best = w;
+            }
+        }
+        best
+    }
+
+    pub fn wrap(&self, i: usize) -> usize {
+        i % self.stamps.len()
+    }
+
+    pub fn stamp_of(&self, way: u32) -> u64 {
+        self.stamps[way as usize]
+    }
+
+    pub fn even(&self, i: usize) -> bool {
+        i % 2 == 0
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: integration test — test context, so only forbid-unsafe
+//! applies; the unwrap and raw modulo below must not be findings.
+
+#![forbid(unsafe_code)]
+
+#[test]
+fn integration_tests_panic_freely() {
+    let sets = 4u64;
+    let v = vec![1u64, 2, 3];
+    assert_eq!(*v.first().unwrap(), 1);
+    assert_eq!(7 % sets, 3);
+    let _ = v[(sets % 3) as usize];
+}

@@ -1,0 +1,11 @@
+//! Fixture: hot path via `core/src/`.
+
+#![forbid(unsafe_code)]
+
+pub fn pick(v: &[u64]) -> u64 {
+    v.iter().copied().max().unwrap()
+}
+
+pub fn justified(v: &[u64]) -> u64 {
+    v.first().copied().unwrap() // lint:allow(no-panic): fixture — caller guarantees nonempty
+}

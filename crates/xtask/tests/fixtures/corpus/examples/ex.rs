@@ -1,0 +1,6 @@
+//! Fixture: example missing the forbid-unsafe header — the expanded
+//! collect_sources scope must surface this file.
+
+fn main() {
+    println!("fixture example");
+}

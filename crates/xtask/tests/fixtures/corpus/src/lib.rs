@@ -1,0 +1,10 @@
+//! Fixture: root-crate source, in scope for all non-hot rules.
+
+#![forbid(unsafe_code)]
+
+pub fn rel(hits: u64, total: u64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    hits as f64 / total as f64
+}

@@ -9,6 +9,8 @@
 //! cargo run --release --example custom_policy
 //! ```
 
+#![forbid(unsafe_code)]
+
 use ghrp_repro::cache::{AccessContext, Cache, CacheConfig, ReplacementPolicy};
 use ghrp_repro::ghrp::{GhrpConfig, GhrpPolicy, SharedGhrp};
 use ghrp_repro::trace::fetch::FetchStream;

@@ -6,6 +6,8 @@
 //! cargo run --release --example frontend_tour
 //! ```
 
+#![forbid(unsafe_code)]
+
 use ghrp_repro::btb::{btb_config, Btb, GhrpBtbPolicy};
 use ghrp_repro::cache::{Cache, CacheConfig};
 use ghrp_repro::ghrp::{GhrpConfig, GhrpPolicy, SharedGhrp, StorageReport};

@@ -5,6 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use ghrp_repro::frontend::{policy::PolicyKind, simulator::SimConfig, Simulator};
 use ghrp_repro::trace::synth::{WorkloadCategory, WorkloadSpec};
 

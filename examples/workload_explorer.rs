@@ -8,6 +8,8 @@
 //! cargo run --release --example workload_explorer
 //! ```
 
+#![forbid(unsafe_code)]
+
 use ghrp_repro::branch::{Bimodal, DirectionPredictor, Gshare, HashedPerceptron, PredictorStats};
 use ghrp_repro::trace::io;
 use ghrp_repro::trace::synth::{WorkloadCategory, WorkloadSpec};
@@ -33,7 +35,7 @@ fn main() {
         );
         print!("  branch mix:");
         for k in BranchKind::ALL {
-            let n = stats.by_kind[k as usize];
+            let n = stats.by_kind[k.index()];
             if n > 0 {
                 print!(" {k}={:.1}%", n as f64 / stats.branches as f64 * 100.0);
             }

@@ -1,5 +1,7 @@
 //! Property-based tests for the BTB and the GHRP BTB coupling.
 
+#![forbid(unsafe_code)]
+
 use ghrp_repro::btb::{btb_config, Btb, GhrpBtbPolicy};
 use ghrp_repro::cache::policy::{Lru, ValidatingPolicy};
 use ghrp_repro::ghrp::{GhrpConfig, SharedGhrp};

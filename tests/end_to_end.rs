@@ -2,6 +2,8 @@
 //! generation → fetch reconstruction → front-end simulation → experiment
 //! aggregation.
 
+#![forbid(unsafe_code)]
+
 use ghrp_repro::frontend::{experiment, policy::PolicyKind, simulator::SimConfig, Simulator};
 use ghrp_repro::trace::synth::{suite, WorkloadCategory, WorkloadSpec};
 

@@ -8,6 +8,8 @@
 //! statistic — I-cache, BTB, branch predictor, wrong-path — matches the
 //! standalone simulator exactly, not merely within tolerance.
 
+#![forbid(unsafe_code)]
+
 use ghrp_repro::frontend::engine::{run_lanes, SliceReplay};
 use ghrp_repro::frontend::experiment::{run_trace, run_trace_legacy};
 use ghrp_repro::frontend::simulator::WrongPathConfig;

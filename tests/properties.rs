@@ -1,5 +1,7 @@
 //! Property-based tests over the core data structures and invariants.
 
+#![forbid(unsafe_code)]
+
 use ghrp_repro::cache::policy::{
     BeladyOpt, Drrip, Fifo, Lru, PolicyInvariants, RandomPolicy, Srrip, ValidatingPolicy,
 };

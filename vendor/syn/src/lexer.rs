@@ -1,0 +1,500 @@
+//! Source → token-tree lexer.
+//!
+//! Handles the full surface the workspace's sources use: line and nested
+//! block comments, doc comments (desugared to `#[doc = "…"]` /
+//! `#![doc = "…"]` token runs, as rustc does), string/char/byte/raw
+//! literals, lifetimes vs char literals, raw identifiers, numeric
+//! literals with suffixes, compound punctuation, and a leading shebang.
+//!
+//! Known simplification versus rustc: block doc comments (`/** … */`)
+//! are treated as plain comments — the workspace convention is
+//! line-style doc comments, which is what the budget auditor's marker
+//! scan relies on.
+
+#![forbid(unsafe_code)]
+
+use crate::token::{
+    Delimiter, Group, Ident, Lifetime, LitKind, Literal, Punct, Span, TokenStream, TokenTree,
+};
+use crate::Error;
+
+/// Compound operators, longest first so maximal munch is a linear scan.
+const PUNCTS: [&str; 24] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "|=", "&=", "..",
+];
+
+/// A flat token before group folding.
+enum Flat {
+    Tree(TokenTree),
+    Open(Delimiter, Span),
+    Close(Delimiter, Span),
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Lexer {
+        Lexer {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error {
+            span: self.span(),
+            msg: msg.into(),
+        }
+    }
+
+    fn is_ident_start(c: char) -> bool {
+        c.is_alphabetic() || c == '_'
+    }
+
+    fn is_ident_continue(c: char) -> bool {
+        c.is_alphanumeric() || c == '_'
+    }
+
+    /// Consume identifier characters starting at the current position.
+    fn lex_ident_text(&mut self) -> String {
+        let mut s = String::new();
+        while self.peek(0).is_some_and(Self::is_ident_continue) {
+            s.push(self.bump().unwrap_or_default());
+        }
+        s
+    }
+
+    /// Consume a `"…"` body (opening quote already consumed); returns the
+    /// raw content between the quotes (escapes uninterpreted).
+    fn lex_string_body(&mut self) -> Result<String, Error> {
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some('\\') => {
+                    s.push('\\');
+                    if let Some(c) = self.bump() {
+                        s.push(c);
+                    }
+                }
+                Some('"') => return Ok(s),
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    /// Consume a raw-string body: `#`-count already known, opening quote
+    /// consumed.
+    fn lex_raw_string_body(&mut self, hashes: usize) -> Result<String, Error> {
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated raw string literal")),
+                Some('"') => {
+                    let mut seen = 0;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        return Ok(s);
+                    }
+                    s.push('"');
+                    for _ in 0..seen {
+                        s.push('#');
+                    }
+                }
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    /// Consume a `'…'` char-literal body (opening quote consumed).
+    fn lex_char_body(&mut self) -> Result<String, Error> {
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated char literal")),
+                Some('\\') => {
+                    s.push('\\');
+                    if let Some(c) = self.bump() {
+                        s.push(c);
+                    }
+                }
+                Some('\'') => return Ok(s),
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    /// Consume a numeric literal starting at the current position.
+    fn lex_number(&mut self) -> String {
+        let mut s = String::new();
+        // Integer/identifier-ish part: digits, hex digits, suffixes,
+        // underscores and exponent letters all fall in this class.
+        while self.peek(0).is_some_and(Self::is_ident_continue) {
+            s.push(self.bump().unwrap_or_default());
+            // `1e-5` / `1E+5`: the sign belongs to the exponent.
+            if s.ends_with(['e', 'E'])
+                && !s.starts_with("0x")
+                && !s.starts_with("0b")
+                && !s.starts_with("0o")
+                // The char before the exponent marker must be numeric, so
+                // suffixed ints like `3usize` never absorb a `-`.
+                && s[..s.len() - 1]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|p| p.is_ascii_digit() || p == '_' || p == '.')
+                && matches!(self.peek(0), Some('+' | '-'))
+                && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+            {
+                s.push(self.bump().unwrap_or_default());
+            }
+        }
+        // Fractional part: a dot followed by a digit (not `..`, not a
+        // method call like `1.max(2)`).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            s.push(self.bump().unwrap_or_default());
+            while self.peek(0).is_some_and(Self::is_ident_continue) {
+                s.push(self.bump().unwrap_or_default());
+            }
+        }
+        s
+    }
+
+    /// Skip a nested block comment; the leading `/*` is already consumed.
+    fn skip_block_comment(&mut self) -> Result<(), Error> {
+        let mut depth = 1usize;
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated block comment")),
+                Some('/') if self.peek(0) == Some('*') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some('*') if self.peek(0) == Some('/') => {
+                    self.bump();
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Emit the desugared attribute tokens for a doc comment.
+    fn push_doc(out: &mut Vec<Flat>, span: Span, inner: bool, text: &str) {
+        out.push(Flat::Tree(TokenTree::Punct(Punct {
+            text: "#".into(),
+            span,
+        })));
+        if inner {
+            out.push(Flat::Tree(TokenTree::Punct(Punct {
+                text: "!".into(),
+                span,
+            })));
+        }
+        out.push(Flat::Open(Delimiter::Bracket, span));
+        out.push(Flat::Tree(TokenTree::Ident(Ident {
+            text: "doc".into(),
+            span,
+        })));
+        out.push(Flat::Tree(TokenTree::Punct(Punct {
+            text: "=".into(),
+            span,
+        })));
+        out.push(Flat::Tree(TokenTree::Literal(Literal {
+            text: format!("{text:?}"),
+            cooked: text.to_string(),
+            kind: LitKind::Str,
+            span,
+        })));
+        out.push(Flat::Close(Delimiter::Bracket, span));
+    }
+
+    fn lex_flat(&mut self) -> Result<Vec<Flat>, Error> {
+        let mut out = Vec::new();
+        // Shebang: `#!` on line 1 not followed by `[`.
+        if self.peek(0) == Some('#') && self.peek(1) == Some('!') && self.peek(2) != Some('[') {
+            while self.peek(0).is_some_and(|c| c != '\n') {
+                self.bump();
+            }
+        }
+        while let Some(c) = self.peek(0) {
+            let span = self.span();
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => {
+                    self.bump();
+                    self.bump();
+                    let (doc_inner, doc_outer) = match (self.peek(0), self.peek(1)) {
+                        (Some('!'), _) => (true, false),
+                        // `////…` is an ordinary comment, `///` is doc.
+                        (Some('/'), next) => (false, next != Some('/')),
+                        _ => (false, false),
+                    };
+                    if doc_inner || doc_outer {
+                        self.bump(); // the `!` or third `/`
+                    }
+                    let mut text = String::new();
+                    while self.peek(0).is_some_and(|c| c != '\n') {
+                        text.push(self.bump().unwrap_or_default());
+                    }
+                    if doc_inner || doc_outer {
+                        let text = text.strip_prefix(' ').unwrap_or(&text).to_string();
+                        Self::push_doc(&mut out, span, doc_inner, &text);
+                    }
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    self.skip_block_comment()?;
+                }
+                '\'' => {
+                    self.bump();
+                    // Lifetime: `'ident` not closed by a quote right after
+                    // one character. Char literal otherwise.
+                    let is_char = self.peek(0) == Some('\\')
+                        || (self.peek(1) == Some('\'') && self.peek(0) != Some('\''));
+                    if is_char {
+                        let body = self.lex_char_body()?;
+                        out.push(Flat::Tree(TokenTree::Literal(Literal {
+                            text: format!("'{body}'"),
+                            cooked: body,
+                            kind: LitKind::Char,
+                            span,
+                        })));
+                    } else if self.peek(0).is_some_and(Self::is_ident_start) {
+                        let name = self.lex_ident_text();
+                        out.push(Flat::Tree(TokenTree::Lifetime(Lifetime {
+                            text: name,
+                            span,
+                        })));
+                    } else {
+                        return Err(self.err("expected char literal or lifetime after `'`"));
+                    }
+                }
+                '"' => {
+                    self.bump();
+                    let body = self.lex_string_body()?;
+                    out.push(Flat::Tree(TokenTree::Literal(Literal {
+                        text: format!("\"{body}\""),
+                        cooked: body,
+                        kind: LitKind::Str,
+                        span,
+                    })));
+                }
+                _ if c.is_ascii_digit() => {
+                    let text = self.lex_number();
+                    out.push(Flat::Tree(TokenTree::Literal(Literal {
+                        cooked: text.clone(),
+                        text,
+                        kind: LitKind::Number,
+                        span,
+                    })));
+                }
+                _ if Self::is_ident_start(c) => {
+                    let text = self.lex_ident_text();
+                    self.lex_after_ident(text, span, &mut out)?;
+                }
+                '(' => {
+                    self.bump();
+                    out.push(Flat::Open(Delimiter::Parenthesis, span));
+                }
+                ')' => {
+                    self.bump();
+                    out.push(Flat::Close(Delimiter::Parenthesis, span));
+                }
+                '[' => {
+                    self.bump();
+                    out.push(Flat::Open(Delimiter::Bracket, span));
+                }
+                ']' => {
+                    self.bump();
+                    out.push(Flat::Close(Delimiter::Bracket, span));
+                }
+                '{' => {
+                    self.bump();
+                    out.push(Flat::Open(Delimiter::Brace, span));
+                }
+                '}' => {
+                    self.bump();
+                    out.push(Flat::Close(Delimiter::Brace, span));
+                }
+                _ => {
+                    let text = self.lex_punct()?;
+                    out.push(Flat::Tree(TokenTree::Punct(Punct { text, span })));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// An identifier was just consumed; decide whether it prefixes a
+    /// string/char literal (`r"…"`, `b'…'`, `r#raw_ident`, …).
+    fn lex_after_ident(
+        &mut self,
+        text: String,
+        span: Span,
+        out: &mut Vec<Flat>,
+    ) -> Result<(), Error> {
+        let next = self.peek(0);
+        match (text.as_str(), next) {
+            // Raw identifier `r#ident`.
+            ("r", Some('#')) if self.peek(1).is_some_and(Self::is_ident_start) => {
+                self.bump(); // '#'
+                let name = self.lex_ident_text();
+                out.push(Flat::Tree(TokenTree::Ident(Ident { text: name, span })));
+            }
+            // Raw strings: r"…", r#"…"#, br#"…"#, cr"…", …
+            ("r" | "br" | "cr", Some('"' | '#')) => {
+                let mut hashes = 0usize;
+                while self.peek(0) == Some('#') {
+                    self.bump();
+                    hashes += 1;
+                }
+                if self.peek(0) != Some('"') {
+                    return Err(self.err("expected `\"` after raw-string prefix"));
+                }
+                self.bump();
+                let body = self.lex_raw_string_body(hashes)?;
+                out.push(Flat::Tree(TokenTree::Literal(Literal {
+                    text: format!("{text}\"{body}\""),
+                    cooked: body,
+                    kind: LitKind::Str,
+                    span,
+                })));
+            }
+            // Byte / C strings with escapes: b"…", c"…".
+            ("b" | "c", Some('"')) => {
+                self.bump();
+                let body = self.lex_string_body()?;
+                out.push(Flat::Tree(TokenTree::Literal(Literal {
+                    text: format!("{text}\"{body}\""),
+                    cooked: body,
+                    kind: LitKind::Str,
+                    span,
+                })));
+            }
+            // Byte char b'…'.
+            ("b", Some('\'')) => {
+                self.bump();
+                let body = self.lex_char_body()?;
+                out.push(Flat::Tree(TokenTree::Literal(Literal {
+                    text: format!("b'{body}'"),
+                    cooked: body,
+                    kind: LitKind::Char,
+                    span,
+                })));
+            }
+            _ => out.push(Flat::Tree(TokenTree::Ident(Ident { text, span }))),
+        }
+        Ok(())
+    }
+
+    /// Maximal-munch punctuation.
+    fn lex_punct(&mut self) -> Result<String, Error> {
+        for p in PUNCTS {
+            if p.chars()
+                .enumerate()
+                .all(|(k, pc)| self.peek(k) == Some(pc))
+            {
+                for _ in 0..p.chars().count() {
+                    self.bump();
+                }
+                return Ok(p.to_string());
+            }
+        }
+        let c = self.bump().ok_or_else(|| self.err("unexpected EOF"))?;
+        if "+-*/%^!&|<>=.,;:#$?@~".contains(c) {
+            Ok(c.to_string())
+        } else {
+            Err(Error {
+                span: self.span(),
+                msg: format!("unexpected character `{c}`"),
+            })
+        }
+    }
+}
+
+/// Lex `src` into a token tree.
+///
+/// # Errors
+///
+/// Returns an [`Error`] with the offending span on unterminated
+/// literals/comments, unbalanced delimiters, or characters outside the
+/// Rust token grammar.
+pub fn lex(src: &str) -> Result<TokenStream, Error> {
+    let flat = Lexer::new(src).lex_flat()?;
+    // Fold Open/Close runs into nested groups.
+    let mut stack: Vec<(Delimiter, Span, TokenStream)> = Vec::new();
+    let mut current: TokenStream = Vec::new();
+    for tok in flat {
+        match tok {
+            Flat::Tree(t) => current.push(t),
+            Flat::Open(d, span) => {
+                stack.push((d, span, std::mem::take(&mut current)));
+            }
+            Flat::Close(d, span) => {
+                let Some((open_d, open_span, parent)) = stack.pop() else {
+                    return Err(Error {
+                        span,
+                        msg: "unmatched closing delimiter".into(),
+                    });
+                };
+                if open_d != d {
+                    return Err(Error {
+                        span,
+                        msg: format!("mismatched delimiter (opened at {open_span})"),
+                    });
+                }
+                let group = Group {
+                    delimiter: d,
+                    stream: std::mem::take(&mut current),
+                    span: open_span,
+                };
+                current = parent;
+                current.push(TokenTree::Group(group));
+            }
+        }
+    }
+    if let Some((_, span, _)) = stack.pop() {
+        return Err(Error {
+            span,
+            msg: "unclosed delimiter".into(),
+        });
+    }
+    Ok(current)
+}

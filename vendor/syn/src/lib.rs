@@ -1,0 +1,278 @@
+//! Offline stand-in for `syn`.
+//!
+//! The build environment has no network access to crates.io, so — like
+//! the other `vendor/` crates — this is a minimal API-compatible
+//! replacement covering exactly the surface the workspace uses: the
+//! `crates/xtask` semantic analysis engine. It provides
+//!
+//! * a span-carrying lexer ([`lexer::lex`]) producing nested token
+//!   trees ([`TokenTree`], [`Group`]) with comments stripped, doc
+//!   comments desugared to `#[doc = "…"]`, and string/char/lifetime
+//!   disambiguation done once, correctly, instead of per-rule text
+//!   heuristics;
+//! * an item-level parser ([`parse_file`]) producing a typed [`File`] of
+//!   [`Item`]s — structs with fields, enums with variants, impl blocks
+//!   with trait/self-type names and associated items, functions with
+//!   bodies, consts with initializer expressions, nested modules — with
+//!   attributes (including `#[cfg(test)]` and doc text) attached.
+//!
+//! Differences from real `syn` are deliberate simplifications:
+//! expressions stay as token streams (the engine pattern-matches tokens
+//! rather than a full expression AST), compound punctuation is one
+//! token, and unrecognized item forms degrade to [`Item::Other`] instead
+//! of erroring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+mod parse;
+mod token;
+
+pub use parse::{
+    parse_file, split_top_level, Attribute, Field, File, Item, ItemConst, ItemEnum, ItemFn,
+    ItemImpl, ItemMod, ItemOther, ItemStruct, ItemTrait, Variant,
+};
+pub use token::{
+    stream_to_string, Delimiter, Group, Ident, Lifetime, LitKind, Literal, Punct, Span,
+    TokenStream, TokenTree,
+};
+
+use std::fmt;
+
+/// A lexical error with its source position.
+#[derive(Debug, Clone)]
+pub struct Error {
+    /// Where the problem was detected.
+    pub span: Span,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(stream: &[TokenTree]) -> Vec<String> {
+        stream
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn lexes_comments_strings_chars_lifetimes() {
+        let hash = "#";
+        let src = format!(
+            "// line comment with % sets\n\
+             /* block /* nested */ with % entries */\n\
+             fn f<'a>(s: &'a str) -> char {{\n\
+                 let _p = \"100% of sets\";\n\
+                 let _r = r{hash}\"raw % ways\"{hash};\n\
+                 '%'\n\
+             }}\n"
+        );
+        let toks = lexer::lex(&src).expect("lexes");
+        // The `%` signs all live in comments, string literals or the char
+        // literal — none may surface as a punctuation token.
+        fn count_puncts(stream: &[TokenTree], text: &str) -> usize {
+            stream
+                .iter()
+                .map(|t| match t {
+                    TokenTree::Punct(p) if p.text == text => 1,
+                    TokenTree::Group(g) => count_puncts(&g.stream, text),
+                    _ => 0,
+                })
+                .sum()
+        }
+        fn has_ident(stream: &[TokenTree], name: &str) -> bool {
+            stream.iter().any(|t| match t {
+                TokenTree::Ident(i) => i.text == name,
+                TokenTree::Group(g) => has_ident(&g.stream, name),
+                _ => false,
+            })
+        }
+        assert_eq!(count_puncts(&toks, "%"), 0);
+        assert!(!has_ident(&toks, "sets"), "comment words leaked as idents");
+        assert!(!has_ident(&toks, "entries"), "block comment leaked");
+        let text = stream_to_string(&toks);
+        assert!(text.contains("'a"), "lifetime lost: {text}");
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let toks = lexer::lex("let c = 'x'; fn f<'long>(v: &'long u8) {}").expect("lexes");
+        let has_char = toks
+            .iter()
+            .any(|t| matches!(t, TokenTree::Literal(l) if l.kind == LitKind::Char));
+        assert!(has_char);
+        let flat = stream_to_string(&toks);
+        assert!(flat.contains("'long"));
+    }
+
+    #[test]
+    fn doc_comments_become_doc_attrs() {
+        let f = parse_file("/// budget-key: a.b\npub const X: u32 = 4;\n").expect("parses");
+        let Item::Const(c) = &f.items[0] else {
+            panic!("expected const, got {:?}", f.items[0]);
+        };
+        assert_eq!(c.ident.text, "X");
+        assert_eq!(c.attrs.len(), 1);
+        assert_eq!(c.attrs[0].doc_text(), Some("budget-key: a.b"));
+        assert_eq!(stream_to_string(&c.expr), "4");
+    }
+
+    #[test]
+    fn inner_attrs_and_shebang() {
+        let f = parse_file("#!/usr/bin/env rust\n#![forbid(unsafe_code)]\n//! docs\nfn main() {}")
+            .expect("parses");
+        assert!(f
+            .attrs
+            .iter()
+            .any(|a| a.is("forbid") && a.arg_mentions("unsafe_code")));
+        assert!(f.attrs.iter().any(|a| a.is("doc")));
+        assert_eq!(f.items.len(), 1);
+    }
+
+    #[test]
+    fn struct_fields_and_enum_variants() {
+        let src = "
+            pub struct S {
+                /// docs
+                pub a: u64,
+                b: Vec<(u32, u32)>,
+            }
+            struct T(u8, pub u16);
+            struct U;
+            enum E { A, B(u32), C { x: u8 }, D = 3 }
+        ";
+        let f = parse_file(src).expect("parses");
+        let Item::Struct(s) = &f.items[0] else {
+            panic!("S");
+        };
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(
+            s.fields[0].ident.as_ref().map(|i| i.text.as_str()),
+            Some("a")
+        );
+        let Item::Struct(t) = &f.items[1] else {
+            panic!("T");
+        };
+        assert_eq!(t.fields.len(), 2);
+        assert!(t.fields.iter().all(|fd| fd.ident.is_none()));
+        let Item::Struct(u) = &f.items[2] else {
+            panic!("U");
+        };
+        assert!(u.fields.is_empty());
+        let Item::Enum(e) = &f.items[3] else {
+            panic!("E");
+        };
+        let names: Vec<_> = e.variants.iter().map(|v| v.ident.text.clone()).collect();
+        assert_eq!(names, ["A", "B", "C", "D"]);
+        assert_eq!(idents(&e.variants[1].fields), ["u32"]);
+    }
+
+    #[test]
+    fn impl_blocks_trait_and_self_names() {
+        let src = "
+            impl Cache<P> { fn inherent(&self) {} }
+            impl ReplacementPolicy for AnyPolicy { fn on_access(&mut self) {} }
+            impl<P: ReplacementPolicy> ReplacementPolicy for ValidatingPolicy<P> {}
+            impl fe_cache::ReplacementPolicy for GhrpPolicy {}
+        ";
+        let f = parse_file(src).expect("parses");
+        let Item::Impl(a) = &f.items[0] else { panic!() };
+        assert_eq!(a.trait_name, None);
+        assert_eq!(a.self_ty_name.as_deref(), Some("Cache"));
+        assert!(!a.is_generic);
+        assert_eq!(a.items.len(), 1);
+        let Item::Impl(b) = &f.items[1] else { panic!() };
+        assert_eq!(b.trait_name.as_deref(), Some("ReplacementPolicy"));
+        assert_eq!(b.self_ty_name.as_deref(), Some("AnyPolicy"));
+        let Item::Impl(c) = &f.items[2] else { panic!() };
+        assert!(c.is_generic);
+        assert_eq!(c.self_ty_name.as_deref(), Some("ValidatingPolicy"));
+        let Item::Impl(d) = &f.items[3] else { panic!() };
+        assert_eq!(d.trait_name.as_deref(), Some("ReplacementPolicy"));
+        assert_eq!(d.self_ty_name.as_deref(), Some("GhrpPolicy"));
+    }
+
+    #[test]
+    fn cfg_test_modules_nest() {
+        let src = "
+            fn hot() {}
+            #[cfg(test)]
+            mod tests {
+                use super::*;
+                #[test]
+                fn t() { hot(); }
+            }
+        ";
+        let f = parse_file(src).expect("parses");
+        let Item::Mod(m) = &f.items[1] else { panic!() };
+        assert!(m
+            .attrs
+            .iter()
+            .any(|a| a.is("cfg") && a.arg_mentions("test")));
+        assert_eq!(m.content.as_ref().map(Vec::len), Some(2));
+    }
+
+    #[test]
+    fn macros_and_uses_survive_as_other() {
+        let src = "
+            use std::collections::HashMap;
+            macro_rules! dispatch { ($x:expr) => { $x }; }
+            static GLOBAL: [u8; 4] = [0; 4];
+            type Alias = HashMap<u64, u64>;
+            fn after() {}
+        ";
+        let f = parse_file(src).expect("parses");
+        assert_eq!(f.items.len(), 5);
+        assert!(matches!(f.items[0], Item::Other(_)));
+        assert!(matches!(f.items[1], Item::Other(_)));
+        assert!(matches!(
+            f.items[2],
+            Item::Const(ItemConst {
+                is_static: true,
+                ..
+            })
+        ));
+        assert!(matches!(f.items[3], Item::Other(_)));
+        assert!(matches!(f.items[4], Item::Fn(_)));
+    }
+
+    #[test]
+    fn const_generics_and_shifts_do_not_derail() {
+        let src = "
+            pub const MASK: u64 = (1u64 << 12) - 1;
+            fn shr(x: u64) -> u64 { x >> 3 }
+            struct W<const N: usize> { data: [u64; N] }
+        ";
+        let f = parse_file(src).expect("parses");
+        let Item::Const(c) = &f.items[0] else {
+            panic!()
+        };
+        assert_eq!(stream_to_string(&c.expr), "(1u64 << 12) - 1");
+        assert!(matches!(f.items[1], Item::Fn(_)));
+        let Item::Struct(w) = &f.items[2] else {
+            panic!()
+        };
+        assert_eq!(w.fields.len(), 1);
+    }
+
+    #[test]
+    fn lex_error_reports_span() {
+        let err = lexer::lex("fn broken( {").expect_err("unbalanced");
+        assert!(err.span.line >= 1);
+        let err2 = parse_file("let s = \"unterminated").expect_err("unterminated");
+        assert!(err2.msg.contains("unterminated"));
+    }
+}

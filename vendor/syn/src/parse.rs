@@ -1,0 +1,936 @@
+//! Token tree → typed items.
+//!
+//! A tolerant item-level parser: the item kinds the analysis engine
+//! inspects (`struct`, `enum`, `impl`, `fn`, `const`/`static`, `mod`,
+//! `trait`) are parsed into typed nodes; everything else (`use`, `type`,
+//! macro definitions/invocations, `extern` blocks) is preserved as
+//! [`ItemOther`] with its raw token stream, so token-level rule passes
+//! still see every token of the file exactly once.
+
+#![forbid(unsafe_code)]
+
+use crate::token::{Delimiter, Group, Ident, LitKind, Span, TokenStream, TokenTree};
+use crate::{lexer, Error};
+
+/// A parsed source file.
+#[derive(Debug, Clone)]
+pub struct File {
+    /// Inner attributes (`#![…]`), including desugared `//!` docs.
+    pub attrs: Vec<Attribute>,
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// One attribute, inner or outer.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// `true` for `#![…]`.
+    pub inner: bool,
+    /// The attribute path (e.g. `doc`, `cfg`, `derive`, `allow`).
+    pub path: String,
+    /// Tokens after the path (a parenthesized group, or `= literal`).
+    pub tokens: TokenStream,
+    /// Source position of the `#`.
+    pub span: Span,
+}
+
+impl Attribute {
+    /// Whether the attribute path is `name`.
+    pub fn is(&self, name: &str) -> bool {
+        self.path == name
+    }
+
+    /// For `#[doc = "…"]`: the documentation text.
+    pub fn doc_text(&self) -> Option<&str> {
+        if self.path != "doc" {
+            return None;
+        }
+        match self.tokens.as_slice() {
+            [eq, TokenTree::Literal(l)] if eq.is_punct("=") && l.kind == LitKind::Str => {
+                Some(&l.cooked)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the attribute's argument list mentions `ident` at any
+    /// nesting depth — `attr.is("cfg") && attr.arg_mentions("test")`
+    /// detects `#[cfg(test)]`, `#[cfg(all(test, …))]`, ….
+    pub fn arg_mentions(&self, ident: &str) -> bool {
+        fn walk(stream: &[TokenTree], ident: &str) -> bool {
+            stream.iter().any(|tt| match tt {
+                TokenTree::Ident(i) => i.text == ident,
+                TokenTree::Group(g) => walk(&g.stream, ident),
+                _ => false,
+            })
+        }
+        walk(&self.tokens, ident)
+    }
+}
+
+/// A top-level (or impl-/trait-/mod-nested) item.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// `struct` or `union`.
+    Struct(ItemStruct),
+    /// `enum`.
+    Enum(ItemEnum),
+    /// `impl` block.
+    Impl(ItemImpl),
+    /// Free or associated `fn`.
+    Fn(ItemFn),
+    /// `const` or `static` item.
+    Const(ItemConst),
+    /// `mod`, inline or out-of-line.
+    Mod(ItemMod),
+    /// `trait` definition.
+    Trait(ItemTrait),
+    /// Anything else, kept as raw tokens.
+    Other(ItemOther),
+}
+
+impl Item {
+    /// The item's outer attributes.
+    pub fn attrs(&self) -> &[Attribute] {
+        match self {
+            Item::Struct(i) => &i.attrs,
+            Item::Enum(i) => &i.attrs,
+            Item::Impl(i) => &i.attrs,
+            Item::Fn(i) => &i.attrs,
+            Item::Const(i) => &i.attrs,
+            Item::Mod(i) => &i.attrs,
+            Item::Trait(i) => &i.attrs,
+            Item::Other(i) => &i.attrs,
+        }
+    }
+
+    /// The item's source position.
+    pub fn span(&self) -> Span {
+        match self {
+            Item::Struct(i) => i.span,
+            Item::Enum(i) => i.span,
+            Item::Impl(i) => i.span,
+            Item::Fn(i) => i.span,
+            Item::Const(i) => i.span,
+            Item::Mod(i) => i.span,
+            Item::Trait(i) => i.span,
+            Item::Other(i) => i.span,
+        }
+    }
+}
+
+/// One struct/union field.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field attributes (including doc comments).
+    pub attrs: Vec<Attribute>,
+    /// Field name; `None` for tuple-struct fields.
+    pub ident: Option<Ident>,
+    /// The field type, as raw tokens.
+    pub ty: TokenStream,
+}
+
+/// A `struct` or `union` item.
+#[derive(Debug, Clone)]
+pub struct ItemStruct {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Type name.
+    pub ident: Ident,
+    /// Fields (empty for unit structs).
+    pub fields: Vec<Field>,
+    /// Source position of the introducing keyword.
+    pub span: Span,
+}
+
+/// One enum variant.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Variant attributes (including doc comments).
+    pub attrs: Vec<Attribute>,
+    /// Variant name.
+    pub ident: Ident,
+    /// Payload tokens: the `(…)`/`{…}` group contents, empty for unit
+    /// variants.
+    pub fields: TokenStream,
+}
+
+/// An `enum` item.
+#[derive(Debug, Clone)]
+pub struct ItemEnum {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Type name.
+    pub ident: Ident,
+    /// Variants in source order.
+    pub variants: Vec<Variant>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// An `impl` block.
+#[derive(Debug, Clone)]
+pub struct ItemImpl {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Whether the impl has generic parameters (`impl<…>`).
+    pub is_generic: bool,
+    /// For trait impls, the trait's (unqualified) name.
+    pub trait_name: Option<String>,
+    /// The self type, as raw tokens.
+    pub self_ty: TokenStream,
+    /// The self type's principal path name (`Cache` for `Cache<P>`).
+    pub self_ty_name: Option<String>,
+    /// Associated items.
+    pub items: Vec<Item>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A free or associated function.
+#[derive(Debug, Clone)]
+pub struct ItemFn {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Function name.
+    pub ident: Ident,
+    /// Signature tokens between the name and the body.
+    pub sig: TokenStream,
+    /// Body block; `None` for trait-method declarations.
+    pub body: Option<Group>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A `const` or `static` item.
+#[derive(Debug, Clone)]
+pub struct ItemConst {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// `true` for `static` items.
+    pub is_static: bool,
+    /// Item name.
+    pub ident: Ident,
+    /// Declared type tokens.
+    pub ty: TokenStream,
+    /// Initializer expression tokens.
+    pub expr: TokenStream,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A module.
+#[derive(Debug, Clone)]
+pub struct ItemMod {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Module name.
+    pub ident: Ident,
+    /// Inline contents; `None` for `mod foo;`.
+    pub content: Option<Vec<Item>>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A trait definition.
+#[derive(Debug, Clone)]
+pub struct ItemTrait {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Trait name.
+    pub ident: Ident,
+    /// Associated item declarations.
+    pub items: Vec<Item>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// An item kept as raw tokens (`use`, `type`, macros, `extern` blocks).
+#[derive(Debug, Clone)]
+pub struct ItemOther {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The item's tokens, excluding attributes.
+    pub tokens: TokenStream,
+    /// Source position.
+    pub span: Span,
+}
+
+/// Parse a complete source file.
+///
+/// # Errors
+///
+/// Only lexical problems (unterminated literals, unbalanced delimiters)
+/// produce an error; unrecognized item shapes degrade to
+/// [`Item::Other`].
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let tokens = lexer::lex(src)?;
+    let mut parser = Parser::new(tokens);
+    let (attrs, items) = parser.parse_items();
+    Ok(File { attrs, items })
+}
+
+struct Parser {
+    toks: TokenStream,
+    i: usize,
+}
+
+impl Parser {
+    fn new(toks: TokenStream) -> Parser {
+        Parser { toks, i: 0 }
+    }
+
+    fn peek(&self, k: usize) -> Option<&TokenTree> {
+        self.toks.get(self.i + k)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn span_here(&self) -> Span {
+        self.peek(0).map(TokenTree::span).unwrap_or_default()
+    }
+
+    /// Parse a whole stream of items, separating inner attributes.
+    fn parse_items(&mut self) -> (Vec<Attribute>, Vec<Item>) {
+        let mut inner = Vec::new();
+        let mut items = Vec::new();
+        while !self.at_end() {
+            let mut outer = Vec::new();
+            self.collect_attrs(&mut inner, &mut outer);
+            if self.at_end() {
+                break;
+            }
+            items.push(self.parse_item(outer));
+        }
+        (inner, items)
+    }
+
+    /// Collect a run of attributes: inner ones into `inner`, outer ones
+    /// into `outer`.
+    fn collect_attrs(&mut self, inner: &mut Vec<Attribute>, outer: &mut Vec<Attribute>) {
+        loop {
+            match (self.peek(0), self.peek(1), self.peek(2)) {
+                (Some(h), Some(b), Some(g))
+                    if h.is_punct("#")
+                        && b.is_punct("!")
+                        && g.group(Delimiter::Bracket).is_some() =>
+                {
+                    let span = h.span();
+                    self.bump();
+                    self.bump();
+                    let Some(TokenTree::Group(g)) = self.bump() else {
+                        break;
+                    };
+                    if let Some(a) = attr_from_group(&g, true, span) {
+                        inner.push(a);
+                    }
+                }
+                (Some(h), Some(g), _)
+                    if h.is_punct("#") && g.group(Delimiter::Bracket).is_some() =>
+                {
+                    let span = h.span();
+                    self.bump();
+                    let Some(TokenTree::Group(g)) = self.bump() else {
+                        break;
+                    };
+                    if let Some(a) = attr_from_group(&g, false, span) {
+                        outer.push(a);
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skip visibility/qualifier tokens preceding the item keyword.
+    fn skip_qualifiers(&mut self) {
+        loop {
+            match self.peek(0) {
+                Some(t) if t.is_ident("pub") => {
+                    self.bump();
+                    if self
+                        .peek(0)
+                        .is_some_and(|t| t.group(Delimiter::Parenthesis).is_some())
+                    {
+                        self.bump();
+                    }
+                }
+                Some(t) if t.is_ident("default") || t.is_ident("async") || t.is_ident("unsafe") => {
+                    self.bump();
+                }
+                // `const fn` — const as a qualifier, not an item.
+                Some(t)
+                    if t.is_ident("const") && self.peek(1).is_some_and(|n| n.is_ident("fn")) =>
+                {
+                    self.bump();
+                }
+                // `extern "C" fn …` (but not `extern crate`, an item form).
+                Some(t)
+                    if t.is_ident("extern")
+                        && self
+                            .peek(1)
+                            .is_some_and(|n| matches!(n, TokenTree::Literal(_))) =>
+                {
+                    self.bump();
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn parse_item(&mut self, attrs: Vec<Attribute>) -> Item {
+        let span = self.span_here();
+        self.skip_qualifiers();
+        let kw = self.peek(0).and_then(TokenTree::ident).map(str::to_string);
+        match kw.as_deref() {
+            Some("struct" | "union") => self.parse_struct(attrs, span),
+            Some("enum") => self.parse_enum(attrs, span),
+            Some("fn") => self.parse_fn(attrs, span),
+            Some("const" | "static") => self.parse_const(attrs, span),
+            Some("mod") => self.parse_mod(attrs, span),
+            Some("impl") => self.parse_impl(attrs, span),
+            Some("trait") => self.parse_trait(attrs, span),
+            _ => self.parse_other(attrs, span),
+        }
+    }
+
+    /// Skip a balanced `<…>` generic-parameter/argument list if one
+    /// starts here. `<<`/`>>` count twice; `->` does not nest.
+    fn skip_angles(&mut self) {
+        if !self.peek(0).is_some_and(|t| t.is_punct("<")) {
+            return;
+        }
+        let mut depth: i64 = 0;
+        while let Some(t) = self.peek(0) {
+            match t {
+                t if t.is_punct("<") => depth += 1,
+                t if t.is_punct("<<") => depth += 2,
+                t if t.is_punct(">") => depth -= 1,
+                t if t.is_punct(">>") => depth -= 2,
+                _ => {}
+            }
+            self.bump();
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    /// Consume tokens until (not including) the first top-level brace
+    /// group or `;`, returning them.
+    fn take_until_body(&mut self) -> TokenStream {
+        let mut out = Vec::new();
+        while let Some(t) = self.peek(0) {
+            if t.is_punct(";") || t.group(Delimiter::Brace).is_some() {
+                break;
+            }
+            if let Some(t) = self.bump() {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    fn expect_ident(&mut self, fallback: &str) -> Ident {
+        match self.peek(0) {
+            Some(TokenTree::Ident(_)) => {
+                if let Some(TokenTree::Ident(i)) = self.bump() {
+                    i
+                } else {
+                    Ident {
+                        text: fallback.into(),
+                        span: Span::default(),
+                    }
+                }
+            }
+            // `const _: () = …` — underscore lexes as an identifier
+            // already; anything else gets the fallback name.
+            _ => Ident {
+                text: fallback.into(),
+                span: self.span_here(),
+            },
+        }
+    }
+
+    fn parse_struct(&mut self, attrs: Vec<Attribute>, span: Span) -> Item {
+        self.bump(); // struct/union
+        let ident = self.expect_ident("?struct");
+        self.skip_angles();
+        let header = self.take_until_body(); // where clause or tuple fields
+        let mut fields = Vec::new();
+        // Tuple struct: the paren group rode along in `header`.
+        if let Some(g) = header.iter().find_map(|t| t.group(Delimiter::Parenthesis)) {
+            for chunk in split_top_level(&g.stream, ",") {
+                let (f_attrs, rest) = strip_leading_attrs(&chunk);
+                let ty = strip_leading_vis(&rest);
+                if !ty.is_empty() {
+                    fields.push(Field {
+                        attrs: f_attrs,
+                        ident: None,
+                        ty,
+                    });
+                }
+            }
+            if self.peek(0).is_some_and(|t| t.is_punct(";")) {
+                self.bump();
+            }
+            return Item::Struct(ItemStruct {
+                attrs,
+                ident,
+                fields,
+                span,
+            });
+        }
+        match self.peek(0) {
+            Some(t) if t.is_punct(";") => {
+                self.bump(); // unit struct
+            }
+            Some(t) if t.group(Delimiter::Brace).is_some() => {
+                let Some(TokenTree::Group(g)) = self.bump() else {
+                    unreachable!("peek said brace group");
+                };
+                for chunk in split_top_level(&g.stream, ",") {
+                    let (f_attrs, rest) = strip_leading_attrs(&chunk);
+                    let rest = strip_leading_vis(&rest);
+                    // `name : ty`
+                    let mut it = rest.into_iter();
+                    let name = it.next();
+                    let colon = it.next();
+                    let ty: TokenStream = it.collect();
+                    if let (Some(TokenTree::Ident(name)), Some(c)) = (name, colon) {
+                        if c.is_punct(":") {
+                            fields.push(Field {
+                                attrs: f_attrs,
+                                ident: Some(name),
+                                ty,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        Item::Struct(ItemStruct {
+            attrs,
+            ident,
+            fields,
+            span,
+        })
+    }
+
+    fn parse_enum(&mut self, attrs: Vec<Attribute>, span: Span) -> Item {
+        self.bump(); // enum
+        let ident = self.expect_ident("?enum");
+        self.skip_angles();
+        let _where = self.take_until_body();
+        let mut variants = Vec::new();
+        if let Some(t) = self.peek(0) {
+            if t.group(Delimiter::Brace).is_some() {
+                if let Some(TokenTree::Group(g)) = self.bump() {
+                    for chunk in split_top_level(&g.stream, ",") {
+                        let (v_attrs, rest) = strip_leading_attrs(&chunk);
+                        let mut it = rest.into_iter();
+                        let Some(TokenTree::Ident(name)) = it.next() else {
+                            continue;
+                        };
+                        let fields = match it.next() {
+                            Some(TokenTree::Group(fg)) => fg.stream,
+                            // unit variant or `= discriminant` (ignored)
+                            _ => Vec::new(),
+                        };
+                        variants.push(Variant {
+                            attrs: v_attrs,
+                            ident: name,
+                            fields,
+                        });
+                    }
+                }
+            }
+        }
+        Item::Enum(ItemEnum {
+            attrs,
+            ident,
+            variants,
+            span,
+        })
+    }
+
+    fn parse_fn(&mut self, attrs: Vec<Attribute>, span: Span) -> Item {
+        self.bump(); // fn
+        let ident = self.expect_ident("?fn");
+        let sig = self.take_until_body();
+        let body = match self.peek(0) {
+            Some(t) if t.group(Delimiter::Brace).is_some() => {
+                if let Some(TokenTree::Group(g)) = self.bump() {
+                    Some(g)
+                } else {
+                    None
+                }
+            }
+            Some(t) if t.is_punct(";") => {
+                self.bump();
+                None
+            }
+            _ => None,
+        };
+        Item::Fn(ItemFn {
+            attrs,
+            ident,
+            sig,
+            body,
+            span,
+        })
+    }
+
+    fn parse_const(&mut self, attrs: Vec<Attribute>, span: Span) -> Item {
+        let kw = self.bump(); // const/static
+        let is_static = kw.is_some_and(|t| t.is_ident("static"));
+        if self.peek(0).is_some_and(|t| t.is_ident("mut")) {
+            self.bump();
+        }
+        let ident = self.expect_ident("_");
+        // `: ty = expr ;` — split on top-level `=` / `;` outside angles.
+        if self.peek(0).is_some_and(|t| t.is_punct(":")) {
+            self.bump();
+        }
+        let mut ty = Vec::new();
+        let mut expr = Vec::new();
+        let mut in_expr = false;
+        let mut angle: i64 = 0;
+        while let Some(t) = self.peek(0) {
+            if angle <= 0 {
+                if t.is_punct(";") {
+                    self.bump();
+                    break;
+                }
+                if !in_expr && t.is_punct("=") {
+                    in_expr = true;
+                    self.bump();
+                    continue;
+                }
+            }
+            // Angle counting disambiguates `:` type generics only; in the
+            // initializer, `<<`/`>>`/`<`/`>` are shift/compare operators
+            // (`= 1 << 12;`) and must not swallow the terminating `;`.
+            if !in_expr {
+                match t {
+                    t if t.is_punct("<") => angle += 1,
+                    t if t.is_punct("<<") => angle += 2,
+                    t if t.is_punct(">") => angle -= 1,
+                    t if t.is_punct(">>") => angle -= 2,
+                    _ => {}
+                }
+            }
+            if let Some(t) = self.bump() {
+                if in_expr {
+                    expr.push(t);
+                } else {
+                    ty.push(t);
+                }
+            }
+        }
+        Item::Const(ItemConst {
+            attrs,
+            is_static,
+            ident,
+            ty,
+            expr,
+            span,
+        })
+    }
+
+    fn parse_mod(&mut self, attrs: Vec<Attribute>, span: Span) -> Item {
+        self.bump(); // mod
+        let ident = self.expect_ident("?mod");
+        match self.peek(0) {
+            Some(t) if t.is_punct(";") => {
+                self.bump();
+                Item::Mod(ItemMod {
+                    attrs,
+                    ident,
+                    content: None,
+                    span,
+                })
+            }
+            Some(t) if t.group(Delimiter::Brace).is_some() => {
+                let Some(TokenTree::Group(g)) = self.bump() else {
+                    unreachable!("peek said brace group");
+                };
+                let mut sub = Parser::new(g.stream);
+                let (mut inner, items) = sub.parse_items();
+                let mut attrs = attrs;
+                attrs.append(&mut inner);
+                Item::Mod(ItemMod {
+                    attrs,
+                    ident,
+                    content: Some(items),
+                    span,
+                })
+            }
+            _ => Item::Mod(ItemMod {
+                attrs,
+                ident,
+                content: None,
+                span,
+            }),
+        }
+    }
+
+    fn parse_impl(&mut self, attrs: Vec<Attribute>, span: Span) -> Item {
+        self.bump(); // impl
+        let is_generic = self.peek(0).is_some_and(|t| t.is_punct("<"));
+        self.skip_angles();
+        let header = self.take_until_body();
+        // Split the header at a top-level `for` into trait path and self
+        // type; without `for` it is an inherent impl.
+        let (trait_tokens, self_tokens) = split_at_for(&header);
+        let (trait_name, self_ty) = match trait_tokens {
+            Some(tr) => (last_path_name(&tr), self_tokens),
+            None => (None, self_tokens),
+        };
+        let self_ty = strip_where(&self_ty);
+        let self_ty_name = last_path_name(&self_ty);
+        let mut items = Vec::new();
+        if let Some(t) = self.peek(0) {
+            if t.group(Delimiter::Brace).is_some() {
+                if let Some(TokenTree::Group(g)) = self.bump() {
+                    let mut sub = Parser::new(g.stream);
+                    let (_inner, sub_items) = sub.parse_items();
+                    items = sub_items;
+                }
+            }
+        }
+        Item::Impl(ItemImpl {
+            attrs,
+            is_generic,
+            trait_name,
+            self_ty,
+            self_ty_name,
+            items,
+            span,
+        })
+    }
+
+    fn parse_trait(&mut self, attrs: Vec<Attribute>, span: Span) -> Item {
+        self.bump(); // trait
+        let ident = self.expect_ident("?trait");
+        self.skip_angles();
+        let _bounds = self.take_until_body();
+        let mut items = Vec::new();
+        if let Some(t) = self.peek(0) {
+            if t.group(Delimiter::Brace).is_some() {
+                if let Some(TokenTree::Group(g)) = self.bump() {
+                    let mut sub = Parser::new(g.stream);
+                    let (_inner, sub_items) = sub.parse_items();
+                    items = sub_items;
+                }
+            }
+        }
+        Item::Trait(ItemTrait {
+            attrs,
+            ident,
+            items,
+            span,
+        })
+    }
+
+    /// Fallback: consume one item's worth of tokens. Stops after a
+    /// top-level `;`, or after a top-level brace group when no `=` has
+    /// been seen (macro invocations, `extern` blocks, `macro_rules!`).
+    fn parse_other(&mut self, attrs: Vec<Attribute>, span: Span) -> Item {
+        let mut tokens = Vec::new();
+        let mut seen_eq = false;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct(";") {
+                if let Some(t) = self.bump() {
+                    tokens.push(t);
+                }
+                break;
+            }
+            if t.is_punct("=") {
+                seen_eq = true;
+            }
+            let is_brace = t.group(Delimiter::Brace).is_some();
+            if let Some(t) = self.bump() {
+                tokens.push(t);
+            }
+            if is_brace && !seen_eq {
+                break;
+            }
+        }
+        Item::Other(ItemOther {
+            attrs,
+            tokens,
+            span,
+        })
+    }
+}
+
+/// Build an [`Attribute`] from a `[…]` group's contents.
+fn attr_from_group(g: &Group, inner: bool, span: Span) -> Option<Attribute> {
+    let mut iter = g.stream.iter();
+    let first = iter.next()?;
+    let path = first.ident()?.to_string();
+    // Multi-segment paths (e.g. `clippy::pedantic` in tool attributes):
+    // keep only the final segment, matching how the engine queries them.
+    let mut tokens: TokenStream = Vec::new();
+    let mut path = path;
+    let mut rest: Vec<&TokenTree> = iter.collect();
+    while rest.first().is_some_and(|t| t.is_punct("::")) {
+        if let Some(seg) = rest.get(1).and_then(|t| t.ident()) {
+            path = seg.to_string();
+            rest.drain(..2);
+        } else {
+            break;
+        }
+    }
+    for t in rest {
+        tokens.push(t.clone());
+    }
+    Some(Attribute {
+        inner,
+        path,
+        tokens,
+        span,
+    })
+}
+
+/// Split `stream` into chunks at top-level occurrences of `sep`.
+pub fn split_top_level(stream: &[TokenTree], sep: &str) -> Vec<TokenStream> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i64 = 0;
+    for t in stream {
+        if angle <= 0 && t.is_punct(sep) {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            continue;
+        }
+        match t {
+            t if t.is_punct("<") => angle += 1,
+            t if t.is_punct("<<") => angle += 2,
+            t if t.is_punct(">") => angle -= 1,
+            t if t.is_punct(">>") => angle -= 2,
+            _ => {}
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Detach leading `#[…]` attribute runs (including desugared docs) from
+/// a token chunk.
+fn strip_leading_attrs(chunk: &[TokenTree]) -> (Vec<Attribute>, TokenStream) {
+    let mut attrs = Vec::new();
+    let mut i = 0;
+    while i + 1 < chunk.len() {
+        let (h, g) = (&chunk[i], &chunk[i + 1]);
+        if h.is_punct("#") {
+            if let Some(g) = g.group(Delimiter::Bracket) {
+                if let Some(a) = attr_from_group(g, false, h.span()) {
+                    attrs.push(a);
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (attrs, chunk[i..].to_vec())
+}
+
+/// Drop a leading `pub` / `pub(…)` from a token chunk.
+fn strip_leading_vis(chunk: &[TokenTree]) -> TokenStream {
+    let mut i = 0;
+    if chunk.first().is_some_and(|t| t.is_ident("pub")) {
+        i = 1;
+        if chunk
+            .get(1)
+            .is_some_and(|t| t.group(Delimiter::Parenthesis).is_some())
+        {
+            i = 2;
+        }
+    }
+    chunk[i..].to_vec()
+}
+
+/// Split an impl header at the top-level `for` keyword, if present.
+fn split_at_for(header: &[TokenTree]) -> (Option<TokenStream>, TokenStream) {
+    let mut angle: i64 = 0;
+    for (i, t) in header.iter().enumerate() {
+        match t {
+            t if t.is_punct("<") => angle += 1,
+            t if t.is_punct("<<") => angle += 2,
+            t if t.is_punct(">") => angle -= 1,
+            t if t.is_punct(">>") => angle -= 2,
+            // `for<'a>` higher-ranked binders start a new angle run and
+            // are not the trait/self split point.
+            t if angle <= 0 && t.is_ident("for") => {
+                if header.get(i + 1).is_some_and(|n| n.is_punct("<")) {
+                    continue;
+                }
+                return (Some(header[..i].to_vec()), header[i + 1..].to_vec());
+            }
+            _ => {}
+        }
+    }
+    (None, header.to_vec())
+}
+
+/// Remove a trailing top-level `where …` clause.
+fn strip_where(tokens: &[TokenTree]) -> TokenStream {
+    let mut angle: i64 = 0;
+    for (i, t) in tokens.iter().enumerate() {
+        match t {
+            t if t.is_punct("<") => angle += 1,
+            t if t.is_punct("<<") => angle += 2,
+            t if t.is_punct(">") => angle -= 1,
+            t if t.is_punct(">>") => angle -= 2,
+            t if angle <= 0 && t.is_ident("where") => return tokens[..i].to_vec(),
+            _ => {}
+        }
+    }
+    tokens.to_vec()
+}
+
+/// The final path-segment name of a type/trait token run: skips `&`,
+/// `mut`, `dyn` and lifetimes, then reads `seg(::seg)*`, stopping at a
+/// generic-argument list.
+fn last_path_name(tokens: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    loop {
+        match tokens.get(i) {
+            Some(t) if t.is_punct("&") || t.is_ident("mut") || t.is_ident("dyn") => i += 1,
+            Some(TokenTree::Lifetime(_)) => i += 1,
+            _ => break,
+        }
+    }
+    let mut name: Option<String> = None;
+    while let Some(t) = tokens.get(i) {
+        match t {
+            TokenTree::Ident(id) => {
+                name = Some(id.text.clone());
+                i += 1;
+            }
+            t if t.is_punct("::") => i += 1,
+            t if t.is_punct("<") => break,
+            _ => break,
+        }
+    }
+    name
+}

@@ -1,0 +1,208 @@
+//! Token trees with line/column spans.
+//!
+//! The lexer produces a flat token sequence; [`crate::lexer`] folds it
+//! into nested [`Group`]s keyed by delimiter. Unlike real `syn`/
+//! `proc-macro2`, compound punctuation (`::`, `->`, `>>`, …) is one
+//! [`Punct`] token carrying the full text — downstream matchers compare
+//! against the joined spelling instead of reassembling spacing hints.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Source position of a token (1-based line, 1-based column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column (in characters).
+    pub column: usize,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(line: usize, column: usize) -> Span {
+        Span { line, column }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// The three bracket kinds that form token-tree groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    /// `( … )`
+    Parenthesis,
+    /// `[ … ]`
+    Bracket,
+    /// `{ … }`
+    Brace,
+}
+
+/// An identifier or keyword (`as`, `fn`, `impl`, … are all `Ident`s, as
+/// in `proc-macro2`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident {
+    /// The identifier text (raw identifiers are stored without `r#`).
+    pub text: String,
+    /// Source position.
+    pub span: Span,
+}
+
+/// One punctuation token; compound operators are stored joined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Punct {
+    /// The operator spelling, e.g. `"%"`, `"::"`, `"->"`.
+    pub text: String,
+    /// Source position.
+    pub span: Span,
+}
+
+/// What kind of literal a [`Literal`] token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LitKind {
+    /// Integer or float literal (suffix retained in the text).
+    Number,
+    /// `"…"`, `r"…"`, `b"…"` and friends.
+    Str,
+    /// `'x'` or `b'x'`.
+    Char,
+}
+
+/// A literal token. `text` is the raw source spelling; for string
+/// literals `cooked` holds the unescaped content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Literal {
+    /// Raw source spelling, including quotes/prefix/suffix.
+    pub text: String,
+    /// Unescaped content for string literals, digits for numbers.
+    pub cooked: String,
+    /// Literal class.
+    pub kind: LitKind,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A lifetime token such as `'a` or `'static`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lifetime {
+    /// The lifetime name without the leading quote.
+    pub text: String,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A delimited token group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// Which delimiter pair encloses the group.
+    pub delimiter: Delimiter,
+    /// The tokens inside the delimiters.
+    pub stream: TokenStream,
+    /// Position of the opening delimiter.
+    pub span: Span,
+}
+
+/// A sequence of token trees.
+pub type TokenStream = Vec<TokenTree>;
+
+/// One node of the token tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenTree {
+    /// Identifier or keyword.
+    Ident(Ident),
+    /// Punctuation (compound operators joined).
+    Punct(Punct),
+    /// Number, string or char literal.
+    Literal(Literal),
+    /// Lifetime.
+    Lifetime(Lifetime),
+    /// Delimited group.
+    Group(Group),
+}
+
+impl TokenTree {
+    /// The token's source position (a group reports its opening
+    /// delimiter).
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Ident(t) => t.span,
+            TokenTree::Punct(t) => t.span,
+            TokenTree::Literal(t) => t.span,
+            TokenTree::Lifetime(t) => t.span,
+            TokenTree::Group(t) => t.span,
+        }
+    }
+
+    /// Whether this is the identifier/keyword `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(self, TokenTree::Ident(i) if i.text == name)
+    }
+
+    /// Whether this is the punctuation `text` (joined spelling).
+    pub fn is_punct(&self, text: &str) -> bool {
+        matches!(self, TokenTree::Punct(p) if p.text == text)
+    }
+
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenTree::Ident(i) => Some(&i.text),
+            _ => None,
+        }
+    }
+
+    /// The group, if this is a group with delimiter `delim`.
+    pub fn group(&self, delim: Delimiter) -> Option<&Group> {
+        match self {
+            TokenTree::Group(g) if g.delimiter == delim => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The group, regardless of delimiter.
+    pub fn any_group(&self) -> Option<&Group> {
+        match self {
+            TokenTree::Group(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+/// Render a token stream as approximate source text (single spaces
+/// between tokens) — used for diagnostics, not round-tripping.
+pub fn stream_to_string(stream: &[TokenTree]) -> String {
+    let mut out = String::new();
+    for tt in stream {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match tt {
+            TokenTree::Ident(i) => out.push_str(&i.text),
+            TokenTree::Punct(p) => out.push_str(&p.text),
+            TokenTree::Literal(l) => out.push_str(&l.text),
+            TokenTree::Lifetime(l) => {
+                out.push('\'');
+                out.push_str(&l.text);
+            }
+            TokenTree::Group(g) => {
+                let (open, close) = match g.delimiter {
+                    Delimiter::Parenthesis => ('(', ')'),
+                    Delimiter::Bracket => ('[', ']'),
+                    Delimiter::Brace => ('{', '}'),
+                };
+                out.push(open);
+                let inner = stream_to_string(&g.stream);
+                if !inner.is_empty() {
+                    out.push_str(&inner);
+                }
+                out.push(close);
+            }
+        }
+    }
+    out
+}
