@@ -48,6 +48,13 @@ impl ReplacementPolicy for OracleDead {
         self.clock += 1;
         self.stamps[ctx.set * self.ways + way] = self.clock;
     }
+    fn reset(&mut self) {
+        // Rewind the oracle to the start of the same labelled trace.
+        self.cursor = 0;
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.dead_bit.fill(false);
+    }
     fn name(&self) -> String {
         "OracleDead".into()
     }

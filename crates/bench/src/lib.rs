@@ -61,8 +61,24 @@ impl Args {
     /// Panics on an unknown flag, a flag missing its value, or an
     /// unparsable value.
     pub fn parse() -> Args {
+        Args::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit argument iterator (without the program
+    /// name). This is `parse` minus the `std::env` dependency, so tests
+    /// and wrapper binaries can drive it directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown flag, a flag missing its value, or an
+    /// unparsable value.
+    pub fn parse_from<I>(flags: I) -> Args
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
         let mut args = Args::default();
-        let mut it = std::env::args().skip(1);
+        let mut it = flags.into_iter().map(Into::into);
         while let Some(a) = it.next() {
             let mut next = |what: &str| {
                 it.next()
@@ -124,6 +140,14 @@ mod tests {
         assert_eq!(a.traces, 96);
         assert!(a.threads >= 1);
         assert!(a.instr.is_none());
+    }
+
+    #[test]
+    fn parse_from_reads_flags() {
+        let a = Args::parse_from(["--traces", "7", "--threads", "3", "--instr", "500"]);
+        assert_eq!(a.traces, 7);
+        assert_eq!(a.threads, 3);
+        assert_eq!(a.instr, Some(500));
     }
 
     #[test]

@@ -123,6 +123,18 @@ impl HashedPerceptron {
         self.theta
     }
 
+    /// Restore the predictor to its freshly-constructed state, reusing
+    /// the weight-table allocations.
+    pub fn reset(&mut self) {
+        for table in &mut self.weights {
+            table.fill(0);
+        }
+        self.ghist = 0;
+        self.phist = 0;
+        self.theta = self.cfg.initial_theta;
+        self.tc = 0;
+    }
+
     /// Predict `pc` and train on the actual `taken` outcome in one step,
     /// returning the prediction.
     ///

@@ -59,6 +59,14 @@ impl ReturnAddressStack {
     pub fn is_empty(&self) -> bool {
         self.depth == 0
     }
+
+    /// Empty the stack back to its freshly-constructed state, reusing
+    /// the ring-buffer allocation.
+    pub fn reset(&mut self) {
+        self.entries.fill(0);
+        self.top = 0;
+        self.depth = 0;
+    }
 }
 
 impl Default for ReturnAddressStack {

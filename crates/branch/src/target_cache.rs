@@ -95,6 +95,14 @@ impl TargetCache {
         };
         self.history = ((self.history << 2) ^ (target >> 2)) & mask;
     }
+
+    /// Restore the predictor to its freshly-constructed state, reusing
+    /// both table allocations.
+    pub fn reset(&mut self) {
+        self.base.fill((0, 0));
+        self.hist_table.fill((0, 0));
+        self.history = 0;
+    }
 }
 
 impl Default for TargetCache {

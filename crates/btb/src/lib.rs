@@ -162,6 +162,15 @@ impl<P: ReplacementPolicy> Btb<P> {
         self.entries.reset_stats();
     }
 
+    /// Restore the BTB to its freshly-constructed state (entries
+    /// invalidated, targets and statistics zeroed, policy rewound),
+    /// keeping every allocation. See [`Cache::reset`].
+    pub fn reset(&mut self) {
+        self.entries.reset();
+        self.targets.fill(0);
+        self.stats = BtbStats::default();
+    }
+
     /// The underlying tag store (for efficiency tracking etc.).
     pub fn entries(&self) -> &Cache<P> {
         &self.entries
@@ -304,6 +313,19 @@ impl ReplacementPolicy for GhrpBtbPolicy {
         self.predicted_dead[ctx.set * self.ways + way] = self.current_pred;
         self.frame_pc[ctx.set * self.ways + way] = Some(ctx.addr);
         self.touch(ctx.set, way);
+    }
+
+    fn reset(&mut self) {
+        // Per the trait contract this rewinds only the policy's own
+        // state; the coupled `SharedGhrp` is reset by whoever owns the
+        // I-cache/BTB pair (it is shared with the I-cache policy).
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.predicted_dead.fill(false);
+        self.frame_pc.fill(None);
+        self.current_pred = false;
+        self.fallback_predictions = 0;
+        self.dead_victims = 0;
     }
 
     fn name(&self) -> String {

@@ -131,6 +131,22 @@ impl<P: ReplacementPolicy> Cache<P> {
         }
     }
 
+    /// Restore the cache to its freshly-constructed state — tags
+    /// invalidated, statistics zeroed, the policy rewound via
+    /// [`ReplacementPolicy::reset`] — while keeping every allocation.
+    ///
+    /// Behaviour after `reset` is bit-identical to a cache newly built
+    /// with the same geometry and policy arguments; per-worker lane
+    /// arenas use this to recycle caches across suite tasks.
+    pub fn reset(&mut self) {
+        self.tags.fill(None);
+        self.stats.reset();
+        self.policy.reset();
+        if let Some(e) = &mut self.efficiency {
+            *e = EfficiencyTracker::new(self.cfg);
+        }
+    }
+
     /// Begin recording per-frame efficiency (live-time fractions) for heat
     /// maps. See [`EfficiencyTracker`].
     pub fn enable_efficiency_tracking(&mut self) {

@@ -91,6 +91,13 @@ impl ReplacementPolicy for BeladyOpt {
         self.cursor += 1;
     }
 
+    fn reset(&mut self) {
+        // Rewinds to the *start of the same precomputed trace*; replaying
+        // a different trace still requires `from_trace`.
+        self.frame_next.fill(NEVER);
+        self.cursor = 0;
+    }
+
     fn name(&self) -> String {
         "OPT".to_owned()
     }

@@ -115,6 +115,13 @@ impl ReplacementPolicy for Drrip {
         self.rrpv[ctx.set * self.ways + way] = rrpv;
     }
 
+    fn reset(&mut self) {
+        // Leader-set roles are geometry-derived and survive the reset.
+        self.rrpv.fill(self.max_rrpv);
+        self.psel = (self.psel_max + 1) / 2;
+        self.brrip_counter = 0;
+    }
+
     fn name(&self) -> String {
         "DRRIP".to_owned()
     }

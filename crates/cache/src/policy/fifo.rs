@@ -41,6 +41,11 @@ impl ReplacementPolicy for Fifo {
         self.fill_time[ctx.set * self.ways + way] = self.clock;
     }
 
+    fn reset(&mut self) {
+        self.fill_time.fill(0);
+        self.clock = 0;
+    }
+
     fn name(&self) -> String {
         "FIFO".to_owned()
     }

@@ -52,6 +52,11 @@ impl ReplacementPolicy for Lru {
         self.touch(ctx.set, way);
     }
 
+    fn reset(&mut self) {
+        self.stamps.fill(0);
+        self.clock = 0;
+    }
+
     fn name(&self) -> String {
         "LRU".to_owned()
     }

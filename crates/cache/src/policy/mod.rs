@@ -71,6 +71,21 @@ pub trait ReplacementPolicy {
     /// The incoming block now occupies `way`.
     fn on_fill(&mut self, way: usize, ctx: &AccessContext);
 
+    /// Restore the policy to its freshly-constructed state, reusing its
+    /// allocations.
+    ///
+    /// After `reset` the policy must behave **bit-identically** to one
+    /// rebuilt with the same constructor arguments (seeded RNGs restart
+    /// from their seed, learned tables clear to their initial values,
+    /// recency clocks rewind). Per-worker lane arenas rely on this to
+    /// recycle policy state across suite tasks instead of reallocating
+    /// it; the scheduler equivalence suite checks the contract.
+    ///
+    /// State *shared between* policy instances (e.g. the GHRP predictor
+    /// behind a `SharedGhrp` handle) is external and must be reset by its
+    /// owner; `reset` only restores the instance's own fields.
+    fn reset(&mut self);
+
     /// Short human-readable policy name (used in experiment output).
     fn name(&self) -> String;
 }
@@ -93,6 +108,9 @@ impl<P: ReplacementPolicy + ?Sized> ReplacementPolicy for Box<P> {
     }
     fn on_fill(&mut self, way: usize, ctx: &AccessContext) {
         (**self).on_fill(way, ctx);
+    }
+    fn reset(&mut self) {
+        (**self).reset();
     }
     fn name(&self) -> String {
         (**self).name()

@@ -11,6 +11,8 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct RandomPolicy {
     ways: usize,
+    /// Construction seed, kept so `reset` can restart the stream exactly.
+    seed: u64,
     rng: SmallRng,
 }
 
@@ -19,6 +21,7 @@ impl RandomPolicy {
     pub fn new(cfg: CacheConfig, seed: u64) -> RandomPolicy {
         RandomPolicy {
             ways: cfg.ways() as usize,
+            seed,
             rng: SmallRng::seed_from_u64(seed),
         }
     }
@@ -34,6 +37,10 @@ impl ReplacementPolicy for RandomPolicy {
     fn on_evict(&mut self, _way: usize, _victim_block: u64, _ctx: &AccessContext) {}
 
     fn on_fill(&mut self, _way: usize, _ctx: &AccessContext) {}
+
+    fn reset(&mut self) {
+        self.rng = SmallRng::seed_from_u64(self.seed);
+    }
 
     fn name(&self) -> String {
         "Random".to_owned()

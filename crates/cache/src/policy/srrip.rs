@@ -71,6 +71,10 @@ impl ReplacementPolicy for Srrip {
         self.rrpv[ctx.set * self.ways + way] = self.insert_rrpv();
     }
 
+    fn reset(&mut self) {
+        self.rrpv.fill(self.max_rrpv);
+    }
+
     fn name(&self) -> String {
         "SRRIP".to_owned()
     }

@@ -148,6 +148,11 @@ impl<P: ReplacementPolicy + PolicyInvariants> ReplacementPolicy for ValidatingPo
         self.check("on_fill");
     }
 
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.check("reset");
+    }
+
     fn name(&self) -> String {
         self.inner.name()
     }
@@ -177,6 +182,9 @@ mod tests {
         fn on_evict(&mut self, _way: usize, _victim_block: u64, _ctx: &AccessContext) {}
         fn on_fill(&mut self, _way: usize, _ctx: &AccessContext) {
             self.broken = true;
+        }
+        fn reset(&mut self) {
+            self.broken = false;
         }
         fn name(&self) -> String {
             "Corruptible".to_owned()

@@ -65,6 +65,13 @@ impl SpeculativeHistory {
         self.spec = self.retired;
     }
 
+    /// Clear both registers back to the empty (freshly-constructed)
+    /// history; the configured geometry is preserved.
+    pub fn reset(&mut self) {
+        self.spec = 0;
+        self.retired = 0;
+    }
+
     /// Current speculative history value (used for all predictions).
     pub fn speculative(&self) -> u64 {
         self.spec

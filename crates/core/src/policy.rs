@@ -235,6 +235,19 @@ impl ReplacementPolicy for GhrpPolicy {
         self.touch(ctx.set, way);
     }
 
+    fn reset(&mut self) {
+        // Private fields only; the pair's owner resets `SharedGhrp` once
+        // so the shared tables are not cleared per policy.
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.frame_block.fill(None);
+        self.current_sig = 0;
+        self.shadow_block.fill(None);
+        self.shadow_sig.fill(0);
+        self.shadow_stamps.fill(0);
+        self.stats = GhrpPolicyStats::default();
+    }
+
     fn name(&self) -> String {
         "GHRP".to_owned()
     }

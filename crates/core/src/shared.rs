@@ -302,6 +302,20 @@ impl SharedGhrp {
         self.state.borrow_mut().meta.remove(&block_addr)
     }
 
+    /// Restore the shared predictor to its freshly-constructed state,
+    /// reusing the table allocations: all counters zeroed, both history
+    /// registers cleared, and every block's metadata dropped.
+    ///
+    /// Policies sharing this state reset only their private fields; the
+    /// pair's owner calls this once so the shared state is not cleared
+    /// twice.
+    pub fn reset(&self) {
+        let mut s = self.state.borrow_mut();
+        s.tables.clear();
+        s.history.reset();
+        s.meta.clear();
+    }
+
     /// Number of blocks currently carrying metadata.
     pub fn meta_len(&self) -> usize {
         self.state.borrow().meta.len()

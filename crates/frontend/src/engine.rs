@@ -206,10 +206,18 @@ impl Lane {
     }
 
     /// The per-lane half of a branch event: BTB refresh/allocate on taken
-    /// branches, then wrong-path injection if the (shared) front end
-    /// mispredicted.
-    fn observe_branch(&mut self, branch: &BranchRecord, mispredicted: bool, cfg: &SimConfig) {
-        if branch.taken {
+    /// branches (skippable when the caller never reads BTB results — the
+    /// GHRP BTB policy only *reads* the shared predictor, so skipping it
+    /// leaves every I-cache counter bit-identical), then wrong-path
+    /// injection if the (shared) front end mispredicted.
+    fn observe_branch(
+        &mut self,
+        branch: &BranchRecord,
+        mispredicted: bool,
+        cfg: &SimConfig,
+        measure_btb: bool,
+    ) {
+        if measure_btb && branch.taken {
             self.pair.btb.lookup_and_update(branch.pc, branch.target);
         }
         if mispredicted {
@@ -246,7 +254,23 @@ impl Lane {
         self.wrong_path_accesses = 0;
     }
 
-    fn finish(self, measured_instructions: u64, fe: &SharedFrontEnd) -> RunResult {
+    /// Restore the lane to its freshly-built state, reusing every
+    /// allocation (cache arrays, BTB tables, predictor tables). Offline
+    /// lanes cannot be reused — their policy state is trace-derived.
+    fn reset_for_reuse(&mut self) {
+        self.pair.icache.reset();
+        self.pair.btb.reset();
+        // The shared GHRP state is external to both policies; reset it
+        // exactly once here, as the pair's owner.
+        if let Some(shared) = &self.pair.ghrp {
+            shared.reset();
+        }
+        self.wrong_path_misses = 0;
+        self.wrong_path_accesses = 0;
+        self.groups = 0;
+    }
+
+    fn finish(&self, measured_instructions: u64, fe: &SharedFrontEnd) -> RunResult {
         let mut icache_stats = self.pair.icache.stats();
         // Subtract wrong-path pollution from the figure of merit.
         icache_stats.misses -= self.wrong_path_misses.min(icache_stats.misses);
@@ -268,6 +292,51 @@ impl Lane {
     }
 }
 
+/// The configuration a set of arena lanes was built for.
+#[derive(Debug, Clone, PartialEq)]
+struct ArenaKey {
+    base: SimConfig,
+    icaches: Vec<fe_cache::CacheConfig>,
+    policies: Vec<PolicyKind>,
+}
+
+/// Reusable per-worker lane storage.
+///
+/// Building a lane allocates its I-cache arrays, BTB tables and (for the
+/// predictive policies) predictor tables. A scheduler worker runs many
+/// tasks with the identical configuration back to back, so the arena
+/// keeps the lanes of the previous task and, when the configuration
+/// matches, resets them **in place** — same post-construction state,
+/// zero allocation — instead of rebuilding. A configuration change (or an
+/// offline policy, whose state is derived from the concrete trace)
+/// rebuilds from scratch.
+#[derive(Debug, Default)]
+pub struct EngineArena {
+    key: Option<ArenaKey>,
+    lanes: Vec<Lane>,
+}
+
+impl EngineArena {
+    /// An empty arena; the first task always builds its lanes.
+    pub fn new() -> EngineArena {
+        EngineArena::default()
+    }
+
+    /// Whether the arena currently holds reusable lanes.
+    pub fn is_primed(&self) -> bool {
+        self.key.is_some()
+    }
+}
+
+impl std::fmt::Debug for Lane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lane")
+            .field("policy", &self.policy)
+            .field("groups", &self.groups)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Simulate every policy in `policies` over one replay of `source`,
 /// returning one [`RunResult`] per policy (in input order).
 ///
@@ -286,46 +355,75 @@ pub fn run_lanes<S: ReplaySource>(
     policies: &[PolicyKind],
     source: &S,
 ) -> Vec<RunResult> {
-    if policies.is_empty() {
-        return Vec::new();
-    }
+    let mut arena = EngineArena::new();
+    run_lanes_multi(
+        base,
+        std::slice::from_ref(&base.icache),
+        policies,
+        true,
+        source,
+        &mut arena,
+    )
+    .pop()
+    .unwrap_or_default()
+}
+
+/// Geometry-fused variant of [`run_lanes`]: one replay of `source` drives
+/// an independent lane grid of `icaches.len() × policies.len()` lanes,
+/// returning results geometry-major (`out[g][p]`).
+///
+/// Every geometry must share `base.icache`'s block size — the fetch
+/// stream is chunked once at that granularity. Within that constraint the
+/// *entire* policy-independent front end (decode, direction predictor,
+/// RAS, indirect target cache) is shared across all geometries, so an
+/// 8-geometry sweep costs one trace replay instead of eight. Each lane's
+/// counters stay bit-identical to a standalone run of its
+/// (geometry, policy) pair.
+///
+/// `measure_btb = false` skips the per-lane BTB entirely (its stats come
+/// back zero); the GHRP BTB policy only reads the shared predictor, so
+/// I-cache results are unaffected. Use it for sweeps, which consume only
+/// I-cache means.
+///
+/// `arena` carries lane allocations across calls on the same worker; pass
+/// a fresh [`EngineArena`] when no reuse is wanted.
+///
+/// # Panics
+///
+/// Panics if a geometry's block size differs from `base.icache`'s, or if
+/// the BTB geometry in `base` is invalid.
+pub fn run_lanes_multi<S: ReplaySource>(
+    base: &SimConfig,
+    icaches: &[fe_cache::CacheConfig],
+    policies: &[PolicyKind],
+    measure_btb: bool,
+    source: &S,
+    arena: &mut EngineArena,
+) -> Vec<Vec<RunResult>> {
     let block_bytes = base.icache.block_bytes();
+    assert!(
+        icaches.iter().all(|c| c.block_bytes() == block_bytes),
+        "fused geometries must share the base block size"
+    );
+    let npols = policies.len();
+    if npols == 0 || icaches.is_empty() {
+        return icaches.iter().map(|_| Vec::new()).collect();
+    }
 
-    // Offline (OPT) lanes need the full access sequences ahead of time:
-    // precompute them once per trace and share across all offline lanes.
-    let offline = if policies.iter().any(|p| p.is_offline()) {
-        Some(offline_sequences(source.replay(), block_bytes))
+    let reusable = !policies.iter().any(|p| p.is_offline());
+    let key_matches = reusable
+        && arena
+            .key
+            .as_ref()
+            .is_some_and(|k| k.base == *base && k.icaches == icaches && k.policies == policies);
+    if key_matches {
+        for lane in &mut arena.lanes {
+            lane.reset_for_reuse();
+        }
     } else {
-        None
-    };
-
-    let mut lanes: Vec<Lane> = policies
-        .iter()
-        .map(|&p| {
-            let seq = if p.is_offline() {
-                offline.as_ref()
-            } else {
-                None
-            };
-            Lane {
-                policy: p,
-                pair: build_pair(
-                    p,
-                    base.icache,
-                    base.btb_entries,
-                    base.btb_ways,
-                    base.ghrp,
-                    base.sdbp,
-                    base.seed,
-                    seq.map(|(blocks, _)| blocks.as_slice()),
-                    seq.map(|(_, pcs)| pcs.as_slice()),
-                ),
-                wrong_path_misses: 0,
-                wrong_path_accesses: 0,
-                groups: 0,
-            }
-        })
-        .collect();
+        rebuild_arena(arena, base, icaches, policies, reusable, source);
+    }
+    let lanes = &mut arena.lanes;
 
     let mut fe = SharedFrontEnd::default();
     let warmup = (source.total_instructions() / 2).min(base.warmup_cap);
@@ -339,20 +437,20 @@ pub fn run_lanes<S: ReplaySource>(
             measured_instructions += u64::from(chunk.n_instr);
         }
         if chunk.starts_group {
-            for lane in &mut lanes {
+            for lane in lanes.iter_mut() {
                 lane.access_group(&chunk, base);
             }
         }
         if let Some(branch) = chunk.branch {
             let mispredicted = fe.observe(&branch);
-            for lane in &mut lanes {
-                lane.observe_branch(&branch, mispredicted, base);
+            for lane in lanes.iter_mut() {
+                lane.observe_branch(&branch, mispredicted, base, measure_btb);
             }
         }
         if !warmed && instructions >= warmup {
             warmed = true;
             fe.reset_stats();
-            for lane in &mut lanes {
+            for lane in lanes.iter_mut() {
                 lane.reset_stats();
             }
         }
@@ -365,10 +463,69 @@ pub fn run_lanes<S: ReplaySource>(
         lanes.iter().map(|l| l.groups).collect::<Vec<_>>()
     );
 
-    lanes
-        .into_iter()
-        .map(|lane| lane.finish(measured_instructions, &fe))
+    (0..icaches.len())
+        .map(|g| {
+            lanes[g * npols..(g + 1) * npols]
+                .iter()
+                .map(|lane| lane.finish(measured_instructions, &fe))
+                .collect()
+        })
         .collect()
+}
+
+/// Rebuild an arena's lane grid from scratch for a new
+/// (config, geometries, policies) key.
+fn rebuild_arena<S: ReplaySource>(
+    arena: &mut EngineArena,
+    base: &SimConfig,
+    icaches: &[fe_cache::CacheConfig],
+    policies: &[PolicyKind],
+    reusable: bool,
+    source: &S,
+) {
+    // Offline (OPT) lanes need the full access sequences ahead of time:
+    // precompute them once per trace and share across all offline lanes
+    // (the block sequence is geometry-independent).
+    let offline = if reusable {
+        None
+    } else {
+        Some(offline_sequences(
+            source.replay(),
+            base.icache.block_bytes(),
+        ))
+    };
+    arena.lanes.clear();
+    for &icache in icaches {
+        for &p in policies {
+            let seq = if p.is_offline() {
+                offline.as_ref()
+            } else {
+                None
+            };
+            arena.lanes.push(Lane {
+                policy: p,
+                pair: build_pair(
+                    p,
+                    icache,
+                    base.btb_entries,
+                    base.btb_ways,
+                    base.ghrp,
+                    base.sdbp,
+                    base.seed,
+                    seq.map(|(blocks, _)| blocks.as_slice()),
+                    seq.map(|(_, pcs)| pcs.as_slice()),
+                ),
+                wrong_path_misses: 0,
+                wrong_path_accesses: 0,
+                groups: 0,
+            });
+        }
+    }
+    arena.key = reusable.then(|| ArenaKey {
+        base: *base,
+        icaches: icaches.to_vec(),
+        policies: policies.to_vec(),
+    });
 }
 
 #[cfg(test)]

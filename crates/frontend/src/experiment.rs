@@ -10,8 +10,9 @@
 
 #![forbid(unsafe_code)]
 
-use crate::engine::run_lanes;
+use crate::engine::{run_lanes, run_lanes_multi, EngineArena};
 use crate::policy::PolicyKind;
+use crate::schedule::{self, SchedulerStats};
 use crate::simulator::{RunResult, SimConfig, Simulator};
 use crate::stats;
 use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
@@ -36,12 +37,23 @@ pub struct TraceRow {
 }
 
 /// Results of a suite run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SuiteResult {
     /// Policies, in column order.
     pub policies: Vec<PolicyKind>,
     /// One row per workload.
     pub rows: Vec<TraceRow>,
+    /// Scheduler observability for the run (worker utilization, steals).
+    pub scheduler: SchedulerStats,
+}
+
+/// Equality compares the scientific payload only (policies and rows);
+/// scheduler counters are run-specific timing observability and must not
+/// make two bit-identical simulations compare unequal.
+impl PartialEq for SuiteResult {
+    fn eq(&self, other: &SuiteResult) -> bool {
+        self.policies == other.policies && self.rows == other.rows
+    }
 }
 
 impl SuiteResult {
@@ -101,6 +113,7 @@ impl SuiteResult {
                 .filter(|r| r.icache_mpki[i] >= min)
                 .cloned()
                 .collect(),
+            scheduler: self.scheduler.clone(),
         }
     }
 
@@ -184,13 +197,25 @@ pub fn run_trace_legacy(
     row_from_results(spec, &results)
 }
 
-/// Run a whole suite, distributing workloads over `threads` OS threads.
+/// Contiguous near-equal split of `0..n` into `parts` ranges.
+pub(crate) fn split_bounds(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.max(1);
+    (0..parts)
+        .map(|p| (p * n / parts, (p + 1) * n / parts))
+        .collect()
+}
+
+/// Run a whole suite, draining a flattened task grid over `threads` OS
+/// threads with the work-stealing scheduler ([`crate::schedule`]).
 ///
-/// Rows come back in suite order regardless of scheduling. Row slots are
-/// striped across workers up front with `split_at_mut` — each worker owns
-/// disjoint `&mut` slots, so results are written in place with no shared
-/// lock. Long and short workloads interleave in suite order, which keeps
-/// the stripes balanced.
+/// `threads = 0` means "use every available hardware thread". The grid is
+/// `workload × policy-chunk`: with more threads than workloads the policy
+/// set splits into contiguous chunks so the extra threads still
+/// parallelize (the old path silently clamped `threads` to the workload
+/// count). Each worker reuses one [`EngineArena`] across its tasks, so
+/// lane allocations are reset in place instead of rebuilt. Rows come back
+/// in suite order with columns in policy order — bit-identical to a
+/// serial run, regardless of thread count or scheduling.
 ///
 /// # Panics
 ///
@@ -201,38 +226,53 @@ pub fn run_suite(
     policies: &[PolicyKind],
     threads: usize,
 ) -> SuiteResult {
-    let threads = threads.max(1).min(specs.len().max(1));
-    let mut rows: Vec<Option<TraceRow>> = Vec::new();
-    rows.resize_with(specs.len(), || None);
-    // Peel the row buffer into per-slot `&mut` handles and deal them
-    // round-robin: worker w owns slots w, w + threads, w + 2·threads, …
-    let mut stripes: Vec<Vec<(usize, &mut Option<TraceRow>)>> =
-        (0..threads).map(|_| Vec::new()).collect();
-    let mut rest: &mut [Option<TraceRow>] = &mut rows;
-    let mut index = 0usize;
-    while !rest.is_empty() {
-        let (head, tail) = rest.split_at_mut(1);
-        // lint:allow(pow2-mask): round-robin deal over a worker list, not a hardware structure
-        stripes[index % threads].push((index, &mut head[0]));
-        rest = tail;
-        index += 1;
-    }
-    std::thread::scope(|scope| {
-        for stripe in stripes {
-            scope.spawn(move || {
-                for (i, slot) in stripe {
-                    *slot = Some(run_trace(&specs[i], base, policies));
-                }
-            });
-        }
-    });
-    let rows = rows
-        .into_iter()
-        .map(|r| r.expect("every slot was dealt to exactly one worker"))
+    let workers = schedule::resolve_threads(threads);
+    let nspecs = specs.len();
+    let npols = policies.len();
+    // Enough policy chunks to give every worker a task even when the
+    // suite has fewer workloads than workers.
+    let nchunks = workers.div_ceil(nspecs.max(1)).clamp(1, npols.max(1));
+    let chunk_bounds = split_bounds(npols, nchunks);
+
+    // Task t = chunk-major (c · nspecs + s): a worker's contiguous range
+    // stays within one policy chunk, maximizing arena reuse.
+    let (chunk_results, scheduler) = schedule::run_grid(
+        nchunks * nspecs,
+        workers,
+        |_| EngineArena::new(),
+        |arena, t| {
+            let c = t / nspecs.max(1);
+            let s = t - c * nspecs.max(1);
+            let (lo, hi) = chunk_bounds[c];
+            let streamed = specs[s].streamed();
+            run_lanes_multi(
+                base,
+                std::slice::from_ref(&base.icache),
+                &policies[lo..hi],
+                true,
+                &streamed,
+                arena,
+            )
+            .pop()
+            .unwrap_or_default()
+        },
+    );
+
+    let rows = specs
+        .iter()
+        .enumerate()
+        .map(|(s, spec)| {
+            let mut all: Vec<RunResult> = Vec::with_capacity(npols);
+            for c in 0..nchunks {
+                all.extend(chunk_results[c * nspecs + s].iter().copied());
+            }
+            row_from_results(spec, &all)
+        })
         .collect();
     SuiteResult {
         policies: policies.to_vec(),
         rows,
+        scheduler,
     }
 }
 
@@ -293,6 +333,114 @@ mod tests {
     }
 
     #[test]
+    fn more_threads_than_workloads_still_parallelizes() {
+        // 2 workloads × 7 threads: the flattened grid splits the policy
+        // set into chunks instead of silently clamping to 2 threads.
+        let specs: Vec<WorkloadSpec> = tiny_suite().into_iter().take(2).collect();
+        let cfg = SimConfig::paper_default();
+        let pols = [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Srrip,
+            PolicyKind::Ghrp,
+        ];
+        let serial = run_suite(&specs, &cfg, &pols, 1);
+        let wide = run_suite(&specs, &cfg, &pols, 7);
+        assert_eq!(serial, wide);
+        assert!(
+            wide.scheduler.workers > 2,
+            "policy chunking should engage more than one worker per workload: {:?}",
+            wide.scheduler
+        );
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let specs: Vec<WorkloadSpec> = tiny_suite().into_iter().take(1).collect();
+        let cfg = SimConfig::paper_default();
+        let auto = run_suite(&specs, &cfg, &[PolicyKind::Lru], 0);
+        let serial = run_suite(&specs, &cfg, &[PolicyKind::Lru], 1);
+        assert_eq!(auto, serial);
+        assert!(auto.scheduler.workers >= 1);
+    }
+
+    #[test]
+    fn scheduler_stats_account_for_every_task() {
+        let specs = tiny_suite();
+        let result = run_suite(
+            &specs,
+            &SimConfig::paper_default(),
+            &[PolicyKind::Lru, PolicyKind::Srrip],
+            3,
+        );
+        let s = &result.scheduler;
+        assert_eq!(
+            s.per_worker.iter().map(|w| w.tasks).sum::<u64>(),
+            s.tasks,
+            "per-worker task counts must sum to the grid size"
+        );
+        assert!(s.utilization() > 0.0);
+    }
+
+    mod equivalence_props {
+        use super::*;
+        use crate::sweep::{run_sweep, SweepResult};
+        use proptest::prelude::*;
+
+        /// Build a suite with `n` workloads; workload `heavy` (if any)
+        /// runs 10× longer than the rest — a steal-heavy skew.
+        fn skewed_suite(n: usize, seed: u64, heavy: Option<usize>) -> Vec<WorkloadSpec> {
+            suite(n, seed)
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let instr = if heavy == Some(i) { 300_000 } else { 30_000 };
+                    s.instructions(instr)
+                })
+                .collect()
+        }
+
+        proptest! {
+            /// The tentpole determinism claim: any thread count drains
+            /// the flattened grid to bit-identical rows, including under
+            /// steal-heavy skew (one 10× workload). `skew >= n` means no
+            /// skewed workload this case.
+            #[test]
+            fn suite_bit_identical_across_thread_counts(
+                n in 1usize..6,
+                seed in 0u64..1000,
+                skew in 0usize..12,
+                threads in 2usize..=8,
+            ) {
+                let heavy = (skew < n).then_some(skew);
+                let specs = skewed_suite(n, seed, heavy);
+                let pols = [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Ghrp];
+                let cfg = SimConfig::paper_default();
+                let serial = run_suite(&specs, &cfg, &pols, 1);
+                let parallel = run_suite(&specs, &cfg, &pols, threads);
+                prop_assert_eq!(serial, parallel);
+            }
+
+            /// Sweep grids (geometry-fused, BTB-skipping) are likewise
+            /// bit-identical to the serial drain at any thread count.
+            #[test]
+            fn sweep_bit_identical_across_thread_counts(
+                n in 1usize..4,
+                seed in 0u64..1000,
+                threads in 2usize..=8,
+            ) {
+                let specs = skewed_suite(n, seed, (n > 1).then_some(0));
+                let geoms = [(8 * 1024, 4), (16 * 1024, 4), (32 * 1024, 8)];
+                let pols = [PolicyKind::Lru, PolicyKind::Ghrp];
+                let cfg = SimConfig::paper_default();
+                let serial: SweepResult = run_sweep(&specs, &cfg, &pols, &geoms, 1);
+                let parallel = run_sweep(&specs, &cfg, &pols, &geoms, threads);
+                prop_assert_eq!(serial, parallel);
+            }
+        }
+    }
+
+    #[test]
     fn columns_and_means_consistent() {
         let specs = tiny_suite();
         let result = run_suite(&specs, &SimConfig::paper_default(), &[PolicyKind::Lru], 2);
@@ -324,6 +472,7 @@ mod tests {
                     branch_mpki: 0.0,
                 },
             ],
+            scheduler: SchedulerStats::default(),
         };
         let f = result.filter_min_icache_mpki(PolicyKind::Lru, 1.0);
         assert_eq!(f.rows.len(), 1);
@@ -345,6 +494,7 @@ mod tests {
         let result = SuiteResult {
             policies: vec![PolicyKind::Lru],
             rows: vec![],
+            scheduler: SchedulerStats::default(),
         };
         let _ = result.icache_column(PolicyKind::Ghrp);
     }

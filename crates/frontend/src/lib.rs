@@ -17,7 +17,11 @@
 //!   producing per-trace MPKI tables (built on [`engine`], with streaming
 //!   trace replay so paper-scale suites never materialize record
 //!   vectors).
-//! * [`sweep`] — cache-geometry sweeps (the paper's Figure 7).
+//! * [`schedule`] — the dependency-free work-stealing scheduler that
+//!   drains the flattened suite/sweep task grids, with per-worker lane
+//!   arenas ([`engine::EngineArena`]) reused across tasks.
+//! * [`sweep`] — cache-geometry sweeps (the paper's Figure 7), fused so
+//!   one trace replay drives the lanes of every geometry at once.
 //! * [`stats`] — means, 95% confidence intervals on relative differences
 //!   (Figure 8), win/loss counts vs LRU (Figure 9), and S-curve ordering
 //!   (Figures 3 and 11).
@@ -37,11 +41,13 @@
 pub mod engine;
 pub mod experiment;
 pub mod policy;
+pub mod schedule;
 pub mod simulator;
 pub mod stats;
 pub mod sweep;
 
-pub use engine::{run_lanes, ReplaySource, SliceReplay};
+pub use engine::{run_lanes, run_lanes_multi, EngineArena, ReplaySource, SliceReplay};
 pub use experiment::{SuiteResult, TraceRow};
 pub use policy::PolicyKind;
+pub use schedule::SchedulerStats;
 pub use simulator::{RunResult, SimConfig, Simulator};

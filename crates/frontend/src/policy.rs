@@ -158,6 +158,9 @@ impl ReplacementPolicy for AnyPolicy {
     fn on_fill(&mut self, way: usize, ctx: &AccessContext) {
         dispatch!(self, p => p.on_fill(way, ctx));
     }
+    fn reset(&mut self) {
+        dispatch!(self, p => p.reset());
+    }
     fn name(&self) -> String {
         dispatch!(self, p => p.name())
     }

@@ -1,10 +1,24 @@
 //! Cache-geometry sweeps (the paper's Figure 7).
+//!
+//! The sweep is the workspace's heaviest experiment, and its geometries
+//! differ only in capacity/associativity — never block size. The
+//! policy-independent front end (fetch decode, direction predictor, RAS,
+//! indirect target cache) is therefore identical across every geometry,
+//! so [`run_sweep`] *fuses* geometries: one trace replay drives the lane
+//! grid of several geometries at once via
+//! [`crate::engine::run_lanes_multi`], and the per-lane BTBs are skipped
+//! entirely because a [`SweepPoint`] consumes only I-cache means. Both
+//! optimizations leave the reported means bit-identical to the
+//! one-suite-per-geometry path (locked in by tests below and the
+//! equivalence property suite).
 
 #![forbid(unsafe_code)]
 
-use crate::experiment::{run_suite, SuiteResult};
+use crate::engine::{run_lanes_multi, EngineArena};
 use crate::policy::PolicyKind;
+use crate::schedule::{self, SchedulerStats};
 use crate::simulator::SimConfig;
+use crate::stats;
 use fe_cache::CacheConfig;
 use fe_trace::synth::WorkloadSpec;
 use serde::{Deserialize, Serialize};
@@ -22,12 +36,23 @@ pub struct SweepPoint {
 }
 
 /// Result of a full geometry sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepResult {
     /// Policies, in column order.
     pub policies: Vec<PolicyKind>,
     /// One point per geometry, in the order supplied.
     pub points: Vec<SweepPoint>,
+    /// Scheduler observability for the run (worker utilization, steals).
+    pub scheduler: SchedulerStats,
+}
+
+/// Equality compares the scientific payload only (policies and points);
+/// scheduler counters are run-specific timing observability and must not
+/// make two bit-identical simulations compare unequal.
+impl PartialEq for SweepResult {
+    fn eq(&self, other: &SweepResult) -> bool {
+        self.policies == other.policies && self.points == other.points
+    }
 }
 
 impl SweepResult {
@@ -68,9 +93,19 @@ pub fn paper_geometries() -> Vec<(u64, u32)> {
 
 /// Sweep the suite over `geometries` (capacity, ways) pairs.
 ///
+/// `threads = 0` means "use every available hardware thread". The grid is
+/// `workload × geometry-group`: geometries fuse into as few groups as the
+/// thread budget allows (one group when `threads <= specs.len()`), each
+/// group costing a single trace replay per workload. More threads split
+/// the geometries into more groups for extra parallelism; per-point means
+/// are bit-identical either way. Per-lane BTBs are skipped — sweep points
+/// consume I-cache means only, and the GHRP BTB policy never writes the
+/// shared predictor.
+///
 /// # Panics
 ///
-/// Panics if a geometry is invalid (non-power-of-two sets).
+/// Panics if a geometry is invalid (non-power-of-two sets) or differs
+/// from the base block size; propagates worker panics.
 pub fn run_sweep(
     specs: &[WorkloadSpec],
     base: &SimConfig,
@@ -78,27 +113,79 @@ pub fn run_sweep(
     geometries: &[(u64, u32)],
     threads: usize,
 ) -> SweepResult {
-    let mut points = Vec::with_capacity(geometries.len());
-    for &(capacity, ways) in geometries {
-        let icache = CacheConfig::with_capacity(capacity, ways, base.icache.block_bytes())
-            .expect("valid sweep geometry");
-        let cfg = base.with_icache(icache);
-        let suite: SuiteResult = run_suite(specs, &cfg, policies, threads);
+    let workers = schedule::resolve_threads(threads);
+    let nspecs = specs.len();
+    let ngeoms = geometries.len();
+    let npols = policies.len();
+    if ngeoms == 0 {
+        return SweepResult {
+            policies: policies.to_vec(),
+            points: Vec::new(),
+            scheduler: SchedulerStats::default(),
+        };
+    }
+    let icaches: Vec<CacheConfig> = geometries
+        .iter()
+        .map(|&(capacity, ways)| {
+            CacheConfig::with_capacity(capacity, ways, base.icache.block_bytes())
+                .expect("valid sweep geometry")
+        })
+        .collect();
+    // Fuse geometries into as few groups as the thread budget allows.
+    let ngroups = workers.div_ceil(nspecs.max(1)).clamp(1, ngeoms);
+    let group_bounds = crate::experiment::split_bounds(ngeoms, ngroups);
+
+    // Task t = group-major (g · nspecs + s): a worker's contiguous range
+    // stays within one geometry group, maximizing arena reuse.
+    let (group_results, scheduler) = schedule::run_grid(
+        ngroups * nspecs,
+        workers,
+        |_| EngineArena::new(),
+        |arena, t| {
+            let g = t / nspecs.max(1);
+            let s = t - g * nspecs.max(1);
+            let (lo, hi) = group_bounds[g];
+            let streamed = specs[s].streamed();
+            run_lanes_multi(base, &icaches[lo..hi], policies, false, &streamed, arena)
+        },
+    );
+
+    let mut points = Vec::with_capacity(ngeoms);
+    for (gi, &(capacity, ways)) in geometries.iter().enumerate() {
+        // The group holding geometry gi, and its offset within the group.
+        let (g, (lo, _)) = group_bounds
+            .iter()
+            .enumerate()
+            .map(|(g, &b)| (g, b))
+            .find(|&(_, (lo, hi))| lo <= gi && gi < hi)
+            .unwrap_or((0, (0, 0)));
+        let icache_means = (0..npols)
+            .map(|p| {
+                // Accumulate in spec order: identical float-summation
+                // order to the unfused per-geometry suite path.
+                let column: Vec<f64> = (0..nspecs)
+                    .map(|s| group_results[g * nspecs + s][gi - lo][p].icache_mpki())
+                    .collect();
+                stats::mean(&column)
+            })
+            .collect();
         points.push(SweepPoint {
             capacity_bytes: capacity,
             ways,
-            icache_means: suite.icache_means(),
+            icache_means,
         });
     }
     SweepResult {
         policies: policies.to_vec(),
         points,
+        scheduler,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::run_suite;
     use fe_trace::synth::{suite, WorkloadCategory};
 
     #[test]
@@ -133,6 +220,46 @@ mod tests {
     }
 
     #[test]
+    fn fused_sweep_matches_per_geometry_suites() {
+        // The geometry-fused, BTB-skipping sweep must reproduce the
+        // means of one full suite per geometry exactly.
+        let specs: Vec<_> = suite(3, 21)
+            .into_iter()
+            .map(|s| s.instructions(60_000))
+            .collect();
+        let cfg = SimConfig::paper_default();
+        let pols = [PolicyKind::Lru, PolicyKind::Sdbp, PolicyKind::Ghrp];
+        let geoms = [(8 * 1024, 4), (16 * 1024, 8), (64 * 1024, 8)];
+        let swept = run_sweep(&specs, &cfg, &pols, &geoms, 1);
+        for (point, &(capacity, ways)) in swept.points.iter().zip(&geoms) {
+            let icache = fe_cache::CacheConfig::with_capacity(capacity, ways, 64)
+                .expect("valid test geometry");
+            let suite_result = run_suite(&specs, &cfg.with_icache(icache), &pols, 1);
+            assert_eq!(
+                point.icache_means,
+                suite_result.icache_means(),
+                "{capacity}B {ways}-way diverged from the unfused path"
+            );
+        }
+    }
+
+    #[test]
+    fn offline_policy_sweeps_match_serial() {
+        // OPT lanes disable arena reuse; the sweep must still agree
+        // across thread counts.
+        let specs: Vec<_> = suite(2, 9)
+            .into_iter()
+            .map(|s| s.instructions(40_000))
+            .collect();
+        let cfg = SimConfig::paper_default();
+        let pols = [PolicyKind::Opt, PolicyKind::Lru];
+        let geoms = [(8 * 1024, 4), (32 * 1024, 8)];
+        let serial = run_sweep(&specs, &cfg, &pols, &geoms, 1);
+        let parallel = run_sweep(&specs, &cfg, &pols, &geoms, 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn render_lists_configs() {
         let r = SweepResult {
             policies: vec![PolicyKind::Lru],
@@ -141,6 +268,7 @@ mod tests {
                 ways: 4,
                 icache_means: vec![3.25],
             }],
+            scheduler: SchedulerStats::default(),
         };
         let s = r.render();
         assert!(s.contains("8KB 4-way"));

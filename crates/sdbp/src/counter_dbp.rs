@@ -125,6 +125,14 @@ impl ReplacementPolicy for CounterDbpPolicy {
         self.touch(ctx.set, way);
     }
 
+    fn reset(&mut self) {
+        self.access_count.fill(0);
+        self.frame_key.fill(0);
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.table.fill(Learned::default());
+    }
+
     fn name(&self) -> String {
         "CounterDBP".to_owned()
     }

@@ -361,6 +361,18 @@ impl ReplacementPolicy for SdbpPolicy {
         self.touch(ctx.set, way);
     }
 
+    fn reset(&mut self) {
+        for t in &mut self.tables {
+            t.fill(0);
+        }
+        self.sampler.fill(SamplerEntry::default());
+        self.predicted_dead.fill(false);
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.current_sig = 0;
+        self.stats = SdbpStats::default();
+    }
+
     fn name(&self) -> String {
         "SDBP".to_owned()
     }

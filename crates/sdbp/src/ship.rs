@@ -150,6 +150,15 @@ impl ReplacementPolicy for ShipPolicy {
         };
     }
 
+    fn reset(&mut self) {
+        self.rrpv.fill(self.max_rrpv);
+        self.frame_sig.fill(0);
+        self.outcome.fill(false);
+        // Back to the weakly-re-referenced starting credit.
+        self.shct.fill(1);
+        self.current_sig = 0;
+    }
+
     fn name(&self) -> String {
         "SHiP".to_owned()
     }

@@ -154,7 +154,10 @@ fn walk(dir: &Path, class: FileClass, root: &Path, out: &mut Vec<SourceFile>) {
 /// the project conventions.
 pub fn is_hot_path(rel: &Path) -> bool {
     let s = normalized(rel);
-    s.ends_with("/cache.rs") || s.contains("/policy/") || s.contains("/core/src/")
+    s.ends_with("/cache.rs")
+        || s.contains("/policy/")
+        || s.contains("/core/src/")
+        || s.ends_with("/frontend/src/schedule.rs")
 }
 
 /// Whether the file hosts the canonical mask/idx helpers (exempt from
@@ -191,6 +194,10 @@ mod tests {
         assert!(is_hot_path(Path::new("crates/cache/src/cache.rs")));
         assert!(is_hot_path(Path::new("crates/cache/src/policy/lru.rs")));
         assert!(is_hot_path(Path::new("crates/core/src/tables.rs")));
+        // The scheduler's steal loop is a hot path: a panic there would
+        // poison the whole worker pool mid-drain.
+        assert!(is_hot_path(Path::new("crates/frontend/src/schedule.rs")));
+        assert!(!is_hot_path(Path::new("crates/frontend/src/sweep.rs")));
         assert!(!is_hot_path(Path::new("crates/bench/src/lib.rs")));
         assert!(!is_hot_path(Path::new("src/lib.rs")));
         assert!(is_index_helper(Path::new("crates/cache/src/index.rs")));

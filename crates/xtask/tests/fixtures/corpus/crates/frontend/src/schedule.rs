@@ -1,0 +1,28 @@
+#![forbid(unsafe_code)]
+//! Steal-loop fixture: `frontend/src/schedule.rs` is a scheduler hot
+//! path, so the `no-panic` and indexing rules must fire on its drain loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn pop_front(range: &AtomicU64) -> u64 {
+    // A panic here would poison the pool: .unwrap() must be flagged.
+    let v = range.load(Ordering::Acquire);
+    v.checked_shr(32).unwrap()
+}
+
+pub fn steal(ranges: &[AtomicU64], w: usize, num_entries: usize) -> u64 {
+    let victim = (w + 1) % num_entries;
+    ranges[victim as usize].load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steal_never_panics() {
+        let ranges = [AtomicU64::new(7)];
+        let got: Option<u64> = Some(steal(&ranges, 0, 1));
+        got.unwrap();
+    }
+}

@@ -83,6 +83,10 @@ impl ReplacementPolicy for TreePlru {
         self.touch(ctx.set, way);
     }
 
+    fn reset(&mut self) {
+        self.bits.fill(false);
+    }
+
     fn name(&self) -> String {
         "tree-PLRU".to_owned()
     }
