@@ -1,37 +1,10 @@
-//! Ablation: bypass on/off for the I-cache and BTB under GHRP.
+//! Thin dispatch into the `ablate_bypass` registry experiment (see
+//! `fe_bench::experiment`); `report run ablate_bypass` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_frontend::{experiment, policy::PolicyKind};
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let specs = args.suite();
-    println!("== Ablation: GHRP bypass ({} traces) ==", specs.len());
-    let lru = experiment::run_suite(&specs, &args.sim(), &[PolicyKind::Lru], args.threads);
-    println!(
-        "{:<26} {:>12} {:>10} {:>12} {:>10}",
-        "bypass (icache, btb)", "icache MPKI", "vs LRU", "btb MPKI", "vs LRU"
-    );
-    let (il, bl) = (lru.icache_means()[0], lru.btb_means()[0]);
-    println!(
-        "{:<26} {:>12.3} {:>10} {:>12.3} {:>10}",
-        "(LRU baseline)", il, "-", bl, "-"
-    );
-    for (ib, bb) in [(true, true), (true, false), (false, true), (false, false)] {
-        let mut cfg = args.sim().with_policy(PolicyKind::Ghrp);
-        cfg.ghrp.enable_bypass = ib;
-        cfg.ghrp.btb_enable_bypass = bb;
-        let r = experiment::run_suite(&specs, &cfg, &[PolicyKind::Ghrp], args.threads);
-        let (im, bm) = (r.icache_means()[0], r.btb_means()[0]);
-        println!(
-            "{:<26} {:>12.3} {:>9.1}% {:>12.3} {:>9.1}%",
-            format!("({ib}, {bb})"),
-            im,
-            (im - il) / il * 100.0,
-            bm,
-            (bm - bl) / bl * 100.0
-        );
-    }
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("ablate_bypass")
 }

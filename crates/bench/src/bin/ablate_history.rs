@@ -1,43 +1,10 @@
-//! Ablation (§III.A): history depth and signature formula.
-//!
-//! Sweeps the number of PC bits shifted in per access and the history
-//! width — depth 0 reduces GHRP to a PC-indexed (SDBP-like) predictor.
+//! Thin dispatch into the `ablate_history` registry experiment (see
+//! `fe_bench::experiment`); `report run ablate_history` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_frontend::{experiment, policy::PolicyKind};
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let specs = args.suite();
-    println!(
-        "== Ablation: GHRP history geometry ({} traces) ==",
-        specs.len()
-    );
-    let lru = experiment::run_suite(&specs, &args.sim(), &[PolicyKind::Lru], args.threads);
-    let lru_mean = lru.icache_means()[0];
-    println!("{:<34} {:>12} {:>10}", "history", "icache MPKI", "vs LRU");
-    println!("{:<34} {:>12.3} {:>10}", "(LRU baseline)", lru_mean, "-");
-    // (history_bits, pc_bits, pad_bits): depth = bits / (pc+pad).
-    for (hb, pcb, pad, label) in [
-        (16u32, 3u32, 1u32, "16b, 3+1 per access (paper, d=4)"),
-        (16, 4, 0, "16b, 4+0 per access (d=4, no pad)"),
-        (16, 2, 2, "16b, 2+2 per access (d=4)"),
-        (8, 3, 1, "8b, 3+1 per access (d=2)"),
-        (4, 3, 1, "4b, 3+1 per access (d=1)"),
-    ] {
-        let mut cfg = args.sim().with_policy(PolicyKind::Ghrp);
-        cfg.ghrp.history_bits = hb;
-        cfg.ghrp.pc_bits_per_access = pcb;
-        cfg.ghrp.pad_bits_per_access = pad;
-        let r = experiment::run_suite(&specs, &cfg, &[PolicyKind::Ghrp], args.threads);
-        let m = r.icache_means()[0];
-        println!(
-            "{:<34} {:>12.3} {:>9.1}%",
-            label,
-            m,
-            (m - lru_mean) / lru_mean * 100.0
-        );
-    }
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("ablate_history")
 }

@@ -1,38 +1,10 @@
-//! Extension ablation: next-line instruction prefetching vs predictive
-//! replacement (§II.E positions GHRP against prefetch-heavy designs —
-//! this measures whether a simple prefetcher subsumes the replacement
-//! gains, and whether the two compose).
+//! Thin dispatch into the `ablate_prefetch` registry experiment (see
+//! `fe_bench::experiment`); `report run ablate_prefetch` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_frontend::{experiment, policy::PolicyKind};
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let specs = args.suite();
-    println!(
-        "== Ablation: next-line prefetch x replacement policy ({} traces) ==",
-        specs.len()
-    );
-    println!(
-        "{:<26} {:>12} {:>12}",
-        "configuration", "LRU MPKI", "GHRP MPKI"
-    );
-    for degree in [0u32, 1, 2] {
-        let mut cfg = args.sim();
-        cfg.prefetch_degree = degree;
-        let r = experiment::run_suite(
-            &specs,
-            &cfg,
-            &[PolicyKind::Lru, PolicyKind::Ghrp],
-            args.threads,
-        );
-        println!(
-            "{:<26} {:>12.3} {:>12.3}",
-            format!("prefetch degree {degree}"),
-            r.icache_means()[0],
-            r.icache_means()[1]
-        );
-    }
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("ablate_prefetch")
 }

@@ -1,41 +1,10 @@
-//! Ablation (§II.A): why set-sampling fails for instruction streams.
-//!
-//! Runs SDBP with the paper's full-size sampler (every set) and with
-//! LLC-style sparse samplers. Because the PC forms the I-cache index, a
-//! sparse sampler never observes most PCs and cannot generalize — the
-//! sparse variants should collapse toward (or below) LRU.
+//! Thin dispatch into the `ablate_sampler` registry experiment (see
+//! `fe_bench::experiment`); `report run ablate_sampler` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_frontend::{experiment, policy::PolicyKind};
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let specs = args.suite();
-    println!(
-        "== Ablation: SDBP sampler density ({} traces) ==",
-        specs.len()
-    );
-    let lru = experiment::run_suite(&specs, &args.sim(), &[PolicyKind::Lru], args.threads);
-    let lru_mean = lru.icache_means()[0];
-    println!("{:<30} {:>12} {:>10}", "sampler", "icache MPKI", "vs LRU");
-    println!("{:<30} {:>12.3} {:>10}", "(LRU baseline)", lru_mean, "-");
-    for (every, label) in [
-        (1u32, "every set (paper, full-size)"),
-        (4, "every 4th set"),
-        (16, "every 16th set"),
-        (64, "every 64th set (LLC-style)"),
-    ] {
-        let mut cfg = args.sim().with_policy(PolicyKind::Sdbp);
-        cfg.sdbp.sampler_every = every;
-        let r = experiment::run_suite(&specs, &cfg, &[PolicyKind::Sdbp], args.threads);
-        let m = r.icache_means()[0];
-        println!(
-            "{:<30} {:>12.3} {:>9.1}%",
-            label,
-            m,
-            (m - lru_mean) / lru_mean * 100.0
-        );
-    }
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("ablate_sampler")
 }

@@ -1,49 +1,10 @@
-//! Ablation: this reproduction's training/freshness deviations.
-//!
-//! Quantifies the effect of (a) shadow-LRU training vs the paper's
-//! literal train-on-own-evictions, and (b) fresh victim predictions vs
-//! the stored per-block prediction bit.
+//! Thin dispatch into the `ablate_training` registry experiment (see
+//! `fe_bench::experiment`); `report run ablate_training` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_frontend::{experiment, policy::PolicyKind};
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let specs = args.suite();
-    println!(
-        "== Ablation: GHRP training/freshness variants ({} traces) ==",
-        specs.len()
-    );
-    let lru = experiment::run_suite(&specs, &args.sim(), &[PolicyKind::Lru], args.threads);
-    let (il, bl) = (lru.icache_means()[0], lru.btb_means()[0]);
-    println!(
-        "{:<38} {:>12} {:>10} {:>12} {:>10}",
-        "variant", "icache MPKI", "vs LRU", "btb MPKI", "vs LRU"
-    );
-    println!(
-        "{:<38} {:>12.3} {:>10} {:>12.3} {:>10}",
-        "(LRU baseline)", il, "-", bl, "-"
-    );
-    for (shadow, fresh, label) in [
-        (true, true, "shadow training + fresh victims"),
-        (true, false, "shadow training + stored bits"),
-        (false, true, "direct (paper) training + fresh"),
-        (false, false, "direct training + stored (paper)"),
-    ] {
-        let mut cfg = args.sim().with_policy(PolicyKind::Ghrp);
-        cfg.ghrp.shadow_training = shadow;
-        cfg.ghrp.fresh_victim_prediction = fresh;
-        let r = experiment::run_suite(&specs, &cfg, &[PolicyKind::Ghrp], args.threads);
-        let (im, bm) = (r.icache_means()[0], r.btb_means()[0]);
-        println!(
-            "{:<38} {:>12.3} {:>9.1}% {:>12.3} {:>9.1}%",
-            label,
-            im,
-            (im - il) / il * 100.0,
-            bm,
-            (bm - bl) / bl * 100.0
-        );
-    }
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("ablate_training")
 }

@@ -1,42 +1,10 @@
-//! Ablation (§III.C): majority-vote vs summation aggregation in GHRP.
-//!
-//! The paper argues majority vote tolerates single-table aliasing without
-//! a coverage-killing threshold, and is therefore superior to SDBP-style
-//! summation for instruction streams.
+//! Thin dispatch into the `ablate_vote` registry experiment (see
+//! `fe_bench::experiment`); `report run ablate_vote` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_frontend::{experiment, policy::PolicyKind};
-use ghrp_core::Aggregation;
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let specs = args.suite();
-    println!(
-        "== Ablation: GHRP vote aggregation ({} traces) ==",
-        specs.len()
-    );
-    let lru = experiment::run_suite(&specs, &args.sim(), &[PolicyKind::Lru], args.threads);
-    let lru_mean = lru.icache_means()[0];
-    println!(
-        "{:<18} {:>12} {:>10}",
-        "aggregation", "icache MPKI", "vs LRU"
-    );
-    println!("{:<18} {:>12.3} {:>10}", "(LRU baseline)", lru_mean, "-");
-    for (name, agg) in [
-        ("majority-vote", Aggregation::MajorityVote),
-        ("sum", Aggregation::Sum),
-    ] {
-        let mut cfg = args.sim().with_policy(PolicyKind::Ghrp);
-        cfg.ghrp.aggregation = agg;
-        let r = experiment::run_suite(&specs, &cfg, &[PolicyKind::Ghrp], args.threads);
-        let m = r.icache_means()[0];
-        println!(
-            "{:<18} {:>12.3} {:>9.1}%",
-            name,
-            m,
-            (m - lru_mean) / lru_mean * 100.0
-        );
-    }
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("ablate_vote")
 }

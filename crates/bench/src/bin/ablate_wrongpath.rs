@@ -1,56 +1,10 @@
-//! Ablation (§III.F): wrong-path pollution and speculative-history
-//! recovery.
-//!
-//! Injects wrong-path fetches on conditional mispredictions and compares
-//! GHRP with and without restoring the speculative history from the
-//! retired one.
+//! Thin dispatch into the `ablate_wrongpath` registry experiment (see
+//! `fe_bench::experiment`); `report run ablate_wrongpath` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_frontend::simulator::WrongPathConfig;
-use fe_frontend::{experiment, policy::PolicyKind};
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let specs = args.suite();
-    println!(
-        "== Ablation: wrong-path injection ({} traces) ==",
-        specs.len()
-    );
-    println!("{:<40} {:>12} {:>12}", "mode", "icache MPKI", "btb MPKI");
-    for (label, wp) in [
-        ("no wrong path (trace-driven baseline)", None),
-        (
-            "wrong path, history recovery ON",
-            Some(WrongPathConfig {
-                blocks_per_misprediction: 2,
-                recover_history: true,
-            }),
-        ),
-        (
-            "wrong path, history recovery OFF",
-            Some(WrongPathConfig {
-                blocks_per_misprediction: 2,
-                recover_history: false,
-            }),
-        ),
-        (
-            "deep wrong path (4 blocks), recovery ON",
-            Some(WrongPathConfig {
-                blocks_per_misprediction: 4,
-                recover_history: true,
-            }),
-        ),
-    ] {
-        let mut cfg = args.sim().with_policy(PolicyKind::Ghrp);
-        cfg.wrong_path = wp;
-        let r = experiment::run_suite(&specs, &cfg, &[PolicyKind::Ghrp], args.threads);
-        println!(
-            "{:<40} {:>12.3} {:>12.3}",
-            label,
-            r.icache_means()[0],
-            r.btb_means()[0]
-        );
-    }
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("ablate_wrongpath")
 }

@@ -1,236 +1,21 @@
-//! Offline analysis: how informative are GHRP signatures on a trace?
+//! Thin dispatch into the `analyze_signatures` registry experiment (see
+//! `fe_bench::experiment`); `report run analyze_signatures` is
+//! equivalent.
 //!
-//! For every I-cache access, compute the ground-truth label "dead" (the
-//! block's forward reuse distance within its set, in unique blocks, is at
-//! least the associativity — i.e. LRU would lose it) and measure how well
-//! three features predict that label with an oracle per-feature majority
-//! vote: the global label, the block address (what a PC-indexed predictor
-//! like SDBP sees), and the GHRP path signature.
+//! Keeps the legacy `analyze_signatures <seed> [instr]` positionals,
+//! translating them to `--seed`/`--instr` before dispatch.
 
 #![forbid(unsafe_code)]
 
-use fe_cache::CacheConfig;
-use fe_trace::fetch::FetchStream;
-use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
-use std::collections::HashMap;
+use std::process::ExitCode;
 
-// A linear diagnostic report; each section prints one table.
-#[allow(clippy::too_many_lines)]
-fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1237);
-    let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, seed).instructions(
-        std::env::args()
-            .nth(2)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(2_000_000),
-    );
-    let t = spec.generate();
-    let cfg =
-        CacheConfig::with_capacity(64 * 1024, 8, 64).expect("64KB/8-way/64B is a valid geometry");
-
-    // Collect the block-access sequence.
-    let blocks: Vec<u64> = FetchStream::new(t.records.iter().copied(), 64)
-        .filter(|c| c.starts_group)
-        .map(|c| c.block_addr)
-        .collect();
-    let n = blocks.len();
-
-    // Forward set-unique reuse distance labels.
-    // For each access, dead = (# distinct blocks touching the same set
-    // before the next access to this block) >= ways.
-    let ways = cfg.ways() as usize;
-    let mut labels = vec![true; n]; // default dead (never reused)
-    {
-        // Walk backward keeping, per set, the recent unique-block stack.
-        let next_seen: HashMap<u64, usize> = HashMap::new(); // (unused placeholder)
-        let mut per_set_seq: HashMap<usize, Vec<usize>> = HashMap::new();
-        for (i, &b) in blocks.iter().enumerate() {
-            per_set_seq.entry(cfg.set_of(b)).or_default().push(i);
-            let _ = &next_seen;
-        }
-        // For each set, compute labels with a forward scan.
-        for (_set, seq) in per_set_seq {
-            // next occurrence index of each block within this set sequence
-            let mut next_occ: HashMap<u64, usize> = HashMap::new();
-            let mut nexts = vec![usize::MAX; seq.len()];
-            for (j, &i) in seq.iter().enumerate().rev() {
-                let b = blocks[i];
-                nexts[j] = next_occ.get(&b).copied().unwrap_or(usize::MAX);
-                next_occ.insert(b, j);
-            }
-            for (j, &i) in seq.iter().enumerate() {
-                let nj = nexts[j];
-                if nj == usize::MAX {
-                    labels[i] = true;
-                    continue;
-                }
-                // Count unique other blocks in (j, nj).
-                let mut uniq = std::collections::HashSet::new();
-                for &k in &seq[j + 1..nj] {
-                    uniq.insert(blocks[k]);
-                    if uniq.len() >= ways {
-                        break;
-                    }
-                }
-                labels[i] = uniq.len() >= ways;
-            }
-        }
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.get(1).is_some_and(|a| a.parse::<u64>().is_ok()) {
+        args.insert(1, "--instr".to_owned());
     }
-
-    // Signature stream (GHRP formula).
-    let mut sigs = vec![0u16; n];
-    let mut hist: u64 = 0;
-    for (i, &b) in blocks.iter().enumerate() {
-        let pc = b >> 6;
-        sigs[i] = ((hist ^ pc) & 0xFFFF) as u16;
-        hist = ((hist << 4) | ((pc & 0x7) << 1)) & 0xFFFF;
+    if args.first().is_some_and(|a| a.parse::<u64>().is_ok()) {
+        args.insert(0, "--seed".to_owned());
     }
-
-    let dead_total = labels.iter().filter(|&&d| d).count();
-    println!(
-        "accesses {n}, dead fraction {:.3}",
-        dead_total as f64 / n as f64
-    );
-
-    // Oracle majority accuracy per feature.
-    let feature_accuracy = |keys: &[u64]| -> f64 {
-        let mut counts: HashMap<u64, (u32, u32)> = HashMap::new();
-        for (k, &d) in keys.iter().zip(&labels) {
-            let e = counts.entry(*k).or_default();
-            if d {
-                e.0 += 1;
-            } else {
-                e.1 += 1;
-            }
-        }
-        let correct: u64 = counts.values().map(|&(d, l)| u64::from(d.max(l))).sum();
-        correct as f64 / n as f64
-    };
-    // Dead-class precision/recall for an oracle per-key majority predictor.
-    let dead_class = |keys: &[u64]| -> (f64, f64) {
-        let mut counts: HashMap<u64, (u32, u32)> = HashMap::new();
-        for (k, &d) in keys.iter().zip(&labels) {
-            let e = counts.entry(*k).or_default();
-            if d {
-                e.0 += 1;
-            } else {
-                e.1 += 1;
-            }
-        }
-        let mut tp = 0u64; // predicted dead, was dead
-        let mut fp = 0u64; // predicted dead, was live
-        let mut fnn = 0u64; // predicted live, was dead
-        for (k, &d) in keys.iter().zip(&labels) {
-            let (dc, lc) = counts[k];
-            let pred_dead = dc > lc;
-            match (pred_dead, d) {
-                (true, true) => tp += 1,
-                (true, false) => fp += 1,
-                (false, true) => fnn += 1,
-                _ => {}
-            }
-        }
-        let precision = if tp + fp == 0 {
-            0.0
-        } else {
-            tp as f64 / (tp + fp) as f64
-        };
-        let recall = if tp + fnn == 0 {
-            0.0
-        } else {
-            tp as f64 / (tp + fnn) as f64
-        };
-        (precision, recall)
-    };
-    let (bp, br) = dead_class(&blocks);
-    let sig_keys_u64: Vec<u64> = sigs.iter().map(|&s| u64::from(s)).collect();
-    let (sp, sr) = dead_class(&sig_keys_u64);
-    println!("dead-class per-block:     precision {bp:.3} recall {br:.3}");
-    println!("dead-class per-signature: precision {sp:.3} recall {sr:.3}");
-
-    // Online simulation: 3 skewed tables of 2-bit counters trained with
-    // the TRUE label after each access (no policy feedback). Measures how
-    // much of the oracle per-signature ceiling online counters capture.
-    {
-        use ghrp_core::signature::table_index;
-        for (ibits, bits, thr) in [
-            (12u32, 2u32, 1u8),
-            (12, 2, 2),
-            (13, 2, 1),
-            (14, 2, 1),
-            (14, 2, 2),
-            (15, 2, 1),
-            (14, 3, 2),
-        ] {
-            let maxc = (1u16 << bits) - 1;
-            let mut tables = vec![vec![0u16; 1usize << ibits]; 3];
-            let (mut tp, mut fp, mut fnn) = (0u64, 0u64, 0u64);
-            for (i, &sig) in sigs.iter().enumerate() {
-                let idx: Vec<usize> = (0..3).map(|t| table_index(sig, t, ibits)).collect();
-                let votes = (0..3)
-                    .filter(|&t| tables[t][idx[t]] >= u16::from(thr))
-                    .count();
-                let pred_dead = votes >= 2;
-                let d = labels[i];
-                match (pred_dead, d) {
-                    (true, true) => tp += 1,
-                    (true, false) => fp += 1,
-                    (false, true) => fnn += 1,
-                    _ => {}
-                }
-                for t in 0..3 {
-                    let c = &mut tables[t][idx[t]];
-                    if d {
-                        *c = (*c + 1).min(maxc);
-                    } else {
-                        *c = c.saturating_sub(1);
-                    }
-                }
-            }
-            let prec = if tp + fp == 0 {
-                0.0
-            } else {
-                tp as f64 / (tp + fp) as f64
-            };
-            let rec = if tp + fnn == 0 {
-                0.0
-            } else {
-                tp as f64 / (tp + fnn) as f64
-            };
-            println!("online counters ibits={ibits} bits={bits} thr={thr}: dead precision {prec:.3} recall {rec:.3}");
-        }
-    }
-
-    let global_acc = (dead_total.max(n - dead_total)) as f64 / n as f64;
-    let block_keys: Vec<u64> = blocks.clone();
-    let sig_keys: Vec<u64> = sigs.iter().map(|&s| u64::from(s)).collect();
-    let blocksig_keys: Vec<u64> = blocks
-        .iter()
-        .zip(&sigs)
-        .map(|(&b, &s)| (b << 16) | u64::from(s))
-        .collect();
-    println!("oracle accuracy: global-majority {global_acc:.3}");
-    println!(
-        "oracle accuracy: per-block (PC)  {:.3}",
-        feature_accuracy(&block_keys)
-    );
-    println!(
-        "oracle accuracy: per-signature   {:.3}",
-        feature_accuracy(&sig_keys)
-    );
-    println!(
-        "oracle accuracy: block+signature  {:.3}",
-        feature_accuracy(&blocksig_keys)
-    );
-    // Distinct key counts (table-pressure estimate).
-    let uniq = |ks: &[u64]| ks.iter().collect::<std::collections::HashSet<_>>().len();
-    println!(
-        "distinct: blocks {}, signatures {}, block+sig {}",
-        uniq(&block_keys),
-        uniq(&sig_keys),
-        uniq(&blocksig_keys)
-    );
+    fe_bench::experiment::run_bin_with("analyze_signatures", args)
 }

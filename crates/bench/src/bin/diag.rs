@@ -1,35 +1,17 @@
-//! Diagnostic: per-trace footprints and MPKI under LRU/Random/GHRP.
+//! Thin dispatch into the `diag` registry experiment (see
+//! `fe_bench::experiment`); `report run diag` is equivalent.
+//!
+//! Keeps the legacy `diag <n>` positional: a single leading number is
+//! translated to `--traces <n>` before dispatch.
 
 #![forbid(unsafe_code)]
-use fe_frontend::{experiment, policy::PolicyKind, simulator::SimConfig};
-use fe_trace::synth::suite;
-use fe_trace::TraceStats;
 
-fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
-    let specs = suite(n, 1234);
-    let pols = [
-        PolicyKind::Lru,
-        PolicyKind::Random,
-        PolicyKind::Srrip,
-        PolicyKind::Ghrp,
-    ];
-    for spec in &specs {
-        let t = spec.generate();
-        let st = TraceStats::compute(&t.records);
-        let row = experiment::run_trace(spec, &SimConfig::paper_default(), &pols);
-        println!(
-            "{:<20} static={:>5}KB dyn={:>5}KB brpc={:>6} | LRU {:>7.3} Rnd {:>7.3} SRRIP {:>7.3} GHRP {:>7.3} | btb LRU {:>7.3} GHRP {:>7.3} | bp {:>5.2}",
-            spec.name,
-            t.code_bytes / 1024,
-            st.footprint_bytes() / 1024,
-            st.distinct_branch_pcs,
-            row.icache_mpki[0], row.icache_mpki[1], row.icache_mpki[2], row.icache_mpki[3],
-            row.btb_mpki[0], row.btb_mpki[3],
-            row.branch_mpki,
-        );
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a.parse::<usize>().is_ok()) {
+        args.insert(0, "--traces".to_owned());
     }
+    fe_bench::experiment::run_bin_with("diag", args)
 }

@@ -1,91 +1,10 @@
-//! Lab notebook: wall-clock breakdown of the single-pass engine.
-//!
-//! Times each layer of one engine pass in isolation — walker, fetch
-//! decode, shared predictors, and each policy lane alone — to show where
-//! a multi-policy run spends its time and what the single-pass engine
-//! can and cannot amortize.
+//! Thin dispatch into the `engine_profile` registry experiment (see
+//! `fe_bench::experiment`); `report run engine_profile` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_frontend::engine::{run_lanes, SliceReplay};
-use fe_frontend::{policy::PolicyKind, simulator::SimConfig};
-use fe_trace::fetch::FetchStream;
-use fe_trace::synth::{suite, WorkloadSpec};
-use std::time::Instant;
+use std::process::ExitCode;
 
-fn time<T>(label: &str, f: impl FnOnce() -> T) -> T {
-    let t0 = Instant::now();
-    let out = f();
-    println!("{label:<34} {:>9.1} ms", t0.elapsed().as_secs_f64() * 1e3);
-    out
-}
-
-fn main() {
-    let specs: Vec<WorkloadSpec> = suite(4, 1234)
-        .into_iter()
-        .map(|s| s.instructions(400_000))
-        .collect();
-    let cfg = SimConfig::paper_default();
-
-    let traces = time("generate (materialize)", || {
-        specs.iter().map(WorkloadSpec::generate).collect::<Vec<_>>()
-    });
-    time("walker only (streaming pass)", || {
-        for s in &specs {
-            let program = s.build_program();
-            for r in s.walk(&program) {
-                std::hint::black_box(r);
-            }
-        }
-    });
-    time("fetch decode only (from slice)", || {
-        for t in &traces {
-            for c in FetchStream::new(t.records.iter().copied(), 64) {
-                std::hint::black_box(c);
-            }
-        }
-    });
-    // Event volume: how much work one lane does per trace replay.
-    {
-        let mut accesses = 0u64;
-        let mut lookups = 0u64;
-        for t in &traces {
-            let r = &run_lanes(&cfg, &[PolicyKind::Lru], &SliceReplay::from_trace(t))[0];
-            accesses += r.icache.accesses;
-            lookups += r.btb_lookups;
-        }
-        println!("events/lane: {accesses} icache accesses, {lookups} btb lookups (post-warmup)");
-    }
-    for &p in &[
-        PolicyKind::Lru,
-        PolicyKind::Fifo,
-        PolicyKind::Random,
-        PolicyKind::Srrip,
-        PolicyKind::Drrip,
-        PolicyKind::Sdbp,
-        PolicyKind::Ghrp,
-    ] {
-        time(&format!("engine, single lane: {p}"), || {
-            for t in &traces {
-                std::hint::black_box(run_lanes(&cfg, &[p], &SliceReplay::from_trace(t)));
-            }
-        });
-    }
-    time("engine, all 7 lanes", || {
-        for t in &traces {
-            std::hint::black_box(run_lanes(
-                &cfg,
-                &[
-                    PolicyKind::Lru,
-                    PolicyKind::Fifo,
-                    PolicyKind::Random,
-                    PolicyKind::Srrip,
-                    PolicyKind::Drrip,
-                    PolicyKind::Sdbp,
-                    PolicyKind::Ghrp,
-                ],
-                &SliceReplay::from_trace(t),
-            ));
-        }
-    });
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("engine_profile")
 }

@@ -1,31 +1,10 @@
-//! Extension: the full policy zoo (paper set + FIFO, DRRIP, `SHiP`) on the
-//! standard suite, including indirect-target predictor statistics.
+//! Thin dispatch into the `ext_policies` registry experiment (see
+//! `fe_bench::experiment`); `report run ext_policies` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_frontend::{experiment, policy::PolicyKind};
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let specs = args.suite();
-    let result = experiment::run_suite(&specs, &args.sim(), PolicyKind::ALL_ONLINE, args.threads);
-    println!("== Extended policy comparison ({} traces) ==", specs.len());
-    println!(
-        "{:<10} {:>12} {:>10} {:>12} {:>10}",
-        "policy", "icache MPKI", "vs LRU", "btb MPKI", "vs LRU"
-    );
-    let (il, bl) = (result.icache_means()[0], result.btb_means()[0]);
-    for (i, p) in result.policies.iter().enumerate() {
-        let im = result.icache_means()[i];
-        let bm = result.btb_means()[i];
-        println!(
-            "{:<10} {:>12.3} {:>9.1}% {:>12.3} {:>9.1}%",
-            p.to_string(),
-            im,
-            (im - il) / il * 100.0,
-            bm,
-            (bm - bl) / bl * 100.0
-        );
-    }
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("ext_policies")
 }

@@ -1,62 +1,10 @@
-//! Figures 10 & 11: BTB MPKI for a 4,096-entry 4-way BTB, five policies:
-//! per-policy averages, a per-benchmark subset, and the S-curve CSV.
-//!
-//! Paper reference: LRU 4.58, Random 4.81, SRRIP 4.17, SDBP 4.57,
-//! GHRP 3.21 (-30.0% vs LRU, -23.1% vs SRRIP, -29.1% vs SDBP).
+//! Thin dispatch into the `fig10_btb` registry experiment (see
+//! `fe_bench::experiment`); `report run fig10_btb` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_frontend::{experiment, policy::PolicyKind, stats};
-use std::fmt::Write as _;
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let specs = args.suite();
-    let result = experiment::run_suite(&specs, &args.sim(), PolicyKind::PAPER_SET, args.threads);
-    println!(
-        "== Figure 10: BTB MPKI over {} traces (4K-entry 4-way) ==",
-        specs.len()
-    );
-    let lru_mean = result.btb_means()[0];
-    println!("{:<10} {:>12} {:>18}", "policy", "mean MPKI", "vs LRU");
-    for (i, p) in result.policies.iter().enumerate() {
-        let m = result.btb_means()[i];
-        println!(
-            "{:<10} {:>12.3} {:>17.1}%",
-            p.to_string(),
-            m,
-            (m - lru_mean) / lru_mean * 100.0
-        );
-    }
-    println!("\n-- per-benchmark subset --");
-    let mut header = String::new();
-    for p in &result.policies {
-        let _ = write!(header, "{:>9}", p.to_string());
-    }
-    println!("{:<22}{header}", "trace");
-    for r in result.rows.iter().take(12) {
-        print!("{:<22}", r.name);
-        for v in &r.btb_mpki {
-            print!("{v:>9.3}");
-        }
-        println!();
-    }
-    // Figure 11 S-curve CSV.
-    let lru = result.btb_column(PolicyKind::Lru);
-    let order = stats::s_curve_order(&lru);
-    let mut csv = String::from("rank,trace,category");
-    for p in &result.policies {
-        let _ = write!(csv, ",{p}");
-    }
-    csv.push('\n');
-    for (rank, &i) in order.iter().enumerate() {
-        let r = &result.rows[i];
-        let _ = write!(csv, "{rank},{},{}", r.name, r.category);
-        for v in &r.btb_mpki {
-            let _ = write!(csv, ",{v:.4}");
-        }
-        csv.push('\n');
-    }
-    args.write_artifact("fig11_btb_scurve.csv", &csv);
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("fig10_btb")
 }

@@ -1,57 +1,10 @@
-//! Figure 1: cache-efficiency heat map of a 16 KB 8-way I-cache under the
-//! five policies, for a single trace. Lighter cells = longer live time.
+//! Thin dispatch into the `fig1_heatmap` registry experiment (see
+//! `fe_bench::experiment`); `report run fig1_heatmap` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_cache::CacheConfig;
-use fe_frontend::policy::{build_pair, PolicyKind};
-use fe_sdbp::SdbpConfig;
-use fe_trace::fetch::FetchStream;
-use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
-use ghrp_core::GhrpConfig;
-use std::fmt::Write as _;
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, args.seed + 1)
-        .instructions(args.instr.unwrap_or(2_000_000));
-    let trace = spec.generate();
-    let icache = CacheConfig::with_capacity(16 * 1024, 8, 64).expect("valid geometry");
-    println!(
-        "== Figure 1: 16KB 8-way I-cache efficiency heat maps, trace {} ==",
-        spec.name
-    );
-    let mut csv = String::from("policy,set,way,efficiency\n");
-    for &p in PolicyKind::PAPER_SET {
-        let mut pair = build_pair(
-            p,
-            icache,
-            4096,
-            4,
-            GhrpConfig::default(),
-            SdbpConfig::default(),
-            args.seed,
-            None,
-            None,
-        );
-        pair.icache.enable_efficiency_tracking();
-        for chunk in FetchStream::new(trace.records.iter().copied(), 64) {
-            if chunk.starts_group {
-                pair.icache.access(chunk.block_addr, chunk.first_pc);
-            }
-        }
-        let map = pair.icache.finish_efficiency().expect("tracking enabled");
-        println!("\n--- {p} (mean efficiency {:.3}) ---", map.mean());
-        // Print a 32-set slice of the heat map; full data goes to CSV.
-        for (set, line) in map.to_ascii().lines().take(32).enumerate() {
-            println!("set {set:>3} |{line}|");
-        }
-        for (set, row) in map.cells.iter().enumerate() {
-            for (way, &v) in row.iter().enumerate() {
-                let _ = writeln!(csv, "{p},{set},{way},{v:.4}");
-            }
-        }
-    }
-    args.write_artifact("fig1_icache_heatmap.csv", &csv);
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("fig1_heatmap")
 }

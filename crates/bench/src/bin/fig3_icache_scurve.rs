@@ -1,81 +1,10 @@
-//! Figure 3 + §V.A: I-cache MPKI S-curve and averages, 64 KB 8-way, 64 B
-//! blocks, five policies over the full suite.
-//!
-//! Paper reference points: average MPKI LRU 1.05, Random 1.14, SRRIP 1.02,
-//! SDBP 1.10, GHRP 0.86; ≥1-MPKI subset LRU 5.11, Random 5.53, SRRIP 4.50,
-//! SDBP 5.38, GHRP 4.32.
+//! Thin dispatch into the `fig3_icache_scurve` registry experiment (see
+//! `fe_bench::experiment`); `report run fig3_icache_scurve` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_frontend::{experiment, policy::PolicyKind, stats};
-use std::fmt::Write as _;
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let specs = args.suite();
-    let result = experiment::run_suite(&specs, &args.sim(), PolicyKind::PAPER_SET, args.threads);
-
-    println!(
-        "== Figure 3: I-cache MPKI over {} traces (64KB 8-way 64B) ==",
-        specs.len()
-    );
-    println!("{:<10} {:>12} {:>18}", "policy", "mean MPKI", "vs LRU");
-    let lru_mean = result.icache_means()[0];
-    for (i, p) in result.policies.iter().enumerate() {
-        let m = result.icache_means()[i];
-        println!(
-            "{:<10} {:>12.3} {:>17.1}%",
-            p.to_string(),
-            m,
-            (m - lru_mean) / lru_mean * 100.0
-        );
-    }
-
-    let hi = result.filter_min_icache_mpki(PolicyKind::Lru, 1.0);
-    println!(
-        "\n-- subset with >= 1 MPKI under LRU ({} traces) --",
-        hi.rows.len()
-    );
-    let hi_lru = hi.icache_means()[0];
-    for (i, p) in hi.policies.iter().enumerate() {
-        let m = hi.icache_means()[i];
-        println!(
-            "{:<10} {:>12.3} {:>17.1}%",
-            p.to_string(),
-            m,
-            (m - hi_lru) / hi_lru * 100.0
-        );
-    }
-
-    // Traces where each policy fails to improve over LRU (paper: GHRP 14,
-    // SDBP 106, SRRIP 110, Random 541 of 662).
-    println!("\n-- traces not improved vs LRU (>1% worse) --");
-    let lru_col = result.icache_column(PolicyKind::Lru);
-    for p in &result.policies[1..] {
-        let wl = stats::WinLoss::compute(&result.icache_column(*p), &lru_col, 0.01);
-        println!(
-            "{:<10} worse on {} of {}",
-            p.to_string(),
-            wl.worse,
-            result.rows.len()
-        );
-    }
-
-    // S-curve CSV: traces sorted by LRU MPKI, one column per policy.
-    let order = stats::s_curve_order(&lru_col);
-    let mut csv = String::from("rank,trace,category");
-    for p in &result.policies {
-        let _ = write!(csv, ",{p}");
-    }
-    csv.push('\n');
-    for (rank, &i) in order.iter().enumerate() {
-        let r = &result.rows[i];
-        let _ = write!(csv, "{rank},{},{}", r.name, r.category);
-        for v in &r.icache_mpki {
-            let _ = write!(csv, ",{v:.4}");
-        }
-        csv.push('\n');
-    }
-    args.write_artifact("fig3_icache_scurve.csv", &csv);
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("fig3_icache_scurve")
 }

@@ -1,71 +1,10 @@
-//! Figure 5: efficiency heat map of a 256-entry 8-way BTB under the five
-//! policies, for a single trace.
+//! Thin dispatch into the `fig5_btb_heatmap` registry experiment (see
+//! `fe_bench::experiment`); `report run fig5_btb_heatmap` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_btb::btb_config;
-use fe_cache::CacheConfig;
-use fe_frontend::policy::{build_pair, PolicyKind};
-use fe_sdbp::SdbpConfig;
-use fe_trace::fetch::FetchStream;
-use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
-use ghrp_core::GhrpConfig;
-use std::fmt::Write as _;
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, args.seed + 1)
-        .instructions(args.instr.unwrap_or(2_000_000));
-    let trace = spec.generate();
-    let icache = CacheConfig::with_capacity(64 * 1024, 8, 64).expect("valid geometry");
-    let _ = btb_config(256, 8).expect("valid BTB geometry");
-    println!(
-        "== Figure 5: 256-entry 8-way BTB efficiency heat maps, trace {} ==",
-        spec.name
-    );
-    let mut csv = String::from("policy,set,way,efficiency\n");
-    for &p in PolicyKind::PAPER_SET {
-        // Build a full front-end pair so GHRP's BTB coupling sees real
-        // I-cache metadata, but with the small BTB under study.
-        let mut pair = build_pair(
-            p,
-            icache,
-            256,
-            8,
-            GhrpConfig::default(),
-            SdbpConfig::default(),
-            args.seed,
-            None,
-            None,
-        );
-        pair.btb.entries_mut().enable_efficiency_tracking();
-        for chunk in FetchStream::new(trace.records.iter().copied(), 64) {
-            if chunk.starts_group {
-                pair.icache.access(chunk.block_addr, chunk.first_pc);
-            }
-            if let Some(b) = chunk.branch {
-                if b.taken {
-                    pair.btb.lookup_and_update(b.pc, b.target);
-                }
-            }
-        }
-        let map = pair
-            .btb
-            .entries_mut()
-            .finish_efficiency()
-            .expect("tracking enabled");
-        println!(
-            "\n--- {p} (mean efficiency {:.3}, BTB MPKI-proxy misses {}) ---",
-            map.mean(),
-            pair.btb.stats().misses
-        );
-        print!("{}", map.to_ascii());
-        for (set, row) in map.cells.iter().enumerate() {
-            for (way, &v) in row.iter().enumerate() {
-                let _ = writeln!(csv, "{p},{set},{way},{v:.4}");
-            }
-        }
-    }
-    args.write_artifact("fig5_btb_heatmap.csv", &csv);
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("fig5_btb_heatmap")
 }

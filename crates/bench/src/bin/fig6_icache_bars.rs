@@ -1,30 +1,10 @@
-//! Figure 6: per-benchmark I-cache MPKI bars (a representative subset)
-//! plus the subset average, 64 KB 8-way.
+//! Thin dispatch into the `fig6_icache_bars` registry experiment (see
+//! `fe_bench::experiment`); `report run fig6_icache_bars` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_frontend::{experiment, policy::PolicyKind};
-use std::fmt::Write as _;
+use std::process::ExitCode;
 
-fn main() {
-    let mut args = Args::parse();
-    args.traces = args.traces.min(16); // the paper's figure shows a subset
-    let specs = args.suite();
-    let result = experiment::run_suite(&specs, &args.sim(), PolicyKind::PAPER_SET, args.threads);
-    println!("== Figure 6: per-benchmark I-cache MPKI (64KB 8-way) ==");
-    print!("{}", result.render());
-    let mut csv = String::from("trace,category");
-    for p in &result.policies {
-        let _ = write!(csv, ",{p}");
-    }
-    csv.push('\n');
-    for r in &result.rows {
-        let _ = write!(csv, "{},{}", r.name, r.category);
-        for v in &r.icache_mpki {
-            let _ = write!(csv, ",{v:.4}");
-        }
-        csv.push('\n');
-    }
-    args.write_artifact("fig6_icache_bars.csv", &csv);
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("fig6_icache_bars")
 }

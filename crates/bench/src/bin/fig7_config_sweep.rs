@@ -1,35 +1,10 @@
-//! Figure 7: average I-cache MPKI for {8,16,32,64} KB x {4,8}-way
-//! configurations with 64 B blocks, five policies.
+//! Thin dispatch into the `fig7_config_sweep` registry experiment (see
+//! `fe_bench::experiment`); `report run fig7_config_sweep` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_frontend::{policy::PolicyKind, sweep};
-use std::fmt::Write as _;
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let specs = args.suite();
-    let result = sweep::run_sweep(
-        &specs,
-        &args.sim(),
-        PolicyKind::PAPER_SET,
-        &sweep::paper_geometries(),
-        args.threads,
-    );
-    println!("== Figure 7: average I-cache MPKI per configuration ==");
-    print!("{}", result.render());
-    let mut csv = String::from("capacity_kb,ways");
-    for p in &result.policies {
-        let _ = write!(csv, ",{p}");
-    }
-    csv.push('\n');
-    for pt in &result.points {
-        let _ = write!(csv, "{},{}", pt.capacity_bytes / 1024, pt.ways);
-        for m in &pt.icache_means {
-            let _ = write!(csv, ",{m:.4}");
-        }
-        csv.push('\n');
-    }
-    args.write_artifact("fig7_config_sweep.csv", &csv);
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("fig7_config_sweep")
 }

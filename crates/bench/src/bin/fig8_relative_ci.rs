@@ -1,28 +1,10 @@
-//! Figure 8: mean per-trace relative I-cache MPKI difference vs LRU with
-//! 95% confidence intervals.
-//!
-//! Paper reference: GHRP averages a 33% reduction, with the 95% interval
-//! entirely below -31%.
+//! Thin dispatch into the `fig8_relative_ci` registry experiment (see
+//! `fe_bench::experiment`); `report run fig8_relative_ci` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_frontend::{experiment, policy::PolicyKind, stats};
-use std::fmt::Write as _;
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let specs = args.suite();
-    let result = experiment::run_suite(&specs, &args.sim(), PolicyKind::PAPER_SET, args.threads);
-    let lru = result.icache_column(PolicyKind::Lru);
-    println!("== Figure 8: relative I-cache MPKI difference vs LRU (95% CI) ==");
-    println!("(computed over traces with nonzero LRU MPKI)");
-    let mut csv = String::from("policy,mean,half_width,n\n");
-    for p in &result.policies[1..] {
-        let rel = stats::relative_differences(&result.icache_column(*p), &lru);
-        let ci = stats::MeanCi::compute(&rel);
-        println!("{:<10} {}", p.to_string(), ci);
-        let _ = writeln!(csv, "{p},{},{},{}", ci.mean, ci.half_width, ci.n);
-    }
-    args.write_artifact("fig8_relative_ci.csv", &csv);
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("fig8_relative_ci")
 }

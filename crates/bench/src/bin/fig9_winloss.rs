@@ -1,39 +1,10 @@
-//! Figure 9: number of traces where each policy performs worse than,
-//! better than, or similarly to LRU (1% margin).
-//!
-//! Paper reference (662 traces): worse-than-LRU counts Random 541,
-//! SRRIP 110, SDBP 106, GHRP 14; GHRP benefits 83% of traces.
+//! Thin dispatch into the `fig9_winloss` registry experiment (see
+//! `fe_bench::experiment`); `report run fig9_winloss` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_frontend::{experiment, policy::PolicyKind, stats};
-use std::fmt::Write as _;
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let specs = args.suite();
-    let result = experiment::run_suite(&specs, &args.sim(), PolicyKind::PAPER_SET, args.threads);
-    let lru = result.icache_column(PolicyKind::Lru);
-    println!(
-        "== Figure 9: trace counts vs LRU (margin 1%) over {} traces ==",
-        specs.len()
-    );
-    println!(
-        "{:<10} {:>8} {:>8} {:>8}",
-        "policy", "better", "worse", "similar"
-    );
-    let mut csv = String::from("policy,better,worse,similar\n");
-    for p in &result.policies[1..] {
-        let wl = stats::WinLoss::compute(&result.icache_column(*p), &lru, 0.01);
-        println!(
-            "{:<10} {:>8} {:>8} {:>8}",
-            p.to_string(),
-            wl.better,
-            wl.worse,
-            wl.similar
-        );
-        let _ = writeln!(csv, "{p},{},{},{}", wl.better, wl.worse, wl.similar);
-    }
-    args.write_artifact("fig9_winloss.csv", &csv);
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("fig9_winloss")
 }

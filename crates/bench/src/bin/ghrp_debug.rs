@@ -1,26 +1,10 @@
-//! Debug: GHRP internal counters on one server trace.
+//! Thin dispatch into the `ghrp_debug` registry experiment (see
+//! `fe_bench::experiment`); `report run ghrp_debug` is equivalent.
 
 #![forbid(unsafe_code)]
-use fe_cache::{Cache, CacheConfig};
-use fe_trace::fetch::FetchStream;
-use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
-use ghrp_core::{GhrpConfig, GhrpPolicy, SharedGhrp};
 
-fn main() {
-    let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, 1237).instructions(2_000_000);
-    let t = spec.generate();
-    let cfg =
-        CacheConfig::with_capacity(64 * 1024, 8, 64).expect("64KB/8-way/64B is a valid geometry");
-    let shared = SharedGhrp::new(GhrpConfig::default(), cfg.offset_bits());
-    let mut c = Cache::new(cfg, GhrpPolicy::new(cfg, shared.clone()));
-    for chunk in FetchStream::new(t.records.iter().copied(), 64) {
-        if chunk.starts_group {
-            c.access(chunk.block_addr, chunk.first_pc);
-        }
-    }
-    let st = c.policy().stats();
-    println!("cache stats: {:?}", c.stats());
-    println!("ghrp stats: {st:?}");
-    println!("table saturation: {:.4}", shared.table_saturation());
-    println!("meta_len: {}", shared.meta_len());
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("ghrp_debug")
 }

@@ -1,37 +1,10 @@
-//! Headline result (abstract): average I-cache and BTB MPKI across the
-//! suite for the five policies.
-//!
-//! Paper reference: GHRP lowers I-cache MPKI 18% vs LRU (16% vs SRRIP,
-//! 22% vs SDBP) and BTB MPKI 30% vs LRU (23% vs SRRIP, 29% vs SDBP).
+//! Thin dispatch into the `headline` registry experiment (see
+//! `fe_bench::experiment`); `report run headline` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_frontend::{experiment, policy::PolicyKind};
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let specs = args.suite();
-    let result = experiment::run_suite(&specs, &args.sim(), PolicyKind::PAPER_SET, args.threads);
-    println!(
-        "== Headline: {} traces, 64KB 8-way I-cache, 4K-entry 4-way BTB ==",
-        specs.len()
-    );
-    println!(
-        "{:<10} {:>12} {:>10} {:>12} {:>10}",
-        "policy", "icache MPKI", "vs LRU", "btb MPKI", "vs LRU"
-    );
-    let (il, bl) = (result.icache_means()[0], result.btb_means()[0]);
-    for (i, p) in result.policies.iter().enumerate() {
-        let im = result.icache_means()[i];
-        let bm = result.btb_means()[i];
-        println!(
-            "{:<10} {:>12.3} {:>9.1}% {:>12.3} {:>9.1}%",
-            p.to_string(),
-            im,
-            (im - il) / il * 100.0,
-            bm,
-            (bm - bl) / bl * 100.0
-        );
-    }
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("headline")
 }

@@ -1,25 +1,10 @@
-//! Headroom check: LRU vs OPT (and policy coverage) per server trace.
+//! Thin dispatch into the `headroom` registry experiment (see
+//! `fe_bench::experiment`); `report run headroom` is equivalent.
 
 #![forbid(unsafe_code)]
-use fe_frontend::{policy::PolicyKind, simulator::SimConfig, Simulator};
-use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
 
-fn main() {
-    for seed in [1235u64, 1237, 1239, 1241] {
-        let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, seed).instructions(2_000_000);
-        let t = spec.generate();
-        let run = |p: PolicyKind| {
-            Simulator::new(SimConfig::paper_default().with_policy(p))
-                .run(&t.records, t.instructions)
-        };
-        let lru = run(PolicyKind::Lru);
-        let opt = run(PolicyKind::Opt);
-        let srrip = run(PolicyKind::Srrip);
-        println!(
-            "{}: LRU {:.3}  SRRIP {:.3}  OPT {:.3}  (OPT saves {:.1}% of LRU misses) | btb LRU {:.3} OPT {:.3}",
-            spec.name, lru.icache_mpki(), srrip.icache_mpki(), opt.icache_mpki(),
-            (1.0 - opt.icache_mpki() / lru.icache_mpki()) * 100.0,
-            lru.btb_mpki(), opt.btb_mpki(),
-        );
-    }
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("headroom")
 }

@@ -1,41 +1,10 @@
-//! Extension: Belady-OPT bound study. Reports how much of the LRU-to-OPT
-//! gap each policy closes (not a paper figure; an upper-bound sanity
-//! check for the reproduction).
+//! Thin dispatch into the `opt_bound` registry experiment (see
+//! `fe_bench::experiment`); `report run opt_bound` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_frontend::{experiment, policy::PolicyKind};
+use std::process::ExitCode;
 
-fn main() {
-    let mut args = Args::parse();
-    args.traces = args.traces.min(24); // OPT preprocessing is heavier
-    let specs = args.suite();
-    let pols = [
-        PolicyKind::Lru,
-        PolicyKind::Srrip,
-        PolicyKind::Sdbp,
-        PolicyKind::Ghrp,
-        PolicyKind::Opt,
-    ];
-    let result = experiment::run_suite(&specs, &args.sim(), &pols, args.threads);
-    let lru = result.icache_means()[0];
-    let opt = *result
-        .icache_means()
-        .last()
-        .expect("sweep produced no results — no policies configured?");
-    println!("== OPT bound study ({} traces) ==", specs.len());
-    println!(
-        "{:<10} {:>12} {:>22}",
-        "policy", "icache MPKI", "% of LRU->OPT gap closed"
-    );
-    for (i, p) in result.policies.iter().enumerate() {
-        let m = result.icache_means()[i];
-        let closed = if lru > opt {
-            (lru - m) / (lru - opt) * 100.0
-        } else {
-            0.0
-        };
-        println!("{:<10} {:>12.3} {:>21.1}%", p.to_string(), m, closed);
-    }
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("opt_bound")
 }

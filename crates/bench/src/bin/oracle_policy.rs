@@ -1,184 +1,10 @@
-//! Mechanism ceiling test: GHRP's victim-selection mechanism driven by a
-//! *perfect* last-touch oracle. If even perfect dead predictions cannot
-//! beat LRU on a trace, the workload has no dead-block-replacement
-//! headroom; if they can, the gap to online GHRP is predictor quality.
+//! Thin dispatch into the `oracle_policy` registry experiment (see
+//! `fe_bench::experiment`); `report run oracle_policy` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_cache::{AccessContext, Cache, CacheConfig, ReplacementPolicy};
-use fe_frontend::{policy::PolicyKind, simulator::SimConfig, Simulator};
-use fe_trace::fetch::FetchStream;
-use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
-use std::collections::HashMap;
+use std::process::ExitCode;
 
-/// Perfect last-touch-prediction policy: on each access it knows whether
-/// this is the block's last use before (LRU-depth) eviction pressure.
-struct OracleDead {
-    labels: Vec<bool>,
-    cursor: usize,
-    ways: usize,
-    stamps: Vec<u64>,
-    clock: u64,
-    dead_bit: Vec<bool>,
-}
-
-impl ReplacementPolicy for OracleDead {
-    fn on_access(&mut self, _ctx: &AccessContext) {}
-    fn on_hit(&mut self, way: usize, ctx: &AccessContext) {
-        self.dead_bit[ctx.set * self.ways + way] = self.labels[self.cursor];
-        self.cursor += 1;
-        self.clock += 1;
-        self.stamps[ctx.set * self.ways + way] = self.clock;
-    }
-    fn choose_victim(&mut self, ctx: &AccessContext) -> usize {
-        let base = ctx.set * self.ways;
-        if let Some(w) = (0..self.ways).find(|&w| self.dead_bit[base + w]) {
-            return w;
-        }
-        (0..self.ways)
-            .min_by_key(|&w| self.stamps[base + w])
-            .unwrap_or(0)
-    }
-    fn on_evict(&mut self, way: usize, _victim: u64, ctx: &AccessContext) {
-        self.dead_bit[ctx.set * self.ways + way] = false;
-    }
-    fn on_fill(&mut self, way: usize, ctx: &AccessContext) {
-        self.dead_bit[ctx.set * self.ways + way] = self.labels[self.cursor];
-        self.cursor += 1;
-        self.clock += 1;
-        self.stamps[ctx.set * self.ways + way] = self.clock;
-    }
-    fn reset(&mut self) {
-        // Rewind the oracle to the start of the same labelled trace.
-        self.cursor = 0;
-        self.stamps.fill(0);
-        self.clock = 0;
-        self.dead_bit.fill(false);
-    }
-    fn name(&self) -> String {
-        "OracleDead".into()
-    }
-}
-
-fn labels_for(blocks: &[u64], cfg: CacheConfig) -> Vec<bool> {
-    let ways = cfg.ways() as usize;
-    let mut labels = vec![true; blocks.len()];
-    let mut per_set: HashMap<usize, Vec<usize>> = HashMap::new();
-    for (i, &b) in blocks.iter().enumerate() {
-        per_set.entry(cfg.set_of(b)).or_default().push(i);
-    }
-    for (_s, seq) in per_set {
-        let mut next_occ: HashMap<u64, usize> = HashMap::new();
-        let mut nexts = vec![usize::MAX; seq.len()];
-        for (j, &i) in seq.iter().enumerate().rev() {
-            nexts[j] = next_occ.get(&blocks[i]).copied().unwrap_or(usize::MAX);
-            next_occ.insert(blocks[i], j);
-        }
-        for (j, &i) in seq.iter().enumerate() {
-            let nj = nexts[j];
-            if nj == usize::MAX {
-                labels[i] = true;
-                continue;
-            }
-            let mut uniq = std::collections::HashSet::new();
-            for &k in &seq[j + 1..nj] {
-                uniq.insert(blocks[k]);
-                if uniq.len() >= ways {
-                    break;
-                }
-            }
-            labels[i] = uniq.len() >= ways;
-        }
-    }
-    labels
-}
-
-fn main() {
-    for seed in [1235u64, 1237, 1239, 1241, 1243, 1245] {
-        let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, seed).instructions(2_000_000);
-        let t = spec.generate();
-        let cfg = CacheConfig::with_capacity(64 * 1024, 8, 64)
-            .expect("64KB/8-way/64B is a valid geometry");
-        let blocks: Vec<u64> = FetchStream::new(t.records.iter().copied(), 64)
-            .filter(|c| c.starts_group)
-            .map(|c| c.block_addr)
-            .collect();
-        let labels = labels_for(&blocks, cfg);
-        // Per-signature-majority labels: the feature ceiling an online
-        // per-signature predictor could reach.
-        let mut hist: u64 = 0;
-        let mut sigs = vec![0u16; blocks.len()];
-        for (i, &b) in blocks.iter().enumerate() {
-            let pc = b >> 6;
-            sigs[i] = ((hist ^ pc) & 0xFFFF) as u16;
-            hist = ((hist << 4) | ((pc & 0x7) << 1)) & 0xFFFF;
-        }
-        let mut counts: HashMap<u16, (u32, u32)> = HashMap::new();
-        for (s, &d) in sigs.iter().zip(&labels) {
-            let e = counts.entry(*s).or_default();
-            if d {
-                e.0 += 1;
-            } else {
-                e.1 += 1;
-            }
-        }
-        let sig_labels: Vec<bool> = sigs
-            .iter()
-            .map(|s| {
-                let (d, l) = counts[s];
-                d > l
-            })
-            .collect();
-        let oracle = OracleDead {
-            labels,
-            cursor: 0,
-            ways: cfg.ways() as usize,
-            stamps: vec![0; cfg.frames()],
-            clock: 0,
-            dead_bit: vec![false; cfg.frames()],
-        };
-        let mut c = Cache::new(cfg, oracle);
-        for &b in &blocks {
-            c.access(b, b);
-        }
-        let oracle_misses = c.stats().misses;
-        let sig_oracle = OracleDead {
-            labels: sig_labels,
-            cursor: 0,
-            ways: cfg.ways() as usize,
-            stamps: vec![0; cfg.frames()],
-            clock: 0,
-            dead_bit: vec![false; cfg.frames()],
-        };
-        let mut c2 = Cache::new(cfg, sig_oracle);
-        for &b in &blocks {
-            c2.access(b, b);
-        }
-        let sig_misses = c2.stats().misses;
-        // Like-for-like: plain LRU over the same whole-trace block stream.
-        let mut lru_cache = Cache::new(cfg, fe_cache::policy::Lru::new(cfg));
-        for &b in &blocks {
-            lru_cache.access(b, b);
-        }
-        let lru_misses = lru_cache.stats().misses;
-        let run = |p: PolicyKind| {
-            Simulator::new(SimConfig::paper_default().with_policy(p))
-                .run(&t.records, t.instructions)
-        };
-        let ghrp = run(PolicyKind::Ghrp);
-        let lru_sim = run(PolicyKind::Lru);
-        let opt = run(PolicyKind::Opt);
-        println!(
-            "{}: misses LRU {} perfect {} ({:+.1}%) sig-majority {} ({:+.1}%) | postwarm MPKI LRU {:.3} GHRP {:.3} OPT {:.3}",
-            spec.name,
-            lru_misses,
-            oracle_misses,
-            (oracle_misses as f64 - lru_misses as f64) / lru_misses as f64 * 100.0,
-            sig_misses,
-            (sig_misses as f64 - lru_misses as f64) / lru_misses as f64 * 100.0,
-            lru_sim.icache_mpki(),
-            ghrp.icache_mpki(),
-            opt.icache_mpki(),
-        );
-    }
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("oracle_policy")
 }

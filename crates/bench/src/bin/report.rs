@@ -1,0 +1,10 @@
+//! The experiment driver: `report run <name…> | --all | list | diff |
+//! validate` (see `fe_bench::experiment`).
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    fe_bench::experiment::report_main()
+}

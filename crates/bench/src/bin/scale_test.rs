@@ -1,32 +1,10 @@
-//! How the GHRP-vs-LRU gap scales with trace length.
+//! Thin dispatch into the `scale_test` registry experiment (see
+//! `fe_bench::experiment`); `report run scale_test` is equivalent.
 
 #![forbid(unsafe_code)]
-use fe_frontend::{policy::PolicyKind, simulator::SimConfig, Simulator};
-use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
 
-fn main() {
-    for instr in [4_000_000u64, 8_000_000, 16_000_000, 32_000_000] {
-        let (mut lsum, mut gsum, mut lb, mut gb) = (0.0, 0.0, 0.0, 0.0);
-        for seed in [1237u64, 1239, 1243] {
-            let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, seed).instructions(instr);
-            let t = spec.generate();
-            let mut cfg = SimConfig::paper_default();
-            cfg.ghrp.counter_bits = 3;
-            cfg.ghrp.dead_threshold = 1;
-            cfg.ghrp.bypass_threshold = 7;
-            cfg.ghrp.btb_dead_threshold = 1;
-            let lru = Simulator::new(cfg).run(&t.records, t.instructions);
-            let ghrp =
-                Simulator::new(cfg.with_policy(PolicyKind::Ghrp)).run(&t.records, t.instructions);
-            lsum += lru.icache_mpki();
-            gsum += ghrp.icache_mpki();
-            lb += lru.btb_mpki();
-            gb += ghrp.btb_mpki();
-        }
-        println!(
-            "instr={:>9}: icache LRU {:.3} GHRP {:.3} ({:+.1}%) | btb LRU {:.3} GHRP {:.3} ({:+.1}%)",
-            instr, lsum / 3.0, gsum / 3.0, (gsum - lsum) / lsum * 100.0,
-            lb / 3.0, gb / 3.0, (gb - lb) / lb * 100.0
-        );
-    }
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("scale_test")
 }

@@ -1,203 +1,10 @@
-//! Suite-level throughput benchmark emitting a machine-readable
-//! trajectory (`BENCH_suite.json`).
-//!
-//! Unlike the criterion microbenchmarks (which time one trace), this bin
-//! times the two *suite-level* entry points that dominate real experiment
-//! wall-clock — `run_suite` on the 7-policy mini-suite and `run_sweep`
-//! over the eight Figure-7 geometries — and writes the results as JSON so
-//! future PRs have a perf trajectory to regress against. Numbers are
-//! summarized in `results/suite_throughput.txt`.
-//!
-//! ```text
-//! suite_bench [--traces N] [--seed S] [--threads T] [--instr N]
-//!             [--out DIR] [--reps R]
-//! ```
-//!
-//! Defaults match the checked-in baseline: 4 workloads × 400k
-//! instructions (the same shape as the `suite_throughput` criterion
-//! bench). The JSON schema (`bench-suite-v1`):
-//!
-//! ```json
-//! {
-//!   "schema": "bench-suite-v1",
-//!   "git_rev": "…",
-//!   "threads": 1,
-//!   "suite":  { "wall_ms": …, "tasks": …, "tasks_per_sec": …,
-//!               "strategy": …, "workers": …, "steals": …,
-//!               "utilization": … },
-//!   "sweep":  { … same shape … }
-//! }
-//! ```
-//!
-//! `wall_ms` is the minimum over `--reps` repetitions (default 3), which
-//! factors out shared-machine load spikes the same way
-//! `results/suite_throughput.txt` does.
+//! Thin dispatch into the `suite_bench` registry experiment (see
+//! `fe_bench::experiment`); `report run suite_bench` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_bench::Args;
-use fe_frontend::{experiment, policy::PolicyKind, schedule::SchedulerStats, sweep};
-use fe_trace::synth::WorkloadSpec;
-use std::time::Instant;
+use std::process::ExitCode;
 
-/// The 7-policy headline set (the paper's five plus the extension
-/// baselines FIFO and DRRIP) — same set as the `suite_throughput`
-/// criterion bench.
-const SEVEN: &[PolicyKind] = &[
-    PolicyKind::Lru,
-    PolicyKind::Fifo,
-    PolicyKind::Random,
-    PolicyKind::Srrip,
-    PolicyKind::Drrip,
-    PolicyKind::Sdbp,
-    PolicyKind::Ghrp,
-];
-
-/// The pre-scheduler (PR 3) reference on the 1-CPU container, same
-/// 4 × 400k mini-suite at threads = 1; only comparable when a run uses
-/// the canonical shape (see `results/suite_throughput.txt`).
-const BASE_SUITE_MS: f64 = 88.07;
-const BASE_SWEEP_MS: f64 = 649.18;
-
-/// One timed section: minimum wall-clock over `reps` runs plus the
-/// scheduler counters from the fastest run.
-struct Timed {
-    wall_ms: f64,
-    sched: SchedulerStats,
-}
-
-fn time_min<R>(reps: usize, mut run: impl FnMut() -> (SchedulerStats, R)) -> Timed {
-    let mut best: Option<Timed> = None;
-    for _ in 0..reps.max(1) {
-        let t0 = Instant::now();
-        let (sched, _keep_alive) = run();
-        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        if best.as_ref().is_none_or(|b| wall_ms < b.wall_ms) {
-            best = Some(Timed { wall_ms, sched });
-        }
-    }
-    best.expect("reps >= 1")
-}
-
-fn section_json(t: &Timed) -> serde_json::Value {
-    let tasks = t.sched.tasks as f64;
-    let tasks_per_sec = if t.wall_ms > 0.0 {
-        tasks / (t.wall_ms / 1e3)
-    } else {
-        0.0
-    };
-    serde_json::json!({
-        "wall_ms": (t.wall_ms * 1000.0).round() / 1000.0,
-        "tasks": t.sched.tasks,
-        "tasks_per_sec": tasks_per_sec.round(),
-        "strategy": t.sched.strategy,
-        "workers": t.sched.workers,
-        "tasks_per_worker": t.sched.per_worker.iter().map(|w| w.tasks).collect::<Vec<_>>(),
-        "steals": t.sched.steals,
-        "utilization": (t.sched.utilization() * 1000.0).round() / 1000.0,
-    })
-}
-
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short=12", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .map_or_else(
-            || "unknown".to_owned(),
-            |o| String::from_utf8_lossy(&o.stdout).trim().to_owned(),
-        )
-}
-
-fn main() {
-    // Pre-scan for --reps (Args::parse_from rejects unknown flags) and
-    // inject this bin's mini-suite defaults when the caller is silent.
-    let mut reps = 3usize;
-    let mut filtered: Vec<String> = Vec::new();
-    let (mut saw_traces, mut saw_instr) = (false, false);
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        if a == "--reps" {
-            reps = it
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("usize value for --reps");
-        } else {
-            saw_traces |= a == "--traces";
-            saw_instr |= a == "--instr";
-            filtered.push(a);
-        }
-    }
-    if !saw_traces {
-        filtered.extend(["--traces".to_owned(), "4".to_owned()]);
-    }
-    if !saw_instr {
-        filtered.extend(["--instr".to_owned(), "400000".to_owned()]);
-    }
-    let args = Args::parse_from(filtered);
-
-    let specs: Vec<WorkloadSpec> = args.suite();
-    let cfg = args.sim();
-    let geoms = sweep::paper_geometries();
-
-    println!(
-        "suite_bench: {} workloads x {} instr, threads={}, reps={reps}",
-        specs.len(),
-        args.instr.unwrap_or(400_000),
-        args.threads,
-    );
-
-    let suite_t = time_min(reps, || {
-        let r = experiment::run_suite(&specs, &cfg, SEVEN, args.threads);
-        (r.scheduler.clone(), r)
-    });
-    println!(
-        "run_suite   ({} workloads x {} policies):  {:>9.2} ms  [{} tasks, {} steals, util {:.2}]",
-        specs.len(),
-        SEVEN.len(),
-        suite_t.wall_ms,
-        suite_t.sched.tasks,
-        suite_t.sched.steals,
-        suite_t.sched.utilization(),
-    );
-
-    let sweep_t = time_min(reps, || {
-        let r = sweep::run_sweep(&specs, &cfg, PolicyKind::PAPER_SET, &geoms, args.threads);
-        (r.scheduler.clone(), r)
-    });
-    println!(
-        "run_sweep   ({} workloads x {} geometries): {:>8.2} ms  [{} tasks, {} steals, util {:.2}]",
-        specs.len(),
-        geoms.len(),
-        sweep_t.wall_ms,
-        sweep_t.sched.tasks,
-        sweep_t.sched.steals,
-        sweep_t.sched.utilization(),
-    );
-
-    let mut json = serde_json::json!({
-        "schema": "bench-suite-v1",
-        "git_rev": git_rev(),
-        "threads": args.threads,
-        "workloads": specs.len(),
-        "instructions_per_workload": args.instr.unwrap_or(400_000),
-        "reps": reps,
-        "suite": section_json(&suite_t),
-        "sweep": section_json(&sweep_t),
-    });
-    if specs.len() == 4 && args.instr == Some(400_000) && args.threads == 1 {
-        let baseline = serde_json::json!({
-            "suite_wall_ms": BASE_SUITE_MS,
-            "sweep_wall_ms": BASE_SWEEP_MS,
-            "suite_speedup": (BASE_SUITE_MS / suite_t.wall_ms * 100.0).round() / 100.0,
-            "sweep_speedup": (BASE_SWEEP_MS / sweep_t.wall_ms * 100.0).round() / 100.0,
-        });
-        if let serde_json::Value::Object(fields) = &mut json {
-            fields.push(("baseline_pr3".to_owned(), baseline));
-        }
-    }
-    let mut pretty = serde_json::to_string_pretty(&json).expect("serialize BENCH_suite.json");
-    pretty.push('\n');
-    args.write_artifact("BENCH_suite.json", &pretty);
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("suite_bench")
 }

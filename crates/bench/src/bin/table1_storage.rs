@@ -1,32 +1,10 @@
-//! Table I: GHRP storage requirements.
-//!
-//! Prints the paper's nominal hardware design point (3 x 4096 x 2-bit
-//! tables on a 64 KB 8-way I-cache — about 5 KB) and this reproduction's
-//! scaled default (see `GhrpConfig` docs for why the tables are larger
-//! at reduced trace scale).
+//! Thin dispatch into the `table1_storage` registry experiment (see
+//! `fe_bench::experiment`); `report run table1_storage` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use ghrp_core::paper::{paper_cache_config, PAPER_ICACHE_CAPACITY_BYTES};
-use ghrp_core::{GhrpConfig, StorageReport};
+use std::process::ExitCode;
 
-fn main() {
-    let cache = paper_cache_config().expect("paper geometry");
-
-    let paper = GhrpConfig::paper_nominal();
-    println!("== Table I: GHRP storage, paper-nominal (64KB 8-way I-cache, 4K-entry BTB) ==");
-    let r = StorageReport::new(&paper, cache, 4096);
-    print!("{}", r.to_table());
-    println!(
-        "overhead vs I-cache data: {:.1}%  (paper reports 5.13 KB / ~8% for the Exynos M1)",
-        r.overhead_fraction(PAPER_ICACHE_CAPACITY_BYTES) * 100.0
-    );
-
-    println!("\n== This reproduction's default predictor geometry ==");
-    let r2 = StorageReport::new(&GhrpConfig::default(), cache, 4096);
-    print!("{}", r2.to_table());
-    println!(
-        "overhead vs I-cache data: {:.1}%",
-        r2.overhead_fraction(PAPER_ICACHE_CAPACITY_BYTES) * 100.0
-    );
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("table1_storage")
 }

@@ -1,66 +1,10 @@
-//! Tuning sweep for GHRP knobs on server traces.
+//! Thin dispatch into the `tune_ghrp` registry experiment (see
+//! `fe_bench::experiment`); `report run tune_ghrp` is equivalent.
 
 #![forbid(unsafe_code)]
 
-use fe_frontend::{policy::PolicyKind, simulator::SimConfig, Simulator};
-use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
+use std::process::ExitCode;
 
-fn main() {
-    let specs: Vec<_> = (0..6)
-        .map(|i| {
-            WorkloadSpec::new(
-                if i % 2 == 0 {
-                    WorkloadCategory::ShortServer
-                } else {
-                    WorkloadCategory::LongServer
-                },
-                1235 + i * 2,
-            )
-            .instructions(6_000_000)
-        })
-        .collect();
-    let traces: Vec<_> = specs.iter().map(fe_trace::WorkloadSpec::generate).collect();
-    let lru: Vec<(f64, f64)> = traces
-        .iter()
-        .map(|t| {
-            let r = Simulator::new(SimConfig::paper_default()).run(&t.records, t.instructions);
-            (r.icache_mpki(), r.btb_mpki())
-        })
-        .collect();
-    let n = traces.len() as f64;
-    let lru_icache_mean: f64 = lru.iter().map(|x| x.0).sum::<f64>() / n;
-    let lru_btb_mean: f64 = lru.iter().map(|x| x.1).sum::<f64>() / n;
-    println!("LRU mean: icache {lru_icache_mean:.3} btb {lru_btb_mean:.3}");
-
-    let combos: &[(bool, bool, u8, bool)] = &[
-        (true, true, 1, true),
-        (true, false, 1, true),
-        (false, true, 1, true),
-        (true, true, 2, true),
-        (true, true, 1, false),
-    ];
-    for &(protect_mru, btb_byp, btb_thr, shadow) in combos {
-        let mut cfg = SimConfig::paper_default().with_policy(PolicyKind::Ghrp);
-        cfg.ghrp.table_entries = 16384;
-        cfg.ghrp.counter_bits = 4;
-        cfg.ghrp.dead_threshold = 1;
-        cfg.ghrp.bypass_threshold = 15;
-        cfg.ghrp.btb_dead_threshold = btb_thr;
-        cfg.ghrp.protect_mru = protect_mru;
-        cfg.ghrp.btb_enable_bypass = btb_byp;
-        cfg.ghrp.shadow_training = shadow;
-        let (mut isum, mut bsum) = (0.0, 0.0);
-        for t in &traces {
-            let r = Simulator::new(cfg).run(&t.records, t.instructions);
-            isum += r.icache_mpki();
-            bsum += r.btb_mpki();
-        }
-        println!(
-            "mru={protect_mru} btbbyp={btb_byp} btbthr={btb_thr} shadow={shadow}: icache {:.3} ({:+.1}%)  btb {:.3} ({:+.1}%)",
-            isum / n,
-            (isum / n - lru_icache_mean) / lru_icache_mean * 100.0,
-            bsum / n,
-            (bsum / n - lru_btb_mean) / lru_btb_mean * 100.0
-        );
-    }
+fn main() -> ExitCode {
+    fe_bench::experiment::run_bin("tune_ghrp")
 }

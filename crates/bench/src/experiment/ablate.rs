@@ -1,0 +1,744 @@
+//! Ablations and extension studies as registry experiments.
+//!
+//! Each ablation declares one `[Lru]` baseline request plus one
+//! single-policy request per variant. Requests whose variant knobs equal
+//! the defaults coalesce with the shared default-GHRP run under
+//! `report run --all`, and the `[Lru]` baseline is shared by every
+//! ablation — the planner makes that free.
+
+#![forbid(unsafe_code)]
+
+use fe_frontend::policy::PolicyKind;
+use fe_frontend::simulator::{SimConfig, WrongPathConfig};
+use ghrp_core::Aggregation;
+use std::fmt::Write as _;
+
+use super::context::RunContext;
+use super::paper::pkey;
+use super::request::SimRequest;
+use super::shape::ShapeAssertion;
+use super::{Experiment, ExperimentOutput, RenderCtx};
+
+fn lru_baseline(ctx: &RunContext) -> SimRequest {
+    SimRequest::suite_run(ctx, ctx.sim(), &[PolicyKind::Lru])
+}
+
+/// Ablation: bypass on/off for the I-cache and BTB under GHRP.
+pub struct AblateBypass;
+
+const BYPASS_VARIANTS: [(bool, bool); 4] =
+    [(true, true), (true, false), (false, true), (false, false)];
+
+fn bypass_cfg(ctx: &RunContext, ib: bool, bb: bool) -> SimConfig {
+    let mut cfg = ctx.sim().with_policy(PolicyKind::Ghrp);
+    cfg.ghrp.enable_bypass = ib;
+    cfg.ghrp.btb_enable_bypass = bb;
+    cfg
+}
+
+impl Experiment for AblateBypass {
+    fn name(&self) -> &'static str {
+        "ablate_bypass"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "SIII.D"
+    }
+    fn requirements(&self, ctx: &RunContext) -> Vec<SimRequest> {
+        let mut reqs = vec![lru_baseline(ctx)];
+        for (ib, bb) in BYPASS_VARIANTS {
+            reqs.push(SimRequest::suite_run(
+                ctx,
+                bypass_cfg(ctx, ib, bb),
+                &[PolicyKind::Ghrp],
+            ));
+        }
+        reqs
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let ctx = rctx.ctx;
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(
+            out.stdout,
+            "== Ablation: GHRP bypass ({} traces) ==",
+            ctx.traces()
+        );
+        let lru = rctx.sims.suite(&lru_baseline(ctx));
+        let _ = writeln!(
+            out.stdout,
+            "{:<26} {:>12} {:>10} {:>12} {:>10}",
+            "bypass (icache, btb)", "icache MPKI", "vs LRU", "btb MPKI", "vs LRU"
+        );
+        let (il, bl) = (lru.icache_means()[0], lru.btb_means()[0]);
+        let _ = writeln!(
+            out.stdout,
+            "{:<26} {:>12.3} {:>10} {:>12.3} {:>10}",
+            "(LRU baseline)", il, "-", bl, "-"
+        );
+        out.metrics.insert("icache_lru".to_owned(), il);
+        out.metrics.insert("btb_lru".to_owned(), bl);
+        for (ib, bb) in BYPASS_VARIANTS {
+            let r = rctx.sims.suite(&SimRequest::suite_run(
+                ctx,
+                bypass_cfg(ctx, ib, bb),
+                &[PolicyKind::Ghrp],
+            ));
+            let (im, bm) = (r.icache_means()[0], r.btb_means()[0]);
+            let _ = writeln!(
+                out.stdout,
+                "{:<26} {:>12.3} {:>9.1}% {:>12.3} {:>9.1}%",
+                format!("({ib}, {bb})"),
+                im,
+                (im - il) / il * 100.0,
+                bm,
+                (bm - bl) / bl * 100.0
+            );
+            out.metrics.insert(format!("icache_byp_{ib}_{bb}"), im);
+            out.metrics.insert(format!("btb_byp_{ib}_{bb}"), bm);
+        }
+        out.assertions = vec![ShapeAssertion::lt(
+            "default_beats_lru",
+            "GHRP with its default bypass settings beats the LRU baseline on I-cache MPKI",
+            "icache_byp_true_false",
+            "icache_lru",
+        )];
+        out
+    }
+}
+
+/// Ablation (SIII.A): history depth and signature formula.
+pub struct AblateHistory;
+
+const HISTORY_VARIANTS: [(u32, u32, u32, &str); 5] = [
+    (16, 3, 1, "16b, 3+1 per access (paper, d=4)"),
+    (16, 4, 0, "16b, 4+0 per access (d=4, no pad)"),
+    (16, 2, 2, "16b, 2+2 per access (d=4)"),
+    (8, 3, 1, "8b, 3+1 per access (d=2)"),
+    (4, 3, 1, "4b, 3+1 per access (d=1)"),
+];
+
+fn history_cfg(ctx: &RunContext, hb: u32, pcb: u32, pad: u32) -> SimConfig {
+    let mut cfg = ctx.sim().with_policy(PolicyKind::Ghrp);
+    cfg.ghrp.history_bits = hb;
+    cfg.ghrp.pc_bits_per_access = pcb;
+    cfg.ghrp.pad_bits_per_access = pad;
+    cfg
+}
+
+impl Experiment for AblateHistory {
+    fn name(&self) -> &'static str {
+        "ablate_history"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "SIII.A"
+    }
+    fn requirements(&self, ctx: &RunContext) -> Vec<SimRequest> {
+        let mut reqs = vec![lru_baseline(ctx)];
+        for (hb, pcb, pad, _) in HISTORY_VARIANTS {
+            reqs.push(SimRequest::suite_run(
+                ctx,
+                history_cfg(ctx, hb, pcb, pad),
+                &[PolicyKind::Ghrp],
+            ));
+        }
+        reqs
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let ctx = rctx.ctx;
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(
+            out.stdout,
+            "== Ablation: GHRP history geometry ({} traces) ==",
+            ctx.traces()
+        );
+        let lru = rctx.sims.suite(&lru_baseline(ctx));
+        let lru_mean = lru.icache_means()[0];
+        let _ = writeln!(
+            out.stdout,
+            "{:<34} {:>12} {:>10}",
+            "history", "icache MPKI", "vs LRU"
+        );
+        let _ = writeln!(
+            out.stdout,
+            "{:<34} {:>12.3} {:>10}",
+            "(LRU baseline)", lru_mean, "-"
+        );
+        out.metrics.insert("icache_lru".to_owned(), lru_mean);
+        // (history_bits, pc_bits, pad_bits): depth = bits / (pc+pad).
+        for (hb, pcb, pad, label) in HISTORY_VARIANTS {
+            let r = rctx.sims.suite(&SimRequest::suite_run(
+                ctx,
+                history_cfg(ctx, hb, pcb, pad),
+                &[PolicyKind::Ghrp],
+            ));
+            let m = r.icache_means()[0];
+            let _ = writeln!(
+                out.stdout,
+                "{:<34} {:>12.3} {:>9.1}%",
+                label,
+                m,
+                (m - lru_mean) / lru_mean * 100.0
+            );
+            out.metrics.insert(format!("icache_h{hb}_{pcb}_{pad}"), m);
+        }
+        out.assertions = vec![ShapeAssertion::lt(
+            "paper_history_beats_lru",
+            "The paper's 16-bit, 3+1 history geometry beats the LRU baseline",
+            "icache_h16_3_1",
+            "icache_lru",
+        )];
+        out
+    }
+}
+
+/// Extension ablation: next-line prefetching x replacement policy.
+pub struct AblatePrefetch;
+
+const PREFETCH_DEGREES: [u32; 3] = [0, 1, 2];
+
+fn prefetch_cfg(ctx: &RunContext, degree: u32) -> SimConfig {
+    let mut cfg = ctx.sim();
+    cfg.prefetch_degree = degree;
+    cfg
+}
+
+impl Experiment for AblatePrefetch {
+    fn name(&self) -> &'static str {
+        "ablate_prefetch"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "SII.E"
+    }
+    fn requirements(&self, ctx: &RunContext) -> Vec<SimRequest> {
+        PREFETCH_DEGREES
+            .iter()
+            .map(|&d| {
+                SimRequest::suite_run(
+                    ctx,
+                    prefetch_cfg(ctx, d),
+                    &[PolicyKind::Lru, PolicyKind::Ghrp],
+                )
+            })
+            .collect()
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let ctx = rctx.ctx;
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(
+            out.stdout,
+            "== Ablation: next-line prefetch x replacement policy ({} traces) ==",
+            ctx.traces()
+        );
+        let _ = writeln!(
+            out.stdout,
+            "{:<26} {:>12} {:>12}",
+            "configuration", "LRU MPKI", "GHRP MPKI"
+        );
+        for degree in PREFETCH_DEGREES {
+            let r = rctx.sims.suite(&SimRequest::suite_run(
+                ctx,
+                prefetch_cfg(ctx, degree),
+                &[PolicyKind::Lru, PolicyKind::Ghrp],
+            ));
+            let _ = writeln!(
+                out.stdout,
+                "{:<26} {:>12.3} {:>12.3}",
+                format!("prefetch degree {degree}"),
+                r.icache_means()[0],
+                r.icache_means()[1]
+            );
+            out.metrics
+                .insert(format!("icache_pf{degree}_lru"), r.icache_means()[0]);
+            out.metrics
+                .insert(format!("icache_pf{degree}_ghrp"), r.icache_means()[1]);
+        }
+        out.assertions = vec![ShapeAssertion::lt(
+            "ghrp_beats_lru_without_prefetch",
+            "Without prefetching, GHRP beats LRU on I-cache MPKI",
+            "icache_pf0_ghrp",
+            "icache_pf0_lru",
+        )];
+        out
+    }
+}
+
+/// Ablation (SII.A): why set-sampling fails for instruction streams.
+pub struct AblateSampler;
+
+const SAMPLER_VARIANTS: [(u32, &str); 4] = [
+    (1, "every set (paper, full-size)"),
+    (4, "every 4th set"),
+    (16, "every 16th set"),
+    (64, "every 64th set (LLC-style)"),
+];
+
+fn sampler_cfg(ctx: &RunContext, every: u32) -> SimConfig {
+    let mut cfg = ctx.sim().with_policy(PolicyKind::Sdbp);
+    cfg.sdbp.sampler_every = every;
+    cfg
+}
+
+impl Experiment for AblateSampler {
+    fn name(&self) -> &'static str {
+        "ablate_sampler"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "SII.A"
+    }
+    fn requirements(&self, ctx: &RunContext) -> Vec<SimRequest> {
+        let mut reqs = vec![lru_baseline(ctx)];
+        for (every, _) in SAMPLER_VARIANTS {
+            reqs.push(SimRequest::suite_run(
+                ctx,
+                sampler_cfg(ctx, every),
+                &[PolicyKind::Sdbp],
+            ));
+        }
+        reqs
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let ctx = rctx.ctx;
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(
+            out.stdout,
+            "== Ablation: SDBP sampler density ({} traces) ==",
+            ctx.traces()
+        );
+        let lru = rctx.sims.suite(&lru_baseline(ctx));
+        let lru_mean = lru.icache_means()[0];
+        let _ = writeln!(
+            out.stdout,
+            "{:<30} {:>12} {:>10}",
+            "sampler", "icache MPKI", "vs LRU"
+        );
+        let _ = writeln!(
+            out.stdout,
+            "{:<30} {:>12.3} {:>10}",
+            "(LRU baseline)", lru_mean, "-"
+        );
+        out.metrics.insert("icache_lru".to_owned(), lru_mean);
+        for (every, label) in SAMPLER_VARIANTS {
+            let r = rctx.sims.suite(&SimRequest::suite_run(
+                ctx,
+                sampler_cfg(ctx, every),
+                &[PolicyKind::Sdbp],
+            ));
+            let m = r.icache_means()[0];
+            let _ = writeln!(
+                out.stdout,
+                "{:<30} {:>12.3} {:>9.1}%",
+                label,
+                m,
+                (m - lru_mean) / lru_mean * 100.0
+            );
+            out.metrics.insert(format!("icache_sampler_{every}"), m);
+        }
+        out.assertions = vec![ShapeAssertion::lt(
+            "full_sampler_beats_sparse",
+            "The full-size sampler outperforms the LLC-style every-64th-set sampler",
+            "icache_sampler_1",
+            "icache_sampler_64",
+        )];
+        out
+    }
+}
+
+/// Ablation: shadow-training and fresh-victim-prediction deviations.
+pub struct AblateTraining;
+
+const TRAINING_VARIANTS: [(bool, bool, &str); 4] = [
+    (true, true, "shadow training + fresh victims"),
+    (true, false, "shadow training + stored bits"),
+    (false, true, "direct (paper) training + fresh"),
+    (false, false, "direct training + stored (paper)"),
+];
+
+fn training_cfg(ctx: &RunContext, shadow: bool, fresh: bool) -> SimConfig {
+    let mut cfg = ctx.sim().with_policy(PolicyKind::Ghrp);
+    cfg.ghrp.shadow_training = shadow;
+    cfg.ghrp.fresh_victim_prediction = fresh;
+    cfg
+}
+
+impl Experiment for AblateTraining {
+    fn name(&self) -> &'static str {
+        "ablate_training"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "SIII.B"
+    }
+    fn requirements(&self, ctx: &RunContext) -> Vec<SimRequest> {
+        let mut reqs = vec![lru_baseline(ctx)];
+        for (shadow, fresh, _) in TRAINING_VARIANTS {
+            reqs.push(SimRequest::suite_run(
+                ctx,
+                training_cfg(ctx, shadow, fresh),
+                &[PolicyKind::Ghrp],
+            ));
+        }
+        reqs
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let ctx = rctx.ctx;
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(
+            out.stdout,
+            "== Ablation: GHRP training/freshness variants ({} traces) ==",
+            ctx.traces()
+        );
+        let lru = rctx.sims.suite(&lru_baseline(ctx));
+        let (il, bl) = (lru.icache_means()[0], lru.btb_means()[0]);
+        let _ = writeln!(
+            out.stdout,
+            "{:<38} {:>12} {:>10} {:>12} {:>10}",
+            "variant", "icache MPKI", "vs LRU", "btb MPKI", "vs LRU"
+        );
+        let _ = writeln!(
+            out.stdout,
+            "{:<38} {:>12.3} {:>10} {:>12.3} {:>10}",
+            "(LRU baseline)", il, "-", bl, "-"
+        );
+        out.metrics.insert("icache_lru".to_owned(), il);
+        out.metrics.insert("btb_lru".to_owned(), bl);
+        for (shadow, fresh, label) in TRAINING_VARIANTS {
+            let r = rctx.sims.suite(&SimRequest::suite_run(
+                ctx,
+                training_cfg(ctx, shadow, fresh),
+                &[PolicyKind::Ghrp],
+            ));
+            let (im, bm) = (r.icache_means()[0], r.btb_means()[0]);
+            let _ = writeln!(
+                out.stdout,
+                "{:<38} {:>12.3} {:>9.1}% {:>12.3} {:>9.1}%",
+                label,
+                im,
+                (im - il) / il * 100.0,
+                bm,
+                (bm - bl) / bl * 100.0
+            );
+            out.metrics
+                .insert(format!("icache_train_{shadow}_{fresh}"), im);
+            out.metrics
+                .insert(format!("btb_train_{shadow}_{fresh}"), bm);
+        }
+        out.assertions = vec![ShapeAssertion::lt(
+            "default_beats_lru",
+            "The default shadow-training + fresh-victim variant beats the LRU baseline",
+            "icache_train_true_true",
+            "icache_lru",
+        )];
+        out
+    }
+}
+
+/// Ablation (SIII.C): majority-vote vs summation aggregation.
+pub struct AblateVote;
+
+const VOTE_VARIANTS: [(&str, Aggregation); 2] = [
+    ("majority-vote", Aggregation::MajorityVote),
+    ("sum", Aggregation::Sum),
+];
+
+fn vote_cfg(ctx: &RunContext, agg: Aggregation) -> SimConfig {
+    let mut cfg = ctx.sim().with_policy(PolicyKind::Ghrp);
+    cfg.ghrp.aggregation = agg;
+    cfg
+}
+
+impl Experiment for AblateVote {
+    fn name(&self) -> &'static str {
+        "ablate_vote"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "SIII.C"
+    }
+    fn requirements(&self, ctx: &RunContext) -> Vec<SimRequest> {
+        let mut reqs = vec![lru_baseline(ctx)];
+        for (_, agg) in VOTE_VARIANTS {
+            reqs.push(SimRequest::suite_run(
+                ctx,
+                vote_cfg(ctx, agg),
+                &[PolicyKind::Ghrp],
+            ));
+        }
+        reqs
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let ctx = rctx.ctx;
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(
+            out.stdout,
+            "== Ablation: GHRP vote aggregation ({} traces) ==",
+            ctx.traces()
+        );
+        let lru = rctx.sims.suite(&lru_baseline(ctx));
+        let lru_mean = lru.icache_means()[0];
+        let _ = writeln!(
+            out.stdout,
+            "{:<18} {:>12} {:>10}",
+            "aggregation", "icache MPKI", "vs LRU"
+        );
+        let _ = writeln!(
+            out.stdout,
+            "{:<18} {:>12.3} {:>10}",
+            "(LRU baseline)", lru_mean, "-"
+        );
+        out.metrics.insert("icache_lru".to_owned(), lru_mean);
+        for (name, agg) in VOTE_VARIANTS {
+            let r = rctx.sims.suite(&SimRequest::suite_run(
+                ctx,
+                vote_cfg(ctx, agg),
+                &[PolicyKind::Ghrp],
+            ));
+            let m = r.icache_means()[0];
+            let _ = writeln!(
+                out.stdout,
+                "{:<18} {:>12.3} {:>9.1}%",
+                name,
+                m,
+                (m - lru_mean) / lru_mean * 100.0
+            );
+            out.metrics
+                .insert(format!("icache_{}", name.replace('-', "_")), m);
+        }
+        out.assertions = vec![ShapeAssertion::lt(
+            "majority_beats_lru",
+            "Majority-vote aggregation beats the LRU baseline",
+            "icache_majority_vote",
+            "icache_lru",
+        )];
+        out
+    }
+}
+
+/// Ablation (SIII.F): wrong-path pollution and history recovery.
+pub struct AblateWrongpath;
+
+fn wrongpath_variants() -> Vec<(&'static str, Option<WrongPathConfig>)> {
+    vec![
+        ("no wrong path (trace-driven baseline)", None),
+        (
+            "wrong path, history recovery ON",
+            Some(WrongPathConfig {
+                blocks_per_misprediction: 2,
+                recover_history: true,
+            }),
+        ),
+        (
+            "wrong path, history recovery OFF",
+            Some(WrongPathConfig {
+                blocks_per_misprediction: 2,
+                recover_history: false,
+            }),
+        ),
+        (
+            "deep wrong path (4 blocks), recovery ON",
+            Some(WrongPathConfig {
+                blocks_per_misprediction: 4,
+                recover_history: true,
+            }),
+        ),
+    ]
+}
+
+fn wrongpath_cfg(ctx: &RunContext, wp: Option<WrongPathConfig>) -> SimConfig {
+    let mut cfg = ctx.sim().with_policy(PolicyKind::Ghrp);
+    cfg.wrong_path = wp;
+    cfg
+}
+
+impl Experiment for AblateWrongpath {
+    fn name(&self) -> &'static str {
+        "ablate_wrongpath"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "SIII.F"
+    }
+    fn requirements(&self, ctx: &RunContext) -> Vec<SimRequest> {
+        wrongpath_variants()
+            .into_iter()
+            .map(|(_, wp)| SimRequest::suite_run(ctx, wrongpath_cfg(ctx, wp), &[PolicyKind::Ghrp]))
+            .collect()
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let ctx = rctx.ctx;
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(
+            out.stdout,
+            "== Ablation: wrong-path injection ({} traces) ==",
+            ctx.traces()
+        );
+        let _ = writeln!(
+            out.stdout,
+            "{:<40} {:>12} {:>12}",
+            "mode", "icache MPKI", "btb MPKI"
+        );
+        for (i, (label, wp)) in wrongpath_variants().into_iter().enumerate() {
+            let r = rctx.sims.suite(&SimRequest::suite_run(
+                ctx,
+                wrongpath_cfg(ctx, wp),
+                &[PolicyKind::Ghrp],
+            ));
+            let _ = writeln!(
+                out.stdout,
+                "{:<40} {:>12.3} {:>12.3}",
+                label,
+                r.icache_means()[0],
+                r.btb_means()[0]
+            );
+            out.metrics
+                .insert(format!("icache_wp{i}"), r.icache_means()[0]);
+            out.metrics.insert(format!("btb_wp{i}"), r.btb_means()[0]);
+        }
+        out
+    }
+}
+
+/// Extension: the full online policy zoo on the standard suite.
+pub struct ExtPolicies;
+
+impl Experiment for ExtPolicies {
+    fn name(&self) -> &'static str {
+        "ext_policies"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "extension"
+    }
+    fn requirements(&self, ctx: &RunContext) -> Vec<SimRequest> {
+        vec![SimRequest::suite_run(
+            ctx,
+            ctx.sim(),
+            PolicyKind::ALL_ONLINE,
+        )]
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let ctx = rctx.ctx;
+        let result = rctx.sims.suite(&SimRequest::suite_run(
+            ctx,
+            ctx.sim(),
+            PolicyKind::ALL_ONLINE,
+        ));
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(
+            out.stdout,
+            "== Extended policy comparison ({} traces) ==",
+            ctx.traces()
+        );
+        let _ = writeln!(
+            out.stdout,
+            "{:<10} {:>12} {:>10} {:>12} {:>10}",
+            "policy", "icache MPKI", "vs LRU", "btb MPKI", "vs LRU"
+        );
+        let (il, bl) = (result.icache_means()[0], result.btb_means()[0]);
+        for (i, p) in result.policies.iter().enumerate() {
+            let im = result.icache_means()[i];
+            let bm = result.btb_means()[i];
+            let _ = writeln!(
+                out.stdout,
+                "{:<10} {:>12.3} {:>9.1}% {:>12.3} {:>9.1}%",
+                p.to_string(),
+                im,
+                (im - il) / il * 100.0,
+                bm,
+                (bm - bl) / bl * 100.0
+            );
+            out.metrics.insert(format!("icache_{}", pkey(*p)), im);
+            out.metrics.insert(format!("btb_{}", pkey(*p)), bm);
+        }
+        let others: Vec<String> = result
+            .policies
+            .iter()
+            .filter(|&&p| p != PolicyKind::Ghrp)
+            .map(|&p| format!("icache_{}", pkey(p)))
+            .collect();
+        out.assertions = vec![ShapeAssertion::min_among(
+            "ghrp_lowest_of_zoo",
+            "GHRP has the lowest I-cache MPKI of all online policies",
+            "icache_ghrp",
+            &others,
+        )];
+        out
+    }
+}
+
+/// Extension: Belady-OPT bound study.
+pub struct OptBound;
+
+/// OPT preprocessing is heavier, so the study caps the suite.
+const OPT_MAX_TRACES: usize = 24;
+
+const OPT_POLS: [PolicyKind; 5] = [
+    PolicyKind::Lru,
+    PolicyKind::Srrip,
+    PolicyKind::Sdbp,
+    PolicyKind::Ghrp,
+    PolicyKind::Opt,
+];
+
+impl Experiment for OptBound {
+    fn name(&self) -> &'static str {
+        "opt_bound"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "extension"
+    }
+    fn requirements(&self, ctx: &RunContext) -> Vec<SimRequest> {
+        vec![SimRequest::suite_run_capped(
+            ctx,
+            ctx.sim(),
+            &OPT_POLS,
+            OPT_MAX_TRACES,
+        )]
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let req = &self.requirements(rctx.ctx)[0];
+        let result = rctx.sims.suite(req);
+        let lru = result.icache_means()[0];
+        let opt = *result
+            .icache_means()
+            .last()
+            .expect("sweep produced no results — no policies configured?");
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(
+            out.stdout,
+            "== OPT bound study ({} traces) ==",
+            req.suite.traces
+        );
+        let _ = writeln!(
+            out.stdout,
+            "{:<10} {:>12} {:>22}",
+            "policy", "icache MPKI", "% of LRU->OPT gap closed"
+        );
+        for (i, p) in result.policies.iter().enumerate() {
+            let m = result.icache_means()[i];
+            let closed = if lru > opt {
+                (lru - m) / (lru - opt) * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out.stdout,
+                "{:<10} {:>12.3} {:>21.1}%",
+                p.to_string(),
+                m,
+                closed
+            );
+            out.metrics.insert(format!("icache_{}", pkey(*p)), m);
+            out.metrics
+                .insert(format!("gap_closed_{}", pkey(*p)), closed);
+        }
+        out.assertions = vec![
+            ShapeAssertion::lt(
+                "opt_is_the_floor",
+                "Belady-OPT has lower I-cache MPKI than every online policy",
+                "icache_opt",
+                "icache_lru",
+            ),
+            ShapeAssertion::pos(
+                "ghrp_closes_gap",
+                "GHRP closes a positive share of the LRU-to-OPT gap",
+                "gap_closed_ghrp",
+            ),
+        ];
+        out
+    }
+}

@@ -1,0 +1,260 @@
+//! `report diff <old> <new>` — mechanical comparison of two manifests.
+//!
+//! The diff is *shape-based*: a regression is a shape check that passed
+//! in the old manifest but fails in the new one, or an experiment that
+//! disappeared outright. Metric drift (absolute MPKI moving around) is
+//! reported but never fails the diff — the reproduction's contract is
+//! orderings and signs, not third-decimal values, and CI runs the suite
+//! at a much smaller scale than the committed golden manifest.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use super::manifest::Manifest;
+
+/// One shape regression: previously passing, now failing (or gone).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// Experiment name.
+    pub experiment: String,
+    /// Check name, or `"<missing>"` when the whole experiment vanished.
+    pub check: String,
+    /// Human detail.
+    pub detail: String,
+}
+
+/// Outcome of comparing two manifests.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Shape regressions (fail the diff).
+    pub regressions: Vec<Regression>,
+    /// Informational lines: new experiments, newly-passing checks,
+    /// notable metric drift.
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the new manifest is no worse than the old one.
+    pub fn clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Render the report for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.clean() {
+            let _ = writeln!(out, "diff: clean — no shape regressions");
+        } else {
+            let _ = writeln!(out, "diff: {} shape regression(s)", self.regressions.len());
+            for r in &self.regressions {
+                let _ = writeln!(
+                    out,
+                    "  REGRESSION {}::{} — {}",
+                    r.experiment, r.check, r.detail
+                );
+            }
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+}
+
+/// Compare `new` against `old`.
+pub fn diff_manifests(old: &Manifest, new: &Manifest) -> DiffReport {
+    let mut report = DiffReport::default();
+
+    for (name, old_rec) in &old.experiments {
+        let Some(new_rec) = new.experiments.get(name) else {
+            report.regressions.push(Regression {
+                experiment: name.clone(),
+                check: "<missing>".to_owned(),
+                detail: "experiment present in old manifest but absent from new".to_owned(),
+            });
+            continue;
+        };
+
+        let new_checks: BTreeMap<&str, &super::shape::ShapeCheck> = new_rec
+            .checks
+            .iter()
+            .map(|c| (c.assertion.name.as_str(), c))
+            .collect();
+        for old_check in &old_rec.checks {
+            if !old_check.pass {
+                continue; // never passed: nothing to regress from
+            }
+            match new_checks.get(old_check.assertion.name.as_str()) {
+                None => report.regressions.push(Regression {
+                    experiment: name.clone(),
+                    check: old_check.assertion.name.clone(),
+                    detail: "check passed in old manifest but is not evaluated in new".to_owned(),
+                }),
+                Some(c) if !c.pass => report.regressions.push(Regression {
+                    experiment: name.clone(),
+                    check: old_check.assertion.name.clone(),
+                    detail: if c.note.is_empty() {
+                        "passed in old manifest, fails in new".to_owned()
+                    } else {
+                        format!("passed in old manifest, fails in new ({})", c.note)
+                    },
+                }),
+                Some(_) => {}
+            }
+        }
+        for new_check in &new_rec.checks {
+            let was_passing = old_rec
+                .checks
+                .iter()
+                .any(|c| c.assertion.name == new_check.assertion.name && c.pass);
+            if new_check.pass && !was_passing {
+                report
+                    .notes
+                    .push(format!("{name}::{} now passes", new_check.assertion.name));
+            }
+        }
+
+        for (metric, new_v) in &new_rec.metrics {
+            if let Some(old_v) = old_rec.metrics.get(metric) {
+                let drift = new_v - old_v;
+                if drift.abs() > 1e-9 {
+                    report
+                        .notes
+                        .push(format!("{name}::{metric} moved {old_v:.4} -> {new_v:.4}"));
+                }
+            }
+        }
+    }
+
+    for name in new.experiments.keys() {
+        if !old.experiments.contains_key(name) {
+            report.notes.push(format!("new experiment `{name}`"));
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::manifest::{
+        ExperimentRecord, Manifest, RecordArgs, MANIFEST_SCHEMA, RECORD_SCHEMA,
+    };
+    use super::super::shape::ShapeAssertion;
+    use super::*;
+    use std::collections::BTreeMap;
+
+    type Entry<'a> = (
+        &'a str,
+        &'a [(&'a str, f64)],
+        &'a [(&'a str, &'a str, &'a str)],
+    );
+
+    fn manifest(entries: &[Entry<'_>]) -> Manifest {
+        // entries: (experiment, metrics, lt-checks as (name, metric, against))
+        let mut m = Manifest {
+            schema: MANIFEST_SCHEMA.to_owned(),
+            git_rev: "test".to_owned(),
+            experiments: BTreeMap::new(),
+        };
+        for (name, metrics, checks) in entries {
+            let metric_map: BTreeMap<String, f64> =
+                metrics.iter().map(|&(k, v)| (k.to_owned(), v)).collect();
+            m.insert(ExperimentRecord {
+                schema: RECORD_SCHEMA.to_owned(),
+                experiment: (*name).to_owned(),
+                paper_ref: String::new(),
+                git_rev: "test".to_owned(),
+                args: RecordArgs::default(),
+                checks: checks
+                    .iter()
+                    .map(|&(n, a, b)| ShapeAssertion::lt(n, "", a, b).eval(&metric_map))
+                    .collect(),
+                metrics: metric_map,
+                artifacts: Vec::new(),
+            });
+        }
+        m
+    }
+
+    #[test]
+    fn flipped_winner_is_a_regression() {
+        let old = manifest(&[(
+            "fig3",
+            &[("ghrp", 1.0), ("lru", 2.0)],
+            &[("win", "ghrp", "lru")],
+        )]);
+        let new = manifest(&[(
+            "fig3",
+            &[("ghrp", 3.0), ("lru", 2.0)],
+            &[("win", "ghrp", "lru")],
+        )]);
+        let d = diff_manifests(&old, &new);
+        assert!(!d.clean());
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].check, "win");
+    }
+
+    #[test]
+    fn metric_drift_without_shape_change_is_only_a_note() {
+        let old = manifest(&[(
+            "fig3",
+            &[("ghrp", 1.0), ("lru", 2.0)],
+            &[("win", "ghrp", "lru")],
+        )]);
+        let new = manifest(&[(
+            "fig3",
+            &[("ghrp", 1.5), ("lru", 2.5)],
+            &[("win", "ghrp", "lru")],
+        )]);
+        let d = diff_manifests(&old, &new);
+        assert!(d.clean());
+        assert!(d.notes.iter().any(|n| n.contains("ghrp")), "{:?}", d.notes);
+    }
+
+    #[test]
+    fn missing_experiment_is_a_regression_and_new_one_is_a_note() {
+        let old = manifest(&[("fig3", &[("g", 1.0)], &[])]);
+        let new = manifest(&[("fig9", &[("g", 1.0)], &[])]);
+        let d = diff_manifests(&old, &new);
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].check, "<missing>");
+        assert!(d.notes.iter().any(|n| n.contains("fig9")));
+    }
+
+    #[test]
+    fn check_that_failed_in_old_cannot_regress() {
+        // Old check already failing (ghrp > lru): new failing too is not
+        // a regression — CI's small scale may never have reproduced it.
+        let old = manifest(&[(
+            "fig5",
+            &[("ghrp", 3.0), ("lru", 2.0)],
+            &[("win", "ghrp", "lru")],
+        )]);
+        let new = manifest(&[(
+            "fig5",
+            &[("ghrp", 4.0), ("lru", 2.0)],
+            &[("win", "ghrp", "lru")],
+        )]);
+        assert!(diff_manifests(&old, &new).clean());
+    }
+
+    #[test]
+    fn newly_passing_check_is_noted() {
+        let old = manifest(&[(
+            "fig5",
+            &[("ghrp", 3.0), ("lru", 2.0)],
+            &[("win", "ghrp", "lru")],
+        )]);
+        let new = manifest(&[(
+            "fig5",
+            &[("ghrp", 1.0), ("lru", 2.0)],
+            &[("win", "ghrp", "lru")],
+        )]);
+        let d = diff_manifests(&old, &new);
+        assert!(d.clean());
+        assert!(d.notes.iter().any(|n| n.contains("now passes")));
+    }
+}

@@ -1,0 +1,1009 @@
+//! Lab notebooks as registry experiments: the calibration, debugging,
+//! and timing harnesses that historically lived in their own binaries.
+//!
+//! Most of these drive the simulator directly (single traces, hardcoded
+//! seeds, wall-clock timing), so they declare no plannable requirements;
+//! `diag` is the exception — its per-trace table rides the planner. Each
+//! keeps its historical defaults when no flag is passed (`Option`-based
+//! [`RunContext`] fields make "user said nothing" observable) but now
+//! honors `--seed`/`--instr`/`--traces` overrides, which is what lets the
+//! CI smoke run scale them down.
+
+#![forbid(unsafe_code)]
+
+use fe_cache::{AccessContext, Cache, CacheConfig, ReplacementPolicy};
+use fe_frontend::engine::{run_lanes, SliceReplay};
+use fe_frontend::schedule::SchedulerStats;
+use fe_frontend::simulator::SimConfig;
+use fe_frontend::{experiment as fe_experiment, policy::PolicyKind, sweep, Simulator};
+use fe_trace::fetch::FetchStream;
+use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
+use fe_trace::TraceStats;
+use ghrp_core::{GhrpConfig, GhrpPolicy, SharedGhrp};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use super::context::RunContext;
+use super::request::{SimRequest, SimShape, SuiteSpec};
+use super::{Experiment, ExperimentOutput, RenderCtx};
+
+/// Diagnostic: per-trace footprints and MPKI under LRU/Random/SRRIP/GHRP.
+pub struct Diag;
+
+const DIAG_POLS: [PolicyKind; 4] = [
+    PolicyKind::Lru,
+    PolicyKind::Random,
+    PolicyKind::Srrip,
+    PolicyKind::Ghrp,
+];
+
+fn diag_req(ctx: &RunContext) -> SimRequest {
+    SimRequest {
+        config: SimConfig::paper_default(),
+        suite: SuiteSpec {
+            traces: ctx.traces.unwrap_or(12),
+            seed: ctx.seed(),
+            instr: ctx.instr,
+        },
+        policies: DIAG_POLS.to_vec(),
+        shape: SimShape::Suite,
+    }
+}
+
+impl Experiment for Diag {
+    fn name(&self) -> &'static str {
+        "diag"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "lab"
+    }
+    fn requirements(&self, ctx: &RunContext) -> Vec<SimRequest> {
+        vec![diag_req(ctx)]
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let req = diag_req(rctx.ctx);
+        let result = rctx.sims.suite(&req);
+        let specs = req.suite.specs();
+        let mut out = ExperimentOutput::default();
+        for (spec, row) in specs.iter().zip(&result.rows) {
+            let t = spec.generate();
+            let st = TraceStats::compute(&t.records);
+            let _ = writeln!(
+                out.stdout,
+                "{:<20} static={:>5}KB dyn={:>5}KB brpc={:>6} | LRU {:>7.3} Rnd {:>7.3} SRRIP {:>7.3} GHRP {:>7.3} | btb LRU {:>7.3} GHRP {:>7.3} | bp {:>5.2}",
+                spec.name,
+                t.code_bytes / 1024,
+                st.footprint_bytes() / 1024,
+                st.distinct_branch_pcs,
+                row.icache_mpki[0], row.icache_mpki[1], row.icache_mpki[2], row.icache_mpki[3],
+                row.btb_mpki[0], row.btb_mpki[3],
+                row.branch_mpki,
+            );
+        }
+        out
+    }
+}
+
+/// Debug: GHRP internal counters on one server trace.
+pub struct GhrpDebug;
+
+impl Experiment for GhrpDebug {
+    fn name(&self) -> &'static str {
+        "ghrp_debug"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "lab"
+    }
+    fn requirements(&self, _ctx: &RunContext) -> Vec<SimRequest> {
+        Vec::new()
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let ctx = rctx.ctx;
+        let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, ctx.seed.unwrap_or(1237))
+            .instructions(ctx.instr.unwrap_or(2_000_000));
+        let t = spec.generate();
+        let cfg = CacheConfig::with_capacity(64 * 1024, 8, 64)
+            .expect("64KB/8-way/64B is a valid geometry");
+        let shared = SharedGhrp::new(GhrpConfig::default(), cfg.offset_bits());
+        let mut c = Cache::new(cfg, GhrpPolicy::new(cfg, shared.clone()));
+        for chunk in FetchStream::new(t.records.iter().copied(), 64) {
+            if chunk.starts_group {
+                c.access(chunk.block_addr, chunk.first_pc);
+            }
+        }
+        let st = c.policy().stats();
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(out.stdout, "cache stats: {:?}", c.stats());
+        let _ = writeln!(out.stdout, "ghrp stats: {st:?}");
+        let _ = writeln!(
+            out.stdout,
+            "table saturation: {:.4}",
+            shared.table_saturation()
+        );
+        let _ = writeln!(out.stdout, "meta_len: {}", shared.meta_len());
+        out.metrics
+            .insert("table_saturation".to_owned(), shared.table_saturation());
+        out.metrics
+            .insert("meta_len".to_owned(), shared.meta_len() as f64);
+        out
+    }
+}
+
+/// Headroom check: LRU vs OPT (and policy coverage) per server trace.
+pub struct Headroom;
+
+impl Experiment for Headroom {
+    fn name(&self) -> &'static str {
+        "headroom"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "lab"
+    }
+    fn requirements(&self, _ctx: &RunContext) -> Vec<SimRequest> {
+        Vec::new()
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let instr = rctx.ctx.instr.unwrap_or(2_000_000);
+        let mut out = ExperimentOutput::default();
+        for seed in [1235u64, 1237, 1239, 1241] {
+            let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, seed).instructions(instr);
+            let t = spec.generate();
+            let run = |p: PolicyKind| {
+                Simulator::new(SimConfig::paper_default().with_policy(p))
+                    .run(&t.records, t.instructions)
+            };
+            let lru = run(PolicyKind::Lru);
+            let opt = run(PolicyKind::Opt);
+            let srrip = run(PolicyKind::Srrip);
+            let _ = writeln!(
+                out.stdout,
+                "{}: LRU {:.3}  SRRIP {:.3}  OPT {:.3}  (OPT saves {:.1}% of LRU misses) | btb LRU {:.3} OPT {:.3}",
+                spec.name, lru.icache_mpki(), srrip.icache_mpki(), opt.icache_mpki(),
+                (1.0 - opt.icache_mpki() / lru.icache_mpki()) * 100.0,
+                lru.btb_mpki(), opt.btb_mpki(),
+            );
+        }
+        out
+    }
+}
+
+/// Mechanism ceiling test: GHRP's victim selection with a perfect
+/// last-touch oracle.
+struct OracleDead {
+    labels: Vec<bool>,
+    cursor: usize,
+    ways: usize,
+    stamps: Vec<u64>,
+    clock: u64,
+    dead_bit: Vec<bool>,
+}
+
+// lint:allow(dispatch-drift): offline oracle replaying precomputed labels for the oracle_policy lab; deliberately not user-selectable via AnyPolicy
+impl ReplacementPolicy for OracleDead {
+    fn on_access(&mut self, _ctx: &AccessContext) {}
+    fn on_hit(&mut self, way: usize, ctx: &AccessContext) {
+        self.dead_bit[ctx.set * self.ways + way] = self.labels[self.cursor];
+        self.cursor += 1;
+        self.clock += 1;
+        self.stamps[ctx.set * self.ways + way] = self.clock;
+    }
+    fn choose_victim(&mut self, ctx: &AccessContext) -> usize {
+        let base = ctx.set * self.ways;
+        if let Some(w) = (0..self.ways).find(|&w| self.dead_bit[base + w]) {
+            return w;
+        }
+        (0..self.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .unwrap_or(0)
+    }
+    fn on_evict(&mut self, way: usize, _victim: u64, ctx: &AccessContext) {
+        self.dead_bit[ctx.set * self.ways + way] = false;
+    }
+    fn on_fill(&mut self, way: usize, ctx: &AccessContext) {
+        self.dead_bit[ctx.set * self.ways + way] = self.labels[self.cursor];
+        self.cursor += 1;
+        self.clock += 1;
+        self.stamps[ctx.set * self.ways + way] = self.clock;
+    }
+    fn reset(&mut self) {
+        // Rewind the oracle to the start of the same labelled trace.
+        self.cursor = 0;
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.dead_bit.fill(false);
+    }
+    fn name(&self) -> String {
+        "OracleDead".into()
+    }
+}
+
+fn labels_for(blocks: &[u64], cfg: CacheConfig) -> Vec<bool> {
+    let ways = cfg.ways() as usize;
+    let mut labels = vec![true; blocks.len()];
+    let mut per_set: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, &b) in blocks.iter().enumerate() {
+        per_set.entry(cfg.set_of(b)).or_default().push(i);
+    }
+    for (_s, seq) in per_set {
+        let mut next_occ: HashMap<u64, usize> = HashMap::new();
+        let mut nexts = vec![usize::MAX; seq.len()];
+        for (j, &i) in seq.iter().enumerate().rev() {
+            nexts[j] = next_occ.get(&blocks[i]).copied().unwrap_or(usize::MAX);
+            next_occ.insert(blocks[i], j);
+        }
+        for (j, &i) in seq.iter().enumerate() {
+            let nj = nexts[j];
+            if nj == usize::MAX {
+                labels[i] = true;
+                continue;
+            }
+            let mut uniq = std::collections::HashSet::new();
+            for &k in &seq[j + 1..nj] {
+                uniq.insert(blocks[k]);
+                if uniq.len() >= ways {
+                    break;
+                }
+            }
+            labels[i] = uniq.len() >= ways;
+        }
+    }
+    labels
+}
+
+/// Mechanism ceiling test over six server traces.
+pub struct OraclePolicy;
+
+impl Experiment for OraclePolicy {
+    fn name(&self) -> &'static str {
+        "oracle_policy"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "lab"
+    }
+    fn requirements(&self, _ctx: &RunContext) -> Vec<SimRequest> {
+        Vec::new()
+    }
+    #[allow(clippy::too_many_lines)]
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let instr = rctx.ctx.instr.unwrap_or(2_000_000);
+        let mut out = ExperimentOutput::default();
+        for seed in [1235u64, 1237, 1239, 1241, 1243, 1245] {
+            let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, seed).instructions(instr);
+            let t = spec.generate();
+            let cfg = CacheConfig::with_capacity(64 * 1024, 8, 64)
+                .expect("64KB/8-way/64B is a valid geometry");
+            let blocks: Vec<u64> = FetchStream::new(t.records.iter().copied(), 64)
+                .filter(|c| c.starts_group)
+                .map(|c| c.block_addr)
+                .collect();
+            let labels = labels_for(&blocks, cfg);
+            // Per-signature-majority labels: the feature ceiling an online
+            // per-signature predictor could reach.
+            let mut hist: u64 = 0;
+            let mut sigs = vec![0u16; blocks.len()];
+            for (i, &b) in blocks.iter().enumerate() {
+                let pc = b >> 6;
+                sigs[i] = ((hist ^ pc) & 0xFFFF) as u16;
+                hist = ((hist << 4) | ((pc & 0x7) << 1)) & 0xFFFF;
+            }
+            let mut counts: HashMap<u16, (u32, u32)> = HashMap::new();
+            for (s, &d) in sigs.iter().zip(&labels) {
+                let e = counts.entry(*s).or_default();
+                if d {
+                    e.0 += 1;
+                } else {
+                    e.1 += 1;
+                }
+            }
+            let sig_labels: Vec<bool> = sigs
+                .iter()
+                .map(|s| {
+                    let (d, l) = counts[s];
+                    d > l
+                })
+                .collect();
+            let oracle = OracleDead {
+                labels,
+                cursor: 0,
+                ways: cfg.ways() as usize,
+                stamps: vec![0; cfg.frames()],
+                clock: 0,
+                dead_bit: vec![false; cfg.frames()],
+            };
+            let mut c = Cache::new(cfg, oracle);
+            for &b in &blocks {
+                c.access(b, b);
+            }
+            let oracle_misses = c.stats().misses;
+            let sig_oracle = OracleDead {
+                labels: sig_labels,
+                cursor: 0,
+                ways: cfg.ways() as usize,
+                stamps: vec![0; cfg.frames()],
+                clock: 0,
+                dead_bit: vec![false; cfg.frames()],
+            };
+            let mut c2 = Cache::new(cfg, sig_oracle);
+            for &b in &blocks {
+                c2.access(b, b);
+            }
+            let sig_misses = c2.stats().misses;
+            // Like-for-like: plain LRU over the same whole-trace block stream.
+            let mut lru_cache = Cache::new(cfg, fe_cache::policy::Lru::new(cfg));
+            for &b in &blocks {
+                lru_cache.access(b, b);
+            }
+            let lru_misses = lru_cache.stats().misses;
+            let run = |p: PolicyKind| {
+                Simulator::new(SimConfig::paper_default().with_policy(p))
+                    .run(&t.records, t.instructions)
+            };
+            let ghrp = run(PolicyKind::Ghrp);
+            let lru_sim = run(PolicyKind::Lru);
+            let opt = run(PolicyKind::Opt);
+            let _ = writeln!(
+                out.stdout,
+                "{}: misses LRU {} perfect {} ({:+.1}%) sig-majority {} ({:+.1}%) | postwarm MPKI LRU {:.3} GHRP {:.3} OPT {:.3}",
+                spec.name,
+                lru_misses,
+                oracle_misses,
+                (oracle_misses as f64 - lru_misses as f64) / lru_misses as f64 * 100.0,
+                sig_misses,
+                (sig_misses as f64 - lru_misses as f64) / lru_misses as f64 * 100.0,
+                lru_sim.icache_mpki(),
+                ghrp.icache_mpki(),
+                opt.icache_mpki(),
+            );
+        }
+        out
+    }
+}
+
+/// How the GHRP-vs-LRU gap scales with trace length.
+pub struct ScaleTest;
+
+impl Experiment for ScaleTest {
+    fn name(&self) -> &'static str {
+        "scale_test"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "lab"
+    }
+    fn requirements(&self, _ctx: &RunContext) -> Vec<SimRequest> {
+        Vec::new()
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let base = rctx.ctx.instr.unwrap_or(4_000_000);
+        let mut out = ExperimentOutput::default();
+        for instr in [base, base * 2, base * 4, base * 8] {
+            let (mut lsum, mut gsum, mut lb, mut gb) = (0.0, 0.0, 0.0, 0.0);
+            for seed in [1237u64, 1239, 1243] {
+                let spec =
+                    WorkloadSpec::new(WorkloadCategory::ShortServer, seed).instructions(instr);
+                let t = spec.generate();
+                let mut cfg = SimConfig::paper_default();
+                cfg.ghrp.counter_bits = 3;
+                cfg.ghrp.dead_threshold = 1;
+                cfg.ghrp.bypass_threshold = 7;
+                cfg.ghrp.btb_dead_threshold = 1;
+                let lru = Simulator::new(cfg).run(&t.records, t.instructions);
+                let ghrp = Simulator::new(cfg.with_policy(PolicyKind::Ghrp))
+                    .run(&t.records, t.instructions);
+                lsum += lru.icache_mpki();
+                gsum += ghrp.icache_mpki();
+                lb += lru.btb_mpki();
+                gb += ghrp.btb_mpki();
+            }
+            let _ = writeln!(
+                out.stdout,
+                "instr={:>9}: icache LRU {:.3} GHRP {:.3} ({:+.1}%) | btb LRU {:.3} GHRP {:.3} ({:+.1}%)",
+                instr, lsum / 3.0, gsum / 3.0, (gsum - lsum) / lsum * 100.0,
+                lb / 3.0, gb / 3.0, (gb - lb) / lb * 100.0
+            );
+        }
+        out
+    }
+}
+
+/// Tuning sweep for GHRP knobs on server traces.
+pub struct TuneGhrp;
+
+impl Experiment for TuneGhrp {
+    fn name(&self) -> &'static str {
+        "tune_ghrp"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "lab"
+    }
+    fn requirements(&self, _ctx: &RunContext) -> Vec<SimRequest> {
+        Vec::new()
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let instr = rctx.ctx.instr.unwrap_or(6_000_000);
+        let mut out = ExperimentOutput::default();
+        let specs: Vec<_> = (0..6)
+            .map(|i| {
+                WorkloadSpec::new(
+                    if i % 2 == 0 {
+                        WorkloadCategory::ShortServer
+                    } else {
+                        WorkloadCategory::LongServer
+                    },
+                    1235 + i * 2,
+                )
+                .instructions(instr)
+            })
+            .collect();
+        let traces: Vec<_> = specs.iter().map(fe_trace::WorkloadSpec::generate).collect();
+        let lru: Vec<(f64, f64)> = traces
+            .iter()
+            .map(|t| {
+                let r = Simulator::new(SimConfig::paper_default()).run(&t.records, t.instructions);
+                (r.icache_mpki(), r.btb_mpki())
+            })
+            .collect();
+        let n = traces.len() as f64;
+        let lru_icache_mean: f64 = lru.iter().map(|x| x.0).sum::<f64>() / n;
+        let lru_btb_mean: f64 = lru.iter().map(|x| x.1).sum::<f64>() / n;
+        let _ = writeln!(
+            out.stdout,
+            "LRU mean: icache {lru_icache_mean:.3} btb {lru_btb_mean:.3}"
+        );
+
+        let combos: &[(bool, bool, u8, bool)] = &[
+            (true, true, 1, true),
+            (true, false, 1, true),
+            (false, true, 1, true),
+            (true, true, 2, true),
+            (true, true, 1, false),
+        ];
+        for &(protect_mru, btb_byp, btb_thr, shadow) in combos {
+            let mut cfg = SimConfig::paper_default().with_policy(PolicyKind::Ghrp);
+            cfg.ghrp.table_entries = 16384;
+            cfg.ghrp.counter_bits = 4;
+            cfg.ghrp.dead_threshold = 1;
+            cfg.ghrp.bypass_threshold = 15;
+            cfg.ghrp.btb_dead_threshold = btb_thr;
+            cfg.ghrp.protect_mru = protect_mru;
+            cfg.ghrp.btb_enable_bypass = btb_byp;
+            cfg.ghrp.shadow_training = shadow;
+            let (mut isum, mut bsum) = (0.0, 0.0);
+            for t in &traces {
+                let r = Simulator::new(cfg).run(&t.records, t.instructions);
+                isum += r.icache_mpki();
+                bsum += r.btb_mpki();
+            }
+            let _ = writeln!(
+                out.stdout,
+                "mru={protect_mru} btbbyp={btb_byp} btbthr={btb_thr} shadow={shadow}: icache {:.3} ({:+.1}%)  btb {:.3} ({:+.1}%)",
+                isum / n,
+                (isum / n - lru_icache_mean) / lru_icache_mean * 100.0,
+                bsum / n,
+                (bsum / n - lru_btb_mean) / lru_btb_mean * 100.0
+            );
+        }
+        out
+    }
+}
+
+/// Offline analysis: how informative are GHRP signatures on a trace?
+pub struct AnalyzeSignatures;
+
+impl Experiment for AnalyzeSignatures {
+    fn name(&self) -> &'static str {
+        "analyze_signatures"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "lab"
+    }
+    fn requirements(&self, _ctx: &RunContext) -> Vec<SimRequest> {
+        Vec::new()
+    }
+    // A linear diagnostic report; each section prints one table.
+    #[allow(clippy::too_many_lines)]
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let seed = rctx.ctx.seed.unwrap_or(1237);
+        let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, seed)
+            .instructions(rctx.ctx.instr.unwrap_or(2_000_000));
+        let t = spec.generate();
+        let cfg = CacheConfig::with_capacity(64 * 1024, 8, 64)
+            .expect("64KB/8-way/64B is a valid geometry");
+        let mut out = ExperimentOutput::default();
+
+        // Collect the block-access sequence.
+        let blocks: Vec<u64> = FetchStream::new(t.records.iter().copied(), 64)
+            .filter(|c| c.starts_group)
+            .map(|c| c.block_addr)
+            .collect();
+        let n = blocks.len();
+
+        // Forward set-unique reuse distance labels.
+        // For each access, dead = (# distinct blocks touching the same set
+        // before the next access to this block) >= ways.
+        let ways = cfg.ways() as usize;
+        let mut labels = vec![true; n]; // default dead (never reused)
+        {
+            let mut per_set_seq: HashMap<usize, Vec<usize>> = HashMap::new();
+            for (i, &b) in blocks.iter().enumerate() {
+                per_set_seq.entry(cfg.set_of(b)).or_default().push(i);
+            }
+            // For each set, compute labels with a forward scan.
+            for (_set, seq) in per_set_seq {
+                // next occurrence index of each block within this set sequence
+                let mut next_occ: HashMap<u64, usize> = HashMap::new();
+                let mut nexts = vec![usize::MAX; seq.len()];
+                for (j, &i) in seq.iter().enumerate().rev() {
+                    let b = blocks[i];
+                    nexts[j] = next_occ.get(&b).copied().unwrap_or(usize::MAX);
+                    next_occ.insert(b, j);
+                }
+                for (j, &i) in seq.iter().enumerate() {
+                    let nj = nexts[j];
+                    if nj == usize::MAX {
+                        labels[i] = true;
+                        continue;
+                    }
+                    // Count unique other blocks in (j, nj).
+                    let mut uniq = std::collections::HashSet::new();
+                    for &k in &seq[j + 1..nj] {
+                        uniq.insert(blocks[k]);
+                        if uniq.len() >= ways {
+                            break;
+                        }
+                    }
+                    labels[i] = uniq.len() >= ways;
+                }
+            }
+        }
+
+        // Signature stream (GHRP formula).
+        let mut sigs = vec![0u16; n];
+        let mut hist: u64 = 0;
+        for (i, &b) in blocks.iter().enumerate() {
+            let pc = b >> 6;
+            sigs[i] = ((hist ^ pc) & 0xFFFF) as u16;
+            hist = ((hist << 4) | ((pc & 0x7) << 1)) & 0xFFFF;
+        }
+
+        let dead_total = labels.iter().filter(|&&d| d).count();
+        let _ = writeln!(
+            out.stdout,
+            "accesses {n}, dead fraction {:.3}",
+            dead_total as f64 / n as f64
+        );
+        out.metrics
+            .insert("dead_fraction".to_owned(), dead_total as f64 / n as f64);
+
+        // Oracle majority accuracy per feature.
+        let feature_accuracy = |keys: &[u64]| -> f64 {
+            let mut counts: HashMap<u64, (u32, u32)> = HashMap::new();
+            for (k, &d) in keys.iter().zip(&labels) {
+                let e = counts.entry(*k).or_default();
+                if d {
+                    e.0 += 1;
+                } else {
+                    e.1 += 1;
+                }
+            }
+            let correct: u64 = counts.values().map(|&(d, l)| u64::from(d.max(l))).sum();
+            correct as f64 / n as f64
+        };
+        // Dead-class precision/recall for an oracle per-key majority predictor.
+        let dead_class = |keys: &[u64]| -> (f64, f64) {
+            let mut counts: HashMap<u64, (u32, u32)> = HashMap::new();
+            for (k, &d) in keys.iter().zip(&labels) {
+                let e = counts.entry(*k).or_default();
+                if d {
+                    e.0 += 1;
+                } else {
+                    e.1 += 1;
+                }
+            }
+            let mut tp = 0u64; // predicted dead, was dead
+            let mut fp = 0u64; // predicted dead, was live
+            let mut fnn = 0u64; // predicted live, was dead
+            for (k, &d) in keys.iter().zip(&labels) {
+                let (dc, lc) = counts[k];
+                let pred_dead = dc > lc;
+                match (pred_dead, d) {
+                    (true, true) => tp += 1,
+                    (true, false) => fp += 1,
+                    (false, true) => fnn += 1,
+                    _ => {}
+                }
+            }
+            let precision = if tp + fp == 0 {
+                0.0
+            } else {
+                tp as f64 / (tp + fp) as f64
+            };
+            let recall = if tp + fnn == 0 {
+                0.0
+            } else {
+                tp as f64 / (tp + fnn) as f64
+            };
+            (precision, recall)
+        };
+        let (bp, br) = dead_class(&blocks);
+        let sig_keys_u64: Vec<u64> = sigs.iter().map(|&s| u64::from(s)).collect();
+        let (sp, sr) = dead_class(&sig_keys_u64);
+        let _ = writeln!(
+            out.stdout,
+            "dead-class per-block:     precision {bp:.3} recall {br:.3}"
+        );
+        let _ = writeln!(
+            out.stdout,
+            "dead-class per-signature: precision {sp:.3} recall {sr:.3}"
+        );
+
+        // Online simulation: 3 skewed tables of 2-bit counters trained with
+        // the TRUE label after each access (no policy feedback). Measures how
+        // much of the oracle per-signature ceiling online counters capture.
+        {
+            use ghrp_core::signature::table_index;
+            for (ibits, bits, thr) in [
+                (12u32, 2u32, 1u8),
+                (12, 2, 2),
+                (13, 2, 1),
+                (14, 2, 1),
+                (14, 2, 2),
+                (15, 2, 1),
+                (14, 3, 2),
+            ] {
+                let maxc = (1u16 << bits) - 1;
+                let mut tables = vec![vec![0u16; 1usize << ibits]; 3];
+                let (mut tp, mut fp, mut fnn) = (0u64, 0u64, 0u64);
+                for (i, &sig) in sigs.iter().enumerate() {
+                    let idx: Vec<usize> = (0..3).map(|t| table_index(sig, t, ibits)).collect();
+                    let votes = (0..3)
+                        .filter(|&t| tables[t][idx[t]] >= u16::from(thr))
+                        .count();
+                    let pred_dead = votes >= 2;
+                    let d = labels[i];
+                    match (pred_dead, d) {
+                        (true, true) => tp += 1,
+                        (true, false) => fp += 1,
+                        (false, true) => fnn += 1,
+                        _ => {}
+                    }
+                    for t in 0..3 {
+                        let c = &mut tables[t][idx[t]];
+                        if d {
+                            *c = (*c + 1).min(maxc);
+                        } else {
+                            *c = c.saturating_sub(1);
+                        }
+                    }
+                }
+                let prec = if tp + fp == 0 {
+                    0.0
+                } else {
+                    tp as f64 / (tp + fp) as f64
+                };
+                let rec = if tp + fnn == 0 {
+                    0.0
+                } else {
+                    tp as f64 / (tp + fnn) as f64
+                };
+                let _ = writeln!(out.stdout, "online counters ibits={ibits} bits={bits} thr={thr}: dead precision {prec:.3} recall {rec:.3}");
+            }
+        }
+
+        let global_acc = (dead_total.max(n - dead_total)) as f64 / n as f64;
+        let block_keys: Vec<u64> = blocks.clone();
+        let sig_keys: Vec<u64> = sigs.iter().map(|&s| u64::from(s)).collect();
+        let blocksig_keys: Vec<u64> = blocks
+            .iter()
+            .zip(&sigs)
+            .map(|(&b, &s)| (b << 16) | u64::from(s))
+            .collect();
+        let _ = writeln!(
+            out.stdout,
+            "oracle accuracy: global-majority {global_acc:.3}"
+        );
+        let _ = writeln!(
+            out.stdout,
+            "oracle accuracy: per-block (PC)  {:.3}",
+            feature_accuracy(&block_keys)
+        );
+        let _ = writeln!(
+            out.stdout,
+            "oracle accuracy: per-signature   {:.3}",
+            feature_accuracy(&sig_keys)
+        );
+        let _ = writeln!(
+            out.stdout,
+            "oracle accuracy: block+signature  {:.3}",
+            feature_accuracy(&blocksig_keys)
+        );
+        out.metrics.insert("acc_global".to_owned(), global_acc);
+        out.metrics
+            .insert("acc_block".to_owned(), feature_accuracy(&block_keys));
+        out.metrics
+            .insert("acc_signature".to_owned(), feature_accuracy(&sig_keys));
+        out.metrics
+            .insert("acc_block_sig".to_owned(), feature_accuracy(&blocksig_keys));
+        // Distinct key counts (table-pressure estimate).
+        let uniq = |ks: &[u64]| ks.iter().collect::<std::collections::HashSet<_>>().len();
+        let _ = writeln!(
+            out.stdout,
+            "distinct: blocks {}, signatures {}, block+sig {}",
+            uniq(&block_keys),
+            uniq(&sig_keys),
+            uniq(&blocksig_keys)
+        );
+        out
+    }
+}
+
+/// Lab notebook: wall-clock breakdown of the single-pass engine.
+pub struct EngineProfile;
+
+impl Experiment for EngineProfile {
+    fn name(&self) -> &'static str {
+        "engine_profile"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "lab"
+    }
+    fn requirements(&self, _ctx: &RunContext) -> Vec<SimRequest> {
+        Vec::new() // times engine layers itself; sharing would skew it
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let ctx = rctx.ctx;
+        let specs: Vec<WorkloadSpec> = fe_trace::synth::suite(ctx.traces.unwrap_or(4), ctx.seed())
+            .into_iter()
+            .map(|s| s.instructions(ctx.instr.unwrap_or(400_000)))
+            .collect();
+        let cfg = SimConfig::paper_default();
+        let mut out = ExperimentOutput::default();
+
+        let time = |stdout: &mut String, label: &str, f: &mut dyn FnMut()| {
+            let t0 = Instant::now();
+            f();
+            let _ = writeln!(
+                stdout,
+                "{label:<34} {:>9.1} ms",
+                t0.elapsed().as_secs_f64() * 1e3
+            );
+        };
+
+        let mut traces = Vec::new();
+        time(&mut out.stdout, "generate (materialize)", &mut || {
+            traces = specs.iter().map(WorkloadSpec::generate).collect::<Vec<_>>();
+        });
+        time(&mut out.stdout, "walker only (streaming pass)", &mut || {
+            for s in &specs {
+                let program = s.build_program();
+                for r in s.walk(&program) {
+                    std::hint::black_box(r);
+                }
+            }
+        });
+        time(
+            &mut out.stdout,
+            "fetch decode only (from slice)",
+            &mut || {
+                for t in &traces {
+                    for c in FetchStream::new(t.records.iter().copied(), 64) {
+                        std::hint::black_box(c);
+                    }
+                }
+            },
+        );
+        // Event volume: how much work one lane does per trace replay.
+        {
+            let mut accesses = 0u64;
+            let mut lookups = 0u64;
+            for t in &traces {
+                let r = &run_lanes(&cfg, &[PolicyKind::Lru], &SliceReplay::from_trace(t))[0];
+                accesses += r.icache.accesses;
+                lookups += r.btb_lookups;
+            }
+            let _ = writeln!(
+                out.stdout,
+                "events/lane: {accesses} icache accesses, {lookups} btb lookups (post-warmup)"
+            );
+        }
+        for &p in &[
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Random,
+            PolicyKind::Srrip,
+            PolicyKind::Drrip,
+            PolicyKind::Sdbp,
+            PolicyKind::Ghrp,
+        ] {
+            time(
+                &mut out.stdout,
+                &format!("engine, single lane: {p}"),
+                &mut || {
+                    for t in &traces {
+                        std::hint::black_box(run_lanes(&cfg, &[p], &SliceReplay::from_trace(t)));
+                    }
+                },
+            );
+        }
+        time(&mut out.stdout, "engine, all 7 lanes", &mut || {
+            for t in &traces {
+                std::hint::black_box(run_lanes(
+                    &cfg,
+                    &[
+                        PolicyKind::Lru,
+                        PolicyKind::Fifo,
+                        PolicyKind::Random,
+                        PolicyKind::Srrip,
+                        PolicyKind::Drrip,
+                        PolicyKind::Sdbp,
+                        PolicyKind::Ghrp,
+                    ],
+                    &SliceReplay::from_trace(t),
+                ));
+            }
+        });
+        out
+    }
+}
+
+/// Suite-level throughput benchmark emitting `BENCH_suite.json`.
+pub struct SuiteBench;
+
+/// The 7-policy headline set (the paper's five plus the extension
+/// baselines FIFO and DRRIP) — same set as the `suite_throughput`
+/// criterion bench.
+const SEVEN: &[PolicyKind] = &[
+    PolicyKind::Lru,
+    PolicyKind::Fifo,
+    PolicyKind::Random,
+    PolicyKind::Srrip,
+    PolicyKind::Drrip,
+    PolicyKind::Sdbp,
+    PolicyKind::Ghrp,
+];
+
+/// The pre-scheduler (PR 3) reference on the 1-CPU container, same
+/// 4 × 400k mini-suite at threads = 1; only comparable when a run uses
+/// the canonical shape (see `results/suite_throughput.txt`).
+const BASE_SUITE_MS: f64 = 88.07;
+const BASE_SWEEP_MS: f64 = 649.18;
+
+/// One timed section: minimum wall-clock over `reps` runs plus the
+/// scheduler counters from the fastest run.
+struct Timed {
+    wall_ms: f64,
+    sched: SchedulerStats,
+}
+
+fn time_min<R>(reps: usize, mut run: impl FnMut() -> (SchedulerStats, R)) -> Timed {
+    let mut best: Option<Timed> = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let (sched, _keep_alive) = run();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if best.as_ref().is_none_or(|b| wall_ms < b.wall_ms) {
+            best = Some(Timed { wall_ms, sched });
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn section_json(t: &Timed) -> serde_json::Value {
+    let tasks = t.sched.tasks as f64;
+    let tasks_per_sec = if t.wall_ms > 0.0 {
+        tasks / (t.wall_ms / 1e3)
+    } else {
+        0.0
+    };
+    serde_json::json!({
+        "wall_ms": (t.wall_ms * 1000.0).round() / 1000.0,
+        "tasks": t.sched.tasks,
+        "tasks_per_sec": tasks_per_sec.round(),
+        "strategy": t.sched.strategy,
+        "workers": t.sched.workers,
+        "tasks_per_worker": t.sched.per_worker.iter().map(|w| w.tasks).collect::<Vec<_>>(),
+        "steals": t.sched.steals,
+        "utilization": (t.sched.utilization() * 1000.0).round() / 1000.0,
+    })
+}
+
+fn short_git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map_or_else(
+            || "unknown".to_owned(),
+            |o| String::from_utf8_lossy(&o.stdout).trim().to_owned(),
+        )
+}
+
+impl Experiment for SuiteBench {
+    fn name(&self) -> &'static str {
+        "suite_bench"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "lab"
+    }
+    fn requirements(&self, _ctx: &RunContext) -> Vec<SimRequest> {
+        Vec::new() // timing harness: must re-run, never share
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let ctx = rctx.ctx;
+        let reps = ctx.reps.unwrap_or(3);
+        let threads = ctx.threads();
+        let instr = ctx.instr.unwrap_or(400_000);
+        let specs: Vec<WorkloadSpec> = fe_trace::synth::suite(ctx.traces.unwrap_or(4), ctx.seed())
+            .into_iter()
+            .map(|s| s.instructions(instr))
+            .collect();
+        let cfg = SimConfig::paper_default();
+        let geoms = sweep::paper_geometries();
+        let mut out = ExperimentOutput::default();
+
+        let _ = writeln!(
+            out.stdout,
+            "suite_bench: {} workloads x {} instr, threads={}, reps={reps}",
+            specs.len(),
+            instr,
+            threads,
+        );
+
+        let suite_t = time_min(reps, || {
+            let r = fe_experiment::run_suite(&specs, &cfg, SEVEN, threads);
+            (r.scheduler.clone(), r)
+        });
+        let _ = writeln!(
+            out.stdout,
+            "run_suite   ({} workloads x {} policies):  {:>9.2} ms  [{} tasks, {} steals, util {:.2}]",
+            specs.len(),
+            SEVEN.len(),
+            suite_t.wall_ms,
+            suite_t.sched.tasks,
+            suite_t.sched.steals,
+            suite_t.sched.utilization(),
+        );
+
+        let sweep_t = time_min(reps, || {
+            let r = sweep::run_sweep(&specs, &cfg, PolicyKind::PAPER_SET, &geoms, threads);
+            (r.scheduler.clone(), r)
+        });
+        let _ = writeln!(
+            out.stdout,
+            "run_sweep   ({} workloads x {} geometries): {:>8.2} ms  [{} tasks, {} steals, util {:.2}]",
+            specs.len(),
+            geoms.len(),
+            sweep_t.wall_ms,
+            sweep_t.sched.tasks,
+            sweep_t.sched.steals,
+            sweep_t.sched.utilization(),
+        );
+
+        let mut json = serde_json::json!({
+            "schema": "bench-suite-v1",
+            "git_rev": short_git_rev(),
+            "threads": threads,
+            "workloads": specs.len(),
+            "instructions_per_workload": instr,
+            "reps": reps,
+            "suite": section_json(&suite_t),
+            "sweep": section_json(&sweep_t),
+        });
+        if specs.len() == 4 && instr == 400_000 && threads == 1 {
+            let baseline = serde_json::json!({
+                "suite_wall_ms": BASE_SUITE_MS,
+                "sweep_wall_ms": BASE_SWEEP_MS,
+                "suite_speedup": (BASE_SUITE_MS / suite_t.wall_ms * 100.0).round() / 100.0,
+                "sweep_speedup": (BASE_SWEEP_MS / sweep_t.wall_ms * 100.0).round() / 100.0,
+            });
+            if let serde_json::Value::Object(fields) = &mut json {
+                fields.push(("baseline_pr3".to_owned(), baseline));
+            }
+        }
+        let mut pretty = serde_json::to_string_pretty(&json).expect("serialize BENCH_suite.json");
+        pretty.push('\n');
+        out.artifacts.push(("BENCH_suite.json".to_owned(), pretty));
+        out
+    }
+}

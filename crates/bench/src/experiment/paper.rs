@@ -1,0 +1,797 @@
+//! The paper's figures and tables as registry experiments.
+//!
+//! Each impl reproduces the stdout of the binary it replaced byte for
+//! byte (the `Fig5BtbHeatmap` supplement section is the one deliberate
+//! addition), and layers metrics + shape assertions on top for the
+//! artifact manifest.
+
+#![forbid(unsafe_code)]
+
+use fe_btb::btb_config;
+use fe_cache::CacheConfig;
+use fe_frontend::policy::{build_pair, PolicyKind};
+use fe_frontend::{stats, sweep};
+use fe_sdbp::SdbpConfig;
+use fe_trace::fetch::FetchStream;
+use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
+use ghrp_core::paper::{paper_cache_config, PAPER_ICACHE_CAPACITY_BYTES};
+use ghrp_core::{GhrpConfig, StorageReport};
+use std::fmt::Write as _;
+
+use super::context::RunContext;
+use super::request::SimRequest;
+use super::shape::ShapeAssertion;
+use super::{Experiment, ExperimentOutput, RenderCtx};
+
+/// Stable metric-key fragment for a policy (`lru`, `ghrp`, …).
+pub(crate) fn pkey(p: PolicyKind) -> String {
+    p.to_string().to_lowercase()
+}
+
+/// Keys of the paper set minus GHRP, prefixed (for `min_among` claims).
+pub(crate) fn rivals(prefix: &str) -> Vec<String> {
+    PolicyKind::PAPER_SET
+        .iter()
+        .filter(|&&p| p != PolicyKind::Ghrp)
+        .map(|&p| format!("{prefix}{}", pkey(p)))
+        .collect()
+}
+
+/// The default-suite five-policy run shared by most figures.
+fn paper_suite_req(ctx: &RunContext) -> SimRequest {
+    SimRequest::suite_run(ctx, ctx.sim(), PolicyKind::PAPER_SET)
+}
+
+/// Headline result (abstract): suite-average I-cache and BTB MPKI.
+pub struct Headline;
+
+impl Experiment for Headline {
+    fn name(&self) -> &'static str {
+        "headline"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Abstract"
+    }
+    fn requirements(&self, ctx: &RunContext) -> Vec<SimRequest> {
+        vec![paper_suite_req(ctx)]
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let req = paper_suite_req(rctx.ctx);
+        let result = rctx.sims.suite(&req);
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(
+            out.stdout,
+            "== Headline: {} traces, 64KB 8-way I-cache, 4K-entry 4-way BTB ==",
+            req.suite.traces
+        );
+        let _ = writeln!(
+            out.stdout,
+            "{:<10} {:>12} {:>10} {:>12} {:>10}",
+            "policy", "icache MPKI", "vs LRU", "btb MPKI", "vs LRU"
+        );
+        let (il, bl) = (result.icache_means()[0], result.btb_means()[0]);
+        for (i, p) in result.policies.iter().enumerate() {
+            let im = result.icache_means()[i];
+            let bm = result.btb_means()[i];
+            let _ = writeln!(
+                out.stdout,
+                "{:<10} {:>12.3} {:>9.1}% {:>12.3} {:>9.1}%",
+                p.to_string(),
+                im,
+                (im - il) / il * 100.0,
+                bm,
+                (bm - bl) / bl * 100.0
+            );
+            out.metrics.insert(format!("icache_{}", pkey(*p)), im);
+            out.metrics.insert(format!("btb_{}", pkey(*p)), bm);
+        }
+        out.assertions = vec![
+            ShapeAssertion::min_among(
+                "ghrp_lowest_icache",
+                "GHRP has the lowest suite-average I-cache MPKI of the five policies",
+                "icache_ghrp",
+                &rivals("icache_"),
+            ),
+            ShapeAssertion::min_among(
+                "ghrp_lowest_btb",
+                "GHRP has the lowest suite-average BTB MPKI of the five policies",
+                "btb_ghrp",
+                &rivals("btb_"),
+            ),
+        ];
+        out
+    }
+}
+
+/// Figure 3: I-cache MPKI S-curve and averages.
+pub struct Fig3IcacheScurve;
+
+impl Experiment for Fig3IcacheScurve {
+    fn name(&self) -> &'static str {
+        "fig3_icache_scurve"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 3"
+    }
+    fn requirements(&self, ctx: &RunContext) -> Vec<SimRequest> {
+        vec![paper_suite_req(ctx)]
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let req = paper_suite_req(rctx.ctx);
+        let result = rctx.sims.suite(&req);
+        let mut out = ExperimentOutput::default();
+
+        let _ = writeln!(
+            out.stdout,
+            "== Figure 3: I-cache MPKI over {} traces (64KB 8-way 64B) ==",
+            req.suite.traces
+        );
+        let _ = writeln!(
+            out.stdout,
+            "{:<10} {:>12} {:>18}",
+            "policy", "mean MPKI", "vs LRU"
+        );
+        let lru_mean = result.icache_means()[0];
+        for (i, p) in result.policies.iter().enumerate() {
+            let m = result.icache_means()[i];
+            let _ = writeln!(
+                out.stdout,
+                "{:<10} {:>12.3} {:>17.1}%",
+                p.to_string(),
+                m,
+                (m - lru_mean) / lru_mean * 100.0
+            );
+            out.metrics.insert(format!("icache_{}", pkey(*p)), m);
+        }
+
+        let hi = result.filter_min_icache_mpki(PolicyKind::Lru, 1.0);
+        let _ = writeln!(
+            out.stdout,
+            "\n-- subset with >= 1 MPKI under LRU ({} traces) --",
+            hi.rows.len()
+        );
+        let hi_lru = hi.icache_means()[0];
+        for (i, p) in hi.policies.iter().enumerate() {
+            let m = hi.icache_means()[i];
+            let _ = writeln!(
+                out.stdout,
+                "{:<10} {:>12.3} {:>17.1}%",
+                p.to_string(),
+                m,
+                (m - hi_lru) / hi_lru * 100.0
+            );
+            out.metrics.insert(format!("icache_ge1_{}", pkey(*p)), m);
+        }
+
+        let _ = writeln!(out.stdout, "\n-- traces not improved vs LRU (>1% worse) --");
+        let lru_col = result.icache_column(PolicyKind::Lru);
+        for p in &result.policies[1..] {
+            let wl = stats::WinLoss::compute(&result.icache_column(*p), &lru_col, 0.01);
+            let _ = writeln!(
+                out.stdout,
+                "{:<10} worse on {} of {}",
+                p.to_string(),
+                wl.worse,
+                result.rows.len()
+            );
+            out.metrics
+                .insert(format!("worse_{}", pkey(*p)), wl.worse as f64);
+        }
+
+        let order = stats::s_curve_order(&lru_col);
+        let mut csv = String::from("rank,trace,category");
+        for p in &result.policies {
+            let _ = write!(csv, ",{p}");
+        }
+        csv.push('\n');
+        for (rank, &i) in order.iter().enumerate() {
+            let r = &result.rows[i];
+            let _ = write!(csv, "{rank},{},{}", r.name, r.category);
+            for v in &r.icache_mpki {
+                let _ = write!(csv, ",{v:.4}");
+            }
+            csv.push('\n');
+        }
+        out.artifacts
+            .push(("fig3_icache_scurve.csv".to_owned(), csv));
+
+        out.assertions = vec![
+            ShapeAssertion::min_among(
+                "ghrp_lowest_icache",
+                "GHRP has the lowest mean I-cache MPKI of the five policies",
+                "icache_ghrp",
+                &rivals("icache_"),
+            ),
+            ShapeAssertion::min_among(
+                "ghrp_fewest_regressions",
+                "GHRP regresses the fewest traces vs LRU (paper: 14 of 662)",
+                "worse_ghrp",
+                &[
+                    "worse_random".to_owned(),
+                    "worse_srrip".to_owned(),
+                    "worse_sdbp".to_owned(),
+                ],
+            ),
+        ];
+        out
+    }
+}
+
+/// Figure 6: per-benchmark I-cache MPKI bars (16-trace subset).
+pub struct Fig6IcacheBars;
+
+/// The paper's figure shows a representative subset of benchmarks.
+const FIG6_MAX_TRACES: usize = 16;
+
+impl Experiment for Fig6IcacheBars {
+    fn name(&self) -> &'static str {
+        "fig6_icache_bars"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 6"
+    }
+    fn requirements(&self, ctx: &RunContext) -> Vec<SimRequest> {
+        vec![SimRequest::suite_run_capped(
+            ctx,
+            ctx.sim(),
+            PolicyKind::PAPER_SET,
+            FIG6_MAX_TRACES,
+        )]
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let req = &self.requirements(rctx.ctx)[0];
+        let result = rctx.sims.suite(req);
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(
+            out.stdout,
+            "== Figure 6: per-benchmark I-cache MPKI (64KB 8-way) =="
+        );
+        let _ = write!(out.stdout, "{}", result.render());
+        let mut csv = String::from("trace,category");
+        for p in &result.policies {
+            let _ = write!(csv, ",{p}");
+        }
+        csv.push('\n');
+        for r in &result.rows {
+            let _ = write!(csv, "{},{}", r.name, r.category);
+            for v in &r.icache_mpki {
+                let _ = write!(csv, ",{v:.4}");
+            }
+            csv.push('\n');
+        }
+        out.artifacts.push(("fig6_icache_bars.csv".to_owned(), csv));
+        for (i, p) in result.policies.iter().enumerate() {
+            out.metrics
+                .insert(format!("icache_{}", pkey(*p)), result.icache_means()[i]);
+        }
+        out.assertions = vec![ShapeAssertion::lt(
+            "ghrp_beats_lru",
+            "GHRP's subset-average I-cache MPKI is below LRU's",
+            "icache_ghrp",
+            "icache_lru",
+        )];
+        out
+    }
+}
+
+/// Figure 7: average I-cache MPKI per {8..64} KB x {4,8}-way geometry.
+pub struct Fig7ConfigSweep;
+
+impl Experiment for Fig7ConfigSweep {
+    fn name(&self) -> &'static str {
+        "fig7_config_sweep"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 7"
+    }
+    fn requirements(&self, ctx: &RunContext) -> Vec<SimRequest> {
+        vec![SimRequest::sweep_run(
+            ctx,
+            ctx.sim(),
+            PolicyKind::PAPER_SET,
+            sweep::paper_geometries(),
+        )]
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let req = &self.requirements(rctx.ctx)[0];
+        let result = rctx.sims.sweep(req);
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(
+            out.stdout,
+            "== Figure 7: average I-cache MPKI per configuration =="
+        );
+        let _ = write!(out.stdout, "{}", result.render());
+        let mut csv = String::from("capacity_kb,ways");
+        for p in &result.policies {
+            let _ = write!(csv, ",{p}");
+        }
+        csv.push('\n');
+        for pt in &result.points {
+            let _ = write!(csv, "{},{}", pt.capacity_bytes / 1024, pt.ways);
+            for m in &pt.icache_means {
+                let _ = write!(csv, ",{m:.4}");
+            }
+            csv.push('\n');
+        }
+        out.artifacts
+            .push(("fig7_config_sweep.csv".to_owned(), csv));
+
+        for pt in &result.points {
+            let label = format!("{}kb_{}w", pt.capacity_bytes / 1024, pt.ways);
+            for (i, p) in result.policies.iter().enumerate() {
+                out.metrics
+                    .insert(format!("icache_{label}_{}", pkey(*p)), pt.icache_means[i]);
+            }
+            let others: Vec<String> = result
+                .policies
+                .iter()
+                .filter(|&&p| p != PolicyKind::Ghrp)
+                .map(|&p| format!("icache_{label}_{}", pkey(p)))
+                .collect();
+            out.assertions.push(ShapeAssertion::min_among(
+                &format!("ghrp_lowest_{label}"),
+                "GHRP is the lowest-MPKI policy in this configuration (paper: all eight)",
+                &format!("icache_{label}_ghrp"),
+                &others,
+            ));
+        }
+        out
+    }
+}
+
+/// Figure 8: mean relative I-cache MPKI difference vs LRU with 95% CIs.
+pub struct Fig8RelativeCi;
+
+impl Experiment for Fig8RelativeCi {
+    fn name(&self) -> &'static str {
+        "fig8_relative_ci"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 8"
+    }
+    fn requirements(&self, ctx: &RunContext) -> Vec<SimRequest> {
+        vec![paper_suite_req(ctx)]
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let req = paper_suite_req(rctx.ctx);
+        let result = rctx.sims.suite(&req);
+        let lru = result.icache_column(PolicyKind::Lru);
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(
+            out.stdout,
+            "== Figure 8: relative I-cache MPKI difference vs LRU (95% CI) =="
+        );
+        let _ = writeln!(out.stdout, "(computed over traces with nonzero LRU MPKI)");
+        let mut csv = String::from("policy,mean,half_width,n\n");
+        for p in &result.policies[1..] {
+            let rel = stats::relative_differences(&result.icache_column(*p), &lru);
+            let ci = stats::MeanCi::compute(&rel);
+            let _ = writeln!(out.stdout, "{:<10} {}", p.to_string(), ci);
+            let _ = writeln!(csv, "{p},{},{},{}", ci.mean, ci.half_width, ci.n);
+            out.metrics
+                .insert(format!("rel_{}_mean", pkey(*p)), ci.mean);
+        }
+        out.artifacts.push(("fig8_relative_ci.csv".to_owned(), csv));
+        out.assertions = vec![ShapeAssertion::neg(
+            "ghrp_mean_reduction",
+            "GHRP's mean per-trace relative I-cache MPKI difference vs LRU is negative",
+            "rel_ghrp_mean",
+        )];
+        out
+    }
+}
+
+/// Figure 9: better/worse/similar trace counts vs LRU (1% margin).
+pub struct Fig9Winloss;
+
+impl Experiment for Fig9Winloss {
+    fn name(&self) -> &'static str {
+        "fig9_winloss"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 9"
+    }
+    fn requirements(&self, ctx: &RunContext) -> Vec<SimRequest> {
+        vec![paper_suite_req(ctx)]
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let req = paper_suite_req(rctx.ctx);
+        let result = rctx.sims.suite(&req);
+        let lru = result.icache_column(PolicyKind::Lru);
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(
+            out.stdout,
+            "== Figure 9: trace counts vs LRU (margin 1%) over {} traces ==",
+            req.suite.traces
+        );
+        let _ = writeln!(
+            out.stdout,
+            "{:<10} {:>8} {:>8} {:>8}",
+            "policy", "better", "worse", "similar"
+        );
+        let mut csv = String::from("policy,better,worse,similar\n");
+        for p in &result.policies[1..] {
+            let wl = stats::WinLoss::compute(&result.icache_column(*p), &lru, 0.01);
+            let _ = writeln!(
+                out.stdout,
+                "{:<10} {:>8} {:>8} {:>8}",
+                p.to_string(),
+                wl.better,
+                wl.worse,
+                wl.similar
+            );
+            let _ = writeln!(csv, "{p},{},{},{}", wl.better, wl.worse, wl.similar);
+            out.metrics
+                .insert(format!("better_{}", pkey(*p)), wl.better as f64);
+            out.metrics
+                .insert(format!("worse_{}", pkey(*p)), wl.worse as f64);
+        }
+        out.artifacts.push(("fig9_winloss.csv".to_owned(), csv));
+        out.assertions =
+            vec![ShapeAssertion::min_among(
+            "ghrp_fewest_worse",
+            "GHRP hurts the fewest traces vs LRU (paper: 14 vs SRRIP 110, SDBP 106, Random 541)",
+            "worse_ghrp",
+            &["worse_random".to_owned(), "worse_srrip".to_owned(), "worse_sdbp".to_owned()],
+        )];
+        out
+    }
+}
+
+/// Figures 10 & 11: BTB MPKI averages, subset, and S-curve CSV.
+pub struct Fig10Btb;
+
+impl Experiment for Fig10Btb {
+    fn name(&self) -> &'static str {
+        "fig10_btb"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 10-11"
+    }
+    fn requirements(&self, ctx: &RunContext) -> Vec<SimRequest> {
+        vec![paper_suite_req(ctx)]
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let req = paper_suite_req(rctx.ctx);
+        let result = rctx.sims.suite(&req);
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(
+            out.stdout,
+            "== Figure 10: BTB MPKI over {} traces (4K-entry 4-way) ==",
+            req.suite.traces
+        );
+        let lru_mean = result.btb_means()[0];
+        let _ = writeln!(
+            out.stdout,
+            "{:<10} {:>12} {:>18}",
+            "policy", "mean MPKI", "vs LRU"
+        );
+        for (i, p) in result.policies.iter().enumerate() {
+            let m = result.btb_means()[i];
+            let _ = writeln!(
+                out.stdout,
+                "{:<10} {:>12.3} {:>17.1}%",
+                p.to_string(),
+                m,
+                (m - lru_mean) / lru_mean * 100.0
+            );
+            out.metrics.insert(format!("btb_{}", pkey(*p)), m);
+        }
+        let _ = writeln!(out.stdout, "\n-- per-benchmark subset --");
+        let mut header = String::new();
+        for p in &result.policies {
+            let _ = write!(header, "{:>9}", p.to_string());
+        }
+        let _ = writeln!(out.stdout, "{:<22}{header}", "trace");
+        for r in result.rows.iter().take(12) {
+            let _ = write!(out.stdout, "{:<22}", r.name);
+            for v in &r.btb_mpki {
+                let _ = write!(out.stdout, "{v:>9.3}");
+            }
+            out.stdout.push('\n');
+        }
+        let lru = result.btb_column(PolicyKind::Lru);
+        let order = stats::s_curve_order(&lru);
+        let mut csv = String::from("rank,trace,category");
+        for p in &result.policies {
+            let _ = write!(csv, ",{p}");
+        }
+        csv.push('\n');
+        for (rank, &i) in order.iter().enumerate() {
+            let r = &result.rows[i];
+            let _ = write!(csv, "{rank},{},{}", r.name, r.category);
+            for v in &r.btb_mpki {
+                let _ = write!(csv, ",{v:.4}");
+            }
+            csv.push('\n');
+        }
+        out.artifacts.push(("fig11_btb_scurve.csv".to_owned(), csv));
+        out.assertions = vec![ShapeAssertion::min_among(
+            "ghrp_lowest_btb",
+            "GHRP has the lowest suite-average BTB MPKI of the five policies",
+            "btb_ghrp",
+            &rivals("btb_"),
+        )];
+        out
+    }
+}
+
+/// Figure 1: I-cache efficiency heat maps for one trace.
+pub struct Fig1Heatmap;
+
+impl Experiment for Fig1Heatmap {
+    fn name(&self) -> &'static str {
+        "fig1_heatmap"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 1"
+    }
+    fn requirements(&self, _ctx: &RunContext) -> Vec<SimRequest> {
+        Vec::new() // drives the cache model directly on one trace
+    }
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let ctx = rctx.ctx;
+        let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, ctx.seed() + 1)
+            .instructions(ctx.instr.unwrap_or(2_000_000));
+        let trace = spec.generate();
+        let icache = CacheConfig::with_capacity(16 * 1024, 8, 64).expect("valid geometry");
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(
+            out.stdout,
+            "== Figure 1: 16KB 8-way I-cache efficiency heat maps, trace {} ==",
+            spec.name
+        );
+        let mut csv = String::from("policy,set,way,efficiency\n");
+        for &p in PolicyKind::PAPER_SET {
+            let mut pair = build_pair(
+                p,
+                icache,
+                4096,
+                4,
+                GhrpConfig::default(),
+                SdbpConfig::default(),
+                ctx.seed(),
+                None,
+                None,
+            );
+            pair.icache.enable_efficiency_tracking();
+            for chunk in FetchStream::new(trace.records.iter().copied(), 64) {
+                if chunk.starts_group {
+                    pair.icache.access(chunk.block_addr, chunk.first_pc);
+                }
+            }
+            let map = pair.icache.finish_efficiency().expect("tracking enabled");
+            let _ = writeln!(
+                out.stdout,
+                "\n--- {p} (mean efficiency {:.3}) ---",
+                map.mean()
+            );
+            // Print a 32-set slice of the heat map; full data goes to CSV.
+            for (set, line) in map.to_ascii().lines().take(32).enumerate() {
+                let _ = writeln!(out.stdout, "set {set:>3} |{line}|");
+            }
+            for (set, row) in map.cells.iter().enumerate() {
+                for (way, &v) in row.iter().enumerate() {
+                    let _ = writeln!(csv, "{p},{set},{way},{v:.4}");
+                }
+            }
+            out.metrics.insert(format!("eff_{}", pkey(p)), map.mean());
+        }
+        out.artifacts
+            .push(("fig1_icache_heatmap.csv".to_owned(), csv));
+        out.assertions = vec![ShapeAssertion::max_among(
+            "ghrp_highest_efficiency",
+            "GHRP keeps more live blocks resident than LRU (lighter heat map)",
+            "eff_ghrp",
+            &["eff_lru".to_owned()],
+        )];
+        out
+    }
+}
+
+/// Figure 5: BTB efficiency heat maps for one trace — the paper's
+/// 256-entry geometry plus this reproduction's 4K-entry supplement
+/// (the geometry where GHRP's BTB win actually reproduces).
+pub struct Fig5BtbHeatmap;
+
+impl Experiment for Fig5BtbHeatmap {
+    fn name(&self) -> &'static str {
+        "fig5_btb_heatmap"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Fig. 5"
+    }
+    fn requirements(&self, _ctx: &RunContext) -> Vec<SimRequest> {
+        Vec::new() // drives the front-end pair directly on one trace
+    }
+    #[allow(clippy::too_many_lines)]
+    fn render(&self, rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let ctx = rctx.ctx;
+        let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, ctx.seed() + 1)
+            .instructions(ctx.instr.unwrap_or(2_000_000));
+        let trace = spec.generate();
+        let icache = CacheConfig::with_capacity(64 * 1024, 8, 64).expect("valid geometry");
+        let _ = btb_config(256, 8).expect("valid BTB geometry");
+        let mut out = ExperimentOutput::default();
+        let _ = writeln!(
+            out.stdout,
+            "== Figure 5: 256-entry 8-way BTB efficiency heat maps, trace {} ==",
+            spec.name
+        );
+        let mut csv = String::from("policy,set,way,efficiency\n");
+        for &p in PolicyKind::PAPER_SET {
+            // Build a full front-end pair so GHRP's BTB coupling sees real
+            // I-cache metadata, but with the small BTB under study.
+            let mut pair = build_pair(
+                p,
+                icache,
+                256,
+                8,
+                GhrpConfig::default(),
+                SdbpConfig::default(),
+                ctx.seed(),
+                None,
+                None,
+            );
+            pair.btb.entries_mut().enable_efficiency_tracking();
+            for chunk in FetchStream::new(trace.records.iter().copied(), 64) {
+                if chunk.starts_group {
+                    pair.icache.access(chunk.block_addr, chunk.first_pc);
+                }
+                if let Some(b) = chunk.branch {
+                    if b.taken {
+                        pair.btb.lookup_and_update(b.pc, b.target);
+                    }
+                }
+            }
+            let map = pair
+                .btb
+                .entries_mut()
+                .finish_efficiency()
+                .expect("tracking enabled");
+            let _ = writeln!(
+                out.stdout,
+                "\n--- {p} (mean efficiency {:.3}, BTB MPKI-proxy misses {}) ---",
+                map.mean(),
+                pair.btb.stats().misses
+            );
+            let _ = write!(out.stdout, "{}", map.to_ascii());
+            for (set, row) in map.cells.iter().enumerate() {
+                for (way, &v) in row.iter().enumerate() {
+                    let _ = writeln!(csv, "{p},{set},{way},{v:.4}");
+                }
+            }
+            out.metrics
+                .insert(format!("eff256_{}", pkey(p)), map.mean());
+            out.metrics.insert(
+                format!("misses256_{}", pkey(p)),
+                pair.btb.stats().misses as f64,
+            );
+        }
+        out.artifacts.push(("fig5_btb_heatmap.csv".to_owned(), csv));
+
+        // Supplement: the 4,096-entry 4-way geometry of Figures 10-11,
+        // where the GHRP-vs-LRU BTB win reproduces (the 256-entry map
+        // above is thrash-bound and does not — see EXPERIMENTS.md).
+        let _ = writeln!(
+            out.stdout,
+            "\n== Figure 5 (supplement): 4096-entry 4-way BTB, trace {} ==",
+            spec.name
+        );
+        let mut csv4k = String::from("policy,set,way,efficiency\n");
+        for &p in PolicyKind::PAPER_SET {
+            let mut pair = build_pair(
+                p,
+                icache,
+                4096,
+                4,
+                GhrpConfig::default(),
+                SdbpConfig::default(),
+                ctx.seed(),
+                None,
+                None,
+            );
+            pair.btb.entries_mut().enable_efficiency_tracking();
+            for chunk in FetchStream::new(trace.records.iter().copied(), 64) {
+                if chunk.starts_group {
+                    pair.icache.access(chunk.block_addr, chunk.first_pc);
+                }
+                if let Some(b) = chunk.branch {
+                    if b.taken {
+                        pair.btb.lookup_and_update(b.pc, b.target);
+                    }
+                }
+            }
+            let map = pair
+                .btb
+                .entries_mut()
+                .finish_efficiency()
+                .expect("tracking enabled");
+            let _ = writeln!(
+                out.stdout,
+                "\n--- {p} (mean efficiency {:.3}, BTB MPKI-proxy misses {}) ---",
+                map.mean(),
+                pair.btb.stats().misses
+            );
+            // 1,024 sets: print a 32-set slice; full data in the CSV.
+            for (set, line) in map.to_ascii().lines().take(32).enumerate() {
+                let _ = writeln!(out.stdout, "set {set:>3} |{line}|");
+            }
+            for (set, row) in map.cells.iter().enumerate() {
+                for (way, &v) in row.iter().enumerate() {
+                    let _ = writeln!(csv4k, "{p},{set},{way},{v:.4}");
+                }
+            }
+            out.metrics.insert(format!("eff4k_{}", pkey(p)), map.mean());
+            out.metrics.insert(
+                format!("misses4k_{}", pkey(p)),
+                pair.btb.stats().misses as f64,
+            );
+        }
+        out.artifacts
+            .push(("fig5_btb_heatmap_4k.csv".to_owned(), csv4k));
+        // The 256-entry geometry is documented as not reproducing the
+        // paper's win, so only the 4K supplement carries an assertion.
+        out.assertions = vec![ShapeAssertion::lt(
+            "btb4k_ghrp_beats_lru",
+            "At the 4K-entry BTB geometry, GHRP misses less than LRU on this trace",
+            "misses4k_ghrp",
+            "misses4k_lru",
+        )];
+        out
+    }
+}
+
+/// Table I: GHRP storage requirements.
+pub struct Table1Storage;
+
+impl Experiment for Table1Storage {
+    fn name(&self) -> &'static str {
+        "table1_storage"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Table I"
+    }
+    fn requirements(&self, _ctx: &RunContext) -> Vec<SimRequest> {
+        Vec::new() // pure arithmetic, no simulation
+    }
+    fn render(&self, _rctx: &RenderCtx<'_>) -> ExperimentOutput {
+        let cache = paper_cache_config().expect("paper geometry");
+        let mut out = ExperimentOutput::default();
+
+        let paper = GhrpConfig::paper_nominal();
+        let _ = writeln!(
+            out.stdout,
+            "== Table I: GHRP storage, paper-nominal (64KB 8-way I-cache, 4K-entry BTB) =="
+        );
+        let r = StorageReport::new(&paper, cache, 4096);
+        let _ = write!(out.stdout, "{}", r.to_table());
+        let paper_pct = r.overhead_fraction(PAPER_ICACHE_CAPACITY_BYTES) * 100.0;
+        let _ = writeln!(
+            out.stdout,
+            "overhead vs I-cache data: {paper_pct:.1}%  (paper reports 5.13 KB / ~8% for the Exynos M1)"
+        );
+
+        let _ = writeln!(
+            out.stdout,
+            "\n== This reproduction's default predictor geometry =="
+        );
+        let r2 = StorageReport::new(&GhrpConfig::default(), cache, 4096);
+        let _ = write!(out.stdout, "{}", r2.to_table());
+        let default_pct = r2.overhead_fraction(PAPER_ICACHE_CAPACITY_BYTES) * 100.0;
+        let _ = writeln!(out.stdout, "overhead vs I-cache data: {default_pct:.1}%");
+
+        out.metrics
+            .insert("paper_overhead_pct".to_owned(), paper_pct);
+        out.metrics
+            .insert("default_overhead_pct".to_owned(), default_pct);
+        out.metrics
+            .insert("paper_overhead_pct_minus_10".to_owned(), paper_pct - 10.0);
+        out.assertions = vec![ShapeAssertion::neg(
+            "paper_overhead_under_10pct",
+            "The paper-nominal predictor costs under 10% of I-cache data storage",
+            "paper_overhead_pct_minus_10",
+        )];
+        out
+    }
+}

@@ -1,0 +1,328 @@
+//! The simulation-dedup planner.
+//!
+//! The `report` driver collects every experiment's [`SimRequest`]s up
+//! front, canonicalizes them, and runs each unique simulation exactly
+//! once. Before this layer, `--all` re-simulated the default suite about
+//! ten times — once per figure that consumes it.
+//!
+//! Two levels of coalescing:
+//!
+//! 1. **Exact**: requests with equal [`SimRequest::canonical_key`]s share
+//!    one run outright.
+//! 2. **Prefix subsumption**: suite-shaped requests that differ only in
+//!    suite *size* (equal [`SimRequest::family_key`]s) are served from
+//!    the family's largest run by row slicing, which is bit-identical
+//!    because workload `i` depends only on `seed + i` and every trace row
+//!    is an independent engine pass (`SuiteResult::prefix`).
+
+#![forbid(unsafe_code)]
+
+use fe_frontend::experiment::{run_suite, SuiteResult};
+use fe_frontend::sweep::{run_sweep, SweepResult};
+use std::collections::BTreeMap;
+
+use super::request::{SimRequest, SimShape};
+
+/// Result of one executed simulation.
+#[derive(Debug, Clone)]
+pub enum SimOutcome {
+    /// A suite run.
+    Suite(SuiteResult),
+    /// A geometry sweep.
+    Sweep(SweepResult),
+}
+
+/// Deduplicated simulation results, indexed by request identity.
+#[derive(Debug, Default)]
+pub struct SimStore {
+    /// Executed outcomes, in execution order.
+    entries: Vec<SimOutcome>,
+    /// canonical key → (entry index, rows to keep when served as a
+    /// prefix of a larger run; `None` = the whole result).
+    lookup: BTreeMap<String, (usize, Option<usize>)>,
+    /// Simulations actually executed (the dedup denominator).
+    pub executions: usize,
+    /// Requests collected, duplicates included (the dedup numerator).
+    pub requests: usize,
+}
+
+impl SimStore {
+    /// A store with no simulations (for experiments with no requests).
+    pub fn empty() -> SimStore {
+        SimStore::default()
+    }
+
+    /// Plan `requests` and run each unique simulation once, with
+    /// `threads` worker threads per simulation.
+    pub fn plan_and_run(requests: &[SimRequest], threads: usize) -> SimStore {
+        SimStore::plan_and_run_with(requests, |req| execute(req, threads))
+    }
+
+    /// [`SimStore::plan_and_run`] with an injected runner, so tests can
+    /// count and stub executions.
+    pub fn plan_and_run_with(
+        requests: &[SimRequest],
+        mut runner: impl FnMut(&SimRequest) -> SimOutcome,
+    ) -> SimStore {
+        // Exact dedup: first occurrence of each canonical key wins.
+        let mut unique: BTreeMap<String, SimRequest> = BTreeMap::new();
+        for req in requests {
+            unique
+                .entry(req.canonical_key())
+                .or_insert_with(|| req.clone());
+        }
+
+        // Prefix subsumption: within a family of suite-shaped requests,
+        // the largest suite serves everyone.
+        let mut family_best: BTreeMap<String, SimRequest> = BTreeMap::new();
+        for req in unique.values() {
+            if req.shape != SimShape::Suite {
+                continue;
+            }
+            family_best
+                .entry(req.family_key())
+                .and_modify(|best| {
+                    if req.suite.traces > best.suite.traces {
+                        *best = req.clone();
+                    }
+                })
+                .or_insert_with(|| req.clone());
+        }
+
+        // Execute each runner once (deterministic BTreeMap order) and
+        // point every member key at its runner's entry.
+        let mut store = SimStore {
+            requests: requests.len(),
+            ..SimStore::default()
+        };
+        let mut entry_of: BTreeMap<String, usize> = BTreeMap::new();
+        for (key, req) in &unique {
+            let runner_req = match &req.shape {
+                SimShape::Suite => &family_best[&req.family_key()],
+                SimShape::Sweep(_) => req,
+            };
+            let runner_key = runner_req.canonical_key();
+            let idx = if let Some(&idx) = entry_of.get(&runner_key) {
+                idx
+            } else {
+                let idx = store.entries.len();
+                store.entries.push(runner(runner_req));
+                store.executions += 1;
+                entry_of.insert(runner_key, idx);
+                idx
+            };
+            let prefix = (req.suite.traces < runner_req.suite.traces).then_some(req.suite.traces);
+            store.lookup.insert(key.clone(), (idx, prefix));
+        }
+        store
+    }
+
+    /// The suite result for `req`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req` was never planned, or was planned as a sweep —
+    /// both are experiment bugs (requirements and render out of sync).
+    pub fn suite(&self, req: &SimRequest) -> SuiteResult {
+        let (idx, prefix) = self.resolve(req);
+        match (&self.entries[idx], prefix) {
+            (SimOutcome::Suite(r), None) => r.clone(),
+            (SimOutcome::Suite(r), Some(n)) => r.prefix(n),
+            (SimOutcome::Sweep(_), _) => {
+                panic!("request planned as a sweep was read as a suite")
+            }
+        }
+    }
+
+    /// The sweep result for `req`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req` was never planned, or was planned as a suite.
+    pub fn sweep(&self, req: &SimRequest) -> SweepResult {
+        let (idx, _) = self.resolve(req);
+        match &self.entries[idx] {
+            SimOutcome::Sweep(r) => r.clone(),
+            SimOutcome::Suite(_) => panic!("request planned as a suite was read as a sweep"),
+        }
+    }
+
+    fn resolve(&self, req: &SimRequest) -> (usize, Option<usize>) {
+        let key = req.canonical_key();
+        *self
+            .lookup
+            .get(&key)
+            .unwrap_or_else(|| panic!("simulation was not declared in requirements(): {key}"))
+    }
+}
+
+/// Run one request for real.
+fn execute(req: &SimRequest, threads: usize) -> SimOutcome {
+    let specs = req.suite.specs();
+    match &req.shape {
+        SimShape::Suite => {
+            SimOutcome::Suite(run_suite(&specs, &req.config, &req.policies, threads))
+        }
+        SimShape::Sweep(geoms) => SimOutcome::Sweep(run_sweep(
+            &specs,
+            &req.config,
+            &req.policies,
+            geoms,
+            threads,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::context::RunContext;
+    use super::*;
+    use fe_frontend::policy::PolicyKind;
+    use fe_frontend::schedule::SchedulerStats;
+
+    fn ctx(traces: usize) -> RunContext {
+        RunContext {
+            traces: Some(traces),
+            instr: Some(10_000),
+            ..RunContext::default()
+        }
+    }
+
+    fn stub_suite(req: &SimRequest) -> SimOutcome {
+        // One fake row per workload, tagged with the suite size so
+        // prefix slicing is observable.
+        let rows = (0..req.suite.traces)
+            .map(|i| fe_frontend::experiment::TraceRow {
+                name: format!("w{i}"),
+                category: fe_trace::synth::WorkloadCategory::ShortServer,
+                instructions: 1,
+                icache_mpki: vec![0.0; req.policies.len()],
+                btb_mpki: vec![0.0; req.policies.len()],
+                branch_mpki: 0.0,
+            })
+            .collect();
+        SimOutcome::Suite(SuiteResult {
+            policies: req.policies.clone(),
+            rows,
+            scheduler: SchedulerStats::default(),
+        })
+    }
+
+    #[test]
+    fn identical_requests_coalesce_to_one_execution() {
+        let c = ctx(3);
+        let a = SimRequest::suite_run(&c, c.sim(), PolicyKind::PAPER_SET);
+        let b = SimRequest::suite_run(&c, c.sim(), PolicyKind::PAPER_SET);
+        let store = SimStore::plan_and_run_with(&[a.clone(), b], stub_suite);
+        assert_eq!(store.requests, 2);
+        assert_eq!(store.executions, 1);
+        assert_eq!(store.suite(&a).rows.len(), 3);
+    }
+
+    #[test]
+    fn distinct_seeds_and_configs_do_not_coalesce() {
+        let c = ctx(2);
+        let a = SimRequest::suite_run(&c, c.sim(), &[PolicyKind::Lru]);
+        let mut b = a.clone();
+        b.suite.seed = 99;
+        let mut d = a.clone();
+        d.config.prefetch_degree = 1;
+        let store = SimStore::plan_and_run_with(&[a, b, d], stub_suite);
+        assert_eq!(store.executions, 3);
+    }
+
+    #[test]
+    fn smaller_suite_is_served_by_slicing_the_larger_run() {
+        let c = ctx(8);
+        let large = SimRequest::suite_run(&c, c.sim(), &[PolicyKind::Lru]);
+        let small = SimRequest::suite_run_capped(&c, c.sim(), &[PolicyKind::Lru], 2);
+        let store = SimStore::plan_and_run_with(&[large.clone(), small.clone()], stub_suite);
+        assert_eq!(store.executions, 1, "prefix request must not re-run");
+        assert_eq!(store.suite(&large).rows.len(), 8);
+        assert_eq!(store.suite(&small).rows.len(), 2);
+        assert_eq!(store.suite(&small).rows[1].name, "w1");
+    }
+
+    #[test]
+    fn real_runner_slices_are_bit_identical_to_direct_runs() {
+        // End-to-end: prefix subsumption over the real engine.
+        let c = ctx(4);
+        let large = SimRequest::suite_run(&c, c.sim(), &[PolicyKind::Lru, PolicyKind::Ghrp]);
+        let small =
+            SimRequest::suite_run_capped(&c, c.sim(), &[PolicyKind::Lru, PolicyKind::Ghrp], 2);
+        let store = SimStore::plan_and_run(&[large, small.clone()], 2);
+        assert_eq!(store.executions, 1);
+        let sliced = store.suite(&small);
+        let direct = run_suite(&small.suite.specs(), &small.config, &small.policies, 2);
+        assert_eq!(sliced, direct);
+    }
+
+    fn stub_any(req: &SimRequest) -> SimOutcome {
+        match &req.shape {
+            SimShape::Suite => stub_suite(req),
+            SimShape::Sweep(geoms) => SimOutcome::Sweep(fe_frontend::sweep::SweepResult {
+                policies: req.policies.clone(),
+                points: geoms
+                    .iter()
+                    .map(|&(capacity_bytes, ways)| fe_frontend::sweep::SweepPoint {
+                        capacity_bytes,
+                        ways,
+                        icache_means: vec![0.0; req.policies.len()],
+                    })
+                    .collect(),
+                scheduler: SchedulerStats::default(),
+            }),
+        }
+    }
+
+    #[test]
+    fn report_all_runs_each_unique_simulation_once() {
+        // The acceptance criterion for the dedup planner: collect the
+        // requirements of every registered experiment (as `report run
+        // --all` does) and count actual executions. The default-suite
+        // PAPER_SET request is declared by at least five figures but must
+        // execute exactly once.
+        let c = ctx(4);
+        let mut requests = Vec::new();
+        for info in super::super::registry::ALL {
+            let exp = super::super::registry::build(info.name).expect("registered");
+            requests.extend(exp.requirements(&c));
+        }
+        let paper = SimRequest::suite_run(&c, c.sim(), PolicyKind::PAPER_SET);
+        let declared = requests
+            .iter()
+            .filter(|r| r.canonical_key() == paper.canonical_key())
+            .count();
+        assert!(declared >= 5, "paper suite declared {declared} times");
+
+        let store = SimStore::plan_and_run_with(&requests, stub_any);
+        assert!(
+            store.executions < store.requests,
+            "dedup must shrink {} requests",
+            store.requests
+        );
+        let unique: std::collections::BTreeSet<String> =
+            requests.iter().map(SimRequest::canonical_key).collect();
+        assert!(store.executions <= unique.len());
+        // Every declared request must be resolvable from the store.
+        for r in &requests {
+            match &r.shape {
+                SimShape::Suite => {
+                    assert_eq!(store.suite(r).rows.len(), r.suite.traces);
+                }
+                SimShape::Sweep(geoms) => {
+                    assert_eq!(store.sweep(r).points.len(), geoms.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn undeclared_request_panics() {
+        let c = ctx(2);
+        let a = SimRequest::suite_run(&c, c.sim(), &[PolicyKind::Lru]);
+        let store = SimStore::empty();
+        let _ = store.suite(&a);
+    }
+}

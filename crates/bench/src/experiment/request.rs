@@ -1,0 +1,220 @@
+//! Declarative simulation requests.
+//!
+//! Every experiment states *what* it needs simulated — a `(config, suite,
+//! policy-set)` triple, optionally swept over cache geometries — instead
+//! of running simulations itself. The planner ([`super::plan`])
+//! canonicalizes these requests, deduplicates them, and runs each unique
+//! simulation exactly once, so a dozen figures that all consume the
+//! default-suite run share a single pass.
+
+#![forbid(unsafe_code)]
+
+use fe_frontend::policy::PolicyKind;
+use fe_frontend::simulator::SimConfig;
+use fe_trace::synth::{suite, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+use super::context::RunContext;
+
+/// Identity of a workload suite: size, base seed, and the optional
+/// per-trace instruction override. Two equal `SuiteSpec`s generate
+/// bit-identical workloads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuiteSpec {
+    /// Number of workloads.
+    pub traces: usize,
+    /// Base seed (workload `i` uses `seed + i`).
+    pub seed: u64,
+    /// Optional per-trace instruction override.
+    pub instr: Option<u64>,
+}
+
+impl SuiteSpec {
+    /// Materialize the workload specs this identity describes.
+    pub fn specs(&self) -> Vec<WorkloadSpec> {
+        let mut specs = suite(self.traces, self.seed);
+        if let Some(n) = self.instr {
+            specs = specs.into_iter().map(|s| s.instructions(n)).collect();
+        }
+        specs
+    }
+}
+
+/// What kind of run a request needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimShape {
+    /// One suite run at the request's fixed I-cache geometry.
+    Suite,
+    /// A geometry sweep (capacity, ways) at the request's block size.
+    Sweep(Vec<(u64, u32)>),
+}
+
+/// One simulation an experiment depends on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRequest {
+    /// Full simulator configuration. The `policy` field is irrelevant —
+    /// the multi-lane engine builds one lane per entry of `policies` —
+    /// and is erased during canonicalization.
+    pub config: SimConfig,
+    /// Which workloads to run.
+    pub suite: SuiteSpec,
+    /// Policy lanes, in column order.
+    pub policies: Vec<PolicyKind>,
+    /// Suite run or geometry sweep.
+    pub shape: SimShape,
+}
+
+impl SimRequest {
+    /// A suite run over the context's workloads.
+    pub fn suite_run(ctx: &RunContext, config: SimConfig, policies: &[PolicyKind]) -> SimRequest {
+        SimRequest {
+            config,
+            suite: ctx.suite_spec(),
+            policies: policies.to_vec(),
+            shape: SimShape::Suite,
+        }
+    }
+
+    /// A suite run over a prefix of the context's workloads (`traces`
+    /// capped at `max_traces`, like the old `fig6`/`opt_bound` binaries).
+    pub fn suite_run_capped(
+        ctx: &RunContext,
+        config: SimConfig,
+        policies: &[PolicyKind],
+        max_traces: usize,
+    ) -> SimRequest {
+        let mut req = SimRequest::suite_run(ctx, config, policies);
+        req.suite.traces = req.suite.traces.min(max_traces);
+        req
+    }
+
+    /// A geometry sweep over the context's workloads.
+    pub fn sweep_run(
+        ctx: &RunContext,
+        config: SimConfig,
+        policies: &[PolicyKind],
+        geometries: Vec<(u64, u32)>,
+    ) -> SimRequest {
+        SimRequest {
+            config,
+            suite: ctx.suite_spec(),
+            policies: policies.to_vec(),
+            shape: SimShape::Sweep(geometries),
+        }
+    }
+
+    /// The canonical identity of this request.
+    ///
+    /// Two requests with equal keys produce bit-identical results, so the
+    /// planner runs only one of them. The key erases exactly one piece of
+    /// incidental state: `config.policy`, which the multi-lane engine
+    /// documents as ignored (each lane is built for its own entry of
+    /// `policies`) but which the old binaries habitually set via
+    /// `with_policy` while tweaking ablation knobs.
+    pub fn canonical_key(&self) -> String {
+        format!(
+            "{}|traces={}|{}",
+            self.family_key(),
+            self.suite.traces,
+            match &self.shape {
+                SimShape::Suite => "suite".to_owned(),
+                SimShape::Sweep(geoms) => format!("sweep:{geoms:?}"),
+            }
+        )
+    }
+
+    /// The request's identity with the suite *size* erased: requests in
+    /// the same family differ only in how many workloads they want.
+    ///
+    /// Workload `i` depends only on `seed + i`, so the family's largest
+    /// request subsumes the others — their rows are a prefix of its rows
+    /// (see `SuiteResult::prefix`). Only `Suite`-shaped requests are
+    /// coalesced this way; sweeps carry their geometries in the full key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `SimConfig` fails to serialize (unreachable: it is a
+    /// plain struct of scalars).
+    pub fn family_key(&self) -> String {
+        let mut cfg = self.config;
+        cfg.policy = PolicyKind::Lru;
+        let cfg_json = serde_json::to_string(&cfg).expect("SimConfig serializes");
+        let pols: Vec<String> = self.policies.iter().map(ToString::to_string).collect();
+        format!(
+            "seed={}|instr={:?}|policies={}|cfg={cfg_json}",
+            self.suite.seed,
+            self.suite.instr,
+            pols.join(","),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> RunContext {
+        RunContext {
+            traces: Some(4),
+            ..RunContext::default()
+        }
+    }
+
+    #[test]
+    fn policy_field_is_erased_from_the_key() {
+        let c = ctx();
+        let a = SimRequest::suite_run(&c, c.sim(), &[PolicyKind::Ghrp]);
+        let b = SimRequest::suite_run(
+            &c,
+            c.sim().with_policy(PolicyKind::Ghrp),
+            &[PolicyKind::Ghrp],
+        );
+        assert_eq!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn distinct_seeds_and_configs_keep_distinct_keys() {
+        let c = ctx();
+        let base = SimRequest::suite_run(&c, c.sim(), &[PolicyKind::Lru]);
+
+        let mut other_seed = base.clone();
+        other_seed.suite.seed = 9;
+        assert_ne!(base.canonical_key(), other_seed.canonical_key());
+
+        let mut other_cfg = base.clone();
+        other_cfg.config.prefetch_degree = 2;
+        assert_ne!(base.canonical_key(), other_cfg.canonical_key());
+
+        let other_pols = SimRequest::suite_run(&c, c.sim(), &[PolicyKind::Lru, PolicyKind::Ghrp]);
+        assert_ne!(base.canonical_key(), other_pols.canonical_key());
+    }
+
+    #[test]
+    fn family_key_ignores_suite_size_only() {
+        let c = ctx();
+        let small = SimRequest::suite_run_capped(&c, c.sim(), &[PolicyKind::Lru], 2);
+        let large = SimRequest::suite_run(&c, c.sim(), &[PolicyKind::Lru]);
+        assert_eq!(small.family_key(), large.family_key());
+        assert_ne!(small.canonical_key(), large.canonical_key());
+    }
+
+    #[test]
+    fn sweep_geometries_are_part_of_the_key() {
+        let c = ctx();
+        let a = SimRequest::sweep_run(&c, c.sim(), &[PolicyKind::Lru], vec![(8192, 4)]);
+        let b = SimRequest::sweep_run(&c, c.sim(), &[PolicyKind::Lru], vec![(16384, 4)]);
+        assert_ne!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn suite_spec_materializes_the_override() {
+        let s = SuiteSpec {
+            traces: 3,
+            seed: 7,
+            instr: Some(999),
+        };
+        let specs = s.specs();
+        assert_eq!(specs.len(), 3);
+        assert!(specs.iter().all(|w| w.instructions == 999));
+    }
+}

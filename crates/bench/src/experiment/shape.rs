@@ -1,0 +1,232 @@
+//! Declarative shape assertions.
+//!
+//! The reproduction's target is the paper's *shape* — which policy wins,
+//! which loses, the sign of a delta — not absolute MPKI (EXPERIMENTS.md's
+//! reading guide). Each experiment declares its reproduced shape claims
+//! as data; the driver evaluates them against the measured metrics and
+//! records pass/fail in the artifact manifest, so `report diff` can flag
+//! a code change that silently flips a reproduced result (e.g. "GHRP
+//! lowest in all eight Figure-7 configurations").
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Assertion operators. Kept as a plain string-tagged struct (rather
+/// than a data-carrying enum) so the record round-trips through the
+/// vendored serde, which supports unit enums only.
+pub mod op {
+    /// `metrics[metric] < metrics[against[0]]`.
+    pub const LT: &str = "lt";
+    /// `metrics[metric] < 0`.
+    pub const NEG: &str = "neg";
+    /// `metrics[metric] > 0`.
+    pub const POS: &str = "pos";
+    /// `metrics[metric]` strictly smallest among itself and `against`.
+    pub const MIN_AMONG: &str = "min_among";
+    /// `metrics[metric]` strictly largest among itself and `against`.
+    pub const MAX_AMONG: &str = "max_among";
+}
+
+/// One declared shape claim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShapeAssertion {
+    /// Stable identifier (diffed by name across manifests).
+    pub name: String,
+    /// Human sentence, quoting the paper claim being checked.
+    pub desc: String,
+    /// One of the [`op`] constants.
+    pub op: String,
+    /// The subject metric key.
+    pub metric: String,
+    /// Comparison metrics (meaning depends on `op`).
+    pub against: Vec<String>,
+}
+
+/// An assertion evaluated against one run's metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShapeCheck {
+    /// The declared assertion.
+    pub assertion: ShapeAssertion,
+    /// Whether it held on this run's metrics.
+    pub pass: bool,
+    /// Failure detail (missing metric, measured ordering), empty on pass.
+    pub note: String,
+}
+
+impl ShapeAssertion {
+    /// `metric < other`.
+    pub fn lt(name: &str, desc: &str, metric: &str, other: &str) -> ShapeAssertion {
+        ShapeAssertion {
+            name: name.to_owned(),
+            desc: desc.to_owned(),
+            op: op::LT.to_owned(),
+            metric: metric.to_owned(),
+            against: vec![other.to_owned()],
+        }
+    }
+
+    /// `metric < 0`.
+    pub fn neg(name: &str, desc: &str, metric: &str) -> ShapeAssertion {
+        ShapeAssertion {
+            name: name.to_owned(),
+            desc: desc.to_owned(),
+            op: op::NEG.to_owned(),
+            metric: metric.to_owned(),
+            against: Vec::new(),
+        }
+    }
+
+    /// `metric > 0`.
+    pub fn pos(name: &str, desc: &str, metric: &str) -> ShapeAssertion {
+        ShapeAssertion {
+            name: name.to_owned(),
+            desc: desc.to_owned(),
+            op: op::POS.to_owned(),
+            metric: metric.to_owned(),
+            against: Vec::new(),
+        }
+    }
+
+    /// `metric` strictly smallest among itself and `others`.
+    pub fn min_among(name: &str, desc: &str, metric: &str, others: &[String]) -> ShapeAssertion {
+        ShapeAssertion {
+            name: name.to_owned(),
+            desc: desc.to_owned(),
+            op: op::MIN_AMONG.to_owned(),
+            metric: metric.to_owned(),
+            against: others.to_vec(),
+        }
+    }
+
+    /// `metric` strictly largest among itself and `others`.
+    pub fn max_among(name: &str, desc: &str, metric: &str, others: &[String]) -> ShapeAssertion {
+        ShapeAssertion {
+            name: name.to_owned(),
+            desc: desc.to_owned(),
+            op: op::MAX_AMONG.to_owned(),
+            metric: metric.to_owned(),
+            against: others.to_vec(),
+        }
+    }
+
+    /// Evaluate against a metrics map, producing the recorded check.
+    pub fn eval(&self, metrics: &BTreeMap<String, f64>) -> ShapeCheck {
+        let (pass, note) = self.eval_inner(metrics);
+        ShapeCheck {
+            assertion: self.clone(),
+            pass,
+            note,
+        }
+    }
+
+    fn eval_inner(&self, metrics: &BTreeMap<String, f64>) -> (bool, String) {
+        let get = |key: &str| -> Result<f64, String> {
+            metrics
+                .get(key)
+                .copied()
+                .ok_or_else(|| format!("metric `{key}` missing"))
+        };
+        let subject = match get(&self.metric) {
+            Ok(v) => v,
+            Err(e) => return (false, e),
+        };
+        match self.op.as_str() {
+            op::NEG => (subject < 0.0, format!("measured {subject:.6}")),
+            op::POS => (subject > 0.0, format!("measured {subject:.6}")),
+            op::LT => match self.against.first().map(String::as_str).map(get) {
+                Some(Ok(rhs)) => (subject < rhs, format!("measured {subject:.6} vs {rhs:.6}")),
+                Some(Err(e)) => (false, e),
+                None => (false, "lt assertion without a comparison metric".to_owned()),
+            },
+            op::MIN_AMONG | op::MAX_AMONG => {
+                let mut worst: Option<(String, f64)> = None;
+                for key in &self.against {
+                    let v = match get(key) {
+                        Ok(v) => v,
+                        Err(e) => return (false, e),
+                    };
+                    let beaten = if self.op == op::MIN_AMONG {
+                        subject < v
+                    } else {
+                        subject > v
+                    };
+                    if !beaten && worst.is_none() {
+                        worst = Some((key.clone(), v));
+                    }
+                }
+                match worst {
+                    None => (true, format!("measured {subject:.6}")),
+                    Some((key, v)) => (
+                        false,
+                        format!("measured {subject:.6} not past `{key}` at {v:.6}"),
+                    ),
+                }
+            }
+            other => (false, format!("unknown assertion op `{other}`")),
+        }
+    }
+}
+
+/// Evaluate a batch of assertions, pairing notes only on failures.
+pub fn eval_all(assertions: &[ShapeAssertion], metrics: &BTreeMap<String, f64>) -> Vec<ShapeCheck> {
+    assertions
+        .iter()
+        .map(|a| {
+            let mut c = a.eval(metrics);
+            if c.pass {
+                c.note = String::new();
+            }
+            c
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|&(k, v)| (k.to_owned(), v)).collect()
+    }
+
+    #[test]
+    fn lt_and_sign_ops_evaluate() {
+        let m = metrics(&[("a", 1.0), ("b", 2.0), ("c", -0.5)]);
+        assert!(ShapeAssertion::lt("x", "", "a", "b").eval(&m).pass);
+        assert!(!ShapeAssertion::lt("x", "", "b", "a").eval(&m).pass);
+        assert!(ShapeAssertion::neg("x", "", "c").eval(&m).pass);
+        assert!(ShapeAssertion::pos("x", "", "a").eval(&m).pass);
+        assert!(!ShapeAssertion::pos("x", "", "c").eval(&m).pass);
+    }
+
+    #[test]
+    fn min_among_requires_strict_win_over_every_competitor() {
+        let m = metrics(&[("g", 1.0), ("l", 2.0), ("r", 3.0)]);
+        let others = ["l".to_owned(), "r".to_owned()];
+        assert!(
+            ShapeAssertion::min_among("x", "", "g", &others)
+                .eval(&m)
+                .pass
+        );
+        assert!(
+            !ShapeAssertion::min_among("x", "", "l", &["g".to_owned()])
+                .eval(&m)
+                .pass
+        );
+        assert!(
+            ShapeAssertion::max_among("x", "", "r", &others[..1])
+                .eval(&m)
+                .pass
+        );
+    }
+
+    #[test]
+    fn missing_metric_fails_with_a_note() {
+        let m = metrics(&[("a", 1.0)]);
+        let c = ShapeAssertion::lt("x", "", "a", "gone").eval(&m);
+        assert!(!c.pass);
+        assert!(c.note.contains("gone"), "{}", c.note);
+    }
+}

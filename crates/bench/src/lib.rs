@@ -1,11 +1,12 @@
 //! Benchmark harness for the GHRP reproduction.
 //!
-//! Each `src/bin/fig*.rs` / `src/bin/table*.rs` binary regenerates one
-//! table or figure of the paper (see `DESIGN.md` §4 for the index);
-//! `src/bin/ablate_*.rs` binaries run the ablations; the remaining bins
-//! are the lab notebooks used while calibrating the reproduction
-//! (`diag`, `tune_ghrp`, `analyze_signatures`, `oracle_policy`,
-//! `headroom`, `ghrp_debug`, `scale_test`).
+//! All figures, tables, ablations, and lab notebooks live in the
+//! [`experiment`] registry (see `DESIGN.md` §11): each is an
+//! [`experiment::Experiment`] that declares the simulations it needs and
+//! renders its output from the deduplicated results. The `report` binary
+//! drives the registry (`report run <name…> | --all | list | diff |
+//! validate`); the historical per-figure binaries remain as thin
+//! dispatches with byte-identical stdout.
 //!
 //! The `benches/` directory holds criterion microbenchmarks of the
 //! simulator's hot paths.
@@ -13,152 +14,4 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use fe_frontend::simulator::SimConfig;
-use fe_trace::synth::{suite, WorkloadSpec};
-use std::path::PathBuf;
-
-/// Common command-line arguments for the experiment binaries.
-///
-/// ```text
-/// --traces N     suite size (default 96; the paper used 662)
-/// --seed S       suite base seed (default 1234)
-/// --threads T    worker threads (default: available parallelism)
-/// --instr N      per-trace instruction override (default: per category)
-/// --out DIR      directory for CSV artifacts (default: results)
-/// ```
-#[derive(Debug, Clone)]
-pub struct Args {
-    /// Number of workloads in the suite.
-    pub traces: usize,
-    /// Base seed for the suite.
-    pub seed: u64,
-    /// Worker threads.
-    pub threads: usize,
-    /// Optional per-trace instruction override.
-    pub instr: Option<u64>,
-    /// Output directory for CSV artifacts.
-    pub out: PathBuf,
-}
-
-impl Default for Args {
-    fn default() -> Args {
-        Args {
-            traces: 96,
-            seed: 1234,
-            threads: std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
-            instr: None,
-            out: PathBuf::from("results"),
-        }
-    }
-}
-
-impl Args {
-    /// Parse from `std::env::args`, panicking with a usage message on
-    /// malformed input.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an unknown flag, a flag missing its value, or an
-    /// unparsable value.
-    pub fn parse() -> Args {
-        Args::parse_from(std::env::args().skip(1))
-    }
-
-    /// Parse from an explicit argument iterator (without the program
-    /// name). This is `parse` minus the `std::env` dependency, so tests
-    /// and wrapper binaries can drive it directly.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an unknown flag, a flag missing its value, or an
-    /// unparsable value.
-    pub fn parse_from<I>(flags: I) -> Args
-    where
-        I: IntoIterator,
-        I::Item: Into<String>,
-    {
-        let mut args = Args::default();
-        let mut it = flags.into_iter().map(Into::into);
-        while let Some(a) = it.next() {
-            let mut next = |what: &str| {
-                it.next()
-                    .unwrap_or_else(|| panic!("missing value for {what}"))
-            };
-            match a.as_str() {
-                "--traces" => args.traces = next("--traces").parse().expect("usize"),
-                "--seed" => args.seed = next("--seed").parse().expect("u64"),
-                "--threads" => args.threads = next("--threads").parse().expect("usize"),
-                "--instr" => args.instr = Some(next("--instr").parse().expect("u64")),
-                "--out" => args.out = PathBuf::from(next("--out")),
-                "--help" | "-h" => {
-                    eprintln!(
-                        "usage: [--traces N] [--seed S] [--threads T] [--instr N] [--out DIR]"
-                    );
-                    std::process::exit(0);
-                }
-                other => panic!("unknown argument {other}"),
-            }
-        }
-        args
-    }
-
-    /// Build the workload suite these arguments describe.
-    pub fn suite(&self) -> Vec<WorkloadSpec> {
-        let mut specs = suite(self.traces, self.seed);
-        if let Some(n) = self.instr {
-            specs = specs.into_iter().map(|s| s.instructions(n)).collect();
-        }
-        specs
-    }
-
-    /// The baseline simulator configuration (paper defaults).
-    pub fn sim(&self) -> SimConfig {
-        SimConfig::paper_default()
-    }
-
-    /// Write `contents` to `<out>/<name>`, creating the directory.
-    ///
-    /// # Panics
-    ///
-    /// Panics on I/O errors — experiment artifacts must not be silently
-    /// dropped.
-    pub fn write_artifact(&self, name: &str, contents: &str) {
-        std::fs::create_dir_all(&self.out).expect("create output directory");
-        let path = self.out.join(name);
-        std::fs::write(&path, contents).expect("write artifact");
-        println!("[wrote {}]", path.display());
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn default_args_sane() {
-        let a = Args::default();
-        assert_eq!(a.traces, 96);
-        assert!(a.threads >= 1);
-        assert!(a.instr.is_none());
-    }
-
-    #[test]
-    fn parse_from_reads_flags() {
-        let a = Args::parse_from(["--traces", "7", "--threads", "3", "--instr", "500"]);
-        assert_eq!(a.traces, 7);
-        assert_eq!(a.threads, 3);
-        assert_eq!(a.instr, Some(500));
-    }
-
-    #[test]
-    fn suite_respects_instr_override() {
-        let a = Args {
-            traces: 4,
-            instr: Some(12345),
-            ..Args::default()
-        };
-        let specs = a.suite();
-        assert_eq!(specs.len(), 4);
-        assert!(specs.iter().all(|s| s.instructions == 12345));
-    }
-}
+pub mod experiment;

@@ -117,6 +117,25 @@ impl SuiteResult {
         }
     }
 
+    /// The first `n` rows of this result (same policy columns).
+    ///
+    /// [`fe_trace::synth::suite`] builds workload `i` from
+    /// `base_seed + i` alone, so `suite(n, s)` is a prefix of
+    /// `suite(m, s)` for `n <= m`; and every [`TraceRow`] is computed
+    /// from an independent engine pass over its own workload. Taking the
+    /// first `n` rows of a larger run is therefore bit-identical to
+    /// re-running the `n`-workload suite — the experiment planner uses
+    /// this to serve subset requests (e.g. the paper's Figure 6 uses 16
+    /// of the 96 workloads) from one shared simulation.
+    #[must_use]
+    pub fn prefix(&self, n: usize) -> SuiteResult {
+        SuiteResult {
+            policies: self.policies.clone(),
+            rows: self.rows.iter().take(n).cloned().collect(),
+            scheduler: self.scheduler.clone(),
+        }
+    }
+
     /// Render a per-trace table plus the mean row, in the style of the
     /// paper's figures.
     pub fn render(&self) -> String {
@@ -438,6 +457,25 @@ mod tests {
                 prop_assert_eq!(serial, parallel);
             }
         }
+    }
+
+    #[test]
+    fn prefix_of_larger_suite_is_bit_identical_to_smaller_run() {
+        // The planner's subsumption rule: a 2-workload suite request can
+        // be served by slicing a 4-workload run of the same seed.
+        let small: Vec<WorkloadSpec> = suite(2, 77)
+            .into_iter()
+            .map(|s| s.instructions(60_000))
+            .collect();
+        let large: Vec<WorkloadSpec> = suite(4, 77)
+            .into_iter()
+            .map(|s| s.instructions(60_000))
+            .collect();
+        let cfg = SimConfig::paper_default();
+        let pols = [PolicyKind::Lru, PolicyKind::Ghrp];
+        let direct = run_suite(&small, &cfg, &pols, 2);
+        let sliced = run_suite(&large, &cfg, &pols, 2).prefix(2);
+        assert_eq!(direct, sliced);
     }
 
     #[test]

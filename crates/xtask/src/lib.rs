@@ -12,6 +12,9 @@
 //!   every `impl ReplacementPolicy` must have an enum variant, every
 //!   variant an impl and a `build_pair` construction site, and every
 //!   `PolicyKind` a config-string spelling.
+//! * [`registry`] — drift detection for the experiment registry: the
+//!   `ALL` table, the `build` dispatch, and the `report run <name>`
+//!   commands documented in `EXPERIMENTS.md` must agree.
 //! * [`audit`] — the paper storage-budget auditor: locates the canonical
 //!   parameter constants by their `budget-key:` doc markers,
 //!   const-evaluates them, recomputes the paper's Table I storage
@@ -25,6 +28,7 @@ pub mod consteval;
 pub mod dispatch;
 pub mod engine;
 pub mod minitoml;
+pub mod registry;
 pub mod rules;
 
 use std::path::{Path, PathBuf};
@@ -67,12 +71,23 @@ pub fn run_lint(root: &Path) -> LintReport {
     let ws = engine::Workspace::load(root);
     let mut findings = ws.errors.clone();
     let mut active_allows = 0;
+    let mut allows_by_file = std::collections::BTreeMap::new();
     for pf in &ws.files {
         let allows = allow::scan(&pf.text);
         rules::lint_file(pf, &allows, &mut findings);
         active_allows += allows.justified_count();
+        allows_by_file.insert(pf.source.rel.clone(), allows);
     }
-    findings.extend(dispatch::check(&ws));
+    // Workspace-level passes honor the same justified-annotation escape
+    // hatch as the per-file rules.
+    let mut ws_findings = dispatch::check(&ws);
+    ws_findings.extend(registry::check(&ws));
+    ws_findings.retain(|f| {
+        !allows_by_file
+            .get(&f.file)
+            .is_some_and(|a| a.suppresses(f.rule, f.line))
+    });
+    findings.extend(ws_findings);
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     findings.dedup();
     LintReport {

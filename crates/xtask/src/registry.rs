@@ -1,0 +1,292 @@
+//! Registry↔docs drift detection for the experiment registry.
+//!
+//! The experiment registry (PR 6) replaced 28 ad-hoc binaries with a
+//! single declarative table: `registry::ALL` lists every experiment by
+//! name and `registry::build` maps each name to its implementation,
+//! while `EXPERIMENTS.md` tells readers which `report run <name>`
+//! regenerates which figure. Nothing in the type system ties the three
+//! together — a name added to `ALL` without a `build` arm is a runtime
+//! `unknown experiment` error, and a renamed experiment silently
+//! strands its documentation. This pass cross-references all three from
+//! the AST plus the markdown:
+//!
+//! * every `name: "…"` entry in the `ALL` table must have a string arm
+//!   in `build`, and vice versa;
+//! * every registered name must be documented as `report run <name>`
+//!   in `EXPERIMENTS.md`;
+//! * every `report run <name>` in `EXPERIMENTS.md` must name a
+//!   registered experiment.
+//!
+//! The pass is self-disabling twice over: a tree with no
+//! `ExperimentInfo`-typed `ALL` const (e.g. a lint fixture corpus)
+//! produces no findings, and the doc checks only run when
+//! `EXPERIMENTS.md` exists at the scanned root.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use syn::{Item, TokenTree};
+
+use crate::engine::{is_dispatch_scope, Workspace};
+use crate::Finding;
+
+const TABLE_NAME: &str = "ALL";
+const TABLE_TYPE: &str = "ExperimentInfo";
+const BUILDER_NAME: &str = "build";
+const DOC_FILE: &str = "EXPERIMENTS.md";
+const DOC_COMMAND: &str = "report run ";
+
+#[derive(Debug, Default)]
+struct Survey {
+    /// `name: "…"` strings in the `ALL` table, with the table's site.
+    table_names: BTreeMap<String, (PathBuf, usize)>,
+    table_site: Option<(PathBuf, usize)>,
+    /// String match arms in `build`.
+    built_names: Vec<String>,
+    builder_site: Option<(PathBuf, usize)>,
+}
+
+/// Run the pass over a loaded workspace.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut survey = Survey::default();
+    for pf in &ws.files {
+        if !is_dispatch_scope(&pf.source.rel) {
+            continue;
+        }
+        survey_items(&pf.ast.items, &pf.source.rel, &mut survey);
+    }
+    let Some(table_site) = survey.table_site.clone() else {
+        return Vec::new(); // no registry in this tree
+    };
+    let mut findings = Vec::new();
+    let mut push = |site: &(PathBuf, usize), message: String| {
+        findings.push(Finding {
+            file: site.0.clone(),
+            line: site.1,
+            rule: "registry-drift",
+            message,
+        });
+    };
+
+    match &survey.builder_site {
+        Some(builder_site) => {
+            for (name, site) in &survey.table_names {
+                if !survey.built_names.iter().any(|b| b == name) {
+                    push(
+                        site,
+                        format!(
+                            "experiment `{name}` is listed in `{TABLE_NAME}` but has no \
+                             `{BUILDER_NAME}` arm; `report run {name}` would fail"
+                        ),
+                    );
+                }
+            }
+            for name in &survey.built_names {
+                if !survey.table_names.contains_key(name) {
+                    push(
+                        builder_site,
+                        format!(
+                            "`{BUILDER_NAME}` has an arm for `{name}` that is not listed \
+                             in `{TABLE_NAME}`; it is invisible to `report list`/`--all`"
+                        ),
+                    );
+                }
+            }
+        }
+        None => push(
+            &table_site,
+            format!("registry table `{TABLE_NAME}` has no `{BUILDER_NAME}` function"),
+        ),
+    }
+
+    findings.extend(check_docs(&ws.root, &survey));
+    findings
+}
+
+/// Cross-check the registry against `EXPERIMENTS.md`, when present.
+fn check_docs(root: &Path, survey: &Survey) -> Vec<Finding> {
+    let doc_path = root.join(DOC_FILE);
+    let Ok(text) = std::fs::read_to_string(&doc_path) else {
+        return Vec::new(); // tree without experiment docs: nothing to drift
+    };
+    let mut findings = Vec::new();
+    let mut documented: BTreeMap<&str, usize> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find(DOC_COMMAND) {
+            rest = &rest[pos + DOC_COMMAND.len()..];
+            let end = rest
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                .unwrap_or(rest.len());
+            let word = &rest[..end];
+            if word.is_empty() {
+                continue; // `report run --all` and friends
+            }
+            documented.entry(word).or_insert(lineno + 1);
+        }
+    }
+    for (word, line) in &documented {
+        if !survey.table_names.contains_key(*word) {
+            findings.push(Finding {
+                file: PathBuf::from(DOC_FILE),
+                line: *line,
+                rule: "registry-drift",
+                message: format!(
+                    "`{DOC_FILE}` documents `report run {word}`, which is not a \
+                     registered experiment"
+                ),
+            });
+        }
+    }
+    for (name, site) in &survey.table_names {
+        if !documented.contains_key(name.as_str()) {
+            findings.push(Finding {
+                file: site.0.clone(),
+                line: site.1,
+                rule: "registry-drift",
+                message: format!(
+                    "experiment `{name}` is registered but `{DOC_FILE}` never \
+                     documents `report run {name}`"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Walk items recursively, recording the `ALL` table and the `build`
+/// match arms. Test modules are skipped so fixture registries inside
+/// `#[cfg(test)]` doubles can't confuse the pass.
+fn survey_items(items: &[Item], rel: &Path, out: &mut Survey) {
+    for item in items {
+        if item
+            .attrs()
+            .iter()
+            .any(|a| a.is("cfg") && a.arg_mentions("test"))
+        {
+            continue;
+        }
+        let site = (rel.to_path_buf(), item.span().line);
+        match item {
+            Item::Const(c) if c.ident.text == TABLE_NAME && mentions(&c.ty, TABLE_TYPE) => {
+                out.table_site.get_or_insert(site.clone());
+                collect_name_fields(&c.expr, &site, &mut out.table_names);
+            }
+            // The builder is recognized by name *and* signature (it
+            // returns `Option<Box<dyn Experiment>>`), so unrelated
+            // builder-pattern `fn build` methods elsewhere don't match.
+            Item::Fn(f) if f.ident.text == BUILDER_NAME && mentions(&f.sig, "Experiment") => {
+                if let Some(body) = &f.body {
+                    out.builder_site.get_or_insert(site.clone());
+                    collect_match_arms(&body.stream, &mut out.built_names);
+                }
+            }
+            Item::Impl(i) => survey_items(&i.items, rel, out),
+            Item::Mod(m) => {
+                if let Some(content) = &m.content {
+                    survey_items(content, rel, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whether a token stream mentions `ident` at any nesting depth.
+fn mentions(stream: &[TokenTree], ident: &str) -> bool {
+    stream.iter().any(|t| match t {
+        TokenTree::Group(g) => mentions(&g.stream, ident),
+        other => other.is_ident(ident),
+    })
+}
+
+/// Record every `name: "…"` field initializer in a token stream.
+fn collect_name_fields(
+    stream: &[TokenTree],
+    site: &(PathBuf, usize),
+    out: &mut BTreeMap<String, (PathBuf, usize)>,
+) {
+    for (i, t) in stream.iter().enumerate() {
+        if let TokenTree::Group(g) = t {
+            collect_name_fields(&g.stream, site, out);
+        }
+        if t.is_ident("name") && stream.get(i + 1).is_some_and(|n| n.is_punct(":")) {
+            if let Some(TokenTree::Literal(lit)) = stream.get(i + 2) {
+                out.entry(lit.cooked.clone())
+                    .or_insert((site.0.clone(), lit.span.line));
+            }
+        }
+    }
+}
+
+/// Record every string literal immediately followed by `=>`.
+fn collect_match_arms(stream: &[TokenTree], out: &mut Vec<String>) {
+    for (i, t) in stream.iter().enumerate() {
+        if let TokenTree::Group(g) = t {
+            collect_match_arms(&g.stream, out);
+        }
+        if let TokenTree::Literal(lit) = t {
+            if stream.get(i + 1).is_some_and(|n| n.is_punct("=>")) {
+                out.push(lit.cooked.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn survey_src(src: &str) -> Survey {
+        let file = syn::parse_file(src).expect("fixture parses");
+        let mut out = Survey::default();
+        survey_items(
+            &file.items,
+            Path::new("crates/app/src/registry.rs"),
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn table_and_arms_are_collected() {
+        let s = survey_src(
+            r#"
+            pub const ALL: &[ExperimentInfo] = &[
+                ExperimentInfo { name: "headline", kind: Kind::Paper, summary: "x" },
+                ExperimentInfo { name: "diag", kind: Kind::Lab, summary: "y" },
+            ];
+            pub fn build(name: &str) -> Option<Box<dyn Experiment>> {
+                Some(match name {
+                    "headline" => Box::new(Headline),
+                    "diag" => Box::new(Diag),
+                    _ => return None,
+                })
+            }
+            "#,
+        );
+        assert_eq!(
+            s.table_names.keys().collect::<Vec<_>>(),
+            ["diag", "headline"]
+        );
+        assert_eq!(s.built_names, ["headline", "diag"]);
+        assert!(s.table_site.is_some() && s.builder_site.is_some());
+    }
+
+    #[test]
+    fn unrelated_consts_and_fns_are_ignored() {
+        let s = survey_src(
+            r"
+            pub const ALL: &[u32] = &[1, 2];
+            pub fn build_pair(name: &str) -> u32 { 0 }
+            impl ProgramBuilder {
+                fn build(self) -> Program { self.finish() }
+            }
+            ",
+        );
+        assert!(s.table_site.is_none());
+        assert!(s.builder_site.is_none());
+    }
+}

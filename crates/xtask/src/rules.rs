@@ -31,7 +31,14 @@ use crate::engine::{is_hot_path, is_index_helper, FileClass, ParsedFile};
 use crate::Finding;
 
 /// The rule identifiers accepted by the allow-annotation.
-pub const RULES: [&str; 4] = ["no-panic", "pow2-mask", "forbid-unsafe", "checked-index"];
+pub const RULES: [&str; 6] = [
+    "no-panic",
+    "pow2-mask",
+    "forbid-unsafe",
+    "checked-index",
+    "dispatch-drift",
+    "registry-drift",
+];
 
 /// Identifiers that mark a `%` right-hand operand as a bucket count.
 /// Matched by substring (`num_sets` contains `sets`); `table.len()` is

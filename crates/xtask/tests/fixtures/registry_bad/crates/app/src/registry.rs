@@ -1,0 +1,36 @@
+//! Drifted registry: every failure mode once.
+//!
+//! * `ghost` is listed but has no `build` arm.
+//! * `orphan` has a `build` arm but is not listed.
+//! * `undocumented` is registered and buildable but never appears in
+//!   `EXPERIMENTS.md`.
+//! * the docs mention `report run stale`, which does not exist.
+
+pub struct ExperimentInfo {
+    pub name: &'static str,
+    pub summary: &'static str,
+}
+
+pub const ALL: &[ExperimentInfo] = &[
+    ExperimentInfo {
+        name: "headline",
+        summary: "suite means",
+    },
+    ExperimentInfo {
+        name: "ghost",
+        summary: "listed but not buildable",
+    },
+    ExperimentInfo {
+        name: "undocumented",
+        summary: "buildable but not documented",
+    },
+];
+
+pub fn build(name: &str) -> Option<Box<dyn Experiment>> {
+    Some(match name {
+        "headline" => Box::new(Headline),
+        "orphan" => Box::new(Orphan),
+        "undocumented" => Box::new(Undocumented),
+        _ => return None,
+    })
+}

@@ -1,0 +1,25 @@
+//! Consistent registry: table, builder, and docs agree.
+
+pub struct ExperimentInfo {
+    pub name: &'static str,
+    pub summary: &'static str,
+}
+
+pub const ALL: &[ExperimentInfo] = &[
+    ExperimentInfo {
+        name: "headline",
+        summary: "suite means",
+    },
+    ExperimentInfo {
+        name: "diag",
+        summary: "per-trace diagnostics",
+    },
+];
+
+pub fn build(name: &str) -> Option<Box<dyn Experiment>> {
+    Some(match name {
+        "headline" => Box::new(Headline),
+        "diag" => Box::new(Diag),
+        _ => return None,
+    })
+}

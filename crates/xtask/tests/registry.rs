@@ -1,0 +1,64 @@
+//! Registry-drift pass: positive and negative fixtures.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+
+use xtask::Finding;
+
+fn drift_findings(fixture: &str) -> Vec<Finding> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    xtask::run_lint(&root)
+        .findings
+        .into_iter()
+        .filter(|f| f.rule == "registry-drift")
+        .collect()
+}
+
+#[test]
+fn consistent_registry_is_clean() {
+    let findings = drift_findings("registry_ok");
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+#[test]
+fn every_drift_kind_is_reported() {
+    let findings = drift_findings("registry_bad");
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    let expect_one = |needle: &str| {
+        assert_eq!(
+            messages.iter().filter(|m| m.contains(needle)).count(),
+            1,
+            "expected exactly one finding mentioning `{needle}`, got {messages:?}"
+        );
+    };
+    expect_one("`ghost` is listed in `ALL` but has no `build` arm");
+    expect_one("arm for `orphan` that is not listed");
+    expect_one("`report run stale`, which is not a registered experiment");
+    expect_one("`undocumented` is registered but `EXPERIMENTS.md` never");
+    assert_eq!(findings.len(), 4, "unexpected extra findings: {messages:?}");
+}
+
+#[test]
+fn corpus_without_a_registry_disables_the_pass() {
+    let findings = drift_findings("corpus");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn real_workspace_registry_and_docs_agree() {
+    // The actual repository must stay drift-free: the fe-bench registry,
+    // its build dispatch, and EXPERIMENTS.md all agree.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let findings: Vec<Finding> = xtask::run_lint(root)
+        .findings
+        .into_iter()
+        .filter(|f| f.rule == "registry-drift")
+        .collect();
+    assert!(findings.is_empty(), "registry drift: {findings:?}");
+}
