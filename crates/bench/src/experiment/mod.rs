@@ -131,6 +131,22 @@ pub fn run_experiments(names: &[String], parsed: &ParsedArgs) -> Result<(), Stri
             write_file(&out_dir, name, contents)?;
             println!("[wrote {}]", out_dir.join(name).display());
             artifact_names.push(name.clone());
+            // Trajectory artifacts (`BENCH_*.json`) get a second copy one
+            // level above the out directory — for the default
+            // `--out results` that is the repository root, where the
+            // top-level `BENCH_*.json` trajectory tooling looks. Not
+            // listed in the record: artifacts there are out-dir-relative.
+            let is_json = Path::new(name)
+                .extension()
+                .is_some_and(|ext| ext.eq_ignore_ascii_case("json"));
+            if name.starts_with("BENCH_") && is_json {
+                let top = match out_dir.parent() {
+                    Some(p) if !p.as_os_str().is_empty() => p,
+                    _ => Path::new("."),
+                };
+                write_file(top, name, contents)?;
+                println!("[wrote {}]", top.join(name).display());
+            }
         }
 
         let checks = shape::eval_all(&output.assertions, &output.metrics);

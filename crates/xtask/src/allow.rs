@@ -30,6 +30,8 @@ pub struct Annotation {
     pub known: bool,
     /// Whether a non-empty justification follows the closing paren.
     pub justified: bool,
+    /// The justification text, when present (trimmed).
+    pub justification: Option<String>,
 }
 
 impl Annotation {
@@ -77,22 +79,25 @@ pub fn scan(text: &str) -> Allows {
             continue;
         };
         let rest = &raw[pos + marker.len()..];
-        let (rule, justified) = match rest.find(')') {
+        let (rule, justification) = match rest.find(')') {
             Some(close) => {
-                let justified = rest[close + 1..]
+                let justification = rest[close + 1..]
                     .trim_start()
                     .strip_prefix(':')
-                    .is_some_and(|j| !j.trim().is_empty());
-                (rest[..close].trim().to_string(), justified)
+                    .map(str::trim)
+                    .filter(|j| !j.is_empty())
+                    .map(str::to_string);
+                (rest[..close].trim().to_string(), justification)
             }
-            None => (rest.trim().to_string(), false),
+            None => (rest.trim().to_string(), None),
         };
         let known = RULES.contains(&rule.as_str());
         annotations.push(Annotation {
             line: i + 1,
             rule,
             known,
-            justified,
+            justified: justification.is_some(),
+            justification,
         });
     }
     Allows { annotations }

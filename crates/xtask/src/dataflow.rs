@@ -1,0 +1,431 @@
+//! Intra-procedural dataflow facts over the expression AST.
+//!
+//! The four expression-level passes ([`crate::passes`]) share one
+//! per-function analysis unit: the lowered body ([`FnUnit`]) plus a
+//! type-lite environment ([`Env`]) inferred from parameter types, `let`
+//! annotations and initializer shapes. The environment answers three
+//! questions the passes keep asking:
+//!
+//! * which bindings hold **unordered maps** (`HashMap` / the project's
+//!   `FastMap` — deterministic hasher, but arbitrary iteration order);
+//! * which bindings hold **floats** (whose accumulation order changes
+//!   the bits of the result);
+//! * which bindings are **sorted later** in the same function (an
+//!   ordering sink that launders iteration order).
+//!
+//! The analysis is deliberately name-scoped and flow-insensitive inside
+//! one function: a binding keeps its fact for the whole body. That
+//! over-approximates, which for a lint is the right direction —
+//! spurious facts surface as findings that a human either fixes or
+//! suppresses with a justified allow.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+
+use syn::expr::{self, Block, Expr, Stmt};
+use syn::{Attribute, Delimiter, Item, TokenTree};
+
+/// One rule hit before allow-filtering, shared by every pass.
+#[derive(Debug)]
+pub struct Hit {
+    /// 1-based source line.
+    pub line: usize,
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A function body lowered to the expression AST.
+#[derive(Debug)]
+pub struct FnUnit<'a> {
+    /// Function name (diagnostics).
+    pub name: String,
+    /// Raw signature tokens (generics, parameter list, return type).
+    pub sig: &'a [TokenTree],
+    /// The lowered body.
+    pub block: Block,
+}
+
+fn is_test_attr(a: &Attribute) -> bool {
+    a.is("cfg") && a.arg_mentions("test")
+}
+
+/// Lower every function body of an item tree, skipping `#[cfg(test)]`
+/// subtrees exactly.
+pub fn lower_fns(items: &[Item]) -> Vec<FnUnit<'_>> {
+    let mut out = Vec::new();
+    collect_fns(items, &mut out);
+    out
+}
+
+fn collect_fns<'a>(items: &'a [Item], out: &mut Vec<FnUnit<'a>>) {
+    for item in items {
+        if item.attrs().iter().any(is_test_attr) {
+            continue;
+        }
+        match item {
+            Item::Fn(f) => {
+                if let Some(body) = &f.body {
+                    out.push(FnUnit {
+                        name: f.ident.text.clone(),
+                        sig: &f.sig,
+                        block: expr::parse_block(body),
+                    });
+                }
+            }
+            Item::Impl(i) => collect_fns(&i.items, out),
+            Item::Trait(t) => collect_fns(&t.items, out),
+            Item::Mod(m) => {
+                if let Some(content) = &m.content {
+                    collect_fns(content, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Type names that imply arbitrary iteration order. `FastMap` is the
+/// project's `HashMap` alias with a deterministic hasher — its key
+/// *order* is still arbitrary, so it counts.
+const UNORDERED_TYPES: [&str; 3] = ["HashMap", "FastMap", "HashSet"];
+
+/// Methods that iterate a map's entries in storage order.
+pub const UNORDERED_ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// Name-scoped facts for one function body.
+#[derive(Debug, Default)]
+pub struct Env {
+    /// Bindings holding `HashMap`/`FastMap`/`HashSet` values.
+    pub unordered: BTreeSet<String>,
+    /// Bindings holding `f32`/`f64` values.
+    pub floats: BTreeSet<String>,
+    /// Bindings that receive a `.sort*()` call somewhere in the body.
+    pub sorted: BTreeSet<String>,
+}
+
+impl Env {
+    /// Infer the environment for one lowered function.
+    pub fn of(unit: &FnUnit<'_>) -> Env {
+        let mut env = Env::default();
+        scan_params(unit.sig, &mut env);
+        scan_lets(&unit.block, &mut env);
+        scan_sorts(&unit.block, &mut env);
+        env
+    }
+}
+
+/// Parameter facts from the raw signature: for each `name: Ty` chunk of
+/// the parameter list, an unordered-map or float type marks the name.
+fn scan_params(sig: &[TokenTree], env: &mut Env) {
+    let Some(params) = sig.iter().find_map(|t| t.group(Delimiter::Parenthesis)) else {
+        return;
+    };
+    for chunk in syn::split_top_level(&params.stream, ",") {
+        let Some(colon) = chunk.iter().position(|t| t.is_punct(":")) else {
+            continue;
+        };
+        let Some(name) = chunk[..colon].iter().rev().find_map(TokenTree::ident) else {
+            continue;
+        };
+        if name == "self" {
+            continue;
+        }
+        let ty = &chunk[colon + 1..];
+        if mentions_type(ty, &UNORDERED_TYPES) {
+            env.unordered.insert(name.to_string());
+        }
+        if mentions_type(ty, &["f32", "f64"]) {
+            env.floats.insert(name.to_string());
+        }
+    }
+}
+
+fn mentions_type(tokens: &[TokenTree], names: &[&str]) -> bool {
+    tokens.iter().any(|t| match t {
+        TokenTree::Ident(id) => names.contains(&id.text.as_str()),
+        TokenTree::Group(g) => mentions_type(&g.stream, names),
+        _ => false,
+    })
+}
+
+/// `let` facts, gathered over the whole body (nested blocks included).
+fn scan_lets(block: &Block, env: &mut Env) {
+    visit_lets(block, &mut |l| {
+        let Some(name) = l.ident.as_ref().map(|i| i.text.clone()) else {
+            return;
+        };
+        if let Some(ty) = &l.ty {
+            if mentions_type(ty, &UNORDERED_TYPES) {
+                env.unordered.insert(name.clone());
+            }
+            if mentions_type(ty, &["f32", "f64"]) {
+                env.floats.insert(name.clone());
+            }
+        }
+        if let Some(init) = &l.init {
+            if init_is_unordered_map(init) {
+                env.unordered.insert(name.clone());
+            }
+            if init_is_float(init) {
+                env.floats.insert(name);
+            }
+        }
+    });
+}
+
+fn visit_lets<F: FnMut(&syn::expr::StmtLet)>(block: &Block, f: &mut F) {
+    for stmt in &block.stmts {
+        if let Stmt::Let(l) = stmt {
+            f(l);
+        }
+    }
+    expr::visit_block(block, &mut |e| {
+        let nested: &Block = match e {
+            Expr::Block { block, .. } => block,
+            Expr::If(i) => &i.then_branch,
+            Expr::While { body, .. } | Expr::Loop { body, .. } => body,
+            Expr::ForLoop(fl) => &fl.body,
+            _ => return,
+        };
+        for stmt in &nested.stmts {
+            if let Stmt::Let(l) = stmt {
+                f(l);
+            }
+        }
+    });
+}
+
+/// Does this initializer construct an unordered map? (`HashMap::new()`,
+/// `FastMap::default()`, `.collect::<HashMap<..>>()`, …)
+fn init_is_unordered_map(init: &Expr) -> bool {
+    match init {
+        Expr::Call { callee, .. } => callee.as_path().is_some_and(|p| {
+            p.segments
+                .iter()
+                .any(|s| UNORDERED_TYPES.contains(&s.as_str()))
+        }),
+        Expr::MethodCall(m) if m.method.text == "collect" => m
+            .turbofish
+            .as_ref()
+            .is_some_and(|tf| mentions_type(tf, &UNORDERED_TYPES)),
+        Expr::Cast { expr, .. } | Expr::Try { expr, .. } | Expr::Ref { expr, .. } => {
+            init_is_unordered_map(expr)
+        }
+        _ => false,
+    }
+}
+
+/// Does this initializer yield a float? (`0.0`, `0f64`, `x as f64`,
+/// `.sum::<f64>()`, …)
+fn init_is_float(init: &Expr) -> bool {
+    match init {
+        Expr::Lit(l) => {
+            l.kind == syn::LitKind::Number
+                && (l.text.contains('.') || l.text.ends_with("f32") || l.text.ends_with("f64"))
+        }
+        Expr::Cast { ty, .. } => mentions_type(ty, &["f32", "f64"]),
+        Expr::Unary { expr, .. } => init_is_float(expr),
+        Expr::Paren { exprs, tuple, .. } => !tuple && exprs.len() == 1 && init_is_float(&exprs[0]),
+        Expr::MethodCall(m) => {
+            (m.method.text == "sum" || m.method.text == "product")
+                && m.turbofish
+                    .as_ref()
+                    .is_some_and(|tf| mentions_type(tf, &["f32", "f64"]))
+        }
+        Expr::Binary { lhs, rhs, .. } => init_is_float(lhs) || init_is_float(rhs),
+        _ => false,
+    }
+}
+
+/// Bindings that are sorted somewhere in the body: `v.sort()`,
+/// `v.sort_unstable_by(..)`, … — an explicit ordering sink.
+fn scan_sorts(block: &Block, env: &mut Env) {
+    expr::visit_block(block, &mut |e| {
+        if let Expr::MethodCall(m) = e {
+            if m.method.text.starts_with("sort") {
+                if let Some(root) = m.recv.root_ident() {
+                    env.sorted.insert(root.to_string());
+                }
+            }
+        }
+    });
+}
+
+/// Is this `for`-loop iterated expression an unordered-map traversal?
+/// Returns the map binding's name when it is.
+pub fn unordered_iter_source<'e>(iter: &'e Expr, env: &Env) -> Option<&'e str> {
+    let iter = strip_wrappers(iter);
+    match iter {
+        Expr::Path(_) | Expr::Field { .. } => {
+            let root = iter.root_ident()?;
+            env.unordered.contains(root).then_some(root)
+        }
+        // A method chain is unordered when it enters iteration on an
+        // unordered map and nothing along the way restores an order.
+        Expr::MethodCall(_) if chain_is_unordered(iter, env) => iter.root_ident(),
+        _ => None,
+    }
+}
+
+fn strip_wrappers(e: &Expr) -> &Expr {
+    match e {
+        Expr::Ref { expr, .. } | Expr::Unary { expr, .. } | Expr::Try { expr, .. } => {
+            strip_wrappers(expr)
+        }
+        Expr::Paren { exprs, tuple, .. } if !*tuple && exprs.len() == 1 => {
+            strip_wrappers(&exprs[0])
+        }
+        _ => e,
+    }
+}
+
+/// Whether a method chain's value order derives from an unordered map:
+/// the chain bottoms out at an unordered binding, enters iteration via
+/// an iteration method, and no ordering sink appears along the way.
+pub fn chain_is_unordered(e: &Expr, env: &Env) -> bool {
+    match strip_wrappers(e) {
+        Expr::MethodCall(m) => {
+            let name = m.method.text.as_str();
+            // Ordering sinks along the chain launder the order.
+            if name.starts_with("sort") {
+                return false;
+            }
+            if name == "collect" && collects_ordered(m.turbofish.as_deref()) {
+                return false;
+            }
+            if UNORDERED_ITER_METHODS.contains(&name) {
+                // Entering iteration: the receiver must be the map
+                // itself (possibly through refs/parens).
+                let recv = strip_wrappers(&m.recv);
+                if let Some(root) = recv.root_ident() {
+                    if matches!(recv, Expr::Path(_) | Expr::Field { .. })
+                        && env.unordered.contains(root)
+                    {
+                        return true;
+                    }
+                }
+            }
+            chain_is_unordered(&m.recv, env)
+        }
+        _ => false,
+    }
+}
+
+/// Does a `collect` turbofish name an ordered (sorted-by-key) target?
+pub fn collects_ordered(turbofish: Option<&[TokenTree]>) -> bool {
+    turbofish.is_some_and(|tf| mentions_type(tf, &["BTreeMap", "BTreeSet", "BinaryHeap"]))
+}
+
+/// Whether an expression subtree mentions a completion-ordered source:
+/// channel receives (`recv`, `try_recv`, `try_iter`) or a `Receiver`
+/// handle — the order results arrive in depends on thread timing.
+pub fn mentions_completion_order(e: &Expr) -> bool {
+    let mut found = false;
+    expr::visit_expr(e, &mut |x| match x {
+        Expr::MethodCall(m)
+            if matches!(m.method.text.as_str(), "recv" | "try_recv" | "try_iter") =>
+        {
+            found = true;
+        }
+        Expr::Path(p) if p.segments.iter().any(|s| s == "Receiver") => found = true,
+        _ => {}
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_env(src: &str) -> (Vec<String>, Vec<String>, Vec<String>) {
+        let file = syn::parse_file(src).expect("parses");
+        let units = lower_fns(&file.items);
+        let env = Env::of(&units[0]);
+        (
+            env.unordered.iter().cloned().collect(),
+            env.floats.iter().cloned().collect(),
+            env.sorted.iter().cloned().collect(),
+        )
+    }
+
+    #[test]
+    fn env_from_annotations_and_inits() {
+        let (unordered, floats, sorted) = unit_env(
+            "fn f(m: &HashMap<u64, u64>, w: f64) {\n\
+             let local: FastMap<u16, u32> = FastMap::default();\n\
+             let built = HashMap::new();\n\
+             let ordered: BTreeMap<u64, u64> = BTreeMap::new();\n\
+             let mut acc = 0.0;\n\
+             let mut ints = 0u64;\n\
+             let mut v = Vec::new();\n\
+             v.sort_unstable();\n\
+             }",
+        );
+        assert_eq!(unordered, ["built", "local", "m"]);
+        assert_eq!(floats, ["acc", "w"]);
+        assert_eq!(sorted, ["v"]);
+    }
+
+    #[test]
+    fn unordered_iteration_detection() {
+        let src = "fn f(m: &HashMap<u64, u64>, v: &[u64]) {\n\
+                   for (k, val) in m.iter() {}\n\
+                   for k in m.keys() {}\n\
+                   for x in v.iter() {}\n\
+                   }";
+        let file = syn::parse_file(src).expect("parses");
+        let units = lower_fns(&file.items);
+        let env = Env::of(&units[0]);
+        let mut sources = Vec::new();
+        expr::visit_block(&units[0].block, &mut |e| {
+            if let Expr::ForLoop(fl) = e {
+                sources.push(unordered_iter_source(&fl.iter, &env).map(str::to_string));
+            }
+        });
+        assert_eq!(
+            sources,
+            [Some("m".to_string()), Some("m".to_string()), None]
+        );
+    }
+
+    #[test]
+    fn chain_ordering_sinks() {
+        let src = "fn f(m: &HashMap<u64, u64>) {\n\
+                   let a = m.keys().collect::<Vec<_>>();\n\
+                   let b = m.keys().collect::<BTreeSet<_>>();\n\
+                   let c = m.values().sum::<u64>();\n\
+                   }";
+        let file = syn::parse_file(src).expect("parses");
+        let units = lower_fns(&file.items);
+        let env = Env::of(&units[0]);
+        let mut chains = Vec::new();
+        for stmt in &units[0].block.stmts {
+            if let Stmt::Let(l) = stmt {
+                let init = l.init.as_ref().unwrap();
+                chains.push(chain_is_unordered(init, &env));
+            }
+        }
+        // `collect::<BTreeSet>` is laundered at the collect link itself…
+        assert_eq!(chains, [true, false, true]);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_skipped() {
+        let src = "#[cfg(test)] mod t { fn inner() {} }\nfn outer() {}";
+        let file = syn::parse_file(src).expect("parses");
+        let units = lower_fns(&file.items);
+        assert_eq!(units.len(), 1);
+        assert_eq!(units[0].name, "outer");
+    }
+}

@@ -5,9 +5,15 @@
 //! of the line/regex heuristics the original scanner used. Three
 //! subsystems (see `DESIGN.md` §"Correctness & static analysis"):
 //!
-//! * [`rules`] — the four project lint rules (`no-panic`, `pow2-mask`,
-//!   `forbid-unsafe`, `checked-index`), now matched on token trees so
-//!   strings, comments, chars and lifetimes can never confuse them.
+//! * [`rules`] — the project lint rules: the four legacy rules
+//!   (`no-panic`, `pow2-mask`, `forbid-unsafe`, `checked-index`) plus
+//!   the expression-dataflow rules (`nondet-taint`, `atomics-audit`,
+//!   `float-order`, `alloc-in-hot-loop`), all matched on the expression
+//!   AST so strings, comments, chars and lifetimes can never confuse
+//!   them.
+//! * [`dataflow`] / [`passes`] — the per-function lowering
+//!   ([`dataflow::FnUnit`]), the name-scoped type environment
+//!   ([`dataflow::Env`]) and the four dataflow passes built on them.
 //! * [`dispatch`] — drift detection for the `AnyPolicy` closed sum:
 //!   every `impl ReplacementPolicy` must have an enum variant, every
 //!   variant an impl and a `build_pair` construction site, and every
@@ -25,9 +31,12 @@
 pub mod allow;
 pub mod audit;
 pub mod consteval;
+pub mod dataflow;
 pub mod dispatch;
 pub mod engine;
+pub mod json;
 pub mod minitoml;
+pub mod passes;
 pub mod registry;
 pub mod rules;
 
@@ -54,6 +63,19 @@ impl Finding {
     }
 }
 
+/// One justified `allow` annotation in force somewhere in the tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveAllow {
+    /// Path relative to the scanned root.
+    pub file: PathBuf,
+    /// 1-based line the annotation sits on.
+    pub line: usize,
+    /// The suppressed rule.
+    pub rule: String,
+    /// The recorded justification text.
+    pub justification: String,
+}
+
 /// Outcome of a full `lint` run over one root.
 #[derive(Debug, Default)]
 pub struct LintReport {
@@ -63,6 +85,8 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// Number of justified `allow` annotations in force.
     pub active_allows: usize,
+    /// The justified annotations themselves, sorted by (file, line).
+    pub allow_details: Vec<ActiveAllow>,
 }
 
 /// Run every lint pass (rules + allow hygiene + dispatch drift) over the
@@ -71,11 +95,20 @@ pub fn run_lint(root: &Path) -> LintReport {
     let ws = engine::Workspace::load(root);
     let mut findings = ws.errors.clone();
     let mut active_allows = 0;
+    let mut allow_details = Vec::new();
     let mut allows_by_file = std::collections::BTreeMap::new();
     for pf in &ws.files {
         let allows = allow::scan(&pf.text);
         rules::lint_file(pf, &allows, &mut findings);
         active_allows += allows.justified_count();
+        for ann in allows.annotations.iter().filter(|a| a.active()) {
+            allow_details.push(ActiveAllow {
+                file: pf.source.rel.clone(),
+                line: ann.line,
+                rule: ann.rule.clone(),
+                justification: ann.justification.clone().unwrap_or_default(),
+            });
+        }
         allows_by_file.insert(pf.source.rel.clone(), allows);
     }
     // Workspace-level passes honor the same justified-annotation escape
@@ -90,10 +123,12 @@ pub fn run_lint(root: &Path) -> LintReport {
     findings.extend(ws_findings);
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     findings.dedup();
+    allow_details.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     LintReport {
         findings,
         files_scanned: ws.files.len() + ws.errors.len(),
         active_allows,
+        allow_details,
     }
 }
 

@@ -13,7 +13,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask::{audit, rules, run_lint, workspace_root};
+use xtask::{audit, json, rules, run_lint, workspace_root};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,9 +40,9 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!("usage: cargo xtask <command>\n");
     eprintln!("commands:");
-    eprintln!("  lint   [--root DIR]                  run the custom static checks");
+    eprintln!("  lint   [--root DIR] [--json]         run the custom static checks");
     eprintln!("  audit  [--root DIR] [--budgets FILE] verify the paper storage budgets");
-    eprintln!("\nrules: {}, dispatch-drift", rules::RULES.join(", "));
+    eprintln!("\nrules: {}", rules::RULES.join(", "));
 }
 
 /// Parse `--flag VALUE` out of a trailing argument list.
@@ -59,6 +59,16 @@ fn lint(args: &[String]) -> ExitCode {
     if report.files_scanned == 0 {
         eprintln!("xtask lint: no sources found under {}", root.display());
         return ExitCode::FAILURE;
+    }
+    if args.iter().any(|a| a == "--json") {
+        // Machine-readable mode: the full report on stdout, human
+        // summary suppressed; the exit code still gates CI.
+        print!("{}", json::render(&report));
+        return if report.findings.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
     if report.findings.is_empty() {
         println!(

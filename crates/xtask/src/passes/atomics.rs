@@ -1,0 +1,253 @@
+//! `atomics-audit`: the scheduler's memory-ordering protocol, checked.
+//!
+//! `crates/frontend/src/schedule.rs` is the only file in the workspace
+//! that touches `std::sync::atomic`, and its correctness argument (see
+//! the module docs there and DESIGN.md §8.3) leans on *specific*
+//! orderings, not just "some ordering":
+//!
+//! | field class   | roots                              | op                     | required ordering      |
+//! |---------------|------------------------------------|------------------------|------------------------|
+//! | range deque   | `range`, `ranges`, `victim`, `me`, `r` | `load`             | `Acquire`              |
+//! | range deque   | (same)                             | `store`                | `Release`              |
+//! | range deque   | (same)                             | `compare_exchange[_weak]` | `AcqRel`, `Acquire` |
+//! | range deque   | (same)                             | `fetch_*` / `swap`     | forbidden              |
+//! | shared cursor | `next`                             | `fetch_add`            | `Relaxed`              |
+//! | stats counter | `*stat*`, `*counter*`              | any                    | `Relaxed`              |
+//!
+//! A thief publishes a stolen range with `store(Release)` and owners
+//! claim with `compare_exchange_weak(AcqRel, Acquire)`; downgrading any
+//! of those to `Relaxed` would still pass the test suite on x86 (TSO
+//! gives the orderings away for free) and then corrupt the drain on
+//! weaker machines. That is exactly the bug class a test cannot catch
+//! and a lint can: **any deviation from the table — downgrade, upgrade,
+//! an op the protocol does not use, or an atomic receiver the table does
+//! not know — is a finding.**
+
+#![forbid(unsafe_code)]
+
+use syn::expr::{self, Expr, ExprMethod};
+
+use crate::dataflow::{FnUnit, Hit};
+
+/// The atomic access methods the audit recognizes.
+const ATOMIC_OPS: [&str; 10] = [
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+];
+
+/// Bindings that hold a packed work-stealing range (`AtomicU64` deque).
+const RANGE_ROOTS: [&str; 5] = ["range", "ranges", "victim", "me", "r"];
+
+/// Bindings that hold the shared-index claim cursor.
+const CURSOR_ROOTS: [&str; 1] = ["next"];
+
+/// Whether a receiver name is a statistics/observability counter, where
+/// `Relaxed` is the *required* ordering (stronger orderings would imply
+/// a synchronization role the field does not have).
+fn is_stats_root(root: &str) -> bool {
+    root.contains("stat") || root.contains("counter")
+}
+
+/// Run the audit over one lowered function of `schedule.rs`.
+pub fn run(unit: &FnUnit<'_>, hits: &mut Vec<Hit>) {
+    expr::visit_block(&unit.block, &mut |e| {
+        let Expr::MethodCall(m) = e else {
+            return;
+        };
+        if !ATOMIC_OPS.contains(&m.method.text.as_str()) {
+            return;
+        }
+        let orderings = ordering_args(m);
+        if orderings.is_empty() {
+            // `load`/`store` on a non-atomic (e.g. `cfg.load(path)`) —
+            // only calls that pass an `Ordering::…` are atomic accesses.
+            return;
+        }
+        audit_one(m, &orderings, hits);
+    });
+}
+
+/// The `Ordering::X` arguments of a call, in positional order.
+fn ordering_args(m: &ExprMethod) -> Vec<String> {
+    m.args
+        .iter()
+        .filter_map(|a| {
+            let p = a.as_path()?;
+            let pos = p.segments.iter().position(|s| s == "Ordering")?;
+            p.segments.get(pos + 1).cloned()
+        })
+        .collect()
+}
+
+fn audit_one(m: &ExprMethod, orderings: &[String], hits: &mut Vec<Hit>) {
+    let op = m.method.text.as_str();
+    let Some(root) = m.recv.root_ident() else {
+        hits.push(violation(
+            m,
+            "atomic access through an unnamed receiver; the protocol table is keyed by field name",
+        ));
+        return;
+    };
+
+    if is_stats_root(root) {
+        if orderings.iter().any(|o| o != "Relaxed") {
+            hits.push(violation(
+                m,
+                &format!(
+                    "stats counter `{root}` must use Relaxed (found {}); a \
+                     stronger ordering implies a synchronization role it \
+                     does not have",
+                    orderings.join("/")
+                ),
+            ));
+        }
+        return;
+    }
+
+    if CURSOR_ROOTS.contains(&root) {
+        if op != "fetch_add" || orderings != ["Relaxed"] {
+            hits.push(violation(
+                m,
+                &format!(
+                    "shared cursor `{root}` protocol is `fetch_add(1, \
+                     Relaxed)` only (found `{op}` with {})",
+                    orderings.join("/")
+                ),
+            ));
+        }
+        return;
+    }
+
+    if RANGE_ROOTS.contains(&root) {
+        let ok = match op {
+            "load" => orderings == ["Acquire"],
+            "store" => orderings == ["Release"],
+            "compare_exchange" | "compare_exchange_weak" => orderings == ["AcqRel", "Acquire"],
+            _ => false,
+        };
+        if !ok {
+            let want = match op {
+                "load" => "Acquire",
+                "store" => "Release",
+                "compare_exchange" | "compare_exchange_weak" => "AcqRel + Acquire failure",
+                _ => "no fetch_*/swap at all",
+            };
+            hits.push(violation(
+                m,
+                &format!(
+                    "range deque `{root}.{op}` requires {want} (found {}); \
+                     weaker orderings lose the stolen-range publication on \
+                     non-TSO machines",
+                    orderings.join("/")
+                ),
+            ));
+        }
+        return;
+    }
+
+    hits.push(violation(
+        m,
+        &format!(
+            "atomic receiver `{root}` is not in the declared ordering \
+             protocol table; extend the table in xtask::passes::atomics \
+             alongside the correctness argument"
+        ),
+    ));
+}
+
+fn violation(m: &ExprMethod, msg: &str) -> Hit {
+    Hit {
+        line: m.span.line,
+        rule: "atomics-audit",
+        message: msg.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::lower_fns;
+
+    fn hits_for(src: &str) -> Vec<(usize, &'static str)> {
+        let file = syn::parse_file(src).expect("parses");
+        let mut hits = Vec::new();
+        for unit in lower_fns(&file.items) {
+            run(&unit, &mut hits);
+        }
+        let mut keys: Vec<_> = hits.iter().map(|h| (h.line, h.rule)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    #[test]
+    fn protocol_conformant_code_is_clean() {
+        let src = "fn pop(range: &AtomicU64) -> Option<u64> {\n\
+                   let v = range.load(Ordering::Acquire);\n\
+                   match range.compare_exchange_weak(v, v + 1, Ordering::AcqRel, Ordering::Acquire) {\n\
+                   Ok(_) => Some(v),\n\
+                   Err(_) => None,\n\
+                   }\n}\n\
+                   fn publish(me: &AtomicU64, v: u64) { me.store(v, Ordering::Release); }\n\
+                   fn claim(next: &AtomicUsize) -> usize { next.fetch_add(1, Ordering::Relaxed) }\n\
+                   fn count(steal_counter: &AtomicU64) { steal_counter.fetch_add(1, Ordering::Relaxed); }";
+        assert!(hits_for(src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_load_on_range_is_a_downgrade() {
+        let src = "fn f(ranges: &[AtomicU64], victim: usize) -> u64 {\n\
+                   ranges[victim].load(Ordering::Relaxed)\n}";
+        assert_eq!(hits_for(src), [(2, "atomics-audit")]);
+    }
+
+    #[test]
+    fn acqrel_downgraded_to_relaxed_cas_is_caught() {
+        let src = "fn f(victim: &AtomicU64, v: u64) {\n\
+                   let _ = victim.compare_exchange_weak(v, v + 1, Ordering::Relaxed, Ordering::Relaxed);\n}";
+        assert_eq!(hits_for(src), [(2, "atomics-audit")]);
+    }
+
+    #[test]
+    fn upgrade_is_also_a_protocol_deviation() {
+        let src = "fn f(next: &AtomicUsize) -> usize {\n\
+                   next.fetch_add(1, Ordering::SeqCst)\n}";
+        assert_eq!(hits_for(src), [(2, "atomics-audit")]);
+    }
+
+    #[test]
+    fn fetch_ops_on_ranges_are_forbidden() {
+        let src = "fn f(me: &AtomicU64) {\n\
+                   me.fetch_or(1, Ordering::AcqRel);\n}";
+        assert_eq!(hits_for(src), [(2, "atomics-audit")]);
+    }
+
+    #[test]
+    fn unknown_receiver_is_flagged() {
+        let src = "fn f(mystery: &AtomicU64) -> u64 {\n\
+                   mystery.load(Ordering::Acquire)\n}";
+        assert_eq!(hits_for(src), [(2, "atomics-audit")]);
+    }
+
+    #[test]
+    fn non_atomic_load_methods_are_ignored() {
+        let src = "fn f(cfg: &Loader) -> Config {\n\
+                   cfg.load(\"path\")\n}";
+        assert!(hits_for(src).is_empty());
+    }
+
+    #[test]
+    fn closure_bodies_are_audited() {
+        let src = "fn f(ranges: &[AtomicU64]) -> bool {\n\
+                   ranges.iter().all(|r| r.load(Ordering::Relaxed) == 0)\n}";
+        assert_eq!(hits_for(src), [(2, "atomics-audit")]);
+    }
+}

@@ -1,0 +1,230 @@
+//! `alloc-in-hot-loop`: no heap churn inside simulator hot loops.
+//!
+//! The per-access simulation path (cache lookup, policy update,
+//! scheduler claim) runs millions of times per experiment; a single
+//! `Vec::new()`/`format!` in one of those loops turns an O(1) step into
+//! an allocator round-trip and dominates the profile. The engine arena
+//! work (DESIGN.md §"lane arenas") exists precisely to hoist those
+//! allocations out; this pass keeps them out.
+//!
+//! Scope: loop bodies (`for`/`while`/`loop`) in hot-path library files
+//! ([`crate::engine::is_hot_path`]). Flagged constructors:
+//!
+//! * calls — `Vec::new`, `Vec::with_capacity`, `String::new`,
+//!   `String::from`, `String::with_capacity`, `Box::new`, `HashMap::new`,
+//!   `BTreeMap::new`, `HashSet::new`, `FastMap::new`/`default`;
+//! * methods — `to_vec`, `to_owned`, `to_string`, `clone`, `collect`;
+//! * macros — `vec!`, `format!`.
+//!
+//! **Cold-exit exemption:** an allocation inside a `return …` or
+//! `break …` value leaves the loop the moment it runs — one allocation
+//! per call, not per iteration — so error paths like
+//! `return Err(format!(…))` inside validation scans stay clean. A loop
+//! that genuinely must allocate per iteration (e.g. growing a result
+//! set) documents that with a justified allow-annotation naming this
+//! rule.
+
+#![forbid(unsafe_code)]
+
+use syn::expr::{self, Block, Expr};
+
+use crate::dataflow::{FnUnit, Hit};
+
+/// `Type::constructor` call pairs that allocate.
+const ALLOC_CALLS: [(&str, &[&str]); 7] = [
+    ("Vec", &["new", "with_capacity"]),
+    ("String", &["new", "from", "with_capacity"]),
+    ("Box", &["new"]),
+    ("HashMap", &["new", "with_capacity"]),
+    ("HashSet", &["new", "with_capacity"]),
+    ("BTreeMap", &["new"]),
+    ("FastMap", &["new", "default", "with_capacity"]),
+];
+
+/// Methods that clone or materialize a heap value per call.
+const ALLOC_METHODS: [&str; 5] = ["to_vec", "to_owned", "to_string", "clone", "collect"];
+
+/// Macros that build a heap value per expansion.
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+/// Run the pass over one lowered function of a hot-path file.
+pub fn run(unit: &FnUnit<'_>, hits: &mut Vec<Hit>) {
+    expr::visit_block(&unit.block, &mut |e| {
+        let body: &Block = match e {
+            Expr::ForLoop(fl) => &fl.body,
+            Expr::While { body, .. } | Expr::Loop { body, .. } => body,
+            _ => return,
+        };
+        let mut raw: Vec<Hit> = Vec::new();
+        for stmt in &body.stmts {
+            expr::visit_stmt(stmt, &mut |inner| check_alloc(inner, &mut raw));
+        }
+        // Cold-exit exemption: anything allocated inside a `return`/
+        // `break` value runs at most once per loop entry.
+        let mut exit_lines: Vec<usize> = Vec::new();
+        for stmt in &body.stmts {
+            expr::visit_stmt(stmt, &mut |e| {
+                let (Expr::Return { value: Some(v), .. } | Expr::Break { value: Some(v), .. }) = e
+                else {
+                    return;
+                };
+                expr::visit_expr(v, &mut |inner| {
+                    let mut cold = Vec::new();
+                    check_alloc(inner, &mut cold);
+                    exit_lines.extend(cold.into_iter().map(|h| h.line));
+                });
+            });
+        }
+        hits.extend(raw.into_iter().filter(|h| !exit_lines.contains(&h.line)));
+    });
+}
+
+fn check_alloc(e: &Expr, hits: &mut Vec<Hit>) {
+    match e {
+        Expr::Call { callee, span, .. } => {
+            let Some(path) = callee.as_path() else {
+                return;
+            };
+            let segs = &path.segments;
+            if segs.len() < 2 {
+                return;
+            }
+            let (ty, ctor) = (&segs[segs.len() - 2], &segs[segs.len() - 1]);
+            if ALLOC_CALLS
+                .iter()
+                .any(|(t, ctors)| t == ty && ctors.contains(&ctor.as_str()))
+            {
+                hits.push(Hit {
+                    line: span.line,
+                    rule: "alloc-in-hot-loop",
+                    message: format!(
+                        "`{ty}::{ctor}` inside a hot loop; hoist the \
+                         allocation out and reuse it (clear/overwrite per \
+                         iteration)"
+                    ),
+                });
+            }
+        }
+        Expr::MethodCall(m) if ALLOC_METHODS.contains(&m.method.text.as_str()) => {
+            hits.push(Hit {
+                line: m.span.line,
+                rule: "alloc-in-hot-loop",
+                message: format!(
+                    "`.{}()` inside a hot loop allocates per iteration; \
+                     hoist or borrow instead",
+                    m.method.text
+                ),
+            });
+        }
+        Expr::Macro(m) => {
+            if let Some(name) = m.path.last() {
+                if ALLOC_MACROS.contains(&name.as_str()) {
+                    hits.push(Hit {
+                        line: m.span.line,
+                        rule: "alloc-in-hot-loop",
+                        message: format!(
+                            "`{name}!` inside a hot loop allocates per \
+                             iteration; hoist the buffer out of the loop"
+                        ),
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::lower_fns;
+
+    fn hits_for(src: &str) -> Vec<(usize, &'static str)> {
+        let file = syn::parse_file(src).expect("parses");
+        let mut hits = Vec::new();
+        for unit in lower_fns(&file.items) {
+            run(&unit, &mut hits);
+        }
+        let mut keys: Vec<_> = hits.iter().map(|h| (h.line, h.rule)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    #[test]
+    fn constructors_in_loop_bodies_are_flagged() {
+        let src = "fn f(n: usize) {\n\
+                   for i in 0..n {\n\
+                   let v = Vec::new();\n\
+                   let s = format!(\"{i}\");\n\
+                   let w = data.to_vec();\n\
+                   }\n}";
+        assert_eq!(
+            hits_for(src),
+            [
+                (3, "alloc-in-hot-loop"),
+                (4, "alloc-in-hot-loop"),
+                (5, "alloc-in-hot-loop")
+            ]
+        );
+    }
+
+    #[test]
+    fn hoisted_allocations_are_clean() {
+        let src = "fn f(n: usize) {\n\
+                   let mut v = Vec::new();\n\
+                   let mut uniq = HashSet::new();\n\
+                   for i in 0..n {\n\
+                   v.push(i);\n\
+                   uniq.clear();\n\
+                   uniq.insert(i);\n\
+                   }\n}";
+        assert!(hits_for(src).is_empty());
+    }
+
+    #[test]
+    fn while_and_loop_bodies_are_covered() {
+        let src = "fn f(mut n: usize) {\n\
+                   while n > 0 {\n\
+                   let s = n.to_string();\n\
+                   n -= 1;\n\
+                   }\n\
+                   loop {\n\
+                   let b = Box::new(n);\n\
+                   break;\n\
+                   }\n}";
+        assert_eq!(
+            hits_for(src),
+            [(3, "alloc-in-hot-loop"), (7, "alloc-in-hot-loop")]
+        );
+    }
+
+    #[test]
+    fn cfg_test_loops_are_exempt() {
+        let src = "#[cfg(test)]\nmod t {\n\
+                   fn g(n: usize) { for i in 0..n { let v = vec![i]; } }\n\
+                   }";
+        assert!(hits_for(src).is_empty());
+    }
+
+    #[test]
+    fn cold_exit_allocations_are_exempt() {
+        let src = "fn f(stamps: &[u64], clock: u64) -> Result<(), String> {\n\
+                   for (i, &s) in stamps.iter().enumerate() {\n\
+                   if s > clock {\n\
+                   return Err(format!(\"stamp {s} at {i} ahead of {clock}\"));\n\
+                   }\n\
+                   }\n\
+                   Ok(())\n}";
+        assert!(hits_for(src).is_empty());
+    }
+
+    #[test]
+    fn collect_inside_loop_is_flagged() {
+        let src = "fn f(rows: &[Vec<u64>]) {\n\
+                   for r in rows {\n\
+                   let idx: Vec<usize> = (0..3).map(|t| t + 1).collect();\n\
+                   }\n}";
+        assert_eq!(hits_for(src), [(3, "alloc-in-hot-loop")]);
+    }
+}

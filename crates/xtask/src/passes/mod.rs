@@ -1,0 +1,19 @@
+//! Expression-level dataflow passes.
+//!
+//! Each pass consumes the per-function [`crate::dataflow::FnUnit`]
+//! lowering and appends [`crate::dataflow::Hit`]s; `rules::lint_file`
+//! owns scoping (file class, hot-path predicate), allow-filtering and
+//! dedup, so passes stay pure analyses:
+//!
+//! * [`nondet`] — `nondet-taint` + `float-order`: unordered-map
+//!   iteration escaping into ordered results or float accumulation.
+//! * [`atomics`] — `atomics-audit`: the scheduler's declared memory-
+//!   ordering protocol, enforced exactly.
+//! * [`hotloop`] — `alloc-in-hot-loop`: per-iteration heap churn in
+//!   simulator hot loops.
+
+#![forbid(unsafe_code)]
+
+pub mod atomics;
+pub mod hotloop;
+pub mod nondet;

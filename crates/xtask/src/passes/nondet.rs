@@ -1,0 +1,433 @@
+//! `nondet-taint` and `float-order`: iteration-order nondeterminism.
+//!
+//! The repo's headline guarantee is that every result artifact —
+//! `SuiteResult` rows, CSV sections, `MANIFEST.json` — is byte-identical
+//! across runs and thread counts. `HashMap`/`FastMap` iteration order is
+//! the classic way to break that silently: the hasher is deterministic,
+//! but the *storage order* of keys is an implementation detail that
+//! changes with insertion history and capacity.
+//!
+//! * **nondet-taint** — an unordered-map traversal feeds an
+//!   order-sensitive value (a `push`/`extend` accumulation, a string
+//!   append, serialized output, or an unsorted `collect`) without
+//!   passing an ordering sink (`sort*`, `BTreeMap`/`BTreeSet` collect).
+//!   Order-insensitive consumption — keyed writes (`insert`, `entry`,
+//!   `x[i] = …`), integer reductions (`sum`/`count`/`min`/`max`), and
+//!   boolean folds — is not flagged.
+//! * **float-order** — a float accumulation whose operand order comes
+//!   from an unordered traversal or from task completion order (channel
+//!   receives). Float addition is not associative; reordering changes
+//!   the low bits and breaks the bit-identical-across-threads claim.
+
+#![forbid(unsafe_code)]
+
+use syn::expr::{self, Block, Expr, Stmt};
+
+use crate::dataflow::{
+    chain_is_unordered, collects_ordered, mentions_completion_order, unordered_iter_source, Env,
+    FnUnit, Hit,
+};
+
+/// Macros whose arguments reach serialized/printed output.
+const OUTPUT_MACROS: [&str; 8] = [
+    "write",
+    "writeln",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "format",
+    "format_args",
+];
+
+/// Methods that append in traversal order (order-sensitive).
+const ORDER_SENSITIVE_APPENDS: [&str; 4] = ["push", "extend", "push_str", "append"];
+
+/// Chain terminators that are insensitive to operand order (on integer
+/// element types; float reductions are `float-order`'s business).
+const ORDER_FREE_TERMINATORS: [&str; 8] = [
+    "count",
+    "min",
+    "max",
+    "any",
+    "all",
+    "len",
+    "contains",
+    "contains_key",
+];
+
+/// Run both passes over one lowered function.
+pub fn run(unit: &FnUnit<'_>, hits: &mut Vec<Hit>) {
+    let env = Env::of(unit);
+    scan_block(&unit.block, &env, hits);
+    scan_chains(unit, &env, hits);
+}
+
+/// Find unordered `for`-loops (and `for_each` closures) and inspect
+/// their bodies for order-sensitive escapes.
+fn scan_block(block: &Block, env: &Env, hits: &mut Vec<Hit>) {
+    expr::visit_block(block, &mut |e| match e {
+        Expr::ForLoop(fl) => {
+            if let Some(map) = unordered_iter_source(&fl.iter, env) {
+                let map = map.to_string();
+                scan_loop_body_block(&fl.body, &map, env, hits);
+            } else if mentions_completion_order(&fl.iter) {
+                scan_completion_body_block(&fl.body, env, hits);
+            }
+        }
+        // `while let Ok(x) = rx.recv()` — completion-ordered.
+        Expr::While { cond, body, .. } if mentions_completion_order(cond) => {
+            scan_completion_body_block(body, env, hits);
+        }
+        Expr::MethodCall(m) if m.method.text == "for_each" && chain_is_unordered(&m.recv, env) => {
+            if let Some(Expr::Closure { body, .. }) = m.args.first() {
+                let map = m.recv.root_ident().unwrap_or("map").to_string();
+                scan_loop_body_expr(body, &map, env, hits);
+            }
+        }
+        _ => {}
+    });
+}
+
+fn scan_loop_body_block(body: &Block, map: &str, env: &Env, hits: &mut Vec<Hit>) {
+    for stmt in &body.stmts {
+        expr::visit_stmt(stmt, &mut |e| check_escape(e, map, env, hits));
+    }
+}
+
+fn scan_loop_body_expr(body: &Expr, map: &str, env: &Env, hits: &mut Vec<Hit>) {
+    expr::visit_expr(body, &mut |e| check_escape(e, map, env, hits));
+}
+
+/// One order-sensitive escape inside an unordered loop body.
+fn check_escape(e: &Expr, map: &str, env: &Env, hits: &mut Vec<Hit>) {
+    match e {
+        Expr::MethodCall(m) if ORDER_SENSITIVE_APPENDS.contains(&m.method.text.as_str()) => {
+            let Some(target) = m.recv.root_ident() else {
+                return;
+            };
+            // Sorted later in this function: the order is laundered.
+            if env.sorted.contains(target) {
+                return;
+            }
+            hits.push(Hit {
+                line: m.span.line,
+                rule: "nondet-taint",
+                message: format!(
+                    "`{target}.{}(…)` inside iteration over unordered map \
+                     `{map}`: element order is nondeterministic; sort \
+                     `{target}` afterwards or iterate a BTreeMap",
+                    m.method.text
+                ),
+            });
+        }
+        Expr::Macro(m) => {
+            if let Some(name) = m.path.last() {
+                if OUTPUT_MACROS.contains(&name.as_str()) {
+                    hits.push(Hit {
+                        line: m.span.line,
+                        rule: "nondet-taint",
+                        message: format!(
+                            "`{name}!` output inside iteration over unordered \
+                             map `{map}`: serialized order is \
+                             nondeterministic; sort the keys first"
+                        ),
+                    });
+                }
+            }
+        }
+        Expr::Assign {
+            op, target, span, ..
+        } if op == "+=" || op == "*=" => {
+            // Integer accumulation commutes; float accumulation does not.
+            if let Some(root) = target.root_ident() {
+                if env.floats.contains(root) {
+                    hits.push(Hit {
+                        line: span.line,
+                        rule: "float-order",
+                        message: format!(
+                            "float accumulation into `{root}` ordered by an \
+                             unordered map traversal (`{map}`): float \
+                             addition is not associative; accumulate over \
+                             sorted keys"
+                        ),
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Escapes inside a completion-ordered loop (channel receives): only
+/// float accumulation breaks bit-identity here — pushes are typically
+/// re-keyed by task id, which is why only `float-order` fires.
+fn scan_completion_body_block(body: &Block, env: &Env, hits: &mut Vec<Hit>) {
+    for stmt in &body.stmts {
+        expr::visit_stmt(stmt, &mut |e| {
+            if let Expr::Assign {
+                op, target, span, ..
+            } = e
+            {
+                if op == "+=" {
+                    if let Some(root) = target.root_ident() {
+                        if env.floats.contains(root) {
+                            hits.push(Hit {
+                                line: span.line,
+                                rule: "float-order",
+                                message: format!(
+                                    "float accumulation into `{root}` ordered \
+                                     by task completion (channel receive): \
+                                     reduce in a fixed lane order instead"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Chain-shaped leaks: unsorted `collect` of an unordered traversal, and
+/// float reductions (`sum::<f64>`, `fold(0.0, …)`) over one.
+fn scan_chains(unit: &FnUnit<'_>, env: &Env, hits: &mut Vec<Hit>) {
+    // `let`-bound collects may be sanitized by the binding's fate.
+    let mut let_bound_collects: Vec<usize> = Vec::new();
+    for_each_let(&unit.block, &mut |l| {
+        if let Some(init) = &l.init {
+            if let Expr::MethodCall(m) = strip(init) {
+                if m.method.text == "collect" {
+                    let sanitized = l
+                        .ident
+                        .as_ref()
+                        .is_some_and(|i| env.sorted.contains(&i.text))
+                        || l.ty.as_ref().is_some_and(|ty| ty_is_ordered(ty));
+                    if sanitized {
+                        let_bound_collects.push(m.span.line);
+                    }
+                }
+            }
+        }
+    });
+
+    expr::visit_block(&unit.block, &mut |e| {
+        let Expr::MethodCall(m) = e else {
+            return;
+        };
+        match m.method.text.as_str() {
+            "collect" => {
+                if !chain_is_unordered(&m.recv, env) {
+                    return;
+                }
+                if collects_ordered(m.turbofish.as_deref()) {
+                    return;
+                }
+                if let_bound_collects.contains(&m.span.line) {
+                    return;
+                }
+                hits.push(Hit {
+                    line: m.span.line,
+                    rule: "nondet-taint",
+                    message: "unordered map traversal collected without an \
+                              ordering sink; collect into a BTreeMap/BTreeSet \
+                              or sort the result"
+                        .to_string(),
+                });
+            }
+            "sum" | "product"
+                if chain_is_unordered(&m.recv, env)
+                    && m.turbofish.as_ref().is_some_and(|tf| tf_mentions_float(tf)) =>
+            {
+                hits.push(Hit {
+                    line: m.span.line,
+                    rule: "float-order",
+                    message: "float reduction over an unordered map \
+                              traversal: operand order is nondeterministic; \
+                              sum over sorted keys"
+                        .to_string(),
+                });
+            }
+            "fold"
+                if chain_is_unordered(&m.recv, env)
+                    && m.args.first().is_some_and(is_float_literal) =>
+            {
+                hits.push(Hit {
+                    line: m.span.line,
+                    rule: "float-order",
+                    message: "float fold over an unordered map traversal: \
+                              operand order is nondeterministic; fold over \
+                              sorted keys"
+                        .to_string(),
+                });
+            }
+            name if ORDER_FREE_TERMINATORS.contains(&name) => {}
+            _ => {}
+        }
+    });
+}
+
+fn for_each_let<F: FnMut(&syn::expr::StmtLet)>(block: &Block, f: &mut F) {
+    for stmt in &block.stmts {
+        if let Stmt::Let(l) = stmt {
+            f(l);
+        }
+    }
+    expr::visit_block(block, &mut |e| {
+        if let Expr::Block { block: b, .. } = e {
+            for stmt in &b.stmts {
+                if let Stmt::Let(l) = stmt {
+                    f(l);
+                }
+            }
+        }
+    });
+}
+
+fn strip(e: &Expr) -> &Expr {
+    match e {
+        Expr::Try { expr, .. } | Expr::Ref { expr, .. } => strip(expr),
+        Expr::Paren { exprs, tuple, .. } if !*tuple && exprs.len() == 1 => strip(&exprs[0]),
+        _ => e,
+    }
+}
+
+fn ty_is_ordered(ty: &[syn::TokenTree]) -> bool {
+    fn mentions(tokens: &[syn::TokenTree]) -> bool {
+        tokens.iter().any(|t| match t {
+            syn::TokenTree::Ident(id) => {
+                matches!(id.text.as_str(), "BTreeMap" | "BTreeSet" | "BinaryHeap")
+            }
+            syn::TokenTree::Group(g) => mentions(&g.stream),
+            _ => false,
+        })
+    }
+    mentions(ty)
+}
+
+fn tf_mentions_float(tf: &[syn::TokenTree]) -> bool {
+    tf.iter().any(|t| match t {
+        syn::TokenTree::Ident(id) => id.text == "f32" || id.text == "f64",
+        syn::TokenTree::Group(g) => tf_mentions_float(&g.stream),
+        _ => false,
+    })
+}
+
+fn is_float_literal(e: &Expr) -> bool {
+    match e {
+        Expr::Lit(l) => {
+            l.kind == syn::LitKind::Number
+                && (l.text.contains('.') || l.text.ends_with("f32") || l.text.ends_with("f64"))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::lower_fns;
+
+    fn hits_for(src: &str) -> Vec<(usize, &'static str)> {
+        let file = syn::parse_file(src).expect("parses");
+        let mut hits = Vec::new();
+        for unit in lower_fns(&file.items) {
+            run(&unit, &mut hits);
+        }
+        let mut keys: Vec<_> = hits.iter().map(|h| (h.line, h.rule)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    #[test]
+    fn push_in_unordered_loop_is_tainted() {
+        let src = "fn f(m: &HashMap<u64, u64>) -> Vec<u64> {\n\
+                   let mut out = Vec::new();\n\
+                   for (k, _) in m.iter() {\n\
+                   out.push(*k);\n\
+                   }\n\
+                   out\n}";
+        assert_eq!(hits_for(src), [(4, "nondet-taint")]);
+    }
+
+    #[test]
+    fn sorted_later_is_sanitized() {
+        let src = "fn f(m: &HashMap<u64, u64>) -> Vec<u64> {\n\
+                   let mut out = Vec::new();\n\
+                   for (k, _) in m.iter() {\n\
+                   out.push(*k);\n\
+                   }\n\
+                   out.sort_unstable();\n\
+                   out\n}";
+        assert!(hits_for(src).is_empty());
+    }
+
+    #[test]
+    fn keyed_writes_and_int_sums_are_clean() {
+        let src = "fn f(m: &HashMap<u64, u64>, labels: &mut [u8]) -> u64 {\n\
+                   let mut total = 0u64;\n\
+                   for (k, v) in m.iter() {\n\
+                   labels[*k as usize] = 1;\n\
+                   total += v;\n\
+                   }\n\
+                   total\n}";
+        assert!(hits_for(src).is_empty());
+    }
+
+    #[test]
+    fn serialized_output_in_loop_is_tainted() {
+        let src = "fn f(m: &HashMap<u64, u64>) {\n\
+                   for (k, v) in m.iter() {\n\
+                   println!(\"{k} {v}\");\n\
+                   }\n}";
+        assert_eq!(hits_for(src), [(3, "nondet-taint")]);
+    }
+
+    #[test]
+    fn unsorted_collect_vs_btree_collect() {
+        let src = "fn f(m: &HashMap<u64, u64>) -> Vec<u64> {\n\
+                   let bad: Vec<u64> = m.keys().copied().collect();\n\
+                   let good: std::collections::BTreeSet<u64> = m.keys().copied().collect::<std::collections::BTreeSet<_>>().into_iter().collect();\n\
+                   bad\n}";
+        // Only line 2's collect leaks; line 3 is laundered by the
+        // BTreeSet link in the middle of the chain.
+        assert_eq!(hits_for(src), [(2, "nondet-taint")]);
+    }
+
+    #[test]
+    fn float_accumulation_under_unordered_loop() {
+        let src = "fn f(m: &HashMap<u64, f64>) -> f64 {\n\
+                   let mut acc = 0.0;\n\
+                   for (_, v) in m.iter() {\n\
+                   acc += v;\n\
+                   }\n\
+                   acc\n}";
+        assert_eq!(hits_for(src), [(4, "float-order")]);
+    }
+
+    #[test]
+    fn float_sum_turbofish_over_map() {
+        let src = "fn f(m: &HashMap<u64, f64>) -> f64 {\n\
+                   m.values().sum::<f64>()\n}";
+        assert_eq!(hits_for(src), [(2, "float-order")]);
+    }
+
+    #[test]
+    fn int_sum_over_map_is_clean() {
+        let src = "fn f(m: &HashMap<u64, u64>) -> u64 {\n\
+                   m.values().sum::<u64>()\n}";
+        assert!(hits_for(src).is_empty());
+    }
+
+    #[test]
+    fn completion_order_float_accumulation() {
+        let src = "fn f(rx: &Receiver<f64>) -> f64 {\n\
+                   let mut acc = 0.0;\n\
+                   while let Ok(x) = rx.recv() {\n\
+                   acc += x;\n\
+                   }\n\
+                   acc\n}";
+        assert_eq!(hits_for(src), [(4, "float-order")]);
+    }
+}

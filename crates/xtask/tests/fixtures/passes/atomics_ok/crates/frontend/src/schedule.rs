@@ -1,0 +1,49 @@
+//! Fixture: a protocol-conformant scheduler shard (atomics-audit clean).
+//!
+//! Every atomic access below follows the declared ordering protocol:
+//! Acquire loads and Release stores on the range deque, an
+//! `AcqRel`/`Acquire` compare-exchange on claims, a Relaxed shared
+//! cursor, and Relaxed stats counters. The seeded-mutation test rewrites
+//! `Ordering::AcqRel` to `Ordering::Relaxed` in a copy of this file and
+//! expects the audit to object.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+pub struct Lane {
+    range: AtomicU64,
+    stat_steals: AtomicU64,
+}
+
+pub struct Pool {
+    lanes: Vec<Lane>,
+    next: AtomicUsize,
+}
+
+impl Pool {
+    pub fn claim(&self) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub fn publish(&self, lane: usize, packed: u64) {
+        let me = &self.lanes[lane].range;
+        me.store(packed, Ordering::Release);
+    }
+
+    pub fn steal(&self, from: usize) -> Option<u64> {
+        let victim = &self.lanes[from].range;
+        let cur = victim.load(Ordering::Acquire);
+        if cur == 0 {
+            return None;
+        }
+        let stats = &self.lanes[from].stat_steals;
+        match victim.compare_exchange_weak(cur, cur - 1, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => {
+                stats.fetch_add(1, Ordering::Relaxed);
+                Some(cur)
+            }
+            Err(_) => None,
+        }
+    }
+}

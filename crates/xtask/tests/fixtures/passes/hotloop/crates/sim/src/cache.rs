@@ -1,0 +1,51 @@
+//! Fixture: alloc-in-hot-loop positives and negatives.
+//!
+//! The path ends in `cache.rs`, so the engine classifies it hot.
+
+#![forbid(unsafe_code)]
+
+/// POSITIVE ×3: a fresh Vec, a `format!`, and a `.to_vec()` per iteration.
+pub fn churn(lines: &[u64]) -> usize {
+    let mut total = 0usize;
+    for &line in lines {
+        let scratch: Vec<u64> = Vec::new();
+        let tag = format!("{line}");
+        let copy = lines.to_vec();
+        total += scratch.len() + tag.len() + copy.len();
+    }
+    total
+}
+
+/// NEGATIVE: buffers hoisted out of the loop and reused.
+pub fn hoisted(lines: &[u64]) -> usize {
+    let mut scratch: Vec<u64> = Vec::new();
+    let mut total = 0usize;
+    for &line in lines {
+        scratch.clear();
+        scratch.push(line);
+        total += scratch.len();
+    }
+    total
+}
+
+/// NEGATIVE: the `format!` sits on a cold `return Err(...)` exit — it
+/// runs at most once per call, never per iteration.
+pub fn validate(stamps: &[u64], clock: u64) -> Result<(), String> {
+    for (i, &s) in stamps.iter().enumerate() {
+        if s > clock {
+            return Err(format!("stamp {s} at slot {i} is ahead of {clock}"));
+        }
+    }
+    Ok(())
+}
+
+/// POSITIVE: `.clone()` inside a `while` loop body.
+pub fn drain(mut pending: usize, template: &[u64]) -> usize {
+    let mut seen = 0usize;
+    while pending > 0 {
+        let snapshot = template.clone();
+        seen += snapshot.len();
+        pending -= 1;
+    }
+    seen
+}

@@ -1,0 +1,74 @@
+//! Fixture: nondet-taint / float-order positives and negatives.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+/// POSITIVE nondet-taint: push in unordered iteration order.
+pub fn leak_key_order(m: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (k, _) in m.iter() {
+        out.push(*k);
+    }
+    out
+}
+
+/// NEGATIVE: the same shape laundered by a later sort.
+pub fn sorted_key_order(m: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (k, _) in m.iter() {
+        out.push(*k);
+    }
+    out.sort_unstable();
+    out
+}
+
+/// NEGATIVE: keyed writes and integer reductions are order-free.
+pub fn keyed_histogram(m: &HashMap<u64, u64>, labels: &mut [u64]) -> u64 {
+    let mut total = 0u64;
+    for (k, v) in m.iter() {
+        let slot = usize::try_from(*k & 0xff).unwrap_or(0);
+        labels[slot] = *v;
+        total += v;
+    }
+    total
+}
+
+/// POSITIVE nondet-taint: serialized output in storage order.
+pub fn dump_unsorted(m: &HashMap<u64, u64>, out: &mut String) {
+    use std::fmt::Write as _;
+    for (k, v) in m.iter() {
+        let _ = writeln!(out, "{k} {v}");
+    }
+}
+
+/// POSITIVE nondet-taint: unsorted collect of unordered keys.
+pub fn collect_unsorted(m: &HashMap<u64, u64>) -> Vec<u64> {
+    m.keys().copied().collect()
+}
+
+/// NEGATIVE: collecting into a BTreeMap restores a key order.
+pub fn collect_sorted(m: &HashMap<u64, u64>) -> std::collections::BTreeMap<u64, u64> {
+    m.iter()
+        .map(|(k, v)| (*k, *v))
+        .collect::<std::collections::BTreeMap<u64, u64>>()
+}
+
+/// POSITIVE float-order: float accumulation in storage order.
+pub fn mean_in_map_order(m: &HashMap<u64, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_, v) in m.iter() {
+        acc += v;
+    }
+    acc / 4.0
+}
+
+/// POSITIVE float-order: float reduction over unordered values.
+pub fn float_sum(m: &HashMap<u64, f64>) -> f64 {
+    m.values().sum::<f64>()
+}
+
+/// NEGATIVE: integer reduction commutes exactly.
+pub fn int_sum(m: &HashMap<u64, u64>) -> u64 {
+    m.values().sum::<u64>()
+}

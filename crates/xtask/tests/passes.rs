@@ -1,0 +1,110 @@
+//! Fixture tests for the dataflow passes (`nondet-taint`, `float-order`,
+//! `alloc-in-hot-loop`, `atomics-audit`).
+//!
+//! Each mini-root under `tests/fixtures/passes/` is a workspace-shaped
+//! tree whose file paths put it in the right pass scope (`crates/*/src`
+//! library, `cache.rs` hot path, `frontend/src/schedule.rs` atomics
+//! scope). Every positive is pinned to an exact `path:line:rule` key and
+//! every negative is asserted absent, so a pass that drifts in either
+//! direction fails loudly.
+//!
+//! The seeded-mutation test is the acceptance check from the issue: a
+//! protocol-conformant scheduler copy with its `Ordering::AcqRel`
+//! compare-exchange downgraded to `Relaxed` must trip the audit. That is
+//! the exact bug class the test suite cannot catch on x86 (TSO supplies
+//! the ordering for free) and the lint exists to catch statically.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/passes")
+        .join(name)
+}
+
+/// Sorted `path:line:rule` keys for a lint run over `root`.
+fn keys(root: &Path) -> Vec<String> {
+    let report = xtask::run_lint(root);
+    assert!(
+        report.files_scanned > 0,
+        "fixture root {} has no sources",
+        root.display()
+    );
+    let mut keys: Vec<String> = report.findings.iter().map(xtask::Finding::key).collect();
+    keys.sort_unstable();
+    keys
+}
+
+#[test]
+fn nondet_and_float_order_fixtures_pin_exact_findings() {
+    assert_eq!(
+        keys(&fixture_root("nondet")),
+        [
+            "crates/results/src/lib.rs:11:nondet-taint",
+            "crates/results/src/lib.rs:41:nondet-taint",
+            "crates/results/src/lib.rs:47:nondet-taint",
+            "crates/results/src/lib.rs:61:float-order",
+            "crates/results/src/lib.rs:68:float-order",
+        ]
+    );
+}
+
+#[test]
+fn hotloop_fixture_pins_exact_findings() {
+    assert_eq!(
+        keys(&fixture_root("hotloop")),
+        [
+            "crates/sim/src/cache.rs:11:alloc-in-hot-loop",
+            "crates/sim/src/cache.rs:12:alloc-in-hot-loop",
+            "crates/sim/src/cache.rs:13:alloc-in-hot-loop",
+            "crates/sim/src/cache.rs:46:alloc-in-hot-loop",
+        ]
+    );
+}
+
+#[test]
+fn conformant_scheduler_fixture_is_clean() {
+    assert_eq!(keys(&fixture_root("atomics_ok")), [""; 0]);
+}
+
+/// The issue's acceptance mutation: downgrade the claim CAS from
+/// `AcqRel` to `Relaxed` in a schedule.rs-shaped file and the audit must
+/// produce an `atomics-audit` finding.
+#[test]
+fn seeded_acqrel_to_relaxed_mutation_is_caught() {
+    let clean =
+        std::fs::read_to_string(fixture_root("atomics_ok").join("crates/frontend/src/schedule.rs"))
+            .expect("conformant fixture present");
+    assert!(
+        clean.contains("compare_exchange_weak(cur, cur - 1, Ordering::AcqRel"),
+        "fixture lost the AcqRel CAS the mutation test seeds from"
+    );
+    let mutated = clean.replace("Ordering::AcqRel", "Ordering::Relaxed");
+
+    let tmp = std::env::temp_dir().join(format!("xtask-seeded-mutation-{}", std::process::id()));
+    let src_dir = tmp.join("crates/frontend/src");
+    std::fs::create_dir_all(&src_dir).expect("temp mini-root");
+    std::fs::write(src_dir.join("schedule.rs"), mutated).expect("write mutant");
+
+    let report = xtask::run_lint(&tmp);
+    let audit: Vec<&xtask::Finding> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "atomics-audit")
+        .collect();
+    std::fs::remove_dir_all(&tmp).ok();
+
+    assert!(
+        !audit.is_empty(),
+        "AcqRel -> Relaxed downgrade escaped the atomics audit"
+    );
+    assert!(
+        audit
+            .iter()
+            .any(|f| f.message.contains("range deque") && f.message.contains("AcqRel")),
+        "finding should name the range-deque CAS protocol: {:?}",
+        audit.iter().map(|f| &f.message).collect::<Vec<_>>()
+    );
+}

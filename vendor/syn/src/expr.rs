@@ -1,0 +1,2180 @@
+//! Expression-level grammar on top of the token trees.
+//!
+//! [`crate::parse_file`] stops at item granularity: function bodies stay
+//! raw [`Group`]s. This module lowers those groups into a typed
+//! expression AST — blocks, let-bindings, calls, method chains, field
+//! and index access, loops, closures, `match`, operators and casts, all
+//! span-carrying — so the analysis engine can reason about dataflow
+//! instead of scanning token windows.
+//!
+//! The parser is *tolerant by construction*: it never fails and never
+//! panics. Any token sequence it does not recognize degrades to
+//! [`Expr::Other`] carrying the raw tokens (so token-level fallbacks
+//! still see them), and every parsing step is guaranteed to consume at
+//! least one token, so the parser always terminates. Recursion depth is
+//! capped ([`MAX_DEPTH`]); pathologically nested input degrades to
+//! `Other` rather than overflowing the stack.
+
+#![forbid(unsafe_code)]
+
+use crate::token::{Delimiter, Group, Ident, Literal, Span, TokenStream, TokenTree};
+
+/// Recursion budget for nested groups/expressions. Beyond this depth the
+/// parser stops descending and returns [`Expr::Other`]; real code sits
+/// far below it, and the cap keeps arbitrary (fuzzed) input from
+/// overflowing the stack (each level costs ~16 stack frames through the
+/// precedence chain).
+pub const MAX_DEPTH: usize = 48;
+
+/// A `{ … }` block lowered to statements.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// The statements in source order.
+    pub stmts: Vec<Stmt>,
+    /// Span of the opening brace.
+    pub span: Span,
+}
+
+/// One statement of a block.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `let pat[: ty] [= init] [else { … }];`
+    Let(StmtLet),
+    /// An expression, with or without a trailing semicolon.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Whether a `;` followed.
+        semi: bool,
+    },
+    /// A nested item (fn/struct/use/…) kept as raw tokens.
+    Item(TokenStream),
+}
+
+/// A `let` statement.
+#[derive(Debug, Clone)]
+pub struct StmtLet {
+    /// Raw pattern tokens (including any `mut`).
+    pub pat: TokenStream,
+    /// The single bound name when the pattern is a plain binding.
+    pub ident: Option<Ident>,
+    /// Raw type-annotation tokens, if `: ty` was present.
+    pub ty: Option<TokenStream>,
+    /// The initializer, if `= expr` was present.
+    pub init: Option<Box<Expr>>,
+    /// The `else { … }` diverging block of a let-else.
+    pub else_block: Option<Block>,
+    /// Span of the `let` keyword.
+    pub span: Span,
+}
+
+/// A (possibly multi-segment) path such as `Ordering::Relaxed`. Generic
+/// arguments between segments are skipped; only the segment names are
+/// kept.
+#[derive(Debug, Clone)]
+pub struct ExprPath {
+    /// Segment names in order.
+    pub segments: Vec<String>,
+    /// Span of the first segment.
+    pub span: Span,
+}
+
+impl ExprPath {
+    /// Last segment name, if any.
+    pub fn last(&self) -> Option<&str> {
+        self.segments.last().map(String::as_str)
+    }
+
+    /// Render as `a::b::c` for matching/diagnostics.
+    pub fn joined(&self) -> String {
+        self.segments.join("::")
+    }
+}
+
+/// A method call `recv.name::<T>(args)`.
+#[derive(Debug, Clone)]
+pub struct ExprMethod {
+    /// The receiver expression.
+    pub recv: Box<Expr>,
+    /// Method name.
+    pub method: Ident,
+    /// Raw turbofish tokens (contents of `::<…>`), if present.
+    pub turbofish: Option<TokenStream>,
+    /// Arguments.
+    pub args: Vec<Expr>,
+    /// Span of the method name (matches the legacy token rules, which
+    /// report the method identifier's line).
+    pub span: Span,
+}
+
+/// An `if` expression (the condition may be an [`Expr::LetCond`]).
+#[derive(Debug, Clone)]
+pub struct ExprIf {
+    /// Condition.
+    pub cond: Box<Expr>,
+    /// `{ … }` taken when true.
+    pub then_branch: Block,
+    /// `else …` — either a [`Expr::Block`] or a nested [`Expr::If`].
+    pub else_branch: Option<Box<Expr>>,
+    /// Span of the `if` keyword.
+    pub span: Span,
+}
+
+/// A `match` expression.
+#[derive(Debug, Clone)]
+pub struct ExprMatch {
+    /// The scrutinee.
+    pub scrutinee: Box<Expr>,
+    /// The arms in order.
+    pub arms: Vec<Arm>,
+    /// Span of the `match` keyword.
+    pub span: Span,
+}
+
+/// One `pat [if guard] => body` match arm.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// Raw pattern tokens.
+    pub pat: TokenStream,
+    /// Guard expression after `if`, if present.
+    pub guard: Option<Box<Expr>>,
+    /// Arm body.
+    pub body: Expr,
+}
+
+/// A `for pat in iter { … }` loop.
+#[derive(Debug, Clone)]
+pub struct ExprFor {
+    /// Raw pattern tokens.
+    pub pat: TokenStream,
+    /// The iterated expression.
+    pub iter: Box<Expr>,
+    /// Loop body.
+    pub body: Block,
+    /// Span of the `for` keyword.
+    pub span: Span,
+}
+
+/// A macro invocation `path!(…)` / `path![…]` / `path!{…}`.
+#[derive(Debug, Clone)]
+pub struct ExprMacro {
+    /// Macro path segments (e.g. `["println"]`).
+    pub path: Vec<String>,
+    /// Best-effort parse of the arguments as comma-separated
+    /// expressions (empty when the body is not expression-shaped).
+    pub args: Vec<Expr>,
+    /// The raw argument tokens, always present.
+    pub raw: TokenStream,
+    /// The delimiter used at the call site.
+    pub delimiter: Delimiter,
+    /// Span of the macro name.
+    pub span: Span,
+}
+
+/// An expression.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// A path (single identifier or `a::b::c`).
+    Path(ExprPath),
+    /// A literal token.
+    Lit(Literal),
+    /// Prefix `-`/`!`/`*`.
+    Unary {
+        /// Operator spelling.
+        op: String,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Operator span.
+        span: Span,
+    },
+    /// `&expr` / `&mut expr`.
+    Ref {
+        /// Whether `mut` followed the `&`.
+        mutable: bool,
+        /// Referent.
+        expr: Box<Expr>,
+        /// `&` span.
+        span: Span,
+    },
+    /// Infix binary operation.
+    Binary {
+        /// Operator spelling (`+`, `%`, `==`, `&&`, …).
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Operator span (rules report this line).
+        span: Span,
+    },
+    /// `target = value` and compound assignments.
+    Assign {
+        /// Operator spelling (`=`, `+=`, …).
+        op: String,
+        /// Assignment target.
+        target: Box<Expr>,
+        /// Assigned value.
+        value: Box<Expr>,
+        /// Operator span.
+        span: Span,
+    },
+    /// `lo..hi`, `lo..=hi`, `..`, `lo..`, `..hi`.
+    Range {
+        /// Lower bound.
+        lo: Option<Box<Expr>>,
+        /// Whether the range is inclusive (`..=`).
+        inclusive: bool,
+        /// Upper bound.
+        hi: Option<Box<Expr>>,
+        /// `..` span.
+        span: Span,
+    },
+    /// `expr as Ty`.
+    Cast {
+        /// The value being cast.
+        expr: Box<Expr>,
+        /// Raw tokens of the target type.
+        ty: TokenStream,
+        /// Span of the `as` keyword (matches the legacy token rules).
+        span: Span,
+    },
+    /// `callee(args)`.
+    Call {
+        /// The callee (usually a path).
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Span of the argument group.
+        span: Span,
+    },
+    /// `recv.method(args)`.
+    MethodCall(ExprMethod),
+    /// `base.name` / `base.0` / `base.await`.
+    Field {
+        /// The base expression.
+        base: Box<Expr>,
+        /// Member name (or tuple index text).
+        member: String,
+        /// Member span.
+        span: Span,
+    },
+    /// `base[index]`.
+    Index {
+        /// The indexed expression.
+        base: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+        /// Span of the bracket group.
+        span: Span,
+    },
+    /// `expr?`.
+    Try {
+        /// The inner expression.
+        expr: Box<Expr>,
+        /// `?` span.
+        span: Span,
+    },
+    /// `(…)` — parenthesized (one element, `tuple == false`) or a tuple.
+    Paren {
+        /// The enclosed expressions.
+        exprs: Vec<Expr>,
+        /// Whether a top-level comma made this a tuple.
+        tuple: bool,
+        /// Group span.
+        span: Span,
+    },
+    /// `[a, b, c]` or `[elem; n]` (both elements appear in `elems`).
+    Array {
+        /// Element expressions.
+        elems: Vec<Expr>,
+        /// Group span.
+        span: Span,
+    },
+    /// `Path { field: value, .. }`.
+    Struct {
+        /// The struct path.
+        path: ExprPath,
+        /// `(name, value)` field initializers; shorthand fields get a
+        /// [`Expr::Path`] value of the same name.
+        fields: Vec<(String, Expr)>,
+        /// `..base` functional-update expression, if present.
+        rest: Option<Box<Expr>>,
+        /// Span of the brace group.
+        span: Span,
+    },
+    /// A block expression (plain, `unsafe`, `async`, `try`, labelled).
+    Block {
+        /// The block.
+        block: Block,
+        /// Span of the opening brace (or leading keyword).
+        span: Span,
+    },
+    /// `if … { … } else …`.
+    If(ExprIf),
+    /// `match … { … }`.
+    Match(ExprMatch),
+    /// `while cond { … }`.
+    While {
+        /// Condition (may be a [`Expr::LetCond`]).
+        cond: Box<Expr>,
+        /// Body.
+        body: Block,
+        /// `while` span.
+        span: Span,
+    },
+    /// `for pat in iter { … }`.
+    ForLoop(ExprFor),
+    /// `loop { … }`.
+    Loop {
+        /// Body.
+        body: Block,
+        /// `loop` span.
+        span: Span,
+    },
+    /// `|params| body` / `move |params| body`.
+    Closure {
+        /// Raw parameter tokens (between the pipes).
+        params: TokenStream,
+        /// The closure body.
+        body: Box<Expr>,
+        /// Span of the opening pipe.
+        span: Span,
+    },
+    /// `return [expr]`.
+    Return {
+        /// Returned value.
+        value: Option<Box<Expr>>,
+        /// `return` span.
+        span: Span,
+    },
+    /// `break ['label] [expr]`.
+    Break {
+        /// Break value.
+        value: Option<Box<Expr>>,
+        /// `break` span.
+        span: Span,
+    },
+    /// `continue ['label]`.
+    Continue {
+        /// `continue` span.
+        span: Span,
+    },
+    /// `let pat = expr` appearing as an `if`/`while` condition.
+    LetCond {
+        /// Raw pattern tokens.
+        pat: TokenStream,
+        /// The matched value.
+        value: Box<Expr>,
+        /// `let` span.
+        span: Span,
+    },
+    /// A macro invocation.
+    Macro(ExprMacro),
+    /// Tokens the parser did not recognize, kept raw so token-level
+    /// fallbacks can still scan them.
+    Other {
+        /// The raw tokens.
+        tokens: TokenStream,
+        /// Span of the first token.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The expression's source position.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Path(p) => p.span,
+            Expr::Lit(l) => l.span,
+            Expr::Unary { span, .. }
+            | Expr::Ref { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Assign { span, .. }
+            | Expr::Range { span, .. }
+            | Expr::Cast { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Field { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Try { span, .. }
+            | Expr::Paren { span, .. }
+            | Expr::Array { span, .. }
+            | Expr::Struct { span, .. }
+            | Expr::Block { span, .. }
+            | Expr::While { span, .. }
+            | Expr::Loop { span, .. }
+            | Expr::Closure { span, .. }
+            | Expr::Return { span, .. }
+            | Expr::Break { span, .. }
+            | Expr::Continue { span }
+            | Expr::LetCond { span, .. }
+            | Expr::Other { span, .. } => *span,
+            Expr::MethodCall(m) => m.span,
+            Expr::If(e) => e.span,
+            Expr::Match(e) => e.span,
+            Expr::ForLoop(e) => e.span,
+            Expr::Macro(m) => m.span,
+        }
+    }
+
+    /// The path, if this expression is a bare path.
+    pub fn as_path(&self) -> Option<&ExprPath> {
+        match self {
+            Expr::Path(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The root identifier of a path/field/index/method chain:
+    /// `self.tbl[i].x` → `tbl` (skipping `self`), `counts.entry(k)` →
+    /// `counts`. Used by analyses to key state by variable name.
+    pub fn root_ident(&self) -> Option<&str> {
+        match self {
+            Expr::Path(p) => match p.segments.as_slice() {
+                [one] => Some(one.as_str()),
+                [a, b] if a == "self" => Some(b.as_str()),
+                _ => p.last(),
+            },
+            Expr::Field { base, member, .. } => match base.as_ref() {
+                Expr::Path(p) if p.segments.len() == 1 && p.segments[0] == "self" => {
+                    Some(member.as_str())
+                }
+                _ => base.root_ident(),
+            },
+            Expr::Index { base, .. } | Expr::Try { expr: base, .. } => base.root_ident(),
+            Expr::Unary { expr, .. } | Expr::Ref { expr, .. } | Expr::Cast { expr, .. } => {
+                expr.root_ident()
+            }
+            Expr::MethodCall(m) => m.recv.root_ident(),
+            Expr::Paren { exprs, tuple, .. } if !*tuple && exprs.len() == 1 => {
+                exprs[0].root_ident()
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Parse the contents of a brace [`Group`] (e.g. a function body) into a
+/// [`Block`]. Never fails.
+pub fn parse_block(group: &Group) -> Block {
+    let mut p = Parser::new(&group.stream, 0);
+    let stmts = p.parse_stmts();
+    Block {
+        stmts,
+        span: group.span,
+    }
+}
+
+/// Parse a token stream as comma-separated expressions (e.g. a const
+/// initializer or macro arguments). Never fails; unparseable stretches
+/// become [`Expr::Other`].
+pub fn parse_exprs(stream: &[TokenTree]) -> Vec<Expr> {
+    Parser::new(stream, 0).parse_comma_exprs()
+}
+
+/// Call `f` on every expression in the block, pre-order (parents before
+/// children), including nested blocks, closures and match arms.
+pub fn visit_block<F: FnMut(&Expr)>(block: &Block, f: &mut F) {
+    for stmt in &block.stmts {
+        visit_stmt(stmt, f);
+    }
+}
+
+/// Call `f` on every expression in the statement, pre-order.
+pub fn visit_stmt<F: FnMut(&Expr)>(stmt: &Stmt, f: &mut F) {
+    match stmt {
+        Stmt::Let(l) => {
+            if let Some(init) = &l.init {
+                visit_expr(init, f);
+            }
+            if let Some(b) = &l.else_block {
+                visit_block(b, f);
+            }
+        }
+        Stmt::Expr { expr, .. } => visit_expr(expr, f),
+        Stmt::Item(_) => {}
+    }
+}
+
+/// Call `f` on `expr` and every sub-expression, pre-order.
+pub fn visit_expr<F: FnMut(&Expr)>(expr: &Expr, f: &mut F) {
+    f(expr);
+    match expr {
+        Expr::Path(_) | Expr::Lit(_) | Expr::Continue { .. } | Expr::Other { .. } => {}
+        Expr::Unary { expr, .. }
+        | Expr::Ref { expr, .. }
+        | Expr::Cast { expr, .. }
+        | Expr::Try { expr, .. } => visit_expr(expr, f),
+        Expr::Binary { lhs, rhs, .. } => {
+            visit_expr(lhs, f);
+            visit_expr(rhs, f);
+        }
+        Expr::Assign { target, value, .. } => {
+            visit_expr(target, f);
+            visit_expr(value, f);
+        }
+        Expr::Range { lo, hi, .. } => {
+            if let Some(e) = lo {
+                visit_expr(e, f);
+            }
+            if let Some(e) = hi {
+                visit_expr(e, f);
+            }
+        }
+        Expr::Call { callee, args, .. } => {
+            visit_expr(callee, f);
+            for a in args {
+                visit_expr(a, f);
+            }
+        }
+        Expr::MethodCall(m) => {
+            visit_expr(&m.recv, f);
+            for a in &m.args {
+                visit_expr(a, f);
+            }
+        }
+        Expr::Field { base, .. } => visit_expr(base, f),
+        Expr::Index { base, index, .. } => {
+            visit_expr(base, f);
+            visit_expr(index, f);
+        }
+        Expr::Paren { exprs, .. } | Expr::Array { elems: exprs, .. } => {
+            for e in exprs {
+                visit_expr(e, f);
+            }
+        }
+        Expr::Struct { fields, rest, .. } => {
+            for (_, e) in fields {
+                visit_expr(e, f);
+            }
+            if let Some(r) = rest {
+                visit_expr(r, f);
+            }
+        }
+        Expr::Block { block, .. } => visit_block(block, f),
+        Expr::If(e) => {
+            visit_expr(&e.cond, f);
+            visit_block(&e.then_branch, f);
+            if let Some(el) = &e.else_branch {
+                visit_expr(el, f);
+            }
+        }
+        Expr::Match(e) => {
+            visit_expr(&e.scrutinee, f);
+            for arm in &e.arms {
+                if let Some(g) = &arm.guard {
+                    visit_expr(g, f);
+                }
+                visit_expr(&arm.body, f);
+            }
+        }
+        Expr::While { cond, body, .. } => {
+            visit_expr(cond, f);
+            visit_block(body, f);
+        }
+        Expr::ForLoop(e) => {
+            visit_expr(&e.iter, f);
+            visit_block(&e.body, f);
+        }
+        Expr::Loop { body, .. } => visit_block(body, f),
+        Expr::Closure { body, .. } => visit_expr(body, f),
+        Expr::Return { value, .. } | Expr::Break { value, .. } => {
+            if let Some(v) = value {
+                visit_expr(v, f);
+            }
+        }
+        Expr::LetCond { value, .. } => visit_expr(value, f),
+        Expr::Macro(m) => {
+            for a in &m.args {
+                visit_expr(a, f);
+            }
+        }
+    }
+}
+
+const ASSIGN_OPS: [&str; 11] = [
+    "=", "+=", "-=", "*=", "/=", "%=", "^=", "|=", "&=", "<<=", ">>=",
+];
+const ITEM_KEYWORDS: [&str; 12] = [
+    "fn",
+    "struct",
+    "enum",
+    "impl",
+    "mod",
+    "trait",
+    "use",
+    "type",
+    "static",
+    "extern",
+    "macro_rules",
+    "pub",
+];
+
+struct Parser<'a> {
+    toks: &'a [TokenTree],
+    i: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(toks: &'a [TokenTree], depth: usize) -> Self {
+        Parser { toks, i: 0, depth }
+    }
+
+    fn peek(&self) -> Option<&'a TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&'a TokenTree> {
+        self.toks.get(self.i + n)
+    }
+
+    fn bump(&mut self) -> Option<&'a TokenTree> {
+        let t = self.toks.get(self.i);
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn span_here(&self) -> Span {
+        self.peek().map(TokenTree::span).unwrap_or_default()
+    }
+
+    fn sub(&self, stream: &'a [TokenTree]) -> Parser<'a> {
+        Parser::new(stream, self.depth + 1)
+    }
+
+    fn too_deep(&self) -> bool {
+        self.depth >= MAX_DEPTH
+    }
+
+    // ---- statements -------------------------------------------------
+
+    fn parse_stmts(&mut self) -> Vec<Stmt> {
+        let mut stmts = Vec::new();
+        while !self.at_end() {
+            let before = self.i;
+            if let Some(stmt) = self.parse_stmt() {
+                stmts.push(stmt);
+            }
+            if self.i == before {
+                // Safety net: always make progress.
+                self.i += 1;
+            }
+        }
+        stmts
+    }
+
+    fn parse_stmt(&mut self) -> Option<Stmt> {
+        // Leading attributes on statements/expressions.
+        self.skip_attrs();
+        let first = self.peek()?;
+        if first.is_punct(";") {
+            self.bump();
+            return None;
+        }
+        if first.is_ident("let") {
+            return Some(Stmt::Let(self.parse_let()));
+        }
+        if self.at_item_keyword() {
+            let tokens = self.consume_item_like();
+            return Some(Stmt::Item(tokens));
+        }
+        let expr = self.parse_expr(false);
+        let semi = if self.peek().is_some_and(|t| t.is_punct(";")) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        Some(Stmt::Expr { expr, semi })
+    }
+
+    fn skip_attrs(&mut self) {
+        while self.peek().is_some_and(|t| t.is_punct("#")) {
+            if self
+                .peek_at(1)
+                .is_some_and(|t| t.group(Delimiter::Bracket).is_some())
+            {
+                self.bump();
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn at_item_keyword(&self) -> bool {
+        let Some(TokenTree::Ident(id)) = self.peek() else {
+            return false;
+        };
+        if ITEM_KEYWORDS.contains(&id.text.as_str()) {
+            return true;
+        }
+        // `const NAME: …` is an item; `const { … }` is a block expr.
+        id.text == "const"
+            && self
+                .peek_at(1)
+                .is_some_and(|t| matches!(t, TokenTree::Ident(_)))
+    }
+
+    /// Consume a nested item: through the trailing `;`, or through the
+    /// first brace group when no `=` was seen (fn/impl/mod bodies).
+    fn consume_item_like(&mut self) -> TokenStream {
+        let mut out = Vec::new();
+        let mut saw_eq = false;
+        while let Some(t) = self.peek() {
+            if t.is_punct(";") {
+                out.push(self.bump().unwrap().clone());
+                break;
+            }
+            if t.is_punct("=") {
+                saw_eq = true;
+            }
+            let is_brace = t.group(Delimiter::Brace).is_some();
+            out.push(self.bump().unwrap().clone());
+            if is_brace && !saw_eq {
+                break;
+            }
+        }
+        out
+    }
+
+    fn parse_let(&mut self) -> StmtLet {
+        let span = self.span_here();
+        self.bump(); // `let`
+        let mut pat = Vec::new();
+        while let Some(t) = self.peek() {
+            if t.is_punct(":") || t.is_punct("=") || t.is_punct(";") {
+                break;
+            }
+            pat.push(self.bump().unwrap().clone());
+        }
+        let ty = if self.peek().is_some_and(|t| t.is_punct(":")) {
+            self.bump();
+            Some(self.consume_type_until_eq())
+        } else {
+            None
+        };
+        let init = if self.peek().is_some_and(|t| t.is_punct("=")) {
+            self.bump();
+            Some(Box::new(self.parse_expr(false)))
+        } else {
+            None
+        };
+        let else_block = if self.peek().is_some_and(|t| t.is_ident("else")) {
+            self.bump();
+            self.peek()
+                .and_then(|t| t.group(Delimiter::Brace))
+                .map(|g| {
+                    let b = self.parse_group_block(g);
+                    self.bump();
+                    b
+                })
+        } else {
+            None
+        };
+        if self.peek().is_some_and(|t| t.is_punct(";")) {
+            self.bump();
+        }
+        let ident = single_binding(&pat);
+        StmtLet {
+            pat,
+            ident,
+            ty,
+            init,
+            else_block,
+            span,
+        }
+    }
+
+    /// Type tokens after `let name:` — up to a top-level `=` or `;`,
+    /// treating `<…>` generics as nesting (so `Fn(A) -> B` arrows and
+    /// defaulted generics inside angles do not end the type).
+    fn consume_type_until_eq(&mut self) -> TokenStream {
+        let mut out = Vec::new();
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            if angle == 0 && (t.is_punct("=") || t.is_punct(";")) {
+                break;
+            }
+            if let TokenTree::Punct(p) = t {
+                angle += angle_delta(&p.text);
+                if angle < 0 {
+                    angle = 0;
+                }
+            }
+            out.push(self.bump().unwrap().clone());
+        }
+        out
+    }
+
+    // ---- expressions ------------------------------------------------
+
+    fn parse_expr(&mut self, no_struct: bool) -> Expr {
+        if self.too_deep() {
+            return self.consume_rest_as_other();
+        }
+        self.parse_assign(no_struct)
+    }
+
+    fn parse_assign(&mut self, no_struct: bool) -> Expr {
+        let lhs = self.parse_range(no_struct);
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if ASSIGN_OPS.contains(&p.text.as_str()) {
+                let op = p.text.clone();
+                let span = p.span;
+                self.bump();
+                let value = self.parse_assign(no_struct);
+                return Expr::Assign {
+                    op,
+                    target: Box::new(lhs),
+                    value: Box::new(value),
+                    span,
+                };
+            }
+        }
+        lhs
+    }
+
+    fn parse_range(&mut self, no_struct: bool) -> Expr {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.text == ".." || p.text == "..=" {
+                let inclusive = p.text == "..=";
+                let span = p.span;
+                self.bump();
+                let hi = self.range_bound(no_struct);
+                return Expr::Range {
+                    lo: None,
+                    inclusive,
+                    hi,
+                    span,
+                };
+            }
+        }
+        let lo = self.parse_binary(0, no_struct);
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.text == ".." || p.text == "..=" {
+                let inclusive = p.text == "..=";
+                let span = p.span;
+                self.bump();
+                let hi = self.range_bound(no_struct);
+                return Expr::Range {
+                    lo: Some(Box::new(lo)),
+                    inclusive,
+                    hi,
+                    span,
+                };
+            }
+        }
+        lo
+    }
+
+    fn range_bound(&mut self, no_struct: bool) -> Option<Box<Expr>> {
+        match self.peek() {
+            None => None,
+            Some(t) if t.is_punct(",") || t.is_punct(";") => None,
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace && no_struct => None,
+            Some(TokenTree::Punct(p)) if p.text == "=" || p.text == "=>" => None,
+            _ => Some(Box::new(self.parse_binary(0, no_struct))),
+        }
+    }
+
+    /// Binary operator levels, loosest first. `as` casts and unary
+    /// operators bind tighter than all of these.
+    fn parse_binary(&mut self, level: usize, no_struct: bool) -> Expr {
+        const LEVELS: [&[&str]; 9] = [
+            &["||"],
+            &["&&"],
+            &["==", "!=", "<", ">", "<=", ">="],
+            &["|"],
+            &["^"],
+            &["&"],
+            &["<<", ">>"],
+            &["+", "-"],
+            &["*", "/", "%"],
+        ];
+        if level >= LEVELS.len() {
+            return self.parse_cast(no_struct);
+        }
+        let mut lhs = self.parse_binary(level + 1, no_struct);
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if !LEVELS[level].contains(&p.text.as_str()) {
+                break;
+            }
+            let op = p.text.clone();
+            let span = p.span;
+            self.bump();
+            let rhs = self.parse_binary(level + 1, no_struct);
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        lhs
+    }
+
+    fn parse_cast(&mut self, no_struct: bool) -> Expr {
+        let mut e = self.parse_unary(no_struct);
+        while self.peek().is_some_and(|t| t.is_ident("as")) {
+            let span = self.span_here();
+            self.bump();
+            let ty = self.consume_cast_type();
+            e = Expr::Cast {
+                expr: Box::new(e),
+                ty,
+                span,
+            };
+        }
+        e
+    }
+
+    /// The type tokens after `as`: references, raw-pointer prefixes,
+    /// then a path with optional generic arguments. A `<` is consumed as
+    /// generics only when a short lookahead finds a balancing `>` with
+    /// no expression-only tokens inside (so `x as u64 < y` parses as a
+    /// comparison, while `x as Wrapping<u64>` keeps its generics).
+    fn consume_cast_type(&mut self) -> TokenStream {
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.text == "&" || p.text == "&&" => {
+                    out.push(self.bump().unwrap().clone());
+                }
+                Some(TokenTree::Punct(p))
+                    if p.text == "*"
+                        && self
+                            .peek_at(1)
+                            .is_some_and(|t| t.is_ident("const") || t.is_ident("mut")) =>
+                {
+                    out.push(self.bump().unwrap().clone());
+                    out.push(self.bump().unwrap().clone());
+                }
+                Some(TokenTree::Lifetime(_)) => {
+                    out.push(self.bump().unwrap().clone());
+                }
+                Some(TokenTree::Ident(id)) if id.text == "dyn" || id.text == "mut" => {
+                    out.push(self.bump().unwrap().clone());
+                }
+                Some(TokenTree::Ident(_)) => {
+                    out.push(self.bump().unwrap().clone());
+                    loop {
+                        if self.peek().is_some_and(|t| t.is_punct("::")) {
+                            out.push(self.bump().unwrap().clone());
+                            if let Some(TokenTree::Ident(_)) = self.peek() {
+                                out.push(self.bump().unwrap().clone());
+                                continue;
+                            }
+                        } else if self.peek().is_some_and(|t| t.is_punct("<"))
+                            && self.generic_args_balance()
+                        {
+                            self.consume_angles(&mut out);
+                            continue;
+                        }
+                        break;
+                    }
+                    break;
+                }
+                Some(TokenTree::Group(g)) if g.delimiter != Delimiter::Brace && out.is_empty() => {
+                    // tuple / array / fn-pointer type
+                    out.push(self.bump().unwrap().clone());
+                    break;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Lookahead from a `<`: do these tokens balance to a closing `>`
+    /// without crossing tokens that only occur in expressions?
+    fn generic_args_balance(&self) -> bool {
+        let mut depth = 0i32;
+        for t in &self.toks[self.i..] {
+            match t {
+                TokenTree::Punct(p) => {
+                    if matches!(p.text.as_str(), "||" | "==" | "!=" | "<=" | ">=" | "..") {
+                        return false;
+                    }
+                    depth += angle_delta(&p.text);
+                    if depth <= 0 {
+                        return depth == 0;
+                    }
+                }
+                TokenTree::Ident(id) if id.text == "as" => return false,
+                TokenTree::Group(g) if g.delimiter == Delimiter::Brace => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    fn consume_angles(&mut self, out: &mut TokenStream) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                depth += angle_delta(&p.text);
+            }
+            out.push(self.bump().unwrap().clone());
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+
+    fn parse_unary(&mut self, no_struct: bool) -> Expr {
+        if self.too_deep() {
+            return self.consume_rest_as_other();
+        }
+        match self.peek() {
+            Some(TokenTree::Punct(p)) if p.text == "-" || p.text == "!" || p.text == "*" => {
+                let op = p.text.clone();
+                let span = p.span;
+                self.bump();
+                let expr = self.parse_unary(no_struct);
+                Expr::Unary {
+                    op,
+                    expr: Box::new(expr),
+                    span,
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.text == "&" => {
+                let span = p.span;
+                self.bump();
+                let mutable = self.peek().is_some_and(|t| t.is_ident("mut"));
+                if mutable {
+                    self.bump();
+                }
+                let expr = self.parse_unary(no_struct);
+                Expr::Ref {
+                    mutable,
+                    expr: Box::new(expr),
+                    span,
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.text == "&&" => {
+                // `&&x` lexes as one joined punct: two references.
+                let span = p.span;
+                self.bump();
+                let mutable = self.peek().is_some_and(|t| t.is_ident("mut"));
+                if mutable {
+                    self.bump();
+                }
+                let inner = self.parse_unary(no_struct);
+                Expr::Ref {
+                    mutable: false,
+                    expr: Box::new(Expr::Ref {
+                        mutable,
+                        expr: Box::new(inner),
+                        span,
+                    }),
+                    span,
+                }
+            }
+            _ => self.parse_postfix(no_struct),
+        }
+    }
+
+    fn parse_postfix(&mut self, no_struct: bool) -> Expr {
+        let mut e = self.parse_primary(no_struct);
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.text == "." => {
+                    self.bump();
+                    match self.peek() {
+                        Some(TokenTree::Ident(id)) if id.text == "await" => {
+                            let span = id.span;
+                            let member = id.text.clone();
+                            self.bump();
+                            e = Expr::Field {
+                                base: Box::new(e),
+                                member,
+                                span,
+                            };
+                        }
+                        Some(TokenTree::Ident(id)) => {
+                            let method = Ident {
+                                text: id.text.clone(),
+                                span: id.span,
+                            };
+                            self.bump();
+                            let turbofish = if self.peek().is_some_and(|t| t.is_punct("::"))
+                                && self.peek_at(1).is_some_and(|t| t.is_punct("<"))
+                            {
+                                self.bump(); // ::
+                                let mut tf = Vec::new();
+                                self.consume_angles(&mut tf);
+                                Some(tf)
+                            } else {
+                                None
+                            };
+                            if let Some(g) =
+                                self.peek().and_then(|t| t.group(Delimiter::Parenthesis))
+                            {
+                                let args = self.parse_group_exprs(g);
+                                self.bump();
+                                e = Expr::MethodCall(ExprMethod {
+                                    recv: Box::new(e),
+                                    span: method.span,
+                                    method,
+                                    turbofish,
+                                    args,
+                                });
+                            } else {
+                                e = Expr::Field {
+                                    base: Box::new(e),
+                                    member: method.text,
+                                    span: method.span,
+                                };
+                            }
+                        }
+                        Some(TokenTree::Literal(l)) => {
+                            // tuple index (`x.0`; `x.0.1` lexes the pair
+                            // as one float-looking literal — keep it).
+                            let span = l.span;
+                            let member = l.text.clone();
+                            self.bump();
+                            e = Expr::Field {
+                                base: Box::new(e),
+                                member,
+                                span,
+                            };
+                        }
+                        _ => {
+                            // stray dot — absorb one token to progress
+                            let span = self.span_here();
+                            if self.peek().is_some() {
+                                self.bump();
+                            }
+                            e = Expr::Field {
+                                base: Box::new(e),
+                                member: String::new(),
+                                span,
+                            };
+                        }
+                    }
+                }
+                Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis => {
+                    let args = self.parse_group_exprs(g);
+                    let span = g.span;
+                    self.bump();
+                    e = Expr::Call {
+                        callee: Box::new(e),
+                        args,
+                        span,
+                    };
+                }
+                Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Bracket => {
+                    let span = g.span;
+                    let mut sp = self.sub(&g.stream);
+                    let index = if g.stream.is_empty() {
+                        Expr::Other {
+                            tokens: Vec::new(),
+                            span,
+                        }
+                    } else {
+                        sp.parse_expr(false)
+                    };
+                    self.bump();
+                    e = Expr::Index {
+                        base: Box::new(e),
+                        index: Box::new(index),
+                        span,
+                    };
+                }
+                Some(TokenTree::Punct(p)) if p.text == "?" => {
+                    let span = p.span;
+                    self.bump();
+                    e = Expr::Try {
+                        expr: Box::new(e),
+                        span,
+                    };
+                }
+                _ => break,
+            }
+        }
+        e
+    }
+
+    fn parse_primary(&mut self, no_struct: bool) -> Expr {
+        let Some(first) = self.peek() else {
+            return Expr::Other {
+                tokens: Vec::new(),
+                span: Span::default(),
+            };
+        };
+        match first {
+            TokenTree::Literal(l) => {
+                let lit = l.clone();
+                self.bump();
+                Expr::Lit(lit)
+            }
+            TokenTree::Group(g) => {
+                let g = g.clone();
+                self.bump();
+                self.parse_group_primary(&g)
+            }
+            TokenTree::Lifetime(lt) => {
+                // `'label: loop { … }`
+                if self.peek_at(1).is_some_and(|t| t.is_punct(":"))
+                    && self.peek_at(2).is_some_and(|t| {
+                        t.is_ident("loop") || t.is_ident("while") || t.is_ident("for")
+                    })
+                {
+                    self.bump();
+                    self.bump();
+                    self.parse_primary(no_struct)
+                } else {
+                    let span = lt.span;
+                    let tok = self.bump().unwrap().clone();
+                    Expr::Other {
+                        tokens: vec![tok],
+                        span,
+                    }
+                }
+            }
+            TokenTree::Punct(p) => {
+                let span = p.span;
+                match p.text.as_str() {
+                    "|" | "||" => self.parse_closure(span),
+                    "#" => {
+                        self.skip_attrs();
+                        if self.peek().is_some_and(|t| t.is_punct("#")) {
+                            // bare `#` that is not an attribute
+                            let tok = self.bump().unwrap().clone();
+                            Expr::Other {
+                                tokens: vec![tok],
+                                span,
+                            }
+                        } else {
+                            self.parse_primary(no_struct)
+                        }
+                    }
+                    _ => {
+                        let tok = self.bump().unwrap().clone();
+                        Expr::Other {
+                            tokens: vec![tok],
+                            span,
+                        }
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                let span = id.span;
+                match id.text.as_str() {
+                    "if" => self.parse_if(span),
+                    "match" => self.parse_match(span),
+                    "while" => {
+                        self.bump();
+                        let cond = self.parse_cond();
+                        let body = self.parse_required_block();
+                        Expr::While {
+                            cond: Box::new(cond),
+                            body,
+                            span,
+                        }
+                    }
+                    "for" => self.parse_for(span),
+                    "loop" => {
+                        self.bump();
+                        let body = self.parse_required_block();
+                        Expr::Loop { body, span }
+                    }
+                    "unsafe" | "try" => {
+                        if self
+                            .peek_at(1)
+                            .is_some_and(|t| t.group(Delimiter::Brace).is_some())
+                        {
+                            self.bump();
+                            let body = self.parse_required_block();
+                            Expr::Block { block: body, span }
+                        } else {
+                            self.parse_path_like(no_struct)
+                        }
+                    }
+                    "async" => {
+                        self.bump();
+                        if self.peek().is_some_and(|t| t.is_ident("move")) {
+                            self.bump();
+                        }
+                        if self
+                            .peek()
+                            .is_some_and(|t| t.group(Delimiter::Brace).is_some())
+                        {
+                            let body = self.parse_required_block();
+                            Expr::Block { block: body, span }
+                        } else if self
+                            .peek()
+                            .is_some_and(|t| t.is_punct("|") || t.is_punct("||"))
+                        {
+                            self.parse_closure(span)
+                        } else {
+                            Expr::Other {
+                                tokens: Vec::new(),
+                                span,
+                            }
+                        }
+                    }
+                    "const" => {
+                        // `const { … }` inline const block
+                        self.bump();
+                        if self
+                            .peek()
+                            .is_some_and(|t| t.group(Delimiter::Brace).is_some())
+                        {
+                            let body = self.parse_required_block();
+                            Expr::Block { block: body, span }
+                        } else {
+                            Expr::Other {
+                                tokens: Vec::new(),
+                                span,
+                            }
+                        }
+                    }
+                    "move" => {
+                        self.bump();
+                        if self
+                            .peek()
+                            .is_some_and(|t| t.is_punct("|") || t.is_punct("||"))
+                        {
+                            self.parse_closure(span)
+                        } else if self
+                            .peek()
+                            .is_some_and(|t| t.group(Delimiter::Brace).is_some())
+                        {
+                            let body = self.parse_required_block();
+                            Expr::Block { block: body, span }
+                        } else {
+                            Expr::Other {
+                                tokens: Vec::new(),
+                                span,
+                            }
+                        }
+                    }
+                    "return" => {
+                        self.bump();
+                        let value = self.opt_value(no_struct);
+                        Expr::Return { value, span }
+                    }
+                    "break" => {
+                        self.bump();
+                        if matches!(self.peek(), Some(TokenTree::Lifetime(_))) {
+                            self.bump();
+                        }
+                        let value = self.opt_value(no_struct);
+                        Expr::Break { value, span }
+                    }
+                    "continue" => {
+                        self.bump();
+                        if matches!(self.peek(), Some(TokenTree::Lifetime(_))) {
+                            self.bump();
+                        }
+                        Expr::Continue { span }
+                    }
+                    "let" => {
+                        // let-condition inside if/while chains
+                        self.bump();
+                        let mut pat = Vec::new();
+                        while let Some(t) = self.peek() {
+                            if t.is_punct("=") {
+                                break;
+                            }
+                            pat.push(self.bump().unwrap().clone());
+                        }
+                        if self.peek().is_some_and(|t| t.is_punct("=")) {
+                            self.bump();
+                        }
+                        let value = self.parse_binary(1, true);
+                        Expr::LetCond {
+                            pat,
+                            value: Box::new(value),
+                            span,
+                        }
+                    }
+                    _ => self.parse_path_like(no_struct),
+                }
+            }
+        }
+    }
+
+    fn opt_value(&mut self, no_struct: bool) -> Option<Box<Expr>> {
+        match self.peek() {
+            None => None,
+            Some(t) if t.is_punct(";") || t.is_punct(",") => None,
+            Some(TokenTree::Punct(p)) if p.text == "=>" => None,
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace && no_struct => None,
+            _ => Some(Box::new(self.parse_expr(no_struct))),
+        }
+    }
+
+    fn parse_closure(&mut self, span: Span) -> Expr {
+        let mut params = Vec::new();
+        match self.peek() {
+            Some(t) if t.is_punct("||") => {
+                self.bump();
+            }
+            Some(t) if t.is_punct("|") => {
+                self.bump();
+                while let Some(t) = self.peek() {
+                    if t.is_punct("|") {
+                        self.bump();
+                        break;
+                    }
+                    // `|x: &u8|` — a closing pipe may be joined into
+                    // `||` only when params are empty, handled above.
+                    params.push(self.bump().unwrap().clone());
+                }
+            }
+            _ => {}
+        }
+        // optional `-> Ty` return annotation before the body
+        if self.peek().is_some_and(|t| t.is_punct("->")) {
+            self.bump();
+            let mut sink = Vec::new();
+            while let Some(t) = self.peek() {
+                if t.group(Delimiter::Brace).is_some() {
+                    break;
+                }
+                if let TokenTree::Punct(p) = t {
+                    if p.text == "," || p.text == ";" {
+                        break;
+                    }
+                }
+                sink.push(self.bump().unwrap().clone());
+                if sink
+                    .last()
+                    .is_some_and(|t| matches!(t, TokenTree::Ident(_)))
+                    && self
+                        .peek()
+                        .is_some_and(|t| t.group(Delimiter::Brace).is_some())
+                {
+                    break;
+                }
+            }
+        }
+        let body = if self.too_deep() {
+            self.consume_rest_as_other()
+        } else {
+            self.parse_expr(false)
+        };
+        Expr::Closure {
+            params,
+            body: Box::new(body),
+            span,
+        }
+    }
+
+    fn parse_if(&mut self, span: Span) -> Expr {
+        self.bump(); // `if`
+        let cond = self.parse_cond();
+        let then_branch = self.parse_required_block();
+        let else_branch = if self.peek().is_some_and(|t| t.is_ident("else")) {
+            self.bump();
+            if self.peek().is_some_and(|t| t.is_ident("if")) {
+                let sp = self.span_here();
+                Some(Box::new(self.parse_if(sp)))
+            } else if let Some(g) = self.peek().and_then(|t| t.group(Delimiter::Brace)) {
+                let block = self.parse_group_block(g);
+                let gspan = g.span;
+                self.bump();
+                Some(Box::new(Expr::Block { block, span: gspan }))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Expr::If(ExprIf {
+            cond: Box::new(cond),
+            then_branch,
+            else_branch,
+            span,
+        })
+    }
+
+    /// An `if`/`while` condition: struct literals are off, let-chains
+    /// (`let pat = e && …`) are tolerated.
+    fn parse_cond(&mut self) -> Expr {
+        if self.too_deep() {
+            return self.consume_rest_as_other();
+        }
+        self.parse_binary(0, true)
+    }
+
+    fn parse_match(&mut self, span: Span) -> Expr {
+        self.bump(); // `match`
+        let scrutinee = if self.too_deep() {
+            self.consume_rest_as_other()
+        } else {
+            self.parse_expr(true)
+        };
+        let arms = if let Some(g) = self.peek().and_then(|t| t.group(Delimiter::Brace)) {
+            let arms = self.parse_arms(g);
+            self.bump();
+            arms
+        } else {
+            Vec::new()
+        };
+        Expr::Match(ExprMatch {
+            scrutinee: Box::new(scrutinee),
+            arms,
+            span,
+        })
+    }
+
+    fn parse_arms(&mut self, g: &Group) -> Vec<Arm> {
+        let mut p = self.sub(&g.stream);
+        let mut arms = Vec::new();
+        while !p.at_end() {
+            let before = p.i;
+            p.skip_attrs();
+            // pattern tokens up to the `=>` (a top-level `if` splits off
+            // the guard)
+            let mut pat = Vec::new();
+            let mut guard_toks = Vec::new();
+            let mut in_guard = false;
+            while let Some(t) = p.peek() {
+                if t.is_punct("=>") {
+                    break;
+                }
+                if t.is_ident("if") && !in_guard {
+                    in_guard = true;
+                    p.bump();
+                    continue;
+                }
+                let tok = p.bump().unwrap().clone();
+                if in_guard {
+                    guard_toks.push(tok);
+                } else {
+                    pat.push(tok);
+                }
+            }
+            if p.peek().is_some_and(|t| t.is_punct("=>")) {
+                p.bump();
+            }
+            let guard = if guard_toks.is_empty() {
+                None
+            } else {
+                let mut gp = p.sub(&guard_toks);
+                Some(Box::new(gp.parse_expr(true)))
+            };
+            let body = if p.at_end() {
+                Expr::Other {
+                    tokens: Vec::new(),
+                    span: g.span,
+                }
+            } else {
+                p.parse_expr(false)
+            };
+            if p.peek().is_some_and(|t| t.is_punct(",")) {
+                p.bump();
+            }
+            arms.push(Arm { pat, guard, body });
+            if p.i == before {
+                p.i += 1;
+            }
+        }
+        arms
+    }
+
+    fn parse_for(&mut self, span: Span) -> Expr {
+        self.bump(); // `for`
+        let mut pat = Vec::new();
+        while let Some(t) = self.peek() {
+            if t.is_ident("in") {
+                break;
+            }
+            pat.push(self.bump().unwrap().clone());
+        }
+        if self.peek().is_some_and(|t| t.is_ident("in")) {
+            self.bump();
+        }
+        let iter = if self.too_deep() {
+            self.consume_rest_as_other()
+        } else {
+            self.parse_expr(true)
+        };
+        let body = self.parse_required_block();
+        Expr::ForLoop(ExprFor {
+            pat,
+            iter: Box::new(iter),
+            body,
+            span,
+        })
+    }
+
+    fn parse_required_block(&mut self) -> Block {
+        if let Some(g) = self.peek().and_then(|t| t.group(Delimiter::Brace)) {
+            let b = self.parse_group_block(g);
+            self.bump();
+            b
+        } else {
+            Block {
+                stmts: Vec::new(),
+                span: self.span_here(),
+            }
+        }
+    }
+
+    fn parse_group_block(&mut self, g: &Group) -> Block {
+        if self.too_deep() {
+            return Block {
+                stmts: vec![Stmt::Expr {
+                    expr: Expr::Other {
+                        tokens: g.stream.clone(),
+                        span: g.span,
+                    },
+                    semi: false,
+                }],
+                span: g.span,
+            };
+        }
+        let mut p = self.sub(&g.stream);
+        Block {
+            stmts: p.parse_stmts(),
+            span: g.span,
+        }
+    }
+
+    fn parse_group_primary(&mut self, g: &Group) -> Expr {
+        if self.too_deep() {
+            return Expr::Other {
+                tokens: g.stream.clone(),
+                span: g.span,
+            };
+        }
+        match g.delimiter {
+            Delimiter::Parenthesis => {
+                let has_comma = top_level_comma(&g.stream);
+                let exprs = {
+                    let mut p = self.sub(&g.stream);
+                    p.parse_comma_exprs()
+                };
+                Expr::Paren {
+                    exprs,
+                    tuple: has_comma,
+                    span: g.span,
+                }
+            }
+            Delimiter::Bracket => {
+                // `[elem; len]` or `[a, b, c]` — parse both shapes into
+                // elems.
+                let parts = crate::split_top_level(&g.stream, ";");
+                let mut elems = Vec::new();
+                if parts.len() == 2 {
+                    for part in &parts {
+                        if !part.is_empty() {
+                            let mut p = self.sub(part);
+                            elems.push(p.parse_expr(false));
+                        }
+                    }
+                } else {
+                    let mut p = self.sub(&g.stream);
+                    elems = p.parse_comma_exprs();
+                }
+                Expr::Array {
+                    elems,
+                    span: g.span,
+                }
+            }
+            Delimiter::Brace => {
+                let block = self.parse_group_block(g);
+                Expr::Block {
+                    block,
+                    span: g.span,
+                }
+            }
+        }
+    }
+
+    /// Path expression, optional macro bang, optional struct literal.
+    fn parse_path_like(&mut self, no_struct: bool) -> Expr {
+        let span = self.span_here();
+        let mut segments = Vec::new();
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            segments.push(id.text.clone());
+            self.bump();
+        }
+        loop {
+            if self.peek().is_some_and(|t| t.is_punct("::")) {
+                match self.peek_at(1) {
+                    Some(TokenTree::Ident(id2)) => {
+                        segments.push(id2.text.clone());
+                        self.bump();
+                        self.bump();
+                    }
+                    Some(t2) if t2.is_punct("<") => {
+                        // turbofish in path position: `Vec::<u8>::new`
+                        self.bump();
+                        let mut sink = Vec::new();
+                        self.consume_angles(&mut sink);
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        let path = ExprPath { segments, span };
+        // macro invocation
+        if self.peek().is_some_and(|t| t.is_punct("!")) {
+            if let Some(TokenTree::Group(g)) = self.peek_at(1) {
+                let g = g.clone();
+                self.bump();
+                self.bump();
+                let args = if self.too_deep() {
+                    Vec::new()
+                } else {
+                    let mut p = self.sub(&g.stream);
+                    p.parse_comma_exprs()
+                };
+                return Expr::Macro(ExprMacro {
+                    path: path.segments,
+                    args,
+                    raw: g.stream.clone(),
+                    delimiter: g.delimiter,
+                    span,
+                });
+            }
+        }
+        // struct literal
+        if !no_struct && looks_like_struct_path(&path.segments) {
+            if let Some(g) = self.peek().and_then(|t| t.group(Delimiter::Brace)) {
+                let gspan = g.span;
+                let (fields, rest) = self.parse_struct_fields(g);
+                self.bump();
+                return Expr::Struct {
+                    path,
+                    fields,
+                    rest,
+                    span: gspan,
+                };
+            }
+        }
+        Expr::Path(path)
+    }
+
+    fn parse_struct_fields(&mut self, g: &Group) -> (Vec<(String, Expr)>, Option<Box<Expr>>) {
+        let mut fields = Vec::new();
+        let mut rest = None;
+        if self.too_deep() {
+            return (fields, rest);
+        }
+        for chunk in crate::split_top_level(&g.stream, ",") {
+            if chunk.is_empty() {
+                continue;
+            }
+            // `..base`
+            if let TokenTree::Punct(p) = &chunk[0] {
+                if p.text == ".." {
+                    let mut p2 = self.sub(&chunk[1..]);
+                    if !chunk[1..].is_empty() {
+                        rest = Some(Box::new(p2.parse_expr(false)));
+                    }
+                    continue;
+                }
+            }
+            match (chunk.first(), chunk.get(1)) {
+                (Some(TokenTree::Ident(name)), Some(colon)) if colon.is_punct(":") => {
+                    let mut p2 = self.sub(&chunk[2..]);
+                    let value = if chunk.len() > 2 {
+                        p2.parse_expr(false)
+                    } else {
+                        Expr::Other {
+                            tokens: Vec::new(),
+                            span: name.span,
+                        }
+                    };
+                    fields.push((name.text.clone(), value));
+                }
+                (Some(TokenTree::Ident(name)), None) => {
+                    // shorthand `field`
+                    let value = Expr::Path(ExprPath {
+                        segments: vec![name.text.clone()],
+                        span: name.span,
+                    });
+                    fields.push((name.text.clone(), value));
+                }
+                _ => {
+                    let mut p2 = self.sub(&chunk);
+                    let value = p2.parse_expr(false);
+                    fields.push((String::new(), value));
+                }
+            }
+        }
+        (fields, rest)
+    }
+
+    fn parse_group_exprs(&mut self, g: &Group) -> Vec<Expr> {
+        if self.too_deep() {
+            return vec![Expr::Other {
+                tokens: g.stream.clone(),
+                span: g.span,
+            }];
+        }
+        let mut p = self.sub(&g.stream);
+        p.parse_comma_exprs()
+    }
+
+    /// Comma-separated expressions, parsed sequentially (so closures
+    /// containing commas in their parameter list stay intact).
+    fn parse_comma_exprs(&mut self) -> Vec<Expr> {
+        let mut out = Vec::new();
+        while !self.at_end() {
+            let before = self.i;
+            self.skip_attrs();
+            if self.at_end() {
+                break;
+            }
+            out.push(self.parse_expr(false));
+            if self.peek().is_some_and(|t| t.is_punct(",")) {
+                self.bump();
+            }
+            if self.i == before {
+                self.i += 1;
+            }
+        }
+        out
+    }
+
+    fn consume_rest_as_other(&mut self) -> Expr {
+        let span = self.span_here();
+        let tokens = self.toks[self.i..].to_vec();
+        self.i = self.toks.len();
+        Expr::Other { tokens, span }
+    }
+}
+
+/// `<` / `>` nesting delta of a punctuation spelling, counting the
+/// shift operators as two.
+fn angle_delta(text: &str) -> i32 {
+    match text {
+        "<" => 1,
+        ">" => -1,
+        "<<" => 2,
+        ">>" => -2,
+        _ => 0,
+    }
+}
+
+fn top_level_comma(stream: &[TokenTree]) -> bool {
+    stream.iter().any(|t| t.is_punct(","))
+}
+
+/// `[name]` or `[mut, name]` patterns bind exactly one identifier.
+fn single_binding(pat: &[TokenTree]) -> Option<Ident> {
+    match pat {
+        [TokenTree::Ident(i)] if i.text != "_" => Some(Ident {
+            text: i.text.clone(),
+            span: i.span,
+        }),
+        [m, TokenTree::Ident(i)] if m.is_ident("mut") => Some(Ident {
+            text: i.text.clone(),
+            span: i.span,
+        }),
+        _ => None,
+    }
+}
+
+/// Heuristic: `path {` is a struct literal only when the trailing
+/// segment looks like a type name (capitalised) or the path is `Self`.
+/// This keeps `x {}`-style misparses from swallowing blocks after
+/// lower-case locals in tolerant mode.
+fn looks_like_struct_path(segments: &[String]) -> bool {
+    segments
+        .last()
+        .and_then(|s| s.chars().next())
+        .is_some_and(|c| c.is_ascii_uppercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_file, Item};
+
+    fn body_of(src: &str) -> Block {
+        let file = parse_file(src).expect("parses");
+        for item in &file.items {
+            if let Item::Fn(f) = item {
+                let g = f.body.as_ref().expect("has body");
+                return parse_block(g);
+            }
+        }
+        panic!("no fn in fixture");
+    }
+
+    fn count_exprs(block: &Block) -> usize {
+        let mut n = 0usize;
+        visit_block(block, &mut |_| n += 1);
+        n
+    }
+
+    #[test]
+    fn method_chain_and_spans() {
+        let b = body_of("fn f(v: &[u64]) -> u64 {\n    v.iter().copied().max().unwrap_or(0)\n}");
+        let mut methods = Vec::new();
+        visit_block(&b, &mut |e| {
+            if let Expr::MethodCall(m) = e {
+                methods.push((m.method.text.clone(), m.span.line));
+            }
+        });
+        let names: Vec<_> = methods.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["unwrap_or", "max", "copied", "iter"]);
+        assert!(methods.iter().all(|(_, line)| *line == 2));
+    }
+
+    #[test]
+    fn binary_precedence_modulo() {
+        let b = body_of("fn f(x: u64, sets: u64) -> u64 { x % sets + 1 }");
+        let Stmt::Expr { expr, .. } = &b.stmts[0] else {
+            panic!()
+        };
+        let Expr::Binary { op, lhs, .. } = expr else {
+            panic!("expected +, got {expr:?}")
+        };
+        assert_eq!(op, "+");
+        assert!(matches!(lhs.as_ref(), Expr::Binary { op, .. } if op == "%"));
+    }
+
+    #[test]
+    fn cast_binds_tighter_than_modulo() {
+        let b = body_of("fn f(x: u64, s: usize) -> u64 { x % s as u64 }");
+        let Stmt::Expr { expr, .. } = &b.stmts[0] else {
+            panic!()
+        };
+        let Expr::Binary { op, rhs, .. } = expr else {
+            panic!()
+        };
+        assert_eq!(op, "%");
+        assert!(matches!(rhs.as_ref(), Expr::Cast { .. }));
+    }
+
+    #[test]
+    fn cast_then_comparison_is_not_generics() {
+        let b = body_of("fn f(a: u32, b: u64) -> bool { a as u64 < b && b as u32 > a }");
+        let mut casts = 0;
+        let mut cmps = 0;
+        visit_block(&b, &mut |e| match e {
+            Expr::Cast { ty, .. } => {
+                casts += 1;
+                assert_eq!(ty.len(), 1, "cast type over-consumed: {ty:?}");
+            }
+            Expr::Binary { op, .. } if op == "<" || op == ">" => cmps += 1,
+            _ => {}
+        });
+        assert_eq!(casts, 2);
+        assert_eq!(cmps, 2);
+    }
+
+    #[test]
+    fn generics_in_cast_type_are_consumed() {
+        let b = body_of("fn f(x: u8) -> u64 { (x as core::num::Wrapping<u64>).0 as u64 }");
+        let mut saw_generic_cast = false;
+        visit_block(&b, &mut |e| {
+            if let Expr::Cast { ty, .. } = e {
+                if crate::stream_to_string(ty).contains('<') {
+                    saw_generic_cast = true;
+                }
+            }
+        });
+        assert!(saw_generic_cast);
+    }
+
+    #[test]
+    fn index_with_cast_inside() {
+        let b = body_of("fn f(t: &[u16], i: u64) -> u16 { t[(i & 0xfff) as usize] }");
+        let mut found = false;
+        visit_block(&b, &mut |e| {
+            if let Expr::Index { index, .. } = e {
+                let mut has_cast = false;
+                visit_expr(index, &mut |e2| {
+                    if matches!(e2, Expr::Cast { .. }) {
+                        has_cast = true;
+                    }
+                });
+                found = has_cast;
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn for_loop_over_map_iter() {
+        let b = body_of(
+            "fn f(m: &std::collections::HashMap<u64, u64>) -> u64 {\n\
+             let mut acc = 0u64;\n\
+             for (k, v) in m.iter() { acc += k + v; }\n\
+             acc\n}",
+        );
+        let mut fors = 0;
+        visit_block(&b, &mut |e| {
+            if let Expr::ForLoop(f) = e {
+                fors += 1;
+                assert!(matches!(f.iter.as_ref(), Expr::MethodCall(m) if m.method.text == "iter"));
+                assert_eq!(f.body.stmts.len(), 1);
+            }
+        });
+        assert_eq!(fors, 1);
+    }
+
+    #[test]
+    fn closures_with_commas_inside_args() {
+        let b = body_of("fn f(v: Vec<(u64, u64)>) -> u64 { v.iter().map(|(a, b)| a + b).sum() }");
+        let mut closures = 0;
+        visit_block(&b, &mut |e| {
+            if let Expr::Closure { params, .. } = e {
+                closures += 1;
+                // `|(a, b)|` — the tuple pattern (with its comma) is one
+                // group token; the comma never splits the closure.
+                let g = params[0].any_group().expect("tuple pattern group");
+                assert!(g.stream.iter().any(|t| t.is_punct(",")));
+            }
+            if let Expr::MethodCall(m) = e {
+                if m.method.text == "map" {
+                    assert_eq!(m.args.len(), 1, "closure split across args");
+                }
+            }
+        });
+        assert_eq!(closures, 1);
+    }
+
+    #[test]
+    fn match_arms_with_guards() {
+        let b =
+            body_of("fn f(x: u64) -> u64 { match x { 0 => 1, n if n % 2 == 0 => n, _ => x + 1 } }");
+        let mut arms = 0;
+        let mut guards = 0;
+        visit_block(&b, &mut |e| {
+            if let Expr::Match(m) = e {
+                arms = m.arms.len();
+                guards = m.arms.iter().filter(|a| a.guard.is_some()).count();
+            }
+        });
+        assert_eq!(arms, 3);
+        assert_eq!(guards, 1);
+    }
+
+    #[test]
+    fn struct_literal_and_no_struct_cond() {
+        let b = body_of(
+            "fn f(w: usize) -> S { if w > shadow { return S { ways: w, tag: 0 }; } S { ways: 1, tag: 0 } }",
+        );
+        let mut lits = 0;
+        visit_block(&b, &mut |e| {
+            if let Expr::Struct { fields, .. } = e {
+                lits += 1;
+                assert_eq!(fields.len(), 2);
+                assert_eq!(fields[0].0, "ways");
+            }
+        });
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn turbofish_collect() {
+        let b = body_of(
+            "fn f(v: &[u64]) -> std::collections::BTreeSet<u64> { v.iter().copied().collect::<std::collections::BTreeSet<_>>() }",
+        );
+        let mut tf = None;
+        visit_block(&b, &mut |e| {
+            if let Expr::MethodCall(m) = e {
+                if m.method.text == "collect" {
+                    tf = m.turbofish.clone();
+                }
+            }
+        });
+        let tf = tf.expect("turbofish captured");
+        assert!(crate::stream_to_string(&tf).contains("BTreeSet"));
+    }
+
+    #[test]
+    fn let_else_and_ranges() {
+        let b = body_of(
+            "fn f(v: &[u64]) -> u64 { let Some(first) = v.first() else { return 0; }; v[1..v.len() - 1].len() as u64 + first }",
+        );
+        let Stmt::Let(l) = &b.stmts[0] else { panic!() };
+        assert!(l.else_block.is_some());
+        assert!(l.ident.is_none());
+        let mut ranges = 0;
+        visit_block(&b, &mut |e| {
+            if matches!(e, Expr::Range { .. }) {
+                ranges += 1;
+            }
+        });
+        assert_eq!(ranges, 1);
+    }
+
+    #[test]
+    fn atomics_shapes_parse() {
+        let b = body_of(
+            "fn f(r: &AtomicU64) -> bool {\n\
+             let v = r.load(Ordering::Acquire);\n\
+             r.compare_exchange_weak(v, v + 1, Ordering::AcqRel, Ordering::Acquire).is_ok()\n}",
+        );
+        let mut calls = Vec::new();
+        visit_block(&b, &mut |e| {
+            if let Expr::MethodCall(m) = e {
+                if m.method.text == "load" || m.method.text == "compare_exchange_weak" {
+                    let orderings: Vec<String> = m
+                        .args
+                        .iter()
+                        .filter_map(|a| a.as_path().map(ExprPath::joined))
+                        .filter(|p| p.starts_with("Ordering::"))
+                        .collect();
+                    calls.push((m.method.text.clone(), orderings));
+                }
+            }
+        });
+        assert_eq!(calls.len(), 2);
+        assert_eq!(calls[0].0, "load");
+        assert_eq!(calls[0].1, ["Ordering::Acquire"]);
+        assert_eq!(calls[1].0, "compare_exchange_weak");
+        assert_eq!(calls[1].1, ["Ordering::AcqRel", "Ordering::Acquire"]);
+    }
+
+    #[test]
+    fn tolerant_fallback_keeps_tokens() {
+        // A stray `@` and qualified-path syntax should degrade to Other
+        // without losing the rest of the statement list.
+        let b = body_of("fn f() { let x = <u8 as Default>::default(); @; let y = 1; }");
+        assert!(b.stmts.len() >= 2);
+        assert!(count_exprs(&b) > 0);
+    }
+
+    #[test]
+    fn root_ident_through_chains() {
+        let b = body_of("fn f(&self) -> u64 { self.ranges[3].load(Ordering::Acquire) }");
+        let mut root = None;
+        visit_block(&b, &mut |e| {
+            if let Expr::MethodCall(m) = e {
+                root = m.recv.root_ident().map(str::to_string);
+            }
+        });
+        assert_eq!(root.as_deref(), Some("ranges"));
+    }
+
+    #[test]
+    fn deep_nesting_does_not_overflow() {
+        let mut src = String::from("fn f() { let x = ");
+        for _ in 0..400 {
+            src.push('(');
+        }
+        src.push('1');
+        for _ in 0..400 {
+            src.push(')');
+        }
+        src.push_str("; }");
+        let file = parse_file(&src).expect("lexes");
+        for item in &file.items {
+            if let Item::Fn(f) = item {
+                let _ = parse_block(f.body.as_ref().unwrap());
+            }
+        }
+    }
+}

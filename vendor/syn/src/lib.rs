@@ -16,15 +16,22 @@
 //!   bodies, consts with initializer expressions, nested modules — with
 //!   attributes (including `#[cfg(test)]` and doc text) attached.
 //!
+//! * an expression-level grammar ([`expr::parse_block`]) lowering
+//!   function bodies into a typed [`expr::Expr`] AST — blocks, lets,
+//!   calls, method chains, field/index access, loops, closures, match,
+//!   operators and casts, all span-carrying — used by the dataflow
+//!   passes in `crates/xtask`.
+//!
 //! Differences from real `syn` are deliberate simplifications:
-//! expressions stay as token streams (the engine pattern-matches tokens
-//! rather than a full expression AST), compound punctuation is one
-//! token, and unrecognized item forms degrade to [`Item::Other`] instead
-//! of erroring.
+//! compound punctuation is one token, unrecognized item forms degrade
+//! to [`Item::Other`] instead of erroring, and the expression parser is
+//! tolerant — anything it cannot classify becomes [`expr::Expr::Other`]
+//! carrying the raw tokens rather than an error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod expr;
 pub mod lexer;
 mod parse;
 mod token;

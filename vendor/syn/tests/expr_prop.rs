@@ -1,0 +1,259 @@
+//! Property tests for the tolerant expression parser.
+//!
+//! Two guarantees back the analysis engine's use of [`syn::expr`]:
+//!
+//! 1. **Never panics.** Arbitrary token soup — balanced or not, Rust or
+//!    not — must flow through `lex` → `parse_block`/`parse_exprs`
+//!    without panicking. Lex errors are fine (that's an `Err`, not a
+//!    panic); parse "errors" do not exist by construction, everything
+//!    degrades to `Expr::Other`.
+//! 2. **Spans round-trip.** Every token span and every expression span
+//!    produced from real-ish source maps back to a byte offset in the
+//!    original text whose content starts with that token's spelling.
+
+use proptest::prelude::*;
+use syn::expr::{self, Expr};
+use syn::{lexer, Delimiter, Group, Span, TokenTree};
+
+/// Fragment pool for random "source". Mixes valid Rust shapes with
+/// stray operators, keywords in odd positions, and unbalanced-looking
+/// text (unbalanced delimiters fail in the lexer, which is fine).
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "let",
+    "if",
+    "else",
+    "match",
+    "for",
+    "while",
+    "loop",
+    "in",
+    "as",
+    "move",
+    "return",
+    "break",
+    "continue",
+    "unsafe",
+    "async",
+    "const",
+    "mut",
+    "impl",
+    "struct",
+    "x",
+    "foo",
+    "Bar",
+    "self",
+    "Self",
+    "Ordering",
+    "Acquire",
+    "ways",
+    "sets",
+    "0",
+    "1",
+    "42u64",
+    "0xfff",
+    "2.5",
+    "\"str % lit\"",
+    "'c'",
+    "'static",
+    "'a",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "==",
+    "!=",
+    "<",
+    ">",
+    "<=",
+    ">=",
+    "<<",
+    ">>",
+    "&",
+    "&&",
+    "|",
+    "||",
+    "^",
+    "!",
+    "?",
+    ".",
+    "..",
+    "..=",
+    "::",
+    "->",
+    "=>",
+    "#",
+    "@",
+    ",",
+    ";",
+    ":",
+    "()",
+    "(1, 2)",
+    "[0; 4]",
+    "[a, b]",
+    "{ x }",
+    "{}",
+    "(v.len())",
+    "|a, b| a",
+    "x.load(Ordering::Acquire)",
+    "m.iter()",
+    "t[(i & 3) as usize]",
+    "vec![1, 2]",
+    "S { a: 1 }",
+    "#[inline]",
+    "r#type",
+    "y.0.1",
+];
+
+fn assemble(indices: &[usize]) -> String {
+    let mut out = String::new();
+    for &i in indices {
+        out.push_str(FRAGMENTS[i % FRAGMENTS.len()]);
+        // Vary separators a little so multi-line spans get exercised.
+        if i % 7 == 0 {
+            out.push('\n');
+        } else {
+            out.push(' ');
+        }
+    }
+    out
+}
+
+/// Byte offset of a 1-based (line, column) position in `src`, counting
+/// columns in characters as the lexer does.
+fn offset_of(src: &str, span: Span) -> Option<usize> {
+    let mut line = 1usize;
+    let mut col = 1usize;
+    for (off, ch) in src.char_indices() {
+        if line == span.line && col == span.column {
+            return Some(off);
+        }
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    if line == span.line && col == span.column {
+        return Some(src.len());
+    }
+    None
+}
+
+/// The source spelling a token's span must point at.
+fn expected_prefix(tok: &TokenTree) -> String {
+    match tok {
+        TokenTree::Ident(i) => i.text.clone(),
+        TokenTree::Punct(p) => p.text.clone(),
+        TokenTree::Literal(l) => l.text.clone(),
+        TokenTree::Lifetime(l) => format!("'{}", l.text),
+        TokenTree::Group(g) => match g.delimiter {
+            Delimiter::Parenthesis => "(".to_string(),
+            Delimiter::Bracket => "[".to_string(),
+            Delimiter::Brace => "{".to_string(),
+        },
+    }
+}
+
+fn check_token_spans(src: &str, stream: &[TokenTree]) -> Result<(), TestCaseError> {
+    for tok in stream {
+        let want = expected_prefix(tok);
+        // Raw identifiers/doc-desugared attrs have synthesized text; skip
+        // tokens whose spelling can differ from the source.
+        let off = offset_of(src, tok.span());
+        prop_assert!(
+            off.is_some(),
+            "span {:?} not a valid source position",
+            tok.span()
+        );
+        let at = &src[off.unwrap()..];
+        let matches_raw = at.starts_with(&want)
+            || at.starts_with(&format!("r#{want}"))
+            || want.starts_with("r#") && at.starts_with(want.trim_start_matches("r#"))
+            // doc comments desugar to `#[doc = "…"]` attr tokens
+            || at.starts_with("//") || at.starts_with("/*");
+        prop_assert!(
+            matches_raw,
+            "span {:?} points at {:?}, expected {:?}",
+            tok.span(),
+            &at[..at.len().min(12)],
+            want
+        );
+        if let TokenTree::Group(g) = tok {
+            check_token_spans(src, &g.stream)?;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics(indices in prop::collection::vec(any::<u64>(), 0..48)) {
+        let idx: Vec<usize> = indices.iter().map(|&i| i as usize).collect();
+        let src = assemble(&idx);
+        if let Ok(toks) = lexer::lex(&src) {
+            // As a free expression list…
+            let _ = expr::parse_exprs(&toks);
+            // …and as a block body.
+            let group = Group {
+                delimiter: Delimiter::Brace,
+                stream: toks,
+                span: Span::new(1, 1),
+            };
+            let block = expr::parse_block(&group);
+            // The visitor must terminate too.
+            let mut n = 0usize;
+            expr::visit_block(&block, &mut |_| n += 1);
+        }
+    }
+
+    #[test]
+    fn token_spans_round_trip(indices in prop::collection::vec(any::<u64>(), 0..48)) {
+        let idx: Vec<usize> = indices.iter().map(|&i| i as usize).collect();
+        let src = assemble(&idx);
+        if let Ok(toks) = lexer::lex(&src) {
+            check_token_spans(&src, &toks)?;
+        }
+    }
+}
+
+/// Expression spans from a corpus of real shapes point at the operator
+/// or name they claim to represent.
+#[test]
+fn expr_spans_round_trip_on_real_shapes() {
+    let src = "fn f(v: &[u64], m: &HashMap<u64, u64>) -> u64 {\n\
+               let mut acc = 0u64;\n\
+               for (k, val) in m.iter() {\n\
+                   acc += val % (v.len() as u64);\n\
+                   let x = v[(k & 0xfff) as usize];\n\
+                   acc = acc.wrapping_add(x).max(1);\n\
+               }\n\
+               acc\n\
+               }\n";
+    let file = syn::parse_file(src).expect("parses");
+    let syn::Item::Fn(f) = &file.items[0] else {
+        panic!("expected fn");
+    };
+    let block = expr::parse_block(f.body.as_ref().expect("body"));
+    let mut checked = 0usize;
+    expr::visit_block(&block, &mut |e| {
+        let (span, want) = match e {
+            Expr::MethodCall(m) => (m.span, m.method.text.clone()),
+            Expr::Binary { op, span, .. } => (*span, op.clone()),
+            Expr::Cast { span, .. } => (*span, "as".to_string()),
+            Expr::ForLoop(fl) => (fl.span, "for".to_string()),
+            _ => return,
+        };
+        let off = offset_of(src, span).expect("valid span");
+        assert!(
+            src[off..].starts_with(&want),
+            "span {span:?} points at {:?}, expected {want:?}",
+            &src[off..off + want.len().min(src.len() - off)]
+        );
+        checked += 1;
+    });
+    assert!(checked >= 8, "only {checked} spans checked");
+}
