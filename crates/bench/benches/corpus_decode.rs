@@ -1,0 +1,108 @@
+//! Corpus decode throughput: the zero-copy `SoA` cursor (decode-only and
+//! decode + fetch reconstruction) against both `FETR` row-format
+//! decoders — the shipping block-buffered `TraceReader` and the
+//! pre-corpus per-record loop it replaced. The decode-only /
+//! per-record ratio is the PR's ≥ 5× acceptance figure, mirrored in
+//! the `corpus` section of `BENCH_suite.json`.
+
+#![forbid(unsafe_code)]
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fe_trace::corpus::{Corpus, CorpusBuilder};
+use fe_trace::fetch::FetchStream;
+use fe_trace::io::{write_binary, TraceReader, RECORD_BYTES};
+use fe_trace::synth::{WorkloadCategory, WorkloadSpec};
+use fe_trace::{BranchKind, BranchRecord};
+use std::hint::black_box;
+
+/// The pre-corpus `FETR` decode loop (one buffered `read` loop per
+/// 18-byte record, with per-record validation), reconstructed from the
+/// PR 6 `TraceReader::read_record`.
+fn fetr_per_record_decode(blob: &[u8]) -> u64 {
+    use std::io::{BufReader, Read};
+    let mut inner = BufReader::new(blob);
+    let mut header = [0u8; 8];
+    inner.read_exact(&mut header).expect("FETR header");
+    let mut n = 0u64;
+    loop {
+        let mut buf = [0u8; RECORD_BYTES];
+        let mut got = 0usize;
+        while got < RECORD_BYTES {
+            let r = inner.read(&mut buf[got..]).expect("in-memory read");
+            if r == 0 {
+                assert_eq!(got, 0, "truncated record");
+                return n;
+            }
+            got += r;
+        }
+        let pc = u64::from_le_bytes(buf[0..8].try_into().expect("slice is 8 bytes"));
+        let target = u64::from_le_bytes(buf[8..16].try_into().expect("slice is 8 bytes"));
+        let kind = BranchKind::from_u8(buf[16]).expect("valid kind byte");
+        let taken = match buf[17] {
+            0 => false,
+            1 => true,
+            other => panic!("invalid taken flag {other}"),
+        };
+        black_box(BranchRecord::new(pc, kind, taken, target));
+        n += 1;
+    }
+}
+
+fn corpus_decode(c: &mut Criterion) {
+    let trace = WorkloadSpec::new(WorkloadCategory::LongServer, 13)
+        .instructions(500_000)
+        .generate();
+    let mut builder = CorpusBuilder::new();
+    builder.push_synthetic(&trace).expect("encode corpus");
+    let corpus = Corpus::from_bytes(builder.finish()).expect("verified corpus");
+    let soa = corpus.get(0).expect("one trace");
+    let mut fetr = Vec::new();
+    write_binary(&mut fetr, &trace.records).expect("encode FETR");
+    let records = soa.records();
+
+    let mut group = c.benchmark_group("corpus_decode");
+    group.throughput(Throughput::Elements(records));
+
+    group.bench_function("decode_only", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            soa.cursor().for_each(|rec| {
+                black_box(&rec);
+                n += 1;
+            });
+            black_box(n)
+        });
+    });
+
+    group.bench_function("decode_fetch", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for chunk in FetchStream::from_corpus(&soa, 64) {
+                black_box(&chunk);
+                n += 1;
+            }
+            black_box(n)
+        });
+    });
+
+    group.bench_function("fetr_block", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            let reader = TraceReader::new(fetr.as_slice()).expect("FETR header");
+            for rec in reader {
+                black_box(&rec.expect("valid FETR stream"));
+                n += 1;
+            }
+            black_box(n)
+        });
+    });
+
+    group.bench_function("fetr_per_record", |b| {
+        b.iter(|| black_box(fetr_per_record_decode(&fetr)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, corpus_decode);
+criterion_main!(benches);

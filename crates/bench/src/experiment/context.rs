@@ -100,6 +100,11 @@ impl RunContext {
         self.out.clone().unwrap_or_else(|| PathBuf::from("results"))
     }
 
+    /// The on-disk trace-corpus cache directory (`<out>/corpus`).
+    pub fn corpus_dir(&self) -> PathBuf {
+        self.out().join("corpus")
+    }
+
     /// The baseline simulator configuration (paper defaults).
     pub fn sim(&self) -> SimConfig {
         SimConfig::paper_default()
@@ -179,6 +184,7 @@ mod tests {
         assert_eq!(ctx.seed(), 1234);
         assert!(ctx.threads() >= 1);
         assert_eq!(ctx.out(), PathBuf::from("results"));
+        assert_eq!(ctx.corpus_dir(), PathBuf::from("results").join("corpus"));
         assert!(ctx.instr.is_none());
     }
 

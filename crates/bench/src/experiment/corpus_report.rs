@@ -1,0 +1,269 @@
+//! The `report corpus` subcommand: build, inspect, and verify the
+//! on-disk `SoA` trace-corpus cache (`<out>/corpus`).
+//!
+//! * `build` — materialize the flag-described suite (default 96
+//!   workloads) into the cache, one single-trace `.soa` file per
+//!   workload, printing per-trace record counts and footprints.
+//! * `info` — structurally parse every cached file (header + index,
+//!   no checksum pass) and print its contents.
+//! * `verify` — run the per-column checksum and domain scans over every
+//!   cached file; any corruption is reported per trace and the process
+//!   exits non-zero.
+
+#![forbid(unsafe_code)]
+
+use fe_trace::corpus::{Corpus, CorpusCache};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use super::context::ParsedArgs;
+
+/// One-line usage for the `corpus` subcommand.
+pub const CORPUS_USAGE: &str = "report corpus <build|info|verify> [flags]";
+
+/// Dispatch a `report corpus <action>` invocation.
+///
+/// # Errors
+///
+/// Returns a usage message for a missing or unknown action, and an I/O
+/// message when the cache directory cannot be read or written.
+pub fn run(action: Option<&str>, parsed: &ParsedArgs) -> Result<ExitCode, String> {
+    run_counted(action, parsed).map(|bad| {
+        if bad == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    })
+}
+
+/// [`run`] returning the number of corrupt or unreadable items instead
+/// of an [`ExitCode`] (which has no `PartialEq`), so tests can assert
+/// on it.
+fn run_counted(action: Option<&str>, parsed: &ParsedArgs) -> Result<usize, String> {
+    let cache = CorpusCache::new(parsed.ctx.corpus_dir());
+    match action {
+        Some("build") => build(&cache, parsed),
+        Some("info") => info(&cache),
+        Some("verify") => verify(&cache),
+        Some(other) => Err(format!("unknown corpus action `{other}` ({CORPUS_USAGE})")),
+        None => Err(format!("missing corpus action ({CORPUS_USAGE})")),
+    }
+}
+
+/// Materialize the suite the flags describe into the cache.
+fn build(cache: &CorpusCache, parsed: &ParsedArgs) -> Result<usize, String> {
+    let specs = parsed.ctx.specs();
+    let (suite, stats) = cache
+        .ensure_suite(&specs)
+        .map_err(|e| format!("corpus build: {e}"))?;
+    for (spec, trace) in specs.iter().zip(&suite) {
+        println!(
+            "{:<26} {:>9} records {:>10} column bytes  {}",
+            trace.name(),
+            trace.records(),
+            trace.column_bytes(),
+            CorpusCache::file_name(spec)
+        );
+    }
+    println!(
+        "corpus: {} workload(s) in {} ({} encoded, {} reused, {} column bytes)",
+        specs.len(),
+        cache.dir().display(),
+        stats.generated,
+        stats.reused,
+        suite.total_bytes()
+    );
+    Ok(0)
+}
+
+/// Structurally describe every cached corpus file.
+fn info(cache: &CorpusCache) -> Result<usize, String> {
+    let Some(files) = listed_files(cache)? else {
+        return Ok(0);
+    };
+    let mut bad = 0usize;
+    let mut records = 0u64;
+    let mut bytes = 0usize;
+    for path in &files {
+        match Corpus::open(path) {
+            Ok(corpus) => {
+                bytes += corpus.file_bytes();
+                for trace in corpus.traces() {
+                    records += trace.records();
+                    println!(
+                        "{:<26} {:>9} records {:>12} instructions {:>10} column bytes  {}",
+                        trace.name(),
+                        trace.records(),
+                        trace.instructions(),
+                        trace.column_bytes(),
+                        file_label(path)
+                    );
+                }
+            }
+            Err(e) => {
+                bad += 1;
+                println!("{:<26} UNREADABLE: {e}", file_label(path));
+            }
+        }
+    }
+    println!(
+        "corpus: {} file(s), {} record(s), {} file byte(s) in {}",
+        files.len(),
+        records,
+        bytes,
+        cache.dir().display()
+    );
+    Ok(bad)
+}
+
+/// Checksum-verify every cached corpus file, trace by trace.
+fn verify(cache: &CorpusCache) -> Result<usize, String> {
+    let Some(files) = listed_files(cache)? else {
+        return Ok(0);
+    };
+    let mut bad = 0usize;
+    for path in &files {
+        match Corpus::open(path) {
+            Ok(corpus) => {
+                for (trace, status) in corpus.traces().iter().zip(corpus.verify_each()) {
+                    match status {
+                        Ok(()) => println!(
+                            "{:<26} ok ({} records)  {}",
+                            trace.name(),
+                            trace.records(),
+                            file_label(path)
+                        ),
+                        Err(e) => {
+                            bad += 1;
+                            println!("{:<26} CORRUPT: {e}  {}", trace.name(), file_label(path));
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                bad += 1;
+                println!("{:<26} UNREADABLE: {e}", file_label(path));
+            }
+        }
+    }
+    if bad == 0 {
+        println!("corpus: {} file(s) verified clean", files.len());
+    } else {
+        println!("corpus: {bad} corrupt trace(s)/file(s)");
+    }
+    Ok(bad)
+}
+
+/// The sorted `.soa` files, or `None` (with a note) for an empty cache.
+fn listed_files(cache: &CorpusCache) -> Result<Option<Vec<PathBuf>>, String> {
+    let files = corpus_files(cache.dir())?;
+    if files.is_empty() {
+        println!(
+            "corpus: no .soa files in {} (run `report corpus build`)",
+            cache.dir().display()
+        );
+        return Ok(None);
+    }
+    Ok(Some(files))
+}
+
+/// The `.soa` files under `dir`, sorted for stable output.
+fn corpus_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| {
+        format!(
+            "read {}: {e} (run `report corpus build` first)",
+            dir.display()
+        )
+    })?;
+    let mut files = Vec::new();
+    for entry in entries {
+        let path = entry
+            .map_err(|e| format!("read {}: {e}", dir.display()))?
+            .path();
+        if path.extension().is_some_and(|x| x == "soa") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn file_label(path: &Path) -> String {
+    path.file_name().map_or_else(
+        || path.display().to_string(),
+        |n| n.to_string_lossy().into_owned(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::context::parse_args;
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_out(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        std::env::temp_dir().join(format!(
+            "fe-corpus-report-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn parsed_for(out: &Path) -> ParsedArgs {
+        parse_args([
+            "--traces",
+            "2",
+            "--instr",
+            "4000",
+            "--out",
+            &out.display().to_string(),
+        ])
+        .expect("valid flags")
+    }
+
+    #[test]
+    fn build_then_verify_is_clean_and_info_reads_structure() {
+        let out = temp_out("clean");
+        let parsed = parsed_for(&out);
+        assert_eq!(run_counted(Some("build"), &parsed).expect("build"), 0);
+        let dir = parsed.ctx.corpus_dir();
+        assert_eq!(std::fs::read_dir(&dir).expect("cache dir").count(), 2);
+        assert_eq!(run_counted(Some("verify"), &parsed).expect("verify"), 0);
+        assert_eq!(run_counted(Some("info"), &parsed).expect("info"), 0);
+        // A second build reuses every file (no temp leftovers either).
+        assert_eq!(run_counted(Some("build"), &parsed).expect("rebuild"), 0);
+        assert_eq!(std::fs::read_dir(&dir).expect("cache dir").count(), 2);
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn verify_flags_corruption_with_failure_exit() {
+        let out = temp_out("corrupt");
+        let parsed = parsed_for(&out);
+        assert_eq!(run_counted(Some("build"), &parsed).expect("build"), 0);
+        // Flip one payload byte (the tail of the `taken` column) in the
+        // first cached file.
+        let dir = parsed.ctx.corpus_dir();
+        let path = corpus_files(&dir).expect("files")[0].clone();
+        let mut bytes = std::fs::read(&path).expect("read cache file");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, bytes).expect("rewrite cache file");
+        assert_eq!(
+            run_counted(Some("verify"), &parsed).expect("verify runs"),
+            1
+        );
+        // `info` is structural only and still reads the file.
+        assert_eq!(run_counted(Some("info"), &parsed).expect("info"), 0);
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn unknown_and_missing_actions_are_usage_errors() {
+        let parsed = parsed_for(Path::new("results-never-used"));
+        assert!(run_counted(Some("bogus"), &parsed).is_err());
+        assert!(run_counted(None, &parsed).is_err());
+    }
+}

@@ -868,6 +868,173 @@ const SEVEN: &[PolicyKind] = &[
 const BASE_SUITE_MS: f64 = 88.07;
 const BASE_SWEEP_MS: f64 = 649.18;
 
+/// The pre-corpus (PR 6) reference on the same container and shape:
+/// streamed replay on the work-stealing scheduler, from the committed
+/// `BENCH_suite.json` of that revision.
+const PR6_SUITE_MS: f64 = 79.016;
+const PR6_SWEEP_MS: f64 = 304.168;
+
+/// Million records per second for `n` records decoded in `wall_ms`.
+fn mrec_per_sec(n: u64, wall_ms: f64) -> f64 {
+    if wall_ms > 0.0 {
+        (n as f64 / (wall_ms / 1e3) / 1e6 * 1000.0).round() / 1000.0
+    } else {
+        0.0
+    }
+}
+
+/// The pre-corpus `FETR` decode loop, reconstructed verbatim from the
+/// PR 6 `TraceReader::read_record` — one buffered `read` loop per
+/// 18-byte record, with per-record validation — as the denominator of
+/// the corpus section's columnar-speedup figure (the shipping
+/// [`fe_trace::io::TraceReader`] is block-buffered now).
+pub(crate) fn fetr_per_record_decode(blob: &[u8]) -> u64 {
+    use std::io::{BufReader, Read};
+    let mut inner = BufReader::new(blob);
+    let mut header = [0u8; 8];
+    inner.read_exact(&mut header).expect("FETR header");
+    let mut n = 0u64;
+    loop {
+        let mut buf = [0u8; fe_trace::io::RECORD_BYTES];
+        let mut got = 0usize;
+        while got < fe_trace::io::RECORD_BYTES {
+            let r = inner.read(&mut buf[got..]).expect("in-memory read");
+            if r == 0 {
+                assert_eq!(got, 0, "truncated record");
+                return n;
+            }
+            got += r;
+        }
+        let pc = u64::from_le_bytes(buf[0..8].try_into().expect("slice is 8 bytes"));
+        let target = u64::from_le_bytes(buf[8..16].try_into().expect("slice is 8 bytes"));
+        let kind = fe_trace::BranchKind::from_u8(buf[16]).expect("valid kind byte");
+        let taken = match buf[17] {
+            0 => false,
+            1 => true,
+            other => panic!("invalid taken flag {other}"),
+        };
+        std::hint::black_box(fe_trace::BranchRecord::new(pc, kind, taken, target));
+        n += 1;
+    }
+}
+
+/// Encode `specs` into an in-memory verified corpus, returning the
+/// corpus and the encode wall-time in milliseconds.
+fn build_shared_corpus(specs: &[WorkloadSpec]) -> (fe_trace::corpus::Corpus, f64) {
+    let t0 = Instant::now();
+    let mut builder = fe_trace::corpus::CorpusBuilder::new();
+    for spec in specs {
+        builder
+            .push_synthetic(&spec.generate())
+            .expect("encode suite corpus");
+    }
+    let corpus = fe_trace::corpus::Corpus::from_bytes(builder.finish()).expect("verified corpus");
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    (corpus, build_ms)
+}
+
+/// Measure the decode-throughput ladder over `shared` — zero-copy
+/// cursor drain (decode-only), fetch-chunk reconstruction on top, the
+/// block-buffered FETR reader, and the faithful pre-corpus per-record
+/// FETR loop — print the one-line summary, and return the `corpus`
+/// JSON section.
+fn corpus_decode_section(
+    shared: &fe_trace::corpus::SuiteCorpus,
+    records: u64,
+    block: u64,
+    build_ms: f64,
+    file_bytes: usize,
+    reps: usize,
+    out: &mut ExperimentOutput,
+) -> serde_json::Value {
+    let decode_t = time_min(reps, || {
+        let mut n = 0u64;
+        for trace in shared {
+            // `for_each` takes the cursor's chunk-free fold path.
+            trace.cursor().for_each(|rec| {
+                std::hint::black_box(&rec);
+                n += 1;
+            });
+        }
+        (SchedulerStats::default(), n)
+    });
+    let fetch_t = time_min(reps, || {
+        let mut n = 0u64;
+        for trace in shared {
+            for chunk in FetchStream::from_corpus(trace, block) {
+                std::hint::black_box(&chunk);
+                n += 1;
+            }
+        }
+        (SchedulerStats::default(), n)
+    });
+    let fetr_blobs: Vec<Vec<u8>> = shared
+        .iter()
+        .map(|trace| {
+            let records: Vec<fe_trace::BranchRecord> = trace.cursor().collect();
+            let mut blob = Vec::new();
+            fe_trace::io::write_binary(&mut blob, &records).expect("encode FETR");
+            blob
+        })
+        .collect();
+    let fetr_block_t = time_min(reps, || {
+        let mut n = 0u64;
+        for blob in &fetr_blobs {
+            let reader = fe_trace::io::TraceReader::new(blob.as_slice()).expect("FETR header");
+            for rec in reader {
+                std::hint::black_box(&rec.expect("valid FETR stream"));
+                n += 1;
+            }
+        }
+        (SchedulerStats::default(), n)
+    });
+    let fetr_record_t = time_min(reps, || {
+        let n: u64 = fetr_blobs.iter().map(|b| fetr_per_record_decode(b)).sum();
+        (SchedulerStats::default(), n)
+    });
+    let decode_rate = mrec_per_sec(records, decode_t.wall_ms);
+    let fetch_rate = mrec_per_sec(records, fetch_t.wall_ms);
+    let fetr_block_rate = mrec_per_sec(records, fetr_block_t.wall_ms);
+    let fetr_record_rate = mrec_per_sec(records, fetr_record_t.wall_ms);
+    let decode_speedup = if fetr_record_rate > 0.0 {
+        ((decode_rate / fetr_record_rate) * 100.0).round() / 100.0
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out.stdout,
+        "corpus decode: {decode_rate:.1} Mrec/s decode-only, {fetch_rate:.1} Mrec/s with fetch, \
+         {fetr_block_rate:.1} Mrec/s FETR block, {fetr_record_rate:.1} Mrec/s FETR per-record \
+         ({decode_speedup:.2}x columnar speedup)",
+    );
+    serde_json::json!({
+        "build_ms": (build_ms * 1000.0).round() / 1000.0,
+        "bytes": file_bytes,
+        "records": records,
+        "decode_mrec_per_sec": decode_rate,
+        "decode_fetch_mrec_per_sec": fetch_rate,
+        "fetr_block_mrec_per_sec": fetr_block_rate,
+        "fetr_per_record_mrec_per_sec": fetr_record_rate,
+        "decode_speedup_vs_fetr": decode_speedup,
+    })
+}
+
+/// One baseline comparison block: the recorded suite/sweep wall-times
+/// and the speedups of this run against them.
+fn baseline_json(
+    suite_ms: f64,
+    sweep_ms: f64,
+    suite_t: &Timed,
+    sweep_t: &Timed,
+) -> serde_json::Value {
+    serde_json::json!({
+        "suite_wall_ms": suite_ms,
+        "sweep_wall_ms": sweep_ms,
+        "suite_speedup": (suite_ms / suite_t.wall_ms * 100.0).round() / 100.0,
+        "sweep_speedup": (sweep_ms / sweep_t.wall_ms * 100.0).round() / 100.0,
+    })
+}
+
 /// One timed section: minimum wall-clock over `reps` runs plus the
 /// scheduler counters from the fastest run.
 struct Timed {
@@ -950,8 +1117,24 @@ impl Experiment for SuiteBench {
             threads,
         );
 
+        // Encode the mini-suite into an in-memory SoA corpus once; the
+        // timed sections replay it from the shared buffer, mirroring
+        // what `report run` does via the on-disk cache.
+        let (corpus, build_ms) = build_shared_corpus(&specs);
+        let shared = fe_trace::corpus::SuiteCorpus::from_corpus(&corpus);
+        let corpus_records = shared.total_records();
+        let _ = writeln!(
+            out.stdout,
+            "corpus build ({} traces, {} records, {} bytes): {:>7.2} ms",
+            shared.len(),
+            corpus_records,
+            corpus.file_bytes(),
+            build_ms,
+        );
+
+        let source = fe_experiment::SuiteSource::Corpus(&shared);
         let suite_t = time_min(reps, || {
-            let r = fe_experiment::run_suite(&specs, &cfg, SEVEN, threads);
+            let r = fe_experiment::run_suite_from(&specs, &cfg, SEVEN, threads, source);
             (r.scheduler.clone(), r)
         });
         let _ = writeln!(
@@ -966,7 +1149,8 @@ impl Experiment for SuiteBench {
         );
 
         let sweep_t = time_min(reps, || {
-            let r = sweep::run_sweep(&specs, &cfg, PolicyKind::PAPER_SET, &geoms, threads);
+            let r =
+                sweep::run_sweep_from(&specs, &cfg, PolicyKind::PAPER_SET, &geoms, threads, source);
             (r.scheduler.clone(), r)
         });
         let _ = writeln!(
@@ -980,6 +1164,15 @@ impl Experiment for SuiteBench {
             sweep_t.sched.utilization(),
         );
 
+        let corpus_json = corpus_decode_section(
+            &shared,
+            corpus_records,
+            cfg.icache.block_bytes(),
+            build_ms,
+            corpus.file_bytes(),
+            reps,
+            &mut out,
+        );
         let mut json = serde_json::json!({
             "schema": "bench-suite-v1",
             "git_rev": short_git_rev(),
@@ -989,16 +1182,18 @@ impl Experiment for SuiteBench {
             "reps": reps,
             "suite": section_json(&suite_t),
             "sweep": section_json(&sweep_t),
+            "corpus": corpus_json,
         });
         if specs.len() == 4 && instr == 400_000 && threads == 1 {
-            let baseline = serde_json::json!({
-                "suite_wall_ms": BASE_SUITE_MS,
-                "sweep_wall_ms": BASE_SWEEP_MS,
-                "suite_speedup": (BASE_SUITE_MS / suite_t.wall_ms * 100.0).round() / 100.0,
-                "sweep_speedup": (BASE_SWEEP_MS / sweep_t.wall_ms * 100.0).round() / 100.0,
-            });
             if let serde_json::Value::Object(fields) = &mut json {
-                fields.push(("baseline_pr3".to_owned(), baseline));
+                fields.push((
+                    "baseline_pr3".to_owned(),
+                    baseline_json(BASE_SUITE_MS, BASE_SWEEP_MS, &suite_t, &sweep_t),
+                ));
+                fields.push((
+                    "baseline_pr6".to_owned(),
+                    baseline_json(PR6_SUITE_MS, PR6_SWEEP_MS, &suite_t, &sweep_t),
+                ));
             }
         }
         let mut pretty = serde_json::to_string_pretty(&json).expect("serialize BENCH_suite.json");

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod context;
+pub mod corpus_report;
 pub mod diff;
 pub mod manifest;
 pub mod plan;
@@ -89,6 +90,7 @@ pub const REPORT_USAGE: &str = "usage: report <subcommand> [flags]\n\
   report run <name…> [flags]    run the named experiments\n\
   report run --all [flags]      run every registered experiment\n\
   report list                   list registered experiments\n\
+  report corpus <build|info|verify> [flags]  manage the trace corpus cache\n\
   report diff <old> <new>       compare two MANIFEST.json files\n\
   report validate <manifest>    schema-check a MANIFEST.json\n\
   flags: [--traces N] [--seed S] [--threads T] [--instr N] [--reps R] [--out DIR]";
@@ -113,10 +115,17 @@ pub fn run_experiments(names: &[String], parsed: &ParsedArgs) -> Result<(), Stri
     for e in &exps {
         requests.extend(e.requirements(ctx));
     }
-    let store = SimStore::plan_and_run(&requests, ctx.threads());
+    let cache = fe_trace::corpus::CorpusCache::new(ctx.corpus_dir());
+    let store = SimStore::plan_and_run_cached(&requests, ctx.threads(), &cache);
     eprintln!(
         "report: {} simulation request(s) -> {} unique run(s)",
         store.requests, store.executions
+    );
+    eprintln!(
+        "report: corpus cache {}: {} workload(s) encoded, {} replayed from cache",
+        cache.dir().display(),
+        store.workloads_generated,
+        store.workloads_reused
     );
 
     let out_dir = ctx.out();
@@ -326,6 +335,10 @@ fn report_dispatch(args: Vec<String>) -> Result<ExitCode, String> {
         Some("list") => {
             print!("{}", list_text());
             Ok(ExitCode::SUCCESS)
+        }
+        Some("corpus") => {
+            let action = parsed.positionals.get(1).map(String::as_str);
+            corpus_report::run(action, &parsed)
         }
         Some("diff") => {
             let [old, new] = &parsed.positionals[1..] else {

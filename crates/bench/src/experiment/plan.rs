@@ -17,8 +17,9 @@
 
 #![forbid(unsafe_code)]
 
-use fe_frontend::experiment::{run_suite, SuiteResult};
-use fe_frontend::sweep::{run_sweep, SweepResult};
+use fe_frontend::experiment::{run_suite, run_suite_from, SuiteResult, SuiteSource};
+use fe_frontend::sweep::{run_sweep, run_sweep_from, SweepResult};
+use fe_trace::corpus::{CorpusCache, EnsureStats};
 use std::collections::BTreeMap;
 
 use super::request::{SimRequest, SimShape};
@@ -44,6 +45,11 @@ pub struct SimStore {
     pub executions: usize,
     /// Requests collected, duplicates included (the dedup numerator).
     pub requests: usize,
+    /// Workloads generated + encoded into the corpus cache by this plan
+    /// (cached path only; zero for the streamed path).
+    pub workloads_generated: usize,
+    /// Workloads replayed from existing corpus cache files.
+    pub workloads_reused: usize,
 }
 
 impl SimStore {
@@ -56,6 +62,28 @@ impl SimStore {
     /// `threads` worker threads per simulation.
     pub fn plan_and_run(requests: &[SimRequest], threads: usize) -> SimStore {
         SimStore::plan_and_run_with(requests, |req| execute(req, threads))
+    }
+
+    /// [`SimStore::plan_and_run`] replaying every simulation from the
+    /// on-disk corpus `cache` instead of re-walking the synthetic
+    /// generators: each distinct workload is generated and encoded at
+    /// most once (and not at all when a prior run already cached it),
+    /// then every scheduler worker replays it from one shared buffer.
+    /// Results are bit-identical to the streamed path. A cache that
+    /// cannot be written falls back to streamed replay per simulation,
+    /// with a note on stderr.
+    pub fn plan_and_run_cached(
+        requests: &[SimRequest],
+        threads: usize,
+        cache: &CorpusCache,
+    ) -> SimStore {
+        let mut stats = EnsureStats::default();
+        let mut store = SimStore::plan_and_run_with(requests, |req| {
+            execute_cached(req, threads, cache, &mut stats)
+        });
+        store.workloads_generated = stats.generated;
+        store.workloads_reused = stats.reused;
+        store
     }
 
     /// [`SimStore::plan_and_run`] with an injected runner, so tests can
@@ -169,6 +197,46 @@ fn execute(req: &SimRequest, threads: usize) -> SimOutcome {
             &req.policies,
             geoms,
             threads,
+        )),
+    }
+}
+
+/// Run one request from the corpus cache, falling back to streamed
+/// replay (with a stderr note) if the cache cannot be materialized.
+fn execute_cached(
+    req: &SimRequest,
+    threads: usize,
+    cache: &CorpusCache,
+    stats: &mut EnsureStats,
+) -> SimOutcome {
+    let specs = req.suite.specs();
+    let (corpus, ensured) = match cache.ensure_suite(&specs) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!(
+                "report: corpus cache {} unavailable ({e}); streaming this run",
+                cache.dir().display()
+            );
+            return execute(req, threads);
+        }
+    };
+    stats.absorb(ensured);
+    let source = SuiteSource::Corpus(&corpus);
+    match &req.shape {
+        SimShape::Suite => SimOutcome::Suite(run_suite_from(
+            &specs,
+            &req.config,
+            &req.policies,
+            threads,
+            source,
+        )),
+        SimShape::Sweep(geoms) => SimOutcome::Sweep(run_sweep_from(
+            &specs,
+            &req.config,
+            &req.policies,
+            geoms,
+            threads,
+            source,
         )),
     }
 }
@@ -315,6 +383,45 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cached_plan_generates_each_workload_once_and_matches_streamed() {
+        // The corpus acceptance criterion in miniature: a `report run
+        // --all`-shaped request mix (full suite, capped prefix, sweep)
+        // must generate + encode each distinct workload exactly once —
+        // the counter equals the cache files on disk — and replaying
+        // from the shared buffers must be bit-identical to streaming.
+        let dir = std::env::temp_dir().join(format!("fe-plan-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CorpusCache::new(&dir);
+        let c = ctx(3);
+        let pols = [PolicyKind::Lru, PolicyKind::Ghrp];
+        let full = SimRequest::suite_run(&c, c.sim(), &pols);
+        let capped = SimRequest::suite_run_capped(&c, c.sim(), &pols, 2);
+        let sweep = SimRequest::sweep_run(&c, c.sim(), &pols, vec![(8 * 1024, 4), (32 * 1024, 8)]);
+        let requests = vec![full.clone(), capped.clone(), sweep.clone()];
+
+        let cached = SimStore::plan_and_run_cached(&requests, 2, &cache);
+        let files = std::fs::read_dir(&dir).expect("cache dir exists").count();
+        assert_eq!(cached.workloads_generated, 3, "one encode per workload");
+        assert_eq!(cached.workloads_generated, files, "one file per workload");
+        // The sweep execution replays the same three workloads from disk.
+        assert_eq!(cached.workloads_reused, 3);
+
+        // A second plan over a warm cache generates nothing.
+        let warm = SimStore::plan_and_run_cached(&requests, 2, &cache);
+        assert_eq!(warm.workloads_generated, 0);
+        assert_eq!(warm.workloads_reused, 6);
+
+        // Bit-identical to the streamed planner, including the sliced
+        // prefix request.
+        let streamed = SimStore::plan_and_run(&requests, 2);
+        assert_eq!(cached.suite(&full), streamed.suite(&full));
+        assert_eq!(cached.suite(&capped), streamed.suite(&capped));
+        assert_eq!(cached.sweep(&sweep), streamed.sweep(&sweep));
+        assert_eq!(warm.suite(&full), streamed.suite(&full));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -104,6 +104,22 @@ impl ReplaySource for StreamedTrace {
     }
 }
 
+impl ReplaySource for fe_trace::corpus::CorpusTrace {
+    type Iter<'a> = fe_trace::corpus::CorpusCursor<'a>;
+
+    /// Zero-copy replay: every pass opens a fresh chunked cursor over
+    /// the corpus's shared column buffer — no parsing, no cloning, no
+    /// per-record allocation, and safe to share across scheduler
+    /// workers (each worker's cursor reads the same immutable bytes).
+    fn replay(&self) -> fe_trace::corpus::CorpusCursor<'_> {
+        self.cursor()
+    }
+
+    fn total_instructions(&self) -> u64 {
+        self.instructions()
+    }
+}
+
 /// The policy-independent front end, driven exactly once per trace: the
 /// conditional-direction predictor, the return-address stack and the
 /// indirect target cache. None of these read cache or BTB state, so their

@@ -216,6 +216,52 @@ pub fn run_trace_legacy(
     row_from_results(spec, &results)
 }
 
+/// Where a suite or sweep run draws its branch records from.
+///
+/// Both variants produce bit-identical results; they differ only in
+/// replay cost. `Streamed` re-walks the synthetic program inside every
+/// task, while `Corpus` replays from an immutable shared buffer that
+/// all scheduler workers read concurrently with zero per-worker parsing
+/// or cloning.
+#[derive(Debug, Clone, Copy)]
+pub enum SuiteSource<'a> {
+    /// Stream each workload out of its synthetic walker on demand.
+    Streamed,
+    /// Replay every workload from a shared corpus (one
+    /// [`fe_trace::corpus::CorpusTrace`] per suite spec, in order).
+    Corpus(&'a fe_trace::corpus::SuiteCorpus),
+}
+
+impl SuiteSource<'_> {
+    /// Reject a corpus that does not line up with the suite specs —
+    /// length and per-index workload names must match exactly, so a
+    /// stale cache can never silently replay the wrong workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any mismatch; this is a caller bug, not an I/O error.
+    pub(crate) fn validate(self, specs: &[WorkloadSpec]) {
+        if let SuiteSource::Corpus(corpus) = self {
+            assert_eq!(
+                corpus.len(),
+                specs.len(),
+                "corpus has {} traces but the suite has {} workloads",
+                corpus.len(),
+                specs.len()
+            );
+            for (i, spec) in specs.iter().enumerate() {
+                assert_eq!(
+                    corpus.trace(i).name(),
+                    spec.name,
+                    "corpus trace {i} is `{}` but the suite expects `{}`",
+                    corpus.trace(i).name(),
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
 /// Contiguous near-equal split of `0..n` into `parts` ranges.
 pub(crate) fn split_bounds(n: usize, parts: usize) -> Vec<(usize, usize)> {
     let parts = parts.max(1);
@@ -245,6 +291,27 @@ pub fn run_suite(
     policies: &[PolicyKind],
     threads: usize,
 ) -> SuiteResult {
+    run_suite_from(specs, base, policies, threads, SuiteSource::Streamed)
+}
+
+/// [`run_suite`] with an explicit replay source.
+///
+/// With [`SuiteSource::Corpus`] every task replays its workload from
+/// the shared corpus buffer instead of re-walking the synthetic
+/// program; results are bit-identical either way.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics, or if a corpus source does not
+/// match the suite specs (length or workload names).
+pub fn run_suite_from(
+    specs: &[WorkloadSpec],
+    base: &SimConfig,
+    policies: &[PolicyKind],
+    threads: usize,
+    source: SuiteSource<'_>,
+) -> SuiteResult {
+    source.validate(specs);
     let workers = schedule::resolve_threads(threads);
     let nspecs = specs.len();
     let npols = policies.len();
@@ -263,17 +330,28 @@ pub fn run_suite(
             let c = t / nspecs.max(1);
             let s = t - c * nspecs.max(1);
             let (lo, hi) = chunk_bounds[c];
-            let streamed = specs[s].streamed();
-            run_lanes_multi(
-                base,
-                std::slice::from_ref(&base.icache),
-                &policies[lo..hi],
-                true,
-                &streamed,
-                arena,
-            )
-            .pop()
-            .unwrap_or_default()
+            let mut geometry_results = match source {
+                SuiteSource::Streamed => {
+                    let streamed = specs[s].streamed();
+                    run_lanes_multi(
+                        base,
+                        std::slice::from_ref(&base.icache),
+                        &policies[lo..hi],
+                        true,
+                        &streamed,
+                        arena,
+                    )
+                }
+                SuiteSource::Corpus(corpus) => run_lanes_multi(
+                    base,
+                    std::slice::from_ref(&base.icache),
+                    &policies[lo..hi],
+                    true,
+                    corpus.trace(s),
+                    arena,
+                ),
+            };
+            geometry_results.pop().unwrap_or_default()
         },
     );
 

@@ -47,7 +47,7 @@ pub mod stats;
 pub mod sweep;
 
 pub use engine::{run_lanes, run_lanes_multi, EngineArena, ReplaySource, SliceReplay};
-pub use experiment::{SuiteResult, TraceRow};
+pub use experiment::{SuiteResult, SuiteSource, TraceRow};
 pub use policy::PolicyKind;
 pub use schedule::SchedulerStats;
 pub use simulator::{RunResult, SimConfig, Simulator};

@@ -113,6 +113,35 @@ pub fn run_sweep(
     geometries: &[(u64, u32)],
     threads: usize,
 ) -> SweepResult {
+    run_sweep_from(
+        specs,
+        base,
+        policies,
+        geometries,
+        threads,
+        crate::experiment::SuiteSource::Streamed,
+    )
+}
+
+/// [`run_sweep`] with an explicit replay source.
+///
+/// With [`crate::experiment::SuiteSource::Corpus`] every task replays
+/// its workload from the shared corpus buffer instead of re-walking the
+/// synthetic program; per-point means are bit-identical either way.
+///
+/// # Panics
+///
+/// As [`run_sweep`], plus a corpus source that does not match the suite
+/// specs (length or workload names).
+pub fn run_sweep_from(
+    specs: &[WorkloadSpec],
+    base: &SimConfig,
+    policies: &[PolicyKind],
+    geometries: &[(u64, u32)],
+    threads: usize,
+    source: crate::experiment::SuiteSource<'_>,
+) -> SweepResult {
+    source.validate(specs);
     let workers = schedule::resolve_threads(threads);
     let nspecs = specs.len();
     let ngeoms = geometries.len();
@@ -145,8 +174,20 @@ pub fn run_sweep(
             let g = t / nspecs.max(1);
             let s = t - g * nspecs.max(1);
             let (lo, hi) = group_bounds[g];
-            let streamed = specs[s].streamed();
-            run_lanes_multi(base, &icaches[lo..hi], policies, false, &streamed, arena)
+            match source {
+                crate::experiment::SuiteSource::Streamed => {
+                    let streamed = specs[s].streamed();
+                    run_lanes_multi(base, &icaches[lo..hi], policies, false, &streamed, arena)
+                }
+                crate::experiment::SuiteSource::Corpus(corpus) => run_lanes_multi(
+                    base,
+                    &icaches[lo..hi],
+                    policies,
+                    false,
+                    corpus.trace(s),
+                    arena,
+                ),
+            }
         },
     );
 

@@ -1,0 +1,1224 @@
+//! Zero-copy structure-of-arrays trace corpus.
+//!
+//! The per-record formats ([`crate::io`]'s 18-byte `FETR` records, the
+//! synthetic walker) hand the simulator one [`BranchRecord`] at a time.
+//! That is fine for a single pass, but the engine replays the same trace
+//! under many policies, geometries, and thread counts, and the paper's
+//! CBP-5 methodology assumes multi-gigabyte trace files shared across
+//! many simulations. This module provides the shared representation:
+//!
+//! * an on-disk **columnar** format (`FESA` magic): fixed-width
+//!   little-endian `pc`/`target` u64 columns and `kind`/`taken` u8
+//!   columns, a per-column FNV-1a checksum, a versioned header, and a
+//!   per-trace index so one file can hold a whole workload suite;
+//! * a [`Corpus`] handle that loads a file **once** into a shared
+//!   immutable buffer (`Arc<[u8]>` via one read; with the optional
+//!   `mmap` feature, a `memmap2` mapping) and hands out
+//!   [`CorpusTrace`]s — cheap handles that share the buffer;
+//! * [`CorpusCursor`]: a zero-allocation, branch-light column-slice
+//!   cursor that decodes records in cache-friendly fixed-size chunks
+//!   (column bytes stream linearly; the only per-record work is four
+//!   loads and a table-free kind conversion);
+//! * a [`CorpusCache`]: materialize-to-corpus for
+//!   [`WorkloadSpec`]s, keyed by (category, seed, instructions), so
+//!   every synthetic workload is generated and encoded exactly once per
+//!   cache directory and replayed from the shared buffer thereafter.
+//!
+//! All decode-side validation (checksums, `kind`/`taken` domains) runs
+//! once at load time ([`Corpus::load`] / [`Corpus::verify`]); cursors
+//! then decode without per-record checks and without allocating.
+//!
+//! # File layout (version 1)
+//!
+//! ```text
+//! [0..4)    magic  = b"FESA"
+//! [4..8)    version: u32 LE = 1
+//! [8..16)   trace count: u64 LE
+//! [16..24)  index length in bytes: u64 LE
+//! [24..24+index)  per-trace index entries, in trace order:
+//!     name length: u16 LE, name bytes (UTF-8),
+//!     instructions: u64 LE, records: u64 LE,
+//!     pc/target/kind/taken column offsets: 4 x u64 LE (absolute),
+//!     pc/target/kind/taken column checksums: 4 x u64 LE (FNV-1a)
+//! [..]      column data, in index order: pc (8n), target (8n),
+//!           kind (n), taken (n) bytes per trace
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use fe_trace::corpus::{Corpus, CorpusBuilder};
+//! use fe_trace::{BranchKind, BranchRecord};
+//!
+//! # fn main() -> Result<(), fe_trace::TraceError> {
+//! let records = vec![BranchRecord::new(0x100, BranchKind::Call, true, 0x4000)];
+//! let mut b = CorpusBuilder::new();
+//! b.push_trace("demo", 42, &records)?;
+//! let corpus = Corpus::from_bytes(b.finish())?;
+//! let trace = corpus.get(0).ok_or_else(|| {
+//!     fe_trace::TraceError::CorruptCorpus("missing trace".into())
+//! })?;
+//! assert_eq!(trace.cursor().collect::<Vec<_>>(), records);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+use crate::record::{BranchKind, BranchRecord};
+use crate::synth::{SyntheticTrace, WorkloadSpec};
+use crate::TraceError;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Magic bytes that begin every corpus file (`FESA`, fetch + `SoA`).
+pub const MAGIC: [u8; 4] = *b"FESA";
+/// Current corpus format version.
+pub const VERSION: u32 = 1;
+
+/// Fixed header size: magic + version + trace count + index length.
+const HEADER_BYTES: usize = 24;
+/// Fixed per-entry index payload after the name: instructions, records,
+/// 4 column offsets, 4 column checksums.
+const ENTRY_FIXED_BYTES: usize = 80;
+/// Records decoded per cursor refill. 256 records touch 4.5 KB of
+/// column bytes — comfortably inside L1 — and amortize the refill
+/// branch to under 0.4% of `next()` calls.
+const CHUNK: usize = 256;
+
+/// The column names, in file order (error reporting).
+const COLUMNS: [&str; 4] = ["pc", "target", "kind", "taken"];
+
+/// FNV-1a over a byte slice (64-bit). Dependency-free and deterministic
+/// across platforms; collisions are irrelevant here — the checksum
+/// guards against torn writes and bit rot, not adversaries.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Decode 8 little-endian bytes. Callers guarantee `b.len() >= 8`.
+#[inline]
+fn read_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(a)
+}
+
+/// The shared immutable bytes behind a corpus: one buffer, many readers.
+#[derive(Clone)]
+enum SharedBuf {
+    /// Whole file read once into an `Arc<[u8]>`.
+    Owned(Arc<[u8]>),
+    /// Memory-mapped file (the `mmap` feature).
+    #[cfg(feature = "mmap")]
+    Mapped(Arc<memmap2::Mmap>),
+}
+
+impl SharedBuf {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            SharedBuf::Owned(b) => b,
+            #[cfg(feature = "mmap")]
+            SharedBuf::Mapped(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedBuf({} bytes)", self.bytes().len())
+    }
+}
+
+/// Parsed index entry for one trace: where its columns live in the
+/// shared buffer, plus the recorded checksums.
+#[derive(Debug, Clone)]
+struct TraceMeta {
+    name: String,
+    instructions: u64,
+    /// Record count, pre-converted to `usize` (validated at parse).
+    n: usize,
+    /// Absolute byte offsets of the pc/target/kind/taken columns.
+    offsets: [usize; 4],
+    /// Recorded FNV-1a checksums, same order.
+    sums: [u64; 4],
+}
+
+impl TraceMeta {
+    /// Byte length of column `c` (0/1 are u64 columns, 2/3 are u8).
+    fn col_len(&self, c: usize) -> usize {
+        if c < 2 {
+            self.n * 8
+        } else {
+            self.n
+        }
+    }
+}
+
+/// Incremental corpus encoder: push traces, then [`finish`] into the
+/// on-disk byte layout.
+///
+/// [`finish`]: CorpusBuilder::finish
+#[derive(Debug, Default)]
+pub struct CorpusBuilder {
+    traces: Vec<Pending>,
+}
+
+#[derive(Debug)]
+struct Pending {
+    name: String,
+    /// `name.len()`, validated to fit the index's u16 field at push.
+    name_len: u16,
+    instructions: u64,
+    pc: Vec<u8>,
+    target: Vec<u8>,
+    kind: Vec<u8>,
+    taken: Vec<u8>,
+    records: u64,
+}
+
+impl CorpusBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> CorpusBuilder {
+        CorpusBuilder::default()
+    }
+
+    /// Number of traces pushed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether no traces were pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Append one trace: its name, exact instruction total, and records
+    /// in program order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::CorruptCorpus`] when `name` exceeds the
+    /// index's u16 length field.
+    pub fn push_trace(
+        &mut self,
+        name: &str,
+        instructions: u64,
+        records: &[BranchRecord],
+    ) -> Result<(), TraceError> {
+        let Ok(name_len) = u16::try_from(name.len()) else {
+            return Err(TraceError::CorruptCorpus(format!(
+                "trace name too long for the index ({} bytes)",
+                name.len()
+            )));
+        };
+        let mut p = Pending {
+            name: name.into(),
+            name_len,
+            instructions,
+            pc: Vec::with_capacity(records.len() * 8),
+            target: Vec::with_capacity(records.len() * 8),
+            kind: Vec::with_capacity(records.len()),
+            taken: Vec::with_capacity(records.len()),
+            records: records.len() as u64,
+        };
+        for r in records {
+            p.pc.extend_from_slice(&r.pc.to_le_bytes());
+            p.target.extend_from_slice(&r.target.to_le_bytes());
+            p.kind.push(r.kind as u8);
+            p.taken.push(u8::from(r.taken));
+        }
+        self.traces.push(p);
+        Ok(())
+    }
+
+    /// Append a materialized synthetic trace under its workload name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CorpusBuilder::push_trace`] errors.
+    pub fn push_synthetic(&mut self, trace: &SyntheticTrace) -> Result<(), TraceError> {
+        self.push_trace(trace.name(), trace.instructions, &trace.records)
+    }
+
+    /// Assemble the on-disk byte layout (header, index, columns).
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        let index_bytes: usize = self
+            .traces
+            .iter()
+            .map(|t| 2 + t.name.len() + ENTRY_FIXED_BYTES)
+            .sum();
+        let data_bytes: usize = self
+            .traces
+            .iter()
+            .map(|t| t.pc.len() + t.target.len() + t.kind.len() + t.taken.len())
+            .sum();
+        let mut out = Vec::with_capacity(HEADER_BYTES + index_bytes + data_bytes);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.traces.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(index_bytes as u64).to_le_bytes());
+
+        // Index: column offsets are absolute file offsets, assigned in
+        // trace order right after the index region.
+        let mut off = HEADER_BYTES + index_bytes;
+        for t in &self.traces {
+            out.extend_from_slice(&t.name_len.to_le_bytes());
+            out.extend_from_slice(t.name.as_bytes());
+            out.extend_from_slice(&t.instructions.to_le_bytes());
+            out.extend_from_slice(&t.records.to_le_bytes());
+            for col in [&t.pc, &t.target, &t.kind, &t.taken] {
+                out.extend_from_slice(&(off as u64).to_le_bytes());
+                off += col.len();
+            }
+            for col in [&t.pc, &t.target, &t.kind, &t.taken] {
+                out.extend_from_slice(&fnv1a64(col).to_le_bytes());
+            }
+        }
+        for t in &self.traces {
+            out.extend_from_slice(&t.pc);
+            out.extend_from_slice(&t.target);
+            out.extend_from_slice(&t.kind);
+            out.extend_from_slice(&t.taken);
+        }
+        out
+    }
+}
+
+/// A loaded corpus: the shared file buffer plus its parsed index.
+///
+/// Cloning a `Corpus` (or taking traces from it) never copies column
+/// data — every handle shares one immutable buffer.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    data: SharedBuf,
+    metas: Vec<TraceMeta>,
+}
+
+impl Corpus {
+    /// Parse a corpus from bytes and verify every column checksum and
+    /// record domain (the normal constructor — cursors rely on it).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] on a malformed header or index, a
+    /// checksum mismatch, or an out-of-domain `kind`/`taken` byte.
+    pub fn from_bytes(data: impl Into<Arc<[u8]>>) -> Result<Corpus, TraceError> {
+        let c = Corpus::open_bytes(data)?;
+        c.verify()?;
+        Ok(c)
+    }
+
+    /// Parse a corpus from bytes **without** verifying checksums or
+    /// record domains. Structurally validated only; see
+    /// [`Corpus::verify`]. Decoding an unverified corpus is memory-safe
+    /// but may yield garbage records (invalid kinds decode as
+    /// conditional branches).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] on a malformed header or index.
+    pub fn open_bytes(data: impl Into<Arc<[u8]>>) -> Result<Corpus, TraceError> {
+        let data: Arc<[u8]> = data.into();
+        let metas = parse_index(&data)?;
+        Ok(Corpus {
+            data: SharedBuf::Owned(data),
+            metas,
+        })
+    }
+
+    /// Load a corpus file with **one** read into a shared buffer, then
+    /// verify it (checksums + record domains).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] on I/O failure or any corruption.
+    pub fn load(path: &Path) -> Result<Corpus, TraceError> {
+        let bytes = std::fs::read(path)?;
+        Corpus::from_bytes(bytes)
+    }
+
+    /// Load a corpus file without verifying data integrity (structural
+    /// parse only) — `report corpus info` uses this to report checksum
+    /// status per trace instead of failing on the first bad column.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] on I/O failure or a malformed header
+    /// or index.
+    pub fn open(path: &Path) -> Result<Corpus, TraceError> {
+        let bytes = std::fs::read(path)?;
+        Corpus::open_bytes(bytes)
+    }
+
+    /// Memory-map a corpus file instead of reading it (requires the
+    /// `mmap` feature), then verify it. The mapping is shared by every
+    /// trace handle, so page cache is the only copy of the column data.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] on I/O failure or any corruption.
+    #[cfg(feature = "mmap")]
+    pub fn load_mmap(path: &Path) -> Result<Corpus, TraceError> {
+        let file = std::fs::File::open(path)?;
+        let map = memmap2::Mmap::map(&file)?;
+        let metas = parse_index(&map)?;
+        let c = Corpus {
+            data: SharedBuf::Mapped(Arc::new(map)),
+            metas,
+        };
+        c.verify()?;
+        Ok(c)
+    }
+
+    /// Number of traces in the corpus.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Whether the corpus holds no traces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// Total size of the underlying buffer in bytes.
+    #[must_use]
+    pub fn file_bytes(&self) -> usize {
+        self.data.bytes().len()
+    }
+
+    /// The `i`-th trace as a shared-buffer handle, or `None` past the
+    /// end.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<CorpusTrace> {
+        self.metas.get(i).map(|meta| CorpusTrace {
+            data: self.data.clone(),
+            meta: meta.clone(),
+        })
+    }
+
+    /// All traces as shared-buffer handles, in index order.
+    #[must_use]
+    pub fn traces(&self) -> Vec<CorpusTrace> {
+        (0..self.len()).filter_map(|i| self.get(i)).collect()
+    }
+
+    /// Re-verify every column checksum and every record's `kind`/
+    /// `taken` domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::ChecksumMismatch`] for the first bad
+    /// column, or [`TraceError::CorruptRecord`] for the first
+    /// out-of-domain byte.
+    pub fn verify(&self) -> Result<(), TraceError> {
+        let data = self.data.bytes();
+        for meta in &self.metas {
+            verify_trace(data, meta)?;
+        }
+        Ok(())
+    }
+
+    /// Per-trace verification outcomes, one per trace, without stopping
+    /// at the first failure (for `report corpus info`).
+    #[must_use]
+    pub fn verify_each(&self) -> Vec<Result<(), TraceError>> {
+        let data = self.data.bytes();
+        self.metas.iter().map(|m| verify_trace(data, m)).collect()
+    }
+}
+
+/// Checksum + domain validation for one trace's columns.
+fn verify_trace(data: &[u8], meta: &TraceMeta) -> Result<(), TraceError> {
+    for c in 0..4 {
+        let col = &data[meta.offsets[c]..meta.offsets[c] + meta.col_len(c)];
+        if fnv1a64(col) != meta.sums[c] {
+            return Err(TraceError::ChecksumMismatch {
+                trace: meta.name.clone(),
+                column: COLUMNS[c],
+            });
+        }
+    }
+    let kind = &data[meta.offsets[2]..meta.offsets[2] + meta.n];
+    if let Some(i) = kind.iter().position(|&k| BranchKind::from_u8(k).is_none()) {
+        return Err(TraceError::CorruptRecord {
+            index: i as u64,
+            reason: format!("invalid branch kind {} in trace `{}`", kind[i], meta.name),
+        });
+    }
+    let taken = &data[meta.offsets[3]..meta.offsets[3] + meta.n];
+    if let Some(i) = taken.iter().position(|&t| t > 1) {
+        return Err(TraceError::CorruptRecord {
+            index: i as u64,
+            reason: format!("invalid taken flag {} in trace `{}`", taken[i], meta.name),
+        });
+    }
+    Ok(())
+}
+
+/// Structural parse of the header and index: magic, version, entry
+/// geometry, and column ranges against the buffer length.
+fn parse_index(data: &[u8]) -> Result<Vec<TraceMeta>, TraceError> {
+    if data.len() < HEADER_BYTES {
+        return Err(TraceError::CorruptCorpus(format!(
+            "file too short for a corpus header ({} bytes)",
+            data.len()
+        )));
+    }
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&data[0..4]);
+    if magic != MAGIC {
+        return Err(TraceError::BadMagic(magic));
+    }
+    let version = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
+    if version != VERSION {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+    let n_traces = usize::try_from(read_u64(&data[8..16]))
+        .map_err(|_| TraceError::CorruptCorpus("trace count overflows usize".into()))?;
+    let index_bytes = usize::try_from(read_u64(&data[16..24]))
+        .map_err(|_| TraceError::CorruptCorpus("index length overflows usize".into()))?;
+    let index_end = HEADER_BYTES
+        .checked_add(index_bytes)
+        .filter(|&e| e <= data.len())
+        .ok_or_else(|| TraceError::CorruptCorpus("index extends past end of file".into()))?;
+
+    // Each entry needs at least its fixed payload; cap the preallocation
+    // by what the index region could physically hold.
+    let mut metas = Vec::with_capacity(n_traces.min(index_bytes / (2 + ENTRY_FIXED_BYTES) + 1));
+    let mut at = HEADER_BYTES;
+    while metas.len() < n_traces {
+        let meta = parse_entry(data, &mut at, index_end)?;
+        metas.push(meta);
+    }
+    if at != index_end {
+        return Err(TraceError::CorruptCorpus(format!(
+            "index has {} trailing bytes",
+            index_end - at
+        )));
+    }
+    Ok(metas)
+}
+
+/// Parse one index entry at `*at`, bounds-checked against `index_end`
+/// for the entry itself and against the file length for its columns.
+fn parse_entry(data: &[u8], at: &mut usize, index_end: usize) -> Result<TraceMeta, TraceError> {
+    let err = |what: &str| TraceError::CorruptCorpus(format!("index entry: {what}"));
+    let mut pos = *at;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], TraceError> {
+        let end = pos
+            .checked_add(n)
+            .filter(|&e| e <= index_end)
+            .ok_or_else(|| err("truncated index entry"))?;
+        let s = &data[*pos..end];
+        *pos = end;
+        Ok(s)
+    };
+    let name_len = {
+        let b = take(&mut pos, 2)?;
+        usize::from(u16::from_le_bytes([b[0], b[1]]))
+    };
+    let name = String::from_utf8_lossy(take(&mut pos, name_len)?).into_owned();
+    let instructions = read_u64(take(&mut pos, 8)?);
+    let records = read_u64(take(&mut pos, 8)?);
+    let n = usize::try_from(records).map_err(|_| err("record count overflows usize"))?;
+    let mut offsets = [0usize; 4];
+    for (c, slot) in offsets.iter_mut().enumerate() {
+        let Ok(off) = usize::try_from(read_u64(take(&mut pos, 8)?)) else {
+            return Err(err("column offset overflows usize"));
+        };
+        let width = if c < 2 { 8usize } else { 1 };
+        let Some(len) = n.checked_mul(width) else {
+            return Err(err("column length overflows usize"));
+        };
+        if off
+            .checked_add(len)
+            .is_none_or(|end| end > data.len() || off < index_end)
+        {
+            return Err(err("column range outside the data region"));
+        }
+        *slot = off;
+    }
+    let mut sums = [0u64; 4];
+    for slot in &mut sums {
+        *slot = read_u64(take(&mut pos, 8)?);
+    }
+    *at = pos;
+    Ok(TraceMeta {
+        name,
+        instructions,
+        n,
+        offsets,
+        sums,
+    })
+}
+
+/// One trace of a corpus: a cheap handle sharing the corpus buffer.
+///
+/// Cloning copies the `Arc` and the index entry, never the columns.
+#[derive(Debug, Clone)]
+pub struct CorpusTrace {
+    data: SharedBuf,
+    meta: TraceMeta,
+}
+
+impl CorpusTrace {
+    /// Workload name recorded in the index.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.meta.name
+    }
+
+    /// Number of branch records.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.meta.n as u64
+    }
+
+    /// Exact instruction total recorded in the index.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.meta.instructions
+    }
+
+    /// Column footprint of this trace in bytes (18 per record).
+    #[must_use]
+    pub fn column_bytes(&self) -> usize {
+        self.meta.n * 18
+    }
+
+    /// Start a zero-allocation chunked decode pass over the records.
+    #[must_use]
+    pub fn cursor(&self) -> CorpusCursor<'_> {
+        let data = self.data.bytes();
+        let m = &self.meta;
+        CorpusCursor {
+            pc: &data[m.offsets[0]..m.offsets[0] + m.n * 8],
+            target: &data[m.offsets[1]..m.offsets[1] + m.n * 8],
+            kind: &data[m.offsets[2]..m.offsets[2] + m.n],
+            taken: &data[m.offsets[3]..m.offsets[3] + m.n],
+            remaining: m.n,
+            buf: [EMPTY_RECORD; CHUNK],
+            filled: 0,
+            pos: 0,
+        }
+    }
+}
+
+const EMPTY_RECORD: BranchRecord = BranchRecord {
+    pc: 0,
+    kind: BranchKind::CondDirect,
+    taken: false,
+    target: 0,
+};
+
+/// Chunked column-slice decoder over one corpus trace.
+///
+/// Each refill decodes [`CHUNK`] records from the four column slices
+/// into an inline buffer — the columns stream linearly through cache,
+/// and `next()` is a bounds check plus a copy for 255 of every 256
+/// calls. The cursor allocates nothing; the corpus is validated at
+/// load, so decode needs no per-record checks (an out-of-domain kind
+/// byte in an unverified corpus falls back to a conditional branch).
+#[derive(Debug)]
+pub struct CorpusCursor<'a> {
+    pc: &'a [u8],
+    target: &'a [u8],
+    kind: &'a [u8],
+    taken: &'a [u8],
+    remaining: usize,
+    buf: [BranchRecord; CHUNK],
+    filled: usize,
+    pos: usize,
+}
+
+impl CorpusCursor<'_> {
+    /// Decode the next chunk of records into the inline buffer.
+    fn refill(&mut self) {
+        let n = self.remaining.min(CHUNK);
+        self.pos = 0;
+        self.filled = n;
+        if n == 0 {
+            return;
+        }
+        let (pc_bytes, pc_rest) = self.pc.split_at(n * 8);
+        let (tg_bytes, tg_rest) = self.target.split_at(n * 8);
+        let (kind_bytes, kind_rest) = self.kind.split_at(n);
+        let (taken_bytes, taken_rest) = self.taken.split_at(n);
+        let cols = pc_bytes
+            .chunks_exact(8)
+            .zip(tg_bytes.chunks_exact(8))
+            .zip(kind_bytes.iter())
+            .zip(taken_bytes.iter());
+        for (slot, (((pcb, tgb), &kb), &tkb)) in self.buf.iter_mut().zip(cols) {
+            *slot = BranchRecord {
+                pc: read_u64(pcb),
+                kind: BranchKind::from_u8(kb).unwrap_or(BranchKind::CondDirect),
+                taken: tkb != 0,
+                target: read_u64(tgb),
+            };
+        }
+        self.pc = pc_rest;
+        self.target = tg_rest;
+        self.kind = kind_rest;
+        self.taken = taken_rest;
+        self.remaining -= n;
+    }
+}
+
+impl Iterator for CorpusCursor<'_> {
+    type Item = BranchRecord;
+
+    #[inline]
+    fn next(&mut self) -> Option<BranchRecord> {
+        if self.pos == self.filled {
+            self.refill();
+            if self.filled == 0 {
+                return None;
+            }
+        }
+        let r = self.buf[self.pos];
+        self.pos += 1;
+        Some(r)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.remaining + (self.filled - self.pos);
+        (left, Some(left))
+    }
+
+    /// Chunk-free internal iteration: `fold` (and everything built on
+    /// it — `for_each`, `count`, `sum`) drains any records already in
+    /// the inline buffer, then decodes straight off the column slices,
+    /// skipping the buffer and its per-record position check entirely.
+    #[inline]
+    fn fold<B, F>(mut self, init: B, mut f: F) -> B
+    where
+        F: FnMut(B, BranchRecord) -> B,
+    {
+        let mut acc = init;
+        while self.pos < self.filled {
+            let r = self.buf[self.pos];
+            self.pos += 1;
+            acc = f(acc, r);
+        }
+        let cols = self
+            .pc
+            .chunks_exact(8)
+            .zip(self.target.chunks_exact(8))
+            .zip(self.kind.iter())
+            .zip(self.taken.iter());
+        for (((pcb, tgb), &kb), &tkb) in cols {
+            acc = f(
+                acc,
+                BranchRecord {
+                    pc: read_u64(pcb),
+                    kind: BranchKind::from_u8(kb).unwrap_or(BranchKind::CondDirect),
+                    taken: tkb != 0,
+                    target: read_u64(tgb),
+                },
+            );
+        }
+        acc
+    }
+}
+
+impl ExactSizeIterator for CorpusCursor<'_> {}
+
+/// A suite's worth of corpus traces, in workload order — possibly drawn
+/// from several cache files, all sharing their underlying buffers.
+///
+/// This is the handle every scheduler worker shares during a suite or
+/// sweep run: workers index into it by workload and open cursors on the
+/// shared buffers, with zero per-worker parsing or cloning.
+#[derive(Debug, Clone, Default)]
+pub struct SuiteCorpus {
+    traces: Vec<CorpusTrace>,
+}
+
+impl SuiteCorpus {
+    /// A suite view over every trace of one corpus file, in index order.
+    #[must_use]
+    pub fn from_corpus(corpus: &Corpus) -> SuiteCorpus {
+        SuiteCorpus {
+            traces: corpus.traces(),
+        }
+    }
+
+    /// Append one trace (cache assembly).
+    pub fn push(&mut self, trace: CorpusTrace) {
+        self.traces.push(trace);
+    }
+
+    /// Number of traces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the suite view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// The trace for workload `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (suite/corpus length mismatches
+    /// are rejected up front by the replay entry points).
+    #[must_use]
+    pub fn trace(&self, i: usize) -> &CorpusTrace {
+        &self.traces[i]
+    }
+
+    /// All traces, in workload order.
+    pub fn iter(&self) -> std::slice::Iter<'_, CorpusTrace> {
+        self.traces.iter()
+    }
+
+    /// Total records across all traces.
+    #[must_use]
+    pub fn total_records(&self) -> u64 {
+        self.traces.iter().map(CorpusTrace::records).sum()
+    }
+
+    /// Total column bytes across all traces.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.traces.iter().map(CorpusTrace::column_bytes).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a SuiteCorpus {
+    type Item = &'a CorpusTrace;
+    type IntoIter = std::slice::Iter<'a, CorpusTrace>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.traces.iter()
+    }
+}
+
+/// How a cache lookup was satisfied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnsureStats {
+    /// Workloads generated, encoded and written this call.
+    pub generated: usize,
+    /// Workloads served from existing cache files.
+    pub reused: usize,
+}
+
+impl EnsureStats {
+    /// Merge another call's counters into this one.
+    pub fn absorb(&mut self, other: EnsureStats) {
+        self.generated += other.generated;
+        self.reused += other.reused;
+    }
+}
+
+/// On-disk materialize-to-corpus cache for synthetic workloads.
+///
+/// One single-trace corpus file per (category, seed, instructions) key
+/// — exactly the inputs [`WorkloadSpec::generate`] is deterministic in
+/// — so a workload shared by many experiments (or many suite sizes with
+/// a common prefix) is generated and encoded once per cache directory.
+/// Files are written via a temp file + rename, and a file that fails to
+/// load (torn write, stale version) is regenerated in place.
+#[derive(Debug, Clone)]
+pub struct CorpusCache {
+    dir: PathBuf,
+}
+
+impl CorpusCache {
+    /// A cache rooted at `dir` (created lazily on first write).
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> CorpusCache {
+        CorpusCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Cache file name for a workload key.
+    #[must_use]
+    pub fn file_name(spec: &WorkloadSpec) -> String {
+        format!("{}-{}-i{}.soa", spec.category, spec.seed, spec.instructions)
+    }
+
+    /// Cache file path for a workload key.
+    #[must_use]
+    pub fn path_for(&self, spec: &WorkloadSpec) -> PathBuf {
+        self.dir.join(CorpusCache::file_name(spec))
+    }
+
+    /// The cached trace for `spec`, generating, encoding and writing it
+    /// on a miss. Returns the shared-buffer handle and whether this
+    /// call generated it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] on I/O failure while writing a fresh
+    /// cache file (a corrupt *existing* file is regenerated, not an
+    /// error).
+    pub fn ensure_trace(&self, spec: &WorkloadSpec) -> Result<(CorpusTrace, bool), TraceError> {
+        let path = self.path_for(spec);
+        if let Ok(corpus) = Corpus::load(&path) {
+            if let Some(trace) = corpus.get(0) {
+                if corpus.len() == 1
+                    && trace.name() == spec.name
+                    && trace.instructions() >= spec.instructions
+                {
+                    return Ok((trace, false));
+                }
+            }
+        }
+        let trace = spec.generate();
+        let mut builder = CorpusBuilder::new();
+        builder.push_synthetic(&trace)?;
+        let bytes = builder.finish();
+        std::fs::create_dir_all(&self.dir)?;
+        let tmp = self.dir.join(format!(
+            "{}.tmp.{}",
+            CorpusCache::file_name(spec),
+            std::process::id()
+        ));
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &path)?;
+        // The bytes were just encoded; structural parse only (checksums
+        // are definitionally fresh).
+        let corpus = Corpus::open_bytes(bytes)?;
+        corpus
+            .get(0)
+            .map(|t| (t, true))
+            .ok_or_else(|| TraceError::CorruptCorpus("freshly built corpus is empty".into()))
+    }
+
+    /// Materialize a whole suite: one cached trace per spec, in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CorpusCache::ensure_trace`] failure.
+    pub fn ensure_suite(
+        &self,
+        specs: &[WorkloadSpec],
+    ) -> Result<(SuiteCorpus, EnsureStats), TraceError> {
+        let mut suite = SuiteCorpus::default();
+        let mut stats = EnsureStats::default();
+        for spec in specs {
+            let (trace, generated) = self.ensure_trace(spec)?;
+            if generated {
+                stats.generated += 1;
+            } else {
+                stats.reused += 1;
+            }
+            suite.push(trace);
+        }
+        Ok((suite, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::WorkloadCategory;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn sample(n: usize) -> Vec<BranchRecord> {
+        (0..n)
+            .map(|i| {
+                BranchRecord::new(
+                    0x1000 + (i as u64) * 4,
+                    BranchKind::ALL[i % 6],
+                    i % 3 != 0,
+                    0x8000 + (i as u64) * 8,
+                )
+            })
+            .collect()
+    }
+
+    fn build(traces: &[(&str, u64, Vec<BranchRecord>)]) -> Vec<u8> {
+        let mut b = CorpusBuilder::new();
+        for (name, instr, records) in traces {
+            b.push_trace(name, *instr, records).unwrap();
+        }
+        b.finish()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        std::env::temp_dir().join(format!(
+            "fe-corpus-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn fold_fast_path_matches_external_iteration() {
+        // `fold`/`for_each` bypass the inline chunk buffer; they must
+        // yield the same records as `next()`, including when iteration
+        // starts mid-buffer after a few external `next()` calls.
+        let records = sample(CHUNK * 2 + 19);
+        let bytes = build(&[("t0", 7, records.clone())]);
+        let corpus = Corpus::from_bytes(bytes).unwrap();
+        let t = corpus.get(0).unwrap();
+
+        let mut folded = Vec::new();
+        t.cursor().for_each(|r| folded.push(r));
+        assert_eq!(folded, records);
+        assert_eq!(t.cursor().count(), records.len());
+
+        let mut mixed = t.cursor();
+        let mut head = Vec::new();
+        for _ in 0..3 {
+            head.push(mixed.next().unwrap());
+        }
+        let tail = mixed.fold(Vec::new(), |mut acc, r| {
+            acc.push(r);
+            acc
+        });
+        assert_eq!(head, records[..3]);
+        assert_eq!(tail, records[3..]);
+    }
+
+    #[test]
+    fn roundtrip_single_trace() {
+        let records = sample(1000);
+        let bytes = build(&[("t0", 12345, records.clone())]);
+        let corpus = Corpus::from_bytes(bytes).unwrap();
+        assert_eq!(corpus.len(), 1);
+        let t = corpus.get(0).unwrap();
+        assert_eq!(t.name(), "t0");
+        assert_eq!(t.instructions(), 12345);
+        assert_eq!(t.records(), 1000);
+        assert_eq!(t.cursor().collect::<Vec<_>>(), records);
+    }
+
+    #[test]
+    fn roundtrip_multi_trace_index() {
+        let a = sample(10);
+        let b = sample(CHUNK * 3 + 17); // spans several decode chunks
+        let c: Vec<BranchRecord> = Vec::new();
+        let bytes = build(&[
+            ("alpha", 1, a.clone()),
+            ("beta", 2, b.clone()),
+            ("gamma", 3, c.clone()),
+        ]);
+        let corpus = Corpus::from_bytes(bytes).unwrap();
+        assert_eq!(corpus.len(), 3);
+        assert_eq!(corpus.get(0).unwrap().cursor().collect::<Vec<_>>(), a);
+        assert_eq!(corpus.get(1).unwrap().cursor().collect::<Vec<_>>(), b);
+        assert_eq!(corpus.get(2).unwrap().cursor().collect::<Vec<_>>(), c);
+        assert!(corpus.get(3).is_none());
+    }
+
+    #[test]
+    fn cursor_is_exact_size_and_restartable() {
+        let records = sample(CHUNK + 5);
+        let corpus = Corpus::from_bytes(build(&[("t", 0, records.clone())])).unwrap();
+        let t = corpus.get(0).unwrap();
+        let cur = t.cursor();
+        assert_eq!(cur.len(), records.len());
+        assert_eq!(cur.collect::<Vec<_>>(), records);
+        // A second cursor replays from the start, bit-identically.
+        assert_eq!(t.cursor().collect::<Vec<_>>(), records);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = build(&[("t", 0, sample(4))]);
+        bytes[0] = b'X';
+        match Corpus::from_bytes(bytes) {
+            Err(TraceError::BadMagic(_)) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = build(&[("t", 0, sample(4))]);
+        bytes[4] = 9;
+        match Corpus::from_bytes(bytes) {
+            Err(TraceError::UnsupportedVersion(9)) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let bytes = build(&[("t", 0, sample(100))]);
+        for cut in [3, HEADER_BYTES - 1, HEADER_BYTES + 10, bytes.len() - 1] {
+            let short = bytes[..cut].to_vec();
+            assert!(
+                Corpus::from_bytes(short).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_column_byte_fails_checksum() {
+        let bytes = build(&[("t", 0, sample(100))]);
+        let last = bytes.len() - 1; // inside the taken column
+        let mut bad = bytes.clone();
+        bad[last] ^= 0x40;
+        match Corpus::from_bytes(bad) {
+            Err(TraceError::ChecksumMismatch { .. } | TraceError::CorruptRecord { .. }) => {}
+            other => panic!("expected checksum/record error, got {other:?}"),
+        }
+        // The pc column too.
+        let mut bad = bytes;
+        let pc_byte = HEADER_BYTES + 2 + 1 + ENTRY_FIXED_BYTES; // first data byte
+        bad[pc_byte] ^= 0x01;
+        match Corpus::from_bytes(bad) {
+            Err(TraceError::ChecksumMismatch { trace, column }) => {
+                assert_eq!(trace, "t");
+                assert_eq!(column, "pc");
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_each_reports_per_trace_status() {
+        let bytes = build(&[("good", 0, sample(8)), ("bad", 0, sample(8))]);
+        let mut bad = bytes;
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        let corpus = Corpus::open_bytes(bad).unwrap();
+        let statuses = corpus.verify_each();
+        assert!(statuses[0].is_ok());
+        assert!(statuses[1].is_err());
+    }
+
+    #[test]
+    fn empty_corpus_roundtrips() {
+        let corpus = Corpus::from_bytes(CorpusBuilder::new().finish()).unwrap();
+        assert!(corpus.is_empty());
+        assert!(corpus.verify().is_ok());
+    }
+
+    #[test]
+    fn synthetic_trace_roundtrips_bit_identically() {
+        let spec = WorkloadSpec::new(WorkloadCategory::ShortServer, 7).instructions(30_000);
+        let trace = spec.generate();
+        let mut b = CorpusBuilder::new();
+        b.push_synthetic(&trace).unwrap();
+        let corpus = Corpus::from_bytes(b.finish()).unwrap();
+        let t = corpus.get(0).unwrap();
+        assert_eq!(t.name(), spec.name);
+        assert_eq!(t.instructions(), trace.instructions);
+        assert_eq!(t.cursor().collect::<Vec<_>>(), trace.records);
+    }
+
+    #[test]
+    fn cache_generates_once_then_reuses() {
+        let dir = temp_dir("cache");
+        let cache = CorpusCache::new(&dir);
+        let specs: Vec<WorkloadSpec> = crate::synth::suite(3, 42)
+            .into_iter()
+            .map(|s| s.instructions(5_000))
+            .collect();
+        let (suite, stats) = cache.ensure_suite(&specs).unwrap();
+        assert_eq!(
+            stats,
+            EnsureStats {
+                generated: 3,
+                reused: 0
+            }
+        );
+        assert_eq!(suite.len(), 3);
+        for (t, s) in suite.iter().zip(&specs) {
+            assert_eq!(t.name(), s.name);
+            assert_eq!(t.cursor().collect::<Vec<_>>(), s.generate().records);
+        }
+        let (again, stats) = cache.ensure_suite(&specs).unwrap();
+        assert_eq!(
+            stats,
+            EnsureStats {
+                generated: 0,
+                reused: 3
+            }
+        );
+        assert_eq!(
+            again.trace(0).cursor().collect::<Vec<_>>(),
+            suite.trace(0).cursor().collect::<Vec<_>>()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_heals_a_corrupt_file() {
+        let dir = temp_dir("heal");
+        let cache = CorpusCache::new(&dir);
+        let spec = WorkloadSpec::new(WorkloadCategory::ShortMobile, 9).instructions(4_000);
+        let (_, generated) = cache.ensure_trace(&spec).unwrap();
+        assert!(generated);
+        // Corrupt the cached file in place.
+        let path = cache.path_for(&spec);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (trace, regenerated) = cache.ensure_trace(&spec).unwrap();
+        assert!(regenerated, "corrupt cache file must be regenerated");
+        assert_eq!(trace.cursor().collect::<Vec<_>>(), spec.generate().records);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_key_distinguishes_instructions() {
+        let dir = temp_dir("key");
+        let cache = CorpusCache::new(&dir);
+        let a = WorkloadSpec::new(WorkloadCategory::ShortMobile, 1).instructions(4_000);
+        let b = WorkloadSpec::new(WorkloadCategory::ShortMobile, 1).instructions(8_000);
+        assert_ne!(cache.path_for(&a), cache.path_for(&b));
+        cache.ensure_trace(&a).unwrap();
+        let (_, generated) = cache.ensure_trace(&b).unwrap();
+        assert!(generated, "different budget is a different cache key");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overlong_name_is_rejected() {
+        let long = "x".repeat(usize::from(u16::MAX) + 1);
+        let mut b = CorpusBuilder::new();
+        assert!(b.push_trace(&long, 0, &[]).is_err());
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[cfg(feature = "mmap")]
+    #[test]
+    fn mmap_load_matches_read_load() {
+        let dir = temp_dir("mmap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.soa");
+        let records = sample(500);
+        std::fs::write(&path, build(&[("t", 1, records.clone())])).unwrap();
+        let mapped = Corpus::load_mmap(&path).unwrap();
+        assert_eq!(mapped.get(0).unwrap().cursor().collect::<Vec<_>>(), records);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

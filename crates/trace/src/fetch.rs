@@ -113,6 +113,25 @@ impl<I: Iterator<Item = BranchRecord>> FetchStream<I> {
     }
 }
 
+impl<'a> FetchStream<crate::corpus::CorpusCursor<'a>> {
+    /// Chunked structure-of-arrays fast path: reconstruct fetch groups
+    /// straight from a corpus trace.
+    ///
+    /// The returned stream is fully monomorphized over
+    /// [`crate::corpus::CorpusCursor`] — records decode from the shared
+    /// column buffer in cache-friendly 256-record chunks and feed block
+    /// reconstruction with no boxing, no virtual dispatch, and no
+    /// per-record allocation anywhere in the chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is not a power of two at least
+    /// [`INSTRUCTION_BYTES`] (as [`FetchStream::new`]).
+    pub fn from_corpus(trace: &'a crate::corpus::CorpusTrace, block_bytes: u64) -> Self {
+        FetchStream::new(trace.cursor(), block_bytes)
+    }
+}
+
 impl<I: Iterator<Item = BranchRecord>> Iterator for FetchStream<I> {
     type Item = FetchChunk;
 
@@ -291,6 +310,27 @@ mod tests {
         let mut fs = FetchStream::new(std::iter::empty::<BranchRecord>(), 64);
         assert!(fs.next().is_none());
         assert_eq!(fs.instructions(), 0);
+    }
+
+    #[test]
+    fn corpus_fast_path_matches_record_iterator() {
+        use crate::corpus::{Corpus, CorpusBuilder};
+        // A mix that exercises sequential runs, loops and discontinuities,
+        // long enough to span several cursor chunks.
+        let mut recs = Vec::new();
+        for i in 0..1000u64 {
+            recs.push(cond(0x1000 + i * 0x40, i % 2 == 0, 0x1000 + (i + 1) * 0x40));
+            recs.push(cond(0x120, i % 3 == 0, 0x100));
+        }
+        let mut b = CorpusBuilder::new();
+        b.push_trace("fetch", 0, &recs).unwrap();
+        let corpus = Corpus::from_bytes(b.finish()).unwrap();
+        let trace = corpus.get(0).unwrap();
+        for block_bytes in [16, 64, 256] {
+            let via_corpus: Vec<_> = FetchStream::from_corpus(&trace, block_bytes).collect();
+            let via_iter: Vec<_> = FetchStream::new(recs.iter().copied(), block_bytes).collect();
+            assert_eq!(via_corpus, via_iter);
+        }
     }
 
     #[test]

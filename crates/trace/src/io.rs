@@ -12,7 +12,7 @@
 
 use crate::record::{BranchKind, BranchRecord};
 use crate::TraceError;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufWriter, Read, Write};
 
 /// Magic bytes that begin every binary trace stream.
 pub const MAGIC: [u8; 4] = *b"FETR";
@@ -20,6 +20,10 @@ pub const MAGIC: [u8; 4] = *b"FETR";
 pub const VERSION: u32 = 1;
 /// Size in bytes of one encoded record.
 pub const RECORD_BYTES: usize = 18;
+/// Records fetched per reader refill: one `read` call (modulo short
+/// reads) services 1024 records instead of one, and decode runs over an
+/// in-memory block.
+const BLOCK_RECORDS: usize = 1024;
 
 /// Streaming writer for the binary trace format.
 ///
@@ -95,9 +99,20 @@ impl<W: Write> TraceWriter<W> {
 ///
 /// Implements [`Iterator`] over `Result<BranchRecord, TraceError>` so corrupt
 /// tails are reported rather than silently truncated.
+///
+/// Records are decoded from an owned block buffer refilled
+/// [`BLOCK_RECORDS`] at a time — the underlying reader sees one large
+/// `read` per ~18 KiB of trace instead of one 18-byte request per
+/// record, and decode itself runs over in-memory slices.
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
-    inner: BufReader<R>,
+    inner: R,
+    /// Fixed-size refill block (`BLOCK_RECORDS * RECORD_BYTES` bytes).
+    buf: Vec<u8>,
+    /// Valid bytes in `buf`.
+    filled: usize,
+    /// Consumed bytes in `buf` (`at <= filled`).
+    at: usize,
     index: u64,
     done: bool,
 }
@@ -109,51 +124,71 @@ impl<R: Read> TraceReader<R> {
     ///
     /// Returns [`TraceError::BadMagic`] or [`TraceError::UnsupportedVersion`]
     /// when the header is not a supported binary trace header.
-    pub fn new(r: R) -> Result<TraceReader<R>, TraceError> {
-        let mut inner = BufReader::new(r);
+    pub fn new(mut r: R) -> Result<TraceReader<R>, TraceError> {
         let mut magic = [0u8; 4];
-        inner.read_exact(&mut magic)?;
+        r.read_exact(&mut magic)?;
         if magic != MAGIC {
             return Err(TraceError::BadMagic(magic));
         }
         let mut ver = [0u8; 4];
-        inner.read_exact(&mut ver)?;
+        r.read_exact(&mut ver)?;
         let version = u32::from_le_bytes(ver);
         if version != VERSION {
             return Err(TraceError::UnsupportedVersion(version));
         }
         Ok(TraceReader {
-            inner,
+            inner: r,
+            buf: vec![0u8; BLOCK_RECORDS * RECORD_BYTES],
+            filled: 0,
+            at: 0,
             index: 0,
             done: false,
         })
     }
 
-    fn read_record(&mut self) -> Result<Option<BranchRecord>, TraceError> {
-        let mut buf = [0u8; RECORD_BYTES];
-        // Detect clean EOF on the first byte; anything shorter afterwards is
-        // a corrupt (truncated) record.
-        let mut got = 0usize;
-        while got < RECORD_BYTES {
-            let n = self.inner.read(&mut buf[got..])?;
+    /// Slide any unconsumed tail to the front of the block and fill the
+    /// rest from the reader (tolerating short reads) until the block is
+    /// full or the stream ends.
+    fn refill(&mut self) -> Result<(), TraceError> {
+        self.buf.copy_within(self.at..self.filled, 0);
+        self.filled -= self.at;
+        self.at = 0;
+        while self.filled < self.buf.len() {
+            let n = self.inner.read(&mut self.buf[self.filled..])?;
             if n == 0 {
-                if got == 0 {
-                    return Ok(None);
-                }
+                break;
+            }
+            self.filled += n;
+        }
+        Ok(())
+    }
+
+    fn read_record(&mut self) -> Result<Option<BranchRecord>, TraceError> {
+        if self.filled - self.at < RECORD_BYTES {
+            self.refill()?;
+            let avail = self.filled - self.at;
+            if avail == 0 {
+                return Ok(None);
+            }
+            if avail < RECORD_BYTES {
+                self.at = self.filled;
                 return Err(TraceError::CorruptRecord {
                     index: self.index,
-                    reason: format!("truncated record ({got} of {RECORD_BYTES} bytes)"),
+                    reason: format!("truncated record ({avail} of {RECORD_BYTES} bytes)"),
                 });
             }
-            got += n;
         }
-        let pc = u64::from_le_bytes(buf[0..8].try_into().expect("slice is 8 bytes"));
-        let target = u64::from_le_bytes(buf[8..16].try_into().expect("slice is 8 bytes"));
-        let kind = BranchKind::from_u8(buf[16]).ok_or_else(|| TraceError::CorruptRecord {
+        let rec = &self.buf[self.at..self.at + RECORD_BYTES];
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&rec[0..8]);
+        let pc = u64::from_le_bytes(word);
+        word.copy_from_slice(&rec[8..16]);
+        let target = u64::from_le_bytes(word);
+        let kind = BranchKind::from_u8(rec[16]).ok_or_else(|| TraceError::CorruptRecord {
             index: self.index,
-            reason: format!("invalid branch kind {}", buf[16]),
+            reason: format!("invalid branch kind {}", rec[16]),
         })?;
-        let taken = match buf[17] {
+        let taken = match rec[17] {
             0 => false,
             1 => true,
             other => {
@@ -163,6 +198,7 @@ impl<R: Read> TraceReader<R> {
                 })
             }
         };
+        self.at += RECORD_BYTES;
         self.index += 1;
         Ok(Some(BranchRecord {
             pc,
@@ -343,6 +379,86 @@ mod tests {
         }
         assert_eq!(w.written(), 5);
         w.finish().unwrap();
+    }
+
+    /// A reader that returns at most one byte per `read` call — the
+    /// worst case for block assembly.
+    struct OneByteReader<'a>(&'a [u8]);
+
+    impl Read for OneByteReader<'_> {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.0.is_empty() || out.is_empty() {
+                return Ok(0);
+            }
+            out[0] = self.0[0];
+            self.0 = &self.0[1..];
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn multi_block_trace_roundtrips() {
+        // More than two refill blocks plus a partial third.
+        let records: Vec<BranchRecord> = (0..(BLOCK_RECORDS * 2 + 37))
+            .map(|i| {
+                BranchRecord::new(
+                    0x1000 + (i as u64) * 4,
+                    BranchKind::ALL[i % 6],
+                    i % 2 == 0,
+                    0x9000 + (i as u64) * 8,
+                )
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &records).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn truncation_deep_in_stream_reports_exact_index() {
+        let records: Vec<BranchRecord> = (0..(BLOCK_RECORDS + 10))
+            .map(|i| BranchRecord::new(i as u64, BranchKind::CondDirect, true, 0))
+            .collect();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &records).unwrap();
+        buf.truncate(buf.len() - 5); // last record loses 5 bytes
+        match read_binary(buf.as_slice()) {
+            Err(TraceError::CorruptRecord { index, reason }) => {
+                assert_eq!(index, (BLOCK_RECORDS + 9) as u64);
+                assert!(reason.contains("truncated"));
+            }
+            other => panic!("expected CorruptRecord, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_reads_are_assembled_into_blocks() {
+        let records = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &records).unwrap();
+        let reader = TraceReader::new(OneByteReader(&buf)).unwrap();
+        let back: Vec<BranchRecord> = reader.collect::<Result<_, _>>().unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn corruption_in_second_block_reported() {
+        let records: Vec<BranchRecord> = (0..(BLOCK_RECORDS + 3))
+            .map(|i| BranchRecord::new(i as u64, BranchKind::Call, true, 4))
+            .collect();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &records).unwrap();
+        // Kind byte of the second record in the second block.
+        let victim = BLOCK_RECORDS + 1;
+        buf[8 + victim * RECORD_BYTES + 16] = 77;
+        match read_binary(buf.as_slice()) {
+            Err(TraceError::CorruptRecord { index, reason }) => {
+                assert_eq!(index, victim as u64);
+                assert!(reason.contains("kind"));
+            }
+            other => panic!("expected CorruptRecord, got {other:?}"),
+        }
     }
 
     #[test]

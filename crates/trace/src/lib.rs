@@ -41,12 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod fetch;
 pub mod io;
 pub mod record;
 pub mod stats;
 pub mod synth;
 
+pub use corpus::{Corpus, CorpusCache, CorpusTrace, SuiteCorpus};
 pub use fetch::{FetchChunk, FetchStream};
 pub use record::{BranchKind, BranchRecord};
 pub use stats::TraceStats;
@@ -70,6 +72,15 @@ pub enum TraceError {
     },
     /// JSON (de)serialization failure.
     Json(serde_json::Error),
+    /// A corpus column's stored checksum did not match its bytes.
+    ChecksumMismatch {
+        /// Name of the trace whose column is damaged.
+        trace: String,
+        /// Which column (`pc`, `target`, `kind`, `taken`).
+        column: &'static str,
+    },
+    /// A corpus header or index was structurally invalid.
+    CorruptCorpus(String),
 }
 
 impl std::fmt::Display for TraceError {
@@ -82,6 +93,13 @@ impl std::fmt::Display for TraceError {
                 write!(f, "corrupt record at index {index}: {reason}")
             }
             TraceError::Json(e) => write!(f, "trace json error: {e}"),
+            TraceError::ChecksumMismatch { trace, column } => {
+                write!(
+                    f,
+                    "checksum mismatch in `{column}` column of trace `{trace}`"
+                )
+            }
+            TraceError::CorruptCorpus(reason) => write!(f, "corrupt corpus: {reason}"),
         }
     }
 }
@@ -122,6 +140,11 @@ mod tests {
                 index: 3,
                 reason: "bad kind".into(),
             },
+            TraceError::ChecksumMismatch {
+                trace: "t0".into(),
+                column: "pc",
+            },
+            TraceError::CorruptCorpus("index extends past end of file".into()),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -158,6 +158,7 @@ pub fn is_hot_path(rel: &Path) -> bool {
         || s.contains("/policy/")
         || s.contains("/core/src/")
         || s.ends_with("/frontend/src/schedule.rs")
+        || s.contains("/trace/src/corpus")
 }
 
 /// Whether the file hosts the canonical mask/idx helpers (exempt from
@@ -197,6 +198,10 @@ mod tests {
         // The scheduler's steal loop is a hot path: a panic there would
         // poison the whole worker pool mid-drain.
         assert!(is_hot_path(Path::new("crates/frontend/src/schedule.rs")));
+        // The corpus decode cursors run once per replayed record: the
+        // allocation and indexing rules must cover them.
+        assert!(is_hot_path(Path::new("crates/trace/src/corpus.rs")));
+        assert!(!is_hot_path(Path::new("crates/trace/src/io.rs")));
         assert!(!is_hot_path(Path::new("crates/frontend/src/sweep.rs")));
         assert!(!is_hot_path(Path::new("crates/bench/src/lib.rs")));
         assert!(!is_hot_path(Path::new("src/lib.rs")));

@@ -1,0 +1,43 @@
+#![forbid(unsafe_code)]
+//! Chunk-decode fixture: `trace/src/corpus*.rs` joined the hot-path set
+//! with the SoA corpus — the refill loop below must trip `no-panic` on
+//! its `.unwrap()`, `alloc-in-hot-loop` on the per-chunk scratch `Vec`,
+//! and `checked-index` on the cast index, while the cold `return Err`
+//! allocation and `cfg(test)` code stay exempt.
+
+pub struct Cursor<'a> {
+    pc: &'a [u8],
+    out: Vec<u64>,
+}
+
+impl Cursor<'_> {
+    pub fn refill(&mut self) {
+        for chunk in self.pc.chunks_exact(8) {
+            let scratch = Vec::new();
+            let word: [u8; 8] = chunk.try_into().unwrap();
+            self.out.push(u64::from_le_bytes(word) + scratch.len() as u64);
+        }
+    }
+
+    pub fn column(&self, i: u64) -> u8 {
+        self.pc[i as usize]
+    }
+
+    pub fn verify(&self) -> Result<(), String> {
+        for byte in self.pc {
+            if *byte == 0xFF {
+                return Err(String::from("corrupt column"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_scratch() {
+        let v: Vec<u8> = Vec::new();
+        assert!(v.len() % v.capacity().max(1) == 0);
+    }
+}

@@ -11,10 +11,12 @@
 #![forbid(unsafe_code)]
 
 use ghrp_repro::frontend::engine::{run_lanes, SliceReplay};
-use ghrp_repro::frontend::experiment::{run_trace, run_trace_legacy};
+use ghrp_repro::frontend::experiment::{run_suite, run_suite_from, run_trace, run_trace_legacy};
 use ghrp_repro::frontend::simulator::WrongPathConfig;
-use ghrp_repro::frontend::{PolicyKind, SimConfig, Simulator};
-use ghrp_repro::trace::synth::{WorkloadCategory, WorkloadSpec};
+use ghrp_repro::frontend::sweep::{run_sweep, run_sweep_from};
+use ghrp_repro::frontend::{PolicyKind, SimConfig, Simulator, SuiteSource};
+use ghrp_repro::trace::corpus::{Corpus, CorpusBuilder, SuiteCorpus};
+use ghrp_repro::trace::synth::{suite, WorkloadCategory, WorkloadSpec};
 use proptest::prelude::*;
 
 /// The online policies the engine races in one pass. OPT joins via its own
@@ -118,6 +120,26 @@ proptest! {
         prop_assert_eq!(engine, legacy);
     }
 
+    /// A corpus round-trip is replay-transparent to the engine: encoding
+    /// a workload to the columnar format and replaying it through a
+    /// shared-buffer cursor yields the same lanes as replaying the
+    /// original record slice.
+    #[test]
+    fn corpus_replay_matches_slice_replay(
+        spec in arb_spec(),
+        policies in arb_policies(),
+        base in arb_config(),
+    ) {
+        let trace = spec.generate();
+        let mut builder = CorpusBuilder::new();
+        builder.push_synthetic(&trace).expect("corpus encode");
+        let corpus = Corpus::from_bytes(builder.finish()).expect("corpus decode");
+        let corpus_trace = corpus.get(0).expect("one trace");
+        let from_slice = run_lanes(&base, &policies, &SliceReplay::from_trace(&trace));
+        let from_corpus = run_lanes(&base, &policies, &corpus_trace);
+        prop_assert_eq!(from_slice, from_corpus);
+    }
+
     /// The offline oracle lane (whose access sequences are precomputed
     /// once and shared) also matches its standalone run alongside online
     /// company.
@@ -133,4 +155,77 @@ proptest! {
             prop_assert_eq!(lane, &standalone);
         }
     }
+}
+
+/// Suite and sweep runs replaying from a shared corpus must be
+/// bit-identical to the streamed-synth path at every thread count: the
+/// corpus is one immutable buffer read concurrently by all scheduler
+/// workers, so neither sharing nor scheduling may show through in the
+/// results.
+#[test]
+fn corpus_suite_and_sweep_match_streamed_across_threads() {
+    let specs: Vec<WorkloadSpec> = suite(3, 33)
+        .into_iter()
+        .map(|s| s.instructions(20_000))
+        .collect();
+    let mut builder = CorpusBuilder::new();
+    for spec in &specs {
+        builder.push_synthetic(&spec.generate()).expect("encode");
+    }
+    let corpus = Corpus::from_bytes(builder.finish()).expect("verified corpus");
+    let shared = SuiteCorpus::from_corpus(&corpus);
+
+    let cfg = SimConfig::paper_default();
+    // Opt exercises the offline precompute pass (a second corpus
+    // replay); Ghrp and Lru cover predictor-coupled and plain lanes.
+    let pols = [PolicyKind::Lru, PolicyKind::Ghrp, PolicyKind::Opt];
+    let geoms = [(8 * 1024, 4), (32 * 1024, 8)];
+
+    let suite_ref = run_suite(&specs, &cfg, &pols, 1);
+    let sweep_ref = run_sweep(&specs, &cfg, &pols, &geoms, 1);
+    for threads in 1..=8 {
+        let from_corpus =
+            run_suite_from(&specs, &cfg, &pols, threads, SuiteSource::Corpus(&shared));
+        assert_eq!(
+            from_corpus, suite_ref,
+            "suite diverged from streamed replay at {threads} threads"
+        );
+        let swept = run_sweep_from(
+            &specs,
+            &cfg,
+            &pols,
+            &geoms,
+            threads,
+            SuiteSource::Corpus(&shared),
+        );
+        assert_eq!(
+            swept, sweep_ref,
+            "sweep diverged from streamed replay at {threads} threads"
+        );
+    }
+}
+
+/// A corpus that does not match the suite's workloads is rejected up
+/// front instead of silently replaying the wrong trace.
+#[test]
+#[should_panic(expected = "corpus")]
+fn mismatched_corpus_is_rejected() {
+    let specs: Vec<WorkloadSpec> = suite(2, 5)
+        .into_iter()
+        .map(|s| s.instructions(10_000))
+        .collect();
+    let mut builder = CorpusBuilder::new();
+    builder
+        .push_synthetic(&specs[0].generate())
+        .expect("encode");
+    let corpus = Corpus::from_bytes(builder.finish()).expect("verified corpus");
+    let shared = SuiteCorpus::from_corpus(&corpus); // one trace, two specs
+    let cfg = SimConfig::paper_default();
+    let _ = run_suite_from(
+        &specs,
+        &cfg,
+        &[PolicyKind::Lru],
+        1,
+        SuiteSource::Corpus(&shared),
+    );
 }

@@ -1,0 +1,92 @@
+//! Offline stand-in for the `memmap2` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate mirrors exactly the subset of the real `memmap2` API the
+//! workspace uses behind fe-trace's `mmap` feature: a read-only
+//! [`Mmap`] created from a [`File`] that derefs to `[u8]`.
+//!
+//! Deliberate divergences from the real crate:
+//!
+//! * No actual memory mapping happens — [`Mmap::map`] reads the whole
+//!   file into an owned buffer. Semantics (shared immutable bytes,
+//!   one load per file) match; the page-cache-only storage win does
+//!   not. Swapping in the real crate restores it without code changes.
+//! * The real `Mmap::map` is `unsafe fn` (the mapping's validity
+//!   depends on the file not being truncated concurrently). The
+//!   stand-in has no such hazard, so it is safe — call sites wrap it
+//!   in no `unsafe` block, which keeps first-party crates
+//!   `#![forbid(unsafe_code)]`-clean today and requires only adding
+//!   the block if the real crate is ever vendored.
+
+#![forbid(unsafe_code)]
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+
+/// A read-only "memory map" of a file (here: an owned copy of it).
+#[derive(Debug)]
+pub struct Mmap {
+    data: Vec<u8>,
+}
+
+impl Mmap {
+    /// Load the entire contents of `file` and expose them as `[u8]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from reading the file.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let mut data = Vec::new();
+        let mut f = file.try_clone()?;
+        f.read_to_end(&mut data)?;
+        Ok(Mmap { data })
+    }
+
+    /// Length of the mapped region in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the mapped region is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("memmap2-standin-{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(b"hello mapping").unwrap();
+        drop(f);
+        let f = File::open(&path).unwrap();
+        let m = Mmap::map(&f).unwrap();
+        assert_eq!(&m[..], b"hello mapping");
+        assert_eq!(m.len(), 13);
+        assert!(!m.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}
