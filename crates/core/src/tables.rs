@@ -32,6 +32,7 @@ impl PredictionTables {
     /// Panics if `cfg` fails [`GhrpConfig::validate`].
     pub fn new(cfg: &GhrpConfig) -> PredictionTables {
         if let Err(e) = cfg.validate() {
+            // lint:allow(panic-path): constructor-time config validation, documented `# Panics`; never on the per-access path
             panic!("invalid GhrpConfig: {e}");
         }
         PredictionTables {

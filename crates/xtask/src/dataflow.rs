@@ -48,19 +48,62 @@ pub struct FnUnit<'a> {
     pub block: Block,
 }
 
+/// A lowered function plus the item-level context the interprocedural
+/// layer needs: which impl block owns it, which trait that impl (or
+/// trait declaration) serves, its source line, and whether it takes a
+/// `self` receiver. Produced once per file by [`lower_fns_ctx`] and
+/// shared by every pass (satellite: parse/lower exactly once).
+#[derive(Debug)]
+pub struct LoweredFn<'a> {
+    /// The body lowering the per-file passes consume.
+    pub unit: FnUnit<'a>,
+    /// `impl` self-type name (`Lru` for `impl ReplacementPolicy for
+    /// Lru`), or the trait name for trait-declaration default bodies.
+    pub owner: Option<String>,
+    /// Trait name when the function sits in a trait impl or a trait
+    /// declaration.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `fn` item.
+    pub line: usize,
+    /// Whether the parameter list starts with a `self` receiver.
+    pub has_self: bool,
+    /// Whether that receiver is mutable (`&mut self`, `mut self`, or
+    /// `self: &mut Self`) — the ground truth the call graph prefers
+    /// over name heuristics when classifying field mutations.
+    pub self_mut: bool,
+    /// Number of non-`self` parameters.
+    pub arity: usize,
+}
+
 fn is_test_attr(a: &Attribute) -> bool {
     a.is("cfg") && a.arg_mentions("test")
+}
+
+/// Whether a file is test-only (`#![cfg(test)]` inner attribute) — such
+/// files are skipped by the body rules and the call graph alike.
+pub fn is_cfg_test_file(file: &syn::File) -> bool {
+    file.attrs.iter().any(is_test_attr)
 }
 
 /// Lower every function body of an item tree, skipping `#[cfg(test)]`
 /// subtrees exactly.
 pub fn lower_fns(items: &[Item]) -> Vec<FnUnit<'_>> {
+    lower_fns_ctx(items).into_iter().map(|l| l.unit).collect()
+}
+
+/// [`lower_fns`] plus impl/trait ownership context, for the call graph.
+pub fn lower_fns_ctx(items: &[Item]) -> Vec<LoweredFn<'_>> {
     let mut out = Vec::new();
-    collect_fns(items, &mut out);
+    collect_fns(items, None, None, &mut out);
     out
 }
 
-fn collect_fns<'a>(items: &'a [Item], out: &mut Vec<FnUnit<'a>>) {
+fn collect_fns<'a>(
+    items: &'a [Item],
+    owner: Option<&str>,
+    trait_name: Option<&str>,
+    out: &mut Vec<LoweredFn<'a>>,
+) {
     for item in items {
         if item.attrs().iter().any(is_test_attr) {
             continue;
@@ -68,23 +111,62 @@ fn collect_fns<'a>(items: &'a [Item], out: &mut Vec<FnUnit<'a>>) {
         match item {
             Item::Fn(f) => {
                 if let Some(body) = &f.body {
-                    out.push(FnUnit {
-                        name: f.ident.text.clone(),
-                        sig: &f.sig,
-                        block: expr::parse_block(body),
+                    let (has_self, self_mut, arity) = receiver_shape(&f.sig);
+                    out.push(LoweredFn {
+                        unit: FnUnit {
+                            name: f.ident.text.clone(),
+                            sig: &f.sig,
+                            block: expr::parse_block(body),
+                        },
+                        owner: owner.map(str::to_string),
+                        trait_name: trait_name.map(str::to_string),
+                        line: f.span.line,
+                        has_self,
+                        self_mut,
+                        arity,
                     });
                 }
             }
-            Item::Impl(i) => collect_fns(&i.items, out),
-            Item::Trait(t) => collect_fns(&t.items, out),
+            Item::Impl(i) => collect_fns(
+                &i.items,
+                i.self_ty_name.as_deref(),
+                i.trait_name.as_deref(),
+                out,
+            ),
+            // Trait default bodies: the trait name stands in as the
+            // owner, so `impl` methods can fall back to them.
+            Item::Trait(t) => collect_fns(
+                &t.items,
+                Some(t.ident.text.as_str()),
+                Some(t.ident.text.as_str()),
+                out,
+            ),
             Item::Mod(m) => {
                 if let Some(content) = &m.content {
-                    collect_fns(content, out);
+                    collect_fns(content, owner, trait_name, out);
                 }
             }
             _ => {}
         }
     }
+}
+
+/// Whether the parameter list opens with a `self` receiver, whether that
+/// receiver is mutable, and how many further parameters follow.
+fn receiver_shape(sig: &[TokenTree]) -> (bool, bool, usize) {
+    let Some(params) = sig.iter().find_map(|t| t.group(Delimiter::Parenthesis)) else {
+        return (false, false, 0);
+    };
+    let chunks = syn::split_top_level(&params.stream, ",");
+    let receiver = chunks
+        .first()
+        .filter(|c| c.iter().any(|t| t.is_ident("self")));
+    let has_self = receiver.is_some();
+    // `&mut self`, `mut self` and `self: &mut Self` all carry a `mut`
+    // ident in the receiver chunk; `&self` / `self` never do.
+    let self_mut = receiver.is_some_and(|c| c.iter().any(|t| t.is_ident("mut")));
+    let arity = chunks.len().saturating_sub(usize::from(has_self));
+    (has_self, self_mut, arity)
 }
 
 /// Type names that imply arbitrary iteration order. `FastMap` is the

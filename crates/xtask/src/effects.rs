@@ -1,0 +1,330 @@
+//! Per-function effect summaries, propagated to fixpoint over the
+//! workspace call graph.
+//!
+//! Each function gets a small bitset (the summary lattice — DESIGN.md
+//! §8.4): `may_panic`, `may_alloc`, `does_io`, `reads_clock_or_env`
+//! (which folds in entropy sources — clocks, environment variables and
+//! RNGs are all nondeterministic inputs) and `unordered_iter_taint`.
+//! Local sources are extracted from the release-pruned expression walk
+//! ([`crate::callgraph::walk_release`]); the transitive summary is the
+//! least fixpoint of `total(f) = local(f) ∪ ⋃ total(callee)` over the
+//! resolved call edges. Bits only ever turn on, so iteration terminates
+//! in at most `bits × |fns|` rounds; cycles (recursion) are handled for
+//! free.
+//!
+//! Deliberate choices, tuned against this workspace:
+//!
+//! * `assert!`-family macros and slice indexing are **not** panic
+//!   sources: they are the sanctioned way to state invariants, and
+//!   counting them would make every function `may_panic`. The panic
+//!   sources are `.unwrap()`/`.expect()` (and the `_err` variants) plus
+//!   the `panic!`/`unreachable!`/`todo!`/`unimplemented!` macros.
+//! * A justified allow annotation *at the source line* clears the
+//!   effect bit before propagation: `panic-path` suppresses a panic
+//!   source, `render-purity` suppresses an I/O or clock/env source.
+//!   This is how sanctioned impurity (e.g. the scheduler's stats clock)
+//!   is kept from tainting every transitive caller — the justification
+//!   lives exactly where the effect happens.
+//!
+//! [`witness`] reconstructs a shortest call chain from a function to a
+//! concrete source so findings can say *why* a summary bit is set.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+
+use syn::expr::Expr;
+
+use crate::allow::Allows;
+use crate::callgraph::{walk_release, Graph};
+use crate::dataflow::{unordered_iter_source, Env};
+
+/// Transitive reachability of `panic!`/`unwrap`.
+pub const PANIC: u8 = 1;
+/// Heap allocation (`Vec::new`, `collect`, `format!`, …).
+pub const ALLOC: u8 = 2;
+/// File-system / stream I/O.
+pub const IO: u8 = 4;
+/// Nondeterministic input: clocks, env vars, entropy.
+pub const NONDET: u8 = 8;
+/// Iteration order of an unordered map observed.
+pub const UNORDERED: u8 = 16;
+
+/// Every bit, in rendering order.
+pub const ALL_BITS: [(u8, &str); 5] = [
+    (PANIC, "may_panic"),
+    (ALLOC, "may_alloc"),
+    (IO, "does_io"),
+    (NONDET, "reads_clock_or_env"),
+    (UNORDERED, "unordered_iter_taint"),
+];
+
+/// One concrete local effect source.
+#[derive(Debug, Clone)]
+pub struct Source {
+    /// Which effect bit this source sets.
+    pub bit: u8,
+    /// 1-based line of the source expression.
+    pub line: usize,
+    /// What it is (`.unwrap()`, `Instant::now()`, …).
+    pub what: String,
+    /// Whether the source is a macro invocation (`panic!`) rather than a
+    /// method/call — the panic-reachability pass reports local macro
+    /// sources itself (methods are already `no-panic`'s business).
+    pub from_macro: bool,
+}
+
+/// Effect summaries for every node of a [`Graph`].
+#[derive(Debug)]
+pub struct Effects {
+    /// Local (intra-procedural) bits per node.
+    pub local: Vec<u8>,
+    /// Transitive bits per node (the fixpoint).
+    pub total: Vec<u8>,
+    /// First local source per bit per node.
+    pub sources: Vec<Vec<Source>>,
+}
+
+/// Workspace-wide counts of functions carrying each transitive effect —
+/// surfaced in the JSON report.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EffectTotals {
+    /// Functions analyzed (library class).
+    pub functions: usize,
+    /// Functions that may transitively panic.
+    pub may_panic: usize,
+    /// Functions that may transitively allocate.
+    pub may_alloc: usize,
+    /// Functions that may transitively do I/O.
+    pub does_io: usize,
+    /// Functions that transitively read clock/env/entropy.
+    pub reads_clock_or_env: usize,
+    /// Functions transitively observing unordered iteration.
+    pub unordered_iter_taint: usize,
+}
+
+/// Compute local sources, then propagate to fixpoint.
+pub fn compute(g: &Graph<'_>, allows_by_file: &BTreeMap<PathBuf, Allows>) -> Effects {
+    let n = g.fns.len();
+    let mut local = vec![0u8; n];
+    let mut sources: Vec<Vec<Source>> = vec![Vec::new(); n];
+    for (i, node) in g.fns.iter().enumerate() {
+        let allows = allows_by_file.get(node.rel);
+        let mut record = |src: Source| {
+            let rule = suppressing_rule(src.bit);
+            if let (Some(allows), Some(rule)) = (allows, rule) {
+                if allows.suppresses(rule, src.line) {
+                    return;
+                }
+            }
+            local[i] |= src.bit;
+            if !sources[i].iter().any(|s| s.bit == src.bit) {
+                sources[i].push(src);
+            }
+        };
+        walk_release(&node.lf.unit.block, &mut |e| {
+            if let Some(src) = local_source(e) {
+                record(src);
+            }
+        });
+        // Unordered iteration needs the per-function type environment.
+        let env = Env::of(&node.lf.unit);
+        if !env.unordered.is_empty() {
+            walk_release(&node.lf.unit.block, &mut |e| {
+                if let Expr::ForLoop(fl) = e {
+                    if let Some(map) = unordered_iter_source(&fl.iter, &env) {
+                        record(Source {
+                            bit: UNORDERED,
+                            line: fl.span.line,
+                            what: format!("iteration over unordered `{map}`"),
+                            from_macro: false,
+                        });
+                    }
+                }
+            });
+        }
+    }
+
+    // Least fixpoint: bits are monotone, so iterate until stable.
+    let mut total = local.clone();
+    loop {
+        let mut changed = false;
+        for (i, node) in g.fns.iter().enumerate() {
+            let mut t = total[i];
+            for e in &node.calls {
+                t |= total[e.callee];
+            }
+            if t != total[i] {
+                total[i] = t;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Effects {
+        local,
+        total,
+        sources,
+    }
+}
+
+/// The rule whose justified allow annotation clears this bit at source.
+fn suppressing_rule(bit: u8) -> Option<&'static str> {
+    match bit {
+        PANIC => Some("panic-path"),
+        IO | NONDET => Some("render-purity"),
+        _ => None,
+    }
+}
+
+/// Classify one expression as a local effect source.
+fn local_source(e: &Expr) -> Option<Source> {
+    match e {
+        Expr::MethodCall(m) => {
+            let name = m.method.text.as_str();
+            if matches!(name, "unwrap" | "expect" | "unwrap_err" | "expect_err") {
+                return Some(Source {
+                    bit: PANIC,
+                    line: m.span.line,
+                    what: format!(".{name}()"),
+                    from_macro: false,
+                });
+            }
+            if matches!(name, "to_vec" | "to_owned" | "to_string" | "collect") {
+                return Some(Source {
+                    bit: ALLOC,
+                    line: m.span.line,
+                    what: format!(".{name}()"),
+                    from_macro: false,
+                });
+            }
+            None
+        }
+        Expr::Macro(m) => {
+            let name = m.path.last().map(String::as_str)?;
+            let bit = match name {
+                "panic" | "unreachable" | "todo" | "unimplemented" => PANIC,
+                "vec" | "format" => ALLOC,
+                "println" | "print" | "eprintln" | "eprint" => IO,
+                _ => return None,
+            };
+            Some(Source {
+                bit,
+                line: m.span.line,
+                what: format!("{name}!"),
+                from_macro: true,
+            })
+        }
+        Expr::Call { callee, span, .. } => {
+            let path = callee.as_path()?;
+            let segs = &path.segments;
+            let last = path.last()?;
+            let has = |name: &str| segs.iter().any(|s| s == name);
+            let bit_what: Option<(u8, String)> =
+                if (has("Instant") || has("SystemTime")) && last == "now" {
+                    Some((NONDET, format!("{}::now()", segs[segs.len() - 2])))
+                } else if has("env") && matches!(last, "var" | "vars" | "var_os" | "vars_os") {
+                    Some((NONDET, format!("env::{last}()")))
+                } else if matches!(last, "thread_rng" | "random") || has("RandomState") {
+                    Some((NONDET, format!("{last}()")))
+                } else if has("fs")
+                    || has("OpenOptions")
+                    || ((has("File") || has("TcpStream") || has("TcpListener") || has("UdpSocket"))
+                        && !starts_upper(last))
+                    || matches!(last, "stdin" | "stdout" | "stderr")
+                {
+                    Some((IO, format!("{}()", path.joined())))
+                } else if last == "with_capacity"
+                    || (matches!(last, "new" | "from" | "default")
+                        && segs.len() >= 2
+                        && matches!(
+                            segs[segs.len() - 2].as_str(),
+                            "Vec"
+                                | "Box"
+                                | "String"
+                                | "VecDeque"
+                                | "BTreeMap"
+                                | "HashMap"
+                                | "BinaryHeap"
+                                | "BTreeSet"
+                                | "HashSet"
+                        ))
+                {
+                    Some((ALLOC, format!("{}()", path.joined())))
+                } else {
+                    None
+                };
+            bit_what.map(|(bit, what)| Source {
+                bit,
+                line: span.line,
+                what,
+                from_macro: false,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn starts_upper(s: &str) -> bool {
+    s.chars().next().is_some_and(char::is_uppercase)
+}
+
+/// Shortest call chain from `start` to a concrete source of `bit`,
+/// rendered for diagnostics: `a → b → c (.unwrap() at path:line)`.
+/// `None` when the bit is not actually set transitively.
+pub fn witness(g: &Graph<'_>, eff: &Effects, start: usize, bit: u8) -> Option<String> {
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue = VecDeque::from([start]);
+    let mut found = None;
+    while let Some(i) = queue.pop_front() {
+        if eff.local[i] & bit != 0 {
+            found = Some(i);
+            break;
+        }
+        for e in &g.fns[i].calls {
+            if eff.total[e.callee] & bit != 0 && !parent.contains_key(&e.callee) {
+                parent.insert(e.callee, i);
+                queue.push_back(e.callee);
+            }
+        }
+    }
+    let end = found?;
+    let mut chain = vec![end];
+    let mut cur = end;
+    while let Some(&p) = parent.get(&cur) {
+        chain.push(p);
+        cur = p;
+        if p == start {
+            break;
+        }
+    }
+    chain.reverse();
+    let names: Vec<String> = chain.iter().map(|&i| g.fns[i].display_name()).collect();
+    let src = eff.sources[end].iter().find(|s| s.bit == bit)?;
+    Some(format!(
+        "{} ({} at {}:{})",
+        names.join(" → "),
+        src.what,
+        g.fns[end].rel.display(),
+        src.line
+    ))
+}
+
+/// Aggregate transitive counts for the JSON report.
+pub fn totals(eff: &Effects) -> EffectTotals {
+    let mut t = EffectTotals {
+        functions: eff.total.len(),
+        ..EffectTotals::default()
+    };
+    for &bits in &eff.total {
+        t.may_panic += usize::from(bits & PANIC != 0);
+        t.may_alloc += usize::from(bits & ALLOC != 0);
+        t.does_io += usize::from(bits & IO != 0);
+        t.reads_clock_or_env += usize::from(bits & NONDET != 0);
+        t.unordered_iter_taint += usize::from(bits & UNORDERED != 0);
+    }
+    t
+}

@@ -11,18 +11,24 @@
 //!
 //! ```json
 //! {
-//!   "schema": "xtask-lint/1",
+//!   "schema": "xtask-lint/2",
 //!   "files_scanned": 120,
 //!   "clean": true,
 //!   "findings": [ {"file", "line", "rule", "message"} ],
 //!   "rule_counts": { "<rule>": <finding count>, … },
+//!   "effects": { "functions", "may_panic", "may_alloc", "does_io",
+//!                "reads_clock_or_env", "unordered_iter_taint" },
 //!   "active_allows": [ {"file", "line", "rule", "justification"} ]
 //! }
 //! ```
 //!
 //! `rule_counts` always lists every known rule (zeros included) so a
 //! consumer can distinguish "rule ran and found nothing" from "rule
-//! does not exist in this revision".
+//! does not exist in this revision". Schema `/2` added the three
+//! interprocedural rules to `rule_counts` and the `effects` object —
+//! workspace-wide counts of functions whose *transitive* summary
+//! carries each effect bit. Phase timings are deliberately absent:
+//! the report must be byte-diffable across identical revisions.
 
 #![forbid(unsafe_code)]
 
@@ -36,7 +42,7 @@ use crate::LintReport;
 pub fn render(report: &LintReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"xtask-lint/1\",");
+    let _ = writeln!(out, "  \"schema\": \"xtask-lint/2\",");
     let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
     let _ = writeln!(
         out,
@@ -83,6 +89,20 @@ pub fn render(report: &LintReport) -> String {
             if i == last { "" } else { "," }
         );
     }
+    out.push_str("  },\n");
+
+    let e = &report.effects;
+    out.push_str("  \"effects\": {\n");
+    let _ = writeln!(out, "    \"functions\": {},", e.functions);
+    let _ = writeln!(out, "    \"may_panic\": {},", e.may_panic);
+    let _ = writeln!(out, "    \"may_alloc\": {},", e.may_alloc);
+    let _ = writeln!(out, "    \"does_io\": {},", e.does_io);
+    let _ = writeln!(out, "    \"reads_clock_or_env\": {},", e.reads_clock_or_env);
+    let _ = writeln!(
+        out,
+        "    \"unordered_iter_taint\": {}",
+        e.unordered_iter_taint
+    );
     out.push_str("  },\n");
 
     out.push_str("  \"active_allows\": [");
@@ -142,13 +162,17 @@ mod tests {
             ..LintReport::default()
         };
         let j = render(&report);
-        assert!(j.contains("\"schema\": \"xtask-lint/1\""));
+        assert!(j.contains("\"schema\": \"xtask-lint/2\""));
         assert!(j.contains("\"clean\": true"));
         assert!(j.contains("\"findings\": []"));
         // Every rule present with a zero count.
         for rule in RULES {
             assert!(j.contains(&format!("\"{rule}\": 0")), "missing {rule}");
         }
+        // The effect-summary block is always present.
+        assert!(j.contains("\"effects\": {"));
+        assert!(j.contains("\"functions\": 0"));
+        assert!(j.contains("\"reads_clock_or_env\": 0"));
     }
 
     #[test]
@@ -168,6 +192,7 @@ mod tests {
                 rule: "pow2-mask".into(),
                 justification: "ring buffer \\ wrap".into(),
             }],
+            ..LintReport::default()
         };
         let j = render(&report);
         assert!(j.contains("\"clean\": false"));

@@ -14,6 +14,10 @@
 //! * [`dataflow`] / [`passes`] — the per-function lowering
 //!   ([`dataflow::FnUnit`]), the name-scoped type environment
 //!   ([`dataflow::Env`]) and the four dataflow passes built on them.
+//! * [`callgraph`] / [`effects`] — the interprocedural layer: workspace
+//!   symbol table, resolved call graph, per-function effect summaries
+//!   propagated to fixpoint, and the three rules on top (`panic-path`,
+//!   `render-purity`, `reset-complete`). See DESIGN.md §8.4.
 //! * [`dispatch`] — drift detection for the `AnyPolicy` closed sum:
 //!   every `impl ReplacementPolicy` must have an enum variant, every
 //!   variant an impl and a `build_pair` construction site, and every
@@ -30,9 +34,11 @@
 
 pub mod allow;
 pub mod audit;
+pub mod callgraph;
 pub mod consteval;
 pub mod dataflow;
 pub mod dispatch;
+pub mod effects;
 pub mod engine;
 pub mod json;
 pub mod minitoml;
@@ -76,6 +82,22 @@ pub struct ActiveAllow {
     pub justification: String,
 }
 
+/// Wall-clock cost of each lint phase, printed in the human summary so
+/// interprocedural additions are accountable for their latency. Never
+/// serialized to JSON (timings are nondeterministic; the report must
+/// stay diffable).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseTimings {
+    /// Source discovery + parsing + shared function lowering.
+    pub parse_ms: f64,
+    /// Per-file rule passes (legacy + expression dataflow).
+    pub rules_ms: f64,
+    /// Call-graph construction + effect fixpoint.
+    pub graph_ms: f64,
+    /// Workspace passes (drift checks + interprocedural rules).
+    pub passes_ms: f64,
+}
+
 /// Outcome of a full `lint` run over one root.
 #[derive(Debug, Default)]
 pub struct LintReport {
@@ -87,19 +109,46 @@ pub struct LintReport {
     pub active_allows: usize,
     /// The justified annotations themselves, sorted by (file, line).
     pub allow_details: Vec<ActiveAllow>,
+    /// Workspace-wide transitive effect-summary counts.
+    pub effects: effects::EffectTotals,
+    /// Per-phase wall-clock timings.
+    pub timings: PhaseTimings,
 }
 
-/// Run every lint pass (rules + allow hygiene + dispatch drift) over the
-/// workspace rooted at `root`.
+/// Run every lint pass (per-file rules + allow hygiene + workspace
+/// drift checks + the interprocedural effect rules) over the workspace
+/// rooted at `root`. Each file is parsed and lowered exactly once; the
+/// same AST feeds the file rules and the call graph.
 pub fn run_lint(root: &Path) -> LintReport {
+    let ms = |t: std::time::Instant| t.elapsed().as_secs_f64() * 1e3;
+
+    // Phase 1: discovery, parsing, shared lowering.
+    let t = std::time::Instant::now();
     let ws = engine::Workspace::load(root);
+    let mut lowered: Vec<Vec<dataflow::LoweredFn<'_>>> = Vec::with_capacity(ws.files.len());
+    for pf in &ws.files {
+        let skip = pf.source.class == engine::FileClass::IntegrationTest
+            || dataflow::is_cfg_test_file(&pf.ast);
+        lowered.push(if skip {
+            Vec::new()
+        } else {
+            dataflow::lower_fns_ctx(&pf.ast.items)
+        });
+    }
+    let mut allows_by_file = std::collections::BTreeMap::new();
+    for pf in &ws.files {
+        allows_by_file.insert(pf.source.rel.clone(), allow::scan(&pf.text));
+    }
+    let parse_ms = ms(t);
+
+    // Phase 2: per-file rules over the shared lowering.
+    let t = std::time::Instant::now();
     let mut findings = ws.errors.clone();
     let mut active_allows = 0;
     let mut allow_details = Vec::new();
-    let mut allows_by_file = std::collections::BTreeMap::new();
-    for pf in &ws.files {
-        let allows = allow::scan(&pf.text);
-        rules::lint_file(pf, &allows, &mut findings);
+    for (pf, low) in ws.files.iter().zip(&lowered) {
+        let allows = &allows_by_file[&pf.source.rel];
+        rules::lint_file(pf, low, allows, &mut findings);
         active_allows += allows.justified_count();
         for ann in allows.annotations.iter().filter(|a| a.active()) {
             allow_details.push(ActiveAllow {
@@ -109,12 +158,23 @@ pub fn run_lint(root: &Path) -> LintReport {
                 justification: ann.justification.clone().unwrap_or_default(),
             });
         }
-        allows_by_file.insert(pf.source.rel.clone(), allows);
     }
-    // Workspace-level passes honor the same justified-annotation escape
-    // hatch as the per-file rules.
+    let rules_ms = ms(t);
+
+    // Phase 3: workspace call graph + effect fixpoint.
+    let t = std::time::Instant::now();
+    let graph = callgraph::build(&ws.files, &lowered);
+    let eff = effects::compute(&graph, &allows_by_file);
+    let graph_ms = ms(t);
+
+    // Phase 4: workspace-level passes. All honor the same justified-
+    // annotation escape hatch as the per-file rules.
+    let t = std::time::Instant::now();
     let mut ws_findings = dispatch::check(&ws);
     ws_findings.extend(registry::check(&ws));
+    passes::panic_path::run(&graph, &eff, &mut ws_findings);
+    passes::render_purity::run(&graph, &eff, &mut ws_findings);
+    passes::reset_complete::run(&graph, &mut ws_findings);
     ws_findings.retain(|f| {
         !allows_by_file
             .get(&f.file)
@@ -124,11 +184,20 @@ pub fn run_lint(root: &Path) -> LintReport {
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     findings.dedup();
     allow_details.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    let passes_ms = ms(t);
+
     LintReport {
         findings,
         files_scanned: ws.files.len() + ws.errors.len(),
         active_allows,
         allow_details,
+        effects: effects::totals(&eff),
+        timings: PhaseTimings {
+            parse_ms,
+            rules_ms,
+            graph_ms,
+            passes_ms,
+        },
     }
 }
 

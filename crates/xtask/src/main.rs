@@ -40,25 +40,56 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!("usage: cargo xtask <command>\n");
     eprintln!("commands:");
-    eprintln!("  lint   [--root DIR] [--json]         run the custom static checks");
+    eprintln!("  lint   [--root DIR] [--json] [--rule NAME] [--path PREFIX]");
+    eprintln!("                                       run the custom static checks");
     eprintln!("  audit  [--root DIR] [--budgets FILE] verify the paper storage budgets");
+    eprintln!("\nlint filters (for focused local runs):");
+    eprintln!("  --rule NAME    only report findings for one rule (exit 2 if unknown)");
+    eprintln!("  --path PREFIX  only report findings under a workspace-relative prefix");
     eprintln!("\nrules: {}", rules::RULES.join(", "));
 }
 
 /// Parse `--flag VALUE` out of a trailing argument list.
 fn flag_value(args: &[String], flag: &str) -> Option<PathBuf> {
+    flag_str(args, flag).map(PathBuf::from)
+}
+
+/// Parse `--flag VALUE` as a plain string.
+fn flag_str<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
+        .map(String::as_str)
+}
+
+/// Rules a `--rule` filter may name: the active set plus the two
+/// engine-reserved identifiers.
+fn known_rule(name: &str) -> bool {
+    rules::RULES.contains(&name) || matches!(name, "parse-error" | "unknown-rule")
 }
 
 fn lint(args: &[String]) -> ExitCode {
     let root = flag_value(args, "--root").unwrap_or_else(workspace_root);
-    let report = run_lint(&root);
+    let rule_filter = flag_str(args, "--rule");
+    let path_filter = flag_str(args, "--path");
+    if let Some(rule) = rule_filter {
+        if !known_rule(rule) {
+            eprintln!("error: unknown rule `{rule}`\n");
+            usage();
+            return ExitCode::from(2);
+        }
+    }
+    let mut report = run_lint(&root);
     if report.files_scanned == 0 {
         eprintln!("xtask lint: no sources found under {}", root.display());
         return ExitCode::FAILURE;
+    }
+    if rule_filter.is_some() || path_filter.is_some() {
+        report.findings.retain(|f| {
+            rule_filter.is_none_or(|r| f.rule == r)
+                && path_filter
+                    .is_none_or(|p| f.file.to_string_lossy().replace('\\', "/").starts_with(p))
+        });
     }
     if args.iter().any(|a| a == "--json") {
         // Machine-readable mode: the full report on stdout, human
@@ -70,6 +101,16 @@ fn lint(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         };
     }
+    let t = report.timings;
+    let phases = format!(
+        "phases: parse+lower {:.1}ms · file rules {:.1}ms · call graph+effects {:.1}ms · workspace passes {:.1}ms",
+        t.parse_ms, t.rules_ms, t.graph_ms, t.passes_ms
+    );
+    let e = report.effects;
+    let summaries = format!(
+        "effects: {} fns — {} may_panic, {} may_alloc, {} does_io, {} reads_clock_or_env, {} unordered",
+        e.functions, e.may_panic, e.may_alloc, e.does_io, e.reads_clock_or_env, e.unordered_iter_taint
+    );
     if report.findings.is_empty() {
         println!(
             "xtask lint: {} files scanned, clean ({} active allow annotation{})",
@@ -77,6 +118,8 @@ fn lint(args: &[String]) -> ExitCode {
             report.active_allows,
             if report.active_allows == 1 { "" } else { "s" }
         );
+        println!("  {phases}");
+        println!("  {summaries}");
         return ExitCode::SUCCESS;
     }
     for f in &report.findings {
@@ -94,6 +137,7 @@ fn lint(args: &[String]) -> ExitCode {
         report.files_scanned,
         report.active_allows
     );
+    eprintln!("  {phases}");
     ExitCode::FAILURE
 }
 

@@ -1,0 +1,68 @@
+//! `panic-path`: transitive panic-freedom for simulator hot paths.
+//!
+//! The intra-procedural `no-panic` rule catches `.unwrap()` spelled
+//! *inside* a hot file; this pass upgrades the guarantee to the call
+//! graph. A hot-path function calling a helper — in any crate — whose
+//! transitive effect summary includes `may_panic` is flagged at the
+//! call site, with the witness chain down to the concrete `unwrap` or
+//! `panic!`. Local `panic!`-family macros in hot functions are also
+//! flagged (the token-level `no-panic` rule only knows `.unwrap()` /
+//! `.expect()`; the method sources are left to it so nothing is
+//! double-reported).
+//!
+//! Escape hatch: a justified `panic-path` allow on the *source* line
+//! (the unwrap/panic itself) clears the effect before propagation —
+//! the justification lives where the invariant argument is.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::Graph;
+use crate::effects::{witness, Effects, PANIC};
+use crate::Finding;
+
+/// Flag hot-path call sites whose callee may transitively panic.
+pub fn run(g: &Graph<'_>, eff: &Effects, out: &mut Vec<Finding>) {
+    for (i, node) in g.fns.iter().enumerate() {
+        if !node.hot {
+            continue;
+        }
+        let mut seen_lines = BTreeSet::new();
+        // Local macro panics (unwrap/expect stay `no-panic`'s finding).
+        for src in eff.sources[i]
+            .iter()
+            .filter(|s| s.bit == PANIC && s.from_macro)
+        {
+            if seen_lines.insert(src.line) {
+                out.push(Finding {
+                    file: node.rel.to_path_buf(),
+                    line: src.line,
+                    rule: "panic-path",
+                    message: format!(
+                        "`{}` aborts in a simulator hot path; return a structured \
+                         error or annotate the invariant with a justified allow",
+                        src.what
+                    ),
+                });
+            }
+        }
+        for edge in &node.calls {
+            if eff.total[edge.callee] & PANIC == 0 || !seen_lines.insert(edge.line) {
+                continue;
+            }
+            let chain = witness(g, eff, edge.callee, PANIC)
+                .unwrap_or_else(|| g.fns[edge.callee].display_name());
+            out.push(Finding {
+                file: node.rel.to_path_buf(),
+                line: edge.line,
+                rule: "panic-path",
+                message: format!(
+                    "call to `{}` may panic via {chain}; hot paths must be \
+                     transitively panic-free",
+                    g.fns[edge.callee].display_name()
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! `render-purity`: every `Experiment::render` must be a pure function
+//! of its inputs.
+//!
+//! The experiment registry's determinism story (bit-pinned manifests,
+//! diffable artifacts) rests on `render` producing identical output for
+//! identical simulation results. This pass checks it statically: the
+//! transitive effect summary of each `render` impl must be free of I/O
+//! and of nondeterministic inputs (clock, env vars, entropy). Panics
+//! and allocation are deliberately allowed — they do not change what a
+//! successful render produces.
+//!
+//! Sanctioned impurity (the scheduler's stats clock, the corpus disk
+//! cache) is suppressed with a justified `render-purity` allow on the
+//! *source* line, which clears the effect for every transitive caller
+//! in one audited place.
+
+#![forbid(unsafe_code)]
+
+use crate::callgraph::Graph;
+use crate::effects::{witness, Effects, IO, NONDET};
+use crate::Finding;
+
+/// Flag `Experiment::render` impls with transitive I/O or clock/env/
+/// entropy effects.
+pub fn run(g: &Graph<'_>, eff: &Effects, out: &mut Vec<Finding>) {
+    for (i, node) in g.fns.iter().enumerate() {
+        if node.lf.unit.name != "render"
+            || node.lf.trait_name.as_deref() != Some("Experiment")
+            || !node.lf.has_self
+        {
+            continue;
+        }
+        let impure = eff.total[i] & (IO | NONDET);
+        if impure == 0 {
+            continue;
+        }
+        let owner = node.lf.owner.as_deref().unwrap_or("?");
+        let mut parts = Vec::new();
+        if impure & IO != 0 {
+            if let Some(w) = witness(g, eff, i, IO) {
+                parts.push(format!("performs I/O via {w}"));
+            }
+        }
+        if impure & NONDET != 0 {
+            if let Some(w) = witness(g, eff, i, NONDET) {
+                parts.push(format!("reads clock/env/entropy via {w}"));
+            }
+        }
+        out.push(Finding {
+            file: node.rel.to_path_buf(),
+            line: node.lf.line,
+            rule: "render-purity",
+            message: format!(
+                "`render` for `{owner}` must be a pure function of the \
+                 simulation results but {}",
+                parts.join(" and ")
+            ),
+        });
+    }
+}

@@ -1,0 +1,148 @@
+//! `reset-complete`: a lane arena's `reset()` must restore every piece
+//! of mutable state the constructor initializes.
+//!
+//! The suite scheduler reuses policy/predictor instances across runs via
+//! `reset()` instead of rebuilding them; one forgotten field silently
+//! corrupts every warm-arena result after the first. For each type with
+//! both a struct-literal constructor and a no-argument `reset(&mut
+//! self)`, this pass checks:
+//!
+//! ```text
+//! missing = (constructor fields ∩ state fields) − reset writes
+//! ```
+//!
+//! * **constructor fields** — the `Self { … }` literal's field list
+//!   (types using `..rest` functional update are exempt: the list is
+//!   not exhaustive).
+//! * **state fields** — fields written by any method *other than* the
+//!   constructors and the reset closure. A field only ever written at
+//!   construction (geometry, config, derived masks) is not state and
+//!   legitimately survives reset.
+//! * **reset writes** — fields written by `reset()` itself or by any
+//!   same-type method it (transitively) calls; `*self = Self::new(…)`
+//!   counts as writing everything.
+//!
+//! Intentionally-sticky state (e.g. a set-dueling PSEL counter that
+//! should survive across traces) is annotated with a justified
+//! `reset-complete` allow on the `reset` fn, which documents the
+//! decision next to the code that makes it.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{FnNode, Graph};
+use crate::Finding;
+
+fn is_reset(node: &FnNode<'_>) -> bool {
+    node.lf.unit.name == "reset" && node.lf.has_self && node.lf.arity == 0
+}
+
+/// Flag `reset()` impls that leave constructor-initialized, mutated
+/// fields unrestored.
+pub fn run(g: &Graph<'_>, out: &mut Vec<Finding>) {
+    // Group nodes by (crate, owner): same-named types in different
+    // crates must not merge their state.
+    let mut groups: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (i, node) in g.fns.iter().enumerate() {
+        if let Some(owner) = &node.lf.owner {
+            // Trait declarations own their default bodies; those are
+            // not state-bearing types.
+            if !g.trait_names.contains(owner) {
+                groups
+                    .entry((node.crate_name.as_str(), owner.as_str()))
+                    .or_default()
+                    .push(i);
+            }
+        }
+    }
+
+    for ((_, owner), ids) in &groups {
+        let Some(&reset) = ids.iter().find(|&&i| is_reset(&g.fns[i])) else {
+            continue;
+        };
+        // Union constructor fields; any functional-update literal makes
+        // the list non-exhaustive and exempts the type.
+        let mut ctor_fields: BTreeSet<&str> = BTreeSet::new();
+        let mut has_ctor = false;
+        let mut exhaustive = true;
+        for &i in ids {
+            if let Some(c) = &g.fns[i].ctor {
+                has_ctor = true;
+                exhaustive &= c.exhaustive;
+                ctor_fields.extend(c.fields.iter().map(String::as_str));
+            }
+        }
+        if !has_ctor || !exhaustive {
+            continue;
+        }
+
+        // The reset closure: reset() plus same-type methods it reaches.
+        let in_group: BTreeSet<usize> = ids.iter().copied().collect();
+        let mut reset_set = BTreeSet::new();
+        let mut stack = vec![reset];
+        while let Some(i) = stack.pop() {
+            if !reset_set.insert(i) {
+                continue;
+            }
+            for e in &g.fns[i].calls {
+                if in_group.contains(&e.callee) && g.fns[e.callee].lf.has_self {
+                    stack.push(e.callee);
+                }
+            }
+        }
+        let mut reset_writes: BTreeSet<&str> = BTreeSet::new();
+        let mut whole = false;
+        for &i in &reset_set {
+            reset_writes.extend(g.fns[i].field_writes.iter().map(String::as_str));
+            whole |= g.fns[i].writes_whole_self;
+        }
+        if whole {
+            continue;
+        }
+
+        // State fields: written by mutators outside ctor and reset.
+        let mut state: BTreeMap<&str, &FnNode<'_>> = BTreeMap::new();
+        for &i in ids {
+            let node = &g.fns[i];
+            if reset_set.contains(&i) || node.ctor.is_some() || !node.lf.has_self {
+                continue;
+            }
+            for f in &node.field_writes {
+                state.entry(f.as_str()).or_insert(node);
+            }
+            if node.writes_whole_self {
+                for f in &ctor_fields {
+                    state.entry(f).or_insert(node);
+                }
+            }
+        }
+
+        let missing: Vec<&str> = ctor_fields
+            .iter()
+            .filter(|f| state.contains_key(**f) && !reset_writes.contains(**f))
+            .copied()
+            .collect();
+        if missing.is_empty() {
+            continue;
+        }
+        let mutators: BTreeSet<String> = missing
+            .iter()
+            .map(|f| state[*f].lf.unit.name.clone())
+            .collect();
+        let fields: Vec<String> = missing.iter().map(|f| format!("`{f}`")).collect();
+        let muts: Vec<String> = mutators.iter().map(|m| format!("`{m}`")).collect();
+        out.push(Finding {
+            file: g.fns[reset].rel.to_path_buf(),
+            line: g.fns[reset].lf.line,
+            rule: "reset-complete",
+            message: format!(
+                "`reset()` for `{owner}` leaves {} stale: initialized by the \
+                 constructor and mutated by {} but never restored; reset the \
+                 field(s) or annotate sticky state with a justified allow",
+                fields.join(", "),
+                muts.join(", ")
+            ),
+        });
+    }
+}

@@ -45,13 +45,13 @@ use syn::expr::{self, Block, Expr, Stmt};
 use syn::{Attribute, Delimiter, Item, TokenTree};
 
 use crate::allow::Allows;
-use crate::dataflow::{self, FnUnit, Hit};
+use crate::dataflow::{FnUnit, Hit, LoweredFn};
 use crate::engine::{is_hot_path, is_index_helper, FileClass, ParsedFile};
 use crate::passes;
 use crate::Finding;
 
 /// The rule identifiers accepted by the allow-annotation.
-pub const RULES: [&str; 10] = [
+pub const RULES: [&str; 13] = [
     "no-panic",
     "pow2-mask",
     "forbid-unsafe",
@@ -62,6 +62,9 @@ pub const RULES: [&str; 10] = [
     "alloc-in-hot-loop",
     "dispatch-drift",
     "registry-drift",
+    "panic-path",
+    "render-purity",
+    "reset-complete",
 ];
 
 /// The rules the pre-AST line scanner implemented; the golden corpus
@@ -76,8 +79,17 @@ const COUNT_WORDS: [&str; 5] = ["sets", "ways", "entries", "buckets", "capacity"
 /// Narrowing cast targets the `checked-index` rule rejects inside `[…]`.
 const NARROW: [&str; 4] = ["usize", "u32", "u16", "u8"];
 
-/// Run all rules over one parsed file, appending surviving findings.
-pub fn lint_file(pf: &ParsedFile, allows: &Allows, out: &mut Vec<Finding>) {
+/// Run all per-file rules over one parsed file, appending surviving
+/// findings. `lowered` is the file's shared function lowering (computed
+/// once in `run_lint` and reused by the call-graph layer); it is empty
+/// for files the body rules skip entirely (integration tests,
+/// `#![cfg(test)]` files).
+pub fn lint_file(
+    pf: &ParsedFile,
+    lowered: &[LoweredFn<'_>],
+    allows: &Allows,
+    out: &mut Vec<Finding>,
+) {
     let rel = &pf.source.rel;
     let mut hits: Vec<Hit> = Vec::new();
 
@@ -142,16 +154,17 @@ pub fn lint_file(pf: &ParsedFile, allows: &Allows, out: &mut Vec<Finding>) {
             token_scan(stream, hot, helper, &mut hits);
         });
 
-        for unit in dataflow::lower_fns(&pf.ast.items) {
-            legacy_rules_on_unit(&unit, hot, helper, &mut hits);
+        for lf in lowered {
+            let unit = &lf.unit;
+            legacy_rules_on_unit(unit, hot, helper, &mut hits);
             if library {
-                passes::nondet::run(&unit, &mut hits);
+                passes::nondet::run(unit, &mut hits);
             }
             if hot {
-                passes::hotloop::run(&unit, &mut hits);
+                passes::hotloop::run(unit, &mut hits);
             }
             if atomics_scope {
-                passes::atomics::run(&unit, &mut hits);
+                passes::atomics::run(unit, &mut hits);
             }
         }
     }
@@ -547,6 +560,7 @@ fn scan_narrowing_cast(stream: &[TokenTree], hits: &mut Vec<Hit>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dataflow;
 
     /// Run the production body path (expr rules + raw-island token
     /// scans) as a hot, non-helper library file.

@@ -1,0 +1,10 @@
+//! Decode pipeline (hot: `crates/core/src/`). The header fetch reaches
+//! an `.expect()` one file away in `trace/src/ioutil.rs` — the
+//! interprocedural golden extra.
+
+#![forbid(unsafe_code)]
+
+/// Feed one chunk header through the decoder.
+pub fn ingest(bytes: &[u8]) -> u32 {
+    read_header(bytes)
+}

@@ -1,0 +1,23 @@
+//! Hot-path file (`cache.rs` suffix): every function here must be
+//! transitively panic-free in release builds.
+
+#![forbid(unsafe_code)]
+
+/// BAD: calls `decode`, which unwraps. The finding lands on the call
+/// line with a witness chain ending at the unwrap site.
+pub fn lookup(raw: Option<u32>) -> u32 {
+    decode(raw)
+}
+
+/// BAD: aborts locally. Flagged at the `panic!` line itself.
+pub fn insert(way: usize, ways: usize) -> usize {
+    if way >= ways {
+        panic!("way out of range");
+    }
+    way
+}
+
+/// OK: `width` and `checked_width` are release-panic-free.
+pub fn probe(x: u32) -> u32 {
+    width(x) + checked_width(x)
+}

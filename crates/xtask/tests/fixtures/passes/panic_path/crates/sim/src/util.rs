@@ -1,0 +1,24 @@
+//! Non-hot helpers. `decode` panics on malformed input; `width` is
+//! total. The panic-path pass must see through the file boundary.
+
+#![forbid(unsafe_code)]
+
+/// Panics on `None` — fine here, fatal when a hot path calls it.
+pub fn decode(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// Total: no panic source anywhere.
+pub fn width(x: u32) -> u32 {
+    x.saturating_add(1)
+}
+
+/// Panics only under `debug_assertions`; release-pruned, so hot callers
+/// stay transitively panic-free.
+pub fn checked_width(x: u32) -> u32 {
+    if cfg!(debug_assertions) {
+        assert!(x < 1 << 30, "width overflow");
+    }
+    debug_assert!(x > 0);
+    x + 1
+}

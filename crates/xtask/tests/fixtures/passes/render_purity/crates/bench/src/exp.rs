@@ -1,0 +1,43 @@
+//! Three `Experiment::render` impls: one pure, one doing file I/O
+//! through a helper, one reading the clock two calls deep.
+
+#![forbid(unsafe_code)]
+
+/// Reads a file — an I/O effect the render below inherits.
+fn load_notes() -> String {
+    std::fs::read_to_string("notes.txt").unwrap_or_default()
+}
+
+fn stamp() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+fn stamp_indirect() -> f64 {
+    stamp() * 1e3
+}
+
+pub struct CleanExp;
+
+impl Experiment for CleanExp {
+    fn render(&self) -> String {
+        // seed-site
+        format!("rows: {}", 2 + 2)
+    }
+}
+
+pub struct IoExp;
+
+impl Experiment for IoExp {
+    fn render(&self) -> String {
+        load_notes()
+    }
+}
+
+pub struct ClockExp;
+
+impl Experiment for ClockExp {
+    fn render(&self) -> String {
+        format!("{}", stamp_indirect())
+    }
+}

@@ -1,0 +1,140 @@
+//! Reset-completeness shapes: a leaky reset, a helper-delegated reset,
+//! a receiver-mutability regression (`set_of` is a getter), and a
+//! justified sticky-state escape.
+
+#![forbid(unsafe_code)]
+
+/// BAD: `reset` restores `stamps` and `clock` but forgets `hist`, which
+/// `touch` mutates. `ways` is config — written only by the constructor —
+/// so it is not required.
+pub struct Leaky {
+    ways: usize,
+    stamps: Vec<u64>,
+    clock: u64,
+    hist: u64,
+}
+
+impl Leaky {
+    pub fn new(ways: usize) -> Leaky {
+        Leaky {
+            ways,
+            stamps: vec![0; ways],
+            clock: 0,
+            hist: 0,
+        }
+    }
+
+    pub fn touch(&mut self, way: usize) {
+        self.clock += 1;
+        self.hist = (self.hist << 1) | 1;
+        self.stamps[way.min(self.ways - 1)] = self.clock;
+    }
+
+    pub fn reset(&mut self) {
+        self.stamps.fill(0);
+        self.clock = 0;
+    }
+}
+
+/// OK: `reset` delegates to a helper that restores everything.
+pub struct Delegating {
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl Delegating {
+    pub fn new(n: usize) -> Delegating {
+        Delegating {
+            stamps: vec![0; n],
+            clock: 0,
+        }
+    }
+
+    pub fn touch(&mut self, way: usize) {
+        self.clock += 1;
+        self.stamps[way] = self.clock;
+    }
+
+    fn wipe(&mut self) {
+        self.stamps.fill(0);
+        self.clock = 0;
+    }
+
+    pub fn reset(&mut self) {
+        self.wipe();
+    }
+}
+
+/// A geometry value with a getter whose name *looks* like a setter:
+/// `set_of` returns which cache set an address maps to.
+#[derive(Clone, Copy)]
+pub struct Geometry {
+    sets: usize,
+}
+
+impl Geometry {
+    pub fn new(sets: usize) -> Geometry {
+        Geometry { sets }
+    }
+
+    /// Getter — `&self`. Must not count as a mutation of the field it
+    /// is called on.
+    pub fn set_of(&self, addr: u64) -> usize {
+        (addr as usize).min(self.sets - 1)
+    }
+}
+
+/// OK: `lookup` calls `self.geom.set_of(..)`, which resolves to the
+/// `&self` getter above — `geom` is never mutated, so `reset` need not
+/// restore it.
+pub struct Mapper {
+    geom: Geometry,
+    hits: u64,
+}
+
+impl Mapper {
+    pub fn new(sets: usize) -> Mapper {
+        Mapper {
+            geom: Geometry::new(sets),
+            hits: 0,
+        }
+    }
+
+    pub fn lookup(&mut self, addr: u64) -> usize {
+        self.hits += 1;
+        self.geom.set_of(addr)
+    }
+
+    pub fn reset(&mut self) {
+        self.hits = 0;
+    }
+}
+
+/// OK (by annotation): `total` deliberately survives reset — it is a
+/// lifetime counter, and the allow records that.
+pub struct Sticky {
+    total: u64,
+    cur: u64,
+}
+
+impl Sticky {
+    pub fn new() -> Sticky {
+        Sticky { total: 0, cur: 0 }
+    }
+
+    pub fn bump(&mut self) {
+        self.total += 1;
+        self.cur += 1;
+    }
+
+    // lint:allow(reset-complete): `total` is a lifetime counter that deliberately survives reset
+    pub fn reset(&mut self) {
+        self.cur = 0;
+    }
+}
+
+impl Default for Sticky {
+    fn default() -> Self {
+        Self::new()
+    }
+}
