@@ -15,6 +15,7 @@
 
 #![forbid(unsafe_code)]
 
+use fe_frontend::sampled::SampleParams;
 use fe_frontend::simulator::SimConfig;
 use fe_trace::synth::WorkloadSpec;
 use std::path::PathBuf;
@@ -23,7 +24,7 @@ use super::request::SuiteSpec;
 
 /// One-line flag summary shared by the `report` driver and the thin
 /// experiment binaries.
-pub const USAGE: &str = "[--traces N] [--seed S] [--threads T] [--instr N] [--reps R] [--out DIR]";
+pub const USAGE: &str = "[--traces N] [--seed S] [--threads T] [--instr N] [--reps R] [--out DIR] [--sampled[=WINDOWS,K,WARMUP]]";
 
 /// A malformed command line: unknown flag, missing value, or an
 /// unparsable value.
@@ -53,6 +54,10 @@ pub struct RunContext {
     pub instr: Option<u64>,
     /// `--reps R` — repetitions for the timing experiments (default 3).
     pub reps: Option<usize>,
+    /// `--sampled[=WINDOWS,K,WARMUP]` — phase-sampled replay for the
+    /// planner's geometry sweeps (default: full replay; bare `--sampled`
+    /// uses [`SampleParams::default`]).
+    pub sampled: Option<SampleParams>,
     /// `--out DIR` — artifact directory (default `results`).
     pub out: Option<PathBuf>,
 }
@@ -131,6 +136,30 @@ fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Resul
         .map_err(|_| UsageError(format!("invalid value `{v}` for {flag}")))
 }
 
+/// Parse the `WINDOWS,K,WARMUP` payload of `--sampled=...`.
+fn parse_sampled(spec: &str) -> Result<SampleParams, UsageError> {
+    let bad = || {
+        UsageError(format!(
+            "invalid value `{spec}` for --sampled (want WINDOWS,K,WARMUP)"
+        ))
+    };
+    let parts: Vec<&str> = spec.split(',').collect();
+    let [w, k, u] = parts.as_slice() else {
+        return Err(bad());
+    };
+    let params = SampleParams {
+        windows: w.trim().parse().map_err(|_| bad())?,
+        k: k.trim().parse().map_err(|_| bad())?,
+        warmup: u.trim().parse().map_err(|_| bad())?,
+    };
+    if params.windows == 0 || params.k == 0 {
+        return Err(UsageError(format!(
+            "invalid value `{spec}` for --sampled (WINDOWS and K must be nonzero)"
+        )));
+    }
+    Ok(params)
+}
+
 /// Tokenize an experiment command line (without the program name).
 ///
 /// Words starting with `--` must be recognized flags; everything else is
@@ -162,8 +191,13 @@ where
                     .ok_or_else(|| UsageError("missing value for --out".into()))?;
                 parsed.ctx.out = Some(PathBuf::from(v));
             }
+            "--sampled" => parsed.ctx.sampled = Some(SampleParams::default()),
             "--all" => parsed.all = true,
             "--help" | "-h" => parsed.help = true,
+            other if other.starts_with("--sampled=") => {
+                let spec = &other["--sampled=".len()..];
+                parsed.ctx.sampled = Some(parse_sampled(spec)?);
+            }
             other if other.starts_with('-') => {
                 return Err(UsageError(format!("unknown flag `{other}`")));
             }
@@ -216,6 +250,26 @@ mod tests {
     fn unparsable_value_is_a_usage_error() {
         let e = parse_args(["--seed", "twelve"]).expect_err("must reject");
         assert!(e.0.contains("twelve"), "{e}");
+    }
+
+    #[test]
+    fn sampled_flag_parses_bare_and_valued_forms() {
+        let bare = parse_args(["--sampled"]).expect("bare flag");
+        assert_eq!(bare.ctx.sampled, Some(SampleParams::default()));
+
+        let valued = parse_args(["--sampled=16,4,2048"]).expect("valued flag");
+        assert_eq!(
+            valued.ctx.sampled,
+            Some(SampleParams {
+                windows: 16,
+                k: 4,
+                warmup: 2048,
+            })
+        );
+
+        assert!(parse_args(["--sampled=16,4"]).is_err());
+        assert!(parse_args(["--sampled=16,4,x"]).is_err());
+        assert!(parse_args(["--sampled=0,4,1"]).is_err());
     }
 
     #[test]

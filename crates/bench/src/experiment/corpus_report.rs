@@ -85,14 +85,25 @@ fn info(cache: &CorpusCache) -> Result<usize, String> {
     let mut bad = 0usize;
     let mut records = 0u64;
     let mut bytes = 0usize;
+    let mut sidecar_bytes = 0usize;
     for path in &files {
         match Corpus::open(path) {
             Ok(corpus) => {
                 bytes += corpus.file_bytes();
                 for trace in corpus.traces() {
                     records += trace.records();
+                    sidecar_bytes += trace.sidecar_bytes();
+                    let sig = match trace.signatures() {
+                        Ok(s) => format!(
+                            "{} windows x {} dim ({} sidecar bytes)",
+                            s.window_count(),
+                            s.dim(),
+                            trace.sidecar_bytes()
+                        ),
+                        Err(_) => "no signature sidecar".to_owned(),
+                    };
                     println!(
-                        "{:<26} {:>9} records {:>12} instructions {:>10} column bytes  {}",
+                        "{:<26} {:>9} records {:>12} instructions {:>10} column bytes  {sig}  {}",
                         trace.name(),
                         trace.records(),
                         trace.instructions(),
@@ -108,10 +119,11 @@ fn info(cache: &CorpusCache) -> Result<usize, String> {
         }
     }
     println!(
-        "corpus: {} file(s), {} record(s), {} file byte(s) in {}",
+        "corpus: {} file(s), {} record(s), {} file byte(s) ({} signature sidecar byte(s)) in {}",
         files.len(),
         records,
         bytes,
+        sidecar_bytes,
         cache.dir().display()
     );
     Ok(bad)
@@ -232,6 +244,16 @@ mod tests {
         assert_eq!(std::fs::read_dir(&dir).expect("cache dir").count(), 2);
         assert_eq!(run_counted(Some("verify"), &parsed).expect("verify"), 0);
         assert_eq!(run_counted(Some("info"), &parsed).expect("info"), 0);
+        // Cached traces carry a parseable signature sidecar (the window
+        // metadata `info` now prints).
+        for path in corpus_files(&dir).expect("files") {
+            let corpus = Corpus::open(&path).expect("open cached file");
+            for trace in corpus.traces() {
+                let sig = trace.signatures().expect("signature sidecar present");
+                assert!(sig.window_count() >= 1);
+                assert!(trace.sidecar_bytes() > 0);
+            }
+        }
         // A second build reuses every file (no temp leftovers either).
         assert_eq!(run_counted(Some("build"), &parsed).expect("rebuild"), 0);
         assert_eq!(std::fs::read_dir(&dir).expect("cache dir").count(), 2);

@@ -93,7 +93,8 @@ pub const REPORT_USAGE: &str = "usage: report <subcommand> [flags]\n\
   report corpus <build|info|verify> [flags]  manage the trace corpus cache\n\
   report diff <old> <new>       compare two MANIFEST.json files\n\
   report validate <manifest>    schema-check a MANIFEST.json\n\
-  flags: [--traces N] [--seed S] [--threads T] [--instr N] [--reps R] [--out DIR]";
+  flags: [--traces N] [--seed S] [--threads T] [--instr N] [--reps R] [--out DIR]\n\
+         [--sampled[=WINDOWS,K,WARMUP]]  phase-sampled replay for geometry sweeps";
 
 /// Run a set of experiments: plan, simulate once per unique request,
 /// render each experiment, and write records + manifest.
@@ -114,6 +115,19 @@ pub fn run_experiments(names: &[String], parsed: &ParsedArgs) -> Result<(), Stri
     let mut requests: Vec<SimRequest> = Vec::new();
     for e in &exps {
         requests.extend(e.requirements(ctx));
+    }
+    // `--sampled` accelerates the planner's geometry sweeps (the wide,
+    // expensive requests) with phase-sampled replay. Suite-shaped
+    // requests stay on full replay — the figures' per-trace MPKI tables
+    // are the reproduction's ground truth — as does any request that
+    // declared its own sampling parameters explicitly.
+    if let Some(params) = ctx.sampled {
+        for req in &mut requests {
+            if matches!(req.shape, SimShape::Sweep(_)) && req.sampled.is_none() {
+                req.sampled = Some(params);
+            }
+        }
+        eprintln!("report: sampled replay ({params}) applied to geometry sweeps");
     }
     let cache = fe_trace::corpus::CorpusCache::new(ctx.corpus_dir());
     let store = SimStore::plan_and_run_cached(&requests, ctx.threads(), &cache);

@@ -18,8 +18,10 @@
 #![forbid(unsafe_code)]
 
 use fe_frontend::experiment::{run_suite, run_suite_from, SuiteResult, SuiteSource};
+use fe_frontend::sampled::{run_suite_sampled, run_sweep_sampled};
 use fe_frontend::sweep::{run_sweep, run_sweep_from, SweepResult};
-use fe_trace::corpus::{CorpusCache, EnsureStats};
+use fe_trace::corpus::{Corpus, CorpusBuilder, CorpusCache, EnsureStats, SuiteCorpus};
+use fe_trace::synth::WorkloadSpec;
 use std::collections::BTreeMap;
 
 use super::request::{SimRequest, SimShape};
@@ -101,10 +103,13 @@ impl SimStore {
         }
 
         // Prefix subsumption: within a family of suite-shaped requests,
-        // the largest suite serves everyone.
+        // the largest suite serves everyone. Sampled requests opt out:
+        // row slicing would still be bit-identical (plans are per-trace),
+        // but the aggregate `SampledInfo` would be the larger run's, so a
+        // prefix would report the wrong replayed-instruction totals.
         let mut family_best: BTreeMap<String, SimRequest> = BTreeMap::new();
         for req in unique.values() {
-            if req.shape != SimShape::Suite {
+            if req.shape != SimShape::Suite || req.effective_sampled().is_some() {
                 continue;
             }
             family_best
@@ -126,8 +131,10 @@ impl SimStore {
         let mut entry_of: BTreeMap<String, usize> = BTreeMap::new();
         for (key, req) in &unique {
             let runner_req = match &req.shape {
-                SimShape::Suite => &family_best[&req.family_key()],
-                SimShape::Sweep(_) => req,
+                SimShape::Suite if req.effective_sampled().is_none() => {
+                    &family_best[&req.family_key()]
+                }
+                _ => req,
             };
             let runner_key = runner_req.canonical_key();
             let idx = if let Some(&idx) = entry_of.get(&runner_key) {
@@ -187,6 +194,13 @@ impl SimStore {
 /// Run one request for real.
 fn execute(req: &SimRequest, threads: usize) -> SimOutcome {
     let specs = req.suite.specs();
+    if let Some(params) = req.effective_sampled() {
+        // Sampled replay needs signature sidecars, which live in the
+        // corpus encoding; build an in-memory corpus when no on-disk
+        // cache is available.
+        let corpus = encode_in_memory(&specs);
+        return execute_sampled(req, &specs, threads, &corpus, &params);
+    }
     match &req.shape {
         SimShape::Suite => {
             SimOutcome::Suite(run_suite(&specs, &req.config, &req.policies, threads))
@@ -198,6 +212,56 @@ fn execute(req: &SimRequest, threads: usize) -> SimOutcome {
             geoms,
             threads,
         )),
+    }
+}
+
+/// Encode `specs` into a throwaway in-memory corpus (signature sidecars
+/// included), for sampled execution on the streamed path.
+///
+/// # Panics
+///
+/// Panics if a synthetic workload fails to encode (unreachable: the
+/// in-memory writer is infallible for generator output).
+fn encode_in_memory(specs: &[WorkloadSpec]) -> SuiteCorpus {
+    let mut b = CorpusBuilder::new();
+    for s in specs {
+        b.push_synthetic(&s.generate())
+            .expect("synthetic workloads encode");
+    }
+    let corpus = Corpus::from_bytes(b.finish()).expect("fresh corpus parses");
+    SuiteCorpus::from_corpus(&corpus)
+}
+
+/// Run one sampled request against an already-materialized corpus.
+fn execute_sampled(
+    req: &SimRequest,
+    specs: &[WorkloadSpec],
+    threads: usize,
+    corpus: &SuiteCorpus,
+    params: &fe_frontend::sampled::SampleParams,
+) -> SimOutcome {
+    match &req.shape {
+        SimShape::Suite => SimOutcome::Suite(run_suite_sampled(
+            specs,
+            &req.config,
+            &req.policies,
+            threads,
+            corpus,
+            params,
+        )),
+        SimShape::Sweep(geoms) => {
+            let (sweep, _info) = run_sweep_sampled(
+                specs,
+                &req.config,
+                &req.policies,
+                geoms,
+                threads,
+                corpus,
+                params,
+                false,
+            );
+            SimOutcome::Sweep(sweep)
+        }
     }
 }
 
@@ -221,6 +285,9 @@ fn execute_cached(
         }
     };
     stats.absorb(ensured);
+    if let Some(params) = req.effective_sampled() {
+        return execute_sampled(req, &specs, threads, &corpus, &params);
+    }
     let source = SuiteSource::Corpus(&corpus);
     match &req.shape {
         SimShape::Suite => SimOutcome::Suite(run_suite_from(
@@ -273,6 +340,7 @@ mod tests {
             policies: req.policies.clone(),
             rows,
             scheduler: SchedulerStats::default(),
+            sampled: None,
         })
     }
 
@@ -336,6 +404,7 @@ mod tests {
                         capacity_bytes,
                         ways,
                         icache_means: vec![0.0; req.policies.len()],
+                        btb_means: vec![0.0; req.policies.len()],
                     })
                     .collect(),
                 scheduler: SchedulerStats::default(),
@@ -421,6 +490,52 @@ mod tests {
         assert_eq!(cached.suite(&capped), streamed.suite(&capped));
         assert_eq!(cached.sweep(&sweep), streamed.sweep(&sweep));
         assert_eq!(warm.suite(&full), streamed.suite(&full));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degenerate_sampled_request_is_served_by_the_full_run() {
+        use fe_frontend::sampled::SampleParams;
+        let c = ctx(3);
+        let full = SimRequest::suite_run(&c, c.sim(), &[PolicyKind::Lru]);
+        let exact = full.clone().with_sampled(SampleParams {
+            windows: 4,
+            k: 4,
+            warmup: 0,
+        });
+        let genuine = full.clone().with_sampled(SampleParams {
+            windows: 8,
+            k: 2,
+            warmup: 1024,
+        });
+        let store =
+            SimStore::plan_and_run_with(&[full.clone(), exact.clone(), genuine.clone()], stub_any);
+        // exact coalesces with full; genuine sampling runs separately.
+        assert_eq!(store.executions, 2);
+        assert_eq!(store.suite(&exact).rows.len(), 3);
+        assert_eq!(store.suite(&genuine).rows.len(), 3);
+    }
+
+    #[test]
+    fn cached_sampled_run_matches_streamed_sampled_run() {
+        use fe_frontend::sampled::SampleParams;
+        let dir = std::env::temp_dir().join(format!("fe-plan-sampled-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CorpusCache::new(&dir);
+        let c = ctx(2);
+        let params = SampleParams {
+            windows: 4,
+            k: 2,
+            warmup: 1024,
+        };
+        let suite_req = SimRequest::suite_run(&c, c.sim(), &[PolicyKind::Lru]).with_sampled(params);
+        let sweep_req = SimRequest::sweep_run(&c, c.sim(), &[PolicyKind::Lru], vec![(8 * 1024, 4)])
+            .with_sampled(params);
+        let requests = vec![suite_req.clone(), sweep_req.clone()];
+        let cached = SimStore::plan_and_run_cached(&requests, 2, &cache);
+        let streamed = SimStore::plan_and_run(&requests, 2);
+        assert_eq!(cached.suite(&suite_req), streamed.suite(&suite_req));
+        assert_eq!(cached.sweep(&sweep_req), streamed.sweep(&sweep_req));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -170,6 +170,11 @@ pub const ALL: &[ExperimentInfo] = &[
         summary: "LRU-vs-OPT headroom per server trace",
     },
     ExperimentInfo {
+        name: "lab_sampled_fidelity",
+        kind: Kind::Lab,
+        summary: "phase-sampled replay drift vs full replay across sampling configs",
+    },
+    ExperimentInfo {
         name: "oracle_policy",
         kind: Kind::Lab,
         summary: "perfect and per-signature dead-block oracle ceilings",
@@ -218,6 +223,7 @@ pub fn build(name: &str) -> Option<Box<dyn Experiment>> {
         "engine_profile" => Box::new(lab::EngineProfile),
         "ghrp_debug" => Box::new(lab::GhrpDebug),
         "headroom" => Box::new(lab::Headroom),
+        "lab_sampled_fidelity" => Box::new(lab::LabSampledFidelity),
         "oracle_policy" => Box::new(lab::OraclePolicy),
         "scale_test" => Box::new(lab::ScaleTest),
         "suite_bench" => Box::new(lab::SuiteBench),
@@ -248,9 +254,9 @@ mod tests {
 
     #[test]
     fn registry_has_all_legacy_binaries() {
-        assert_eq!(ALL.len(), 28);
+        assert_eq!(ALL.len(), 29);
         assert_eq!(ALL.iter().filter(|i| i.kind == Kind::Paper).count(), 10);
         assert_eq!(ALL.iter().filter(|i| i.kind == Kind::Ablation).count(), 9);
-        assert_eq!(ALL.iter().filter(|i| i.kind == Kind::Lab).count(), 9);
+        assert_eq!(ALL.iter().filter(|i| i.kind == Kind::Lab).count(), 10);
     }
 }

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 
 use fe_frontend::policy::PolicyKind;
+use fe_frontend::sampled::SampleParams;
 use fe_frontend::simulator::SimConfig;
 use fe_trace::synth::{suite, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -62,6 +63,10 @@ pub struct SimRequest {
     pub policies: Vec<PolicyKind>,
     /// Suite run or geometry sweep.
     pub shape: SimShape,
+    /// Phase-sampled replay parameters, or `None` for full replay. See
+    /// [`SimRequest::effective_sampled`] for the normalization that keys
+    /// and execution actually use.
+    pub sampled: Option<SampleParams>,
 }
 
 impl SimRequest {
@@ -72,6 +77,7 @@ impl SimRequest {
             suite: ctx.suite_spec(),
             policies: policies.to_vec(),
             shape: SimShape::Suite,
+            sampled: None,
         }
     }
 
@@ -100,7 +106,27 @@ impl SimRequest {
             suite: ctx.suite_spec(),
             policies: policies.to_vec(),
             shape: SimShape::Sweep(geometries),
+            sampled: None,
         }
+    }
+
+    /// This request with phase-sampled replay parameters attached.
+    #[must_use]
+    pub fn with_sampled(mut self, params: SampleParams) -> SimRequest {
+        self.sampled = Some(params);
+        self
+    }
+
+    /// The sampling parameters that actually matter for identity and
+    /// execution.
+    ///
+    /// `k >= windows` makes every interval its own representative: the
+    /// sampled drivers provably delegate to full replay bit-for-bit, so
+    /// such a request *is* a full-replay request. Normalizing it to
+    /// `None` here is what lets a cached full run subsume a degenerate
+    /// sampled one (and vice versa) in the planner.
+    pub fn effective_sampled(&self) -> Option<SampleParams> {
+        self.sampled.filter(|p| p.k < p.windows)
     }
 
     /// The canonical identity of this request.
@@ -140,8 +166,12 @@ impl SimRequest {
         cfg.policy = PolicyKind::Lru;
         let cfg_json = serde_json::to_string(&cfg).expect("SimConfig serializes");
         let pols: Vec<String> = self.policies.iter().map(ToString::to_string).collect();
+        let sampled = match self.effective_sampled() {
+            Some(p) => format!("|sampled={p}"),
+            None => String::new(),
+        };
         format!(
-            "seed={}|instr={:?}|policies={}|cfg={cfg_json}",
+            "seed={}|instr={:?}|policies={}|cfg={cfg_json}{sampled}",
             self.suite.seed,
             self.suite.instr,
             pols.join(","),
@@ -204,6 +234,42 @@ mod tests {
         let a = SimRequest::sweep_run(&c, c.sim(), &[PolicyKind::Lru], vec![(8192, 4)]);
         let b = SimRequest::sweep_run(&c, c.sim(), &[PolicyKind::Lru], vec![(16384, 4)]);
         assert_ne!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn degenerate_sampling_normalizes_to_the_full_replay_key() {
+        // k >= windows is bit-identical to full replay, so the planner
+        // must let a cached full run subsume it: equal keys.
+        let c = ctx();
+        let full = SimRequest::suite_run(&c, c.sim(), &[PolicyKind::Lru]);
+        let exact = full.clone().with_sampled(SampleParams {
+            windows: 8,
+            k: 8,
+            warmup: 4096,
+        });
+        assert_eq!(exact.effective_sampled(), None);
+        assert_eq!(full.canonical_key(), exact.canonical_key());
+        assert_eq!(full.family_key(), exact.family_key());
+    }
+
+    #[test]
+    fn genuine_sampling_params_are_part_of_the_key() {
+        let c = ctx();
+        let full = SimRequest::suite_run(&c, c.sim(), &[PolicyKind::Lru]);
+        let a = full.clone().with_sampled(SampleParams {
+            windows: 16,
+            k: 4,
+            warmup: 2048,
+        });
+        let b = full.clone().with_sampled(SampleParams {
+            windows: 16,
+            k: 6,
+            warmup: 2048,
+        });
+        assert!(a.effective_sampled().is_some());
+        assert_ne!(a.canonical_key(), full.canonical_key());
+        assert_ne!(a.canonical_key(), b.canonical_key());
+        assert_ne!(a.family_key(), b.family_key());
     }
 
     #[test]

@@ -489,6 +489,137 @@ pub fn run_lanes_multi<S: ReplaySource>(
         .collect()
 }
 
+/// One replayed slice of a phase-sampled run: the record range to
+/// replay, how much of its prefix is functional warming (measurement
+/// off), and the cluster weight its measured metrics carry in the
+/// combined estimate.
+///
+/// Segments are produced by [`crate::sampled::SamplePlan`] in ascending
+/// trace order; [`run_lanes_sampled`] replays them back to back over one
+/// persistent front end and lane grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampledSegment {
+    /// First record of the segment (inclusive).
+    pub rec_lo: u64,
+    /// One past the last record of the segment.
+    pub rec_hi: u64,
+    /// Instructions at the segment start replayed with measurement off
+    /// (functional warming of caches, BTB and predictors).
+    pub warmup_instructions: u64,
+    /// Cluster weight of the measured interval (fractions sum to 1).
+    pub weight: f64,
+}
+
+/// Phase-sampled variant of [`run_lanes_multi`]: replay only the given
+/// `segments` of `trace`, returning per-segment results
+/// (`out[s][g][p]`, segment-major then geometry-major).
+///
+/// Cache, BTB and predictor **state** persists across segments (the
+/// previous segment is the best available approximation of the skipped
+/// gap); **counters** reset at each segment's warmup boundary, so each
+/// segment's [`RunResult`] covers exactly its measured interval. A
+/// segment with `warmup_instructions == 0` resets counters before its
+/// first record.
+///
+/// Offline (OPT) policies are not supported: their precompute is defined
+/// over a full replay, which sampling never performs.
+///
+/// # Panics
+///
+/// Panics if `policies` contains an offline policy, or if a geometry's
+/// block size differs from `base.icache`'s.
+pub fn run_lanes_sampled(
+    base: &SimConfig,
+    icaches: &[fe_cache::CacheConfig],
+    policies: &[PolicyKind],
+    measure_btb: bool,
+    trace: &fe_trace::corpus::CorpusTrace,
+    segments: &[SampledSegment],
+    arena: &mut EngineArena,
+) -> Vec<Vec<Vec<RunResult>>> {
+    let block_bytes = base.icache.block_bytes();
+    assert!(
+        icaches.iter().all(|c| c.block_bytes() == block_bytes),
+        "fused geometries must share the base block size"
+    );
+    assert!(
+        !policies.iter().any(|p| p.is_offline()),
+        "offline policies cannot be phase-sampled"
+    );
+    let npols = policies.len();
+    if npols == 0 || icaches.is_empty() {
+        return segments
+            .iter()
+            .map(|_| icaches.iter().map(|_| Vec::new()).collect())
+            .collect();
+    }
+
+    let key_matches = arena
+        .key
+        .as_ref()
+        .is_some_and(|k| k.base == *base && k.icaches == icaches && k.policies == policies);
+    if key_matches {
+        for lane in &mut arena.lanes {
+            lane.reset_for_reuse();
+        }
+    } else {
+        rebuild_arena(arena, base, icaches, policies, true, trace);
+    }
+    let lanes = &mut arena.lanes;
+
+    let mut fe = SharedFrontEnd::default();
+    let mut out = Vec::with_capacity(segments.len());
+    for seg in segments {
+        let warmup = seg.warmup_instructions;
+        let mut warmed = warmup == 0;
+        if warmed {
+            // No warmup prefix: counters carried over from the previous
+            // segment must still be cleared at the measurement start.
+            fe.reset_stats();
+            for lane in lanes.iter_mut() {
+                lane.reset_stats();
+            }
+        }
+        let mut instructions = 0u64;
+        let mut measured_instructions = 0u64;
+        for chunk in FetchStream::new(trace.cursor_range(seg.rec_lo, seg.rec_hi), block_bytes) {
+            instructions += u64::from(chunk.n_instr);
+            if warmed {
+                measured_instructions += u64::from(chunk.n_instr);
+            }
+            if chunk.starts_group {
+                for lane in lanes.iter_mut() {
+                    lane.access_group(&chunk, base);
+                }
+            }
+            if let Some(branch) = chunk.branch {
+                let mispredicted = fe.observe(&branch);
+                for lane in lanes.iter_mut() {
+                    lane.observe_branch(&branch, mispredicted, base, measure_btb);
+                }
+            }
+            if !warmed && instructions >= warmup {
+                warmed = true;
+                fe.reset_stats();
+                for lane in lanes.iter_mut() {
+                    lane.reset_stats();
+                }
+            }
+        }
+        out.push(
+            (0..icaches.len())
+                .map(|g| {
+                    lanes[g * npols..(g + 1) * npols]
+                        .iter()
+                        .map(|lane| lane.finish(measured_instructions, &fe))
+                        .collect()
+                })
+                .collect(),
+        );
+    }
+    out
+}
+
 /// Rebuild an arena's lane grid from scratch for a new
 /// (config, geometries, policies) key.
 fn rebuild_arena<S: ReplaySource>(

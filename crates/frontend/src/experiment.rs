@@ -45,6 +45,9 @@ pub struct SuiteResult {
     pub rows: Vec<TraceRow>,
     /// Scheduler observability for the run (worker utilization, steals).
     pub scheduler: SchedulerStats,
+    /// Sampling observability when the suite ran phase-sampled
+    /// ([`crate::sampled::run_suite_sampled`]); `None` for full replay.
+    pub sampled: Option<crate::sampled::SampledInfo>,
 }
 
 /// Equality compares the scientific payload only (policies and rows);
@@ -114,6 +117,7 @@ impl SuiteResult {
                 .cloned()
                 .collect(),
             scheduler: self.scheduler.clone(),
+            sampled: self.sampled,
         }
     }
 
@@ -133,6 +137,7 @@ impl SuiteResult {
             policies: self.policies.clone(),
             rows: self.rows.iter().take(n).cloned().collect(),
             scheduler: self.scheduler.clone(),
+            sampled: self.sampled,
         }
     }
 
@@ -370,6 +375,7 @@ pub fn run_suite_from(
         policies: policies.to_vec(),
         rows,
         scheduler,
+        sampled: None,
     }
 }
 
@@ -589,6 +595,7 @@ mod tests {
                 },
             ],
             scheduler: SchedulerStats::default(),
+            sampled: None,
         };
         let f = result.filter_min_icache_mpki(PolicyKind::Lru, 1.0);
         assert_eq!(f.rows.len(), 1);
@@ -611,6 +618,7 @@ mod tests {
             policies: vec![PolicyKind::Lru],
             rows: vec![],
             scheduler: SchedulerStats::default(),
+            sampled: None,
         };
         let _ = result.icache_column(PolicyKind::Ghrp);
     }

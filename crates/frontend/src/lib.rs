@@ -22,6 +22,10 @@
 //!   arenas ([`engine::EngineArena`]) reused across tasks.
 //! * [`sweep`] — cache-geometry sweeps (the paper's Figure 7), fused so
 //!   one trace replay drives the lanes of every geometry at once.
+//! * [`sampled`] — SimPoint-style phase-sampled replay: deterministic
+//!   clustering of corpus signature intervals, warmup-prefixed
+//!   representative segments, and cluster-weight-averaged MPKI with an
+//!   error estimate — two-orders-of-magnitude-cheaper wide sweeps.
 //! * [`stats`] — means, 95% confidence intervals on relative differences
 //!   (Figure 8), win/loss counts vs LRU (Figure 9), and S-curve ordering
 //!   (Figures 3 and 11).
@@ -41,13 +45,20 @@
 pub mod engine;
 pub mod experiment;
 pub mod policy;
+pub mod sampled;
 pub mod schedule;
 pub mod simulator;
 pub mod stats;
 pub mod sweep;
 
-pub use engine::{run_lanes, run_lanes_multi, EngineArena, ReplaySource, SliceReplay};
+pub use engine::{
+    run_lanes, run_lanes_multi, run_lanes_sampled, EngineArena, ReplaySource, SampledSegment,
+    SliceReplay,
+};
 pub use experiment::{SuiteResult, SuiteSource, TraceRow};
 pub use policy::PolicyKind;
+pub use sampled::{
+    build_plan, run_suite_sampled, run_sweep_sampled, SampleParams, SamplePlan, SampledInfo,
+};
 pub use schedule::SchedulerStats;
 pub use simulator::{RunResult, SimConfig, Simulator};

@@ -33,6 +33,9 @@ pub struct SweepPoint {
     pub ways: u32,
     /// Mean I-cache MPKI per policy (parallel to `SweepResult::policies`).
     pub icache_means: Vec<f64>,
+    /// Mean BTB MPKI per policy — all zeros unless the sweep ran with
+    /// BTB measurement on (see [`run_sweep_with`]).
+    pub btb_means: Vec<f64>,
 }
 
 /// Result of a full geometry sweep.
@@ -141,6 +144,29 @@ pub fn run_sweep_from(
     threads: usize,
     source: crate::experiment::SuiteSource<'_>,
 ) -> SweepResult {
+    run_sweep_with(specs, base, policies, geometries, threads, source, false)
+}
+
+/// [`run_sweep_from`] with per-lane BTB measurement optional.
+///
+/// `measure_btb = false` is the classic Figure 7 sweep (per-lane BTBs
+/// skipped entirely — cheapest). `measure_btb = true` additionally
+/// scores each lane's BTB under the swept base configuration and fills
+/// [`SweepPoint::btb_means`], which the wide sampled sweeps use to score
+/// BTB geometries alongside I-cache ones.
+///
+/// # Panics
+///
+/// As [`run_sweep_from`].
+pub fn run_sweep_with(
+    specs: &[WorkloadSpec],
+    base: &SimConfig,
+    policies: &[PolicyKind],
+    geometries: &[(u64, u32)],
+    threads: usize,
+    source: crate::experiment::SuiteSource<'_>,
+    measure_btb: bool,
+) -> SweepResult {
     source.validate(specs);
     let workers = schedule::resolve_threads(threads);
     let nspecs = specs.len();
@@ -177,13 +203,20 @@ pub fn run_sweep_from(
             match source {
                 crate::experiment::SuiteSource::Streamed => {
                     let streamed = specs[s].streamed();
-                    run_lanes_multi(base, &icaches[lo..hi], policies, false, &streamed, arena)
+                    run_lanes_multi(
+                        base,
+                        &icaches[lo..hi],
+                        policies,
+                        measure_btb,
+                        &streamed,
+                        arena,
+                    )
                 }
                 crate::experiment::SuiteSource::Corpus(corpus) => run_lanes_multi(
                     base,
                     &icaches[lo..hi],
                     policies,
-                    false,
+                    measure_btb,
                     corpus.trace(s),
                     arena,
                 ),
@@ -210,10 +243,19 @@ pub fn run_sweep_from(
                 stats::mean(&column)
             })
             .collect();
+        let btb_means = (0..npols)
+            .map(|p| {
+                let column: Vec<f64> = (0..nspecs)
+                    .map(|s| group_results[g * nspecs + s][gi - lo][p].btb_mpki())
+                    .collect();
+                stats::mean(&column)
+            })
+            .collect();
         points.push(SweepPoint {
             capacity_bytes: capacity,
             ways,
             icache_means,
+            btb_means,
         });
     }
     SweepResult {
@@ -308,6 +350,7 @@ mod tests {
                 capacity_bytes: 8 * 1024,
                 ways: 4,
                 icache_means: vec![3.25],
+                btb_means: vec![0.0],
             }],
             scheduler: SchedulerStats::default(),
         };

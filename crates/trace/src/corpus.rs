@@ -28,20 +28,30 @@
 //! once at load time ([`Corpus::load`] / [`Corpus::verify`]); cursors
 //! then decode without per-record checks and without allocating.
 //!
-//! # File layout (version 1)
+//! Since version 2 each trace also carries a **signature sidecar**: the
+//! windowed basic-block-signature vectors of [`crate::signature`],
+//! computed once at build time and stored (with their own FNV-1a
+//! checksum) after all column data, so phase-sampled replay never
+//! re-scans a trace to cluster it.
+//!
+//! # File layout (version 2)
 //!
 //! ```text
 //! [0..4)    magic  = b"FESA"
-//! [4..8)    version: u32 LE = 1
+//! [4..8)    version: u32 LE = 2
 //! [8..16)   trace count: u64 LE
 //! [16..24)  index length in bytes: u64 LE
 //! [24..24+index)  per-trace index entries, in trace order:
 //!     name length: u16 LE, name bytes (UTF-8),
 //!     instructions: u64 LE, records: u64 LE,
 //!     pc/target/kind/taken column offsets: 4 x u64 LE (absolute),
-//!     pc/target/kind/taken column checksums: 4 x u64 LE (FNV-1a)
+//!     pc/target/kind/taken column checksums: 4 x u64 LE (FNV-1a),
+//!     signature sidecar offset/length: 2 x u64 LE (absolute),
+//!     signature sidecar checksum: u64 LE (FNV-1a)
 //! [..]      column data, in index order: pc (8n), target (8n),
 //!           kind (n), taken (n) bytes per trace
+//! [..]      signature sidecars, in index order (see
+//!           [`crate::signature::TraceSignatures::to_bytes`])
 //! ```
 //!
 //! # Example
@@ -66,6 +76,8 @@
 #![forbid(unsafe_code)]
 
 use crate::record::{BranchKind, BranchRecord};
+use crate::signature::{compute_signatures, TraceSignatures};
+use crate::signature::{BASE_WINDOW_INSTRUCTIONS, SIGNATURE_DIM};
 use crate::synth::{SyntheticTrace, WorkloadSpec};
 use crate::TraceError;
 use std::path::{Path, PathBuf};
@@ -73,14 +85,16 @@ use std::sync::Arc;
 
 /// Magic bytes that begin every corpus file (`FESA`, fetch + `SoA`).
 pub const MAGIC: [u8; 4] = *b"FESA";
-/// Current corpus format version.
-pub const VERSION: u32 = 1;
+/// Current corpus format version (2 added the signature sidecar; v1
+/// files are rejected as [`TraceError::UnsupportedVersion`] and cache
+/// files regenerate in place).
+pub const VERSION: u32 = 2;
 
 /// Fixed header size: magic + version + trace count + index length.
 const HEADER_BYTES: usize = 24;
 /// Fixed per-entry index payload after the name: instructions, records,
-/// 4 column offsets, 4 column checksums.
-const ENTRY_FIXED_BYTES: usize = 80;
+/// 4 column offsets, 4 column checksums, sidecar offset/length/checksum.
+const ENTRY_FIXED_BYTES: usize = 104;
 /// Records decoded per cursor refill. 256 records touch 4.5 KB of
 /// column bytes — comfortably inside L1 — and amortize the refill
 /// branch to under 0.4% of `next()` calls.
@@ -148,6 +162,12 @@ struct TraceMeta {
     offsets: [usize; 4],
     /// Recorded FNV-1a checksums, same order.
     sums: [u64; 4],
+    /// Absolute byte offset of the signature sidecar.
+    sig_off: usize,
+    /// Sidecar length in bytes (0 = no sidecar recorded).
+    sig_len: usize,
+    /// Recorded FNV-1a checksum of the sidecar bytes.
+    sig_sum: u64,
 }
 
 impl TraceMeta {
@@ -181,6 +201,9 @@ struct Pending {
     kind: Vec<u8>,
     taken: Vec<u8>,
     records: u64,
+    /// Serialized signature sidecar (windowed signatures computed at
+    /// push time — the "compute once at corpus build" contract).
+    sig: Vec<u8>,
 }
 
 impl CorpusBuilder {
@@ -230,6 +253,12 @@ impl CorpusBuilder {
             kind: Vec::with_capacity(records.len()),
             taken: Vec::with_capacity(records.len()),
             records: records.len() as u64,
+            sig: compute_signatures(
+                records.iter().copied(),
+                BASE_WINDOW_INSTRUCTIONS,
+                SIGNATURE_DIM,
+            )
+            .to_bytes(),
         };
         for r in records {
             p.pc.extend_from_slice(&r.pc.to_le_bytes());
@@ -250,7 +279,8 @@ impl CorpusBuilder {
         self.push_trace(trace.name(), trace.instructions, &trace.records)
     }
 
-    /// Assemble the on-disk byte layout (header, index, columns).
+    /// Assemble the on-disk byte layout (header, index, columns,
+    /// signature sidecars).
     #[must_use]
     pub fn finish(self) -> Vec<u8> {
         let index_bytes: usize = self
@@ -263,15 +293,18 @@ impl CorpusBuilder {
             .iter()
             .map(|t| t.pc.len() + t.target.len() + t.kind.len() + t.taken.len())
             .sum();
-        let mut out = Vec::with_capacity(HEADER_BYTES + index_bytes + data_bytes);
+        let sig_bytes: usize = self.traces.iter().map(|t| t.sig.len()).sum();
+        let mut out = Vec::with_capacity(HEADER_BYTES + index_bytes + data_bytes + sig_bytes);
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&(self.traces.len() as u64).to_le_bytes());
         out.extend_from_slice(&(index_bytes as u64).to_le_bytes());
 
         // Index: column offsets are absolute file offsets, assigned in
-        // trace order right after the index region.
+        // trace order right after the index region; sidecars follow all
+        // column data, also in trace order.
         let mut off = HEADER_BYTES + index_bytes;
+        let mut sig_off = off + data_bytes;
         for t in &self.traces {
             out.extend_from_slice(&t.name_len.to_le_bytes());
             out.extend_from_slice(t.name.as_bytes());
@@ -284,12 +317,19 @@ impl CorpusBuilder {
             for col in [&t.pc, &t.target, &t.kind, &t.taken] {
                 out.extend_from_slice(&fnv1a64(col).to_le_bytes());
             }
+            out.extend_from_slice(&(sig_off as u64).to_le_bytes());
+            out.extend_from_slice(&(t.sig.len() as u64).to_le_bytes());
+            out.extend_from_slice(&fnv1a64(&t.sig).to_le_bytes());
+            sig_off += t.sig.len();
         }
         for t in &self.traces {
             out.extend_from_slice(&t.pc);
             out.extend_from_slice(&t.target);
             out.extend_from_slice(&t.kind);
             out.extend_from_slice(&t.taken);
+        }
+        for t in &self.traces {
+            out.extend_from_slice(&t.sig);
         }
         out
     }
@@ -440,7 +480,7 @@ impl Corpus {
     }
 }
 
-/// Checksum + domain validation for one trace's columns.
+/// Checksum + domain validation for one trace's columns and sidecar.
 fn verify_trace(data: &[u8], meta: &TraceMeta) -> Result<(), TraceError> {
     for c in 0..4 {
         let col = &data[meta.offsets[c]..meta.offsets[c] + meta.col_len(c)];
@@ -450,6 +490,16 @@ fn verify_trace(data: &[u8], meta: &TraceMeta) -> Result<(), TraceError> {
                 column: COLUMNS[c],
             });
         }
+    }
+    // sig_len == 0 entries never validated sig_off, so slice safely.
+    let sig = data
+        .get(meta.sig_off..meta.sig_off + meta.sig_len)
+        .unwrap_or(&[]);
+    if meta.sig_len > 0 && fnv1a64(sig) != meta.sig_sum {
+        return Err(TraceError::ChecksumMismatch {
+            trace: meta.name.clone(),
+            column: "signature",
+        });
     }
     let kind = &data[meta.offsets[2]..meta.offsets[2] + meta.n];
     if let Some(i) = kind.iter().position(|&k| BranchKind::from_u8(k).is_none()) {
@@ -555,6 +605,18 @@ fn parse_entry(data: &[u8], at: &mut usize, index_end: usize) -> Result<TraceMet
     for slot in &mut sums {
         *slot = read_u64(take(&mut pos, 8)?);
     }
+    let sig_off = usize::try_from(read_u64(take(&mut pos, 8)?))
+        .map_err(|_| err("sidecar offset overflows usize"))?;
+    let sig_len = usize::try_from(read_u64(take(&mut pos, 8)?))
+        .map_err(|_| err("sidecar length overflows usize"))?;
+    let sig_sum = read_u64(take(&mut pos, 8)?);
+    if sig_len > 0
+        && sig_off
+            .checked_add(sig_len)
+            .is_none_or(|end| end > data.len() || sig_off < index_end)
+    {
+        return Err(err("sidecar range outside the data region"));
+    }
     *at = pos;
     Ok(TraceMeta {
         name,
@@ -562,6 +624,9 @@ fn parse_entry(data: &[u8], at: &mut usize, index_end: usize) -> Result<TraceMet
         n,
         offsets,
         sums,
+        sig_off,
+        sig_len,
+        sig_sum,
     })
 }
 
@@ -599,17 +664,54 @@ impl CorpusTrace {
         self.meta.n * 18
     }
 
+    /// Size of the signature sidecar in bytes (0 when absent).
+    #[must_use]
+    pub fn sidecar_bytes(&self) -> usize {
+        self.meta.sig_len
+    }
+
+    /// Parse this trace's windowed signatures from the sidecar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::CorruptCorpus`] when the sidecar is absent
+    /// or malformed (its checksum is covered by [`Corpus::verify`]).
+    pub fn signatures(&self) -> Result<TraceSignatures, TraceError> {
+        if self.meta.sig_len == 0 {
+            return Err(TraceError::CorruptCorpus(format!(
+                "trace `{}` has no signature sidecar",
+                self.meta.name
+            )));
+        }
+        let data = self.data.bytes();
+        let sig = data
+            .get(self.meta.sig_off..self.meta.sig_off + self.meta.sig_len)
+            .unwrap_or(&[]);
+        TraceSignatures::from_bytes(sig)
+    }
+
     /// Start a zero-allocation chunked decode pass over the records.
     #[must_use]
     pub fn cursor(&self) -> CorpusCursor<'_> {
+        self.cursor_range(0, self.meta.n as u64)
+    }
+
+    /// A cursor over the record range `[lo, hi)` (clamped to the trace),
+    /// for replaying one sampled segment without decoding its prefix.
+    #[must_use]
+    pub fn cursor_range(&self, lo: u64, hi: u64) -> CorpusCursor<'_> {
+        let n = self.meta.n;
+        let lo = usize::try_from(lo).unwrap_or(n).min(n);
+        let hi = usize::try_from(hi).unwrap_or(n).clamp(lo, n);
+        let len = hi - lo;
         let data = self.data.bytes();
         let m = &self.meta;
         CorpusCursor {
-            pc: &data[m.offsets[0]..m.offsets[0] + m.n * 8],
-            target: &data[m.offsets[1]..m.offsets[1] + m.n * 8],
-            kind: &data[m.offsets[2]..m.offsets[2] + m.n],
-            taken: &data[m.offsets[3]..m.offsets[3] + m.n],
-            remaining: m.n,
+            pc: &data[m.offsets[0] + lo * 8..m.offsets[0] + hi * 8],
+            target: &data[m.offsets[1] + lo * 8..m.offsets[1] + hi * 8],
+            kind: &data[m.offsets[2] + lo..m.offsets[2] + hi],
+            taken: &data[m.offsets[3] + lo..m.offsets[3] + hi],
+            remaining: len,
             buf: [EMPTY_RECORD; CHUNK],
             filled: 0,
             pos: 0,
@@ -1192,6 +1294,63 @@ mod tests {
         let (_, generated) = cache.ensure_trace(&b).unwrap();
         assert!(generated, "different budget is a different cache key");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sidecar_roundtrips_and_matches_recompute() {
+        let spec = WorkloadSpec::new(WorkloadCategory::LongServer, 3).instructions(40_000);
+        let trace = spec.generate();
+        let mut b = CorpusBuilder::new();
+        b.push_synthetic(&trace).unwrap();
+        let corpus = Corpus::from_bytes(b.finish()).unwrap();
+        let t = corpus.get(0).unwrap();
+        assert!(t.sidecar_bytes() > 0);
+        let sigs = t.signatures().unwrap();
+        let expect = compute_signatures(
+            trace.records.iter().copied(),
+            BASE_WINDOW_INSTRUCTIONS,
+            SIGNATURE_DIM,
+        );
+        assert_eq!(sigs, expect);
+        assert_eq!(sigs.total_records(), t.records());
+    }
+
+    #[test]
+    fn corrupt_sidecar_fails_verification_with_signature_column() {
+        let bytes = build(&[("t", 0, sample(64))]);
+        let mut bad = bytes;
+        // The sidecar is the last region of the file.
+        let last = bad.len() - 1;
+        bad[last] ^= 0x10;
+        match Corpus::from_bytes(bad) {
+            Err(TraceError::ChecksumMismatch { trace, column }) => {
+                assert_eq!(trace, "t");
+                assert_eq!(column, "signature");
+            }
+            other => panic!("expected signature ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cursor_range_slices_and_clamps() {
+        let records = sample(CHUNK + 50);
+        let corpus = Corpus::from_bytes(build(&[("t", 0, records.clone())])).unwrap();
+        let t = corpus.get(0).unwrap();
+        let n = records.len() as u64;
+        assert_eq!(
+            t.cursor_range(10, 20).collect::<Vec<_>>(),
+            records[10..20].to_vec()
+        );
+        assert_eq!(t.cursor_range(0, n).collect::<Vec<_>>(), records);
+        // Clamped: hi past the end, lo past the end, inverted range.
+        assert_eq!(
+            t.cursor_range(n - 5, n + 100).collect::<Vec<_>>(),
+            records[records.len() - 5..].to_vec()
+        );
+        assert_eq!(t.cursor_range(n + 10, n + 20).count(), 0);
+        assert_eq!(t.cursor_range(20, 10).count(), 0);
+        // ExactSizeIterator holds on ranges too.
+        assert_eq!(t.cursor_range(3, 103).len(), 100);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   like real instruction streams.
 //! * [`stats`]: descriptive statistics over a trace (branch mix, code
 //!   footprint, taken rate).
+//! * [`signature`] / [`sample`]: windowed basic-block-signature vectors
+//!   (persisted as a checksummed `.soa` sidecar) and a deterministic
+//!   k-means, the substrate for SimPoint-style phase-sampled replay.
 //!
 //! # Quick example
 //!
@@ -45,12 +48,19 @@ pub mod corpus;
 pub mod fetch;
 pub mod io;
 pub mod record;
+pub mod sample;
+pub mod signature;
 pub mod stats;
 pub mod synth;
 
 pub use corpus::{Corpus, CorpusCache, CorpusTrace, SuiteCorpus};
 pub use fetch::{FetchChunk, FetchStream};
 pub use record::{BranchKind, BranchRecord};
+pub use sample::{kmeans, Clustering, KMEANS_MAX_ITERATIONS};
+pub use signature::{
+    compute_signatures, splitmix64, GroupedWindow, GroupedWindows, TraceSignatures, WindowMeta,
+    BASE_WINDOW_INSTRUCTIONS, SIGNATURE_DIM,
+};
 pub use stats::TraceStats;
 pub use synth::{SyntheticTrace, WorkloadCategory, WorkloadSpec};
 
@@ -76,7 +86,7 @@ pub enum TraceError {
     ChecksumMismatch {
         /// Name of the trace whose column is damaged.
         trace: String,
-        /// Which column (`pc`, `target`, `kind`, `taken`).
+        /// Which column (`pc`, `target`, `kind`, `taken`, `signature`).
         column: &'static str,
     },
     /// A corpus header or index was structurally invalid.

@@ -1,0 +1,315 @@
+//! Dependency-free deterministic k-means for phase clustering.
+//!
+//! Clusters window signature vectors (see [`crate::signature`]) with
+//! Lloyd's algorithm under rules that make the result a pure function of
+//! `(data, dim, k, seed)` — byte-for-byte reproducible across runs,
+//! platforms, and thread counts:
+//!
+//! * seeding is farthest-point: the first center is
+//!   `splitmix64(seed) % n`, each further center is the point with the
+//!   maximum distance to its nearest chosen center (ties broken by
+//!   lowest index);
+//! * assignment scans centroids in index order and keeps the first
+//!   minimum (ties broken by lowest cluster index);
+//! * centroids are recomputed as member means accumulated in ascending
+//!   point index order, so floating-point summation order is fixed;
+//! * an empty cluster is re-seeded with the point farthest from its
+//!   current centroid assignment (lowest index on ties);
+//! * iteration stops when assignments are stable or after a fixed cap.
+//!
+//! No `HashMap`, no randomness beyond the seeded splitmix draw, no
+//! parallelism — `nondet-taint` clean by construction.
+
+#![forbid(unsafe_code)]
+
+use crate::signature::splitmix64;
+
+/// Fixed Lloyd's iteration cap. Signature sets are small (tens to a few
+/// hundred windows), so convergence is typically < 10 iterations; the
+/// cap only bounds pathological oscillation.
+pub const KMEANS_MAX_ITERATIONS: u32 = 32;
+
+/// Result of a deterministic k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Cluster index of each input point, in point order.
+    pub assignments: Vec<u32>,
+    /// Flat `k * dim` centroid coordinates, cluster-major.
+    pub centroids: Vec<f64>,
+    /// For each cluster, the index of the member point closest to its
+    /// centroid (lowest index on ties) — the cluster representative.
+    pub representatives: Vec<u32>,
+    /// Lloyd's iterations actually executed.
+    pub iterations: u32,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Squared L2 distance of point `i` to its assigned centroid.
+    #[must_use]
+    pub fn distance_to_centroid(&self, data: &[f64], dim: usize, i: usize) -> f64 {
+        let c = self.assignments[i] as usize;
+        sq_dist(
+            &data[i * dim..(i + 1) * dim],
+            &self.centroids[c * dim..(c + 1) * dim],
+        )
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Cluster `n = data.len() / dim` points into `min(k, n)` clusters.
+///
+/// `data` is flat point-major (`n * dim` values). Returns an empty
+/// clustering when there are no points. The output is a deterministic
+/// function of the arguments — see the module docs for the exact rules.
+#[must_use]
+#[allow(clippy::too_many_lines)] // one cohesive Lloyd's loop; splitting would thread six scratch buffers through helpers
+#[allow(clippy::cast_possible_truncation)] // point/cluster counts are window counts, far below u32::MAX
+pub fn kmeans(data: &[f64], dim: usize, k: usize, seed: u64, max_iter: u32) -> Clustering {
+    let n = data.len().checked_div(dim).unwrap_or(0);
+    if n == 0 || k == 0 {
+        return Clustering {
+            assignments: Vec::new(),
+            centroids: Vec::new(),
+            representatives: Vec::new(),
+            iterations: 0,
+        };
+    }
+    let k = k.min(n);
+    let point = |i: usize| &data[i * dim..(i + 1) * dim];
+
+    // Farthest-point seeding from a splitmix-drawn start.
+    let mut centroids: Vec<f64> = Vec::with_capacity(k * dim);
+    let first = (splitmix64(seed) % n as u64) as usize;
+    centroids.extend_from_slice(point(first));
+    // Distance of each point to its nearest chosen center so far.
+    let mut nearest: Vec<f64> = (0..n)
+        .map(|i| sq_dist(point(i), &centroids[..dim]))
+        .collect();
+    while centroids.len() < k * dim {
+        let mut best = 0usize;
+        let mut best_d = -1.0;
+        for (i, &d) in nearest.iter().enumerate() {
+            if d > best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        let start = centroids.len();
+        centroids.extend_from_slice(point(best));
+        for (i, near) in nearest.iter_mut().enumerate() {
+            let d = sq_dist(point(i), &centroids[start..start + dim]);
+            if d < *near {
+                *near = d;
+            }
+        }
+    }
+
+    let mut assignments = vec![0u32; n];
+    let mut iterations = 0u32;
+    let mut sums = vec![0.0f64; k * dim];
+    let mut members = vec![0u64; k];
+    while iterations < max_iter {
+        iterations += 1;
+        // Assign: first minimum in centroid index order.
+        let mut changed = false;
+        for (i, slot) in assignments.iter_mut().enumerate() {
+            let p = point(i);
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let d = sq_dist(p, &centroids[c * dim..(c + 1) * dim]);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if *slot != best as u32 {
+                *slot = best as u32;
+                changed = true;
+            }
+        }
+        // Update: member means in ascending point order.
+        sums.fill(0.0);
+        members.fill(0);
+        for (i, &a) in assignments.iter().enumerate() {
+            let c = a as usize;
+            members[c] += 1;
+            for (s, &v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(point(i)) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if members[c] == 0 {
+                // Re-seed an empty cluster with the farthest point from
+                // its current centroid (lowest index ties), stealing only
+                // from clusters that keep at least one member so two
+                // empty clusters never grab the same point.
+                let mut far = usize::MAX;
+                let mut far_d = -1.0;
+                for (i, &a) in assignments.iter().enumerate() {
+                    let cur = a as usize;
+                    if members[cur] <= 1 {
+                        continue;
+                    }
+                    let d = sq_dist(point(i), &centroids[cur * dim..(cur + 1) * dim]);
+                    if d > far_d {
+                        far_d = d;
+                        far = i;
+                    }
+                }
+                // k <= n guarantees a donor cluster with >= 2 members
+                // exists while any cluster is empty.
+                let far = far.min(n - 1);
+                let donor = assignments[far] as usize;
+                members[donor] -= 1;
+                members[c] = 1;
+                assignments[far] = c as u32;
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(point(far));
+                changed = true;
+            } else {
+                let m = members[c] as f64;
+                for (dst, &s) in centroids[c * dim..(c + 1) * dim]
+                    .iter_mut()
+                    .zip(&sums[c * dim..(c + 1) * dim])
+                {
+                    *dst = s / m;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Representative: member closest to the centroid, lowest index ties.
+    let mut representatives = vec![u32::MAX; k];
+    let mut rep_d = vec![f64::INFINITY; k];
+    for (i, &a) in assignments.iter().enumerate() {
+        let c = a as usize;
+        let d = sq_dist(point(i), &centroids[c * dim..(c + 1) * dim]);
+        if d < rep_d[c] {
+            rep_d[c] = d;
+            representatives[c] = i as u32;
+        }
+    }
+    // Every cluster has at least one member (empty clusters were
+    // re-seeded above), so every representative is set.
+    debug_assert!(representatives.iter().all(|&r| r != u32::MAX));
+
+    Clustering {
+        assignments,
+        centroids,
+        representatives,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> (Vec<f64>, usize) {
+        // Three well-separated 2-D blobs of 4 points each, fixed data.
+        let mut data = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)] {
+            for (dx, dy) in [(0.0, 0.0), (0.5, 0.0), (0.0, 0.5), (0.5, 0.5)] {
+                data.push(cx + dx);
+                data.push(cy + dy);
+            }
+        }
+        (data, 2)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (data, dim) = three_blobs();
+        let c = kmeans(&data, dim, 3, 42, KMEANS_MAX_ITERATIONS);
+        assert_eq!(c.k(), 3);
+        // Each blob of 4 consecutive points shares one cluster, and the
+        // three blobs land in three distinct clusters.
+        let mut blob_clusters = Vec::new();
+        for blob in 0..3 {
+            let first = c.assignments[blob * 4];
+            for p in 0..4 {
+                assert_eq!(c.assignments[blob * 4 + p], first, "blob {blob}");
+            }
+            blob_clusters.push(first);
+        }
+        blob_clusters.sort_unstable();
+        blob_clusters.dedup();
+        assert_eq!(blob_clusters.len(), 3);
+        // Representatives are members of their own cluster.
+        for (cl, &rep) in c.representatives.iter().enumerate() {
+            assert_eq!(c.assignments[rep as usize] as usize, cl);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_repeats_and_sensitive_to_seed() {
+        let (data, dim) = three_blobs();
+        let a = kmeans(&data, dim, 3, 7, KMEANS_MAX_ITERATIONS);
+        let b = kmeans(&data, dim, 3, 7, KMEANS_MAX_ITERATIONS);
+        assert_eq!(a, b);
+        // Different seeds may pick different start points but must still
+        // be internally deterministic.
+        let c1 = kmeans(&data, dim, 3, 1, KMEANS_MAX_ITERATIONS);
+        let c2 = kmeans(&data, dim, 3, 1, KMEANS_MAX_ITERATIONS);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn k_at_least_n_makes_singletons() {
+        let (data, dim) = three_blobs();
+        let n = data.len() / dim;
+        let c = kmeans(&data, dim, n + 5, 9, KMEANS_MAX_ITERATIONS);
+        assert_eq!(c.k(), n);
+        // Every point is its own cluster's representative.
+        let mut reps: Vec<u32> = c.representatives.clone();
+        reps.sort_unstable();
+        let n32 = u32::try_from(n).expect("test size fits u32");
+        assert_eq!(reps, (0..n32).collect::<Vec<_>>());
+        // And every point sits exactly on its centroid (bit-exact zero).
+        for i in 0..n {
+            assert_eq!(c.distance_to_centroid(&data, dim, i).to_bits(), 0);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(kmeans(&[], 2, 3, 0, 8).k(), 0);
+        assert_eq!(kmeans(&[1.0, 2.0], 2, 0, 0, 8).k(), 0);
+        let one = kmeans(&[1.0, 2.0], 2, 4, 0, 8);
+        assert_eq!(one.k(), 1);
+        assert_eq!(one.representatives, vec![0]);
+        // Identical points: all in one effective location, but k
+        // clusters still produce valid representatives.
+        let same = vec![3.0; 10 * 2];
+        let c = kmeans(&same, 2, 3, 5, 8);
+        assert_eq!(c.k(), 3);
+        for (cl, &rep) in c.representatives.iter().enumerate() {
+            assert_eq!(c.assignments[rep as usize] as usize, cl);
+        }
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let (data, dim) = three_blobs();
+        let c = kmeans(&data, dim, 3, 42, 1);
+        assert_eq!(c.iterations, 1);
+        assert_eq!(c.assignments.len(), data.len() / dim);
+    }
+}

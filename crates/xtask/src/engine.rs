@@ -159,6 +159,9 @@ pub fn is_hot_path(rel: &Path) -> bool {
         || s.contains("/core/src/")
         || s.ends_with("/frontend/src/schedule.rs")
         || s.contains("/trace/src/corpus")
+        || s.ends_with("/trace/src/signature.rs")
+        || s.ends_with("/trace/src/sample.rs")
+        || s.ends_with("/frontend/src/sampled.rs")
 }
 
 /// Whether the file hosts the canonical mask/idx helpers (exempt from
@@ -201,6 +204,12 @@ mod tests {
         // The corpus decode cursors run once per replayed record: the
         // allocation and indexing rules must cover them.
         assert!(is_hot_path(Path::new("crates/trace/src/corpus.rs")));
+        // The sampling pipeline runs per replayed window/segment: the
+        // signature accumulator, the k-means kernel, and the sampled
+        // replay drivers are all inner-loop code.
+        assert!(is_hot_path(Path::new("crates/trace/src/signature.rs")));
+        assert!(is_hot_path(Path::new("crates/trace/src/sample.rs")));
+        assert!(is_hot_path(Path::new("crates/frontend/src/sampled.rs")));
         assert!(!is_hot_path(Path::new("crates/trace/src/io.rs")));
         assert!(!is_hot_path(Path::new("crates/frontend/src/sweep.rs")));
         assert!(!is_hot_path(Path::new("crates/bench/src/lib.rs")));

@@ -1,0 +1,28 @@
+#![forbid(unsafe_code)]
+//! K-means fixture: `trace/src/sample.rs` joined the hot-path set with
+//! the sampled-replay pipeline — the assignment loop below must trip
+//! `no-panic` on its `.expect()` and `checked-index` on the cast
+//! centroid index, while `cfg(test)` code stays exempt.
+
+pub fn assign(data: &[f64], centroids: &[f64], k: u32) -> usize {
+    let first = data.first().copied().expect("nonempty window");
+    let mut best = 0usize;
+    let mut best_d = f64::MAX;
+    for c in 0..k {
+        let d = (centroids[c as usize] - first).abs();
+        if d < best_d {
+            best_d = d;
+            best = c as usize;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_unwrap() {
+        let v = [1.0f64];
+        assert_eq!(super::assign(&v, &v, 1), 0);
+    }
+}
