@@ -170,6 +170,11 @@ pub const ALL: &[ExperimentInfo] = &[
         summary: "LRU-vs-OPT headroom per server trace",
     },
     ExperimentInfo {
+        name: "lab_dynamic_selection",
+        kind: Kind::Lab,
+        summary: "set-dueling hybrids vs static policies on phase-shifting workloads",
+    },
+    ExperimentInfo {
         name: "lab_sampled_fidelity",
         kind: Kind::Lab,
         summary: "phase-sampled replay drift vs full replay across sampling configs",
@@ -223,6 +228,7 @@ pub fn build(name: &str) -> Option<Box<dyn Experiment>> {
         "engine_profile" => Box::new(lab::EngineProfile),
         "ghrp_debug" => Box::new(lab::GhrpDebug),
         "headroom" => Box::new(lab::Headroom),
+        "lab_dynamic_selection" => Box::new(lab::LabDynamicSelection),
         "lab_sampled_fidelity" => Box::new(lab::LabSampledFidelity),
         "oracle_policy" => Box::new(lab::OraclePolicy),
         "scale_test" => Box::new(lab::ScaleTest),
@@ -254,9 +260,9 @@ mod tests {
 
     #[test]
     fn registry_has_all_legacy_binaries() {
-        assert_eq!(ALL.len(), 29);
+        assert_eq!(ALL.len(), 30);
         assert_eq!(ALL.iter().filter(|i| i.kind == Kind::Paper).count(), 10);
         assert_eq!(ALL.iter().filter(|i| i.kind == Kind::Ablation).count(), 9);
-        assert_eq!(ALL.iter().filter(|i| i.kind == Kind::Lab).count(), 10);
+        assert_eq!(ALL.iter().filter(|i| i.kind == Kind::Lab).count(), 11);
     }
 }

@@ -9,6 +9,7 @@
 
 mod belady;
 mod drrip;
+mod duel;
 mod fifo;
 mod lru;
 mod random;
@@ -17,6 +18,10 @@ mod validate;
 
 pub use belady::BeladyOpt;
 pub use drrip::Drrip;
+pub use duel::{
+    DuelConfig, DuelSelect, PhaseAdaptive, DUEL_DEFAULT_WINDOW, DUEL_PSEL_BITS, DUEL_PSEL_MAX,
+    DUEL_WINDOW_BITS, MAX_DUEL_CANDIDATES,
+};
 pub use fifo::Fifo;
 pub use lru::Lru;
 pub use random::RandomPolicy;

@@ -32,7 +32,8 @@ fn usage() -> ! {
   generate:
     --out FILE            where to write the binary trace (required)
   run:
-    --policy P            lru|fifo|random|srrip|drrip|ship|sdbp|ghrp|opt (default ghrp)
+    --policy P            lru|fifo|random|srrip|drrip|ship|sdbp|ghrp|opt (default ghrp),
+                          or a hybrid: duel(ghrp,srrip,sdbp) / phase(ghrp,srrip;window=8192)
     --icache-kb N         I-cache capacity in KB (default 64)
     --ways N              I-cache associativity (default 8)
     --block N             I-cache block bytes (default 64)
@@ -229,8 +230,9 @@ fn main() {
             let (records, instructions, name) = load_trace(&o);
             let policy = o.policy.as_deref().map_or(PolicyKind::Ghrp, |p| {
                 PolicyKind::parse(p).unwrap_or_else(|| {
-                    eprintln!("unknown policy {p}");
-                    usage()
+                    eprintln!("unknown policy `{p}`");
+                    eprint!("{}", PolicyKind::spellings_help());
+                    exit(2)
                 })
             });
             let cfg = sim_config(&o, policy);

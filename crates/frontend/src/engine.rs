@@ -276,6 +276,11 @@ impl Lane {
     fn reset_for_reuse(&mut self) {
         self.pair.icache.reset();
         self.pair.btb.reset();
+        // The dueling hybrids keep their PSEL tallies across `reset()`
+        // on purpose (production adaptivity); arena reuse must stay
+        // bit-identical to a rebuild, so clear the sticky state too.
+        self.pair.icache.policy_mut().cold_restart();
+        self.pair.btb.entries_mut().policy_mut().cold_restart();
         // The shared GHRP state is external to both policies; reset it
         // exactly once here, as the pair's owner.
         if let Some(shared) = &self.pair.ghrp {

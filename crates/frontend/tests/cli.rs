@@ -1,0 +1,82 @@
+//! CLI-level tests for the `fe-sim` binary, driven via `CARGO_BIN_EXE`.
+
+#![forbid(unsafe_code)]
+
+use std::process::{Command, Output};
+
+fn fe_sim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fe-sim"))
+        .args(args)
+        .output()
+        .expect("spawn fe-sim")
+}
+
+#[test]
+fn unknown_policy_lists_every_spelling_and_exits_2() {
+    let out = fe_sim(&[
+        "run",
+        "--category",
+        "short_mobile",
+        "--instr",
+        "1000",
+        "--policy",
+        "bogus",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "exit code");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown policy `bogus`"), "stderr:\n{err}");
+    // The full spelling list, composite grammar included.
+    for needle in [
+        "lru",
+        "srrip",
+        "ghrp",
+        "opt|belady",
+        "duel(",
+        "phase(",
+        "window=N",
+    ] {
+        assert!(err.contains(needle), "stderr is missing `{needle}`:\n{err}");
+    }
+}
+
+#[test]
+fn malformed_composite_policy_also_exits_2_with_help() {
+    let out = fe_sim(&[
+        "run",
+        "--category",
+        "short_mobile",
+        "--instr",
+        "1000",
+        "--policy",
+        "duel(ghrp,opt)",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "exit code");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("valid policies"), "stderr:\n{err}");
+}
+
+#[test]
+fn composite_policy_runs_end_to_end() {
+    let out = fe_sim(&[
+        "run",
+        "--category",
+        "short_mobile",
+        "--seed",
+        "3",
+        "--instr",
+        "20000",
+        "--policy",
+        "duel(ghrp,srrip,sdbp)",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"Duel(GHRP,SRRIP,SDBP)\""),
+        "stdout:\n{stdout}"
+    );
+}

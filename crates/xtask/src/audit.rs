@@ -35,7 +35,7 @@ use crate::engine::{FileClass, Workspace};
 use crate::minitoml::{self, Value};
 
 /// The parameter keys the canonical constants must provide.
-pub const REQUIRED_PARAMS: [&str; 20] = [
+pub const REQUIRED_PARAMS: [&str; 23] = [
     "icache.capacity_bytes",
     "icache.block_bytes",
     "icache.ways",
@@ -56,6 +56,9 @@ pub const REQUIRED_PARAMS: [&str; 20] = [
     "btb.entries",
     "btb.ways",
     "btb.prediction_bits",
+    "duel.max_candidates",
+    "duel.psel_bits",
+    "duel.window_bits",
 ];
 
 /// One comparison row of the audit report.
@@ -350,7 +353,46 @@ pub fn compute(
             Value::Int(b_entries * b_pred),
         );
     }
+    if let Some((max_cand, psel, window)) = (|| {
+        Some((
+            get("duel.max_candidates")?,
+            get("duel.psel_bits")?,
+            get("duel.window_bits")?,
+        ))
+    })() {
+        // Set-dueling meta-policy overhead for the I-cache instance: one
+        // saturating PSEL tally per candidate slot, a per-set leader-role
+        // tag (a candidate index or the follower sentinel, so
+        // max_candidates + 1 encodings), and the phase-window access
+        // counter. Candidate policies' own metadata is costed by their
+        // sections above, not here.
+        let sets = blocks / ways;
+        let Some(role_bits) = log2_ceil(max_cand + 1) else {
+            errors.push(format!("duel.max_candidates = {max_cand} must be positive"));
+            return out;
+        };
+        out.insert("duel.psel_bits_total".into(), Value::Int(max_cand * psel));
+        out.insert("duel.role_bits_per_set".into(), Value::Int(role_bits));
+        out.insert("duel.role_table_bits".into(), Value::Int(sets * role_bits));
+        out.insert(
+            "duel.overhead_bits".into(),
+            Value::Int(max_cand * psel + sets * role_bits + window),
+        );
+    }
     out
+}
+
+/// Bits needed to distinguish `v` values (`ceil(log2 v)`), or `None`
+/// for non-positive `v`.
+fn log2_ceil(v: i128) -> Option<i128> {
+    if v <= 0 {
+        return None;
+    }
+    let mut bits = 0i128;
+    while (1i128 << bits) < v {
+        bits += 1;
+    }
+    Some(bits)
 }
 
 fn log2_exact(v: i128) -> Option<i128> {
@@ -444,6 +486,9 @@ mod tests {
             ("btb.entries", 4096),
             ("btb.ways", 4),
             ("btb.prediction_bits", 1),
+            ("duel.max_candidates", 4),
+            ("duel.psel_bits", 10),
+            ("duel.window_bits", 16),
         ];
         pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
     }
@@ -469,6 +514,10 @@ mod tests {
         assert_eq!(c["sdbp.sampler_bits"], Value::Int(33 * 1024));
         assert_eq!(c["btb.sets"], Value::Int(1024));
         assert_eq!(c["btb.prediction_bits_total"], Value::Int(4096));
+        assert_eq!(c["duel.psel_bits_total"], Value::Int(40));
+        assert_eq!(c["duel.role_bits_per_set"], Value::Int(3));
+        assert_eq!(c["duel.role_table_bits"], Value::Int(384));
+        assert_eq!(c["duel.overhead_bits"], Value::Int(440));
     }
 
     #[test]

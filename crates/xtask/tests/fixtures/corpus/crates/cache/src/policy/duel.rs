@@ -1,0 +1,42 @@
+//! Fixture: set-dueling meta-policy hot-path file (under `policy/`).
+
+#![forbid(unsafe_code)]
+
+pub struct DuelSel {
+    tallies: Vec<u32>,
+    roles: Vec<u8>,
+    winner: usize,
+}
+
+impl DuelSel {
+    pub fn leader_of(&self, set: usize) -> usize {
+        set % self.tallies.len()
+    }
+
+    pub fn argmin(&self) -> usize {
+        self.tallies
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, t)| t)
+            .map(|(i, _)| i)
+            .unwrap()
+    }
+
+    pub fn role(&self, c: u64) -> u8 {
+        self.roles[c as usize]
+    }
+
+    pub fn train(&mut self, candidate: usize) {
+        self.tallies[candidate] = self.tallies[candidate].saturating_add(1);
+        if self.tallies[candidate] < self.tallies[self.winner] {
+            self.winner = candidate;
+        }
+    }
+
+    // lint:allow(reset-complete): `tallies` and `winner` are sticky set-dueling PSEL state kept across traces by design
+    pub fn reset(&mut self) {
+        for r in &mut self.roles {
+            *r = u8::MAX;
+        }
+    }
+}

@@ -138,3 +138,36 @@ impl Default for Sticky {
         Self::new()
     }
 }
+
+/// OK (by annotation): a set-dueling selector in miniature. `reset`
+/// restores the per-trace window counter but deliberately keeps the
+/// PSEL tallies and the learned winner — the same sticky-PSEL
+/// convention `DuelSelect::reset` documents in the cache crate.
+pub struct StickyPsel {
+    tallies: Vec<u32>,
+    winner: usize,
+    since_boundary: u32,
+}
+
+impl StickyPsel {
+    pub fn new(candidates: usize) -> StickyPsel {
+        StickyPsel {
+            tallies: vec![0; candidates],
+            winner: 0,
+            since_boundary: 0,
+        }
+    }
+
+    pub fn observe_miss(&mut self, candidate: usize) {
+        self.since_boundary += 1;
+        self.tallies[candidate] = self.tallies[candidate].saturating_add(1);
+        if self.tallies[self.winner] > self.tallies[candidate] {
+            self.winner = candidate;
+        }
+    }
+
+    // lint:allow(reset-complete): `tallies` and `winner` are sticky set-dueling PSEL state that survives reset by design
+    pub fn reset(&mut self) {
+        self.since_boundary = 0;
+    }
+}

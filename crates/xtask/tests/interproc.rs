@@ -122,9 +122,30 @@ fn reset_complete_fixture_pins_exact_findings() {
         "finding should name the stale field and its mutator: {}",
         report.findings[0].message
     );
-    // The sticky-state escape is an *active* allow, visible in the report.
-    assert_eq!(report.active_allows, 1);
-    assert_eq!(report.allow_details[0].rule, "reset-complete");
+    // The sticky-state escapes are *active* allows, visible in the
+    // report with their justification text: the lifetime counter and
+    // the sticky set-dueling PSEL selector.
+    assert_eq!(report.active_allows, 2);
+    assert!(report
+        .allow_details
+        .iter()
+        .all(|a| a.rule == "reset-complete"));
+    assert!(
+        report
+            .allow_details
+            .iter()
+            .any(|a| a.justification.contains("lifetime counter")),
+        "allow summary should carry the Sticky justification: {:?}",
+        report.allow_details
+    );
+    assert!(
+        report
+            .allow_details
+            .iter()
+            .any(|a| a.justification.contains("sticky set-dueling PSEL state")),
+        "allow summary should carry the StickyPsel justification: {:?}",
+        report.allow_details
+    );
 }
 
 /// Acceptance mutation 1: take the real LRU policy, delete the

@@ -12,6 +12,7 @@
 
 use ghrp_repro::frontend::engine::{run_lanes, SliceReplay};
 use ghrp_repro::frontend::experiment::{run_suite, run_suite_from, run_trace, run_trace_legacy};
+use ghrp_repro::frontend::policy::BasePolicy;
 use ghrp_repro::frontend::simulator::WrongPathConfig;
 use ghrp_repro::frontend::sweep::{run_sweep, run_sweep_from};
 use ghrp_repro::frontend::{PolicyKind, SimConfig, Simulator, SuiteSource};
@@ -61,6 +62,23 @@ fn arb_policies() -> impl Strategy<Value = Vec<PolicyKind>> {
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
     (arb_category(), any::<u64>(), 8_000u64..24_000)
         .prop_map(|(cat, seed, n)| WorkloadSpec::new(cat, seed).instructions(n))
+}
+
+/// Any candidate a hybrid may duel (every online base policy).
+fn arb_base() -> impl Strategy<Value = BasePolicy> {
+    (0usize..9).prop_map(|i| {
+        [
+            BasePolicy::Lru,
+            BasePolicy::Fifo,
+            BasePolicy::Random,
+            BasePolicy::Srrip,
+            BasePolicy::Drrip,
+            BasePolicy::Ship,
+            BasePolicy::CounterDbp,
+            BasePolicy::Sdbp,
+            BasePolicy::Ghrp,
+        ][i]
+    })
 }
 
 fn arb_config() -> impl Strategy<Value = SimConfig> {
@@ -140,6 +158,33 @@ proptest! {
         prop_assert_eq!(from_slice, from_corpus);
     }
 
+    /// A dueling hybrid with a single candidate is observationally the
+    /// static policy: every decision comes from candidate 0 no matter
+    /// what the PSEL tallies say, so `duel(p)` and `phase(p)` lanes must
+    /// be bit-identical to a static `p` lane — all statistics, both
+    /// selection modes, any base policy, random workloads and configs.
+    #[test]
+    fn single_candidate_hybrid_is_bit_identical_to_static(
+        spec in arb_spec(),
+        base in arb_config(),
+        p in arb_base(),
+        window in 64u32..4096,
+    ) {
+        let trace = spec.generate();
+        let statik = p.as_kind();
+        for hybrid in [PolicyKind::duel(&[p]), PolicyKind::phase(&[p], window)] {
+            let lanes = run_lanes(
+                &base,
+                &[statik, hybrid],
+                &SliceReplay::from_trace(&trace),
+            );
+            // Identical up to the policy label the lane reports.
+            let mut normalized = lanes[1];
+            normalized.policy = lanes[0].policy;
+            prop_assert_eq!(normalized, lanes[0]);
+        }
+    }
+
     /// The offline oracle lane (whose access sequences are precomputed
     /// once and shared) also matches its standalone run alongside online
     /// company.
@@ -202,6 +247,48 @@ fn corpus_suite_and_sweep_match_streamed_across_threads() {
             swept, sweep_ref,
             "sweep diverged from streamed replay at {threads} threads"
         );
+    }
+}
+
+/// `duel(p)`/`phase(p)` columns must equal static `p` columns for every
+/// thread count and both replay sources: the sticky PSEL state a hybrid
+/// keeps across `reset()` is cleared by the arena's cold restart, so
+/// neither scheduling, arena reuse order, nor the replay source may make
+/// the degenerate hybrid drift from its static policy.
+#[test]
+fn single_candidate_hybrids_match_statics_across_threads_and_sources() {
+    let specs: Vec<WorkloadSpec> = suite(3, 41)
+        .into_iter()
+        .map(|s| s.instructions(20_000))
+        .collect();
+    let mut builder = CorpusBuilder::new();
+    for spec in &specs {
+        builder.push_synthetic(&spec.generate()).expect("encode");
+    }
+    let corpus = Corpus::from_bytes(builder.finish()).expect("verified corpus");
+    let shared = SuiteCorpus::from_corpus(&corpus);
+
+    let cfg = SimConfig::paper_default();
+    // GHRP exercises the shared-predictor wiring inside a hybrid; SDBP
+    // is the heaviest table-driven candidate.
+    let statics = [PolicyKind::Ghrp, PolicyKind::Sdbp];
+    let hybrids = [
+        PolicyKind::duel(&[BasePolicy::Ghrp]),
+        PolicyKind::phase(&[BasePolicy::Sdbp], 2048),
+    ];
+    let reference = run_suite(&specs, &cfg, &statics, 1);
+    for threads in 1..=8 {
+        for (label, source) in [
+            ("streamed", SuiteSource::Streamed),
+            ("corpus", SuiteSource::Corpus(&shared)),
+        ] {
+            let hybrid = run_suite_from(&specs, &cfg, &hybrids, threads, source);
+            assert_eq!(
+                hybrid.rows, reference.rows,
+                "single-candidate hybrids diverged from statics at \
+                 {threads} threads ({label} replay)"
+            );
+        }
     }
 }
 

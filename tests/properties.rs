@@ -3,9 +3,10 @@
 #![forbid(unsafe_code)]
 
 use ghrp_repro::cache::policy::{
-    BeladyOpt, Drrip, Fifo, Lru, PolicyInvariants, RandomPolicy, Srrip, ValidatingPolicy,
+    BeladyOpt, Drrip, DuelConfig, DuelSelect, Fifo, Lru, PolicyInvariants, RandomPolicy, Srrip,
+    ValidatingPolicy,
 };
-use ghrp_repro::cache::{Cache, CacheConfig, ReplacementPolicy};
+use ghrp_repro::cache::{AccessContext, Cache, CacheConfig, ReplacementPolicy};
 use ghrp_repro::ghrp::{GhrpConfig, GhrpPolicy, SharedGhrp};
 use ghrp_repro::trace::fetch::FetchStream;
 use ghrp_repro::trace::io;
@@ -35,6 +36,74 @@ fn arb_accesses() -> impl Strategy<Value = Vec<u64>> {
 fn drive<P: ReplacementPolicy>(cache: &mut Cache<P>, blocks: &[u64]) {
     for &b in blocks {
         cache.access(b, b);
+    }
+}
+
+/// A two-variant candidate for heterogeneous set-dueling under test:
+/// `DuelSelect` needs one candidate type, so mixing LRU and SRRIP goes
+/// through this delegating enum (the production stack uses `AnyPolicy`).
+enum EitherPolicy {
+    Lru(Lru),
+    Srrip(Srrip),
+}
+
+impl ReplacementPolicy for EitherPolicy {
+    fn on_access(&mut self, ctx: &AccessContext) {
+        match self {
+            EitherPolicy::Lru(p) => p.on_access(ctx),
+            EitherPolicy::Srrip(p) => p.on_access(ctx),
+        }
+    }
+    fn on_hit(&mut self, way: usize, ctx: &AccessContext) {
+        match self {
+            EitherPolicy::Lru(p) => p.on_hit(way, ctx),
+            EitherPolicy::Srrip(p) => p.on_hit(way, ctx),
+        }
+    }
+    fn should_bypass(&mut self, ctx: &AccessContext) -> bool {
+        match self {
+            EitherPolicy::Lru(p) => p.should_bypass(ctx),
+            EitherPolicy::Srrip(p) => p.should_bypass(ctx),
+        }
+    }
+    fn choose_victim(&mut self, ctx: &AccessContext) -> usize {
+        match self {
+            EitherPolicy::Lru(p) => p.choose_victim(ctx),
+            EitherPolicy::Srrip(p) => p.choose_victim(ctx),
+        }
+    }
+    fn on_evict(&mut self, way: usize, victim_block: u64, ctx: &AccessContext) {
+        match self {
+            EitherPolicy::Lru(p) => p.on_evict(way, victim_block, ctx),
+            EitherPolicy::Srrip(p) => p.on_evict(way, victim_block, ctx),
+        }
+    }
+    fn on_fill(&mut self, way: usize, ctx: &AccessContext) {
+        match self {
+            EitherPolicy::Lru(p) => p.on_fill(way, ctx),
+            EitherPolicy::Srrip(p) => p.on_fill(way, ctx),
+        }
+    }
+    fn reset(&mut self) {
+        match self {
+            EitherPolicy::Lru(p) => p.reset(),
+            EitherPolicy::Srrip(p) => p.reset(),
+        }
+    }
+    fn name(&self) -> String {
+        match self {
+            EitherPolicy::Lru(p) => p.name(),
+            EitherPolicy::Srrip(p) => p.name(),
+        }
+    }
+}
+
+impl PolicyInvariants for EitherPolicy {
+    fn check_invariants(&self) -> Result<(), String> {
+        match self {
+            EitherPolicy::Lru(p) => p.check_invariants(),
+            EitherPolicy::Srrip(p) => p.check_invariants(),
+        }
     }
 }
 
@@ -230,6 +299,39 @@ proptest! {
         }
         prop_assert!(t.counters(sig).into_iter().all(|c| c == 0));
         prop_assert!(t.check_invariants().is_ok());
+    }
+
+    /// The dueling meta-policy holds every [`ValidatingPolicy`]-checked
+    /// invariant — PSEL bounds, leader-set disjointness and coverage,
+    /// follower-steering consistency, window-counter bounds, plus each
+    /// candidate's own invariants — across arbitrary access streams in
+    /// both continuous and phase-adaptive modes, with heterogeneous
+    /// candidates, and never loses residency of the accessed block.
+    #[test]
+    fn duel_invariants_and_residency(blocks in arb_accesses(), window in 0u32..4) {
+        let cfg = CacheConfig::with_sets(16, 2, 64).unwrap();
+        let duel = if window == 0 {
+            DuelConfig::continuous()
+        } else {
+            DuelConfig::phase_adaptive(32 * window)
+        };
+        let candidates = vec![
+            EitherPolicy::Lru(Lru::new(cfg)),
+            EitherPolicy::Srrip(Srrip::new(cfg)),
+        ];
+        let mut c = Cache::new(
+            cfg,
+            ValidatingPolicy::new(DuelSelect::new(cfg, duel, candidates)),
+        );
+        for &b in &blocks {
+            let r = c.access(b, b);
+            if !matches!(r, ghrp_repro::cache::AccessResult::Bypassed) {
+                prop_assert!(c.contains(b), "block {b:#x} absent after duel fill");
+            }
+        }
+        prop_assert!(c.policy().check_invariants().is_ok());
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
     }
 
     /// §III.F: for any interleaving of speculative updates, retirements
